@@ -1,0 +1,34 @@
+//! Criterion: simulator throughput (accesses/second) for the trace shapes
+//! the Fig.-6 experiment replays.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pdsm_cachesim::{run_atom, SimConfig, SimHierarchy};
+use pdsm_cost::Atom;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cachesim");
+    let n = 200_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("s_trav", |b| {
+        b.iter(|| run_atom(&Atom::s_trav(n, 8), SimConfig::nehalem(), 1))
+    });
+    g.bench_function("s_trav_cr_10pct", |b| {
+        b.iter(|| run_atom(&Atom::s_trav_cr(n, 16, 16, 0.1), SimConfig::nehalem(), 2))
+    });
+    g.bench_function("rr_acc", |b| {
+        b.iter(|| run_atom(&Atom::rr_acc(n / 10, 16, n), SimConfig::nehalem(), 3))
+    });
+    g.bench_function("raw_access_loop", |b| {
+        b.iter(|| {
+            let mut sim = SimHierarchy::new(SimConfig::nehalem());
+            for i in 0..n {
+                sim.access(i * 8, 8);
+            }
+            sim.llc_stats()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion: cost-model evaluation throughput and the prefetch-aware vs
+//! constant-weight ablation (DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdsm_cost::{cost, misses, Atom, Hierarchy, Pattern};
+
+fn example_pattern() -> Pattern {
+    Pattern::conc(vec![
+        Pattern::atom(Atom::s_trav(26_214_400, 4)),
+        Pattern::atom(Atom::s_trav_cr(26_214_400, 16, 16, 0.01)),
+        Pattern::atom(Atom::rr_acc(1, 32, 262_144)),
+    ])
+}
+
+fn bench_cost(c: &mut Criterion) {
+    let hw = Hierarchy::nehalem();
+    let p = example_pattern();
+    c.bench_function("estimate/prefetch_aware", |b| {
+        b.iter(|| cost::estimate(&p, &hw))
+    });
+    c.bench_function("estimate/flat_ablation", |b| {
+        b.iter(|| cost::estimate_flat(&p, &hw))
+    });
+    c.bench_function("cardenas", |b| {
+        b.iter(|| misses::cardenas(std::hint::black_box(262_144.0), 26_214_400.0))
+    });
+    // a deep pattern (join-heavy plan shape)
+    let deep = Pattern::seq(
+        (0..32)
+            .map(|i| {
+                Pattern::conc(vec![
+                    Pattern::atom(Atom::s_trav(1_000_000 + i, 8)),
+                    Pattern::atom(Atom::rr_acc(100_000, 16, 1_000_000)),
+                ])
+            })
+            .collect(),
+    );
+    c.bench_function("estimate/deep_pattern", |b| b.iter(|| cost::estimate(&deep, &hw)));
+}
+
+criterion_group!(benches, bench_cost);
+criterion_main!(benches);

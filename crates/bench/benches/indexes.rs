@@ -1,0 +1,85 @@
+//! Criterion: index operations — the microscopic view of Fig. 10's >1000x
+//! identity-select gains. `std::collections` equivalents are measured as
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pdsm_index::{HashIndex, RBTree};
+use std::collections::{BTreeMap, HashMap};
+
+const N: i64 = 100_000;
+
+fn bench_indexes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_build");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("hash_insert", |b| {
+        b.iter(|| {
+            let mut h = HashIndex::with_capacity(N as usize);
+            for k in 0..N {
+                h.insert(k * 7, k as u32);
+            }
+            h
+        })
+    });
+    g.bench_function("std_hashmap_insert", |b| {
+        b.iter(|| {
+            let mut h: HashMap<i64, u32> = HashMap::with_capacity(N as usize);
+            for k in 0..N {
+                h.insert(k * 7, k as u32);
+            }
+            h
+        })
+    });
+    g.bench_function("rbtree_insert", |b| {
+        b.iter(|| {
+            let mut t = RBTree::new();
+            for k in 0..N {
+                t.insert(k * 7, k as u32);
+            }
+            t
+        })
+    });
+    g.bench_function("std_btreemap_insert", |b| {
+        b.iter(|| {
+            let mut t: BTreeMap<i64, u32> = BTreeMap::new();
+            for k in 0..N {
+                t.insert(k * 7, k as u32);
+            }
+            t
+        })
+    });
+    g.finish();
+
+    let mut h = HashIndex::with_capacity(N as usize);
+    let mut t = RBTree::new();
+    for k in 0..N {
+        h.insert(k * 7, k as u32);
+        t.insert(k * 7, k as u32);
+    }
+    let mut g = c.benchmark_group("index_probe");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("hash_get", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 0..N {
+                acc += h.get(k * 7).len() as u64;
+            }
+            acc
+        })
+    });
+    g.bench_function("rbtree_get", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 0..N {
+                acc += t.get(k * 7).len() as u64;
+            }
+            acc
+        })
+    });
+    g.bench_function("rbtree_range_1pct", |b| {
+        b.iter(|| t.range(0, N * 7 / 100).map(|(_, r)| r.len()).sum::<usize>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_indexes);
+criterion_main!(benches);

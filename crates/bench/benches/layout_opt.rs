@@ -1,0 +1,64 @@
+//! Criterion: layout-optimization cost — cut generation, BPi search (per
+//! threshold), and the exhaustive OBP oracle, on the ADRC case of Table IV.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdsm_cost::Hierarchy;
+use pdsm_layout::bpi::{obp_exhaustive, optimize_table, OptimizerConfig};
+use pdsm_layout::cuts::extended_reasonable_cuts;
+use pdsm_layout::workload::{Workload, WorkloadQuery};
+use pdsm_plan::patterns::TableView;
+use pdsm_storage::Layout;
+use pdsm_workloads::sapsd;
+use std::collections::HashMap;
+
+fn setup() -> (HashMap<String, TableView>, Workload) {
+    let mut views = HashMap::new();
+    let schema = sapsd::adrc_schema();
+    views.insert(
+        "ADRC".to_string(),
+        TableView {
+            name: "ADRC".into(),
+            n_rows: 200_000,
+            col_widths: schema.columns().iter().map(|c| c.ty.width() as u64).collect(),
+            layout: Layout::row(schema.len()),
+            stats: None,
+        },
+    );
+    let mut w = Workload::new();
+    for q in sapsd::queries(1_000_000) {
+        if q.name == "Q1" || q.name == "Q3" {
+            w.push(WorkloadQuery::new(q.name.clone(), q.as_plan().unwrap().clone()));
+        }
+    }
+    (views, w)
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let (views, w) = setup();
+    let hw = Hierarchy::nehalem();
+    c.bench_function("cuts/adrc", |b| {
+        b.iter(|| extended_reasonable_cuts(&w.access_groups(&views, "ADRC")))
+    });
+    for threshold in [1e-4, 1e-2] {
+        c.bench_function(&format!("bpi/adrc/t={threshold}"), |b| {
+            b.iter(|| {
+                optimize_table(
+                    "ADRC",
+                    &views,
+                    &w,
+                    &hw,
+                    &OptimizerConfig {
+                        threshold,
+                        max_states: 100_000,
+                    },
+                )
+            })
+        });
+    }
+    c.bench_function("obp/adrc", |b| {
+        b.iter(|| obp_exhaustive("ADRC", &views, &w, &hw))
+    });
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

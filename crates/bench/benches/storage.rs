@@ -1,0 +1,60 @@
+//! Criterion: storage-layer primitives — insert throughput per layout,
+//! relayout cost, and typed-reader scans vs. decoded access (the reason the
+//! engines never touch `Value` in inner loops).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdsm_storage::{Layout, Value};
+use pdsm_workloads::microbench;
+
+const ROWS: usize = 50_000;
+
+fn bench_storage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage_insert");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    for (name, layout) in microbench::layouts() {
+        g.bench_with_input(BenchmarkId::new("insert", name), &layout, |b, layout| {
+            b.iter(|| microbench::generate(ROWS, 0.1, layout.clone(), 1))
+        });
+    }
+    g.finish();
+
+    let row_t = microbench::generate(ROWS, 0.1, Layout::row(16), 1);
+    let mut g = c.benchmark_group("storage_relayout");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    g.bench_function("row_to_column", |b| {
+        b.iter(|| row_t.relayout(Layout::column(16)).unwrap())
+    });
+    g.bench_function("row_to_hybrid", |b| {
+        b.iter(|| row_t.relayout(microbench::pdsm_layout()).unwrap())
+    });
+    g.finish();
+
+    let col_t = row_t.relayout(Layout::column(16)).unwrap();
+    let mut g = c.benchmark_group("storage_scan");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    g.bench_function("typed_reader_sum", |b| {
+        let r = col_t.i32_reader(1);
+        b.iter(|| {
+            let mut s = 0i64;
+            for i in 0..col_t.len() {
+                s += r.get(i) as i64;
+            }
+            s
+        })
+    });
+    g.bench_function("decoded_value_sum", |b| {
+        b.iter(|| {
+            let mut s = 0i64;
+            for i in 0..col_t.len() {
+                if let Value::Int32(v) = col_t.get(i, 1).unwrap() {
+                    s += v as i64;
+                }
+            }
+            s
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! **Fig. 11** — CH-benchmark query evaluation times (queries 1–6, 8, 10)
+//! under row / column / hybrid storage with the compiled processor.
+//!
+//! Paper shape: decomposition helps *modestly* here (~30 % even for full
+//! DSM) — the compiled row-store loops are already tight, so bandwidth
+//! savings are the only lever, unlike the bulk-vs-volcano orders-of-
+//! magnitude gaps elsewhere.
+//!
+//! Usage: `cargo run -p pdsm-bench --release --bin fig11_ch
+//!         [--warehouses 4] [--reps 3]`
+
+use pdsm_bench::{measure, print_table, Args};
+use pdsm_core::{Database, EngineKind, LayoutAdvisor};
+use pdsm_layout::workload::{Workload, WorkloadQuery};
+use pdsm_storage::Layout;
+use pdsm_workloads::ch;
+
+fn build_db(w: usize, layouts: Option<&[(String, Layout)]>) -> Database {
+    let mut db = Database::new();
+    for t in ch::tables(w, 13) {
+        db.register(t);
+    }
+    if let Some(layouts) = layouts {
+        for (name, layout) in layouts {
+            db.relayout(name, layout.clone()).expect("relayout");
+        }
+    }
+    db
+}
+
+fn main() {
+    let args = Args::parse();
+    let warehouses: usize = args.get("warehouses", 4);
+    let reps: usize = args.get("reps", 3);
+    let queries = ch::queries();
+
+    println!("Fig. 11 — CH-benchmark, {warehouses} warehouses\n");
+
+    let row_db = build_db(warehouses, None);
+    let mut workload = Workload::new();
+    for q in &queries {
+        workload.push(WorkloadQuery::new(q.name.clone(), q.as_plan().unwrap().clone()));
+    }
+    let report = LayoutAdvisor::default().advise(&row_db, &workload);
+    println!("advisor layouts:");
+    for a in &report.tables {
+        println!("  {:10} -> {}", a.table, a.layout);
+    }
+    println!();
+    let hybrid: Vec<(String, Layout)> = report
+        .tables
+        .iter()
+        .map(|a| (a.table.clone(), a.layout.clone()))
+        .collect();
+    let col_layouts: Vec<(String, Layout)> = row_db
+        .table_names()
+        .iter()
+        .map(|n| {
+            let w = row_db.get_table(n).unwrap().schema().len();
+            (n.to_string(), Layout::column(w))
+        })
+        .collect();
+
+    let dbs: Vec<(&str, Database)> = vec![
+        ("row", row_db),
+        ("column", build_db(warehouses, Some(&col_layouts))),
+        ("hybrid", build_db(warehouses, Some(&hybrid))),
+    ];
+
+    let mut rows = Vec::new();
+    for q in &queries {
+        let plan = q.as_plan().unwrap();
+        let mut cells = vec![q.name.clone()];
+        for (_lname, db) in &dbs {
+            let (_, ns) = measure(reps, || db.run(plan, EngineKind::Compiled).expect("query"));
+            cells.push(format!("{:.3}", ns as f64 / 1e6));
+        }
+        rows.push(cells);
+    }
+    print_table(&["query", "row (ms)", "column (ms)", "hybrid (ms)"], &rows);
+    println!("\nExpected shape (paper): differences between layouts stay within ~tens of");
+    println!("percent; hybrid tracks the better of row/column per query.");
+}

@@ -1,0 +1,83 @@
+//! **Fig. 12 / Table V** — the CNET product-catalog workload: four queries
+//! with frequencies 1 / 1 / 100 / 10 000 under row / column / hybrid
+//! layouts; reported as frequency-weighted times, log-scale in the paper.
+//!
+//! Paper shape: analytics (1–3) favour decomposition; the identity select
+//! (4) favours the row store but degrades only slightly on the hybrid;
+//! overall the hybrid wins by >10x over row and ~4x over column.
+//!
+//! Usage: `cargo run -p pdsm-bench --release --bin fig12_cnet
+//!         [--rows 20000] [--attrs 600] [--reps 3]`
+
+use pdsm_bench::{measure, print_table, Args};
+use pdsm_core::{Database, EngineKind, LayoutAdvisor};
+use pdsm_layout::workload::{Workload, WorkloadQuery};
+use pdsm_storage::Layout;
+use pdsm_workloads::cnet;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("rows", 20_000);
+    let attrs: usize = args.get("attrs", 600);
+    let reps: usize = args.get("reps", 3);
+    let queries = cnet::queries("laptops", 40, (n / 2) as i32);
+
+    println!(
+        "Fig. 12 — CNET catalog: {n} products x {} columns ({} MB row-store tuples)\n",
+        cnet::FIRST_SPARSE + attrs,
+        n * (attrs * 4 + 32) / (1 << 20)
+    );
+
+    let base = cnet::generate(n, attrs, 11, 21);
+    let width = base.schema().len();
+
+    // hybrid via the advisor (weighted workload!)
+    let mut row_db = Database::new();
+    row_db.register(base.clone());
+    let mut workload = Workload::new();
+    for q in &queries {
+        workload.push(
+            WorkloadQuery::new(q.name.clone(), q.as_plan().unwrap().clone())
+                .with_frequency(q.frequency),
+        );
+    }
+    let advisor = LayoutAdvisor::default();
+    let report = advisor.advise(&row_db, &workload);
+    let hybrid_layout = report.tables[0].layout.clone();
+    println!(
+        "advisor layout: {} partitions (dense columns isolated from the sparse tail)\n",
+        hybrid_layout.n_groups()
+    );
+
+    let mut dbs: Vec<(&str, Database)> = Vec::new();
+    dbs.push(("row", row_db));
+    let mut col_db = Database::new();
+    col_db.register(base.relayout(Layout::column(width)).unwrap());
+    dbs.push(("column", col_db));
+    let mut hyb_db = Database::new();
+    hyb_db.register(base.relayout(hybrid_layout).unwrap());
+    dbs.push(("hybrid", hyb_db));
+
+    let mut rows = Vec::new();
+    let mut weighted = vec![0.0f64; dbs.len()];
+    for q in &queries {
+        let plan = q.as_plan().unwrap();
+        let mut cells = vec![q.name.clone(), format!("{}", q.frequency)];
+        for (i, (_lname, db)) in dbs.iter().enumerate() {
+            let (_, ns) = measure(reps, || db.run(plan, EngineKind::Compiled).expect("query"));
+            let ms = ns as f64 / 1e6;
+            weighted[i] += ms * q.frequency;
+            cells.push(format!("{:.3}", ms * q.frequency));
+        }
+        rows.push(cells);
+    }
+    let mut sum_cells = vec!["Sum".to_string(), String::new()];
+    sum_cells.extend(weighted.iter().map(|w| format!("{:.3}", w)));
+    rows.push(sum_cells);
+    print_table(
+        &["query", "freq", "row w-ms", "column w-ms", "hybrid w-ms"],
+        &rows,
+    );
+    println!("\nExpected shape (paper): hybrid sum >10x better than row and ~4x better");
+    println!("than column; query 4 best on row but only slightly degraded on hybrid.");
+}

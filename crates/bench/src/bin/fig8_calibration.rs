@@ -1,0 +1,62 @@
+//! **Fig. 8 / Table III** — the "configuring experiment": cycles per
+//! dependent access as a function of the accessed region size, and the
+//! latency parameters fitted from the staircase.
+//!
+//! Runs on the host CPU via `rdtsc` (this experiment *is* the hardware
+//! measurement; the simulator has no latency notion). The fitted latencies
+//! are printed next to the paper's Table III values for the Nehalem
+//! reference machine.
+//!
+//! Usage: `cargo run -p pdsm-bench --release --bin fig8_calibration
+//!         [--max-mb 128] [--accesses 2000000]`
+
+use pdsm_bench::{print_table, Args};
+use pdsm_cost::calibrate::{fit_latencies, staircase};
+use pdsm_cost::Hierarchy;
+
+fn main() {
+    let args = Args::parse();
+    let max_mb: usize = args.get("max-mb", 128);
+    let accesses: usize = args.get("accesses", 2_000_000);
+
+    println!("Fig. 8 — pointer-chase staircase, {accesses} dependent accesses per point\n");
+    let points = staircase(1 << 10, max_mb << 20, accesses);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                if p.region_bytes >= 1 << 20 {
+                    format!("{} MB", p.region_bytes >> 20)
+                } else {
+                    format!("{} kB", p.region_bytes >> 10)
+                },
+                format!("{:.1}", p.cycles_per_access),
+            ]
+        })
+        .collect();
+    print_table(&["region", "cycles/access"], &rows);
+
+    let hw = Hierarchy::nehalem();
+    let fitted = fit_latencies(&points, &hw);
+    println!("\nTable III — fitted vs paper parameters:");
+    let rows: Vec<Vec<String>> = hw
+        .levels()
+        .iter()
+        .zip(&fitted)
+        .map(|(l, &f)| {
+            vec![
+                l.name.to_string(),
+                format!("{}", l.capacity),
+                format!("{}", l.block),
+                format!("{:.0}", l.latency),
+                format!("{:.1}", f),
+            ]
+        })
+        .collect();
+    print_table(
+        &["level", "capacity(B)", "block(B)", "paper latency", "fitted latency"],
+        &rows,
+    );
+    println!("\nExpected shape (paper): plateaus inside each cache level; knees at the");
+    println!("capacities; latencies rise monotonically toward memory.");
+}

@@ -1,0 +1,147 @@
+//! **Fig. 9** — SAP-SD benchmark: the twelve queries under row / column /
+//! hybrid storage, executed by the compiled ("HyPer") processor and the
+//! bulk-with-function-calls ("HYRISE-style") processor, plus Volcano for
+//! reference.
+//!
+//! The hybrid layout is not hand-picked: it is produced by the §V layout
+//! advisor (extended reasonable cuts + BPi) from this very workload — the
+//! full pipeline of the paper.
+//!
+//! Usage: `cargo run -p pdsm-bench --release --bin fig9_sapsd
+//!         [--scale 20000] [--reps 3]`
+
+use pdsm_bench::{fmt_num, measure, print_table, Args};
+
+use pdsm_core::{Database, EngineKind};
+use pdsm_layout::workload::{Workload, WorkloadQuery};
+use pdsm_core::LayoutAdvisor;
+use pdsm_storage::Layout;
+use pdsm_workloads::sapsd;
+use pdsm_workloads::QueryKind;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn build_db(scale: usize, layouts: Option<&[(String, Layout)]>) -> Database {
+    let mut db = Database::new();
+    for t in sapsd::tables(scale, 7) {
+        db.register(t);
+    }
+    if let Some(layouts) = layouts {
+        for (name, layout) in layouts {
+            db.relayout(name, layout.clone()).expect("relayout");
+        }
+    }
+    db
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale: usize = args.get("scale", 20_000);
+    let reps: usize = args.get("reps", 3);
+    let queries = sapsd::queries(scale);
+
+    println!("Fig. 9 — SAP-SD, scale {scale} orders\n");
+
+    // --- derive the hybrid layouts with the advisor -----------------------
+    let row_db = build_db(scale, None);
+    let mut workload = Workload::new();
+    for q in &queries {
+        if let Some(plan) = q.as_plan() {
+            workload.push(WorkloadQuery::new(q.name.clone(), plan.clone()));
+        }
+    }
+    let advisor = LayoutAdvisor::default();
+    let report = advisor.advise(&row_db, &workload);
+    println!("advisor layouts:");
+    for a in &report.tables {
+        println!(
+            "  {:6} -> {} (est {:.2}x vs row)",
+            a.table,
+            a.layout,
+            a.row_cost / a.estimated_cost.max(1.0)
+        );
+    }
+    println!();
+    let hybrid: Vec<(String, Layout)> = report
+        .tables
+        .iter()
+        .map(|a| (a.table.clone(), a.layout.clone()))
+        .collect();
+
+    let col_layouts: Vec<(String, Layout)> = row_db
+        .table_names()
+        .iter()
+        .map(|n| {
+            let w = row_db.get_table(n).unwrap().schema().len();
+            (n.to_string(), Layout::column(w))
+        })
+        .collect();
+
+    let dbs: Vec<(&str, Database)> = vec![
+        ("row", build_db(scale, None)),
+        ("column", build_db(scale, Some(&col_layouts))),
+        ("hybrid", build_db(scale, Some(&hybrid))),
+    ];
+
+    // HyPer = compiled; HYRISE-style = bulk (partition-at-a-time with
+    // per-attribute calls); volcano for reference.
+    let engines = [
+        ("hyper", EngineKind::Compiled),
+        ("hyrise", EngineKind::Bulk),
+        ("volcano", EngineKind::Volcano),
+    ];
+
+    let mut rows = Vec::new();
+    for q in &queries {
+        match &q.kind {
+            QueryKind::Plan(plan) => {
+                for (lname, db) in &dbs {
+                    for (ename, kind) in &engines {
+                        let (cyc, _) = measure(reps, || db.run(plan, *kind).expect("query"));
+                        rows.push(vec![
+                            q.name.clone(),
+                            lname.to_string(),
+                            ename.to_string(),
+                            fmt_num(cyc as f64),
+                        ]);
+                    }
+                }
+            }
+            QueryKind::Insert { table, count } => {
+                for (lname, db) in &dbs {
+                    // clone outside the timed region; measure only inserts
+                    let mut db2 = clone_db(db);
+                    let mut rng = SmallRng::seed_from_u64(99);
+                    let base = db2.get_table(table).unwrap().len() as i32;
+                    let ins_rows: Vec<_> = (0..*count)
+                        .map(|k| sapsd::vbap_row(&mut rng, base + k as i32, 10))
+                        .collect();
+                    let c0 = pdsm_bench::cycles_now();
+                    for row in &ins_rows {
+                        db2.insert(table, row).expect("insert");
+                    }
+                    let cyc = pdsm_bench::cycles_now().wrapping_sub(c0);
+                    rows.push(vec![
+                        format!("{} (ins {}x)", q.name, count),
+                        lname.to_string(),
+                        "dml".to_string(),
+                        fmt_num(cyc as f64),
+                    ]);
+                }
+            }
+        }
+    }
+    print_table(&["query", "layout", "engine", "cycles"], &rows);
+    println!("\nExpected shape (paper): hyper (compiled) beats the hyrise-style bulk");
+    println!("processor by 1-2 orders of magnitude on scan-heavy queries; relative layout");
+    println!("preferences agree across processors; insert (Q6) cheapest on row storage");
+    println!("with a bounded penalty (~60%) for decomposed layouts.");
+}
+
+fn clone_db(db: &Database) -> Database {
+    let mut out = Database::new();
+    for name in db.table_names() {
+        out.register(db.get_table(name).unwrap().clone());
+    }
+    out
+}

@@ -1,0 +1,243 @@
+//! A set-associative LRU cache model.
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Line (block) size in bytes; must be a power of two.
+    pub line: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        let lines = (self.capacity / self.line) as usize;
+        (lines / self.assoc).max(1)
+    }
+}
+
+/// Hit/miss counters. A "prefetched hit" is the *first demand use* of a line
+/// that was installed by the prefetcher — the event the paper's sequential
+/// misses (`M^s`) correspond to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (loads issued by the program).
+    pub accesses: u64,
+    /// Demand accesses that missed and had to fetch from the next level.
+    pub demand_misses: u64,
+    /// Demand accesses that hit a not-yet-used prefetched line.
+    pub prefetched_hits: u64,
+    /// Lines installed by the prefetcher.
+    pub prefetch_fills: u64,
+    /// Prefetched lines evicted before any demand use (wasted prefetches).
+    pub prefetch_evictions: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    tag: u64,
+    /// Installed by prefetch and not yet demand-used.
+    prefetched_unused: bool,
+}
+
+/// One set-associative LRU cache. Addresses are byte addresses; the cache
+/// works on line numbers internally.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<LineState>>, // LRU order: least-recent first
+    stats: CacheStats,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Build a cache; panics if the line size is not a power of two (static
+    /// configuration error).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line.is_power_of_two(), "line size must be 2^k");
+        assert!(cfg.assoc >= 1);
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            sets: vec![Vec::with_capacity(cfg.assoc); sets],
+            stats: CacheStats::default(),
+            line_shift: cfg.line.trailing_zeros(),
+            set_mask: (sets as u64) - 1,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset counters (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_and_tag(&self, line_no: u64) -> (usize, u64) {
+        let set = if self.set_mask + 1 == self.sets.len() as u64 && self.sets.len().is_power_of_two()
+        {
+            (line_no & self.set_mask) as usize
+        } else {
+            (line_no % self.sets.len() as u64) as usize
+        };
+        (set, line_no)
+    }
+
+    /// Demand access to the line containing byte `addr`. Returns `true` on
+    /// hit. On miss the line is installed (the caller is responsible for
+    /// recursing into the next level).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line_no = addr >> self.line_shift;
+        self.access_line(line_no)
+    }
+
+    /// Demand access by line number.
+    pub fn access_line(&mut self, line_no: u64) -> bool {
+        self.stats.accesses += 1;
+        let (set_idx, tag) = self.set_and_tag(line_no);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+            let mut line = set.remove(pos);
+            if line.prefetched_unused {
+                self.stats.prefetched_hits += 1;
+                line.prefetched_unused = false;
+            }
+            set.push(line); // most-recently used
+            return true;
+        }
+        self.stats.demand_misses += 1;
+        self.install(set_idx, tag, false);
+        false
+    }
+
+    /// Install a line on behalf of the prefetcher (no access counted). Does
+    /// nothing if the line is already resident.
+    pub fn prefetch_line(&mut self, line_no: u64) {
+        let (set_idx, tag) = self.set_and_tag(line_no);
+        if self.sets[set_idx].iter().any(|l| l.tag == tag) {
+            return;
+        }
+        self.stats.prefetch_fills += 1;
+        self.install(set_idx, tag, true);
+    }
+
+    /// True iff the line containing `addr` is resident (no counter change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line_no = addr >> self.line_shift;
+        let (set_idx, tag) = self.set_and_tag(line_no);
+        self.sets[set_idx].iter().any(|l| l.tag == tag)
+    }
+
+    fn install(&mut self, set_idx: usize, tag: u64, prefetched: bool) {
+        let assoc = self.cfg.assoc;
+        let set = &mut self.sets[set_idx];
+        if set.len() == assoc {
+            let victim = set.remove(0); // least-recently used
+            if victim.prefetched_unused {
+                self.stats.prefetch_evictions += 1;
+            }
+        }
+        set.push(LineState {
+            tag,
+            prefetched_unused: prefetched,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 lines of 64 B, 2-way => 2 sets
+        Cache::new(CacheConfig {
+            capacity: 256,
+            line: 64,
+            assoc: 2,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().sets(), 2);
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(8), "same line");
+        assert!(!c.access(64), "next line is a different set/line");
+        let s = c.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.demand_misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // set 0 holds lines 0, 2, 4... (line_no % 2 == 0)
+        c.access_line(0);
+        c.access_line(2);
+        c.access_line(0); // refresh 0; LRU is now 2
+        c.access_line(4); // evicts 2
+        assert!(c.probe(0 << 6));
+        assert!(!c.probe(2 << 6));
+        assert!(c.probe(4 << 6));
+    }
+
+    #[test]
+    fn prefetched_lines_count_once() {
+        let mut c = tiny();
+        c.prefetch_line(0);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert!(c.access(0), "prefetched line hits");
+        assert_eq!(c.stats().prefetched_hits, 1);
+        assert!(c.access(0));
+        assert_eq!(c.stats().prefetched_hits, 1, "only first use counts");
+        // prefetching a resident line is a no-op
+        c.prefetch_line(0);
+        assert_eq!(c.stats().prefetch_fills, 1);
+    }
+
+    #[test]
+    fn wasted_prefetch_detected() {
+        let mut c = tiny();
+        c.prefetch_line(0);
+        c.access_line(2); // same set
+        c.access_line(4); // same set: evicts line 0 (LRU, never used)
+        assert_eq!(c.stats().prefetch_evictions, 1);
+    }
+
+    #[test]
+    fn hits_plus_misses_equal_accesses() {
+        let mut c = Cache::new(CacheConfig {
+            capacity: 8 * 1024,
+            line: 64,
+            assoc: 8,
+        });
+        let mut hits = 0u64;
+        for i in 0..10_000u64 {
+            if c.access((i * 40) % 32_768) {
+                hits += 1;
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses, 10_000);
+        assert_eq!(hits + s.demand_misses, s.accesses);
+    }
+}

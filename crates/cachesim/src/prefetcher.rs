@@ -1,0 +1,251 @@
+//! Adjacent cache-line prefetching with stride detection (§IV-A1).
+//!
+//! The paper assumes the strategy of the Intel Core microarchitecture: when
+//! the unit observes a constant stride between consecutive demand accesses,
+//! it prefetches the line that continues the stride. This deliberately
+//! simple, deterministic policy is what makes the model's
+//! sequential/random-miss split analyzable — and is exactly what we
+//! implement, so the simulator is the model's ideal referee.
+
+/// Stride-detecting next-line prefetcher. Works in units of cache lines.
+#[derive(Debug, Clone, Default)]
+pub struct StridePrefetcher {
+    last_line: Option<u64>,
+    last_stride: Option<i64>,
+    /// Maximum stride (in lines) the unit will follow. Real prefetchers stop
+    /// following large strides; 32 lines (2 kB) is a generous bound.
+    max_stride: i64,
+}
+
+impl StridePrefetcher {
+    /// Prefetcher with the default stride bound.
+    pub fn new() -> Self {
+        StridePrefetcher {
+            last_line: None,
+            last_stride: None,
+            max_stride: 32,
+        }
+    }
+
+    /// Observe a demand access to `line_no`; returns the line to prefetch,
+    /// if the stride pattern has been confirmed.
+    pub fn observe(&mut self, line_no: u64) -> Option<u64> {
+        let prediction = match (self.last_line, self.last_stride) {
+            (Some(prev), _) => {
+                let stride = line_no as i64 - prev as i64;
+                let confirmed = self.last_stride == Some(stride)
+                    && stride != 0
+                    && stride.abs() <= self.max_stride;
+                self.last_stride = Some(stride);
+                if confirmed {
+                    let target = line_no as i64 + stride;
+                    (target >= 0).then_some(target as u64)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        self.last_line = Some(line_no);
+        prediction
+    }
+
+    /// Forget the access history (e.g. between traces).
+    pub fn reset(&mut self) {
+        self.last_line = None;
+        self.last_stride = None;
+    }
+}
+
+/// A table of per-region stride trackers. Hardware prefetchers (including
+/// the Core-microarchitecture unit the paper cites) track streams within
+/// 4 kB pages so that interleaved scans of different regions do not destroy
+/// each other's stride history — essential for patterns like
+/// `s_trav(A) ⊙ s_trav_cr(B)` where two streams alternate.
+#[derive(Debug, Clone)]
+pub struct PagePrefetcher {
+    /// `(page, tracker)` pairs in LRU order (most recent last).
+    trackers: Vec<(u64, StridePrefetcher)>,
+    /// Maximum simultaneously tracked pages.
+    capacity: usize,
+    /// Lines per tracked page (page size / line size).
+    lines_per_page: u64,
+}
+
+impl PagePrefetcher {
+    /// Tracker table with `capacity` stream slots for `line`-byte cache
+    /// lines and 4 kB pages.
+    pub fn new(capacity: usize, line_bytes: u64) -> Self {
+        PagePrefetcher {
+            trackers: Vec::with_capacity(capacity),
+            capacity,
+            lines_per_page: (4096 / line_bytes).max(1),
+        }
+    }
+
+    /// Observe a demand access; returns a line to prefetch if the stream
+    /// within this access's page has a confirmed stride.
+    pub fn observe(&mut self, line_no: u64) -> Option<u64> {
+        let page = line_no / self.lines_per_page;
+        if let Some(pos) = self.trackers.iter().position(|(p, _)| *p == page) {
+            let (_, mut tr) = self.trackers.remove(pos);
+            let pred = tr.observe(line_no);
+            self.trackers.push((page, tr));
+            return pred;
+        }
+        // New stream. Seed its tracker with the neighbour page's direction:
+        // a sequential scan crossing a page boundary keeps its stride.
+        let mut tr = StridePrefetcher::new();
+        let carried = self
+            .trackers
+            .iter()
+            .rev()
+            .find(|(p, _)| *p + 1 == page || page + 1 == *p)
+            .map(|(_, t)| t.clone());
+        if let Some(prev) = carried {
+            tr = prev;
+        }
+        let pred = tr.observe(line_no);
+        if self.trackers.len() == self.capacity {
+            self.trackers.remove(0);
+        }
+        self.trackers.push((page, tr));
+        pred
+    }
+
+    /// Drop all stream history.
+    pub fn reset(&mut self) {
+        self.trackers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_confirmed_on_third_access() {
+        let mut p = StridePrefetcher::new();
+        assert_eq!(p.observe(10), None, "no history");
+        assert_eq!(p.observe(11), None, "stride seen once, not confirmed");
+        assert_eq!(p.observe(12), Some(13), "constant stride confirmed");
+        assert_eq!(p.observe(13), Some(14));
+    }
+
+    #[test]
+    fn larger_strides_followed_up_to_bound() {
+        let mut p = StridePrefetcher::new();
+        p.observe(0);
+        p.observe(4);
+        assert_eq!(p.observe(8), Some(12));
+        let mut p = StridePrefetcher::new();
+        p.observe(0);
+        p.observe(100);
+        assert_eq!(p.observe(200), None, "stride 100 exceeds bound");
+    }
+
+    #[test]
+    fn random_pattern_never_prefetches() {
+        let mut p = StridePrefetcher::new();
+        let mut fired = 0;
+        let mut x = 123456789u64;
+        let mut prev = 0u64;
+        for _ in 0..1000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let line = x % 1_000_000;
+            if prev == line {
+                continue;
+            }
+            prev = line;
+            if p.observe(line).is_some() {
+                fired += 1;
+            }
+        }
+        assert!(fired < 5, "random stream fired {fired} prefetches");
+    }
+
+    #[test]
+    fn backward_stride_works() {
+        let mut p = StridePrefetcher::new();
+        p.observe(100);
+        p.observe(99);
+        assert_eq!(p.observe(98), Some(97));
+    }
+
+    #[test]
+    fn zero_stride_ignored() {
+        let mut p = StridePrefetcher::new();
+        p.observe(5);
+        p.observe(5);
+        assert_eq!(p.observe(5), None);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut p = StridePrefetcher::new();
+        p.observe(1);
+        p.observe(2);
+        p.reset();
+        assert_eq!(p.observe(3), None);
+        assert_eq!(p.observe(4), None);
+        assert_eq!(p.observe(5), Some(6));
+    }
+
+    #[test]
+    fn page_prefetcher_tracks_interleaved_streams() {
+        let mut p = PagePrefetcher::new(16, 64);
+        // Two unit-stride streams, far apart, strictly alternating.
+        // A single-stream tracker would see stride flip-flopping and never
+        // fire; per-page tracking must lock onto both.
+        let mut fired = 0;
+        for i in 0..100u64 {
+            if p.observe(i).is_some() {
+                fired += 1;
+            }
+            if p.observe(1_000_000 + i).is_some() {
+                fired += 1;
+            }
+        }
+        assert!(fired >= 180, "both streams should prefetch, fired={fired}");
+    }
+
+    #[test]
+    fn page_prefetcher_carries_stride_across_page_boundary() {
+        let mut p = PagePrefetcher::new(16, 64);
+        // 64 lines per 4 kB page; scan through the boundary at line 64.
+        let mut missed_at_boundary = false;
+        for i in 60..70u64 {
+            let fired = p.observe(i).is_some();
+            if i >= 62 && !fired {
+                missed_at_boundary = true;
+            }
+        }
+        assert!(!missed_at_boundary, "stride must survive page crossing");
+    }
+
+    #[test]
+    fn page_prefetcher_reset() {
+        let mut p = PagePrefetcher::new(4, 64);
+        p.observe(1);
+        p.observe(2);
+        p.reset();
+        assert_eq!(p.observe(3), None);
+    }
+
+    #[test]
+    fn page_prefetcher_capacity_evicts_lru_stream() {
+        let mut p = PagePrefetcher::new(2, 64);
+        // warm stream in page 0
+        p.observe(0);
+        p.observe(1);
+        assert_eq!(p.observe(2), Some(3));
+        // two other pages evict page 0's tracker (capacity 2)
+        p.observe(10_000);
+        p.observe(20_000);
+        // page 0 stream must re-learn (neighbour carry does not apply:
+        // pages 156/312 are not adjacent to page 0)
+        assert_eq!(p.observe(3), None);
+    }
+}

@@ -1,0 +1,212 @@
+//! Drive the simulator with the memory traces of cost-model atoms.
+//!
+//! This is the measurement side of Fig. 6: the model predicts the misses of
+//! an access pattern; `run_atom` replays the very trace the pattern
+//! describes against the simulated Nehalem and reports what the "counters"
+//! saw. Regions are laid out disjointly so concurrent atoms do not alias.
+
+use crate::hierarchy::{SimConfig, SimHierarchy};
+use pdsm_cost::Atom;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Paper-style LLC counter readout for one trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AtomTraceStats {
+    /// Demand accesses that reached the LLC.
+    pub llc_accesses: u64,
+    /// Demand misses at the LLC (the paper's *random* misses).
+    pub llc_demand_misses: u64,
+    /// LLC hits on prefetched-but-unused lines.
+    pub llc_prefetched_hits: u64,
+    /// Lines the prefetcher brought in.
+    pub prefetch_fills: u64,
+}
+
+impl AtomTraceStats {
+    /// The paper's measured *random* misses: reported demand misses.
+    pub fn paper_random(&self) -> u64 {
+        self.llc_demand_misses
+    }
+
+    /// The paper's measured *sequential* misses: "the number of reported L3
+    /// accesses minus the reported L3 misses" (§IV-C1) — valid because the
+    /// experiment's working set far exceeds the LLC, so every hit is a
+    /// prefetch-produced hit.
+    pub fn paper_sequential(&self) -> u64 {
+        self.llc_accesses - self.llc_demand_misses
+    }
+}
+
+/// Replay `atom`'s trace on a fresh machine of configuration `cfg`.
+/// Returns the LLC counters after the run.
+pub fn run_atom(atom: &Atom, cfg: SimConfig, seed: u64) -> AtomTraceStats {
+    let mut sim = SimHierarchy::new(cfg);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    play_atom(&mut sim, atom, 0, &mut rng);
+    snapshot(&sim)
+}
+
+/// Replay a *selective projection* (the Fig.-6 microbenchmark): a 4-byte
+/// condition column is scanned sequentially while a `w`-byte payload region
+/// is read at selectivity `s`. Returns counters observed **on the payload
+/// region only** (the simulator can do what hardware counters cannot:
+/// attribute misses to a region) together with whole-machine counters.
+pub fn run_selective_projection(
+    n: u64,
+    payload_w: u64,
+    s: f64,
+    cfg: SimConfig,
+    seed: u64,
+) -> (AtomTraceStats, AtomTraceStats) {
+    // Payload region at 0, condition column far above it.
+    let payload_base = 0u64;
+    let cond_base = (n * payload_w).next_multiple_of(1 << 21) + (1 << 21);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Isolate payload counters by running the combined trace twice over the
+    // same addresses: once counting everything, once with payload accesses
+    // replaced by... instead, simpler and exact: run the combined trace and
+    // a condition-only trace; payload counters = difference.
+    let mut combined = SimHierarchy::new(cfg.clone());
+    let mut rng2 = rng.clone();
+    for i in 0..n {
+        combined.access(cond_base + i * 4, 4);
+        if rng2.gen_bool(s) {
+            combined.access(payload_base + i * payload_w, payload_w);
+        }
+    }
+    let combined_stats = snapshot(&combined);
+
+    let mut cond_only = SimHierarchy::new(cfg);
+    for i in 0..n {
+        cond_only.access(cond_base + i * 4, 4);
+        let _ = rng.gen_bool(s); // keep RNG stream identical
+    }
+    let cond_stats = snapshot(&cond_only);
+
+    let payload = AtomTraceStats {
+        llc_accesses: combined_stats.llc_accesses - cond_stats.llc_accesses,
+        llc_demand_misses: combined_stats
+            .llc_demand_misses
+            .saturating_sub(cond_stats.llc_demand_misses),
+        llc_prefetched_hits: combined_stats
+            .llc_prefetched_hits
+            .saturating_sub(cond_stats.llc_prefetched_hits),
+        prefetch_fills: combined_stats
+            .prefetch_fills
+            .saturating_sub(cond_stats.prefetch_fills),
+    };
+    (payload, combined_stats)
+}
+
+fn snapshot(sim: &SimHierarchy) -> AtomTraceStats {
+    let s = sim.llc_stats();
+    AtomTraceStats {
+        llc_accesses: s.accesses,
+        llc_demand_misses: s.demand_misses,
+        llc_prefetched_hits: s.prefetched_hits,
+        prefetch_fills: s.prefetch_fills,
+    }
+}
+
+/// Emit the address stream of one atom starting at byte `base`.
+fn play_atom(sim: &mut SimHierarchy, atom: &Atom, base: u64, rng: &mut SmallRng) {
+    match *atom {
+        Atom::STrav { n, w, u } => {
+            for i in 0..n {
+                sim.access(base + i * w, u.max(1).min(w));
+            }
+        }
+        Atom::RTrav { n, w, u } => {
+            let mut order: Vec<u64> = (0..n).collect();
+            // Fisher-Yates
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for i in order {
+                sim.access(base + i * w, u.max(1).min(w));
+            }
+        }
+        Atom::RRAcc { n, w, r } => {
+            for _ in 0..r {
+                let i = rng.gen_range(0..n.max(1));
+                sim.access(base + i * w, w);
+            }
+        }
+        Atom::STravCr { n, w, u, s } => {
+            for i in 0..n {
+                if rng.gen_bool(s.clamp(0.0, 1.0)) {
+                    sim.access(base + i * w, u.max(1).min(w));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_trav_trace_is_mostly_sequential() {
+        // 32 MB region (4x LLC): model says all misses sequential.
+        let st = run_atom(&Atom::s_trav(4_000_000, 8), SimConfig::nehalem(), 1);
+        assert!(
+            st.paper_sequential() > 20 * st.paper_random(),
+            "seq {} rand {}",
+            st.paper_sequential(),
+            st.paper_random()
+        );
+    }
+
+    #[test]
+    fn r_trav_trace_is_mostly_random() {
+        // 64 MB region (8x LLC) so that residual hits are rare — the regime
+        // in which the paper's counter arithmetic is valid.
+        let st = run_atom(&Atom::r_trav(1_000_000, 64), SimConfig::nehalem(), 2);
+        assert!(
+            st.paper_random() > 4 * st.paper_sequential(),
+            "seq {} rand {}",
+            st.paper_sequential(),
+            st.paper_random()
+        );
+        // The adjacent-line prefetcher scores accidental hits on a fully
+        // covered region at roughly the capacity fraction (8 MB / 64 MB).
+        assert!(
+            st.llc_prefetched_hits < st.llc_demand_misses / 4,
+            "accidental prefetch hits bounded by capacity fraction: {st:?}"
+        );
+    }
+
+    #[test]
+    fn selective_projection_counters_split_by_selectivity() {
+        let n = 400_000u64;
+        // low selectivity: payload misses mostly random (isolated lines)
+        let (low, _) = run_selective_projection(n, 16, 0.01, SimConfig::nehalem(), 3);
+        assert!(low.paper_random() > low.paper_sequential());
+        // high selectivity: dense line usage => prefetcher follows
+        let (high, _) = run_selective_projection(n, 16, 0.9, SimConfig::nehalem(), 3);
+        assert!(high.paper_sequential() > high.paper_random());
+        // total touched lines grow with selectivity
+        assert!(
+            high.paper_sequential() + high.paper_random()
+                > low.paper_sequential() + low.paper_random()
+        );
+    }
+
+    #[test]
+    fn rr_acc_on_tiny_region_hits() {
+        // one-line region accessed repeatedly: after the cold miss, hits.
+        let st = run_atom(&Atom::rr_acc(4, 16, 10_000), SimConfig::nehalem(), 4);
+        assert!(st.llc_demand_misses <= 2, "{st:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_atom(&Atom::s_trav_cr(100_000, 16, 16, 0.2), SimConfig::nehalem(), 9);
+        let b = run_atom(&Atom::s_trav_cr(100_000, 16, 16, 0.2), SimConfig::nehalem(), 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,539 @@
+//! The database catalog: tables, indexes, engines and DML.
+
+use pdsm_exec::engine::{BulkEngine, CompiledEngine, Engine, ExecError, TableProvider, VolcanoEngine};
+use pdsm_exec::QueryOutput;
+use pdsm_index::{HashIndex, Index, RBTree};
+use pdsm_plan::expr::{CmpOp, Expr};
+use pdsm_plan::logical::LogicalPlan;
+use pdsm_storage::{ColId, DataType, Layout, Schema, Table, Value};
+use std::collections::HashMap;
+
+/// Which execution engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Tuple-at-a-time iterators (the paper's CPU-inefficient baseline).
+    Volcano,
+    /// Column-at-a-time primitives with full materialization.
+    Bulk,
+    /// Data-centric fused pipelines (the paper's model).
+    Compiled,
+}
+
+impl EngineKind {
+    /// The engine object.
+    pub fn engine(&self) -> &'static dyn Engine {
+        match self {
+            EngineKind::Volcano => &VolcanoEngine,
+            EngineKind::Bulk => &BulkEngine,
+            EngineKind::Compiled => &CompiledEngine,
+        }
+    }
+
+    /// All engines, for differential testing.
+    pub fn all() -> [EngineKind; 3] {
+        [EngineKind::Volcano, EngineKind::Bulk, EngineKind::Compiled]
+    }
+}
+
+/// Index flavor (Fig. 10 uses hash indexes for primary keys and an RB-tree
+/// on `VBAP(VBELN)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    Hash,
+    RBTree,
+}
+
+/// Database-level error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    DuplicateTable(String),
+    UnknownTable(String),
+    Storage(pdsm_storage::Error),
+    Exec(ExecError),
+    /// Index requested on a non-indexable column (floats).
+    NotIndexable { table: String, column: String },
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::DuplicateTable(t) => write!(f, "table {t:?} already exists"),
+            DbError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            DbError::Storage(e) => write!(f, "storage error: {e}"),
+            DbError::Exec(e) => write!(f, "execution error: {e}"),
+            DbError::NotIndexable { table, column } => {
+                write!(f, "column {table}.{column} cannot be indexed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<pdsm_storage::Error> for DbError {
+    fn from(e: pdsm_storage::Error) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+impl From<ExecError> for DbError {
+    fn from(e: ExecError) -> Self {
+        DbError::Exec(e)
+    }
+}
+
+/// An in-memory database: catalog + secondary indexes.
+#[derive(Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    /// `(table, column) → index`.
+    indexes: HashMap<(String, ColId), Index>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a table in row (N-ary) layout.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<(), DbError> {
+        let layout = Layout::row(schema.len());
+        self.create_table_with_layout(name, schema, layout)
+    }
+
+    /// Adopt an already-built table (e.g. from a workload generator).
+    /// Replaces any existing table of the same name; indexes on the old
+    /// table are dropped.
+    pub fn register(&mut self, table: Table) {
+        let name = table.name().to_string();
+        self.indexes.retain(|(t, _), _| t != &name);
+        self.tables.insert(name, table);
+    }
+
+    /// Create a table with an explicit layout.
+    pub fn create_table_with_layout(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        layout: Layout,
+    ) -> Result<(), DbError> {
+        if self.tables.contains_key(name) {
+            return Err(DbError::DuplicateTable(name.to_string()));
+        }
+        let t = Table::with_layout(name, schema, layout)?;
+        self.tables.insert(name.to_string(), t);
+        Ok(())
+    }
+
+    /// The table called `name`.
+    pub fn get_table(&self, name: &str) -> Result<&Table, DbError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable access (bulk loading).
+    pub fn get_table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Table names in the catalog.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Insert a row, maintaining all indexes on the table.
+    pub fn insert(&mut self, table: &str, values: &[Value]) -> Result<usize, DbError> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        let row = t.insert(values)?;
+        // maintain indexes
+        for ((tname, col), idx) in self.indexes.iter_mut() {
+            if tname == table {
+                let t = &self.tables[table];
+                if let Some(key) = index_key(t, row, *col) {
+                    idx.insert(key, row as u32);
+                }
+            }
+        }
+        Ok(row)
+    }
+
+    /// Rebuild `table` under `layout` (indexes remain valid: row ids are
+    /// stable across relayouts).
+    pub fn relayout(&mut self, table: &str, layout: Layout) -> Result<(), DbError> {
+        let t = self.get_table(table)?;
+        let rebuilt = t.relayout(layout)?;
+        self.tables.insert(table.to_string(), rebuilt);
+        Ok(())
+    }
+
+    /// Create (and backfill) an index on `table.column`.
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        column: &str,
+        kind: IndexKind,
+    ) -> Result<(), DbError> {
+        let t = self.get_table(table)?;
+        let col = t.schema().col_id(column)?;
+        let ty = t.schema().columns()[col].ty;
+        if ty == DataType::Float64 {
+            return Err(DbError::NotIndexable {
+                table: table.to_string(),
+                column: column.to_string(),
+            });
+        }
+        let mut idx = match kind {
+            IndexKind::Hash => Index::Hash(HashIndex::with_capacity(t.len())),
+            IndexKind::RBTree => Index::RBTree(RBTree::new()),
+        };
+        for row in 0..t.len() {
+            if let Some(key) = index_key(t, row, col) {
+                idx.insert(key, row as u32);
+            }
+        }
+        self.indexes.insert((table.to_string(), col), idx);
+        Ok(())
+    }
+
+    /// Drop the index on `table.column` if present.
+    pub fn drop_index(&mut self, table: &str, column: &str) -> Result<(), DbError> {
+        let t = self.get_table(table)?;
+        let col = t.schema().col_id(column)?;
+        self.indexes.remove(&(table.to_string(), col));
+        Ok(())
+    }
+
+    /// The index on `(table, col)`, if any.
+    pub fn index(&self, table: &str, col: ColId) -> Option<&Index> {
+        self.indexes.get(&(table.to_string(), col))
+    }
+
+    /// Execute `plan` with the chosen engine, without index acceleration.
+    pub fn run(&self, plan: &LogicalPlan, engine: EngineKind) -> Result<QueryOutput, DbError> {
+        Ok(engine.engine().execute(plan, self)?)
+    }
+
+    /// Execute `plan`, using an index for the outermost selection when one
+    /// matches (the Fig.-10 "indexed" execution path); falls back to the
+    /// engine otherwise.
+    pub fn run_indexed(
+        &self,
+        plan: &LogicalPlan,
+        engine: EngineKind,
+    ) -> Result<QueryOutput, DbError> {
+        if let Some(out) = self.try_index_path(plan)? {
+            return Ok(out);
+        }
+        self.run(plan, engine)
+    }
+
+    /// Recognize `[Project] (Select (Scan))` plans whose predicate contains
+    /// an indexed equality or range conjunct; evaluate via the index plus
+    /// residual filtering and tuple reconstruction.
+    fn try_index_path(&self, plan: &LogicalPlan) -> Result<Option<QueryOutput>, DbError> {
+        // Peel an optional projection.
+        let (project, inner) = match plan {
+            LogicalPlan::Project { input, exprs } => (Some(exprs), input.as_ref()),
+            other => (None, other),
+        };
+        let LogicalPlan::Select { input, pred, .. } = inner else {
+            return Ok(None);
+        };
+        let LogicalPlan::Scan { table } = input.as_ref() else {
+            return Ok(None);
+        };
+        let t = self.get_table(table)?;
+        // find an indexed conjunct
+        let mut rows: Option<Vec<u32>> = None;
+        for conj in conjuncts(pred) {
+            if let Some((col, op, lit)) = simple_cmp(conj) {
+                if let Some(idx) = self.index(table, col) {
+                    match op {
+                        CmpOp::Eq => {
+                            if let Some(key) = key_of_value(t, col, lit) {
+                                rows = Some(idx.lookup(key));
+                            } else {
+                                rows = Some(Vec::new()); // value not in dict
+                            }
+                            break;
+                        }
+                        CmpOp::Le | CmpOp::Lt | CmpOp::Ge | CmpOp::Gt
+                            if t.schema().columns()[col].ty != DataType::Str =>
+                        {
+                            if let Some(k) = lit.as_i64() {
+                                let (lo, hi) = match op {
+                                    CmpOp::Le => (i64::MIN + 1, k),
+                                    CmpOp::Lt => (i64::MIN + 1, k - 1),
+                                    CmpOp::Ge => (k, i64::MAX),
+                                    CmpOp::Gt => (k + 1, i64::MAX),
+                                    _ => unreachable!(),
+                                };
+                                if let Some(r) = idx.lookup_range(lo, hi) {
+                                    rows = Some(r);
+                                    break;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let Some(mut rows) = rows else {
+            return Ok(None);
+        };
+        rows.sort_unstable();
+        // residual filter + projection via tuple reconstruction
+        let mut out = QueryOutput::new();
+        for r in rows {
+            let row = t.row(r as usize)?;
+            if !pred.eval_bool(row.values()) {
+                continue;
+            }
+            let projected = match project {
+                Some(exprs) => exprs.iter().map(|e| e.eval(row.values())).collect(),
+                None => row.0,
+            };
+            out.rows.push(projected);
+        }
+        Ok(Some(out))
+    }
+
+    /// Total bytes across all tables.
+    pub fn byte_size(&self) -> usize {
+        self.tables.values().map(|t| t.byte_size()).sum()
+    }
+}
+
+impl TableProvider for Database {
+    fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+}
+
+/// Index key of `table[row][col]`: integers by value, strings by dictionary
+/// code. NULLs are not indexed.
+fn index_key(t: &Table, row: usize, col: ColId) -> Option<i64> {
+    match t.get(row, col).ok()? {
+        Value::Int32(v) => Some(v as i64),
+        Value::Int64(v) => Some(v),
+        Value::Str(s) => t.dict(col).and_then(|d| d.code_of(&s)).map(|c| c as i64),
+        _ => None,
+    }
+}
+
+/// Index key of a literal compared against `col`.
+fn key_of_value(t: &Table, col: ColId, v: &Value) -> Option<i64> {
+    match v {
+        Value::Int32(x) => Some(*x as i64),
+        Value::Int64(x) => Some(*x),
+        Value::Str(s) => t.dict(col).and_then(|d| d.code_of(s)).map(|c| c as i64),
+        _ => None,
+    }
+}
+
+fn conjuncts(pred: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::And(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            other => out.push(other),
+        }
+    }
+    walk(pred, &mut out);
+    out
+}
+
+fn simple_cmp(e: &Expr) -> Option<(ColId, CmpOp, &Value)> {
+    if let Expr::Cmp { op, left, right } = e {
+        match (left.as_ref(), right.as_ref()) {
+            (Expr::Col(c), Expr::Lit(v)) => return Some((*c, *op, v)),
+            (Expr::Lit(v), Expr::Col(c)) => {
+                let flip = match op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    o => *o,
+                };
+                return Some((*c, flip, v));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsm_plan::builder::QueryBuilder;
+    use pdsm_storage::ColumnDef;
+
+    fn demo_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "orders",
+            Schema::new(vec![
+                ColumnDef::new("id", DataType::Int32),
+                ColumnDef::new("cust", DataType::Str),
+                ColumnDef::new("qty", DataType::Int64),
+            ]),
+        )
+        .unwrap();
+        for i in 0..500 {
+            db.insert(
+                "orders",
+                &[
+                    Value::Int32(i),
+                    Value::Str(format!("cust-{}", i % 20)),
+                    Value::Int64((i as i64) * 2),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn create_insert_query_roundtrip() {
+        let db = demo_db();
+        let plan = QueryBuilder::scan("orders")
+            .filter(Expr::col(1).eq(Expr::lit("cust-3")))
+            .project(vec![Expr::col(0)])
+            .build();
+        for kind in EngineKind::all() {
+            let out = db.run(&plan, kind).unwrap();
+            assert_eq!(out.len(), 25, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_unknown_tables() {
+        let mut db = demo_db();
+        assert!(matches!(
+            db.create_table("orders", Schema::new(vec![ColumnDef::new("x", DataType::Int32)])),
+            Err(DbError::DuplicateTable(_))
+        ));
+        assert!(matches!(db.get_table("nope"), Err(DbError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn index_path_matches_scan_path() {
+        let mut db = demo_db();
+        db.create_index("orders", "id", IndexKind::Hash).unwrap();
+        let plan = QueryBuilder::scan("orders")
+            .filter(Expr::col(0).eq(Expr::lit(123)))
+            .build();
+        let indexed = db.run_indexed(&plan, EngineKind::Compiled).unwrap();
+        let scanned = db.run(&plan, EngineKind::Compiled).unwrap();
+        indexed.assert_same(&scanned, "indexed vs scan");
+        assert_eq!(indexed.len(), 1);
+    }
+
+    #[test]
+    fn rbtree_index_serves_ranges() {
+        let mut db = demo_db();
+        db.create_index("orders", "id", IndexKind::RBTree).unwrap();
+        let plan = QueryBuilder::scan("orders")
+            .filter(Expr::col(0).lt(Expr::lit(10)))
+            .project(vec![Expr::col(0)])
+            .build();
+        let indexed = db.run_indexed(&plan, EngineKind::Compiled).unwrap();
+        assert_eq!(indexed.len(), 10);
+        let scanned = db.run(&plan, EngineKind::Compiled).unwrap();
+        indexed.assert_same(&scanned, "range index vs scan");
+    }
+
+    #[test]
+    fn string_index_via_dictionary_codes() {
+        let mut db = demo_db();
+        db.create_index("orders", "cust", IndexKind::Hash).unwrap();
+        let plan = QueryBuilder::scan("orders")
+            .filter(Expr::col(1).eq(Expr::lit("cust-7")))
+            .project(vec![Expr::col(0), Expr::col(1)])
+            .build();
+        let indexed = db.run_indexed(&plan, EngineKind::Volcano).unwrap();
+        assert_eq!(indexed.len(), 25);
+        let scanned = db.run(&plan, EngineKind::Volcano).unwrap();
+        indexed.assert_same(&scanned, "string index");
+        // absent key → empty, not fallback
+        let missing = QueryBuilder::scan("orders")
+            .filter(Expr::col(1).eq(Expr::lit("cust-999")))
+            .build();
+        assert!(db.run_indexed(&missing, EngineKind::Volcano).unwrap().is_empty());
+    }
+
+    #[test]
+    fn index_maintained_by_inserts() {
+        let mut db = demo_db();
+        db.create_index("orders", "id", IndexKind::Hash).unwrap();
+        db.insert(
+            "orders",
+            &[Value::Int32(9999), Value::from("cust-new"), Value::Int64(1)],
+        )
+        .unwrap();
+        let plan = QueryBuilder::scan("orders")
+            .filter(Expr::col(0).eq(Expr::lit(9999)))
+            .build();
+        assert_eq!(db.run_indexed(&plan, EngineKind::Compiled).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn relayout_preserves_queries_and_indexes() {
+        let mut db = demo_db();
+        db.create_index("orders", "id", IndexKind::Hash).unwrap();
+        let plan = QueryBuilder::scan("orders")
+            .filter(Expr::col(0).eq(Expr::lit(42)))
+            .build();
+        let before = db.run_indexed(&plan, EngineKind::Compiled).unwrap();
+        db.relayout("orders", Layout::column(3)).unwrap();
+        let after = db.run_indexed(&plan, EngineKind::Compiled).unwrap();
+        before.assert_same(&after, "relayout");
+        assert_eq!(db.get_table("orders").unwrap().layout().n_groups(), 3);
+    }
+
+    #[test]
+    fn float_columns_not_indexable() {
+        let mut db = Database::new();
+        db.create_table(
+            "f",
+            Schema::new(vec![ColumnDef::new("x", DataType::Float64)]),
+        )
+        .unwrap();
+        assert!(matches!(
+            db.create_index("f", "x", IndexKind::Hash),
+            Err(DbError::NotIndexable { .. })
+        ));
+    }
+
+    #[test]
+    fn residual_predicates_still_apply() {
+        let mut db = demo_db();
+        db.create_index("orders", "cust", IndexKind::Hash).unwrap();
+        // indexed conjunct + residual on qty
+        let plan = QueryBuilder::scan("orders")
+            .filter(
+                Expr::col(1)
+                    .eq(Expr::lit("cust-3"))
+                    .and(Expr::col(2).gt(Expr::lit(400))),
+            )
+            .project(vec![Expr::col(0)])
+            .build();
+        let indexed = db.run_indexed(&plan, EngineKind::Compiled).unwrap();
+        let scanned = db.run(&plan, EngineKind::Compiled).unwrap();
+        indexed.assert_same(&scanned, "residual");
+    }
+}

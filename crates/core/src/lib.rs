@@ -1,0 +1,41 @@
+//! # pdsm-core
+//!
+//! The integrated memory-resident DBMS this reproduction delivers: a
+//! [`Database`] catalog of vertically partitioned tables, secondary index
+//! maintenance, engine selection (Volcano / bulk / compiled), an
+//! index-aware execution path for identity selects (§VI-B, Fig. 10), and
+//! the [`advisor`] that drives the cost-model-based layout optimizer (§V).
+//!
+//! ```
+//! use pdsm_core::{Database, EngineKind};
+//! use pdsm_plan::builder::QueryBuilder;
+//! use pdsm_plan::expr::Expr;
+//! use pdsm_plan::logical::{AggExpr, AggFunc};
+//! use pdsm_storage::{ColumnDef, DataType, Schema, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_table(
+//!     "r",
+//!     Schema::new(vec![
+//!         ColumnDef::new("a", DataType::Int32),
+//!         ColumnDef::new("b", DataType::Int32),
+//!     ]),
+//! )
+//! .unwrap();
+//! for i in 0..1000 {
+//!     db.insert("r", &[Value::Int32(i % 50), Value::Int32(i)]).unwrap();
+//! }
+//! let plan = QueryBuilder::scan("r")
+//!     .filter(Expr::col(0).eq(Expr::lit(7)))
+//!     .aggregate(vec![], vec![AggExpr::new(AggFunc::Count, Expr::col(1))])
+//!     .build();
+//! let out = db.run(&plan, EngineKind::Compiled).unwrap();
+//! assert_eq!(out.rows[0][0], Value::Int64(20));
+//! ```
+
+pub mod advisor;
+pub mod database;
+
+pub use advisor::{AdvisorReport, LayoutAdvisor};
+pub use database::{Database, DbError, EngineKind, IndexKind};
+pub use pdsm_exec::QueryOutput;

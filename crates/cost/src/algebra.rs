@@ -1,0 +1,178 @@
+//! The access-pattern algebra: atoms combined by sequential execution `⊕`
+//! and concurrent execution `⊙` (Table I(a)).
+//!
+//! Patterns form a tree. Misses are additive in both combinators; the
+//! difference is cache-capacity pressure: children of a `⊙` node compete for
+//! capacity, so each sees only a share of it when estimating re-access hits
+//! (this matters for `rr_acc`, e.g. hash-table probes running concurrently
+//! with a scan).
+
+use crate::atoms::Atom;
+
+/// A (possibly nested) access pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// A single atomic pattern.
+    Atom(Atom),
+    /// `P1 ⊕ P2 ⊕ …` — executed one after another.
+    Seq(Vec<Pattern>),
+    /// `P1 ⊙ P2 ⊙ …` — executed concurrently (interleaved in one loop).
+    Conc(Vec<Pattern>),
+}
+
+impl Pattern {
+    /// Wrap an atom.
+    pub fn atom(a: Atom) -> Pattern {
+        Pattern::Atom(a)
+    }
+
+    /// Sequential combination; flattens nested `Seq`s and drops empties.
+    pub fn seq(parts: Vec<Pattern>) -> Pattern {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Pattern::Seq(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            flat.pop().unwrap()
+        } else {
+            Pattern::Seq(flat)
+        }
+    }
+
+    /// Concurrent combination; flattens nested `Conc`s and drops empties.
+    pub fn conc(parts: Vec<Pattern>) -> Pattern {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Pattern::Conc(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            flat.pop().unwrap()
+        } else {
+            Pattern::Conc(flat)
+        }
+    }
+
+    /// The empty pattern (zero cost).
+    pub fn empty() -> Pattern {
+        Pattern::Seq(Vec::new())
+    }
+
+    /// True iff the pattern contains no atoms.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Pattern::Atom(_) => false,
+            Pattern::Seq(ps) | Pattern::Conc(ps) => ps.iter().all(|p| p.is_empty()),
+        }
+    }
+
+    /// All atoms in left-to-right order.
+    pub fn atoms(&self) -> Vec<&Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a Atom>) {
+        match self {
+            Pattern::Atom(a) => out.push(a),
+            Pattern::Seq(ps) | Pattern::Conc(ps) => {
+                for p in ps {
+                    p.collect_atoms(out);
+                }
+            }
+        }
+    }
+
+    /// Sum of all atoms' region footprints in bytes.
+    pub fn footprint(&self) -> u64 {
+        self.atoms().iter().map(|a| a.region_bytes()).sum()
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    /// Paper notation, e.g. `s_trav(100,4) (.) rr_acc(1,16,50)` with `(.)`
+    /// for ⊙ and `(+)` for ⊕ when unicode is unavailable — we emit the
+    /// unicode glyphs directly.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn write_list(
+            f: &mut std::fmt::Formatter<'_>,
+            ps: &[Pattern],
+            sep: &str,
+        ) -> std::fmt::Result {
+            if ps.is_empty() {
+                return write!(f, "ε");
+            }
+            for (i, p) in ps.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " {sep} ")?;
+                }
+                match p {
+                    Pattern::Atom(a) => write!(f, "{a}")?,
+                    nested => write!(f, "({nested})")?,
+                }
+            }
+            Ok(())
+        }
+        match self {
+            Pattern::Atom(a) => write!(f, "{a}"),
+            Pattern::Seq(ps) => write_list(f, ps, "⊕"),
+            Pattern::Conc(ps) => write_list(f, ps, "⊙"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattening() {
+        let p = Pattern::seq(vec![
+            Pattern::atom(Atom::s_trav(1, 4)),
+            Pattern::seq(vec![
+                Pattern::atom(Atom::s_trav(2, 4)),
+                Pattern::atom(Atom::s_trav(3, 4)),
+            ]),
+        ]);
+        match &p {
+            Pattern::Seq(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected flattened Seq, got {other:?}"),
+        }
+        // single-element combinations collapse
+        let single = Pattern::conc(vec![Pattern::atom(Atom::s_trav(1, 4))]);
+        assert!(matches!(single, Pattern::Atom(_)));
+    }
+
+    #[test]
+    fn atoms_and_footprint() {
+        let p = Pattern::conc(vec![
+            Pattern::atom(Atom::s_trav(100, 4)),
+            Pattern::atom(Atom::rr_acc(10, 8, 50)),
+        ]);
+        assert_eq!(p.atoms().len(), 2);
+        assert_eq!(p.footprint(), 400 + 80);
+        assert!(!p.is_empty());
+        assert!(Pattern::empty().is_empty());
+    }
+
+    #[test]
+    fn display_paper_notation() {
+        let p = Pattern::conc(vec![
+            Pattern::atom(Atom::s_trav(26_214_400, 4)),
+            Pattern::atom(Atom::rr_acc(1, 16, 262_144)),
+        ]);
+        assert_eq!(
+            p.to_string(),
+            "s_trav(26214400,4) ⊙ rr_acc(1,16,262144)"
+        );
+        let nested = Pattern::seq(vec![p.clone(), Pattern::atom(Atom::r_trav(5, 8))]);
+        assert!(nested.to_string().contains("⊕"));
+        assert!(nested.to_string().starts_with("("));
+    }
+}

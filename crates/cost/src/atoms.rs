@@ -1,0 +1,126 @@
+//! Atomic memory access patterns (Table I(a) of the paper, plus the new
+//! `s_trav_cr` of §IV-C1).
+//!
+//! Parameters follow the paper's notation:
+//! * `n` — `R.n`, the number of tuples / values / tuple fragments,
+//! * `w` — `R.w`, the width in bytes of one data item (the partition stride),
+//! * `u` — bytes of each item actually touched (`u ≤ w`),
+//! * `r` — repetition count for repetitive random accesses,
+//! * `s` — selectivity of the conditional read.
+
+/// An atomic access pattern — one "instruction" of the programmable cost
+/// model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// `s_trav(R.n, R.w)` — sequential traversal with unconditional access to
+    /// every item; `u` bytes of each `w`-byte item are read.
+    STrav { n: u64, w: u64, u: u64 },
+    /// `r_trav(R.n, R.w)` — every item accessed exactly once, random order.
+    RTrav { n: u64, w: u64, u: u64 },
+    /// `rr_acc(R.n, R.w, r)` — `r` accesses, each to one of `n` items chosen
+    /// uniformly at random (hash-table probes, output-buffer updates).
+    RRAcc { n: u64, w: u64, r: u64 },
+    /// `s_trav_cr(R.n, R.w, s)` — the paper's new atom: the region is
+    /// traversed front-to-back; at every step the iterator advances `w`
+    /// bytes and reads `u` bytes with probability `s` (Fig. 5).
+    STravCr { n: u64, w: u64, u: u64, s: f64 },
+}
+
+impl Atom {
+    /// Sequential traversal reading items fully.
+    pub fn s_trav(n: u64, w: u64) -> Atom {
+        Atom::STrav { n, w, u: w }
+    }
+
+    /// Sequential traversal reading only `u` of every `w` bytes.
+    pub fn s_trav_partial(n: u64, w: u64, u: u64) -> Atom {
+        debug_assert!(u <= w);
+        Atom::STrav { n, w, u }
+    }
+
+    /// Random-order full traversal.
+    pub fn r_trav(n: u64, w: u64) -> Atom {
+        Atom::RTrav { n, w, u: w }
+    }
+
+    /// Repetitive random access.
+    pub fn rr_acc(n: u64, w: u64, r: u64) -> Atom {
+        Atom::RRAcc { n, w, r }
+    }
+
+    /// Sequential traversal with conditional reads at selectivity `s`.
+    pub fn s_trav_cr(n: u64, w: u64, u: u64, s: f64) -> Atom {
+        debug_assert!((0.0..=1.0).contains(&s), "selectivity {s} out of range");
+        debug_assert!(u <= w);
+        Atom::STravCr { n, w, u, s }
+    }
+
+    /// Total size in bytes of the region the pattern touches (`R.n × R.w`) —
+    /// its cache footprint.
+    pub fn region_bytes(&self) -> u64 {
+        match *self {
+            Atom::STrav { n, w, .. }
+            | Atom::RTrav { n, w, .. }
+            | Atom::RRAcc { n, w, .. }
+            | Atom::STravCr { n, w, .. } => n * w,
+        }
+    }
+
+    /// Expected number of data words (8-byte units) moved through the
+    /// registers — the model's `M_0`.
+    pub fn register_words(&self) -> f64 {
+        let words = |bytes: u64| (bytes.max(1)).div_ceil(8) as f64;
+        match *self {
+            Atom::STrav { n, u, .. } | Atom::RTrav { n, u, .. } => n as f64 * words(u),
+            Atom::RRAcc { w, r, .. } => r as f64 * words(w),
+            // one condition word per step plus the conditional payload
+            Atom::STravCr { n, u, s, .. } => n as f64 + s * n as f64 * words(u),
+        }
+    }
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Atom::STrav { n, w, u } if u == w => write!(f, "s_trav({n},{w})"),
+            Atom::STrav { n, w, u } => write!(f, "s_trav({n},{w},u={u})"),
+            Atom::RTrav { n, w, .. } => write!(f, "r_trav({n},{w})"),
+            Atom::RRAcc { n, w, r } => write!(f, "rr_acc({n},{w},{r})"),
+            Atom::STravCr { n, w, u, s } if u == w => write!(f, "s_trav_cr({n},{w},s={s})"),
+            Atom::STravCr { n, w, u, s } => write!(f, "s_trav_cr({n},{w},u={u},s={s})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        assert_eq!(Atom::s_trav(100, 4).to_string(), "s_trav(100,4)");
+        assert_eq!(Atom::rr_acc(1, 16, 99).to_string(), "rr_acc(1,16,99)");
+        assert_eq!(
+            Atom::s_trav_cr(10, 16, 16, 0.5).to_string(),
+            "s_trav_cr(10,16,s=0.5)"
+        );
+        assert_eq!(
+            Atom::s_trav_partial(10, 16, 4).to_string(),
+            "s_trav(10,16,u=4)"
+        );
+    }
+
+    #[test]
+    fn region_and_register_accounting() {
+        assert_eq!(Atom::s_trav(1000, 4).region_bytes(), 4000);
+        // 4-byte items still move one word each
+        assert_eq!(Atom::s_trav(1000, 4).register_words(), 1000.0);
+        // 16-byte items are two words
+        assert_eq!(Atom::s_trav(1000, 16).register_words(), 2000.0);
+        // rr_acc counts r accesses, not n
+        assert_eq!(Atom::rr_acc(10, 8, 500).register_words(), 500.0);
+        // s_trav_cr: n condition words + s*n payloads
+        let a = Atom::s_trav_cr(1000, 16, 16, 0.25);
+        assert_eq!(a.register_words(), 1000.0 + 0.25 * 1000.0 * 2.0);
+    }
+}

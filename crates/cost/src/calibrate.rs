@@ -1,0 +1,224 @@
+//! The "configuring experiment" (Fig. 8): measure cycles per access as a
+//! function of the accessed region size, exposing each memory level's
+//! latency as a staircase, then fit the model's latency parameters from it.
+//!
+//! The probe is a dependent pointer chase over a random cyclic permutation
+//! (Sattolo's algorithm), which defeats both prefetching and out-of-order
+//! overlap, so each step pays the full latency of whichever level the region
+//! currently fits in — exactly the methodology of the paper's calibrator.
+
+use crate::hierarchy::Hierarchy;
+
+/// One measured point of the staircase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StairPoint {
+    /// Size in bytes of the accessed memory region.
+    pub region_bytes: usize,
+    /// Observed cost of one dependent access, in CPU cycles.
+    pub cycles_per_access: f64,
+}
+
+/// Read the CPU's timestamp counter, or a nanosecond clock scaled by
+/// `NOMINAL_GHZ` on non-x86 targets (documented substitution: the *shape*
+/// of the staircase is what the calibration consumes).
+#[inline]
+pub fn read_cycles() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        std::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        const NOMINAL_GHZ: f64 = 2.67; // the paper's Xeon X5650
+        let ns = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_nanos() as f64;
+        (ns * NOMINAL_GHZ) as u64
+    }
+}
+
+/// Tiny deterministic xorshift generator — keeps this crate dependency-free.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Build a random single-cycle permutation (`next[i]` visits every slot
+/// exactly once before returning to the start) over `n` slots.
+fn sattolo_cycle(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = XorShift(seed | 1);
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Sattolo: swap each position with a strictly earlier one => one cycle.
+    for i in (1..n).rev() {
+        let j = rng.below(i);
+        perm.swap(i, j);
+    }
+    let mut next = vec![0usize; n];
+    for i in 0..n {
+        next[perm[i]] = perm[(i + 1) % n];
+    }
+    next
+}
+
+/// Measure one staircase point: chase `accesses` dependent loads through a
+/// region of `region_bytes` bytes.
+pub fn measure_point(region_bytes: usize, accesses: usize, seed: u64) -> StairPoint {
+    let slots = (region_bytes / 8).max(2);
+    let chain = sattolo_cycle(slots, seed);
+    // Warm-up pass: touch everything once so we measure steady state.
+    let mut idx = 0usize;
+    for _ in 0..slots {
+        idx = chain[idx];
+    }
+    let start = read_cycles();
+    let mut idx = idx;
+    for _ in 0..accesses {
+        idx = chain[idx];
+    }
+    let end = read_cycles();
+    // Keep `idx` observable so the chase cannot be optimized away.
+    std::hint::black_box(idx);
+    StairPoint {
+        region_bytes,
+        cycles_per_access: (end.wrapping_sub(start)) as f64 / accesses as f64,
+    }
+}
+
+/// Run the full configuring experiment over logarithmically spaced region
+/// sizes from `min_bytes` to `max_bytes` (inclusive, powers of two).
+pub fn staircase(min_bytes: usize, max_bytes: usize, accesses: usize) -> Vec<StairPoint> {
+    let mut out = Vec::new();
+    let mut size = min_bytes.next_power_of_two();
+    while size <= max_bytes {
+        out.push(measure_point(size, accesses, 0x5EED + size as u64));
+        // half-steps give the staircase enough resolution to fit knees
+        let half = size + size / 2;
+        if half <= max_bytes {
+            out.push(measure_point(half, accesses, 0x5EED + half as u64));
+        }
+        size *= 2;
+    }
+    out
+}
+
+/// Fit per-level access latencies from a measured staircase: for every
+/// non-TLB level, average the plateau of points that fit comfortably inside
+/// that level but not inside the previous one. Returns one latency per
+/// hierarchy level (register level keeps its configured value; levels
+/// without supporting points inherit the previous plateau).
+pub fn fit_latencies(points: &[StairPoint], hw: &Hierarchy) -> Vec<f64> {
+    let mut fitted: Vec<f64> = hw.levels().iter().map(|l| l.latency).collect();
+    let mut prev_cap = 0u64;
+    let mut prev_plateau: Option<f64> = None;
+    for (i, level) in hw.levels().iter().enumerate() {
+        if i == 0 || level.is_tlb {
+            continue;
+        }
+        let cap = level.capacity;
+        let plateau: Vec<f64> = points
+            .iter()
+            .filter(|p| {
+                let s = p.region_bytes as u64;
+                // comfortably inside this level, clear of the previous one
+                s > prev_cap.saturating_mul(2) && s.saturating_mul(2) <= cap
+            })
+            .map(|p| p.cycles_per_access)
+            .collect();
+        if !plateau.is_empty() {
+            let mean = plateau.iter().sum::<f64>() / plateau.len() as f64;
+            // incremental latency: cost beyond the faster levels' plateau
+            let inc = match prev_plateau {
+                Some(prev) => (mean - prev).max(0.5),
+                None => mean,
+            };
+            fitted[i] = inc;
+            prev_plateau = Some(mean);
+        }
+        prev_cap = cap;
+    }
+    fitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sattolo_is_a_single_cycle() {
+        for n in [2usize, 3, 10, 257, 1024] {
+            let next = sattolo_cycle(n, 42);
+            let mut seen = vec![false; n];
+            let mut idx = 0usize;
+            for _ in 0..n {
+                assert!(!seen[idx], "revisited {idx} early (n={n})");
+                seen[idx] = true;
+                idx = next[idx];
+            }
+            assert_eq!(idx, 0, "must close the cycle (n={n})");
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn measurement_produces_positive_cycles() {
+        let p = measure_point(1 << 12, 10_000, 7);
+        assert!(p.cycles_per_access > 0.0);
+        assert_eq!(p.region_bytes, 1 << 12);
+    }
+
+    #[test]
+    fn staircase_grows_with_region_size() {
+        // L1-resident chase must be cheaper than a region several times the
+        // typical L2. Generous margins keep this robust on shared CI boxes.
+        let small = measure_point(1 << 12, 200_000, 1).cycles_per_access;
+        let large = measure_point(1 << 24, 200_000, 2).cycles_per_access;
+        assert!(
+            large > small,
+            "16 MB chase ({large:.1} cyc) should cost more than 4 kB ({small:.1} cyc)"
+        );
+    }
+
+    #[test]
+    fn fit_latencies_recovers_synthetic_staircase() {
+        let hw = Hierarchy::nehalem();
+        // Synthesize an idealized staircase: plateaus at cumulative costs.
+        let mut pts = Vec::new();
+        for (size, cyc) in [
+            (4 << 10, 2.0),    // inside L1
+            (8 << 10, 2.0),
+            (96 << 10, 5.0),   // inside L2
+            (128 << 10, 5.0),
+            (2 << 20, 13.0),   // inside L3
+            (4 << 20, 13.0),
+            (64 << 20, 25.0),  // memory
+            (128 << 20, 25.0),
+        ] {
+            pts.push(StairPoint {
+                region_bytes: size,
+                cycles_per_access: cyc,
+            });
+        }
+        let fitted = fit_latencies(&pts, &hw);
+        // L1 plateau absolute, then increments.
+        assert!((fitted[1] - 2.0).abs() < 1e-9, "L1 {fitted:?}");
+        assert!((fitted[2] - 3.0).abs() < 1e-9, "L2 {fitted:?}");
+        assert!((fitted[4] - 8.0).abs() < 1e-9, "L3 {fitted:?}");
+        assert!((fitted[5] - 12.0).abs() < 1e-9, "Mem {fitted:?}");
+        // TLB keeps configured latency.
+        assert_eq!(fitted[3], hw.levels()[3].latency);
+    }
+}

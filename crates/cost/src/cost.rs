@@ -1,0 +1,232 @@
+//! The prefetching-aware cost function (Eq. 5–6) and its constant-weight
+//! ablation (the original Generic Cost Model's formulation).
+
+use crate::algebra::Pattern;
+use crate::hierarchy::Hierarchy;
+use crate::misses::{atom_misses, LevelMisses};
+
+/// Miss counts and cycle cost attributed to one memory level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostBreakdown {
+    /// Level name ("Reg", "L1", …).
+    pub level: &'static str,
+    /// Misses induced at this level (`M_0` register words for level 0).
+    pub misses: LevelMisses,
+    /// Cycles charged to this level after prefetch hiding.
+    pub cycles: f64,
+}
+
+/// The result of pricing a pattern against a hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Per-level breakdown, fastest level first.
+    pub levels: Vec<CostBreakdown>,
+    /// Cycles hidden at the LLC by prefetching (Eq. 5's subtraction).
+    pub hidden_cycles: f64,
+    /// Total estimated cycles (`T_Mem`, Eq. 6).
+    pub total_cycles: f64,
+}
+
+impl Estimate {
+    /// Misses at the LLC (sequential + random) — what Fig. 6 plots.
+    pub fn llc_misses(&self, hw: &Hierarchy) -> LevelMisses {
+        self.levels[hw.llc_index()].misses
+    }
+}
+
+/// Accumulate per-level misses over the pattern tree. Children of a `⊙`
+/// node split the available cache capacity evenly (the Generic Cost Model's
+/// treatment of concurrent patterns competing for cache).
+fn collect(pattern: &Pattern, hw: &Hierarchy, share: f64, acc: &mut [LevelMisses]) {
+    match pattern {
+        Pattern::Atom(a) => {
+            acc[0].sequential += a.register_words();
+            // Innermost level 0 is the register file (handled above); the
+            // outermost level is the data's home and never misses.
+            for (i, level) in hw.levels().iter().enumerate() {
+                if i == 0 || i == hw.levels().len() - 1 {
+                    continue;
+                }
+                acc[i].add(atom_misses(a, level, share));
+            }
+        }
+        Pattern::Seq(ps) => {
+            for p in ps {
+                collect(p, hw, share, acc);
+            }
+        }
+        Pattern::Conc(ps) => {
+            let k = ps.iter().filter(|p| !p.is_empty()).count().max(1);
+            for p in ps {
+                collect(p, hw, share / k as f64, acc);
+            }
+        }
+    }
+}
+
+/// Price `pattern` with the paper's prefetch-aware cost function.
+///
+/// Eq. 5: sequential LLC misses are free up to the work performed at faster
+/// levels (`T^s = max(0, M^s·l_mem − Σ_faster M_i·l_{i+1})`); Eq. 6 sums the
+/// weighted misses of all other levels plus the demand (random) LLC misses.
+pub fn estimate(pattern: &Pattern, hw: &Hierarchy) -> Estimate {
+    build_estimate(pattern, hw, true)
+}
+
+/// Ablation: the original model's constant-weight summation (no prefetch
+/// hiding — every sequential LLC miss pays the full memory latency).
+pub fn estimate_flat(pattern: &Pattern, hw: &Hierarchy) -> Estimate {
+    build_estimate(pattern, hw, false)
+}
+
+fn build_estimate(pattern: &Pattern, hw: &Hierarchy, prefetch_aware: bool) -> Estimate {
+    let n = hw.levels().len();
+    let mut acc = vec![LevelMisses::default(); n];
+    collect(pattern, hw, 1.0, &mut acc);
+
+    let llc = hw.llc_index();
+    // Work done at levels faster than the LLC (registers included, TLBs
+    // excluded) — the budget that hides prefetched LLC misses.
+    let faster_sum: f64 = (0..llc)
+        .filter(|&i| !hw.levels()[i].is_tlb)
+        .map(|i| acc[i].total() * hw.miss_latency(i))
+        .sum();
+
+    let mut levels = Vec::with_capacity(n);
+    let mut total = 0.0;
+    let mut hidden = 0.0;
+    for i in 0..n {
+        let lat = hw.miss_latency(i);
+        let cycles = if i == llc {
+            let seq_raw = acc[i].sequential * lat;
+            let seq = if prefetch_aware {
+                let t = (seq_raw - faster_sum).max(0.0);
+                hidden = seq_raw - t;
+                t
+            } else {
+                seq_raw
+            };
+            seq + acc[i].random * lat
+        } else {
+            acc[i].total() * lat
+        };
+        total += cycles;
+        levels.push(CostBreakdown {
+            level: hw.levels()[i].name,
+            misses: acc[i],
+            cycles,
+        });
+    }
+    Estimate {
+        levels,
+        hidden_cycles: hidden,
+        total_cycles: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::Atom;
+
+    fn hw() -> Hierarchy {
+        Hierarchy::nehalem()
+    }
+
+    #[test]
+    fn empty_pattern_is_free() {
+        let e = estimate(&Pattern::empty(), &hw());
+        assert_eq!(e.total_cycles, 0.0);
+    }
+
+    #[test]
+    fn sequential_scan_is_partly_hidden() {
+        let p = Pattern::atom(Atom::s_trav(10_000_000, 4));
+        let aware = estimate(&p, &hw());
+        let flat = estimate_flat(&p, &hw());
+        assert!(aware.total_cycles > 0.0);
+        assert!(
+            aware.total_cycles < flat.total_cycles,
+            "prefetch hiding must reduce scan cost: {} vs {}",
+            aware.total_cycles,
+            flat.total_cycles
+        );
+        assert!(aware.hidden_cycles > 0.0);
+    }
+
+    #[test]
+    fn random_traversal_costs_more_than_sequential() {
+        let seq = estimate(&Pattern::atom(Atom::s_trav(1_000_000, 8)), &hw());
+        let rnd = estimate(&Pattern::atom(Atom::r_trav(1_000_000, 8)), &hw());
+        assert!(rnd.total_cycles > seq.total_cycles);
+    }
+
+    #[test]
+    fn cost_monotone_in_size() {
+        let c = |n| estimate(&Pattern::atom(Atom::s_trav(n, 8)), &hw()).total_cycles;
+        assert!(c(1_000) < c(10_000));
+        assert!(c(10_000) < c(10_000_000));
+    }
+
+    #[test]
+    fn seq_adds_conc_shares_capacity() {
+        let a = Pattern::atom(Atom::rr_acc(1_000_000, 8, 5_000_000));
+        let b = Pattern::atom(Atom::rr_acc(1_000_000, 8, 5_000_000));
+        let seq = estimate(&Pattern::seq(vec![a.clone(), b.clone()]), &hw());
+        let conc = estimate(&Pattern::conc(vec![a.clone(), b.clone()]), &hw());
+        let one = estimate(&a, &hw());
+        // sequential composition is additive
+        assert!((seq.total_cycles - 2.0 * one.total_cycles).abs() < 1e-6 * seq.total_cycles);
+        // concurrent random access patterns interfere => more expensive
+        assert!(conc.total_cycles >= seq.total_cycles);
+    }
+
+    #[test]
+    fn wide_row_scan_costs_more_than_narrow_column_scan() {
+        // The PDSM premise: scanning 4 bytes out of a 64-byte tuple moves
+        // 16x the cache lines of a dedicated 4-byte column.
+        let row = estimate(
+            &Pattern::atom(Atom::s_trav_partial(1_000_000, 64, 4)),
+            &hw(),
+        );
+        let col = estimate(&Pattern::atom(Atom::s_trav(1_000_000, 4)), &hw());
+        assert!(
+            row.total_cycles > 3.0 * col.total_cycles,
+            "row {} vs col {}",
+            row.total_cycles,
+            col.total_cycles
+        );
+    }
+
+    #[test]
+    fn selective_projection_cheaper_at_low_selectivity() {
+        let at = |s| {
+            estimate(
+                &Pattern::atom(Atom::s_trav_cr(10_000_000, 16, 16, s)),
+                &hw(),
+            )
+            .total_cycles
+        };
+        assert!(at(0.001) < at(0.5));
+        assert!(at(0.5) <= at(1.0) + 1e-9);
+    }
+
+    #[test]
+    fn breakdown_levels_align_with_hierarchy() {
+        let e = estimate(&Pattern::atom(Atom::s_trav(1000, 8)), &hw());
+        let names: Vec<_> = e.levels.iter().map(|l| l.level).collect();
+        assert_eq!(names, vec!["Reg", "L1", "L2", "TLB", "L3", "Mem"]);
+        // memory level never misses (data lives there)
+        assert_eq!(e.levels[5].misses.total(), 0.0);
+        // register level counts processed words
+        assert_eq!(e.levels[0].misses.total(), 1000.0);
+    }
+
+    #[test]
+    fn llc_misses_accessor() {
+        let e = estimate(&Pattern::atom(Atom::s_trav(1_000_000, 4)), &hw());
+        let m = e.llc_misses(&hw());
+        assert!(m.sequential > 0.0);
+        assert_eq!(m.random, 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Memory hierarchy description (the model's machine parameters, Table III).
+
+/// One layer of the memory hierarchy.
+///
+/// Following §IV-C2 of the paper, the CPU's registers are treated as "just
+/// another layer of memory": level 0 has a one-word block size and its
+/// `latency` is the time to load **and process** one value (`l_1` in the
+/// paper's notation prices an access *to* level `i`, i.e. a miss at level
+/// `i-1`; we store that price on level `i` itself).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Level {
+    /// Human-readable name ("L1", "TLB", …).
+    pub name: &'static str,
+    /// Capacity in bytes (coverage in bytes for a TLB). `u64::MAX` for RAM.
+    pub capacity: u64,
+    /// Block (cache line / page) size in bytes — `B_i`.
+    pub block: u64,
+    /// Cycles for one access that is served by this level — `l_{i+1}` for a
+    /// miss at the level above.
+    pub latency: f64,
+    /// True for address-translation levels (TLB): they participate in the
+    /// miss summation but are skipped by the LLC-overlap rule.
+    pub is_tlb: bool,
+}
+
+/// An ordered memory hierarchy, fastest first. Exactly one non-TLB level is
+/// designated the LLC (where the aggressive prefetcher lives, §IV-C2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hierarchy {
+    levels: Vec<Level>,
+    llc: usize,
+}
+
+impl Hierarchy {
+    /// Build from explicit levels. `llc` indexes into `levels` and marks the
+    /// last-level cache. Panics on malformed input (hierarchies are static
+    /// configuration).
+    pub fn new(levels: Vec<Level>, llc: usize) -> Self {
+        assert!(llc < levels.len(), "llc index out of range");
+        assert!(!levels[llc].is_tlb, "LLC cannot be a TLB");
+        assert!(levels.len() >= 2, "need at least registers + memory");
+        Hierarchy { levels, llc }
+    }
+
+    /// The Intel Nehalem system of the paper's Table III.
+    ///
+    /// | Level  | Capacity | Block | Access time |
+    /// |--------|----------|-------|-------------|
+    /// | Registers | 16×8 B | 8 B  | 1 cyc (load+process) |
+    /// | L1     | 32 kB    | 8 B   | 1 cyc |
+    /// | L2     | 256 kB   | 64 B  | 3 cyc |
+    /// | TLB    | 32 kB    | 4 kB  | 1 cyc |
+    /// | L3     | 8 MB     | 64 B  | 8 cyc |
+    /// | Memory | 48 GB    | 64 B  | 12 cyc |
+    ///
+    /// The paper's Table III lists L1's block size as 8 B — the width of one
+    /// data word, consistent with treating registers as level 0.
+    pub fn nehalem() -> Self {
+        Hierarchy::new(
+            vec![
+                Level {
+                    name: "Reg",
+                    capacity: 16 * 8,
+                    block: 8,
+                    latency: 1.0,
+                    is_tlb: false,
+                },
+                Level {
+                    name: "L1",
+                    capacity: 32 * 1024,
+                    block: 8,
+                    latency: 1.0,
+                    is_tlb: false,
+                },
+                Level {
+                    name: "L2",
+                    capacity: 256 * 1024,
+                    block: 64,
+                    latency: 3.0,
+                    is_tlb: false,
+                },
+                Level {
+                    name: "TLB",
+                    capacity: 32 * 1024 * 1024, // 8192 entries x 4 kB pages
+                    block: 4096,
+                    latency: 1.0,
+                    is_tlb: true,
+                },
+                Level {
+                    name: "L3",
+                    capacity: 8 * 1024 * 1024,
+                    block: 64,
+                    latency: 8.0,
+                    is_tlb: false,
+                },
+                Level {
+                    name: "Mem",
+                    capacity: 48 * 1024 * 1024 * 1024,
+                    block: 64,
+                    latency: 12.0,
+                    is_tlb: false,
+                },
+            ],
+            4,
+        )
+    }
+
+    /// All levels, fastest first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Index of the LLC level.
+    pub fn llc_index(&self) -> usize {
+        self.llc
+    }
+
+    /// The LLC level.
+    pub fn llc(&self) -> &Level {
+        &self.levels[self.llc]
+    }
+
+    /// Latency of an access served by level `i`.
+    pub fn latency(&self, i: usize) -> f64 {
+        self.levels[i].latency
+    }
+
+    /// Latency of a *miss* at level `i`, i.e. the cost of going one level
+    /// further out (`l_{i+1}`). TLB levels sit outside the data path: a TLB
+    /// miss is priced as a page-table walk at the TLB's own configured
+    /// latency, and data levels skip over TLBs when looking up their miss
+    /// price. The outermost level's misses cost its own latency (there is
+    /// nowhere further to go).
+    pub fn miss_latency(&self, i: usize) -> f64 {
+        if self.levels[i].is_tlb {
+            return self.levels[i].latency;
+        }
+        let mut j = i + 1;
+        while j < self.levels.len() && self.levels[j].is_tlb {
+            j += 1;
+        }
+        if j < self.levels.len() {
+            self.levels[j].latency
+        } else {
+            self.levels[i].latency
+        }
+    }
+
+    /// Replace every level's latency (used by the calibrator).
+    pub fn with_latencies(mut self, latencies: &[f64]) -> Self {
+        assert_eq!(latencies.len(), self.levels.len());
+        for (l, &lat) in self.levels.iter_mut().zip(latencies) {
+            l.latency = lat;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nehalem_matches_table_iii() {
+        let h = Hierarchy::nehalem();
+        let l3 = h.llc();
+        assert_eq!(l3.name, "L3");
+        assert_eq!(l3.capacity, 8 * 1024 * 1024);
+        assert_eq!(l3.block, 64);
+        assert_eq!(l3.latency, 8.0);
+        let names: Vec<_> = h.levels().iter().map(|l| l.name).collect();
+        assert_eq!(names, vec!["Reg", "L1", "L2", "TLB", "L3", "Mem"]);
+    }
+
+    #[test]
+    fn miss_latency_prices_next_level() {
+        let h = Hierarchy::nehalem();
+        // A register "miss" is an L1 access: 1 cycle.
+        assert_eq!(h.miss_latency(0), 1.0);
+        // An L2 miss skips the TLB entry and is priced as an L3 access.
+        assert_eq!(h.miss_latency(2), 8.0);
+        // L3 miss = memory access:
+        assert_eq!(h.miss_latency(4), 12.0);
+        // Memory misses (none exist) price memory itself.
+        assert_eq!(h.miss_latency(5), 12.0);
+        // TLB miss = walk at TLB latency.
+        assert_eq!(h.miss_latency(3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "llc index")]
+    fn bad_llc_rejected() {
+        let lv = Hierarchy::nehalem().levels().to_vec();
+        Hierarchy::new(lv, 99);
+    }
+}

@@ -1,0 +1,46 @@
+//! # pdsm-cost
+//!
+//! The paper's "programmable" hardware-conscious cost model (§IV): Manegold's
+//! **Generic Cost Model** extended with
+//!
+//! * the **`s_trav_cr`** atom — *Sequential Traversal with Conditional Reads*
+//!   — modeling selective projections (Eq. 1–4),
+//! * a **prefetching-aware cost function** that lets sequential last-level
+//!   cache misses hide behind work done in faster levels (Eq. 5–6), and
+//! * **Cardenas' estimate** of distinct accessed records for repetitive
+//!   random accesses (Eq. 7), replacing the original binomial formulation.
+//!
+//! Memory access behaviour is described as an algebra of [`Atom`]s combined
+//! sequentially (`⊕`, [`Pattern::seq`]) or concurrently (`⊙`,
+//! [`Pattern::conc`]). Estimating a query's cost means *programming* this
+//! model: the plan-to-pattern translator in `pdsm-plan` emits a pattern, and
+//! [`cost::estimate`](crate::cost::estimate) prices it against a calibrated
+//! [`Hierarchy`].
+//!
+//! ```
+//! use pdsm_cost::{Atom, Hierarchy, Pattern};
+//!
+//! // The paper's example query at selectivity 1 % (Table I(b)):
+//! // s_trav(26214400,4) ⊙ s_trav_cr([B..E], 0.01) ⊙ rr_acc(1,16,262144)
+//! let pattern = Pattern::conc(vec![
+//!     Pattern::atom(Atom::s_trav(26_214_400, 4)),
+//!     Pattern::atom(Atom::s_trav_cr(26_214_400, 16, 16, 0.01)),
+//!     Pattern::atom(Atom::rr_acc(1, 16, 262_144)),
+//! ]);
+//! let hw = Hierarchy::nehalem();
+//! let est = pdsm_cost::cost::estimate(&pattern, &hw);
+//! assert!(est.total_cycles > 0.0);
+//! ```
+
+pub mod algebra;
+pub mod atoms;
+pub mod calibrate;
+pub mod cost;
+pub mod hierarchy;
+pub mod misses;
+
+pub use algebra::Pattern;
+pub use atoms::Atom;
+pub use cost::{CostBreakdown, Estimate};
+pub use hierarchy::{Hierarchy, Level};
+pub use misses::{cardenas, LevelMisses};

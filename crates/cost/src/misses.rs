@@ -1,0 +1,265 @@
+//! Per-level cache-miss estimation for each atom (Eq. 1–4 and Eq. 7).
+//!
+//! Misses are split into **sequential** (`M^s_i` — anticipated by the
+//! adjacent-cache-line prefetcher, §IV-C1) and **random** (`M^r_i` — demand
+//! misses that stall). The distinction feeds the prefetch-aware cost
+//! function in [`crate::cost`].
+
+use crate::atoms::Atom;
+use crate::hierarchy::Level;
+
+/// Miss counts induced by one pattern at one memory level.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelMisses {
+    /// Sequential (prefetchable) misses, `M^s_i`.
+    pub sequential: f64,
+    /// Random (demand) misses, `M^r_i`.
+    pub random: f64,
+}
+
+impl LevelMisses {
+    /// `M^s_i + M^r_i`.
+    pub fn total(&self) -> f64 {
+        self.sequential + self.random
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: LevelMisses) {
+        self.sequential += other.sequential;
+        self.random += other.random;
+    }
+}
+
+/// Cardenas' formula (Eq. 7): expected number of distinct records touched
+/// when drawing `r` times uniformly from `n` records.
+///
+/// `I(r, n) = n · (1 − (1 − 1/n)^r)`; computed in log-space so it stays
+/// accurate for the very large `n` that made the original model's binomial
+/// coefficients impractical (§IV-C3).
+pub fn cardenas(r: f64, n: f64) -> f64 {
+    if n <= 0.0 || r <= 0.0 {
+        return 0.0;
+    }
+    if n == 1.0 {
+        return 1.0;
+    }
+    // (1 - 1/n)^r = exp(r * ln(1 - 1/n)); ln_1p/exp_m1 keep precision when n
+    // is large. I = n(1 - q) = -n * expm1(r * ln(1 - 1/n)).
+    let ln = (-1.0 / n).ln_1p();
+    (-n * (r * ln).exp_m1()).min(n).min(r)
+}
+
+/// Number of cache lines of size `block` covered by a region of `n` items of
+/// width `w` (`R.n·R.w / B_i`, kept fractional as the paper's Eq. 4 does).
+fn region_lines(n: u64, w: u64, block: u64) -> f64 {
+    (n as f64 * w as f64 / block as f64).max(0.0)
+}
+
+/// Lines an individual item of width `w` touches when `u` of its bytes are
+/// read (`u ≤ w`). Accounts for items wider than a line.
+fn lines_per_item(u: u64, block: u64) -> f64 {
+    (u.max(1) as f64 / block as f64).ceil().max(1.0)
+}
+
+/// Estimate the misses `atom` induces at `level`, given `capacity_share` —
+/// the fraction of the level's capacity available to this pattern (reduced
+/// when patterns execute concurrently, §IV-B).
+pub fn atom_misses(atom: &Atom, level: &Level, capacity_share: f64) -> LevelMisses {
+    let b = level.block;
+    let effective_capacity = level.capacity as f64 * capacity_share.clamp(0.0, 1.0);
+    match *atom {
+        Atom::STrav { n, w, u } => {
+            // Constant stride w: every touched line is anticipated by the
+            // adjacent-line/stride prefetcher => all sequential.
+            let lines = if w <= b {
+                region_lines(n, w, b)
+            } else {
+                n as f64 * lines_per_item(u, b)
+            };
+            LevelMisses {
+                sequential: lines,
+                random: 0.0,
+            }
+        }
+        Atom::RTrav { n, w, u } => {
+            // Same footprint as s_trav but in random order: no prefetch.
+            let lines = if w <= b {
+                region_lines(n, w, b)
+            } else {
+                n as f64 * lines_per_item(u, b)
+            };
+            LevelMisses {
+                sequential: 0.0,
+                random: lines,
+            }
+        }
+        Atom::RRAcc { n, w, r } => {
+            // Unique lines touched, via Cardenas over lines (items narrower
+            // than a line share lines; wider items span several).
+            let region = (n * w) as f64;
+            let (unique_lines, per_access_lines) = if w <= b {
+                let total_lines = region_lines(n, w, b).max(1.0);
+                (cardenas(r as f64, total_lines), 1.0)
+            } else {
+                let lpi = lines_per_item(w, b);
+                (cardenas(r as f64, n as f64) * lpi, lpi)
+            };
+            // First touch of each line always misses. Re-accesses hit only
+            // if the region's cached fraction survived; with a region larger
+            // than the (shared) capacity, a re-access misses with
+            // probability (1 - C/region).
+            let reaccesses = (r as f64 * per_access_lines - unique_lines).max(0.0);
+            let evicted_frac = if region > effective_capacity && region > 0.0 {
+                1.0 - effective_capacity / region
+            } else {
+                0.0
+            };
+            LevelMisses {
+                sequential: 0.0,
+                random: unique_lines + reaccesses * evicted_frac,
+            }
+        }
+        Atom::STravCr { n, w, u, s } => {
+            if w <= b {
+                // Eq. 1: probability a line is accessed at all. The exponent
+                // is the number of items per line (the paper writes B_i with
+                // items implied).
+                let items_per_line = (b / w.max(1)).max(1) as f64;
+                let p = 1.0 - (1.0 - s).powf(items_per_line);
+                // Eq. 2: accessed AND predecessor accessed => prefetched.
+                let ps = p * p;
+                // Eq. 3: the rest of the accessed lines are demand misses.
+                let pr = p - ps;
+                // Eq. 4: scale by the region's line count.
+                let lines = region_lines(n, w, b);
+                LevelMisses {
+                    sequential: ps * lines,
+                    random: pr * lines,
+                }
+            } else {
+                // Item wider than a line: a selected item reads
+                // ceil(u/B) adjacent lines. The first line of an item is
+                // prefetched only if the previous item was also selected
+                // (probability s); the item's remaining lines are adjacent
+                // and always prefetched.
+                let lpi = lines_per_item(u, b);
+                let selected = s * n as f64;
+                let first_seq = selected * s;
+                let first_rand = selected * (1.0 - s);
+                let rest = selected * (lpi - 1.0);
+                LevelMisses {
+                    sequential: first_seq + rest,
+                    random: first_rand,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::Hierarchy;
+
+    fn l3() -> Level {
+        Hierarchy::nehalem().llc().clone()
+    }
+
+    #[test]
+    fn cardenas_limits() {
+        assert_eq!(cardenas(0.0, 100.0), 0.0);
+        assert_eq!(cardenas(10.0, 0.0), 0.0);
+        // one record: always exactly 1 distinct
+        assert!((cardenas(50.0, 1.0) - 1.0).abs() < 1e-9);
+        // r=1: exactly one distinct record
+        assert!((cardenas(1.0, 1000.0) - 1.0).abs() < 1e-9);
+        // r >> n: approaches n
+        assert!((cardenas(1e9, 100.0) - 100.0).abs() < 1e-6);
+        // monotone in r
+        assert!(cardenas(10.0, 100.0) < cardenas(20.0, 100.0));
+        // never exceeds n or r
+        for &(r, n) in &[(5.0, 100.0), (100.0, 5.0), (1e6, 1e6)] {
+            let i = cardenas(r, n);
+            assert!(i <= n + 1e-9 && i <= r + 1e-9, "I({r},{n})={i}");
+        }
+    }
+
+    #[test]
+    fn cardenas_large_n_stable() {
+        // The binomial formulation breaks down here; ours must not.
+        let i = cardenas(262_144.0, 26_214_400.0);
+        assert!(i > 260_000.0 && i < 262_144.0, "I={i}");
+    }
+
+    #[test]
+    fn s_trav_all_sequential() {
+        let m = atom_misses(&Atom::s_trav(1_000_000, 4), &l3(), 1.0);
+        assert_eq!(m.random, 0.0);
+        // 4 MB / 64 B = 65536 lines
+        assert!((m.sequential - 62_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn r_trav_all_random() {
+        let m = atom_misses(&Atom::r_trav(1_000_000, 4), &l3(), 1.0);
+        assert_eq!(m.sequential, 0.0);
+        assert!((m.random - 62_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn s_trav_cr_matches_equations() {
+        // w=8, B=64 -> 8 items per line; s = 0.1
+        let s = 0.1f64;
+        let n = 1_000_000u64;
+        let m = atom_misses(&Atom::s_trav_cr(n, 8, 8, s), &l3(), 1.0);
+        let p = 1.0 - (1.0 - s).powi(8);
+        let lines = n as f64 * 8.0 / 64.0;
+        assert!((m.sequential - p * p * lines).abs() < 1e-6);
+        assert!((m.random - (p - p * p) * lines).abs() < 1e-6);
+    }
+
+    #[test]
+    fn s_trav_cr_extremes_degenerate_correctly() {
+        let n = 100_000u64;
+        // s=1 behaves exactly like s_trav: all lines, all sequential.
+        let cr = atom_misses(&Atom::s_trav_cr(n, 8, 8, 1.0), &l3(), 1.0);
+        let st = atom_misses(&Atom::s_trav(n, 8), &l3(), 1.0);
+        assert!((cr.sequential - st.sequential).abs() < 1e-9);
+        assert!((cr.random - 0.0).abs() < 1e-9);
+        // s=0 touches nothing.
+        let z = atom_misses(&Atom::s_trav_cr(n, 8, 8, 0.0), &l3(), 1.0);
+        assert_eq!(z.total(), 0.0);
+    }
+
+    #[test]
+    fn s_trav_cr_random_peaks_at_low_selectivity() {
+        // Fig. 6: random misses rise steeply for s < ~0.05 then decline.
+        let n = 10_000_000u64;
+        let at = |s: f64| atom_misses(&Atom::s_trav_cr(n, 8, 8, s), &l3(), 1.0).random;
+        assert!(at(0.04) > at(0.005));
+        assert!(at(0.04) > at(0.5));
+        assert!(at(0.9) < at(0.3));
+    }
+
+    #[test]
+    fn rr_acc_caching_depends_on_capacity_share() {
+        // Region 16 MB > 8 MB L3: re-accesses partially miss.
+        let a = Atom::rr_acc(2_000_000, 8, 10_000_000);
+        let full = atom_misses(&a, &l3(), 1.0);
+        let half = atom_misses(&a, &l3(), 0.5);
+        assert!(half.random > full.random, "less capacity => more misses");
+        // Tiny region: everything after first touch hits.
+        let tiny = atom_misses(&Atom::rr_acc(8, 8, 1_000_000), &l3(), 1.0);
+        assert!(tiny.random <= 2.0, "tiny region stays resident: {tiny:?}");
+    }
+
+    #[test]
+    fn wide_items_span_lines() {
+        // 256-byte items on 64-byte lines: 4 lines each.
+        let m = atom_misses(&Atom::s_trav(1000, 256), &l3(), 1.0);
+        assert!((m.sequential - 4000.0).abs() < 1e-9);
+        // partial read of 64 bytes: 1 line each.
+        let m = atom_misses(&Atom::s_trav_partial(1000, 256, 64), &l3(), 1.0);
+        assert!((m.sequential - 1000.0).abs() < 1e-9);
+    }
+}

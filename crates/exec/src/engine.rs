@@ -1,0 +1,270 @@
+//! The engine abstraction and shared aggregate semantics.
+
+use crate::result::QueryOutput;
+use pdsm_plan::logical::{AggFunc, LogicalPlan};
+use pdsm_storage::types::cmp_values;
+use pdsm_storage::{Table, Value};
+
+/// Resolves table names to storage. Implemented by `pdsm-core`'s `Database`
+/// and by plain maps in tests.
+pub trait TableProvider {
+    /// The table called `name`, if present.
+    fn table(&self, name: &str) -> Option<&Table>;
+}
+
+impl TableProvider for std::collections::HashMap<String, Table> {
+    fn table(&self, name: &str) -> Option<&Table> {
+        self.get(name)
+    }
+}
+
+/// Execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Referenced table is missing from the provider.
+    UnknownTable(String),
+    /// Plan feature not supported by this engine.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            ExecError::Unsupported(m) => write!(f, "unsupported plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A query execution engine.
+pub trait Engine {
+    /// Engine name for reports ("volcano", "bulk", "compiled").
+    fn name(&self) -> &'static str;
+
+    /// Execute `plan` against `db`, materializing the full result.
+    fn execute(&self, plan: &LogicalPlan, db: &dyn TableProvider)
+        -> Result<QueryOutput, ExecError>;
+}
+
+pub use crate::bulk::BulkEngine;
+pub use crate::compiled::CompiledEngine;
+pub use crate::volcano::VolcanoEngine;
+
+/// One aggregate's running state. All engines use this accumulator so that
+/// NULL handling and result typing agree exactly:
+/// `count → Int64` (never NULL), `sum(int) → Int64`, `sum(float) → Float64`,
+/// `avg → Float64`, `min/max` keep the input type; NULL inputs are skipped;
+/// empty input yields NULL for everything but count.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: AggFunc,
+    count: i64,
+    sum_i: i64,
+    sum_f: f64,
+    saw_float: bool,
+    extreme: Option<Value>,
+}
+
+impl Accumulator {
+    /// Fresh state for `func`.
+    pub fn new(func: AggFunc) -> Self {
+        Accumulator {
+            func,
+            count: 0,
+            sum_i: 0,
+            sum_f: 0.0,
+            saw_float: false,
+            extreme: None,
+        }
+    }
+
+    /// Fold one input value (use `Value::Int32(1)` per row for `count(*)`).
+    pub fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => match v {
+                Value::Float64(f) => {
+                    self.saw_float = true;
+                    self.sum_f += f;
+                }
+                _ => {
+                    let x = v.as_i64().unwrap_or(0);
+                    self.sum_i += x;
+                    self.sum_f += x as f64;
+                }
+            },
+            AggFunc::Min => {
+                let replace = match &self.extreme {
+                    None => true,
+                    Some(m) => cmp_values(v, m).is_lt(),
+                };
+                if replace {
+                    self.extreme = Some(v.clone());
+                }
+            }
+            AggFunc::Max => {
+                let replace = match &self.extreme {
+                    None => true,
+                    Some(m) => cmp_values(v, m).is_gt(),
+                };
+                if replace {
+                    self.extreme = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Typed fast paths used by the compiled engine's kernels (no `Value`
+    /// construction per row).
+    #[inline(always)]
+    pub fn update_i64(&mut self, x: i64) {
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                self.sum_i += x;
+                self.sum_f += x as f64;
+            }
+            AggFunc::Min | AggFunc::Max => self.update_extreme_i64(x),
+        }
+    }
+
+    /// Typed fast path for floats.
+    #[inline(always)]
+    pub fn update_f64(&mut self, x: f64) {
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                self.saw_float = true;
+                self.sum_f += x;
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let v = Value::Float64(x);
+                let replace = match &self.extreme {
+                    None => true,
+                    Some(m) => {
+                        if self.func == AggFunc::Min {
+                            cmp_values(&v, m).is_lt()
+                        } else {
+                            cmp_values(&v, m).is_gt()
+                        }
+                    }
+                };
+                if replace {
+                    self.extreme = Some(v);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn update_extreme_i64(&mut self, x: i64) {
+        let keep = match &self.extreme {
+            None => true,
+            Some(m) => {
+                let cur = m.as_i64().unwrap_or(i64::MAX);
+                if self.func == AggFunc::Min {
+                    x < cur
+                } else {
+                    x > cur
+                }
+            }
+        };
+        if keep {
+            // preserve Int32 typing when the value fits and input was i32-like
+            self.extreme = Some(Value::Int64(x));
+        }
+    }
+
+    /// Final value.
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int64(self.count),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.saw_float {
+                    Value::Float64(self.sum_f)
+                } else {
+                    Value::Int64(self.sum_i)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(self.sum_f / self.count as f64)
+                }
+            }
+            AggFunc::Min | AggFunc::Max => self.extreme.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_ignores_nulls_via_arg_but_counts_rows_via_star() {
+        let mut c = Accumulator::new(AggFunc::Count);
+        c.update(&Value::Int32(1));
+        c.update(&Value::Null);
+        c.update(&Value::Int32(5));
+        assert_eq!(c.finish(), Value::Int64(2));
+    }
+
+    #[test]
+    fn sum_types() {
+        let mut s = Accumulator::new(AggFunc::Sum);
+        s.update(&Value::Int32(3));
+        s.update(&Value::Int64(4));
+        assert_eq!(s.finish(), Value::Int64(7));
+        let mut s = Accumulator::new(AggFunc::Sum);
+        s.update(&Value::Int32(1));
+        s.update(&Value::Float64(0.5));
+        assert_eq!(s.finish(), Value::Float64(1.5));
+        assert_eq!(Accumulator::new(AggFunc::Sum).finish(), Value::Null);
+    }
+
+    #[test]
+    fn avg_and_extremes() {
+        let mut a = Accumulator::new(AggFunc::Avg);
+        a.update(&Value::Int32(1));
+        a.update(&Value::Int32(2));
+        assert_eq!(a.finish(), Value::Float64(1.5));
+        let mut m = Accumulator::new(AggFunc::Min);
+        m.update(&Value::from("b"));
+        m.update(&Value::from("a"));
+        assert_eq!(m.finish(), Value::Str("a".into()));
+        let mut m = Accumulator::new(AggFunc::Max);
+        m.update(&Value::Int32(-5));
+        m.update(&Value::Null);
+        assert_eq!(m.finish(), Value::Int32(-5));
+    }
+
+    #[test]
+    fn typed_fast_paths_agree_with_dynamic() {
+        let mut a = Accumulator::new(AggFunc::Sum);
+        let mut b = Accumulator::new(AggFunc::Sum);
+        for i in 0..100i64 {
+            a.update(&Value::Int64(i));
+            b.update_i64(i);
+        }
+        assert_eq!(a.finish(), b.finish());
+        let mut a = Accumulator::new(AggFunc::Min);
+        let mut b = Accumulator::new(AggFunc::Min);
+        for x in [3.0f64, -1.5, 9.0] {
+            a.update(&Value::Float64(x));
+            b.update_f64(x);
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,102 @@
+//! Canonical group/join keys shared by all engines.
+//!
+//! Engines must agree byte-for-byte on key identity so differential tests
+//! hold. Keys serialize values into a compact byte form: integers widen to
+//! `i64`, floats keep their bit pattern, strings are length-prefixed UTF-8.
+
+use pdsm_storage::Value;
+
+/// A hashable, equality-comparable key over a tuple of values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroupKey(Vec<u8>);
+
+impl GroupKey {
+    /// Build from a slice of values.
+    pub fn of(values: &[Value]) -> Self {
+        let mut buf = Vec::with_capacity(values.len() * 9);
+        for v in values {
+            encode(v, &mut buf);
+        }
+        GroupKey(buf)
+    }
+
+    /// Build from one value.
+    pub fn single(v: &Value) -> Self {
+        Self::of(std::slice::from_ref(v))
+    }
+}
+
+fn encode(v: &Value, buf: &mut Vec<u8>) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Int32(x) => {
+            buf.push(1);
+            buf.extend((*x as i64).to_le_bytes());
+        }
+        Value::Int64(x) => {
+            buf.push(1); // same tag as Int32: cross-width equality
+            buf.extend(x.to_le_bytes());
+        }
+        Value::Float64(x) => {
+            buf.push(2);
+            // normalize -0.0 so join keys match arithmetic results
+            let x = if *x == 0.0 { 0.0 } else { *x };
+            buf.extend(x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(3);
+            buf.extend((s.len() as u32).to_le_bytes());
+            buf.extend(s.as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_equal_keys() {
+        assert_eq!(
+            GroupKey::of(&[Value::Int32(5), Value::from("a")]),
+            GroupKey::of(&[Value::Int32(5), Value::from("a")])
+        );
+        assert_ne!(
+            GroupKey::of(&[Value::Int32(5)]),
+            GroupKey::of(&[Value::Int32(6)])
+        );
+    }
+
+    #[test]
+    fn int_widths_unify() {
+        assert_eq!(
+            GroupKey::single(&Value::Int32(7)),
+            GroupKey::single(&Value::Int64(7))
+        );
+    }
+
+    #[test]
+    fn negative_zero_normalized() {
+        assert_eq!(
+            GroupKey::single(&Value::Float64(-0.0)),
+            GroupKey::single(&Value::Float64(0.0))
+        );
+    }
+
+    #[test]
+    fn null_distinct_from_zero() {
+        assert_ne!(
+            GroupKey::single(&Value::Null),
+            GroupKey::single(&Value::Int32(0))
+        );
+    }
+
+    #[test]
+    fn string_lengths_prefixed() {
+        // ("ab","c") must differ from ("a","bc")
+        assert_ne!(
+            GroupKey::of(&[Value::from("ab"), Value::from("c")]),
+            GroupKey::of(&[Value::from("a"), Value::from("bc")])
+        );
+    }
+}

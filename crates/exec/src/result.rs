@@ -1,0 +1,111 @@
+//! Query results and helpers for order-insensitive comparison.
+
+use pdsm_storage::Value;
+
+/// A materialized query result: rows of decoded values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryOutput {
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryOutput {
+    /// Empty result.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows rendered to strings and sorted — a canonical form for comparing
+    /// engines whose output order may legitimately differ (hash aggregation,
+    /// join order). Floats are rounded to 9 decimal places so accumulation
+    /// order cannot flip a comparison.
+    pub fn normalized(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(render)
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Assert two outputs are equal up to row order (panics with a diff).
+    pub fn assert_same(&self, other: &QueryOutput, context: &str) {
+        let a = self.normalized();
+        let b = other.normalized();
+        if a != b {
+            let only_a: Vec<_> = a.iter().filter(|r| !b.contains(r)).take(5).collect();
+            let only_b: Vec<_> = b.iter().filter(|r| !a.contains(r)).take(5).collect();
+            panic!(
+                "{context}: outputs differ ({} vs {} rows)\n only in left: {only_a:?}\n only in right: {only_b:?}",
+                a.len(),
+                b.len()
+            );
+        }
+    }
+}
+
+fn render(v: &Value) -> String {
+    match v {
+        Value::Float64(f) => format!("{:.9}", f),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_ignores_row_order() {
+        let a = QueryOutput {
+            rows: vec![
+                vec![Value::Int32(1), Value::from("x")],
+                vec![Value::Int32(2), Value::from("y")],
+            ],
+        };
+        let b = QueryOutput {
+            rows: vec![
+                vec![Value::Int32(2), Value::from("y")],
+                vec![Value::Int32(1), Value::from("x")],
+            ],
+        };
+        assert_eq!(a.normalized(), b.normalized());
+        a.assert_same(&b, "swap");
+    }
+
+    #[test]
+    fn float_rounding_tolerates_accumulation_order() {
+        let a = QueryOutput {
+            rows: vec![vec![Value::Float64(0.1 + 0.2)]],
+        };
+        let b = QueryOutput {
+            rows: vec![vec![Value::Float64(0.3)]],
+        };
+        a.assert_same(&b, "float");
+    }
+
+    #[test]
+    #[should_panic(expected = "outputs differ")]
+    fn mismatch_detected() {
+        let a = QueryOutput {
+            rows: vec![vec![Value::Int32(1)]],
+        };
+        let b = QueryOutput { rows: vec![] };
+        a.assert_same(&b, "boom");
+    }
+}

@@ -1,0 +1,228 @@
+//! Open-addressing hash index: `i64` key → row ids.
+//!
+//! Linear probing with Fibonacci hashing. The common case (unique keys, as
+//! for primary keys) stores the single row id inline; duplicate keys spill
+//! into a shared overflow arena, keeping entries fixed-size and the probe
+//! loop branch-light — the same "no function pointers in the inner loop"
+//! discipline the paper demands of the execution engine.
+
+const EMPTY: i64 = i64::MIN;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Key, or `EMPTY` (i64::MIN is reserved; asserted on insert).
+    key: i64,
+    /// Row id if `overflow == u32::MAX`, else head index into `overflow`.
+    first: u32,
+    /// Index into the overflow arena or `u32::MAX` when inline.
+    overflow: u32,
+}
+
+impl Entry {
+    const VACANT: Entry = Entry {
+        key: EMPTY,
+        first: 0,
+        overflow: u32::MAX,
+    };
+}
+
+/// Multi-map hash index with open addressing.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    slots: Vec<Entry>,
+    /// Spill lists for duplicate keys.
+    overflow: Vec<Vec<u32>>,
+    keys: usize,
+    mask: u64,
+}
+
+impl Default for HashIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HashIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::with_capacity(16)
+    }
+
+    /// Index pre-sized for about `cap` distinct keys.
+    pub fn with_capacity(cap: usize) -> Self {
+        let slots = (cap * 2).next_power_of_two().max(16);
+        HashIndex {
+            slots: vec![Entry::VACANT; slots],
+            overflow: Vec::new(),
+            keys: 0,
+            mask: slots as u64 - 1,
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.keys
+    }
+
+    /// True iff no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys == 0
+    }
+
+    #[inline]
+    fn bucket(&self, key: i64) -> usize {
+        // Fibonacci hashing spreads consecutive keys well.
+        ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32 & self.mask) as usize
+    }
+
+    /// Insert `(key, row)`. Duplicate keys accumulate rows.
+    pub fn insert(&mut self, key: i64, row: u32) {
+        assert_ne!(key, EMPTY, "i64::MIN is reserved as the empty marker");
+        if (self.keys + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.bucket(key);
+        loop {
+            let e = &mut self.slots[i];
+            if e.key == EMPTY {
+                *e = Entry {
+                    key,
+                    first: row,
+                    overflow: u32::MAX,
+                };
+                self.keys += 1;
+                return;
+            }
+            if e.key == key {
+                if e.overflow == u32::MAX {
+                    let list = vec![e.first, row];
+                    e.overflow = self.overflow.len() as u32;
+                    self.overflow.push(list);
+                } else {
+                    self.overflow[e.overflow as usize].push(row);
+                }
+                return;
+            }
+            i = (i + 1) & self.mask as usize;
+        }
+    }
+
+    /// Row ids stored under `key` (empty slice if absent).
+    pub fn get(&self, key: i64) -> &[u32] {
+        let mut i = self.bucket(key);
+        loop {
+            let e = &self.slots[i];
+            if e.key == EMPTY {
+                return &[];
+            }
+            if e.key == key {
+                return if e.overflow == u32::MAX {
+                    std::slice::from_ref(&self.slots[i].first)
+                } else {
+                    &self.overflow[e.overflow as usize]
+                };
+            }
+            i = (i + 1) & self.mask as usize;
+        }
+    }
+
+    /// True iff `key` is present.
+    pub fn contains(&self, key: i64) -> bool {
+        !self.get(key).is_empty()
+    }
+
+    fn grow(&mut self) {
+        let new_slots = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![Entry::VACANT; new_slots]);
+        self.mask = new_slots as u64 - 1;
+        for e in old {
+            if e.key == EMPTY {
+                continue;
+            }
+            // re-place the entry verbatim (overflow list indexes stay valid)
+            let mut i = self.bucket(e.key);
+            while self.slots[i].key != EMPTY {
+                i = (i + 1) & self.mask as usize;
+            }
+            self.slots[i] = e;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut h = HashIndex::new();
+        for i in 0..10_000i64 {
+            h.insert(i * 7, i as u32);
+        }
+        assert_eq!(h.len(), 10_000);
+        for i in 0..10_000i64 {
+            assert_eq!(h.get(i * 7), &[i as u32]);
+        }
+        assert!(h.get(1).is_empty());
+        assert!(!h.contains(999_999));
+    }
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut h = HashIndex::new();
+        h.insert(42, 1);
+        h.insert(42, 2);
+        h.insert(42, 3);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get(42), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn negative_and_extreme_keys() {
+        let mut h = HashIndex::new();
+        for k in [-1i64, 0, 1, i64::MAX, i64::MIN + 1, -999_999_999] {
+            h.insert(k, (k & 0xFF) as u32);
+        }
+        for k in [-1i64, 0, 1, i64::MAX, i64::MIN + 1, -999_999_999] {
+            assert_eq!(h.get(k), &[(k & 0xFF) as u32], "key {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_key_rejected() {
+        HashIndex::new().insert(i64::MIN, 0);
+    }
+
+    #[test]
+    fn growth_preserves_duplicates() {
+        let mut h = HashIndex::with_capacity(4);
+        for i in 0..1000i64 {
+            h.insert(i % 10, i as u32);
+        }
+        assert_eq!(h.len(), 10);
+        for k in 0..10i64 {
+            assert_eq!(h.get(k).len(), 100, "key {k}");
+        }
+    }
+
+    #[test]
+    fn differential_against_std_hashmap() {
+        let mut h = HashIndex::new();
+        let mut model: HashMap<i64, Vec<u32>> = HashMap::new();
+        let mut x = 0x1234_5678_u64;
+        for i in 0..20_000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = (x % 5000) as i64 - 2500;
+            h.insert(key, i);
+            model.entry(key).or_default().push(i);
+        }
+        assert_eq!(h.len(), model.len());
+        for (k, rows) in &model {
+            assert_eq!(h.get(*k), rows.as_slice(), "key {k}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! # pdsm-index
+//!
+//! Secondary indexes for the §VI-B "Indexes" experiments (Fig. 10):
+//!
+//! * [`HashIndex`] — open-addressing hash table for identity selects
+//!   (primary-key lookups, the paper's Q7),
+//! * [`RBTree`] — a red–black tree supporting ordered lookups and range
+//!   scans (the paper builds "one RB-Tree on VBAP(VBELN)", Q8).
+//!
+//! Both map an `i64` key to one or more row ids (`u32`). Strings index by
+//! their dictionary code, integers by value; the mapping is done by the
+//! catalog layer in `pdsm-core`. Indexes are append-maintained: every
+//! benchmark workload in the paper (and here) is insert-only, matching
+//! HyPer's append-oriented transaction model — see DESIGN.md.
+
+pub mod hash;
+pub mod rbtree;
+
+pub use hash::HashIndex;
+pub use rbtree::RBTree;
+
+/// A secondary index over one column.
+#[derive(Debug, Clone)]
+pub enum Index {
+    /// Hash index: O(1) point lookups, no range support.
+    Hash(HashIndex),
+    /// Red–black tree: ordered lookups and ranges.
+    RBTree(RBTree),
+}
+
+impl Index {
+    /// Insert a `(key, row)` pair.
+    pub fn insert(&mut self, key: i64, row: u32) {
+        match self {
+            Index::Hash(h) => h.insert(key, row),
+            Index::RBTree(t) => t.insert(key, row),
+        }
+    }
+
+    /// Row ids with exactly this key.
+    pub fn lookup(&self, key: i64) -> Vec<u32> {
+        match self {
+            Index::Hash(h) => h.get(key).to_vec(),
+            Index::RBTree(t) => t.get(key).to_vec(),
+        }
+    }
+
+    /// Row ids with keys in `[lo, hi]`; hash indexes cannot answer ranges
+    /// and return `None` (the planner then falls back to a scan).
+    pub fn lookup_range(&self, lo: i64, hi: i64) -> Option<Vec<u32>> {
+        match self {
+            Index::Hash(_) => None,
+            Index::RBTree(t) => Some(t.range(lo, hi).flat_map(|(_, rows)| rows.to_vec()).collect()),
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        match self {
+            Index::Hash(h) => h.len(),
+            Index::RBTree(t) => t.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_dispatch() {
+        for mut idx in [Index::Hash(HashIndex::new()), Index::RBTree(RBTree::new())] {
+            idx.insert(10, 1);
+            idx.insert(20, 2);
+            idx.insert(10, 3);
+            assert_eq!(idx.key_count(), 2);
+            let mut rows = idx.lookup(10);
+            rows.sort_unstable();
+            assert_eq!(rows, vec![1, 3]);
+            assert!(idx.lookup(99).is_empty());
+        }
+        let mut t = Index::RBTree(RBTree::new());
+        t.insert(5, 50);
+        t.insert(7, 70);
+        t.insert(9, 90);
+        assert_eq!(t.lookup_range(6, 9), Some(vec![70, 90]));
+        assert_eq!(Index::Hash(HashIndex::new()).lookup_range(0, 1), None);
+    }
+}

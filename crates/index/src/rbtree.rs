@@ -1,0 +1,408 @@
+//! An arena-allocated red–black tree: `i64` key → row ids.
+//!
+//! Built from scratch (CLRS insertion algorithm) because the paper's Fig. 10
+//! uses "one RB-Tree on VBAP(VBELN)" for ordered retrieval. Duplicate keys
+//! share one node; nodes live in a flat arena and link by `u32` index, so
+//! the tree is compact and copying-free.
+//!
+//! The workloads are append-only (see crate docs), so deletion is
+//! intentionally not provided; the invariant checker used by the property
+//! tests is exposed for downstream test suites.
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: i64,
+    rows: Vec<u32>,
+    color: Color,
+    left: u32,
+    right: u32,
+    parent: u32,
+}
+
+/// Red–black tree multi-map.
+#[derive(Debug, Clone, Default)]
+pub struct RBTree {
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl RBTree {
+    /// Empty tree.
+    pub fn new() -> Self {
+        RBTree {
+            nodes: Vec::new(),
+            root: NIL,
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Row ids stored under `key` (empty slice if absent).
+    pub fn get(&self, key: i64) -> &[u32] {
+        let mut x = self.root;
+        while x != NIL {
+            let n = &self.nodes[x as usize];
+            x = match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => n.left,
+                std::cmp::Ordering::Greater => n.right,
+                std::cmp::Ordering::Equal => return &n.rows,
+            };
+        }
+        &[]
+    }
+
+    /// Insert `(key, row)`; duplicate keys accumulate rows in one node.
+    pub fn insert(&mut self, key: i64, row: u32) {
+        // BST descent.
+        let mut parent = NIL;
+        let mut x = self.root;
+        while x != NIL {
+            parent = x;
+            let n = &mut self.nodes[x as usize];
+            x = match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => n.left,
+                std::cmp::Ordering::Greater => n.right,
+                std::cmp::Ordering::Equal => {
+                    n.rows.push(row);
+                    return;
+                }
+            };
+        }
+        let z = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            key,
+            rows: vec![row],
+            color: Color::Red,
+            left: NIL,
+            right: NIL,
+            parent,
+        });
+        if parent == NIL {
+            self.root = z;
+        } else if key < self.nodes[parent as usize].key {
+            self.nodes[parent as usize].left = z;
+        } else {
+            self.nodes[parent as usize].right = z;
+        }
+        self.insert_fixup(z);
+    }
+
+    /// In-order iterator over `(key, rows)` with `lo <= key <= hi`.
+    pub fn range(&self, lo: i64, hi: i64) -> RangeIter<'_> {
+        // Find the first node >= lo by remembering the last left-turn.
+        let mut stack = Vec::new();
+        let mut x = self.root;
+        while x != NIL {
+            let n = &self.nodes[x as usize];
+            if n.key >= lo {
+                stack.push(x);
+                x = n.left;
+            } else {
+                x = n.right;
+            }
+        }
+        RangeIter {
+            tree: self,
+            stack,
+            hi,
+        }
+    }
+
+    /// In-order iterator over all entries.
+    pub fn iter(&self) -> RangeIter<'_> {
+        self.range(i64::MIN, i64::MAX)
+    }
+
+    /// Smallest key, if any.
+    pub fn min_key(&self) -> Option<i64> {
+        let mut x = self.root;
+        let mut last = None;
+        while x != NIL {
+            last = Some(self.nodes[x as usize].key);
+            x = self.nodes[x as usize].left;
+        }
+        last
+    }
+
+    /// Largest key, if any.
+    pub fn max_key(&self) -> Option<i64> {
+        let mut x = self.root;
+        let mut last = None;
+        while x != NIL {
+            last = Some(self.nodes[x as usize].key);
+            x = self.nodes[x as usize].right;
+        }
+        last
+    }
+
+    fn rotate_left(&mut self, x: u32) {
+        let y = self.nodes[x as usize].right;
+        debug_assert_ne!(y, NIL);
+        let y_left = self.nodes[y as usize].left;
+        self.nodes[x as usize].right = y_left;
+        if y_left != NIL {
+            self.nodes[y_left as usize].parent = x;
+        }
+        let xp = self.nodes[x as usize].parent;
+        self.nodes[y as usize].parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.nodes[xp as usize].left == x {
+            self.nodes[xp as usize].left = y;
+        } else {
+            self.nodes[xp as usize].right = y;
+        }
+        self.nodes[y as usize].left = x;
+        self.nodes[x as usize].parent = y;
+    }
+
+    fn rotate_right(&mut self, x: u32) {
+        let y = self.nodes[x as usize].left;
+        debug_assert_ne!(y, NIL);
+        let y_right = self.nodes[y as usize].right;
+        self.nodes[x as usize].left = y_right;
+        if y_right != NIL {
+            self.nodes[y_right as usize].parent = x;
+        }
+        let xp = self.nodes[x as usize].parent;
+        self.nodes[y as usize].parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.nodes[xp as usize].right == x {
+            self.nodes[xp as usize].right = y;
+        } else {
+            self.nodes[xp as usize].left = y;
+        }
+        self.nodes[y as usize].right = x;
+        self.nodes[x as usize].parent = y;
+    }
+
+    fn color(&self, x: u32) -> Color {
+        if x == NIL {
+            Color::Black
+        } else {
+            self.nodes[x as usize].color
+        }
+    }
+
+    fn insert_fixup(&mut self, mut z: u32) {
+        while self.color(self.nodes[z as usize].parent) == Color::Red {
+            let zp = self.nodes[z as usize].parent;
+            let zpp = self.nodes[zp as usize].parent; // grandparent exists: parent is red, root is black
+            if zp == self.nodes[zpp as usize].left {
+                let uncle = self.nodes[zpp as usize].right;
+                if self.color(uncle) == Color::Red {
+                    self.nodes[zp as usize].color = Color::Black;
+                    self.nodes[uncle as usize].color = Color::Black;
+                    self.nodes[zpp as usize].color = Color::Red;
+                    z = zpp;
+                } else {
+                    if z == self.nodes[zp as usize].right {
+                        z = zp;
+                        self.rotate_left(z);
+                    }
+                    let zp = self.nodes[z as usize].parent;
+                    let zpp = self.nodes[zp as usize].parent;
+                    self.nodes[zp as usize].color = Color::Black;
+                    self.nodes[zpp as usize].color = Color::Red;
+                    self.rotate_right(zpp);
+                }
+            } else {
+                let uncle = self.nodes[zpp as usize].left;
+                if self.color(uncle) == Color::Red {
+                    self.nodes[zp as usize].color = Color::Black;
+                    self.nodes[uncle as usize].color = Color::Black;
+                    self.nodes[zpp as usize].color = Color::Red;
+                    z = zpp;
+                } else {
+                    if z == self.nodes[zp as usize].left {
+                        z = zp;
+                        self.rotate_right(z);
+                    }
+                    let zp = self.nodes[z as usize].parent;
+                    let zpp = self.nodes[zp as usize].parent;
+                    self.nodes[zp as usize].color = Color::Black;
+                    self.nodes[zpp as usize].color = Color::Red;
+                    self.rotate_left(zpp);
+                }
+            }
+        }
+        let root = self.root;
+        self.nodes[root as usize].color = Color::Black;
+    }
+
+    /// Verify all red–black invariants; returns the tree's black height.
+    /// Used by tests (including downstream property tests); panics with a
+    /// description on violation.
+    pub fn check_invariants(&self) -> usize {
+        if self.root == NIL {
+            return 0;
+        }
+        assert_eq!(
+            self.color(self.root),
+            Color::Black,
+            "root must be black"
+        );
+        self.check_node(self.root, i64::MIN, i64::MAX)
+    }
+
+    fn check_node(&self, x: u32, lo: i64, hi: i64) -> usize {
+        if x == NIL {
+            return 1; // NIL leaves are black
+        }
+        let n = &self.nodes[x as usize];
+        assert!(n.key >= lo && n.key <= hi, "BST order violated at {}", n.key);
+        if n.color == Color::Red {
+            assert_eq!(self.color(n.left), Color::Black, "red-red at {}", n.key);
+            assert_eq!(self.color(n.right), Color::Black, "red-red at {}", n.key);
+        }
+        if n.left != NIL {
+            assert_eq!(self.nodes[n.left as usize].parent, x, "parent link");
+        }
+        if n.right != NIL {
+            assert_eq!(self.nodes[n.right as usize].parent, x, "parent link");
+        }
+        let bl = self.check_node(n.left, lo, n.key.saturating_sub(1));
+        let br = self.check_node(n.right, n.key.saturating_add(1), hi);
+        assert_eq!(bl, br, "black height mismatch at {}", n.key);
+        bl + usize::from(n.color == Color::Black)
+    }
+}
+
+/// In-order iterator produced by [`RBTree::range`].
+pub struct RangeIter<'a> {
+    tree: &'a RBTree,
+    stack: Vec<u32>,
+    hi: i64,
+}
+
+impl<'a> Iterator for RangeIter<'a> {
+    type Item = (i64, &'a [u32]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.stack.pop()?;
+        let n = &self.tree.nodes[x as usize];
+        if n.key > self.hi {
+            self.stack.clear();
+            return None;
+        }
+        // push the successor path: leftmost spine of the right subtree
+        let mut c = n.right;
+        while c != NIL {
+            self.stack.push(c);
+            c = self.tree.nodes[c as usize].left;
+        }
+        Some((n.key, &n.rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_insert_stays_balanced() {
+        let mut t = RBTree::new();
+        for i in 0..4096i64 {
+            t.insert(i, i as u32);
+        }
+        let bh = t.check_invariants();
+        // black height of a 4096-node RB tree is at most log2(n+1) ~ 12+1
+        assert!(bh <= 13, "black height {bh}");
+        assert_eq!(t.len(), 4096);
+        assert_eq!(t.min_key(), Some(0));
+        assert_eq!(t.max_key(), Some(4095));
+    }
+
+    #[test]
+    fn reverse_and_zigzag_inserts() {
+        let mut t = RBTree::new();
+        for i in (0..2048i64).rev() {
+            t.insert(i, i as u32);
+        }
+        t.check_invariants();
+        let mut t = RBTree::new();
+        for i in 0..2048i64 {
+            let k = if i % 2 == 0 { i } else { 4096 - i };
+            t.insert(k, i as u32);
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn get_and_duplicates() {
+        let mut t = RBTree::new();
+        t.insert(5, 1);
+        t.insert(3, 2);
+        t.insert(5, 3);
+        t.insert(9, 4);
+        assert_eq!(t.get(5), &[1, 3]);
+        assert_eq!(t.get(3), &[2]);
+        assert!(t.get(4).is_empty());
+        assert_eq!(t.len(), 3);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn range_scan_in_order() {
+        let mut t = RBTree::new();
+        for i in [50i64, 20, 80, 10, 30, 70, 90, 60, 40] {
+            t.insert(i, i as u32);
+        }
+        let keys: Vec<i64> = t.range(25, 75).map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![30, 40, 50, 60, 70]);
+        let all: Vec<i64> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(all, vec![10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        // empty and out-of-bounds ranges
+        assert_eq!(t.range(91, 200).count(), 0);
+        assert_eq!(t.range(75, 25).count(), 0);
+    }
+
+    #[test]
+    fn negative_keys_and_extremes() {
+        let mut t = RBTree::new();
+        for k in [-100i64, 0, 100, i64::MIN + 1, i64::MAX - 1] {
+            t.insert(k, 0);
+        }
+        t.check_invariants();
+        let keys: Vec<i64> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![i64::MIN + 1, -100, 0, 100, i64::MAX - 1]);
+    }
+
+    #[test]
+    fn iter_matches_btreemap_model() {
+        use std::collections::BTreeMap;
+        let mut t = RBTree::new();
+        let mut model: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+        let mut x = 88u64;
+        for i in 0..5000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = (x % 1000) as i64 - 500;
+            t.insert(k, i);
+            model.entry(k).or_default().push(i);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), model.len());
+        let ours: Vec<(i64, Vec<u32>)> = t.iter().map(|(k, r)| (k, r.to_vec())).collect();
+        let theirs: Vec<(i64, Vec<u32>)> = model.into_iter().collect();
+        assert_eq!(ours, theirs);
+    }
+}

@@ -1,0 +1,180 @@
+//! Extended reasonable cuts (§V-A).
+//!
+//! A *cut* is an attribute set considered for isolation into its own
+//! partition. Classic reasonable cuts take, per query, the set of accessed
+//! attributes. The paper's extension derives cuts from the **access
+//! patterns** instead: attributes accessed within one atom (or in concurrent
+//! atoms of the same kind and probability) stay together; attributes of the
+//! same query accessed under *different* patterns — a scanned selection
+//! column vs. conditionally read payload — produce separate cuts. For
+//! concurrent conditional reads with selectivity < 1 both the split and the
+//! merged variants are candidates.
+
+use pdsm_plan::patterns::{AccessGroup, AccessKind};
+use pdsm_storage::ColId;
+use std::collections::BTreeSet;
+
+/// An attribute set proposed for isolation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Cut(pub Vec<ColId>);
+
+impl Cut {
+    fn from_set(s: &BTreeSet<ColId>) -> Self {
+        Cut(s.iter().copied().collect())
+    }
+}
+
+impl std::fmt::Display for Cut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Two probabilities count as "the same access class" within this tolerance
+/// (concurrent atoms of the same kind merge, §V-A).
+const PROB_EPS: f64 = 1e-9;
+
+/// Generate the extended reasonable cuts of one table from the per-query
+/// access groups (`groups[q]` = the groups query `q` emitted).
+pub fn extended_reasonable_cuts(groups_per_query: &[Vec<AccessGroup>]) -> Vec<Cut> {
+    let mut cuts: BTreeSet<Cut> = BTreeSet::new();
+    for query_groups in groups_per_query {
+        // 1. every atomic access group is a cut
+        for g in query_groups {
+            if !g.cols.is_empty() {
+                cuts.insert(Cut(g.cols.clone()));
+            }
+        }
+        // 2. concurrent groups of the same kind and probability merge
+        let mut classes: Vec<(AccessKind, f64, BTreeSet<ColId>)> = Vec::new();
+        for g in query_groups {
+            match classes
+                .iter_mut()
+                .find(|(k, p, _)| *k == g.kind && (*p - g.prob).abs() < PROB_EPS)
+            {
+                Some((_, _, set)) => set.extend(g.cols.iter().copied()),
+                None => {
+                    classes.push((g.kind, g.prob, g.cols.iter().copied().collect()));
+                }
+            }
+        }
+        for (_, _, set) in &classes {
+            cuts.insert(Cut::from_set(set));
+        }
+        // 3. conditional reads with s < 1 may or may not co-occur with the
+        //    unconditional scan: the merged variant is also a candidate
+        //    ("we have to consider all possible cuts", §V-A).
+        let mut query_union: BTreeSet<ColId> = BTreeSet::new();
+        for g in query_groups {
+            query_union.extend(g.cols.iter().copied());
+        }
+        if !query_union.is_empty() {
+            cuts.insert(Cut::from_set(&query_union)); // the classic cut
+        }
+        // pairwise merges of classes (split-vs-merge candidates)
+        for i in 0..classes.len() {
+            for j in (i + 1)..classes.len() {
+                let mut merged = classes[i].2.clone();
+                merged.extend(classes[j].2.iter().copied());
+                cuts.insert(Cut::from_set(&merged));
+            }
+        }
+    }
+    cuts.retain(|c| !c.0.is_empty());
+    cuts.into_iter().collect()
+}
+
+/// Classic (query-level) reasonable cuts — the ablation baseline: one cut
+/// per query, containing every attribute the query touches.
+pub fn classic_reasonable_cuts(groups_per_query: &[Vec<AccessGroup>]) -> Vec<Cut> {
+    let mut cuts: BTreeSet<Cut> = BTreeSet::new();
+    for query_groups in groups_per_query {
+        let mut union: BTreeSet<ColId> = BTreeSet::new();
+        for g in query_groups {
+            union.extend(g.cols.iter().copied());
+        }
+        if !union.is_empty() {
+            cuts.insert(Cut::from_set(&union));
+        }
+    }
+    cuts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(cols: &[ColId], kind: AccessKind, prob: f64) -> AccessGroup {
+        AccessGroup {
+            table: "t".into(),
+            cols: cols.to_vec(),
+            kind,
+            prob,
+        }
+    }
+
+    #[test]
+    fn example_query_splits_condition_from_payload() {
+        // The paper's motivating case: {{A},{B,C,D,E}} must be generated
+        // even though A and B..E are accessed in the same query (§V-A).
+        let groups = vec![vec![
+            g(&[0], AccessKind::Sequential, 1.0),
+            g(&[1, 2, 3, 4], AccessKind::Conditional, 0.01),
+        ]];
+        let cuts = extended_reasonable_cuts(&groups);
+        assert!(cuts.contains(&Cut(vec![0])), "{cuts:?}");
+        assert!(cuts.contains(&Cut(vec![1, 2, 3, 4])), "{cuts:?}");
+        // the merged (classic) cut is also a candidate
+        assert!(cuts.contains(&Cut(vec![0, 1, 2, 3, 4])), "{cuts:?}");
+        // classic cuts alone would never consider the split
+        let classic = classic_reasonable_cuts(&groups);
+        assert_eq!(classic, vec![Cut(vec![0, 1, 2, 3, 4])]);
+    }
+
+    #[test]
+    fn same_kind_same_prob_merges() {
+        // two concurrent full scans merge into one cut
+        let groups = vec![vec![
+            g(&[0], AccessKind::Sequential, 1.0),
+            g(&[3], AccessKind::Sequential, 1.0),
+        ]];
+        let cuts = extended_reasonable_cuts(&groups);
+        assert!(cuts.contains(&Cut(vec![0, 3])));
+    }
+
+    #[test]
+    fn different_probabilities_stay_separate_but_offer_merge() {
+        // s_trav_cr(a, 0.5) ⊙ s_trav_cr(b, 0.1): both splits and the merge
+        let groups = vec![vec![
+            g(&[0], AccessKind::Conditional, 0.5),
+            g(&[1], AccessKind::Conditional, 0.1),
+        ]];
+        let cuts = extended_reasonable_cuts(&groups);
+        assert!(cuts.contains(&Cut(vec![0])));
+        assert!(cuts.contains(&Cut(vec![1])));
+        assert!(cuts.contains(&Cut(vec![0, 1])));
+    }
+
+    #[test]
+    fn cuts_deduplicate_across_queries() {
+        let groups = vec![
+            vec![g(&[0], AccessKind::Sequential, 1.0)],
+            vec![g(&[0], AccessKind::Sequential, 1.0)],
+        ];
+        let cuts = extended_reasonable_cuts(&groups);
+        assert_eq!(cuts.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_no_cuts() {
+        assert!(extended_reasonable_cuts(&[]).is_empty());
+        assert!(extended_reasonable_cuts(&[vec![]]).is_empty());
+    }
+}

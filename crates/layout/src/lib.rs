@@ -1,0 +1,28 @@
+//! # pdsm-layout
+//!
+//! Workload-driven schema decomposition (§V of the paper).
+//!
+//! Finding the optimal vertical partitioning is a search over all layouts
+//! with the cost model as objective. Attribute-level search is exponential
+//! in the schema width, so the paper (following Chu & Ieong) takes the
+//! *queries* as hints:
+//!
+//! * [`cuts`] derives **extended reasonable cuts** from the access patterns
+//!   a workload's queries emit — unlike classic reasonable cuts, attributes
+//!   accessed *in the same query but under different access patterns* (e.g.
+//!   a scanned selection column vs. conditionally read payload columns)
+//!   yield separate cuts (§V-A; this is what splits `NAME1` from `NAME2` in
+//!   Table IV),
+//! * [`bpi`] implements the **BPi** branch-and-bound over cut subsets with a
+//!   cost-improvement threshold, plus the exhaustive **OBP** used as a test
+//!   oracle on small inputs,
+//! * [`workload`] prices a workload under a candidate layout by running
+//!   every query through the plan→pattern translation and the cost model.
+
+pub mod bpi;
+pub mod cuts;
+pub mod workload;
+
+pub use bpi::{optimize_table, OptimizerConfig};
+pub use cuts::{extended_reasonable_cuts, Cut};
+pub use workload::{Workload, WorkloadQuery};

@@ -1,0 +1,172 @@
+//! Workloads and their cost under candidate layouts.
+
+use pdsm_cost::{cost, Hierarchy};
+use pdsm_plan::logical::LogicalPlan;
+use pdsm_plan::patterns::{emit_pattern, AccessGroup, TableView};
+use pdsm_storage::Layout;
+use std::collections::HashMap;
+
+/// One query of a workload with its execution frequency (the CNET benchmark
+/// weighs its queries 1 / 1 / 100 / 10 000, Table V).
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    pub plan: LogicalPlan,
+    pub frequency: f64,
+    /// Optional label for reports.
+    pub name: String,
+}
+
+impl WorkloadQuery {
+    /// A query with frequency 1.
+    pub fn new(name: impl Into<String>, plan: LogicalPlan) -> Self {
+        WorkloadQuery {
+            plan,
+            frequency: 1.0,
+            name: name.into(),
+        }
+    }
+
+    /// Set the frequency.
+    pub fn with_frequency(mut self, f: f64) -> Self {
+        self.frequency = f;
+        self
+    }
+}
+
+/// A set of weighted queries over a fixed set of tables.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    pub queries: Vec<WorkloadQuery>,
+}
+
+impl Workload {
+    /// Empty workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a query.
+    pub fn push(&mut self, q: WorkloadQuery) -> &mut Self {
+        self.queries.push(q);
+        self
+    }
+
+    /// Frequency-weighted cost (cycles) of the whole workload under the
+    /// layouts in `views`.
+    pub fn cost(&self, views: &HashMap<String, TableView>, hw: &Hierarchy) -> f64 {
+        self.queries
+            .iter()
+            .map(|q| {
+                let emitted = emit_pattern(&q.plan, views);
+                q.frequency * cost::estimate(&emitted.pattern, hw).total_cycles
+            })
+            .sum()
+    }
+
+    /// Workload cost when `table` uses `layout` (other tables keep the
+    /// layouts in `views`).
+    pub fn cost_with_layout(
+        &self,
+        views: &HashMap<String, TableView>,
+        table: &str,
+        layout: &Layout,
+        hw: &Hierarchy,
+    ) -> f64 {
+        let mut v = views.clone();
+        if let Some(tv) = v.get_mut(table) {
+            *tv = tv.with_layout(layout.clone());
+        }
+        self.cost(&v, hw)
+    }
+
+    /// All access groups the workload's queries emit for `table`, with each
+    /// group's probability weighted into a per-query record (input to cut
+    /// generation). Layout-independent.
+    pub fn access_groups(
+        &self,
+        views: &HashMap<String, TableView>,
+        table: &str,
+    ) -> Vec<Vec<AccessGroup>> {
+        self.queries
+            .iter()
+            .map(|q| {
+                emit_pattern(&q.plan, views)
+                    .groups
+                    .into_iter()
+                    .filter(|g| g.table == table)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsm_plan::builder::QueryBuilder;
+    use pdsm_plan::expr::Expr;
+    use pdsm_plan::logical::{AggExpr, AggFunc};
+
+    fn views() -> HashMap<String, TableView> {
+        let mut m = HashMap::new();
+        m.insert(
+            "R".to_string(),
+            TableView {
+                name: "R".into(),
+                n_rows: 1_000_000,
+                col_widths: vec![4; 16],
+                layout: Layout::row(16),
+                stats: None,
+            },
+        );
+        m
+    }
+
+    fn narrow_query(sel: f64) -> WorkloadQuery {
+        WorkloadQuery::new(
+            "q",
+            QueryBuilder::scan("R")
+                .filter_with_selectivity(Expr::col(0).eq(Expr::lit(1)), sel)
+                .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, Expr::col(1))])
+                .build(),
+        )
+    }
+
+    #[test]
+    fn column_layout_beats_row_for_narrow_scan() {
+        let hw = Hierarchy::nehalem();
+        let mut w = Workload::new();
+        w.push(narrow_query(0.001));
+        let v = views();
+        let row = w.cost(&v, &hw);
+        let col = w.cost_with_layout(&v, "R", &Layout::column(16), &hw);
+        assert!(
+            col < row / 2.0,
+            "narrow scan: column {col:.0} should be well below row {row:.0}"
+        );
+    }
+
+    #[test]
+    fn frequency_scales_cost() {
+        let hw = Hierarchy::nehalem();
+        let mut w1 = Workload::new();
+        w1.push(narrow_query(0.01));
+        let mut w10 = Workload::new();
+        w10.push(narrow_query(0.01).with_frequency(10.0));
+        let v = views();
+        let c1 = w1.cost(&v, &hw);
+        let c10 = w10.cost(&v, &hw);
+        assert!((c10 / c1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_groups_filtered_per_table() {
+        let mut w = Workload::new();
+        w.push(narrow_query(0.01));
+        let groups = w.access_groups(&views(), "R");
+        assert_eq!(groups.len(), 1);
+        assert!(!groups[0].is_empty());
+        let none = w.access_groups(&views(), "S");
+        assert!(none[0].is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Fluent construction of logical plans.
+
+use crate::expr::Expr;
+use crate::logical::{AggExpr, LogicalPlan, SortKey};
+
+/// Builder over a growing plan. Each method wraps the current plan in one
+/// operator; `build` returns the finished [`LogicalPlan`].
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    plan: LogicalPlan,
+}
+
+impl QueryBuilder {
+    /// Start from a base-table scan.
+    pub fn scan(table: impl Into<String>) -> Self {
+        QueryBuilder {
+            plan: LogicalPlan::Scan {
+                table: table.into(),
+            },
+        }
+    }
+
+    /// Continue from an existing plan.
+    pub fn from_plan(plan: LogicalPlan) -> Self {
+        QueryBuilder { plan }
+    }
+
+    /// `WHERE pred`.
+    pub fn filter(self, pred: Expr) -> Self {
+        QueryBuilder {
+            plan: LogicalPlan::Select {
+                input: Box::new(self.plan),
+                pred,
+                sel_hint: None,
+            },
+        }
+    }
+
+    /// `WHERE pred`, with the predicate's selectivity pinned for the cost
+    /// model (the benchmarks sweep selectivity explicitly).
+    pub fn filter_with_selectivity(self, pred: Expr, sel: f64) -> Self {
+        QueryBuilder {
+            plan: LogicalPlan::Select {
+                input: Box::new(self.plan),
+                pred,
+                sel_hint: Some(sel),
+            },
+        }
+    }
+
+    /// `SELECT exprs`.
+    pub fn project(self, exprs: Vec<Expr>) -> Self {
+        QueryBuilder {
+            plan: LogicalPlan::Project {
+                input: Box::new(self.plan),
+                exprs,
+            },
+        }
+    }
+
+    /// `GROUP BY group_by` with aggregates (empty `group_by` = scalar agg).
+    pub fn aggregate(self, group_by: Vec<Expr>, aggs: Vec<AggExpr>) -> Self {
+        QueryBuilder {
+            plan: LogicalPlan::Aggregate {
+                input: Box::new(self.plan),
+                group_by,
+                aggs,
+            },
+        }
+    }
+
+    /// Hash equi-join with `right`; key expressions are in each side's own
+    /// column space. Output columns: left's then right's.
+    pub fn join(self, right: LogicalPlan, left_key: Expr, right_key: Expr) -> Self {
+        QueryBuilder {
+            plan: LogicalPlan::Join {
+                left: Box::new(self.plan),
+                right: Box::new(right),
+                left_key,
+                right_key,
+            },
+        }
+    }
+
+    /// `ORDER BY expr [ASC]`.
+    pub fn sort(self, keys: Vec<(Expr, bool)>) -> Self {
+        QueryBuilder {
+            plan: LogicalPlan::Sort {
+                input: Box::new(self.plan),
+                keys: keys
+                    .into_iter()
+                    .map(|(expr, asc)| SortKey { expr, asc })
+                    .collect(),
+            },
+        }
+    }
+
+    /// `LIMIT n`.
+    pub fn limit(self, n: usize) -> Self {
+        QueryBuilder {
+            plan: LogicalPlan::Limit {
+                input: Box::new(self.plan),
+                n,
+            },
+        }
+    }
+
+    /// Finish.
+    pub fn build(self) -> LogicalPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::AggFunc;
+
+    #[test]
+    fn builds_nested_plan() {
+        let plan = QueryBuilder::scan("t")
+            .filter(Expr::col(0).gt(Expr::lit(5)))
+            .project(vec![Expr::col(1), Expr::col(2)])
+            .sort(vec![(Expr::col(0), true)])
+            .limit(10)
+            .build();
+        match plan {
+            LogicalPlan::Limit { input, n: 10 } => match *input {
+                LogicalPlan::Sort { input, .. } => match *input {
+                    LogicalPlan::Project { input, exprs } => {
+                        assert_eq!(exprs.len(), 2);
+                        assert!(matches!(*input, LogicalPlan::Select { .. }));
+                    }
+                    other => panic!("expected Project, got {other:?}"),
+                },
+                other => panic!("expected Sort, got {other:?}"),
+            },
+            other => panic!("expected Limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selectivity_hint_stored() {
+        let plan = QueryBuilder::scan("t")
+            .filter_with_selectivity(Expr::col(0).eq(Expr::lit(1)), 0.01)
+            .build();
+        match plan {
+            LogicalPlan::Select { sel_hint, .. } => assert_eq!(sel_hint, Some(0.01)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_shape() {
+        let plan = QueryBuilder::scan("t")
+            .aggregate(
+                vec![Expr::col(0)],
+                vec![AggExpr::count_star(), AggExpr::new(AggFunc::Max, Expr::col(1))],
+            )
+            .build();
+        match plan {
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
+                assert_eq!(group_by.len(), 1);
+                assert_eq!(aggs.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

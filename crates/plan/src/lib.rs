@@ -1,0 +1,28 @@
+//! # pdsm-plan
+//!
+//! Query representation and the paper's plan→access-pattern translation.
+//!
+//! * [`expr`] — scalar expression language (comparisons, `LIKE`, arithmetic,
+//!   boolean connectives) with an interpreter used by the Volcano engine and
+//!   the test oracles.
+//! * [`logical`] — relational plans: scan, select, project, aggregate,
+//!   hash-join, sort, limit.
+//! * [`builder`] — fluent construction of plans.
+//! * [`selectivity`] — cardinality heuristics plus per-query hints.
+//! * [`patterns`] — §IV-D: pre-order traversal of the plan emitting the
+//!   memory-access-pattern "program" of Table II, parameterized by a
+//!   [`patterns::TableView`] (row count + candidate layout), so the same
+//!   query can be priced under any hypothetical layout — the mechanism the
+//!   BPi layout optimizer drives.
+
+pub mod builder;
+pub mod expr;
+pub mod logical;
+pub mod patterns;
+pub mod selectivity;
+
+pub use builder::QueryBuilder;
+pub use expr::{ArithOp, CmpOp, Expr};
+pub use logical::{AggExpr, AggFunc, LogicalPlan, SortKey};
+pub use patterns::{emit_pattern, AccessGroup, AccessKind, TableView};
+pub use selectivity::estimate_selectivity;

@@ -1,0 +1,308 @@
+//! Relational query plans.
+//!
+//! Plans are positional: an operator's output row is a flat `Vec<Value>` and
+//! `Expr::Col(i)` indexes it. A scan produces the full table schema (column
+//! pruning is a *physical* concern: the compiled and bulk engines read only
+//! the columns the plan requires, which is what makes layouts matter). A
+//! join produces `left columns ++ right columns`.
+
+use crate::expr::Expr;
+use pdsm_storage::ColId;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl std::fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        })
+    }
+}
+
+/// One aggregate: `func(arg)`, or `count(*)` when `arg` is `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    pub arg: Option<Expr>,
+}
+
+impl AggExpr {
+    /// `count(*)`.
+    pub fn count_star() -> Self {
+        AggExpr {
+            func: AggFunc::Count,
+            arg: None,
+        }
+    }
+
+    /// `func(expr)`.
+    pub fn new(func: AggFunc, arg: Expr) -> Self {
+        AggExpr {
+            func,
+            arg: Some(arg),
+        }
+    }
+}
+
+/// A sort key: expression plus direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    pub expr: Expr,
+    pub asc: bool,
+}
+
+/// A logical query plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base-table scan producing the full schema row.
+    Scan { table: String },
+    /// Filter; `sel_hint` optionally pins the predicate's selectivity for
+    /// the cost model (benchmarks sweep it explicitly, §VI).
+    Select {
+        input: Box<LogicalPlan>,
+        pred: Expr,
+        sel_hint: Option<f64>,
+    },
+    /// Projection to arbitrary expressions.
+    Project {
+        input: Box<LogicalPlan>,
+        exprs: Vec<Expr>,
+    },
+    /// Hash aggregate. Output = group expressions ++ aggregates.
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggExpr>,
+    },
+    /// Hash equi-join: build on `left`, probe with `right`.
+    /// Output = left columns ++ right columns. Key expressions are evaluated
+    /// against their own side's rows.
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        left_key: Expr,
+        right_key: Expr,
+    },
+    /// Sort by keys.
+    Sort {
+        input: Box<LogicalPlan>,
+        keys: Vec<SortKey>,
+    },
+    /// Keep the first `n` rows.
+    Limit { input: Box<LogicalPlan>, n: usize },
+}
+
+impl LogicalPlan {
+    /// Number of columns this node outputs, given a resolver from table name
+    /// to schema width.
+    pub fn arity(&self, table_width: &impl Fn(&str) -> usize) -> usize {
+        match self {
+            LogicalPlan::Scan { table } => table_width(table),
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.arity(table_width),
+            LogicalPlan::Project { exprs, .. } => exprs.len(),
+            LogicalPlan::Aggregate { group_by, aggs, .. } => group_by.len() + aggs.len(),
+            LogicalPlan::Join { left, right, .. } => {
+                left.arity(table_width) + right.arity(table_width)
+            }
+        }
+    }
+
+    /// The tables referenced by this plan, in scan order.
+    pub fn tables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            LogicalPlan::Scan { table } => out.push(table),
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.collect_tables(out),
+            LogicalPlan::Join { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+
+    /// Columns of `table`'s base schema this plan actually touches —
+    /// the driver of column pruning and of the layout optimizer's
+    /// "reasonable cuts". Only meaningful for plans over a single occurrence
+    /// of each table; join plans attribute columns to sides positionally.
+    pub fn required_columns(&self, table_width: &impl Fn(&str) -> usize) -> Vec<(String, Vec<ColId>)> {
+        let mut acc: Vec<(String, Vec<ColId>)> = Vec::new();
+        // Every output column of the plan root is required by the consumer.
+        let mut all: Vec<ColId> = (0..self.arity(table_width)).collect();
+        self.collect_required(table_width, &mut acc, &mut all);
+        for (_, cols) in &mut acc {
+            cols.sort_unstable();
+            cols.dedup();
+        }
+        acc
+    }
+
+    /// Recursive helper: `upstream` carries the column indexes (in this
+    /// node's output space) that ancestors require.
+    fn collect_required(
+        &self,
+        table_width: &impl Fn(&str) -> usize,
+        acc: &mut Vec<(String, Vec<ColId>)>,
+        upstream: &mut Vec<ColId>,
+    ) {
+        match self {
+            LogicalPlan::Scan { table } => {
+                let entry = match acc.iter_mut().find(|(t, _)| t == table) {
+                    Some((_, cols)) => cols,
+                    None => {
+                        acc.push((table.clone(), Vec::new()));
+                        &mut acc.last_mut().unwrap().1
+                    }
+                };
+                entry.extend(upstream.iter().copied());
+            }
+            LogicalPlan::Select { input, pred, .. } => {
+                let mut need = upstream.clone();
+                need.extend(pred.columns());
+                input.collect_required(table_width, acc, &mut need);
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let mut need = Vec::new();
+                for &i in upstream.iter() {
+                    if let Some(e) = exprs.get(i) {
+                        need.extend(e.columns());
+                    }
+                }
+                input.collect_required(table_width, acc, &mut need);
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                // aggregation consumes its inputs regardless of which outputs
+                // are used upstream
+                let mut need = Vec::new();
+                for g in group_by {
+                    need.extend(g.columns());
+                }
+                for a in aggs {
+                    if let Some(e) = &a.arg {
+                        need.extend(e.columns());
+                    }
+                }
+                input.collect_required(table_width, acc, &mut need);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let lw = left.arity(table_width);
+                let mut lneed: Vec<ColId> = upstream.iter().filter(|&&c| c < lw).copied().collect();
+                let mut rneed: Vec<ColId> = upstream
+                    .iter()
+                    .filter(|&&c| c >= lw)
+                    .map(|&c| c - lw)
+                    .collect();
+                lneed.extend(left_key.columns());
+                rneed.extend(right_key.columns());
+                left.collect_required(table_width, acc, &mut lneed);
+                right.collect_required(table_width, acc, &mut rneed);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let mut need = upstream.clone();
+                for k in keys {
+                    need.extend(k.expr.columns());
+                }
+                input.collect_required(table_width, acc, &mut need);
+            }
+            LogicalPlan::Limit { input, .. } => {
+                input.collect_required(table_width, acc, upstream);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+
+    fn width(t: &str) -> usize {
+        match t {
+            "R" => 16,
+            "S" => 4,
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn arity_through_operators() {
+        let plan = QueryBuilder::scan("R")
+            .filter(Expr::col(0).eq(Expr::lit(1)))
+            .aggregate(
+                vec![],
+                vec![
+                    AggExpr::new(AggFunc::Sum, Expr::col(1)),
+                    AggExpr::new(AggFunc::Sum, Expr::col(2)),
+                ],
+            )
+            .build();
+        assert_eq!(plan.arity(&width), 2);
+        let p2 = QueryBuilder::scan("R").project(vec![Expr::col(3)]).build();
+        assert_eq!(p2.arity(&width), 1);
+    }
+
+    #[test]
+    fn join_output_is_concatenation() {
+        let plan = QueryBuilder::scan("R")
+            .join(QueryBuilder::scan("S").build(), Expr::col(0), Expr::col(0))
+            .build();
+        assert_eq!(plan.arity(&width), 20);
+        assert_eq!(plan.tables(), vec!["R", "S"]);
+    }
+
+    #[test]
+    fn required_columns_pruned_through_projection() {
+        // select sum(B) from R where A = 1 — touches only cols 0 and 1.
+        let plan = QueryBuilder::scan("R")
+            .filter(Expr::col(0).eq(Expr::lit(1)))
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, Expr::col(1))])
+            .build();
+        let req = plan.required_columns(&width);
+        assert_eq!(req, vec![("R".to_string(), vec![0, 1])]);
+    }
+
+    #[test]
+    fn required_columns_across_join_sides() {
+        // R join S on R.c2 = S.c1, then keep S.c3 (output col 16+3=19)
+        let plan = QueryBuilder::scan("R")
+            .join(QueryBuilder::scan("S").build(), Expr::col(2), Expr::col(1))
+            .project(vec![Expr::col(19)])
+            .build();
+        let req = plan.required_columns(&width);
+        let r = req.iter().find(|(t, _)| t == "R").unwrap();
+        let s = req.iter().find(|(t, _)| t == "S").unwrap();
+        assert_eq!(r.1, vec![2]);
+        assert_eq!(s.1, vec![1, 3]);
+    }
+}

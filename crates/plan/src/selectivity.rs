@@ -1,0 +1,139 @@
+//! Selectivity heuristics.
+//!
+//! The cost model (§IV) needs predicate selectivities (`s` of `s_trav_cr`).
+//! Benchmarks pin them with [`crate::builder::QueryBuilder::filter_with_selectivity`];
+//! otherwise these System-R-style heuristics apply, informed by per-column
+//! distinct counts when the caller supplies them.
+
+use crate::expr::{CmpOp, Expr};
+use pdsm_storage::ColId;
+
+/// Per-column statistics available to the estimator. All fields optional —
+/// missing information falls back to conventional constants.
+#[derive(Debug, Clone, Default)]
+pub struct TableStatsView {
+    /// Distinct count per column id.
+    pub distinct: Vec<Option<usize>>,
+    /// Non-NULL fraction per column id.
+    pub density: Vec<Option<f64>>,
+}
+
+impl TableStatsView {
+    fn distinct_of(&self, c: ColId) -> Option<usize> {
+        self.distinct.get(c).copied().flatten()
+    }
+
+    fn density_of(&self, c: ColId) -> Option<f64> {
+        self.density.get(c).copied().flatten()
+    }
+}
+
+const DEFAULT_EQ: f64 = 0.01;
+const DEFAULT_RANGE: f64 = 1.0 / 3.0;
+const DEFAULT_LIKE: f64 = 0.05;
+const DEFAULT_NULL_FRAC: f64 = 0.05;
+const DEFAULT_OTHER: f64 = 1.0 / 3.0;
+
+/// Estimate the fraction of rows satisfying `pred`.
+pub fn estimate_selectivity(pred: &Expr, stats: Option<&TableStatsView>) -> f64 {
+    let s = match pred {
+        Expr::Cmp { op, left, right } => {
+            let col = single_column(left).or_else(|| single_column(right));
+            match op {
+                CmpOp::Eq => col
+                    .and_then(|c| stats.and_then(|s| s.distinct_of(c)))
+                    .map(|d| 1.0 / d.max(1) as f64)
+                    .unwrap_or(DEFAULT_EQ),
+                CmpOp::Ne => 1.0 - estimate_selectivity(
+                    &Expr::Cmp {
+                        op: CmpOp::Eq,
+                        left: left.clone(),
+                        right: right.clone(),
+                    },
+                    stats,
+                ),
+                _ => DEFAULT_RANGE,
+            }
+        }
+        Expr::Like { .. } => DEFAULT_LIKE,
+        Expr::And(a, b) => estimate_selectivity(a, stats) * estimate_selectivity(b, stats),
+        Expr::Or(a, b) => {
+            let (sa, sb) = (estimate_selectivity(a, stats), estimate_selectivity(b, stats));
+            sa + sb - sa * sb
+        }
+        Expr::Not(a) => 1.0 - estimate_selectivity(a, stats),
+        Expr::IsNull(a) => single_column(a)
+            .and_then(|c| stats.and_then(|s| s.density_of(c)))
+            .map(|d| 1.0 - d)
+            .unwrap_or(DEFAULT_NULL_FRAC),
+        Expr::Lit(v) => {
+            if v.as_i64().unwrap_or(0) != 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        _ => DEFAULT_OTHER,
+    };
+    s.clamp(0.0, 1.0)
+}
+
+/// If `e` references exactly one column, return it.
+fn single_column(e: &Expr) -> Option<ColId> {
+    let cols = e.columns();
+    if cols.len() == 1 {
+        Some(cols[0])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_uses_distinct_counts() {
+        let stats = TableStatsView {
+            distinct: vec![Some(200)],
+            density: vec![Some(1.0)],
+        };
+        let s = estimate_selectivity(&Expr::col(0).eq(Expr::lit(5)), Some(&stats));
+        assert!((s - 0.005).abs() < 1e-12);
+        let s = estimate_selectivity(&Expr::col(0).eq(Expr::lit(5)), None);
+        assert_eq!(s, DEFAULT_EQ);
+    }
+
+    #[test]
+    fn connectives_combine() {
+        let a = Expr::col(0).eq(Expr::lit(1));
+        let b = Expr::col(1).eq(Expr::lit(2));
+        let and = estimate_selectivity(&a.clone().and(b.clone()), None);
+        let or = estimate_selectivity(&a.clone().or(b.clone()), None);
+        assert!((and - 0.0001).abs() < 1e-12);
+        assert!((or - (0.02 - 0.0001)).abs() < 1e-12);
+        let not = estimate_selectivity(&a.not(), None);
+        assert!((not - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_always_in_unit_interval() {
+        let weird = Expr::col(0)
+            .eq(Expr::lit(1))
+            .or(Expr::col(1).ne(Expr::lit(2)))
+            .or(Expr::col(2).le(Expr::lit(3)))
+            .and(Expr::col(3).like("%x%").not());
+        let s = estimate_selectivity(&weird, None);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn is_null_uses_density() {
+        let stats = TableStatsView {
+            distinct: vec![None],
+            density: vec![Some(0.8)],
+        };
+        let s = estimate_selectivity(&Expr::col(0).is_null(), Some(&stats));
+        assert!((s - 0.2).abs() < 1e-12);
+    }
+}

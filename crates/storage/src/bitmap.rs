@@ -1,0 +1,137 @@
+//! A simple growable bitmap used for per-column validity (NULL) tracking.
+
+/// Growable bitset backed by `u64` words. Bit `i` set means "valid"
+/// (non-NULL) when used as a validity mask.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bitmap with `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let nwords = len.div_ceil(64);
+        let word = if value { u64::MAX } else { 0 };
+        let mut bm = Bitmap {
+            words: vec![word; nwords],
+            len,
+        };
+        bm.clear_tail();
+        bm
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one bit.
+    #[inline]
+    pub fn push(&mut self, value: bool) {
+        let idx = self.len;
+        self.len += 1;
+        if idx / 64 == self.words.len() {
+            self.words.push(0);
+        }
+        if value {
+            self.words[idx / 64] |= 1u64 << (idx % 64);
+        }
+    }
+
+    /// Read bit `i`. Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to `value`. Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over all bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Zero any bits beyond `len` in the last word (keeps `count_ones` exact).
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set_roundtrip() {
+        let mut bm = Bitmap::new();
+        for i in 0..200 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 200);
+        for i in 0..200 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+        bm.set(1, true);
+        assert!(bm.get(1));
+        bm.set(0, false);
+        assert!(!bm.get(0));
+    }
+
+    #[test]
+    fn filled_counts() {
+        let bm = Bitmap::filled(130, true);
+        assert_eq!(bm.count_ones(), 130);
+        let bm = Bitmap::filled(130, false);
+        assert_eq!(bm.count_ones(), 0);
+        assert!(Bitmap::new().is_empty());
+    }
+
+    #[test]
+    fn count_ones_matches_iter() {
+        let mut bm = Bitmap::new();
+        for i in 0..1000 {
+            bm.push(i % 7 < 3);
+        }
+        assert_eq!(bm.count_ones(), bm.iter().filter(|&b| b).count());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmap::filled(3, true).get(3);
+    }
+}

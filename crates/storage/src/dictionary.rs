@@ -1,0 +1,170 @@
+//! Per-column string dictionaries.
+//!
+//! Strings are stored out-of-line: each distinct string gets a dense `u32`
+//! code, and partitions store only the code. This keeps partition strides
+//! fixed (the cost model's `R.w`) and makes equality predicates on strings a
+//! single integer comparison. `LIKE`-style predicates are evaluated against
+//! the dictionary once and then reduce to a code-set membership test — the
+//! same trick used by the column stores the paper compares against.
+
+use std::collections::HashMap;
+
+/// An order-preserving-insertion string dictionary.
+///
+/// Codes are assigned in first-seen order, so they are *not* sorted; range
+/// predicates on strings go through [`Dictionary::codes_matching`].
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    strings: Vec<String>,
+    codes: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True iff no strings interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Intern `s`, returning its code (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.codes.get(s) {
+            return c;
+        }
+        let c = u32::try_from(self.strings.len()).expect("dictionary overflow");
+        self.strings.push(s.to_owned());
+        self.codes.insert(s.to_owned(), c);
+        c
+    }
+
+    /// Code of `s` if it has been interned.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.codes.get(s).copied()
+    }
+
+    /// The string behind `code`. Panics on an unknown code (storage-internal
+    /// codes are always valid by construction).
+    pub fn decode(&self, code: u32) -> &str {
+        &self.strings[code as usize]
+    }
+
+    /// Codes of all strings satisfying `pred` (used for LIKE / prefix / range
+    /// predicates: one pass over the dictionary instead of one per row).
+    pub fn codes_matching(&self, mut pred: impl FnMut(&str) -> bool) -> Vec<u32> {
+        self.strings
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| pred(s))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Iterate `(code, string)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+/// SQL `LIKE` with `%` (any run) and `_` (any single char), ASCII semantics.
+///
+/// Implemented with the standard two-pointer backtracking algorithm; linear
+/// in practice for the catalog-style patterns the benchmarks use.
+pub fn like_match(pattern: &str, s: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = s.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut star_ti) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = pi;
+            star_ti = ti;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("alpha"), a);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.decode(a), "alpha");
+        assert_eq!(d.code_of("beta"), Some(b));
+        assert_eq!(d.code_of("gamma"), None);
+    }
+
+    #[test]
+    fn codes_matching_prefix() {
+        let mut d = Dictionary::new();
+        for s in ["apple", "apricot", "banana", "avocado"] {
+            d.intern(s);
+        }
+        let codes = d.codes_matching(|s| s.starts_with("ap"));
+        let names: Vec<&str> = codes.iter().map(|&c| d.decode(c)).collect();
+        assert_eq!(names, vec!["apple", "apricot"]);
+    }
+
+    #[test]
+    fn like_basics() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(like_match("a%", "abc"));
+        assert!(like_match("%c", "abc"));
+        assert!(like_match("%b%", "abc"));
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "abbc"));
+        assert!(like_match("%", ""));
+        assert!(like_match("%%", "x"));
+        assert!(!like_match("", "x"));
+        assert!(like_match("", ""));
+    }
+
+    #[test]
+    fn like_backtracking() {
+        assert!(like_match("%ab%ab%", "xxabyyabzz"));
+        assert!(!like_match("%ab%ab%", "xxabyy"));
+        assert!(like_match("a%b%c", "a123b456c"));
+        assert!(!like_match("a%b%c", "a123c456b"));
+    }
+
+    #[test]
+    fn iter_in_code_order() {
+        let mut d = Dictionary::new();
+        d.intern("z");
+        d.intern("a");
+        let pairs: Vec<(u32, &str)> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "z"), (1, "a")]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Vertical partitioning layouts (§III-B / §V of the paper).
+//!
+//! A [`Layout`] assigns every column of a schema to exactly one partition
+//! group. The paper's three storage models fall out as special cases; the
+//! layout optimizer in `pdsm-layout` produces arbitrary hybrids.
+
+use crate::error::{Error, Result};
+use crate::schema::ColId;
+
+/// Classification of a layout, used for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutKind {
+    /// Single partition holding all columns (NSM).
+    Row,
+    /// One partition per column (DSM).
+    Column,
+    /// Anything else (PDSM).
+    Hybrid,
+}
+
+impl std::fmt::Display for LayoutKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LayoutKind::Row => "row",
+            LayoutKind::Column => "column",
+            LayoutKind::Hybrid => "hybrid",
+        })
+    }
+}
+
+/// A disjoint cover of a schema's columns by ordered groups.
+///
+/// Group order and intra-group column order are significant: they determine
+/// the physical field order inside each partition's tuple fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    groups: Vec<Vec<ColId>>,
+    n_cols: usize,
+}
+
+impl Layout {
+    /// Row-store layout: one partition with all `n_cols` columns.
+    pub fn row(n_cols: usize) -> Self {
+        Layout {
+            groups: vec![(0..n_cols).collect()],
+            n_cols,
+        }
+    }
+
+    /// Column-store layout: one partition per column.
+    pub fn column(n_cols: usize) -> Self {
+        Layout {
+            groups: (0..n_cols).map(|c| vec![c]).collect(),
+            n_cols,
+        }
+    }
+
+    /// Arbitrary layout from explicit groups. Validates that the groups form
+    /// a disjoint cover of `0..n_cols`.
+    pub fn from_groups(groups: Vec<Vec<ColId>>, n_cols: usize) -> Result<Self> {
+        let mut seen = vec![false; n_cols];
+        for g in &groups {
+            if g.is_empty() {
+                return Err(Error::InvalidLayout("empty group".into()));
+            }
+            for &c in g {
+                if c >= n_cols {
+                    return Err(Error::InvalidLayout(format!(
+                        "column {c} out of range for {n_cols}-column schema"
+                    )));
+                }
+                if seen[c] {
+                    return Err(Error::InvalidLayout(format!("column {c} in two groups")));
+                }
+                seen[c] = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(Error::InvalidLayout(format!(
+                "column {missing} not assigned to any group"
+            )));
+        }
+        Ok(Layout { groups, n_cols })
+    }
+
+    /// The partition groups.
+    pub fn groups(&self) -> &[Vec<ColId>] {
+        &self.groups
+    }
+
+    /// Number of columns covered.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of partitions.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Which group contains column `c`.
+    pub fn group_of(&self, c: ColId) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.contains(&c))
+            .expect("layout invariant: every column assigned")
+    }
+
+    /// Classify as row / column / hybrid.
+    pub fn kind(&self) -> LayoutKind {
+        if self.groups.len() == 1 {
+            LayoutKind::Row
+        } else if self.groups.iter().all(|g| g.len() == 1) {
+            LayoutKind::Column
+        } else {
+            LayoutKind::Hybrid
+        }
+    }
+
+    /// Canonical form: groups sorted by first member, members sorted. Two
+    /// layouts that co-locate the same column sets compare equal in this
+    /// form, regardless of declaration order.
+    pub fn canonical(&self) -> Layout {
+        let mut groups: Vec<Vec<ColId>> = self
+            .groups
+            .iter()
+            .map(|g| {
+                let mut g = g.clone();
+                g.sort_unstable();
+                g
+            })
+            .collect();
+        groups.sort_by_key(|g| g[0]);
+        Layout {
+            groups,
+            n_cols: self.n_cols,
+        }
+    }
+}
+
+impl std::fmt::Display for Layout {
+    /// Paper-style notation: `{{0,1},{2}}`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, g) in self.groups.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{{")?;
+            for (j, c) in g.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_cases_classify() {
+        assert_eq!(Layout::row(4).kind(), LayoutKind::Row);
+        assert_eq!(Layout::column(4).kind(), LayoutKind::Column);
+        let h = Layout::from_groups(vec![vec![0, 1], vec![2], vec![3]], 4).unwrap();
+        assert_eq!(h.kind(), LayoutKind::Hybrid);
+        // A one-column schema is simultaneously row and column; row wins.
+        assert_eq!(Layout::row(1).kind(), LayoutKind::Row);
+    }
+
+    #[test]
+    fn validation_rejects_non_covers() {
+        assert!(Layout::from_groups(vec![vec![0], vec![0]], 1).is_err()); // dup
+        assert!(Layout::from_groups(vec![vec![0]], 2).is_err()); // missing 1
+        assert!(Layout::from_groups(vec![vec![0], vec![]], 1).is_err()); // empty
+        assert!(Layout::from_groups(vec![vec![5]], 2).is_err()); // out of range
+    }
+
+    #[test]
+    fn group_of_finds_owner() {
+        let l = Layout::from_groups(vec![vec![2, 0], vec![1]], 3).unwrap();
+        assert_eq!(l.group_of(0), 0);
+        assert_eq!(l.group_of(1), 1);
+        assert_eq!(l.group_of(2), 0);
+    }
+
+    #[test]
+    fn canonical_ignores_order() {
+        let a = Layout::from_groups(vec![vec![2, 0], vec![1]], 3).unwrap();
+        let b = Layout::from_groups(vec![vec![1], vec![0, 2]], 3).unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_paper_notation() {
+        let l = Layout::from_groups(vec![vec![0, 1], vec![2]], 3).unwrap();
+        assert_eq!(l.to_string(), "{{0,1},{2}}");
+    }
+}

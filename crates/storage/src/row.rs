@@ -1,0 +1,76 @@
+//! Row representation used at the API boundary (inserts and query results).
+
+use crate::types::Value;
+
+/// An owned tuple of values, one per schema column (or per projected column
+/// in a query result).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// Empty row.
+    pub fn new() -> Self {
+        Row(Vec::new())
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff the row has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Field `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// Borrow all fields.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+impl std::fmt::Display for Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let r: Row = vec![Value::Int32(1), Value::from("x"), Value::Null]
+            .into_iter()
+            .collect();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(1), &Value::from("x"));
+        assert_eq!(r.to_string(), "(1, x, NULL)");
+        assert!(Row::new().is_empty());
+    }
+}

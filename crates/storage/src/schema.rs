@@ -1,0 +1,126 @@
+//! Table schemas: ordered, named, typed columns.
+
+use crate::error::{Error, Result};
+use crate::types::DataType;
+
+/// Index of a column within its table's schema.
+pub type ColId = usize;
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name, unique within the schema.
+    pub name: String,
+    /// Value type.
+    pub ty: DataType,
+    /// Whether NULLs are allowed. Defaults to `false` via [`ColumnDef::new`].
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// Non-nullable column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// Nullable column.
+    pub fn nullable(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered list of columns. Column ids are positions in this list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema. Panics on duplicate column names (a schema is static
+    /// configuration; failing fast beats threading a `Result` everywhere).
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            assert!(seen.insert(c.name.clone()), "duplicate column {:?}", c.name);
+        }
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True iff the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// All column definitions in id order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Definition of column `id`.
+    pub fn column(&self, id: ColId) -> Result<&ColumnDef> {
+        self.columns.get(id).ok_or(Error::UnknownColumn(id))
+    }
+
+    /// Resolve a column name to its id.
+    pub fn col_id(&self, name: &str) -> Result<ColId> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| Error::UnknownColumnName(name.to_owned()))
+    }
+
+    /// Width in bytes of a full N-ary tuple of this schema (sum of column
+    /// widths, no padding) — the `R.w` of a row-store partition.
+    pub fn tuple_width(&self) -> usize {
+        self.columns.iter().map(|c| c.ty.width()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema3() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("a", DataType::Int32),
+            ColumnDef::nullable("b", DataType::Str),
+            ColumnDef::new("c", DataType::Float64),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = schema3();
+        assert_eq!(s.col_id("b").unwrap(), 1);
+        assert_eq!(s.column(2).unwrap().ty, DataType::Float64);
+        assert!(matches!(s.col_id("z"), Err(Error::UnknownColumnName(_))));
+        assert!(matches!(s.column(9), Err(Error::UnknownColumn(9))));
+    }
+
+    #[test]
+    fn tuple_width_sums_column_widths() {
+        assert_eq!(schema3().tuple_width(), 4 + 4 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![
+            ColumnDef::new("a", DataType::Int32),
+            ColumnDef::new("a", DataType::Int64),
+        ]);
+    }
+}

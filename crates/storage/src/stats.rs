@@ -1,0 +1,120 @@
+//! Lightweight per-column statistics for selectivity estimation.
+//!
+//! The planner's cardinality estimator (`pdsm-plan::selectivity`) and the
+//! layout optimizer both need distinct counts and value ranges. Statistics
+//! are computed exactly in one pass — table loads in this system are bulk and
+//! offline, matching the paper's benchmark setup.
+
+use crate::types::Value;
+use std::collections::HashSet;
+
+/// Summary statistics of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of rows scanned.
+    pub row_count: usize,
+    /// Number of NULLs.
+    pub null_count: usize,
+    /// Number of distinct non-NULL values.
+    pub distinct_count: usize,
+    /// Minimum non-NULL value, if any row was non-NULL.
+    pub min: Option<Value>,
+    /// Maximum non-NULL value, if any row was non-NULL.
+    pub max: Option<Value>,
+}
+
+impl ColumnStats {
+    /// Compute stats from an iterator of values.
+    pub fn compute<'a>(values: impl Iterator<Item = Value> + 'a) -> Self {
+        let mut row_count = 0usize;
+        let mut null_count = 0usize;
+        let mut distinct: HashSet<String> = HashSet::new();
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for v in values {
+            row_count += 1;
+            if v.is_null() {
+                null_count += 1;
+                continue;
+            }
+            // Hash on the display form: values within one column share a type,
+            // so the textual form is injective enough for exact counting.
+            distinct.insert(v.to_string());
+            let replace_min = match &min {
+                None => true,
+                Some(m) => crate::types::cmp_values(&v, m).is_lt(),
+            };
+            if replace_min {
+                min = Some(v.clone());
+            }
+            let replace_max = match &max {
+                None => true,
+                Some(m) => crate::types::cmp_values(&v, m).is_gt(),
+            };
+            if replace_max {
+                max = Some(v);
+            }
+        }
+        ColumnStats {
+            row_count,
+            null_count,
+            distinct_count: distinct.len(),
+            min,
+            max,
+        }
+    }
+
+    /// Fraction of rows that are non-NULL.
+    pub fn density(&self) -> f64 {
+        if self.row_count == 0 {
+            0.0
+        } else {
+            1.0 - self.null_count as f64 / self.row_count as f64
+        }
+    }
+
+    /// Estimated selectivity of an equality predicate against this column:
+    /// uniform assumption `density / distinct`.
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.distinct_count == 0 {
+            0.0
+        } else {
+            self.density() / self.distinct_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let vals = vec![
+            Value::Int32(3),
+            Value::Int32(1),
+            Value::Null,
+            Value::Int32(3),
+            Value::Int32(7),
+        ];
+        let s = ColumnStats::compute(vals.into_iter());
+        assert_eq!(s.row_count, 5);
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.distinct_count, 3);
+        assert_eq!(s.min, Some(Value::Int32(1)));
+        assert_eq!(s.max, Some(Value::Int32(7)));
+        assert!((s.density() - 0.8).abs() < 1e-12);
+        assert!((s.eq_selectivity() - 0.8 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_all_null() {
+        let s = ColumnStats::compute(std::iter::empty());
+        assert_eq!(s.eq_selectivity(), 0.0);
+        assert_eq!(s.density(), 0.0);
+        let s = ColumnStats::compute(vec![Value::Null; 4].into_iter());
+        assert_eq!(s.distinct_count, 0);
+        assert_eq!(s.min, None);
+        assert_eq!(s.density(), 0.0);
+    }
+}

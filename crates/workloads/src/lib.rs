@@ -1,0 +1,71 @@
+//! # pdsm-workloads
+//!
+//! The three benchmarks of the paper's evaluation (§VI) plus the Fig.-3
+//! microbenchmark, each with a deterministic data generator and its query
+//! set:
+//!
+//! * [`microbench`] — the running example: 16-integer-column relation `R`,
+//!   `select sum(B),sum(C),sum(D),sum(E) from R where A = $1` (Fig. 2/3),
+//! * [`sapsd`] — the SAP Sales & Distribution benchmark used by HYRISE
+//!   (Fig. 9/10): ADRC/KNA1/VBAK/VBAP/VBEP with 12 queries. Q1 and Q3 are
+//!   verbatim from the paper; the rest are reconstructed from the HYRISE
+//!   query-class descriptions (see DESIGN.md §2),
+//! * [`ch`] — the CH-benchmark (TPC-C schema + TPC-H-style analytics,
+//!   Fig. 11): queries 1–6, 8, 10, reduced where they exceed the engine's
+//!   operator vocabulary (reductions documented per query),
+//! * [`cnet`] — the CNET product catalog (Fig. 12 / Table V): a very wide,
+//!   sparse schema with dense id/name/category/manufacturer/price columns.
+//!
+//! All generators take a seed and are fully deterministic.
+
+pub mod ch;
+pub mod cnet;
+pub mod microbench;
+pub mod sapsd;
+
+use pdsm_plan::logical::LogicalPlan;
+
+/// A benchmark query: either a read plan or a DML action the harness
+/// performs through the database API (SAP-SD Q6 is the paper's only
+/// modifying query).
+#[derive(Debug, Clone)]
+pub enum QueryKind {
+    /// A SELECT plan.
+    Plan(LogicalPlan),
+    /// Insert `count` synthetic rows into `table`.
+    Insert { table: String, count: usize },
+}
+
+/// A named, weighted benchmark query.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    pub name: String,
+    pub kind: QueryKind,
+    /// Execution frequency in the weighted workload (Table V).
+    pub frequency: f64,
+}
+
+impl BenchQuery {
+    /// A plan query with frequency 1.
+    pub fn plan(name: impl Into<String>, plan: LogicalPlan) -> Self {
+        BenchQuery {
+            name: name.into(),
+            kind: QueryKind::Plan(plan),
+            frequency: 1.0,
+        }
+    }
+
+    /// Override the frequency.
+    pub fn with_frequency(mut self, f: f64) -> Self {
+        self.frequency = f;
+        self
+    }
+
+    /// The plan, if this is a read query.
+    pub fn as_plan(&self) -> Option<&LogicalPlan> {
+        match &self.kind {
+            QueryKind::Plan(p) => Some(p),
+            QueryKind::Insert { .. } => None,
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # mrdb — facade for the PDSM reproduction workspace
+//!
+//! This package hosts the workspace-level `examples/` and `tests/`
+//! directories and re-exports every sub-crate under one roof so examples
+//! can write `use mrdb::prelude::*`.
+//!
+//! See `DESIGN.md` for the full system inventory, `EXPERIMENTS.md` for the
+//! paper-vs-measured record, and `README.md` for a tour.
+
+pub use pdsm_cachesim as cachesim;
+pub use pdsm_core as core;
+pub use pdsm_cost as cost;
+pub use pdsm_exec as exec;
+pub use pdsm_index as index;
+pub use pdsm_layout as layout;
+pub use pdsm_plan as plan;
+pub use pdsm_storage as storage;
+pub use pdsm_workloads as workloads;
+
+/// Commonly used items, re-exported for examples and quick experiments.
+pub mod prelude {
+    pub use pdsm_core::{Database, EngineKind, IndexKind, LayoutAdvisor, QueryOutput};
+    pub use pdsm_exec::engine::{BulkEngine, CompiledEngine, Engine, VolcanoEngine};
+    pub use pdsm_layout::workload::{Workload, WorkloadQuery};
+    pub use pdsm_plan::builder::QueryBuilder;
+    pub use pdsm_plan::expr::Expr;
+    pub use pdsm_plan::logical::{AggExpr, AggFunc, LogicalPlan};
+    pub use pdsm_storage::{ColumnDef, DataType, Layout, Schema, Table, Value};
+}

@@ -1,0 +1,112 @@
+//! Property tests on the cache simulator (DESIGN.md §7): conservation of
+//! accesses, capacity discipline, prefetcher sanity, determinism.
+
+use mrdb::cachesim::{Cache, CacheConfig, SimConfig, SimHierarchy};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (5u32..10, 1usize..8, 2u32..12).prop_map(|(line_exp, assoc, sets_exp)| CacheConfig {
+        line: 1 << line_exp,
+        assoc,
+        capacity: (1u64 << line_exp) * assoc as u64 * (1u64 << sets_exp),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hits_plus_misses_equals_accesses(
+        cfg in arb_config(),
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..400),
+    ) {
+        let mut c = Cache::new(cfg);
+        let mut hits = 0u64;
+        for &a in &addrs {
+            if c.access(a) {
+                hits += 1;
+            }
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert_eq!(hits + s.demand_misses, s.accesses);
+    }
+
+    #[test]
+    fn repeat_access_always_hits(cfg in arb_config(), addr in 0u64..1_000_000) {
+        let mut c = Cache::new(cfg);
+        c.access(addr);
+        prop_assert!(c.access(addr), "immediate re-access must hit");
+        prop_assert!(c.probe(addr));
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_misses_twice(
+        cfg in arb_config(),
+        n_lines in 1u64..64,
+        rounds in 2usize..6,
+    ) {
+        // touch `n_lines` distinct lines that all fit, repeatedly: only the
+        // first round may miss. Use sequential lines so set conflicts can't
+        // exceed associativity when the whole set fits.
+        let lines = n_lines.min(cfg.capacity / cfg.line / 2).max(1);
+        let mut c = Cache::new(cfg);
+        for _ in 0..rounds {
+            for l in 0..lines {
+                c.access_line(l);
+            }
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.demand_misses, lines, "only cold misses allowed");
+    }
+
+    #[test]
+    fn prefetch_fills_bounded_by_observations(
+        stride in 1u64..4,
+        n in 10u64..2_000,
+    ) {
+        let mut sim = SimHierarchy::new(SimConfig::nehalem());
+        for i in 0..n {
+            sim.access(i * stride * 64, 8);
+        }
+        let s = sim.llc_stats();
+        // adjacent-line + stride prefetcher can issue at most 2 fills per
+        // demand access reaching the LLC
+        prop_assert!(s.prefetch_fills <= 2 * s.accesses);
+        // conservation at the LLC
+        prop_assert!(s.prefetched_hits <= s.prefetch_fills);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        addrs in proptest::collection::vec(0u64..10_000_000, 1..300),
+    ) {
+        let run = || {
+            let mut sim = SimHierarchy::new(SimConfig::nehalem());
+            for &a in &addrs {
+                sim.access(a, 8);
+            }
+            sim.stats()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn disabling_prefetch_only_moves_hits_to_misses(
+        addrs in proptest::collection::vec(0u64..100_000, 1..300),
+    ) {
+        let run = |cfg: SimConfig| {
+            let mut sim = SimHierarchy::new(cfg);
+            for &a in &addrs {
+                sim.access(a, 8);
+            }
+            sim.llc_stats()
+        };
+        let with = run(SimConfig::nehalem());
+        let without = run(SimConfig::nehalem_no_prefetch());
+        prop_assert_eq!(with.accesses, without.accesses);
+        prop_assert_eq!(without.prefetched_hits, 0);
+        // without prefetching there can only be more demand misses
+        prop_assert!(with.demand_misses <= without.demand_misses);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests on the cost model (DESIGN.md §7): probabilities stay in
+//! [0,1], miss counts are bounded and monotone, `s_trav_cr` degenerates to
+//! `s_trav`, costs are non-negative and additive over `⊕`.
+
+use mrdb::cost::{cost, misses, Atom, Hierarchy, Pattern};
+use proptest::prelude::*;
+
+fn hw() -> Hierarchy {
+    Hierarchy::nehalem()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn misses_bounded_by_region_lines(
+        n in 1u64..10_000_000,
+        w_exp in 0u32..8,
+        s in 0.0f64..1.0,
+    ) {
+        let w = 1u64 << w_exp; // 1..128 bytes
+        let hw = hw();
+        for level in hw.levels().iter().skip(1) {
+            let m = misses::atom_misses(&Atom::s_trav_cr(n, w, w, s), level, 1.0);
+            prop_assert!(m.sequential >= 0.0 && m.random >= 0.0);
+            // total misses never exceed the lines the region spans
+            // (+1 tolerance for the fractional line count)
+            let max_lines = (n as f64 * w as f64 / level.block as f64)
+                .max(n as f64 * (w as f64 / level.block as f64).ceil());
+            prop_assert!(
+                m.total() <= max_lines + 1.0,
+                "{}: {} misses vs {} lines (w={w}, s={s})",
+                level.name, m.total(), max_lines
+            );
+        }
+    }
+
+    #[test]
+    fn s_trav_cr_total_monotone_in_selectivity(
+        n in 1_000u64..5_000_000,
+        s1 in 0.0f64..1.0,
+        s2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let llc = hw().llc().clone();
+        let a = misses::atom_misses(&Atom::s_trav_cr(n, 16, 16, lo), &llc, 1.0);
+        let b = misses::atom_misses(&Atom::s_trav_cr(n, 16, 16, hi), &llc, 1.0);
+        prop_assert!(a.total() <= b.total() + 1e-9, "{} > {}", a.total(), b.total());
+    }
+
+    #[test]
+    fn s_trav_cr_at_full_selectivity_equals_s_trav(
+        n in 1u64..5_000_000,
+        w_exp in 0u32..7,
+    ) {
+        let w = 1u64 << w_exp;
+        let llc = hw().llc().clone();
+        let cr = misses::atom_misses(&Atom::s_trav_cr(n, w, w, 1.0), &llc, 1.0);
+        let st = misses::atom_misses(&Atom::s_trav(n, w), &llc, 1.0);
+        prop_assert!((cr.total() - st.total()).abs() < 1e-6);
+        prop_assert!(cr.random.abs() < 1e-9, "full scan has no random misses");
+    }
+
+    #[test]
+    fn cardenas_bounds_and_monotonicity(r in 0u64..100_000_000, n in 1u64..100_000_000) {
+        let i = misses::cardenas(r as f64, n as f64);
+        prop_assert!(i >= 0.0);
+        prop_assert!(i <= n as f64 + 1e-6);
+        prop_assert!(i <= r as f64 + 1e-6);
+        if r > 0 {
+            let fewer = misses::cardenas((r / 2) as f64, n as f64);
+            prop_assert!(fewer <= i + 1e-9);
+        }
+    }
+
+    #[test]
+    fn estimate_nonnegative_and_seq_additive(
+        n1 in 1u64..2_000_000,
+        n2 in 1u64..2_000_000,
+        w_exp in 2u32..7,
+    ) {
+        let w = 1u64 << w_exp;
+        let hw = hw();
+        let a = Pattern::atom(Atom::s_trav(n1, w));
+        let b = Pattern::atom(Atom::r_trav(n2, w));
+        let ca = cost::estimate(&a, &hw).total_cycles;
+        let cb = cost::estimate(&b, &hw).total_cycles;
+        let cseq = cost::estimate(&Pattern::seq(vec![a.clone(), b.clone()]), &hw).total_cycles;
+        prop_assert!(ca >= 0.0 && cb >= 0.0);
+        prop_assert!((cseq - (ca + cb)).abs() < 1e-6 * (ca + cb).max(1.0));
+    }
+
+    #[test]
+    fn prefetch_hiding_never_increases_cost(
+        n in 1u64..5_000_000,
+        w_exp in 0u32..7,
+        s in 0.0f64..1.0,
+    ) {
+        let w = 1u64 << w_exp;
+        let hw = hw();
+        let p = Pattern::atom(Atom::s_trav_cr(n, w, w, s));
+        let aware = cost::estimate(&p, &hw).total_cycles;
+        let flat = cost::estimate_flat(&p, &hw).total_cycles;
+        prop_assert!(aware <= flat + 1e-9, "aware {aware} > flat {flat}");
+    }
+
+    #[test]
+    fn narrower_fragments_never_cost_more_to_partially_read(
+        n in 1_000u64..2_000_000,
+        s in 0.001f64..1.0,
+    ) {
+        // reading 4 bytes per tuple from 8-byte fragments vs 64-byte
+        // fragments: the narrow layout must never be costlier — the PDSM
+        // premise as a property.
+        let hw = hw();
+        let narrow = cost::estimate(
+            &Pattern::atom(Atom::s_trav_cr(n, 8, 4, s)), &hw).total_cycles;
+        let wide = cost::estimate(
+            &Pattern::atom(Atom::s_trav_cr(n, 64, 4, s)), &hw).total_cycles;
+        prop_assert!(narrow <= wide * 1.001, "narrow {narrow} vs wide {wide} at s={s}");
+    }
+}

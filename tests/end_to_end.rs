@@ -1,0 +1,148 @@
+//! End-to-end pipeline tests spanning all crates: benchmark data →
+//! database → layout advisor → relayout → engines → indexes.
+
+use mrdb::prelude::*;
+use mrdb::workloads::{ch, cnet, sapsd, QueryKind};
+
+fn load_sapsd(scale: usize) -> (Database, Vec<mrdb::workloads::BenchQuery>) {
+    let mut db = Database::new();
+    for t in sapsd::tables(scale, 7) {
+        db.register(t);
+    }
+    (db, sapsd::queries(scale))
+}
+
+#[test]
+fn sapsd_advisor_roundtrip_preserves_all_query_results() {
+    let (mut db, queries) = load_sapsd(400);
+    let mut workload = Workload::new();
+    for q in &queries {
+        if let Some(p) = q.as_plan() {
+            workload.push(WorkloadQuery::new(q.name.clone(), p.clone()));
+        }
+    }
+    let before: Vec<_> = workload
+        .queries
+        .iter()
+        .map(|q| db.run(&q.plan, EngineKind::Compiled).unwrap())
+        .collect();
+    let report = LayoutAdvisor::default().apply(&mut db, &workload).unwrap();
+    assert_eq!(report.tables.len(), 5, "all five SD tables advised");
+    assert!(report.speedup_vs_row() >= 1.0);
+    for (q, b) in workload.queries.iter().zip(&before) {
+        let after = db.run(&q.plan, EngineKind::Compiled).unwrap();
+        after.assert_same(b, &q.name);
+        // and the other engines still agree post-relayout
+        let vol = db.run(&q.plan, EngineKind::Volcano).unwrap();
+        after.assert_same(&vol, &format!("{} volcano", q.name));
+    }
+}
+
+#[test]
+fn sapsd_insert_query_visibility() {
+    let (mut db, queries) = load_sapsd(300);
+    let q6 = &queries[5];
+    let QueryKind::Insert { table, .. } = &q6.kind else {
+        panic!("Q6 must be the insert query");
+    };
+    let count_plan = QueryBuilder::scan(table.as_str())
+        .aggregate(vec![], vec![AggExpr::count_star()])
+        .build();
+    let before = db.run(&count_plan, EngineKind::Compiled).unwrap().rows[0][0]
+        .as_i64()
+        .unwrap();
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(1);
+    for k in 0..50 {
+        let row = sapsd::vbap_row(&mut rng, 1_000_000 + k, 10);
+        db.insert(table, &row).unwrap();
+    }
+    let after = db.run(&count_plan, EngineKind::Compiled).unwrap().rows[0][0]
+        .as_i64()
+        .unwrap();
+    assert_eq!(after, before + 50);
+}
+
+#[test]
+fn sapsd_indexes_agree_with_scans_on_all_layouts() {
+    for columnar in [false, true] {
+        let (mut db, queries) = load_sapsd(300);
+        if columnar {
+            for name in db.table_names().into_iter().map(str::to_string).collect::<Vec<_>>() {
+                let w = db.get_table(&name).unwrap().schema().len();
+                db.relayout(&name, Layout::column(w)).unwrap();
+            }
+        }
+        db.create_index("KNA1", "KUNNR", IndexKind::Hash).unwrap();
+        db.create_index("VBAP", "VBELN", IndexKind::RBTree).unwrap();
+        for q in &queries {
+            let Some(plan) = q.as_plan() else { continue };
+            let indexed = db.run_indexed(plan, EngineKind::Compiled).unwrap();
+            let scanned = db.run(plan, EngineKind::Compiled).unwrap();
+            indexed.assert_same(&scanned, &format!("{} columnar={columnar}", q.name));
+        }
+    }
+}
+
+#[test]
+fn ch_queries_stable_across_layout_changes() {
+    let mut db = Database::new();
+    for t in ch::tables(1, 13) {
+        db.register(t);
+    }
+    let queries = ch::queries();
+    let before: Vec<_> = queries
+        .iter()
+        .map(|q| db.run(q.as_plan().unwrap(), EngineKind::Compiled).unwrap())
+        .collect();
+    // flip the two biggest tables to columnar
+    for name in ["ORDER_LINE", "CUSTOMER"] {
+        let w = db.get_table(name).unwrap().schema().len();
+        db.relayout(name, Layout::column(w)).unwrap();
+    }
+    for (q, b) in queries.iter().zip(&before) {
+        let after = db.run(q.as_plan().unwrap(), EngineKind::Compiled).unwrap();
+        after.assert_same(b, &q.name);
+    }
+}
+
+#[test]
+fn cnet_weighted_workload_advisor_separates_dense_columns() {
+    let table = cnet::generate(600, 64, 11, 17);
+    let mut db = Database::new();
+    db.register(table);
+    let queries = cnet::queries("laptops", 40, 300);
+    let mut workload = Workload::new();
+    for q in &queries {
+        workload.push(
+            WorkloadQuery::new(q.name.clone(), q.as_plan().unwrap().clone())
+                .with_frequency(q.frequency),
+        );
+    }
+    let report = LayoutAdvisor::default().advise(&db, &workload);
+    let layout = &report.tables[0].layout;
+    // category is scanned by three queries: it must not share a partition
+    // with the sparse tail
+    let cat_group = layout
+        .groups()
+        .iter()
+        .find(|g| g.contains(&cnet::COL_CATEGORY))
+        .unwrap();
+    assert!(
+        cat_group.iter().all(|&c| c < cnet::FIRST_SPARSE),
+        "category must not be buried in sparse attributes: {layout}"
+    );
+    assert!(report.speedup_vs_row() > 1.5, "wide schema must benefit");
+}
+
+#[test]
+fn engine_errors_are_uniform() {
+    let db = Database::new();
+    let plan = QueryBuilder::scan("nope").build();
+    for kind in EngineKind::all() {
+        let err = db.run(&plan, kind).unwrap_err();
+        assert!(
+            format!("{err}").contains("nope"),
+            "{kind:?} must report the missing table"
+        );
+    }
+}

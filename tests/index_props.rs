@@ -1,0 +1,113 @@
+//! Property tests for the index structures: red–black invariants under
+//! arbitrary insertion orders, equivalence with `std` collections as
+//! models, and index-path/scan-path agreement at the database level.
+
+use mrdb::index::{HashIndex, RBTree};
+use mrdb::prelude::*;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn rbtree_invariants_hold_for_any_insertion_order(
+        keys in proptest::collection::vec(-5_000i64..5_000, 0..600),
+    ) {
+        let mut t = RBTree::new();
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, i as u32);
+        }
+        t.check_invariants();
+        // size = number of distinct keys
+        let distinct: std::collections::HashSet<i64> = keys.iter().copied().collect();
+        prop_assert_eq!(t.len(), distinct.len());
+    }
+
+    #[test]
+    fn rbtree_matches_btreemap_model(
+        keys in proptest::collection::vec(-1_000i64..1_000, 0..400),
+        lo in -1_000i64..1_000,
+        span in 0i64..500,
+    ) {
+        let mut t = RBTree::new();
+        let mut model: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, i as u32);
+            model.entry(k).or_default().push(i as u32);
+        }
+        // point lookups
+        for &k in keys.iter().take(50) {
+            prop_assert_eq!(t.get(k), model[&k].as_slice());
+        }
+        // range scan
+        let hi = lo + span;
+        let ours: Vec<(i64, Vec<u32>)> = t.range(lo, hi).map(|(k, v)| (k, v.to_vec())).collect();
+        let theirs: Vec<(i64, Vec<u32>)> = model
+            .range(lo..=hi)
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        prop_assert_eq!(ours, theirs);
+        // extremes
+        prop_assert_eq!(t.min_key(), model.keys().next().copied());
+        prop_assert_eq!(t.max_key(), model.keys().last().copied());
+    }
+
+    #[test]
+    fn hash_index_matches_hashmap_model(
+        keys in proptest::collection::vec(any::<i64>(), 0..500),
+    ) {
+        let mut h = HashIndex::new();
+        let mut model: HashMap<i64, Vec<u32>> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if k == i64::MIN {
+                continue; // reserved sentinel
+            }
+            h.insert(k, i as u32);
+            model.entry(k).or_default().push(i as u32);
+        }
+        prop_assert_eq!(h.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(h.get(*k), v.as_slice());
+        }
+        // absent keys
+        prop_assert!(h.get(i64::MIN + 1).is_empty() || model.contains_key(&(i64::MIN + 1)));
+    }
+
+    #[test]
+    fn database_index_path_equals_scan_path(
+        keys in proptest::collection::vec(0i32..200, 1..200),
+        probe in 0i32..250,
+        use_rbtree in any::<bool>(),
+    ) {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("k", DataType::Int32),
+                ColumnDef::new("v", DataType::Int64),
+            ]),
+        )
+        .unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            db.insert("t", &[Value::Int32(k), Value::Int64(i as i64)]).unwrap();
+        }
+        let kind = if use_rbtree { IndexKind::RBTree } else { IndexKind::Hash };
+        db.create_index("t", "k", kind).unwrap();
+        let eq_plan = QueryBuilder::scan("t")
+            .filter(Expr::col(0).eq(Expr::lit(probe)))
+            .build();
+        let indexed = db.run_indexed(&eq_plan, EngineKind::Compiled).unwrap();
+        let scanned = db.run(&eq_plan, EngineKind::Compiled).unwrap();
+        indexed.assert_same(&scanned, "eq");
+        if use_rbtree {
+            let range_plan = QueryBuilder::scan("t")
+                .filter(Expr::col(0).le(Expr::lit(probe)))
+                .project(vec![Expr::col(1)])
+                .build();
+            let indexed = db.run_indexed(&range_plan, EngineKind::Compiled).unwrap();
+            let scanned = db.run(&range_plan, EngineKind::Compiled).unwrap();
+            indexed.assert_same(&scanned, "range");
+        }
+    }
+}

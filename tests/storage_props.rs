@@ -1,0 +1,142 @@
+//! Property tests for the storage substrate: relayouting is lossless for
+//! *arbitrary* layouts, dictionary codes are stable, and typed readers
+//! agree with decoded access — the invariants DESIGN.md §7 promises.
+
+use mrdb::prelude::*;
+use proptest::prelude::*;
+
+const NCOLS: usize = 7;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("i32a", DataType::Int32),
+        ColumnDef::new("i64b", DataType::Int64),
+        ColumnDef::nullable("f64c", DataType::Float64),
+        ColumnDef::new("strd", DataType::Str),
+        ColumnDef::nullable("i32e", DataType::Int32),
+        ColumnDef::nullable("strf", DataType::Str),
+        ColumnDef::new("i32g", DataType::Int32),
+    ])
+}
+
+/// Random partition of 0..NCOLS into groups, driven by a group-id vector.
+fn arb_layout() -> impl Strategy<Value = Layout> {
+    proptest::collection::vec(0usize..NCOLS, NCOLS).prop_map(|assignment| {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); NCOLS];
+        for (col, &g) in assignment.iter().enumerate() {
+            groups[g].push(col);
+        }
+        groups.retain(|g| !g.is_empty());
+        Layout::from_groups(groups, NCOLS).expect("constructed cover")
+    })
+}
+
+/// Random rows matching the schema.
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<Value>>> {
+    let row = (
+        any::<i32>(),
+        any::<i64>(),
+        proptest::option::of(-1e6f64..1e6),
+        0u8..20,
+        proptest::option::of(any::<i32>()),
+        proptest::option::of(0u8..10),
+        any::<i32>(),
+    )
+        .prop_map(|(a, b, c, d, e, f, g)| {
+            vec![
+                Value::Int32(a),
+                Value::Int64(b),
+                c.map(Value::Float64).unwrap_or(Value::Null),
+                Value::Str(format!("str-{d}")),
+                e.map(Value::Int32).unwrap_or(Value::Null),
+                f.map(|x| Value::Str(format!("tag-{x}"))).unwrap_or(Value::Null),
+                Value::Int32(g),
+            ]
+        });
+    proptest::collection::vec(row, 0..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn relayout_roundtrip_is_lossless(rows in arb_rows(), l1 in arb_layout(), l2 in arb_layout()) {
+        let mut t = Table::with_layout("t", schema(), l1).unwrap();
+        for r in &rows {
+            t.insert(r).unwrap();
+        }
+        let relaid = t.relayout(l2).unwrap();
+        prop_assert_eq!(t.len(), relaid.len());
+        for i in 0..t.len() {
+            prop_assert_eq!(t.row(i).unwrap(), relaid.row(i).unwrap(), "row {}", i);
+        }
+        // and back again
+        let back = relaid.relayout(t.layout().clone()).unwrap();
+        for i in 0..t.len() {
+            prop_assert_eq!(t.row(i).unwrap(), back.row(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn dictionary_codes_stable_across_relayout(rows in arb_rows(), l in arb_layout()) {
+        let mut t = Table::with_layout("t", schema(), Layout::row(NCOLS)).unwrap();
+        for r in &rows {
+            t.insert(r).unwrap();
+        }
+        let relaid = t.relayout(l).unwrap();
+        let (a, b) = (t.str_code_reader(3), relaid.str_code_reader(3));
+        for i in 0..t.len() {
+            prop_assert_eq!(a.get(i), b.get(i), "code at row {}", i);
+        }
+    }
+
+    #[test]
+    fn typed_readers_agree_with_decoded_values(rows in arb_rows(), l in arb_layout()) {
+        let mut t = Table::with_layout("t", schema(), l).unwrap();
+        for r in &rows {
+            t.insert(r).unwrap();
+        }
+        let (r0, r1, r6) = (t.i32_reader(0), t.i64_reader(1), t.i32_reader(6));
+        for i in 0..t.len() {
+            prop_assert_eq!(Value::Int32(r0.get(i)), t.get(i, 0).unwrap());
+            prop_assert_eq!(Value::Int64(r1.get(i)), t.get(i, 1).unwrap());
+            prop_assert_eq!(Value::Int32(r6.get(i)), t.get(i, 6).unwrap());
+            // nullable float: reader value only meaningful when valid
+            if t.is_valid(i, 2) {
+                prop_assert_eq!(Value::Float64(t.f64_reader(2).get(i)), t.get(i, 2).unwrap());
+            } else {
+                prop_assert_eq!(t.get(i, 2).unwrap(), Value::Null);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_size_accounts_all_partitions(rows in arb_rows(), l in arb_layout()) {
+        let mut t = Table::with_layout("t", schema(), l).unwrap();
+        for r in &rows {
+            t.insert(r).unwrap();
+        }
+        let per_partition: usize = t.partitions().iter().map(|p| p.byte_size()).sum();
+        prop_assert_eq!(t.byte_size(), per_partition);
+        let strides: usize = t.partitions().iter().map(|p| p.stride()).sum();
+        prop_assert_eq!(per_partition, strides * t.len());
+    }
+
+    #[test]
+    fn updates_visible_under_any_layout(rows in arb_rows(), l in arb_layout(), v in any::<i32>()) {
+        prop_assume!(!rows.is_empty());
+        let mut t = Table::with_layout("t", schema(), l).unwrap();
+        for r in &rows {
+            t.insert(r).unwrap();
+        }
+        let target = rows.len() / 2;
+        t.update(target, 0, &Value::Int32(v)).unwrap();
+        t.update(target, 2, &Value::Null).unwrap();
+        prop_assert_eq!(t.get(target, 0).unwrap(), Value::Int32(v));
+        prop_assert_eq!(t.get(target, 2).unwrap(), Value::Null);
+        // neighbours untouched
+        if target > 0 {
+            prop_assert_eq!(&t.row(target - 1).unwrap().0[..], &rows[target - 1][..]);
+        }
+    }
+}

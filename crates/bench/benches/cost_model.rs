@@ -35,7 +35,9 @@ fn bench_cost(c: &mut Criterion) {
             })
             .collect(),
     );
-    c.bench_function("estimate/deep_pattern", |b| b.iter(|| cost::estimate(&deep, &hw)));
+    c.bench_function("estimate/deep_pattern", |b| {
+        b.iter(|| cost::estimate(&deep, &hw))
+    });
 }
 
 criterion_group!(benches, bench_cost);

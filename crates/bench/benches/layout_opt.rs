@@ -19,7 +19,11 @@ fn setup() -> (HashMap<String, TableView>, Workload) {
         TableView {
             name: "ADRC".into(),
             n_rows: 200_000,
-            col_widths: schema.columns().iter().map(|c| c.ty.width() as u64).collect(),
+            col_widths: schema
+                .columns()
+                .iter()
+                .map(|c| c.ty.width() as u64)
+                .collect(),
             layout: Layout::row(schema.len()),
             stats: None,
         },
@@ -27,7 +31,10 @@ fn setup() -> (HashMap<String, TableView>, Workload) {
     let mut w = Workload::new();
     for q in sapsd::queries(1_000_000) {
         if q.name == "Q1" || q.name == "Q3" {
-            w.push(WorkloadQuery::new(q.name.clone(), q.as_plan().unwrap().clone()));
+            w.push(WorkloadQuery::new(
+                q.name.clone(),
+                q.as_plan().unwrap().clone(),
+            ));
         }
     }
     (views, w)
@@ -40,7 +47,7 @@ fn bench_layout(c: &mut Criterion) {
         b.iter(|| extended_reasonable_cuts(&w.access_groups(&views, "ADRC")))
     });
     for threshold in [1e-4, 1e-2] {
-        c.bench_function(&format!("bpi/adrc/t={threshold}"), |b| {
+        c.bench_function(format!("bpi/adrc/t={threshold}"), |b| {
             b.iter(|| {
                 optimize_table(
                     "ADRC",

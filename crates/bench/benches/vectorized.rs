@@ -31,8 +31,12 @@ fn bench_vectorized(c: &mut Criterion) {
         let e = VectorizedEngine::default();
         b.iter(|| e.execute(&plan, &db).unwrap())
     });
-    g.bench_function("compiled", |b| b.iter(|| CompiledEngine.execute(&plan, &db).unwrap()));
-    g.bench_function("bulk", |b| b.iter(|| BulkEngine.execute(&plan, &db).unwrap()));
+    g.bench_function("compiled", |b| {
+        b.iter(|| CompiledEngine.execute(&plan, &db).unwrap())
+    });
+    g.bench_function("bulk", |b| {
+        b.iter(|| BulkEngine.execute(&plan, &db).unwrap())
+    });
     g.finish();
 }
 

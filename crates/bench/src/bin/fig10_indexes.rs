@@ -22,7 +22,12 @@ fn build_db(scale: usize, columnar: Option<&str>, indexed: bool) -> Database {
     }
     match columnar {
         Some("column") => {
-            for name in db.table_names().into_iter().map(str::to_string).collect::<Vec<_>>() {
+            for name in db
+                .table_names()
+                .into_iter()
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+            {
                 let w = db.get_table(&name).unwrap().schema().len();
                 db.relayout(&name, Layout::column(w)).unwrap();
             }
@@ -87,7 +92,12 @@ fn main() {
                 let (cyc, _) = measure(reps, || {
                     db.run_indexed(plan, EngineKind::Compiled).expect("query")
                 });
-                rows.push(vec![name.into(), layout.into(), tag.into(), fmt_num(cyc as f64)]);
+                rows.push(vec![
+                    name.into(),
+                    layout.into(),
+                    tag.into(),
+                    fmt_num(cyc as f64),
+                ]);
             }
         }
     }

@@ -39,7 +39,10 @@ fn main() {
     let row_db = build_db(warehouses, None);
     let mut workload = Workload::new();
     for q in &queries {
-        workload.push(WorkloadQuery::new(q.name.clone(), q.as_plan().unwrap().clone()));
+        workload.push(WorkloadQuery::new(
+            q.name.clone(),
+            q.as_plan().unwrap().clone(),
+        ));
     }
     let report = LayoutAdvisor::default().advise(&row_db, &workload);
     println!("advisor layouts:");

@@ -23,7 +23,9 @@ fn main() {
     let rows: usize = args.get("rows", 500_000);
     let reps: usize = args.get("reps", 3);
     let sels: Vec<f64> = if args.has("full") {
-        vec![0.00001, 0.0001, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0]
+        vec![
+            0.00001, 0.0001, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0,
+        ]
     } else {
         vec![0.0001, 0.01, 0.1, 0.5, 1.0]
     };
@@ -69,7 +71,14 @@ fn main() {
         }
     }
     print_table(
-        &["selectivity", "layout", "engine", "cycles", "ns", "cyc/tuple"],
+        &[
+            "selectivity",
+            "layout",
+            "engine",
+            "cycles",
+            "ns",
+            "cyc/tuple",
+        ],
         &out_rows,
     );
     println!("\nExpected shape (paper): volcano >> bulk, jit; jit+hybrid lowest across sweep;");

@@ -54,7 +54,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["level", "capacity(B)", "block(B)", "paper latency", "fitted latency"],
+        &[
+            "level",
+            "capacity(B)",
+            "block(B)",
+            "paper latency",
+            "fitted latency",
+        ],
         &rows,
     );
     println!("\nExpected shape (paper): plateaus inside each cache level; knees at the");

@@ -12,9 +12,9 @@
 
 use pdsm_bench::{fmt_num, measure, print_table, Args};
 
+use pdsm_core::LayoutAdvisor;
 use pdsm_core::{Database, EngineKind};
 use pdsm_layout::workload::{Workload, WorkloadQuery};
-use pdsm_core::LayoutAdvisor;
 use pdsm_storage::Layout;
 use pdsm_workloads::sapsd;
 use pdsm_workloads::QueryKind;

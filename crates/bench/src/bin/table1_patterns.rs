@@ -45,7 +45,10 @@ fn main() {
             .collect();
         let e = emit_pattern(&plan, &v2);
         let est = cost::estimate(&e.pattern, &hw);
-        println!("layout {name:7} estimated cycles: {}", fmt_num(est.total_cycles));
+        println!(
+            "layout {name:7} estimated cycles: {}",
+            fmt_num(est.total_cycles)
+        );
         let rows: Vec<Vec<String>> = est
             .levels
             .iter()

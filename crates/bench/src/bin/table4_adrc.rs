@@ -25,7 +25,10 @@ fn main() {
     let mut workload = Workload::new();
     for q in &queries {
         if q.name == "Q1" || q.name == "Q3" {
-            workload.push(WorkloadQuery::new(q.name.clone(), q.as_plan().unwrap().clone()));
+            workload.push(WorkloadQuery::new(
+                q.name.clone(),
+                q.as_plan().unwrap().clone(),
+            ));
         }
     }
 
@@ -63,7 +66,10 @@ fn main() {
         &advisor.hierarchy,
         &OptimizerConfig::default(),
     );
-    println!("\nTable IV(c) — BPi solution ({} states explored):", opt.states_explored);
+    println!(
+        "\nTable IV(c) — BPi solution ({} states explored):",
+        opt.states_explored
+    );
     for g in opt.layout.groups() {
         println!("  {}", pretty(g));
     }

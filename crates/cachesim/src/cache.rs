@@ -87,12 +87,12 @@ impl Cache {
 
     #[inline]
     fn set_and_tag(&self, line_no: u64) -> (usize, u64) {
-        let set = if self.set_mask + 1 == self.sets.len() as u64 && self.sets.len().is_power_of_two()
-        {
-            (line_no & self.set_mask) as usize
-        } else {
-            (line_no % self.sets.len() as u64) as usize
-        };
+        let set =
+            if self.set_mask + 1 == self.sets.len() as u64 && self.sets.len().is_power_of_two() {
+                (line_no & self.set_mask) as usize
+            } else {
+                (line_no % self.sets.len() as u64) as usize
+            };
         (set, line_no)
     }
 

@@ -205,8 +205,16 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = run_atom(&Atom::s_trav_cr(100_000, 16, 16, 0.2), SimConfig::nehalem(), 9);
-        let b = run_atom(&Atom::s_trav_cr(100_000, 16, 16, 0.2), SimConfig::nehalem(), 9);
+        let a = run_atom(
+            &Atom::s_trav_cr(100_000, 16, 16, 0.2),
+            SimConfig::nehalem(),
+            9,
+        );
+        let b = run_atom(
+            &Atom::s_trav_cr(100_000, 16, 16, 0.2),
+            SimConfig::nehalem(),
+            9,
+        );
         assert_eq!(a, b);
     }
 }

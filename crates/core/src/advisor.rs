@@ -99,7 +99,8 @@ impl LayoutAdvisor {
             };
             let n = view.col_widths.len();
             let opt = optimize_table(&table, &views, workload, &self.hierarchy, &self.config);
-            let row_cost = workload.cost_with_layout(&views, &table, &Layout::row(n), &self.hierarchy);
+            let row_cost =
+                workload.cost_with_layout(&views, &table, &Layout::row(n), &self.hierarchy);
             let column_cost =
                 workload.cost_with_layout(&views, &table, &Layout::column(n), &self.hierarchy);
             report.tables.push(TableAdvice {
@@ -176,7 +177,9 @@ mod tests {
             .project(vec![Expr::col(1), Expr::col(15)])
             .build();
         let before = db.run(&plan, crate::EngineKind::Compiled).unwrap();
-        let report = LayoutAdvisor::default().apply(&mut db, &workload()).unwrap();
+        let report = LayoutAdvisor::default()
+            .apply(&mut db, &workload())
+            .unwrap();
         assert!(!report.tables.is_empty());
         let after = db.run(&plan, crate::EngineKind::Compiled).unwrap();
         before.assert_same(&after, "advisor apply");

@@ -1,8 +1,11 @@
 //! The database catalog: tables, indexes, engines and DML.
 
-use pdsm_exec::engine::{BulkEngine, CompiledEngine, Engine, ExecError, TableProvider, VolcanoEngine};
+use pdsm_exec::engine::{
+    BulkEngine, CompiledEngine, Engine, ExecError, TableProvider, VolcanoEngine,
+};
 use pdsm_exec::QueryOutput;
 use pdsm_index::{HashIndex, Index, RBTree};
+use pdsm_par::ParallelEngine;
 use pdsm_plan::expr::{CmpOp, Expr};
 use pdsm_plan::logical::LogicalPlan;
 use pdsm_storage::{ColId, DataType, Layout, Schema, Table, Value};
@@ -17,7 +20,15 @@ pub enum EngineKind {
     Bulk,
     /// Data-centric fused pipelines (the paper's model).
     Compiled,
+    /// Morsel-driven parallel execution of the compiled pipelines
+    /// (`pdsm-par`). Thread count comes from `PDSM_THREADS` or the
+    /// machine; use [`pdsm_par::ParallelEngine::with_threads`] directly to
+    /// pin it per query.
+    Parallel,
 }
+
+/// The default parallel engine instance (automatic thread resolution).
+static PARALLEL: ParallelEngine = ParallelEngine::new();
 
 impl EngineKind {
     /// The engine object.
@@ -26,12 +37,20 @@ impl EngineKind {
             EngineKind::Volcano => &VolcanoEngine,
             EngineKind::Bulk => &BulkEngine,
             EngineKind::Compiled => &CompiledEngine,
+            EngineKind::Parallel => &PARALLEL,
         }
     }
 
-    /// All engines, for differential testing.
-    pub fn all() -> [EngineKind; 3] {
-        [EngineKind::Volcano, EngineKind::Bulk, EngineKind::Compiled]
+    /// All engines, for differential testing. Test helpers should iterate
+    /// this rather than naming engines, so new engines are covered
+    /// everywhere automatically.
+    pub fn all() -> [EngineKind; 4] {
+        [
+            EngineKind::Volcano,
+            EngineKind::Bulk,
+            EngineKind::Compiled,
+            EngineKind::Parallel,
+        ]
     }
 }
 
@@ -51,7 +70,10 @@ pub enum DbError {
     Storage(pdsm_storage::Error),
     Exec(ExecError),
     /// Index requested on a non-indexable column (floats).
-    NotIndexable { table: String, column: String },
+    NotIndexable {
+        table: String,
+        column: String,
+    },
 }
 
 impl std::fmt::Display for DbError {
@@ -424,10 +446,16 @@ mod tests {
     fn duplicate_and_unknown_tables() {
         let mut db = demo_db();
         assert!(matches!(
-            db.create_table("orders", Schema::new(vec![ColumnDef::new("x", DataType::Int32)])),
+            db.create_table(
+                "orders",
+                Schema::new(vec![ColumnDef::new("x", DataType::Int32)])
+            ),
             Err(DbError::DuplicateTable(_))
         ));
-        assert!(matches!(db.get_table("nope"), Err(DbError::UnknownTable(_))));
+        assert!(matches!(
+            db.get_table("nope"),
+            Err(DbError::UnknownTable(_))
+        ));
     }
 
     #[test]
@@ -473,7 +501,10 @@ mod tests {
         let missing = QueryBuilder::scan("orders")
             .filter(Expr::col(1).eq(Expr::lit("cust-999")))
             .build();
-        assert!(db.run_indexed(&missing, EngineKind::Volcano).unwrap().is_empty());
+        assert!(db
+            .run_indexed(&missing, EngineKind::Volcano)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -488,7 +519,10 @@ mod tests {
         let plan = QueryBuilder::scan("orders")
             .filter(Expr::col(0).eq(Expr::lit(9999)))
             .build();
-        assert_eq!(db.run_indexed(&plan, EngineKind::Compiled).unwrap().len(), 1);
+        assert_eq!(
+            db.run_indexed(&plan, EngineKind::Compiled).unwrap().len(),
+            1
+        );
     }
 
     #[test]

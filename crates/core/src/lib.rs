@@ -2,9 +2,11 @@
 //!
 //! The integrated memory-resident DBMS this reproduction delivers: a
 //! [`Database`] catalog of vertically partitioned tables, secondary index
-//! maintenance, engine selection (Volcano / bulk / compiled), an
-//! index-aware execution path for identity selects (§VI-B, Fig. 10), and
-//! the [`advisor`] that drives the cost-model-based layout optimizer (§V).
+//! maintenance, engine selection (Volcano / bulk / compiled / parallel),
+//! an index-aware execution path for identity selects (§VI-B, Fig. 10),
+//! and the [`advisor`] that drives the cost-model-based layout optimizer
+//! (§V). The parallel engine (`pdsm-par`, morsel-driven execution of the
+//! compiled pipelines) registers here as [`EngineKind::Parallel`].
 //!
 //! ```
 //! use pdsm_core::{Database, EngineKind};
@@ -39,3 +41,4 @@ pub mod database;
 pub use advisor::{AdvisorReport, LayoutAdvisor};
 pub use database::{Database, DbError, EngineKind, IndexKind};
 pub use pdsm_exec::QueryOutput;
+pub use pdsm_par::ParallelEngine;

@@ -167,10 +167,7 @@ mod tests {
             Pattern::atom(Atom::s_trav(26_214_400, 4)),
             Pattern::atom(Atom::rr_acc(1, 16, 262_144)),
         ]);
-        assert_eq!(
-            p.to_string(),
-            "s_trav(26214400,4) ⊙ rr_acc(1,16,262144)"
-        );
+        assert_eq!(p.to_string(), "s_trav(26214400,4) ⊙ rr_acc(1,16,262144)");
         let nested = Pattern::seq(vec![p.clone(), Pattern::atom(Atom::r_trav(5, 8))]);
         assert!(nested.to_string().contains("⊕"));
         assert!(nested.to_string().starts_with("("));

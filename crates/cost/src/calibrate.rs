@@ -85,7 +85,6 @@ pub fn measure_point(region_bytes: usize, accesses: usize, seed: u64) -> StairPo
         idx = chain[idx];
     }
     let start = read_cycles();
-    let mut idx = idx;
     for _ in 0..accesses {
         idx = chain[idx];
     }
@@ -198,13 +197,13 @@ mod tests {
         // Synthesize an idealized staircase: plateaus at cumulative costs.
         let mut pts = Vec::new();
         for (size, cyc) in [
-            (4 << 10, 2.0),    // inside L1
+            (4 << 10, 2.0), // inside L1
             (8 << 10, 2.0),
-            (96 << 10, 5.0),   // inside L2
+            (96 << 10, 5.0), // inside L2
             (128 << 10, 5.0),
-            (2 << 20, 13.0),   // inside L3
+            (2 << 20, 13.0), // inside L3
             (4 << 20, 13.0),
-            (64 << 20, 25.0),  // memory
+            (64 << 20, 25.0), // memory
             (128 << 20, 25.0),
         ] {
             pts.push(StairPoint {

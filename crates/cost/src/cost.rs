@@ -95,10 +95,10 @@ fn build_estimate(pattern: &Pattern, hw: &Hierarchy, prefetch_aware: bool) -> Es
     let mut levels = Vec::with_capacity(n);
     let mut total = 0.0;
     let mut hidden = 0.0;
-    for i in 0..n {
+    for (i, acc_i) in acc.iter().enumerate().take(n) {
         let lat = hw.miss_latency(i);
         let cycles = if i == llc {
-            let seq_raw = acc[i].sequential * lat;
+            let seq_raw = acc_i.sequential * lat;
             let seq = if prefetch_aware {
                 let t = (seq_raw - faster_sum).max(0.0);
                 hidden = seq_raw - t;
@@ -106,14 +106,14 @@ fn build_estimate(pattern: &Pattern, hw: &Hierarchy, prefetch_aware: bool) -> Es
             } else {
                 seq_raw
             };
-            seq + acc[i].random * lat
+            seq + acc_i.random * lat
         } else {
-            acc[i].total() * lat
+            acc_i.total() * lat
         };
         total += cycles;
         levels.push(CostBreakdown {
             level: hw.levels()[i].name,
-            misses: acc[i],
+            misses: *acc_i,
             cycles,
         });
     }

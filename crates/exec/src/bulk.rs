@@ -543,7 +543,11 @@ fn aggregate_chunk(
     let mut groups: HashMap<GroupKey, (Vec<Value>, Vec<Accumulator>)> = HashMap::new();
     // Scalar aggregates with plain-column args get typed loops (the Fig.-3
     // "aggregate the materialized buffer" primitive).
-    if group_by.is_empty() && aggs.iter().all(|a| matches!(a.arg, Some(Expr::Col(_)) | None)) {
+    if group_by.is_empty()
+        && aggs
+            .iter()
+            .all(|a| matches!(a.arg, Some(Expr::Col(_)) | None))
+    {
         let mut accs: Vec<Accumulator> = aggs.iter().map(|a| Accumulator::new(a.func)).collect();
         for (a, acc) in aggs.iter().zip(accs.iter_mut()) {
             match &a.arg {
@@ -696,7 +700,11 @@ mod tests {
     #[test]
     fn typed_selection_and_fetch() {
         let plan = QueryBuilder::scan("t")
-            .filter(Expr::col(1).eq(Expr::lit(3)).and(Expr::col(0).lt(Expr::lit(50))))
+            .filter(
+                Expr::col(1)
+                    .eq(Expr::lit(3))
+                    .and(Expr::col(0).lt(Expr::lit(50))),
+            )
             .project(vec![Expr::col(0)])
             .build();
         let out = BulkEngine.execute(&plan, &db()).unwrap();

@@ -58,7 +58,7 @@ impl Engine for CompiledEngine {
 
 /// A typed, pre-bound predicate over one scan. `test(row)` is an inlined
 /// match with direct loads — the compiled counterpart of Fig. 2c line 6.
-pub(crate) enum PredKernel<'t> {
+pub enum PredKernel<'t> {
     I32Cmp {
         r: I32Col<'t>,
         op: CmpOp,
@@ -96,7 +96,11 @@ pub(crate) enum PredKernel<'t> {
     /// Matches nothing (e.g. equality with a string absent from the dict).
     Never,
     /// `IS [NOT] NULL`.
-    Null { col: ColId, negate: bool, t: &'t Table },
+    Null {
+        col: ColId,
+        negate: bool,
+        t: &'t Table,
+    },
     /// Short-circuit disjunction of two kernels (e.g. Q1's two LIKEs).
     Or(Box<PredKernel<'t>>, Box<PredKernel<'t>>),
     /// Short-circuit conjunction (inside an Or branch).
@@ -115,7 +119,7 @@ pub(crate) enum PredKernel<'t> {
 
 impl PredKernel<'_> {
     #[inline(always)]
-    pub(crate) fn test(&self, i: usize) -> bool {
+    pub fn test(&self, i: usize) -> bool {
         match self {
             PredKernel::I32Cmp {
                 r,
@@ -210,7 +214,7 @@ impl PredKernel<'_> {
 }
 
 /// Lower one conjunct to a kernel.
-pub(crate) fn compile_pred<'t>(t: &'t Table, e: &Expr) -> PredKernel<'t> {
+pub fn compile_pred<'t>(t: &'t Table, e: &Expr) -> PredKernel<'t> {
     let null_of = |c: ColId| t.schema().columns()[c].nullable.then_some(c);
     if let Expr::Cmp { op, left, right } = e {
         let sides = match (left.as_ref(), right.as_ref()) {
@@ -341,7 +345,7 @@ pub(crate) fn compile_pred<'t>(t: &'t Table, e: &Expr) -> PredKernel<'t> {
     }
 }
 
-pub(crate) fn conjuncts(pred: &Expr) -> Vec<&Expr> {
+pub fn conjuncts(pred: &Expr) -> Vec<&Expr> {
     let mut out = Vec::new();
     fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
         match e {
@@ -572,7 +576,13 @@ fn fig2c_kernel(table: &Table, preds: &[Expr], aggs: &[AggExpr]) -> Option<Vec<V
     }
     let row: Vec<Value> = sums
         .into_iter()
-        .map(|s| if hits == 0 { Value::Null } else { Value::Int64(s) })
+        .map(|s| {
+            if hits == 0 {
+                Value::Null
+            } else {
+                Value::Int64(s)
+            }
+        })
         .collect();
     Some(vec![row])
 }
@@ -625,7 +635,10 @@ fn grouped_agg_fast_path(
         }
     }
     let kernels: Vec<PredKernel<'_>> = preds.iter().map(|p| compile_pred(table, p)).collect();
-    if kernels.iter().any(|k| matches!(k, PredKernel::Interp { .. })) {
+    if kernels
+        .iter()
+        .any(|k| matches!(k, PredKernel::Interp { .. }))
+    {
         return None;
     }
     let mut groups: HashMap<u64, Vec<Accumulator>> = HashMap::new();
@@ -719,7 +732,10 @@ fn scalar_agg_fast_path(
     }
     let kernels: Vec<PredKernel<'_>> = preds.iter().map(|p| compile_pred(table, p)).collect();
     // Interpreted kernels would defeat the purpose; fall back.
-    if kernels.iter().any(|k| matches!(k, PredKernel::Interp { .. })) {
+    if kernels
+        .iter()
+        .any(|k| matches!(k, PredKernel::Interp { .. }))
+    {
         return None;
     }
     let mut accs: Vec<Accumulator> = aggs.iter().map(|a| Accumulator::new(a.func)).collect();

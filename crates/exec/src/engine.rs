@@ -183,6 +183,44 @@ impl Accumulator {
         }
     }
 
+    /// Fold another accumulator's state into this one, as if every input
+    /// `other` saw had been fed to `self` *after* `self`'s own inputs.
+    /// This is the merge step of parallel aggregation: workers accumulate
+    /// thread-locally and partials are merged at the pipeline barrier.
+    /// Merging partials built over a partitioning of the input in partition
+    /// order is equivalent to the sequential fold for count/sum(int)/min/max;
+    /// float sums may differ in the last ulps (addition is reassociated),
+    /// which is why `pdsm-par` keeps float aggregation single-threaded.
+    pub fn merge(&mut self, other: &Accumulator) {
+        debug_assert_eq!(self.func, other.func, "merging mismatched aggregates");
+        self.count += other.count;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                self.sum_i += other.sum_i;
+                self.sum_f += other.sum_f;
+                self.saw_float |= other.saw_float;
+            }
+            AggFunc::Min | AggFunc::Max => {
+                if let Some(theirs) = &other.extreme {
+                    let replace = match &self.extreme {
+                        None => true,
+                        Some(ours) => {
+                            if self.func == AggFunc::Min {
+                                cmp_values(theirs, ours).is_lt()
+                            } else {
+                                cmp_values(theirs, ours).is_gt()
+                            }
+                        }
+                    };
+                    if replace {
+                        self.extreme = Some(theirs.clone());
+                    }
+                }
+            }
+        }
+    }
+
     /// Final value.
     pub fn finish(&self) -> Value {
         match self.func {

@@ -32,6 +32,9 @@ pub mod result;
 pub mod vectorized;
 pub mod volcano;
 
-pub use engine::{BulkEngine, CompiledEngine, Engine, ExecError, TableProvider, VolcanoEngine};
-pub use vectorized::VectorizedEngine;
+pub use compiled::{compile_pred, PredKernel};
+pub use engine::{
+    Accumulator, BulkEngine, CompiledEngine, Engine, ExecError, TableProvider, VolcanoEngine,
+};
 pub use result::QueryOutput;
+pub use vectorized::VectorizedEngine;

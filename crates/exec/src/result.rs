@@ -32,12 +32,7 @@ impl QueryOutput {
         let mut out: Vec<String> = self
             .rows
             .iter()
-            .map(|r| {
-                r.iter()
-                    .map(render)
-                    .collect::<Vec<_>>()
-                    .join("|")
-            })
+            .map(|r| r.iter().map(render).collect::<Vec<_>>().join("|"))
             .collect();
         out.sort();
         out

@@ -69,8 +69,7 @@ impl Engine for VectorizedEngine {
             .find(|(n, _)| n == shape.table)
             .map(|(_, c)| c.clone())
             .unwrap_or_else(|| (0..t.schema().len()).collect());
-        let kernels: Vec<PredKernel<'_>> =
-            shape.preds.iter().map(|p| compile_pred(t, p)).collect();
+        let kernels: Vec<PredKernel<'_>> = shape.preds.iter().map(|p| compile_pred(t, p)).collect();
 
         let mut out = QueryOutput::new();
         let mut agg_state: HashMap<GroupKey, (Vec<Value>, Vec<Accumulator>)> = HashMap::new();
@@ -103,16 +102,13 @@ impl Engine for VectorizedEngine {
                 VecSink::Aggregate { group_by, aggs } => {
                     for &i in &sel {
                         let row = materialize(t, i as usize, &needed);
-                        let key_vals: Vec<Value> =
-                            group_by.iter().map(|g| g.eval(&row)).collect();
-                        let entry = agg_state
-                            .entry(GroupKey::of(&key_vals))
-                            .or_insert_with(|| {
-                                (
-                                    key_vals.clone(),
-                                    aggs.iter().map(|a| Accumulator::new(a.func)).collect(),
-                                )
-                            });
+                        let key_vals: Vec<Value> = group_by.iter().map(|g| g.eval(&row)).collect();
+                        let entry = agg_state.entry(GroupKey::of(&key_vals)).or_insert_with(|| {
+                            (
+                                key_vals.clone(),
+                                aggs.iter().map(|a| Accumulator::new(a.func)).collect(),
+                            )
+                        });
                         for (acc, spec) in entry.1.iter_mut().zip(aggs.iter()) {
                             match &spec.arg {
                                 Some(e) => acc.update(&e.eval(&row)),
@@ -259,10 +255,17 @@ mod tests {
     fn matches_compiled_on_filter_aggregate() {
         let d = db();
         let plan = QueryBuilder::scan("t")
-            .filter(Expr::col(1).eq(Expr::lit(3)).and(Expr::col(0).lt(Expr::lit(2500))))
+            .filter(
+                Expr::col(1)
+                    .eq(Expr::lit(3))
+                    .and(Expr::col(0).lt(Expr::lit(2500))),
+            )
             .aggregate(
                 vec![Expr::col(2)],
-                vec![AggExpr::count_star(), AggExpr::new(AggFunc::Sum, Expr::col(0))],
+                vec![
+                    AggExpr::count_star(),
+                    AggExpr::new(AggFunc::Sum, Expr::col(0)),
+                ],
             )
             .build();
         let v = VectorizedEngine::default().execute(&plan, &d).unwrap();
@@ -277,9 +280,13 @@ mod tests {
             .filter(Expr::col(2).like("g1%"))
             .project(vec![Expr::col(0)])
             .build();
-        let reference = VectorizedEngine::with_vector_size(1).execute(&plan, &d).unwrap();
+        let reference = VectorizedEngine::with_vector_size(1)
+            .execute(&plan, &d)
+            .unwrap();
         for vs in [7, 64, 1024, 1 << 20] {
-            let out = VectorizedEngine::with_vector_size(vs).execute(&plan, &d).unwrap();
+            let out = VectorizedEngine::with_vector_size(vs)
+                .execute(&plan, &d)
+                .unwrap();
             assert_eq!(out.rows, reference.rows, "vector size {vs}");
         }
     }

@@ -45,10 +45,15 @@ impl Operator for ScanOp<'_> {
     }
 }
 
+/// Boxed row predicate — the per-tuple indirect call Volcano pays by design.
+type RowPred<'a> = Box<dyn Fn(&[Value]) -> bool + 'a>;
+/// Boxed row expression evaluator.
+type RowEval<'a> = Box<dyn Fn(&[Value]) -> Value + 'a>;
+
 /// Filter with a boxed predicate closure.
 struct SelectOp<'a> {
     input: Box<dyn Operator + 'a>,
-    pred: Box<dyn Fn(&[Value]) -> bool + 'a>,
+    pred: RowPred<'a>,
 }
 
 impl Operator for SelectOp<'_> {
@@ -65,7 +70,7 @@ impl Operator for SelectOp<'_> {
 /// Projection with boxed expression evaluators.
 struct ProjectOp<'a> {
     input: Box<dyn Operator + 'a>,
-    exprs: Vec<Box<dyn Fn(&[Value]) -> Value + 'a>>,
+    exprs: Vec<RowEval<'a>>,
 }
 
 impl Operator for ProjectOp<'_> {
@@ -284,16 +289,16 @@ impl VolcanoEngine {
                 let p = pred.clone();
                 Box::new(SelectOp {
                     input: child,
-                    pred: Box::new(move |t| p.eval_bool(&t[..])),
+                    pred: Box::new(move |t| p.eval_bool(t)),
                 })
             }
             LogicalPlan::Project { input, exprs } => {
                 let child = self.compile_with_pruning(input, db, required)?;
-                let fns: Vec<Box<dyn Fn(&[Value]) -> Value>> = exprs
+                let fns: Vec<RowEval<'_>> = exprs
                     .iter()
                     .map(|e| {
                         let e = e.clone();
-                        Box::new(move |t: &[Value]| e.eval(&t)) as Box<dyn Fn(&[Value]) -> Value>
+                        Box::new(move |t: &[Value]| e.eval(t)) as RowEval<'_>
                     })
                     .collect();
                 Box::new(ProjectOp {
@@ -396,11 +401,7 @@ mod tests {
             .build();
         let out = VolcanoEngine.execute(&plan, &db()).unwrap();
         assert_eq!(out.len(), 3);
-        let total: i64 = out
-            .rows
-            .iter()
-            .map(|r| r[1].as_i64().unwrap())
-            .sum();
+        let total: i64 = out.rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
         assert_eq!(total, 100);
     }
 
@@ -410,7 +411,10 @@ mod tests {
             .filter(Expr::col(0).eq(Expr::lit(-1)))
             .aggregate(
                 vec![],
-                vec![AggExpr::count_star(), AggExpr::new(AggFunc::Sum, Expr::col(0))],
+                vec![
+                    AggExpr::count_star(),
+                    AggExpr::new(AggFunc::Sum, Expr::col(0)),
+                ],
             )
             .build();
         let out = VolcanoEngine.execute(&plan, &db()).unwrap();
@@ -421,11 +425,7 @@ mod tests {
     fn join_and_sort_and_limit() {
         let plan = QueryBuilder::scan("t")
             .filter(Expr::col(1).eq(Expr::lit(0)))
-            .join(
-                QueryBuilder::scan("t").build(),
-                Expr::col(0),
-                Expr::col(0),
-            )
+            .join(QueryBuilder::scan("t").build(), Expr::col(0), Expr::col(0))
             .project(vec![Expr::col(0), Expr::col(5)])
             .sort(vec![(Expr::col(0), false)])
             .limit(3)

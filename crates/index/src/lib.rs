@@ -50,7 +50,11 @@ impl Index {
     pub fn lookup_range(&self, lo: i64, hi: i64) -> Option<Vec<u32>> {
         match self {
             Index::Hash(_) => None,
-            Index::RBTree(t) => Some(t.range(lo, hi).flat_map(|(_, rows)| rows.to_vec()).collect()),
+            Index::RBTree(t) => Some(
+                t.range(lo, hi)
+                    .flat_map(|(_, rows)| rows.to_vec())
+                    .collect(),
+            ),
         }
     }
 

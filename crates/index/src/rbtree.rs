@@ -254,11 +254,7 @@ impl RBTree {
         if self.root == NIL {
             return 0;
         }
-        assert_eq!(
-            self.color(self.root),
-            Color::Black,
-            "root must be black"
-        );
+        assert_eq!(self.color(self.root), Color::Black, "root must be black");
         self.check_node(self.root, i64::MIN, i64::MAX)
     }
 
@@ -267,7 +263,11 @@ impl RBTree {
             return 1; // NIL leaves are black
         }
         let n = &self.nodes[x as usize];
-        assert!(n.key >= lo && n.key <= hi, "BST order violated at {}", n.key);
+        assert!(
+            n.key >= lo && n.key <= hi,
+            "BST order violated at {}",
+            n.key
+        );
         if n.color == Color::Red {
             assert_eq!(self.color(n.left), Color::Black, "red-red at {}", n.key);
             assert_eq!(self.color(n.right), Color::Black, "red-red at {}", n.key);

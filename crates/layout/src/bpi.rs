@@ -83,7 +83,17 @@ pub fn optimize_table(
     let mut best = (start.clone(), start_cost);
     let mut states = 1usize;
     branch(
-        table, views, workload, hw, cfg, &cuts, 0, start, start_cost, &mut best, &mut states,
+        table,
+        views,
+        workload,
+        hw,
+        cfg,
+        &cuts,
+        0,
+        start,
+        start_cost,
+        &mut best,
+        &mut states,
     );
     OptimizedLayout {
         layout: best.0.canonical(),
@@ -115,7 +125,17 @@ fn branch(
     // A cut that does not change the layout needs no separate branch.
     if with_cut.canonical() == layout.canonical() {
         branch(
-            table, views, workload, hw, cfg, cuts, idx + 1, layout, layout_cost, best, states,
+            table,
+            views,
+            workload,
+            hw,
+            cfg,
+            cuts,
+            idx + 1,
+            layout,
+            layout_cost,
+            best,
+            states,
         );
         return;
     }
@@ -128,12 +148,32 @@ fn branch(
     if improvement > cfg.threshold {
         // include branch
         branch(
-            table, views, workload, hw, cfg, cuts, idx + 1, with_cut, cut_cost, best, states,
+            table,
+            views,
+            workload,
+            hw,
+            cfg,
+            cuts,
+            idx + 1,
+            with_cut,
+            cut_cost,
+            best,
+            states,
         );
     }
     // exclude branch (always explored; pruning only skips inclusion)
     branch(
-        table, views, workload, hw, cfg, cuts, idx + 1, layout, layout_cost, best, states,
+        table,
+        views,
+        workload,
+        hw,
+        cfg,
+        cuts,
+        idx + 1,
+        layout,
+        layout_cost,
+        best,
+        states,
     );
 }
 
@@ -193,7 +233,10 @@ pub fn attribute_exhaustive(
     hw: &Hierarchy,
 ) -> OptimizedLayout {
     let n = views[table].col_widths.len();
-    assert!(n <= 10, "Bell({n}) partitions is exactly the explosion §V avoids");
+    assert!(
+        n <= 10,
+        "Bell({n}) partitions is exactly the explosion §V avoids"
+    );
     let mut best: Option<(Layout, f64)> = None;
     let mut states = 0usize;
     // enumerate set partitions via restricted growth strings
@@ -225,8 +268,8 @@ pub fn attribute_exhaustive(
             let prefix_max = rgs[..i as usize].iter().copied().max().unwrap_or(0);
             if rgs[i as usize] <= prefix_max {
                 rgs[i as usize] += 1;
-                for j in (i as usize + 1)..n {
-                    rgs[j] = 0;
+                for r in rgs.iter_mut().take(n).skip(i as usize + 1) {
+                    *r = 0;
                 }
                 break;
             }
@@ -442,7 +485,7 @@ mod tests {
         let hw = Hierarchy::nehalem();
         let opt = optimize_table("R", &views, &w, &hw, &OptimizerConfig::default());
         // Layout::from_groups inside apply_cut validates; double-check here.
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for g in opt.layout.groups() {
             for &c in g {
                 assert!(!seen[c], "column {c} twice");

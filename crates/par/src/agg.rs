@@ -1,0 +1,618 @@
+//! Thread-local partial aggregation and the barrier merge.
+//!
+//! Workers aggregate the morsels they claim into private state — scalar
+//! accumulator vectors or per-worker hash tables for grouped aggregation —
+//! and the partials are merged in worker-id order once the pool joins
+//! ([`pdsm_exec::Accumulator::merge`]). Merging is exact for counts,
+//! integer sums and min/max, so these run fully parallel. Aggregates whose
+//! inputs are floating point are *not* dispatched here: reassociating float
+//! addition changes low-order bits, and this engine promises results
+//! identical to the compiled engine's sequential fold. The engine routes
+//! those through an order-preserving parallel collect + sequential fold
+//! instead (see `engine.rs`).
+
+use crate::morsel::MorselQueue;
+use crate::pool::run_workers;
+use pdsm_exec::compiled::{compile_pred, PredKernel};
+use pdsm_exec::keys::GroupKey;
+use pdsm_exec::Accumulator;
+use pdsm_plan::expr::Expr;
+use pdsm_plan::logical::{AggExpr, AggFunc};
+use pdsm_storage::partition::{F64Col, I32Col, I64Col, U32Col};
+use pdsm_storage::{ColId, DataType, Table, Value};
+use std::collections::HashMap;
+
+/// Typed per-worker reader feeding one accumulator (the compiled engine's
+/// `AggReader`, rebuilt per worker so each borrows its own view).
+enum AggReader<'t> {
+    I32(I32Col<'t>, Option<ColId>),
+    I64(I64Col<'t>, Option<ColId>),
+    F64(F64Col<'t>, Option<ColId>),
+    CountStar,
+    /// Fallback: evaluate the argument expression on the materialized row.
+    Expr(Expr),
+}
+
+fn reader_for<'t>(table: &'t Table, agg: &AggExpr) -> AggReader<'t> {
+    match &agg.arg {
+        None => AggReader::CountStar,
+        Some(Expr::Col(c)) => {
+            let def = &table.schema().columns()[*c];
+            let nc = def.nullable.then_some(*c);
+            match def.ty {
+                DataType::Int32 => AggReader::I32(table.i32_reader(*c), nc),
+                DataType::Int64 => AggReader::I64(table.i64_reader(*c), nc),
+                DataType::Float64 => AggReader::F64(table.f64_reader(*c), nc),
+                DataType::Str => AggReader::Expr(Expr::Col(*c)),
+            }
+        }
+        Some(e) => AggReader::Expr(e.clone()),
+    }
+}
+
+impl AggReader<'_> {
+    /// Feed row `i` (typed readers) or the materialized `row` (expression
+    /// fallback) into `acc`, with the compiled engine's NULL handling.
+    #[inline]
+    fn update(&self, table: &Table, i: usize, row: &[Value], acc: &mut Accumulator) {
+        match self {
+            AggReader::CountStar => acc.update_i64(1),
+            AggReader::I32(r, nc) => {
+                if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
+                    acc.update_i64(r.get(i) as i64);
+                }
+            }
+            AggReader::I64(r, nc) => {
+                if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
+                    acc.update_i64(r.get(i));
+                }
+            }
+            AggReader::F64(r, nc) => {
+                if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
+                    acc.update_f64(r.get(i));
+                }
+            }
+            AggReader::Expr(e) => acc.update(&e.eval(row)),
+        }
+    }
+
+    /// Whether this reader needs the materialized row.
+    fn needs_row(&self) -> bool {
+        matches!(self, AggReader::Expr(_))
+    }
+}
+
+/// The parallel Fig. 2c kernel: one non-nullable `i32` comparison
+/// predicate, scalar `sum`s over non-nullable `i32` columns. Each worker
+/// runs the compiled engine's tightest loop — one branch plus a handful of
+/// adds per tuple, partials in registers — over the morsels it claims.
+/// Partial `(hits, sums)` merge by addition, which is exact, so this path
+/// is bit-identical to the sequential kernel at any thread count.
+fn fig2c_parallel(
+    table: &Table,
+    preds: &[Expr],
+    aggs: &[AggExpr],
+    threads: usize,
+) -> Option<Vec<Vec<Value>>> {
+    if preds.len() != 1 {
+        return None;
+    }
+    // Shape probe on the caller thread; workers re-compile their own.
+    if !matches!(
+        compile_pred(table, &preds[0]),
+        PredKernel::I32Cmp { null_col: None, .. }
+    ) {
+        return None;
+    }
+    let mut cols = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        match &a.arg {
+            Some(Expr::Col(c)) if a.func == AggFunc::Sum => {
+                let def = &table.schema().columns()[*c];
+                if def.ty != DataType::Int32 || def.nullable {
+                    return None;
+                }
+                cols.push(*c);
+            }
+            _ => return None,
+        }
+    }
+    let queue = MorselQueue::for_table(table);
+    let threads = threads.min(queue.n_morsels()).max(1);
+    let partials: Vec<(u64, Vec<i64>)> = run_workers(threads, |_| {
+        let (pr, op, pv) = match compile_pred(table, &preds[0]) {
+            PredKernel::I32Cmp {
+                r,
+                op,
+                v,
+                null_col: None,
+                ..
+            } => (r, op, v),
+            _ => unreachable!("shape checked above"),
+        };
+        let readers: Vec<I32Col<'_>> = cols.iter().map(|&c| table.i32_reader(c)).collect();
+        let mut sums = vec![0i64; readers.len()];
+        let mut hits = 0u64;
+        while let Some(m) = queue.claim() {
+            match op {
+                pdsm_plan::expr::CmpOp::Eq => {
+                    for i in m.start..m.end {
+                        if pr.get(i) as i64 == pv {
+                            hits += 1;
+                            for (s, r) in sums.iter_mut().zip(readers.iter()) {
+                                *s += r.get(i) as i64;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    for i in m.start..m.end {
+                        if op.matches((pr.get(i) as i64).cmp(&pv)) {
+                            hits += 1;
+                            for (s, r) in sums.iter_mut().zip(readers.iter()) {
+                                *s += r.get(i) as i64;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (hits, sums)
+    });
+    let mut hits = 0u64;
+    let mut sums = vec![0i64; cols.len()];
+    for (h, partial) in partials {
+        hits += h;
+        for (s, p) in sums.iter_mut().zip(partial) {
+            *s += p;
+        }
+    }
+    let row: Vec<Value> = sums
+        .into_iter()
+        .map(|s| {
+            if hits == 0 {
+                Value::Null
+            } else {
+                Value::Int64(s)
+            }
+        })
+        .collect();
+    Some(vec![row])
+}
+
+/// Scalar (ungrouped) aggregation over a bare scan: every worker folds its
+/// morsels into a private accumulator vector; partials merge in worker
+/// order. Returns the single result row.
+pub(crate) fn scalar_agg_parallel(
+    table: &Table,
+    preds: &[Expr],
+    aggs: &[AggExpr],
+    needed: &[ColId],
+    threads: usize,
+) -> Vec<Vec<Value>> {
+    if let Some(rows) = fig2c_parallel(table, preds, aggs, threads) {
+        return rows;
+    }
+    let queue = MorselQueue::for_table(table);
+    let threads = threads.min(queue.n_morsels()).max(1);
+    let width = table.schema().len();
+    let partials: Vec<Vec<Accumulator>> = run_workers(threads, |_| {
+        let kernels: Vec<PredKernel<'_>> = preds.iter().map(|p| compile_pred(table, p)).collect();
+        let readers: Vec<AggReader<'_>> = aggs.iter().map(|a| reader_for(table, a)).collect();
+        let materialize = readers.iter().any(|r| r.needs_row());
+        let mut accs: Vec<Accumulator> = aggs.iter().map(|a| Accumulator::new(a.func)).collect();
+        let mut row: Vec<Value> = vec![Value::Null; width];
+        while let Some(m) = queue.claim() {
+            'rows: for i in m.start..m.end {
+                for k in &kernels {
+                    if !k.test(i) {
+                        continue 'rows;
+                    }
+                }
+                if materialize {
+                    for &c in needed {
+                        row[c] = table.get(i, c).expect("in-range");
+                    }
+                }
+                for (acc, rd) in accs.iter_mut().zip(readers.iter()) {
+                    rd.update(table, i, &row, acc);
+                }
+            }
+        }
+        accs
+    });
+    let mut merged = partials
+        .first()
+        .cloned()
+        .unwrap_or_else(|| aggs.iter().map(|a| Accumulator::new(a.func)).collect());
+    for partial in partials.iter().skip(1) {
+        for (acc, p) in merged.iter_mut().zip(partial.iter()) {
+            acc.merge(p);
+        }
+    }
+    vec![merged.iter().map(|a| a.finish()).collect()]
+}
+
+/// One worker's grouped-aggregation hash table.
+type GroupMap = HashMap<GroupKey, (Vec<Value>, Vec<Accumulator>)>;
+
+/// Typed reader over a single-column group key (the compiled engine's
+/// grouped fast path, per worker).
+enum KeyReader<'t> {
+    I32(I32Col<'t>),
+    I64(I64Col<'t>),
+    Code(U32Col<'t>, ColId),
+}
+
+impl KeyReader<'_> {
+    fn open<'t>(table: &'t Table, group_by: &[Expr]) -> Option<KeyReader<'t>> {
+        let [Expr::Col(key_col)] = group_by else {
+            return None;
+        };
+        let def = &table.schema().columns()[*key_col];
+        if def.nullable {
+            return None;
+        }
+        Some(match def.ty {
+            DataType::Int32 => KeyReader::I32(table.i32_reader(*key_col)),
+            DataType::Int64 => KeyReader::I64(table.i64_reader(*key_col)),
+            DataType::Str => KeyReader::Code(table.str_code_reader(*key_col), *key_col),
+            DataType::Float64 => return None,
+        })
+    }
+
+    #[inline]
+    fn raw(&self, i: usize) -> u64 {
+        match self {
+            KeyReader::I32(r) => r.get(i) as i64 as u64,
+            KeyReader::I64(r) => r.get(i) as u64,
+            KeyReader::Code(r, _) => r.get(i) as u64,
+        }
+    }
+
+    /// Decode a raw key the way the compiled engine does (Int32 keys come
+    /// back as `Value::Int32`, string keys via the dictionary).
+    fn decode(&self, table: &Table, raw: u64) -> Value {
+        match self {
+            KeyReader::I32(_) => Value::Int32(raw as i64 as i32),
+            KeyReader::I64(_) => Value::Int64(raw as i64),
+            KeyReader::Code(_, c) => Value::Str(
+                table
+                    .dict(*c)
+                    .expect("str col has dict")
+                    .decode(raw as u32)
+                    .to_owned(),
+            ),
+        }
+    }
+}
+
+/// Grouped fast path: a single plain non-nullable key column and plain
+/// column (or `count(*)`) aggregates. Workers key their private tables by
+/// the raw `u64` — no per-row `Value` construction or byte-key
+/// serialization — and partials merge by raw key at the barrier.
+fn grouped_fast_parallel(
+    table: &Table,
+    preds: &[Expr],
+    group_by: &[Expr],
+    aggs: &[AggExpr],
+    threads: usize,
+) -> Option<Vec<Vec<Value>>> {
+    let probe_key = KeyReader::open(table, group_by)?;
+    // every aggregate must avoid row materialization
+    for a in aggs {
+        match &a.arg {
+            None => {}
+            Some(Expr::Col(c)) if table.schema().columns()[*c].ty != DataType::Str => {}
+            _ => return None,
+        }
+    }
+    let queue = MorselQueue::for_table(table);
+    let threads = threads.min(queue.n_morsels()).max(1);
+    let partials: Vec<HashMap<u64, Vec<Accumulator>>> = run_workers(threads, |_| {
+        let kernels: Vec<PredKernel<'_>> = preds.iter().map(|p| compile_pred(table, p)).collect();
+        let readers: Vec<AggReader<'_>> = aggs.iter().map(|a| reader_for(table, a)).collect();
+        let key = KeyReader::open(table, group_by).expect("shape checked");
+        let mut groups: HashMap<u64, Vec<Accumulator>> = HashMap::new();
+        while let Some(m) = queue.claim() {
+            'rows: for i in m.start..m.end {
+                for k in &kernels {
+                    if !k.test(i) {
+                        continue 'rows;
+                    }
+                }
+                let accs = groups
+                    .entry(key.raw(i))
+                    .or_insert_with(|| aggs.iter().map(|a| Accumulator::new(a.func)).collect());
+                for (acc, rd) in accs.iter_mut().zip(readers.iter()) {
+                    rd.update(table, i, &[], acc);
+                }
+            }
+        }
+        groups
+    });
+    let mut merged: HashMap<u64, Vec<Accumulator>> = HashMap::new();
+    for partial in partials {
+        for (raw, accs) in partial {
+            match merged.entry(raw) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(accs);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    for (mine, theirs) in o.get_mut().iter_mut().zip(accs.iter()) {
+                        mine.merge(theirs);
+                    }
+                }
+            }
+        }
+    }
+    Some(
+        merged
+            .into_iter()
+            .map(|(raw, accs)| {
+                let mut row = vec![probe_key.decode(table, raw)];
+                row.extend(accs.iter().map(|a| a.finish()));
+                row
+            })
+            .collect(),
+    )
+}
+
+/// Grouped aggregation over a bare scan: per-worker hash tables keyed by
+/// the engines' canonical [`GroupKey`], merged at the barrier in worker
+/// order. Group rows come out in whatever order the merged map iterates —
+/// the same contract the sequential engines' hash aggregation has.
+pub(crate) fn grouped_agg_parallel(
+    table: &Table,
+    preds: &[Expr],
+    group_by: &[Expr],
+    aggs: &[AggExpr],
+    needed: &[ColId],
+    threads: usize,
+) -> Vec<Vec<Value>> {
+    if let Some(rows) = grouped_fast_parallel(table, preds, group_by, aggs, threads) {
+        return rows;
+    }
+    let queue = MorselQueue::for_table(table);
+    let threads = threads.min(queue.n_morsels()).max(1);
+    let width = table.schema().len();
+    let partials: Vec<GroupMap> = run_workers(threads, |_| {
+        let kernels: Vec<PredKernel<'_>> = preds.iter().map(|p| compile_pred(table, p)).collect();
+        let readers: Vec<AggReader<'_>> = aggs.iter().map(|a| reader_for(table, a)).collect();
+        let mut groups: GroupMap = HashMap::new();
+        let mut row: Vec<Value> = vec![Value::Null; width];
+        while let Some(m) = queue.claim() {
+            'rows: for i in m.start..m.end {
+                for k in &kernels {
+                    if !k.test(i) {
+                        continue 'rows;
+                    }
+                }
+                // group keys are expressions, so the row is always needed
+                for &c in needed {
+                    row[c] = table.get(i, c).expect("in-range");
+                }
+                let key_vals: Vec<Value> = group_by.iter().map(|g| g.eval(&row[..])).collect();
+                let key = GroupKey::of(&key_vals);
+                let entry = groups.entry(key).or_insert_with(|| {
+                    (
+                        key_vals.clone(),
+                        aggs.iter().map(|a| Accumulator::new(a.func)).collect(),
+                    )
+                });
+                for (acc, rd) in entry.1.iter_mut().zip(readers.iter()) {
+                    rd.update(table, i, &row, acc);
+                }
+            }
+        }
+        groups
+    });
+    let mut merged: GroupMap = HashMap::new();
+    for partial in partials {
+        for (key, (key_vals, accs)) in partial {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert((key_vals, accs));
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    for (mine, theirs) in o.get_mut().1.iter_mut().zip(accs.iter()) {
+                        mine.merge(theirs);
+                    }
+                }
+            }
+        }
+    }
+    if merged.is_empty() && group_by.is_empty() {
+        let accs: Vec<Accumulator> = aggs.iter().map(|a| Accumulator::new(a.func)).collect();
+        return vec![accs.iter().map(|a| a.finish()).collect()];
+    }
+    merged
+        .into_values()
+        .map(|(mut key_vals, accs)| {
+            key_vals.extend(accs.iter().map(|a| a.finish()));
+            key_vals
+        })
+        .collect()
+}
+
+/// Sequential fold of already-ordered rows into an aggregation sink —
+/// the tail of the ordered-collect path for float aggregates and stepped
+/// pipelines. Identical to the compiled engine's `Sink::Agg`.
+pub(crate) fn fold_rows(
+    rows: Vec<Vec<Value>>,
+    group_by: &[Expr],
+    aggs: &[AggExpr],
+) -> Vec<Vec<Value>> {
+    let mut groups: GroupMap = HashMap::new();
+    for row in rows {
+        let key_vals: Vec<Value> = group_by.iter().map(|g| g.eval(&row[..])).collect();
+        let key = GroupKey::of(&key_vals);
+        let entry = groups.entry(key).or_insert_with(|| {
+            (
+                key_vals.clone(),
+                aggs.iter().map(|a| Accumulator::new(a.func)).collect(),
+            )
+        });
+        for (acc, spec) in entry.1.iter_mut().zip(aggs.iter()) {
+            match &spec.arg {
+                Some(e) => acc.update(&e.eval(&row[..])),
+                None => acc.update(&Value::Int32(1)),
+            }
+        }
+    }
+    if groups.is_empty() && group_by.is_empty() {
+        let accs: Vec<Accumulator> = aggs.iter().map(|a| Accumulator::new(a.func)).collect();
+        return vec![accs.iter().map(|a| a.finish()).collect()];
+    }
+    groups
+        .into_values()
+        .map(|(mut key_vals, accs)| {
+            key_vals.extend(accs.iter().map(|a| a.finish()));
+            key_vals
+        })
+        .collect()
+}
+
+/// True when merging partials of `agg` could reassociate float addition
+/// and so break this engine's bit-identical-to-compiled guarantee: float
+/// inputs, or `avg` (which always finishes through the float running sum,
+/// where partial int sums beyond 2^53 round order-dependently). Such
+/// aggregates take the ordered collect+fold path instead. Count never
+/// inspects magnitudes and integer sums finish through the exact integer
+/// sum, so those merge freely.
+pub(crate) fn float_sensitive(table: &Table, agg: &AggExpr) -> bool {
+    if agg.func == AggFunc::Count {
+        return false;
+    }
+    if agg.func == AggFunc::Avg {
+        return true;
+    }
+    let Some(arg) = &agg.arg else { return false };
+    expr_touches_float(table, arg)
+}
+
+fn expr_touches_float(table: &Table, e: &Expr) -> bool {
+    if e.columns()
+        .iter()
+        .any(|&c| table.schema().columns()[c].ty == DataType::Float64)
+    {
+        return true;
+    }
+    contains_float_lit(e)
+}
+
+fn contains_float_lit(e: &Expr) -> bool {
+    match e {
+        Expr::Lit(Value::Float64(_)) => true,
+        Expr::Lit(_) | Expr::Col(_) => false,
+        Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
+            contains_float_lit(left) || contains_float_lit(right)
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => contains_float_lit(a) || contains_float_lit(b),
+        Expr::Not(a) | Expr::IsNull(a) => contains_float_lit(a),
+        Expr::Like { expr, .. } => contains_float_lit(expr),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsm_storage::{ColumnDef, Schema};
+
+    fn table(n: usize) -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("k", DataType::Int32),
+                ColumnDef::new("v", DataType::Int64),
+                ColumnDef::nullable("f", DataType::Float64),
+            ]),
+        );
+        for i in 0..n {
+            t.insert(&[
+                Value::Int32((i % 5) as i32),
+                Value::Int64(i as i64),
+                if i % 3 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(i as f64 / 4.0)
+                },
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn scalar_partials_merge_exactly() {
+        let t = table(30_000);
+        let aggs = vec![
+            AggExpr::count_star(),
+            AggExpr::new(AggFunc::Sum, Expr::col(1)),
+            AggExpr::new(AggFunc::Min, Expr::col(1)),
+            AggExpr::new(AggFunc::Max, Expr::col(1)),
+        ];
+        let preds = vec![Expr::col(0).eq(Expr::lit(2))];
+        let one = scalar_agg_parallel(&t, &preds, &aggs, &[0, 1], 1);
+        for threads in [2, 4, 8] {
+            let many = scalar_agg_parallel(&t, &preds, &aggs, &[0, 1], threads);
+            assert_eq!(one, many, "threads={threads}");
+        }
+        assert_eq!(one[0][0], Value::Int64(6_000));
+    }
+
+    #[test]
+    fn grouped_partials_merge_exactly() {
+        let t = table(10_000);
+        let aggs = vec![
+            AggExpr::count_star(),
+            AggExpr::new(AggFunc::Sum, Expr::col(1)),
+        ];
+        let group = vec![Expr::col(0)];
+        let mut one = grouped_agg_parallel(&t, &[], &group, &aggs, &[0, 1], 1);
+        for threads in [2, 4] {
+            let mut many = grouped_agg_parallel(&t, &[], &group, &aggs, &[0, 1], threads);
+            one.sort_by_key(|r| format!("{r:?}"));
+            many.sort_by_key(|r| format!("{r:?}"));
+            assert_eq!(one, many, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn float_sensitivity_detection() {
+        let t = table(1);
+        assert!(float_sensitive(
+            &t,
+            &AggExpr::new(AggFunc::Sum, Expr::col(2))
+        ));
+        assert!(float_sensitive(
+            &t,
+            &AggExpr::new(AggFunc::Sum, Expr::col(1).mul(Expr::lit(0.5)))
+        ));
+        assert!(!float_sensitive(
+            &t,
+            &AggExpr::new(AggFunc::Sum, Expr::col(1))
+        ));
+        assert!(!float_sensitive(
+            &t,
+            &AggExpr::new(AggFunc::Count, Expr::col(2))
+        ));
+        assert!(!float_sensitive(&t, &AggExpr::count_star()));
+        // avg always finishes through the float running sum, even over ints
+        assert!(float_sensitive(
+            &t,
+            &AggExpr::new(AggFunc::Avg, Expr::col(1))
+        ));
+    }
+
+    #[test]
+    fn empty_scan_yields_null_row() {
+        let t = table(0);
+        let aggs = vec![
+            AggExpr::count_star(),
+            AggExpr::new(AggFunc::Sum, Expr::col(1)),
+        ];
+        let out = scalar_agg_parallel(&t, &[], &aggs, &[1], 4);
+        assert_eq!(out, vec![vec![Value::Int64(0), Value::Null]]);
+    }
+}

@@ -1,0 +1,459 @@
+//! `ParallelEngine`: the compiled engine's plan lowering with parallel
+//! pipeline drivers.
+//!
+//! Lowering mirrors `pdsm_exec::compiled` exactly — scans open pipelines,
+//! selections merge into kernel conjuncts (or residual filter steps once
+//! the pipe has steps), projections and join probes append steps, and
+//! pipeline breakers (aggregates, join builds, sorts, limits) materialize.
+//! The difference is *how* an open pipeline runs:
+//!
+//! * **collect pipelines** run on the worker pool with per-morsel output
+//!   buffers stitched in morsel order — byte-identical to sequential;
+//! * **bare-scan aggregations** with merge-exact aggregates (counts,
+//!   integer sums, min/max) use thread-local partial states merged at the
+//!   barrier;
+//! * **float-sensitive or stepped aggregations** parallelize the scan and
+//!   probe work via an ordered collect, then fold sequentially, keeping
+//!   float accumulation order — and therefore every output bit — identical
+//!   to the compiled engine.
+
+use crate::agg::{float_sensitive, fold_rows, grouped_agg_parallel, scalar_agg_parallel};
+use crate::pipeline::{collect_parallel, Step};
+use crate::pool::default_threads;
+use pdsm_exec::compiled::conjuncts;
+use pdsm_exec::engine::{Engine, ExecError, TableProvider};
+use pdsm_exec::keys::GroupKey;
+use pdsm_exec::QueryOutput;
+use pdsm_plan::logical::LogicalPlan;
+use pdsm_storage::types::cmp_values;
+use pdsm_storage::{ColId, Table, Value};
+use std::collections::HashMap;
+
+/// The morsel-driven parallel engine.
+///
+/// `threads == 0` (the default) resolves at execution time: the
+/// `PDSM_THREADS` environment variable if set, otherwise all cores.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ParallelEngine {
+    threads: usize,
+}
+
+impl ParallelEngine {
+    /// Engine with automatic thread-count resolution.
+    pub const fn new() -> Self {
+        ParallelEngine { threads: 0 }
+    }
+
+    /// Engine pinned to exactly `threads` workers (`0` = automatic).
+    pub const fn with_threads(threads: usize) -> Self {
+        ParallelEngine { threads }
+    }
+
+    /// The worker count this engine will use right now.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            default_threads()
+        }
+    }
+}
+
+impl Engine for ParallelEngine {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn execute(
+        &self,
+        plan: &LogicalPlan,
+        db: &dyn TableProvider,
+    ) -> Result<QueryOutput, ExecError> {
+        let width = |t: &str| db.table(t).map(|tb| tb.schema().len()).unwrap_or(0);
+        let required = plan.required_columns(&width);
+        let threads = self.effective_threads();
+        let rows = exec(plan, db, &required, threads)?;
+        Ok(QueryOutput { rows })
+    }
+}
+
+/// A lowered query fragment: an open (parallelizable) scan pipeline or
+/// materialized rows. The parallel twin of the compiled engine's.
+enum Fragment {
+    Pipe {
+        table: String,
+        preds: Vec<pdsm_plan::expr::Expr>,
+        steps: Vec<Step>,
+    },
+    Rows(Vec<Vec<Value>>),
+}
+
+fn needed_cols(name: &str, t: &Table, required: &[(String, Vec<ColId>)]) -> Vec<ColId> {
+    required
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, c)| c.clone())
+        .unwrap_or_else(|| (0..t.schema().len()).collect())
+}
+
+fn exec(
+    plan: &LogicalPlan,
+    db: &dyn TableProvider,
+    required: &[(String, Vec<ColId>)],
+    threads: usize,
+) -> Result<Vec<Vec<Value>>, ExecError> {
+    let frag = lower(plan, db, required, threads)?;
+    Ok(match frag {
+        Fragment::Rows(rows) => rows,
+        Fragment::Pipe {
+            table,
+            preds,
+            steps,
+        } => {
+            let t = db
+                .table(&table)
+                .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+            let needed = needed_cols(&table, t, required);
+            collect_parallel(t, &preds, &steps, &needed, threads)
+        }
+    })
+}
+
+fn lower(
+    plan: &LogicalPlan,
+    db: &dyn TableProvider,
+    required: &[(String, Vec<ColId>)],
+    threads: usize,
+) -> Result<Fragment, ExecError> {
+    match plan {
+        LogicalPlan::Scan { table } => {
+            db.table(table)
+                .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+            Ok(Fragment::Pipe {
+                table: table.clone(),
+                preds: Vec::new(),
+                steps: Vec::new(),
+            })
+        }
+        LogicalPlan::Select { input, pred, .. } => {
+            let frag = lower(input, db, required, threads)?;
+            Ok(match frag {
+                Fragment::Pipe {
+                    table,
+                    mut preds,
+                    mut steps,
+                } => {
+                    if steps.is_empty() {
+                        preds.extend(conjuncts(pred).into_iter().cloned());
+                    } else {
+                        steps.push(Step::Filter(pred.clone()));
+                    }
+                    Fragment::Pipe {
+                        table,
+                        preds,
+                        steps,
+                    }
+                }
+                Fragment::Rows(rows) => Fragment::Rows(
+                    rows.into_iter()
+                        .filter(|r| pred.eval_bool(&r[..]))
+                        .collect(),
+                ),
+            })
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let frag = lower(input, db, required, threads)?;
+            Ok(match frag {
+                Fragment::Pipe {
+                    table,
+                    preds,
+                    mut steps,
+                } => {
+                    steps.push(Step::Project(exprs.clone()));
+                    Fragment::Pipe {
+                        table,
+                        preds,
+                        steps,
+                    }
+                }
+                Fragment::Rows(rows) => Fragment::Rows(
+                    rows.into_iter()
+                        .map(|r| exprs.iter().map(|e| e.eval(&r[..])).collect())
+                        .collect(),
+                ),
+            })
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let frag = lower(input, db, required, threads)?;
+            let rows = match frag {
+                Fragment::Pipe {
+                    table,
+                    preds,
+                    steps,
+                } => {
+                    let t = db
+                        .table(&table)
+                        .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+                    let needed = needed_cols(&table, t, required);
+                    let mergeable = steps.is_empty() && !aggs.iter().any(|a| float_sensitive(t, a));
+                    if mergeable && group_by.is_empty() {
+                        scalar_agg_parallel(t, &preds, aggs, &needed, threads)
+                    } else if mergeable {
+                        grouped_agg_parallel(t, &preds, group_by, aggs, &needed, threads)
+                    } else {
+                        // Ordered collect keeps the sequential accumulation
+                        // order, so float sums stay bit-identical.
+                        let survivors = collect_parallel(t, &preds, &steps, &needed, threads);
+                        fold_rows(survivors, group_by, aggs)
+                    }
+                }
+                Fragment::Rows(rows) => fold_rows(rows, group_by, aggs),
+            };
+            Ok(Fragment::Rows(rows))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            // Build side is a pipeline breaker: materialize (in parallel,
+            // order-preserving) and build the hash table in row order so
+            // probe fan-out order matches the sequential engines.
+            let build_rows = exec(left, db, required, threads)?;
+            let mut ht: HashMap<GroupKey, Vec<Vec<Value>>> = HashMap::new();
+            for r in build_rows {
+                let k = left_key.eval(&r[..]);
+                if k.is_null() {
+                    continue;
+                }
+                ht.entry(GroupKey::single(&k)).or_default().push(r);
+            }
+            let frag = lower(right, db, required, threads)?;
+            Ok(match frag {
+                Fragment::Pipe {
+                    table,
+                    preds,
+                    mut steps,
+                } => {
+                    steps.push(Step::Probe {
+                        ht,
+                        key: right_key.clone(),
+                    });
+                    Fragment::Pipe {
+                        table,
+                        preds,
+                        steps,
+                    }
+                }
+                Fragment::Rows(rows) => {
+                    let mut out = Vec::new();
+                    for r in rows {
+                        let k = right_key.eval(&r[..]);
+                        if k.is_null() {
+                            continue;
+                        }
+                        if let Some(ms) = ht.get(&GroupKey::single(&k)) {
+                            for m in ms {
+                                let mut j = m.clone();
+                                j.extend(r.iter().cloned());
+                                out.push(j);
+                            }
+                        }
+                    }
+                    Fragment::Rows(out)
+                }
+            })
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut rows = exec(input, db, required, threads)?;
+            rows.sort_by(|a, b| {
+                for k in keys {
+                    let ord = cmp_values(&k.expr.eval(&a[..]), &k.expr.eval(&b[..]));
+                    let ord = if k.asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(Fragment::Rows(rows))
+        }
+        LogicalPlan::Limit { input, n } => {
+            let mut rows = exec(input, db, required, threads)?;
+            rows.truncate(*n);
+            Ok(Fragment::Rows(rows))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsm_exec::engine::{CompiledEngine, VolcanoEngine};
+    use pdsm_plan::builder::QueryBuilder;
+    use pdsm_plan::expr::Expr;
+    use pdsm_plan::logical::{AggExpr, AggFunc};
+    use pdsm_storage::{ColumnDef, DataType, Schema};
+
+    fn db() -> HashMap<String, Table> {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("a", DataType::Int32),
+                ColumnDef::new("b", DataType::Int32),
+                ColumnDef::new("s", DataType::Str),
+                ColumnDef::nullable("f", DataType::Float64),
+            ]),
+        );
+        for i in 0..20_000 {
+            t.insert(&[
+                Value::Int32(i),
+                Value::Int32(i % 10),
+                Value::Str(format!("name-{}", i % 5)),
+                if i % 4 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(i as f64 / 2.0)
+                },
+            ])
+            .unwrap();
+        }
+        let mut m = HashMap::new();
+        m.insert("t".to_string(), t);
+        m
+    }
+
+    fn assert_matches_compiled(plan: &LogicalPlan, d: &HashMap<String, Table>, ctx: &str) {
+        let reference = CompiledEngine.execute(plan, d).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let par = ParallelEngine::with_threads(threads)
+                .execute(plan, d)
+                .unwrap();
+            reference.assert_same(&par, &format!("{ctx} (threads={threads})"));
+        }
+    }
+
+    #[test]
+    fn filter_project_byte_identical_order() {
+        let d = db();
+        let plan = QueryBuilder::scan("t")
+            .filter(Expr::col(1).lt(Expr::lit(3)))
+            .project(vec![Expr::col(0), Expr::col(2)])
+            .build();
+        let reference = CompiledEngine.execute(&plan, &d).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let par = ParallelEngine::with_threads(threads)
+                .execute(&plan, &d)
+                .unwrap();
+            assert_eq!(reference.rows, par.rows, "exact order at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scalar_and_grouped_aggregates_match() {
+        let d = db();
+        let scalar = QueryBuilder::scan("t")
+            .filter(Expr::col(1).eq(Expr::lit(7)))
+            .aggregate(
+                vec![],
+                vec![
+                    AggExpr::count_star(),
+                    AggExpr::new(AggFunc::Sum, Expr::col(0)),
+                    AggExpr::new(AggFunc::Min, Expr::col(0)),
+                    AggExpr::new(AggFunc::Max, Expr::col(0)),
+                ],
+            )
+            .build();
+        assert_matches_compiled(&scalar, &d, "scalar agg");
+        let grouped = QueryBuilder::scan("t")
+            .aggregate(
+                vec![Expr::col(2)],
+                vec![
+                    AggExpr::count_star(),
+                    AggExpr::new(AggFunc::Sum, Expr::col(1)),
+                ],
+            )
+            .build();
+        assert_matches_compiled(&grouped, &d, "grouped agg");
+    }
+
+    #[test]
+    fn float_aggregates_bit_identical_via_ordered_fold() {
+        let d = db();
+        let plan = QueryBuilder::scan("t")
+            .filter(Expr::col(1).lt(Expr::lit(8)))
+            .aggregate(
+                vec![Expr::col(2)],
+                vec![
+                    AggExpr::new(AggFunc::Sum, Expr::col(3)),
+                    AggExpr::new(AggFunc::Avg, Expr::col(3)),
+                ],
+            )
+            .build();
+        let reference = CompiledEngine.execute(&plan, &d).unwrap();
+        for threads in [2, 8] {
+            let par = ParallelEngine::with_threads(threads)
+                .execute(&plan, &d)
+                .unwrap();
+            // not just normalized: the float bits must match the sequential fold
+            let mut a: Vec<String> = reference.rows.iter().map(|r| format!("{r:?}")).collect();
+            let mut b: Vec<String> = par.rows.iter().map(|r| format!("{r:?}")).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn joins_sorts_limits_match() {
+        let d = db();
+        let join = QueryBuilder::scan("t")
+            .filter(Expr::col(1).eq(Expr::lit(2)))
+            .join(QueryBuilder::scan("t").build(), Expr::col(0), Expr::col(0))
+            .aggregate(
+                vec![Expr::col(4 + 1)],
+                vec![AggExpr::new(AggFunc::Sum, Expr::col(0))],
+            )
+            .build();
+        assert_matches_compiled(&join, &d, "join+agg");
+        let sort = QueryBuilder::scan("t")
+            .project(vec![Expr::col(1), Expr::col(0)])
+            .sort(vec![(Expr::col(0), true), (Expr::col(1), false)])
+            .limit(37)
+            .build();
+        let reference = CompiledEngine.execute(&sort, &d).unwrap();
+        let par = ParallelEngine::with_threads(4).execute(&sort, &d).unwrap();
+        assert_eq!(reference.rows, par.rows, "sort+limit exact");
+    }
+
+    #[test]
+    fn volcano_agrees_too() {
+        let d = db();
+        let plan = QueryBuilder::scan("t")
+            .filter(Expr::col(2).like("name-1").or(Expr::col(3).is_null()))
+            .aggregate(vec![Expr::col(1)], vec![AggExpr::count_star()])
+            .build();
+        let v = VolcanoEngine.execute(&plan, &d).unwrap();
+        let p = ParallelEngine::with_threads(4).execute(&plan, &d).unwrap();
+        v.assert_same(&p, "volcano vs parallel");
+    }
+
+    #[test]
+    fn unknown_table_error_matches() {
+        let d: HashMap<String, Table> = HashMap::new();
+        let plan = QueryBuilder::scan("missing").build();
+        let err = ParallelEngine::new().execute(&plan, &d).unwrap_err();
+        assert_eq!(err, ExecError::UnknownTable("missing".into()));
+    }
+
+    #[test]
+    fn thread_knob_resolution() {
+        assert_eq!(ParallelEngine::with_threads(3).effective_threads(), 3);
+        assert!(ParallelEngine::new().effective_threads() >= 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! The worker pool: scoped `std::thread` workers, no dependencies.
+//!
+//! Workers are spawned per pipeline (not kept hot across queries): scoped
+//! threads let workers borrow the table, the compiled kernels' readers and
+//! the shared [`crate::morsel::MorselQueue`] directly, with the scope itself
+//! acting as the pipeline barrier. Spawn cost (~10 µs/thread) is noise
+//! against the scans this engine exists for; a persistent pool would buy
+//! nothing until sub-millisecond queries matter.
+
+/// Resolve the worker count: an explicit engine setting wins, then the
+/// `PDSM_THREADS` environment variable, then the machine's parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PDSM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `worker(worker_id)` on `threads` scoped workers and return their
+/// results in worker-id order (the deterministic merge order for partial
+/// aggregates). `threads == 1` runs inline on the caller's thread — the
+/// sequential fold, bit-for-bit.
+pub fn run_workers<R, W>(threads: usize, worker: W) -> Vec<R>
+where
+    R: Send,
+    W: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return vec![worker(0)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|id| {
+                let worker = &worker;
+                scope.spawn(move || worker(id))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::morsel::MorselQueue;
+
+    #[test]
+    fn results_arrive_in_worker_order() {
+        let out = run_workers(8, |id| id * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn workers_share_a_queue() {
+        let q = MorselQueue::new(50_000, 128);
+        let partial_sums = run_workers(4, |_| {
+            let mut local = 0u64;
+            while let Some(m) = q.claim() {
+                for r in m.start..m.end {
+                    local += r as u64;
+                }
+            }
+            local
+        });
+        let total: u64 = partial_sums.iter().sum();
+        assert_eq!(total, (0..50_000u64).sum());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let caller = std::thread::current().id();
+        let out = run_workers(1, |_| std::thread::current().id());
+        assert_eq!(out, vec![caller]);
+    }
+}

@@ -155,7 +155,10 @@ mod tests {
         let plan = QueryBuilder::scan("t")
             .aggregate(
                 vec![Expr::col(0)],
-                vec![AggExpr::count_star(), AggExpr::new(AggFunc::Max, Expr::col(1))],
+                vec![
+                    AggExpr::count_star(),
+                    AggExpr::new(AggFunc::Max, Expr::col(1)),
+                ],
             )
             .build();
         match plan {

@@ -76,7 +76,9 @@ pub enum Expr {
     },
 }
 
-
+// The builder API deliberately uses SQL-flavoured method names (`add`,
+// `not`, ...) rather than operator traits: plans read as plans.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Column reference.
     pub fn col(c: ColId) -> Expr {

@@ -147,7 +147,10 @@ impl LogicalPlan {
     /// the driver of column pruning and of the layout optimizer's
     /// "reasonable cuts". Only meaningful for plans over a single occurrence
     /// of each table; join plans attribute columns to sides positionally.
-    pub fn required_columns(&self, table_width: &impl Fn(&str) -> usize) -> Vec<(String, Vec<ColId>)> {
+    pub fn required_columns(
+        &self,
+        table_width: &impl Fn(&str) -> usize,
+    ) -> Vec<(String, Vec<ColId>)> {
         let mut acc: Vec<(String, Vec<ColId>)> = Vec::new();
         // Every output column of the plan root is required by the consumer.
         let mut all: Vec<ColId> = (0..self.arity(table_width)).collect();

@@ -436,8 +436,7 @@ fn emit_rec(plan: &LogicalPlan, required: Vec<ColId>, ctx: &mut Ctx) -> NodeOut 
                 ht_w += 8 * lreq.len().max(1) as u64;
             }
             let ht_n = (left_card.max(1.0)) as u64;
-            lout.open
-                .push(Pattern::atom(Atom::r_trav(ht_n, ht_w)));
+            lout.open.push(Pattern::atom(Atom::r_trav(ht_n, ht_w)));
             let mut closed = std::mem::take(&mut lout.closed);
             let lopen = std::mem::take(&mut lout.open);
             closed.push(Pattern::conc(lopen)); // ⊕ breaker after build
@@ -493,14 +492,12 @@ fn emit_rec(plan: &LogicalPlan, required: Vec<ColId>, ctx: &mut Ctx) -> NodeOut 
             }
             let n = card.max(1.0) as u64;
             // materialize the sort buffer concurrently with the input reads
-            out.open
-                .push(Pattern::atom(Atom::s_trav(n, out_w)));
+            out.open.push(Pattern::atom(Atom::s_trav(n, out_w)));
             let open = std::mem::take(&mut out.open);
             out.closed.push(Pattern::conc(open));
             // the sort itself: n log n random accesses into the buffer
             let cmps = (card.max(2.0) * card.max(2.0).log2()).ceil() as u64;
-            out.closed
-                .push(Pattern::atom(Atom::rr_acc(n, out_w, cmps)));
+            out.closed.push(Pattern::atom(Atom::rr_acc(n, out_w, cmps)));
             out.pipe = None;
             out
         }
@@ -516,11 +513,7 @@ fn emit_rec(plan: &LogicalPlan, required: Vec<ColId>, ctx: &mut Ctx) -> NodeOut 
 /// for join match probability).
 fn left_base_rows(plan: &LogicalPlan, ctx: &Ctx) -> f64 {
     match plan {
-        LogicalPlan::Scan { table } => ctx
-            .views
-            .get(table)
-            .map(|v| v.n_rows as f64)
-            .unwrap_or(1.0),
+        LogicalPlan::Scan { table } => ctx.views.get(table).map(|v| v.n_rows as f64).unwrap_or(1.0),
         LogicalPlan::Select { input, .. }
         | LogicalPlan::Project { input, .. }
         | LogicalPlan::Aggregate { input, .. }
@@ -531,12 +524,7 @@ fn left_base_rows(plan: &LogicalPlan, ctx: &Ctx) -> f64 {
 }
 
 /// Estimate the number of groups a grouped aggregation produces.
-fn estimate_groups(
-    group_by: &[Expr],
-    pipe: Option<&PipeState>,
-    ctx: &Ctx,
-    in_card: f64,
-) -> f64 {
+fn estimate_groups(group_by: &[Expr], pipe: Option<&PipeState>, ctx: &Ctx, in_card: f64) -> f64 {
     if group_by.is_empty() {
         return 1.0;
     }
@@ -566,11 +554,8 @@ mod tests {
     /// The paper's running example: R(A..P) as 16 4-byte ints, layout
     /// {A}{B,C,D,E}{F..P}, `select sum(B),sum(C),sum(D),sum(E) where A=$1`.
     fn example_views(n: u64) -> HashMap<String, TableView> {
-        let layout = Layout::from_groups(
-            vec![vec![0], (1..=4).collect(), (5..16).collect()],
-            16,
-        )
-        .unwrap();
+        let layout =
+            Layout::from_groups(vec![vec![0], (1..=4).collect(), (5..16).collect()], 16).unwrap();
         let mut m = HashMap::new();
         m.insert(
             "R".to_string(),
@@ -654,7 +639,11 @@ mod tests {
         // WHERE c0 = 1 AND c1 = 2: c1 read only when c0 matched.
         let views = example_views(10_000);
         let plan = QueryBuilder::scan("R")
-            .filter(Expr::col(0).eq(Expr::lit(1)).and(Expr::col(1).eq(Expr::lit(2))))
+            .filter(
+                Expr::col(0)
+                    .eq(Expr::lit(1))
+                    .and(Expr::col(1).eq(Expr::lit(2))),
+            )
             .aggregate(vec![], vec![AggExpr::count_star()])
             .build();
         let q = emit_pattern(&plan, &views);
@@ -670,7 +659,11 @@ mod tests {
         // WHERE c0 = 1 OR c1 = 2: c1 read when c0 did NOT match (p = 0.99).
         let views = example_views(10_000);
         let plan = QueryBuilder::scan("R")
-            .filter(Expr::col(0).eq(Expr::lit(1)).or(Expr::col(1).eq(Expr::lit(2))))
+            .filter(
+                Expr::col(0)
+                    .eq(Expr::lit(1))
+                    .or(Expr::col(1).eq(Expr::lit(2))),
+            )
             .aggregate(vec![], vec![AggExpr::count_star()])
             .build();
         let q = emit_pattern(&plan, &views);

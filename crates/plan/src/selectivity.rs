@@ -44,21 +44,26 @@ pub fn estimate_selectivity(pred: &Expr, stats: Option<&TableStatsView>) -> f64 
                     .and_then(|c| stats.and_then(|s| s.distinct_of(c)))
                     .map(|d| 1.0 / d.max(1) as f64)
                     .unwrap_or(DEFAULT_EQ),
-                CmpOp::Ne => 1.0 - estimate_selectivity(
-                    &Expr::Cmp {
-                        op: CmpOp::Eq,
-                        left: left.clone(),
-                        right: right.clone(),
-                    },
-                    stats,
-                ),
+                CmpOp::Ne => {
+                    1.0 - estimate_selectivity(
+                        &Expr::Cmp {
+                            op: CmpOp::Eq,
+                            left: left.clone(),
+                            right: right.clone(),
+                        },
+                        stats,
+                    )
+                }
                 _ => DEFAULT_RANGE,
             }
         }
         Expr::Like { .. } => DEFAULT_LIKE,
         Expr::And(a, b) => estimate_selectivity(a, stats) * estimate_selectivity(b, stats),
         Expr::Or(a, b) => {
-            let (sa, sb) = (estimate_selectivity(a, stats), estimate_selectivity(b, stats));
+            let (sa, sb) = (
+                estimate_selectivity(a, stats),
+                estimate_selectivity(b, stats),
+            );
             sa + sb - sa * sb
         }
         Expr::Not(a) => 1.0 - estimate_selectivity(a, stats),

@@ -1,0 +1,262 @@
+//! # criterion (offline shim)
+//!
+//! A minimal, dependency-free benchmark runner with the `criterion` API
+//! surface this workspace uses (`Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, `Throughput`,
+//! `BenchmarkId`, `black_box`, `criterion_group!`, `criterion_main!`).
+//!
+//! Measurement model: one warm-up call, then batches of calls are timed
+//! until the measurement budget (default 300 ms, `CRITERION_MEASURE_MS` to
+//! override) elapses; the mean ns/iteration is reported, with throughput
+//! when the group declared one. No plots, no statistics machinery — this
+//! exists so `cargo bench` runs offline and prints comparable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimizer from deleting benchmarks.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id (the group name provides the function part).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId { label: s.clone() }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    measured_ns_per_iter: f64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        let mut elapsed;
+        loop {
+            // Batch to amortize clock reads on fast bodies.
+            let batch = (iters / 2).clamp(1, 4096);
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+            elapsed = start.elapsed();
+            if elapsed >= self.budget {
+                break;
+            }
+        }
+        self.measured_ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn measurement_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+fn report(label: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.3} Melem/s)", n as f64 / ns_per_iter * 1e3),
+        Throughput::Bytes(n) => format!(
+            " ({:.3} MiB/s)",
+            n as f64 / ns_per_iter * 1e9 / (1u64 << 20) as f64
+        ),
+    });
+    println!(
+        "{label:<52} {:>14.1} ns/iter{}",
+        ns_per_iter,
+        rate.unwrap_or_default()
+    );
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: measurement_budget(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// A standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            measured_ns_per_iter: 0.0,
+            budget: self.budget,
+        };
+        f(&mut b);
+        report(&id.label, b.measured_ns_per_iter, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.budget = d;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            measured_ns_per_iter: 0.0,
+            budget: self.criterion.budget,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.label),
+            b.measured_ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmark a closure over an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runner callable by `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        g.finish();
+        c.bench_function(BenchmarkId::new("solo", 1), |b| b.iter(|| black_box(1 + 1)));
+    }
+}

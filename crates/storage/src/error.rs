@@ -43,7 +43,10 @@ impl fmt::Display for Error {
                 write!(f, "row {row} out of range (table has {len} rows)")
             }
             Error::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, got {got}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, got {got}"
+                )
             }
             Error::InvalidLayout(msg) => write!(f, "invalid layout: {msg}"),
         }

@@ -213,7 +213,10 @@ mod tests {
     #[test]
     fn null_sorts_first() {
         assert_eq!(cmp_values(&Value::Null, &Value::Int32(0)), Ordering::Less);
-        assert_eq!(cmp_values(&Value::Int32(0), &Value::Null), Ordering::Greater);
+        assert_eq!(
+            cmp_values(&Value::Int32(0), &Value::Null),
+            Ordering::Greater
+        );
         assert_eq!(cmp_values(&Value::Null, &Value::Null), Ordering::Equal);
     }
 

@@ -147,7 +147,15 @@ pub fn nation_schema() -> Schema {
 }
 
 const NATIONS: [&str; 10] = [
-    "GERMANY", "FRANCE", "NETHERLANDS", "ITALY", "SPAIN", "USA", "JAPAN", "BRAZIL", "KENYA",
+    "GERMANY",
+    "FRANCE",
+    "NETHERLANDS",
+    "ITALY",
+    "SPAIN",
+    "USA",
+    "JAPAN",
+    "BRAZIL",
+    "KENYA",
     "INDIA",
 ];
 
@@ -264,7 +272,11 @@ pub fn tables(warehouses: usize, seed: u64) -> Vec<Table> {
                         Value::Str(format!("Last{}", rng.gen_range(0..100))),
                         Value::Str(format!("Street {}", rng.gen_range(0..999))),
                         Value::Str(format!("City{}", rng.gen_range(0..37))),
-                        Value::Str(format!("{}{}", (b'A' + (rng.gen_range(0..26u8))) as char, (b'A' + (rng.gen_range(0..26u8))) as char)),
+                        Value::Str(format!(
+                            "{}{}",
+                            (b'A' + (rng.gen_range(0..26u8))) as char,
+                            (b'A' + (rng.gen_range(0..26u8))) as char
+                        )),
                         Value::Str(format!("{:05}", rng.gen_range(10_000..99_999))),
                         Value::Str(format!("+49-{:08}", rng.gen_range(0..99_999_999))),
                         Value::Int32(date(&mut rng)),
@@ -326,6 +338,7 @@ const CW: usize = 18;
 /// ORDERS column count.
 const OW: usize = 8;
 
+#[allow(clippy::vec_init_then_push)] // long literal list reads better as pushes
 /// The CH analytic queries evaluated in Fig. 11 (1–6, 8, 10).
 pub fn queries() -> Vec<BenchQuery> {
     let mut qs = Vec::new();
@@ -356,7 +369,11 @@ pub fn queries() -> Vec<BenchQuery> {
         "CH-Q2",
         QueryBuilder::scan("ITEM")
             .filter(Expr::col(4).like("%original%"))
-            .join(QueryBuilder::scan("STOCK").build(), Expr::col(0), Expr::col(0))
+            .join(
+                QueryBuilder::scan("STOCK").build(),
+                Expr::col(0),
+                Expr::col(0),
+            )
             .aggregate(
                 vec![Expr::col(1)], // i_im_id class
                 vec![
@@ -372,14 +389,18 @@ pub fn queries() -> Vec<BenchQuery> {
         "CH-Q3",
         QueryBuilder::scan("CUSTOMER")
             .filter(Expr::col(7).like("A%")) // c_state
-            .join(QueryBuilder::scan("ORDERS").build(), Expr::col(0), Expr::col(3))
+            .join(
+                QueryBuilder::scan("ORDERS").build(),
+                Expr::col(0),
+                Expr::col(3),
+            )
             .join(
                 QueryBuilder::scan("ORDER_LINE").build(),
                 Expr::col(CW), // o_id
                 Expr::col(0),  // ol_o_id
             )
             .aggregate(
-                vec![Expr::col(CW)], // group by o_id
+                vec![Expr::col(CW)],                                      // group by o_id
                 vec![AggExpr::new(AggFunc::Sum, Expr::col(CW + OW + 8))], // sum ol_amount
             )
             .sort(vec![(Expr::col(1), false), (Expr::col(0), true)]) // o_id tiebreak
@@ -407,7 +428,11 @@ pub fn queries() -> Vec<BenchQuery> {
     qs.push(BenchQuery::plan(
         "CH-Q5",
         QueryBuilder::scan("CUSTOMER")
-            .join(QueryBuilder::scan("ORDERS").build(), Expr::col(0), Expr::col(3))
+            .join(
+                QueryBuilder::scan("ORDERS").build(),
+                Expr::col(0),
+                Expr::col(3),
+            )
             .join(
                 QueryBuilder::scan("ORDER_LINE").build(),
                 Expr::col(CW),
@@ -464,7 +489,11 @@ pub fn queries() -> Vec<BenchQuery> {
     qs.push(BenchQuery::plan(
         "CH-Q10",
         QueryBuilder::scan("CUSTOMER")
-            .join(QueryBuilder::scan("ORDERS").build(), Expr::col(0), Expr::col(3))
+            .join(
+                QueryBuilder::scan("ORDERS").build(),
+                Expr::col(0),
+                Expr::col(3),
+            )
             .join(
                 QueryBuilder::scan("ORDER_LINE").build(),
                 Expr::col(CW),

@@ -30,8 +30,18 @@ pub const FIRST_SPARSE: usize = 5;
 
 /// Product categories; `category = $1` matches about `1/len` of the rows.
 pub const CATEGORIES: [&str; 12] = [
-    "laptops", "desktops", "monitors", "printers", "cameras", "phones", "tablets", "routers",
-    "storage", "audio", "software", "accessories",
+    "laptops",
+    "desktops",
+    "monitors",
+    "printers",
+    "cameras",
+    "phones",
+    "tablets",
+    "routers",
+    "storage",
+    "audio",
+    "software",
+    "accessories",
 ];
 
 /// Catalog schema: 5 dense columns + `n_attrs` sparse nullable `Int32`

@@ -34,8 +34,11 @@ pub fn schema() -> Schema {
 
 /// The paper's PDSM layout for the example query: `{{A},{B,C,D,E},{F..P}}`.
 pub fn pdsm_layout() -> Layout {
-    Layout::from_groups(vec![vec![0], (1..=4).collect(), (5..N_COLS).collect()], N_COLS)
-        .expect("static layout")
+    Layout::from_groups(
+        vec![vec![0], (1..=4).collect(), (5..N_COLS).collect()],
+        N_COLS,
+    )
+    .expect("static layout")
 }
 
 /// The three layouts Fig. 3 compares.
@@ -55,7 +58,11 @@ pub fn generate(n: usize, sel: f64, layout: Layout, seed: u64) -> Table {
     let mut rng = SmallRng::seed_from_u64(seed);
     let matches = ((n as f64) * sel).round() as usize;
     // Spread the matching rows evenly so every scan region sees them.
-    let stride = if matches == 0 { usize::MAX } else { n.div_ceil(matches) };
+    let stride = if matches == 0 {
+        usize::MAX
+    } else {
+        n.div_ceil(matches)
+    };
     let mut row: Vec<Value> = vec![Value::Int32(0); N_COLS];
     for i in 0..n {
         let a = if matches > 0 && i % stride == 0 && i / stride < matches {
@@ -99,7 +106,12 @@ mod tests {
 
     #[test]
     fn selectivity_is_exact() {
-        for &(n, s) in &[(10_000usize, 0.01f64), (10_000, 0.5), (5_000, 0.0), (5_000, 1.0)] {
+        for &(n, s) in &[
+            (10_000usize, 0.01f64),
+            (10_000, 0.5),
+            (5_000, 0.0),
+            (5_000, 1.0),
+        ] {
             let t = generate(n, s, Layout::row(N_COLS), 42);
             let matches = (0..t.len())
                 .filter(|&r| t.get(r, 0).unwrap() == Value::Int32(0))
@@ -112,9 +124,7 @@ mod tests {
     fn results_agree_across_layouts_and_engines() {
         let base = generate(3_000, 0.1, Layout::row(N_COLS), 7);
         let plan = query(0.1);
-        let reference = CompiledEngine
-            .execute(&plan, &as_db(base.clone()))
-            .unwrap();
+        let reference = CompiledEngine.execute(&plan, &as_db(base.clone())).unwrap();
         for (name, layout) in layouts() {
             let t = base.relayout(layout).unwrap();
             let out = CompiledEngine.execute(&plan, &as_db(t.clone())).unwrap();

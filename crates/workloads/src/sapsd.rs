@@ -32,9 +32,30 @@ pub const COUNTRIES: [&str; 8] = ["DE", "NL", "FR", "IT", "US", "GB", "CH", "AT"
 
 /// Column names of ADRC in schema order.
 pub const ADRC_COLS: [&str; 24] = [
-    "ADDRNUMBER", "NAME_CO", "NAME1", "NAME2", "KUNNR", "CITY1", "CITY2", "POST_CODE1", "STREET",
-    "COUNTRY", "REGION", "TEL_NUMBER", "FAX_NUMBER", "DATE_FROM", "LANGU", "SORT1", "SORT2",
-    "HOUSE_NUM1", "LOCATION", "TRANSPZONE", "PO_BOX", "TITLE", "FLAG_S", "FLAG_P",
+    "ADDRNUMBER",
+    "NAME_CO",
+    "NAME1",
+    "NAME2",
+    "KUNNR",
+    "CITY1",
+    "CITY2",
+    "POST_CODE1",
+    "STREET",
+    "COUNTRY",
+    "REGION",
+    "TEL_NUMBER",
+    "FAX_NUMBER",
+    "DATE_FROM",
+    "LANGU",
+    "SORT1",
+    "SORT2",
+    "HOUSE_NUM1",
+    "LOCATION",
+    "TRANSPZONE",
+    "PO_BOX",
+    "TITLE",
+    "FLAG_S",
+    "FLAG_P",
 ];
 
 /// ADRC: the address table of Table IV.
@@ -43,7 +64,9 @@ pub fn adrc_schema() -> Schema {
         ADRC_COLS
             .iter()
             .map(|&n| match n {
-                "ADDRNUMBER" | "DATE_FROM" | "FLAG_S" | "FLAG_P" => ColumnDef::new(n, DataType::Int32),
+                "ADDRNUMBER" | "DATE_FROM" | "FLAG_S" | "FLAG_P" => {
+                    ColumnDef::new(n, DataType::Int32)
+                }
                 _ => ColumnDef::new(n, DataType::Str),
             })
             .collect(),
@@ -264,7 +287,7 @@ pub fn tables(scale: usize, seed: u64) -> Vec<Table> {
         let n_items = rng.gen_range(1..=5);
         let mut order_total = 0.0f64;
         for p in 0..n_items {
-            let row = vbap_row(&mut rng, vbeln, (p + 1) as i32 * 10);
+            let row = vbap_row(&mut rng, vbeln, (p + 1) * 10);
             order_total += row[10].as_f64().unwrap();
             let n_sched = rng.gen_range(1..=2);
             for e in 0..n_sched {
@@ -310,6 +333,7 @@ pub fn tables(scale: usize, seed: u64) -> Vec<Table> {
 
 /// The twelve SD queries. `scale` parameterizes the point-query literals so
 /// they always hit generated data.
+#[allow(clippy::vec_init_then_push)] // long literal list reads better as pushes
 pub fn queries(scale: usize) -> Vec<BenchQuery> {
     let n_customers = (scale / 10).max(10);
     let some_kunnr = kunnr_str(n_customers / 3);
@@ -369,9 +393,13 @@ pub fn queries(scale: usize) -> Vec<BenchQuery> {
     qs.push(BenchQuery::plan(
         "Q4",
         QueryBuilder::scan("VBAK")
-            .join(QueryBuilder::scan("VBAP").build(), Expr::col(0), Expr::col(0))
+            .join(
+                QueryBuilder::scan("VBAP").build(),
+                Expr::col(0),
+                Expr::col(0),
+            )
             .aggregate(
-                vec![Expr::col(12)], // VBAK.KUNNR
+                vec![Expr::col(12)],                                  // VBAK.KUNNR
                 vec![AggExpr::new(AggFunc::Sum, Expr::col(16 + 10))], // VBAP.NETWR
             )
             .build(),
@@ -517,10 +545,7 @@ mod tests {
         let n = d["ADRC"].len() as f64;
         // prefix 1/10 of names OR suffix 1/4 => ~32.5 %
         let frac = out.len() as f64 / n;
-        assert!(
-            (0.2..0.5).contains(&frac),
-            "Q1 matched {frac:.4} of ADRC"
-        );
+        assert!((0.2..0.5).contains(&frac), "Q1 matched {frac:.4} of ADRC");
     }
 
     #[test]

@@ -16,17 +16,25 @@ fn main() {
     for (label, atom) in [
         ("sequential scan, 4B items        ", Atom::s_trav(n, 4)),
         ("random traversal, 4B items       ", Atom::r_trav(n, 4)),
-        ("scan 4B of 64B tuples (row store)", Atom::s_trav_partial(n, 64, 4)),
-        ("conditional read, s=1%           ", Atom::s_trav_cr(n, 16, 16, 0.01)),
-        ("conditional read, s=50%          ", Atom::s_trav_cr(n, 16, 16, 0.5)),
-        ("1M probes into 100k-entry table  ", Atom::rr_acc(100_000, 16, 1_000_000)),
+        (
+            "scan 4B of 64B tuples (row store)",
+            Atom::s_trav_partial(n, 64, 4),
+        ),
+        (
+            "conditional read, s=1%           ",
+            Atom::s_trav_cr(n, 16, 16, 0.01),
+        ),
+        (
+            "conditional read, s=50%          ",
+            Atom::s_trav_cr(n, 16, 16, 0.5),
+        ),
+        (
+            "1M probes into 100k-entry table  ",
+            Atom::rr_acc(100_000, 16, 1_000_000),
+        ),
     ] {
         let e = cost::estimate(&Pattern::atom(atom.clone()), &hw);
-        println!(
-            "{label}  {:>12.0} cycles   ({})",
-            e.total_cycles,
-            atom
-        );
+        println!("{label}  {:>12.0} cycles   ({})", e.total_cycles, atom);
     }
 
     println!("\n== the example query's pattern, three layouts ==\n");

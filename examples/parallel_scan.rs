@@ -1,0 +1,49 @@
+//! The morsel-driven parallel engine from the public API: same query,
+//! every engine, plus pinned worker counts — all results must agree.
+//!
+//! Run: `cargo run --release --example parallel_scan`
+
+use mrdb::prelude::*;
+
+fn main() {
+    let mut db = Database::new();
+    let t = mrdb::workloads::microbench::generate(
+        500_000,
+        0.03,
+        mrdb::workloads::microbench::pdsm_layout(),
+        42,
+    );
+    db.register(t);
+    let plan = mrdb::workloads::microbench::query(0.03);
+
+    println!("engines on `select sum(B),sum(C),sum(D),sum(E) from R where A = 0`:");
+    let mut reference: Option<QueryOutput> = None;
+    for kind in EngineKind::all() {
+        let start = std::time::Instant::now();
+        let out = db.run(&plan, kind).expect("query runs");
+        let elapsed = start.elapsed();
+        println!("  {kind:<10?} {:>9.1?}  {:?}", elapsed, out.rows[0]);
+        if let Some(r) = &reference {
+            r.assert_same(&out, &format!("{kind:?} vs reference"));
+        } else {
+            reference = Some(out);
+        }
+    }
+
+    println!("\npinned worker counts (ParallelEngine::with_threads):");
+    let reference = reference.expect("ran at least one engine");
+    for threads in [1, 2, 4, 8] {
+        let engine = ParallelEngine::with_threads(threads);
+        let start = std::time::Instant::now();
+        let out = Engine::execute(&engine, &plan, &db).expect("query runs");
+        reference.assert_same(&out, "pinned threads");
+        println!(
+            "  {threads} thread(s): {:>9.1?}  (results identical)",
+            start.elapsed()
+        );
+    }
+    println!(
+        "\nauto resolution: PDSM_THREADS or all cores -> {} worker(s) here",
+        ParallelEngine::new().effective_threads()
+    );
+}

@@ -8,10 +8,12 @@ use mrdb::prelude::*;
 fn main() {
     // --- 1. a table in the paper's example shape: R(A..P), 16 int columns
     let schema = Schema::new(
-        ["A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P"]
-            .iter()
-            .map(|n| ColumnDef::new(*n, DataType::Int32))
-            .collect(),
+        [
+            "A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P",
+        ]
+        .iter()
+        .map(|n| ColumnDef::new(*n, DataType::Int32))
+        .collect(),
     );
 
     // --- 2. a partially decomposed layout: {A} {B..E} {F..P}
@@ -23,7 +25,9 @@ fn main() {
     let mut db = Database::new();
     db.create_table_with_layout("R", schema, layout).unwrap();
     for i in 0..200_000i32 {
-        let row: Vec<Value> = (0..16).map(|c| Value::Int32((i * 31 + c * 7) % 1000)).collect();
+        let row: Vec<Value> = (0..16)
+            .map(|c| Value::Int32((i * 31 + c * 7) % 1000))
+            .collect();
         db.insert("R", &row).unwrap();
     }
 
@@ -33,7 +37,9 @@ fn main() {
         .filter(Expr::col(0).eq(Expr::lit(42)))
         .aggregate(
             vec![],
-            (1..=4).map(|c| AggExpr::new(AggFunc::Sum, Expr::col(c))).collect(),
+            (1..=4)
+                .map(|c| AggExpr::new(AggFunc::Sum, Expr::col(c)))
+                .collect(),
         )
         .build();
 

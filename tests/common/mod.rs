@@ -1,0 +1,27 @@
+//! Shared helpers for the workspace-level test suites.
+
+use mrdb::exec::TableProvider;
+use mrdb::prelude::*;
+
+/// Run `plan` on every engine `EngineKind::all()` lists, assert they all
+/// agree (up to row order), and return one output for content assertions.
+/// Iterating `all()` means a newly registered engine is covered by every
+/// suite that calls this, without editing any test.
+pub fn assert_engines_agree(
+    plan: &LogicalPlan,
+    provider: &dyn TableProvider,
+    ctx: &str,
+) -> QueryOutput {
+    let mut reference: Option<(EngineKind, QueryOutput)> = None;
+    for kind in EngineKind::all() {
+        let out = kind
+            .engine()
+            .execute(plan, provider)
+            .unwrap_or_else(|e| panic!("{ctx}: {kind:?} failed: {e}"));
+        match &reference {
+            None => reference = Some((kind, out)),
+            Some((k0, base)) => base.assert_same(&out, &format!("{ctx}: {k0:?} vs {kind:?}")),
+        }
+    }
+    reference.expect("EngineKind::all() is non-empty").1
+}

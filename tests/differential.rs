@@ -1,12 +1,18 @@
 //! Cross-engine differential testing: for randomly generated tables,
-//! layouts and plans, all three processing models must produce identical
-//! results. This is the load-bearing guarantee behind every performance
-//! comparison in the benchmark harness — if the engines disagree, the
-//! figures are meaningless.
+//! layouts and plans, every registered processing model must produce
+//! identical results. This is the load-bearing guarantee behind every
+//! performance comparison in the benchmark harness — if the engines
+//! disagree, the figures are meaningless.
+//!
+//! Engines are enumerated through `EngineKind::all()`, so a newly
+//! registered engine (e.g. the morsel-driven parallel one) is covered here
+//! without editing any test.
 
 use mrdb::prelude::*;
 use proptest::prelude::*;
 use std::collections::HashMap;
+
+mod common;
 
 /// Build a 6-column table (i32, i32, i64, f64 nullable, str, i32) with `n`
 /// rows derived from a seed.
@@ -76,11 +82,7 @@ fn arb_layout() -> impl Strategy<Value = Layout> {
 }
 
 fn run_all(plan: &LogicalPlan, db: &HashMap<String, Table>, ctx: &str) {
-    let compiled = CompiledEngine.execute(plan, db).unwrap();
-    let volcano = VolcanoEngine.execute(plan, db).unwrap();
-    let bulk = BulkEngine.execute(plan, db).unwrap();
-    compiled.assert_same(&volcano, &format!("{ctx}: compiled vs volcano"));
-    compiled.assert_same(&bulk, &format!("{ctx}: compiled vs bulk"));
+    common::assert_engines_agree(plan, db, ctx);
 }
 
 proptest! {
@@ -149,12 +151,13 @@ proptest! {
             .sort(vec![(Expr::col(0), false), (Expr::col(1), true)])
             .limit(k)
             .build();
-        // sorted output with a unique tiebreak column must match exactly
-        let a = CompiledEngine.execute(&plan, &db).unwrap();
-        let b = VolcanoEngine.execute(&plan, &db).unwrap();
-        let c = BulkEngine.execute(&plan, &db).unwrap();
-        prop_assert_eq!(&a.rows, &b.rows);
-        prop_assert_eq!(&a.rows, &c.rows);
+        // sorted output with a unique tiebreak column must match exactly —
+        // row-for-row, across every registered engine
+        let reference = EngineKind::all()[0].engine().execute(&plan, &db).unwrap();
+        for kind in &EngineKind::all()[1..] {
+            let out = kind.engine().execute(&plan, &db).unwrap();
+            prop_assert_eq!(&reference.rows, &out.rows, "{:?}", kind);
+        }
     }
 
     #[test]
@@ -177,9 +180,17 @@ fn empty_table_all_plans() {
     let mut db = HashMap::new();
     db.insert("t".to_string(), t);
     for plan in [
-        QueryBuilder::scan("t").filter(Expr::col(0).eq(Expr::lit(1))).build(),
         QueryBuilder::scan("t")
-            .aggregate(vec![], vec![AggExpr::count_star(), AggExpr::new(AggFunc::Sum, Expr::col(0))])
+            .filter(Expr::col(0).eq(Expr::lit(1)))
+            .build(),
+        QueryBuilder::scan("t")
+            .aggregate(
+                vec![],
+                vec![
+                    AggExpr::count_star(),
+                    AggExpr::new(AggFunc::Sum, Expr::col(0)),
+                ],
+            )
             .build(),
         QueryBuilder::scan("t")
             .join(QueryBuilder::scan("t").build(), Expr::col(0), Expr::col(0))

@@ -4,11 +4,10 @@
 use mrdb::prelude::*;
 use std::collections::HashMap;
 
+mod common;
+
 fn single_col_db(values: &[i64]) -> HashMap<String, Table> {
-    let mut t = Table::new(
-        "t",
-        Schema::new(vec![ColumnDef::new("x", DataType::Int64)]),
-    );
+    let mut t = Table::new("t", Schema::new(vec![ColumnDef::new("x", DataType::Int64)]));
     for &v in values {
         t.insert(&[Value::Int64(v)]).unwrap();
     }
@@ -18,12 +17,7 @@ fn single_col_db(values: &[i64]) -> HashMap<String, Table> {
 }
 
 fn run_all(plan: &LogicalPlan, db: &HashMap<String, Table>, ctx: &str) -> QueryOutput {
-    let c = CompiledEngine.execute(plan, db).unwrap();
-    let v = VolcanoEngine.execute(plan, db).unwrap();
-    let b = BulkEngine.execute(plan, db).unwrap();
-    c.assert_same(&v, &format!("{ctx}: compiled vs volcano"));
-    c.assert_same(&b, &format!("{ctx}: compiled vs bulk"));
-    c
+    common::assert_engines_agree(plan, db, ctx)
 }
 
 #[test]
@@ -49,10 +43,7 @@ fn extreme_integer_values() {
 fn i32_predicate_against_out_of_range_literal() {
     // comparing an Int32 column against an i64 literal beyond i32 range
     // must not wrap
-    let mut t = Table::new(
-        "t",
-        Schema::new(vec![ColumnDef::new("x", DataType::Int32)]),
-    );
+    let mut t = Table::new("t", Schema::new(vec![ColumnDef::new("x", DataType::Int32)]));
     t.insert(&[Value::Int32(i32::MAX)]).unwrap();
     t.insert(&[Value::Int32(i32::MIN)]).unwrap();
     let mut db = HashMap::new();
@@ -161,10 +152,7 @@ fn deeply_nested_predicate() {
 
 #[test]
 fn empty_string_and_unicode_dictionary_entries() {
-    let mut t = Table::new(
-        "t",
-        Schema::new(vec![ColumnDef::new("s", DataType::Str)]),
-    );
+    let mut t = Table::new("t", Schema::new(vec![ColumnDef::new("s", DataType::Str)]));
     for s in ["", "ü-umlaut", "数据库", "", "plain"] {
         t.insert(&[Value::Str(s.into())]).unwrap();
     }
@@ -209,7 +197,9 @@ fn sixty_four_column_table_round_trips() {
     }
     // pairs layout: 32 groups of 2
     let groups: Vec<Vec<usize>> = (0..32).map(|g| vec![2 * g, 2 * g + 1]).collect();
-    let paired = t.relayout(Layout::from_groups(groups, 64).unwrap()).unwrap();
+    let paired = t
+        .relayout(Layout::from_groups(groups, 64).unwrap())
+        .unwrap();
     for r in 0..50 {
         assert_eq!(t.row(r).unwrap(), paired.row(r).unwrap());
     }

@@ -67,7 +67,12 @@ fn sapsd_indexes_agree_with_scans_on_all_layouts() {
     for columnar in [false, true] {
         let (mut db, queries) = load_sapsd(300);
         if columnar {
-            for name in db.table_names().into_iter().map(str::to_string).collect::<Vec<_>>() {
+            for name in db
+                .table_names()
+                .into_iter()
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+            {
                 let w = db.get_table(&name).unwrap().schema().len();
                 db.relayout(&name, Layout::column(w)).unwrap();
             }

@@ -1,0 +1,154 @@
+//! Differential testing of the morsel-driven parallel engine: on the
+//! microbenchmark and CH workloads, `EngineKind::Parallel` must produce
+//! results identical to every sequential engine, across worker counts
+//! (1/2/4/8), storage layouts (row / column / advised hybrid), and after
+//! relayouts. Thread count must never leak into query results.
+
+use mrdb::par::ParallelEngine;
+use mrdb::prelude::*;
+use mrdb::workloads::{ch, microbench};
+
+mod common;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Run `plan` on every registered engine plus pinned-thread parallel
+/// engines, asserting all outputs match the first engine's.
+fn assert_all_engines_agree(db: &Database, plan: &mrdb::plan::logical::LogicalPlan, ctx: &str) {
+    let base = common::assert_engines_agree(plan, db, ctx);
+    for threads in THREAD_COUNTS {
+        let engine = ParallelEngine::with_threads(threads);
+        let out = mrdb::exec::Engine::execute(&engine, plan, db)
+            .unwrap_or_else(|e| panic!("{ctx}: parallel({threads}) failed: {e}"));
+        base.assert_same(&out, &format!("{ctx}: parallel threads={threads}"));
+    }
+}
+
+#[test]
+fn microbench_all_layouts_all_threads() {
+    let base = microbench::generate(40_000, 0.05, Layout::row(microbench::N_COLS), 11);
+    for (layout_name, layout) in microbench::layouts() {
+        let mut db = Database::new();
+        db.register(base.relayout(layout).unwrap());
+        for sel in [0.0, 0.01, 0.5] {
+            let plan = microbench::query(sel);
+            assert_all_engines_agree(&db, &plan, &format!("microbench {layout_name} sel={sel}"));
+        }
+    }
+}
+
+#[test]
+fn microbench_exact_sums_survive_threading() {
+    // Deterministic expectation, computed independently of any engine.
+    let n = 30_000;
+    let t = microbench::generate(n, 0.1, microbench::pdsm_layout(), 5);
+    let mut expect = [0i64; 4];
+    for r in 0..t.len() {
+        if t.get(r, 0).unwrap() == Value::Int32(0) {
+            for (slot, e) in expect.iter_mut().enumerate() {
+                *e += t.get(r, slot + 1).unwrap().as_i64().unwrap();
+            }
+        }
+    }
+    let mut db = Database::new();
+    db.register(t);
+    let plan = microbench::query(0.1);
+    for threads in THREAD_COUNTS {
+        let out = mrdb::exec::Engine::execute(&ParallelEngine::with_threads(threads), &plan, &db)
+            .unwrap();
+        for (slot, e) in expect.iter().enumerate() {
+            assert_eq!(
+                out.rows[0][slot],
+                Value::Int64(*e),
+                "sum({}) at threads={threads}",
+                slot + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn ch_workload_row_layout() {
+    let mut db = Database::new();
+    for t in ch::tables(1, 13) {
+        db.register(t);
+    }
+    for q in ch::queries() {
+        let Some(plan) = q.as_plan() else { continue };
+        assert_all_engines_agree(&db, plan, &format!("CH {} (row)", q.name));
+    }
+}
+
+#[test]
+fn ch_workload_columnar_layout() {
+    let mut db = Database::new();
+    for t in ch::tables(1, 13) {
+        db.register(t);
+    }
+    for name in db
+        .table_names()
+        .into_iter()
+        .map(str::to_string)
+        .collect::<Vec<_>>()
+    {
+        let w = db.get_table(&name).unwrap().schema().len();
+        db.relayout(&name, Layout::column(w)).unwrap();
+    }
+    for q in ch::queries() {
+        let Some(plan) = q.as_plan() else { continue };
+        assert_all_engines_agree(&db, plan, &format!("CH {} (columnar)", q.name));
+    }
+}
+
+#[test]
+fn ch_workload_advised_layout() {
+    let mut db = Database::new();
+    for t in ch::tables(1, 13) {
+        db.register(t);
+    }
+    let mut workload = Workload::new();
+    for q in ch::queries() {
+        if let Some(p) = q.as_plan() {
+            workload.push(WorkloadQuery::new(q.name.clone(), p.clone()));
+        }
+    }
+    LayoutAdvisor::default().apply(&mut db, &workload).unwrap();
+    for q in ch::queries() {
+        let Some(plan) = q.as_plan() else { continue };
+        assert_all_engines_agree(&db, plan, &format!("CH {} (advised)", q.name));
+    }
+}
+
+#[test]
+fn parallel_scan_order_is_byte_identical_to_compiled() {
+    // Non-aggregating plans promise *exact* row order, not just set
+    // equality: per-morsel buffers must stitch back into scan order.
+    let t = microbench::generate(25_000, 0.2, microbench::pdsm_layout(), 3);
+    let mut db = Database::new();
+    db.register(t);
+    let plan = mrdb::plan::builder::QueryBuilder::scan("R")
+        .filter(mrdb::plan::expr::Expr::col(0).eq(mrdb::plan::expr::Expr::lit(0)))
+        .project(vec![
+            mrdb::plan::expr::Expr::col(1),
+            mrdb::plan::expr::Expr::col(15),
+        ])
+        .build();
+    let compiled = db.run(&plan, EngineKind::Compiled).unwrap();
+    assert!(!compiled.is_empty());
+    for threads in THREAD_COUNTS {
+        let par = mrdb::exec::Engine::execute(&ParallelEngine::with_threads(threads), &plan, &db)
+            .unwrap();
+        assert_eq!(compiled.rows, par.rows, "threads={threads}");
+    }
+}
+
+#[test]
+fn thread_knob_resolution() {
+    // Explicit setting wins; the automatic default is always at least one
+    // worker. The PDSM_THREADS environment path is exercised out of
+    // process (see `fig_scaling` / `examples/parallel_scan`): mutating the
+    // environment from inside this multi-threaded test binary would race
+    // with sibling tests reading it.
+    assert_eq!(ParallelEngine::with_threads(5).effective_threads(), 5);
+    assert!(ParallelEngine::new().effective_threads() >= 1);
+}

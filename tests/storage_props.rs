@@ -49,7 +49,8 @@ fn arb_rows() -> impl Strategy<Value = Vec<Vec<Value>>> {
                 c.map(Value::Float64).unwrap_or(Value::Null),
                 Value::Str(format!("str-{d}")),
                 e.map(Value::Int32).unwrap_or(Value::Null),
-                f.map(|x| Value::Str(format!("tag-{x}"))).unwrap_or(Value::Null),
+                f.map(|x| Value::Str(format!("tag-{x}")))
+                    .unwrap_or(Value::Null),
                 Value::Int32(g),
             ]
         });

@@ -1,0 +1,157 @@
+//! **fig_update_mix** — the delta-store trade-off the versioned write path
+//! (`pdsm-txn`) introduces: read/write mixes (100/0, 95/5, 50/50) swept
+//! across merge thresholds, reporting read and write throughput.
+//!
+//! A bigger merge threshold amortizes merge cost over more writes but
+//! makes every scan carry a bigger interpreted delta tail; a threshold of
+//! one keeps scans pure but pays a full main-store rebuild per write batch.
+//! The sweep exposes the crossover, per mix, against the pure-scan
+//! (100/0, empty delta) baseline.
+//!
+//! Usage: `cargo run -p pdsm-bench --release --bin fig_update_mix
+//!         [--rows 200000] [--ops 4000] [--sel 0.05] [--engine compiled]`
+
+use pdsm_bench::{fmt_num, print_table, Args};
+use pdsm_core::EngineKind;
+use pdsm_txn::VersionedTable;
+use pdsm_workloads::microbench;
+use pdsm_workloads::mixed::{self, MixedOp, MIXES};
+use std::time::Instant;
+
+fn engine_of(name: &str) -> EngineKind {
+    match name {
+        "volcano" => EngineKind::Volcano,
+        "bulk" => EngineKind::Bulk,
+        "parallel" => EngineKind::Parallel,
+        _ => EngineKind::Compiled,
+    }
+}
+
+struct MixResult {
+    mix: &'static str,
+    threshold: usize,
+    reads: u64,
+    writes: u64,
+    merges: u64,
+    read_qps: f64,
+    write_ops: f64,
+    max_delta: usize,
+}
+
+fn run_mix(
+    rows: usize,
+    ops: usize,
+    sel: f64,
+    mix: (&'static str, f64),
+    threshold: usize,
+    kind: EngineKind,
+) -> MixResult {
+    let base = microbench::generate(rows, sel, microbench::pdsm_layout(), 42);
+    let mut t = VersionedTable::from_table(base);
+    let mut live = mixed::live_ids(&t);
+    let w = mixed::microbench_mix(ops, mix.1, sel, 7);
+    let engine = kind.engine();
+
+    let mut read_time = 0f64;
+    let mut write_time = 0f64;
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut max_delta = 0usize;
+    for op in &w.ops {
+        match op {
+            MixedOp::Read { plan } => {
+                let t0 = Instant::now();
+                let out = engine.execute(&w.plans[*plan].1, &t).expect("read");
+                read_time += t0.elapsed().as_secs_f64();
+                std::hint::black_box(out);
+                reads += 1;
+            }
+            _ => {
+                let t0 = Instant::now();
+                mixed::apply_write(&mut t, &mut live, op).expect("write");
+                if t.delta_rows() >= threshold {
+                    t.merge().expect("merge");
+                    live = mixed::live_ids(&t);
+                }
+                write_time += t0.elapsed().as_secs_f64();
+                writes += 1;
+            }
+        }
+        max_delta = max_delta.max(t.delta_rows());
+    }
+    MixResult {
+        mix: mix.0,
+        threshold,
+        reads,
+        writes,
+        merges: t.write_stats().merges,
+        read_qps: if read_time > 0.0 {
+            reads as f64 / read_time
+        } else {
+            0.0
+        },
+        write_ops: if write_time > 0.0 {
+            writes as f64 / write_time
+        } else {
+            0.0
+        },
+        max_delta,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let rows: usize = args.get("rows", 200_000);
+    let ops: usize = args.get("ops", 4_000);
+    let sel: f64 = args.get("sel", 0.05);
+    let kind = engine_of(&args.get::<String>("engine", "compiled".into()));
+
+    println!(
+        "fig_update_mix — {rows} base rows, {ops} ops, sel {sel}, engine {:?}\n",
+        kind
+    );
+    println!(
+        "read/write mixes x merge thresholds (threshold = delta rows that trigger a merge):\n"
+    );
+
+    let thresholds = [64usize, 1_024, 16_384, usize::MAX];
+    let mut out_rows = Vec::new();
+    for mix in MIXES {
+        for &threshold in &thresholds {
+            // pure-read mix never merges; one threshold row suffices
+            if mix.1 >= 1.0 && threshold != thresholds[0] {
+                continue;
+            }
+            let r = run_mix(rows, ops, sel, mix, threshold, kind);
+            out_rows.push(vec![
+                r.mix.to_string(),
+                if mix.1 >= 1.0 {
+                    "-".into()
+                } else if r.threshold == usize::MAX {
+                    "never".into()
+                } else {
+                    r.threshold.to_string()
+                },
+                r.reads.to_string(),
+                r.writes.to_string(),
+                r.merges.to_string(),
+                r.max_delta.to_string(),
+                fmt_num(r.read_qps),
+                if r.writes == 0 {
+                    "-".into()
+                } else {
+                    fmt_num(r.write_ops)
+                },
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "mix", "merge@", "reads", "writes", "merges", "maxΔ", "read/s", "write/s",
+        ],
+        &out_rows,
+    );
+    println!(
+        "\n(read/s excludes write+merge time and vice versa; maxΔ = largest delta a scan saw)"
+    );
+}

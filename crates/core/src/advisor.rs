@@ -58,20 +58,38 @@ impl Default for LayoutAdvisor {
 }
 
 impl LayoutAdvisor {
-    /// Build [`TableView`]s for every table in the database.
+    /// Build [`TableView`]s for every table in the database. Views model
+    /// the post-merge state: row counts (and, when enabled, statistics)
+    /// cover the visible rows — main store plus any pending delta — since
+    /// that is what the advised layout will hold once the merge folds the
+    /// delta in.
     pub fn views(&self, db: &Database) -> HashMap<String, TableView> {
         let mut views = HashMap::new();
         for name in db.table_names() {
-            let t = db.get_table(name).expect("listed");
+            let vt = db.versioned(name).expect("listed");
+            let t = vt.main();
             let mut view = TableView::from_table(t);
+            view.n_rows = vt.len() as u64;
             if self.compute_stats {
                 let ncols = t.schema().len();
                 let mut stats = TableStatsView {
                     distinct: vec![None; ncols],
                     density: vec![None; ncols],
                 };
+                // Decode visible rows once, not once per column.
+                let delta_rows: Vec<pdsm_storage::Row> = if vt.has_delta() {
+                    vt.rows().collect()
+                } else {
+                    Vec::new()
+                };
                 for c in 0..ncols {
-                    let s = t.col_stats(c);
+                    let s = if vt.has_delta() {
+                        pdsm_storage::stats::ColumnStats::compute(
+                            delta_rows.iter().map(|r| r.values()[c].clone()),
+                        )
+                    } else {
+                        t.col_stats(c)
+                    };
                     stats.distinct[c] = Some(s.distinct_count);
                     stats.density[c] = Some(s.density());
                 }

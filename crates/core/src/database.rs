@@ -1,7 +1,15 @@
-//! The database catalog: tables, indexes, engines and DML.
+//! The database catalog: versioned tables, indexes, engines and DML.
+//!
+//! Every table lives as a [`pdsm_txn::VersionedTable`]: an immutable
+//! read-optimized main store plus an append-only delta with tombstones.
+//! DML ([`Database::insert`] / [`Database::update`] / [`Database::delete`])
+//! appends to the delta; queries see main ∪ delta − tombstones through the
+//! engines' [`pdsm_exec::Overlay`] support; [`Database::merge`] (or
+//! [`Database::relayout`], which is a merge under a new layout) folds the
+//! delta into a fresh main store and refreshes secondary indexes.
 
 use pdsm_exec::engine::{
-    BulkEngine, CompiledEngine, Engine, ExecError, TableProvider, VolcanoEngine,
+    BulkEngine, CompiledEngine, Engine, ExecError, Overlay, TableProvider, VolcanoEngine,
 };
 use pdsm_exec::QueryOutput;
 use pdsm_index::{HashIndex, Index, RBTree};
@@ -9,6 +17,7 @@ use pdsm_par::ParallelEngine;
 use pdsm_plan::expr::{CmpOp, Expr};
 use pdsm_plan::logical::LogicalPlan;
 use pdsm_storage::{ColId, DataType, Layout, Schema, Table, Value};
+use pdsm_txn::{MergeStats, RowId, Snapshot, VersionedTable};
 use std::collections::HashMap;
 
 /// Which execution engine to use.
@@ -104,11 +113,13 @@ impl From<ExecError> for DbError {
     }
 }
 
-/// An in-memory database: catalog + secondary indexes.
+/// An in-memory database: catalog of versioned tables + secondary indexes.
 #[derive(Default)]
 pub struct Database {
-    tables: HashMap<String, Table>,
-    /// `(table, column) → index`.
+    tables: HashMap<String, VersionedTable>,
+    /// `(table, column) → index`. Indexes cover the main store only; they
+    /// are rebuilt by [`Database::merge`], and the indexed execution path
+    /// declines tables with a pending delta.
     indexes: HashMap<(String, ColId), Index>,
 }
 
@@ -124,13 +135,13 @@ impl Database {
         self.create_table_with_layout(name, schema, layout)
     }
 
-    /// Adopt an already-built table (e.g. from a workload generator).
-    /// Replaces any existing table of the same name; indexes on the old
-    /// table are dropped.
+    /// Adopt an already-built table (e.g. from a workload generator) as the
+    /// generation-0 main store. Replaces any existing table of the same
+    /// name; indexes on the old table are dropped.
     pub fn register(&mut self, table: Table) {
         let name = table.name().to_string();
         self.indexes.retain(|(t, _), _| t != &name);
-        self.tables.insert(name, table);
+        self.tables.insert(name, VersionedTable::from_table(table));
     }
 
     /// Create a table with an explicit layout.
@@ -143,23 +154,39 @@ impl Database {
         if self.tables.contains_key(name) {
             return Err(DbError::DuplicateTable(name.to_string()));
         }
-        let t = Table::with_layout(name, schema, layout)?;
+        let t = VersionedTable::with_layout(name, schema, layout)?;
         self.tables.insert(name.to_string(), t);
         Ok(())
     }
 
-    /// The table called `name`.
-    pub fn get_table(&self, name: &str) -> Result<&Table, DbError> {
+    /// The versioned table called `name`.
+    pub fn versioned(&self, name: &str) -> Result<&VersionedTable, DbError> {
         self.tables
             .get(name)
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
     }
 
-    /// Mutable access (bulk loading).
-    pub fn get_table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+    fn versioned_mut(&mut self, name: &str) -> Result<&mut VersionedTable, DbError> {
         self.tables
             .get_mut(name)
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// The read-optimized main store of `name`. Excludes pending delta
+    /// rows — query through [`Database::run`] (or a snapshot) to see those.
+    pub fn get_table(&self, name: &str) -> Result<&Table, DbError> {
+        Ok(self.versioned(name)?.main())
+    }
+
+    /// Mutable access to the main store (bulk loading). A pending delta is
+    /// merged first (rebuilding indexes), since delta row addressing is
+    /// relative to the main store. Note that direct main-store edits are
+    /// not reflected in existing indexes or snapshots.
+    pub fn get_table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        if self.versioned(name)?.has_delta() {
+            self.merge(name)?;
+        }
+        Ok(self.versioned_mut(name)?.main_mut()?)
     }
 
     /// Table names in the catalog.
@@ -169,41 +196,83 @@ impl Database {
         names
     }
 
-    /// Insert a row, maintaining all indexes on the table.
-    pub fn insert(&mut self, table: &str, values: &[Value]) -> Result<usize, DbError> {
-        let t = self
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
-        let row = t.insert(values)?;
-        // maintain indexes
-        for ((tname, col), idx) in self.indexes.iter_mut() {
-            if tname == table {
-                let t = &self.tables[table];
-                if let Some(key) = index_key(t, row, *col) {
-                    idx.insert(key, row as u32);
-                }
-            }
-        }
-        Ok(row)
+    /// Append a row to `table`'s delta. Returns its row id (stable until
+    /// the next merge). Visible to every subsequent query.
+    pub fn insert(&mut self, table: &str, values: &[Value]) -> Result<RowId, DbError> {
+        Ok(self.versioned_mut(table)?.insert(values)?)
     }
 
-    /// Rebuild `table` under `layout` (indexes remain valid: row ids are
-    /// stable across relayouts).
-    pub fn relayout(&mut self, table: &str, layout: Layout) -> Result<(), DbError> {
-        let t = self.get_table(table)?;
-        let rebuilt = t.relayout(layout)?;
-        self.tables.insert(table.to_string(), rebuilt);
+    /// Append many rows atomically.
+    pub fn insert_batch(
+        &mut self,
+        table: &str,
+        rows: &[Vec<Value>],
+    ) -> Result<Vec<RowId>, DbError> {
+        Ok(self.versioned_mut(table)?.insert_batch(rows)?)
+    }
+
+    /// Overwrite one cell of a visible row (tombstone + re-append).
+    /// Returns the row's new id.
+    pub fn update(
+        &mut self,
+        table: &str,
+        row: RowId,
+        column: &str,
+        value: &Value,
+    ) -> Result<RowId, DbError> {
+        let vt = self.versioned_mut(table)?;
+        let col = vt.schema().col_id(column)?;
+        Ok(vt.update(row, col, value)?)
+    }
+
+    /// Tombstone one visible row of `table`.
+    pub fn delete(&mut self, table: &str, row: RowId) -> Result<(), DbError> {
+        Ok(self.versioned_mut(table)?.delete(row)?)
+    }
+
+    /// Fold `table`'s delta into a fresh main store (current layout) and
+    /// rebuild its secondary indexes.
+    pub fn merge(&mut self, table: &str) -> Result<MergeStats, DbError> {
+        let stats = self.versioned_mut(table)?.merge()?;
+        self.rebuild_indexes(table)?;
+        Ok(stats)
+    }
+
+    /// Merge every table with a pending delta.
+    pub fn merge_all(&mut self) -> Result<(), DbError> {
+        let names: Vec<String> = self
+            .tables
+            .iter()
+            .filter(|(_, vt)| vt.has_delta())
+            .map(|(n, _)| n.clone())
+            .collect();
+        for n in names {
+            self.merge(&n)?;
+        }
         Ok(())
     }
 
-    /// Create (and backfill) an index on `table.column`.
+    /// Rebuild `table` under `layout`: a merge into the new layout. With an
+    /// empty delta this is a pure relayout and row ids are stable (the
+    /// property the index tests rely on); with a pending delta the delta is
+    /// folded in and ids renumber. Indexes are rebuilt either way.
+    pub fn relayout(&mut self, table: &str, layout: Layout) -> Result<(), DbError> {
+        self.versioned_mut(table)?.merge_with_layout(layout)?;
+        self.rebuild_indexes(table)?;
+        Ok(())
+    }
+
+    /// Create (and backfill) an index on `table.column`. A pending delta is
+    /// merged first so the index covers every visible row.
     pub fn create_index(
         &mut self,
         table: &str,
         column: &str,
         kind: IndexKind,
     ) -> Result<(), DbError> {
+        if self.versioned(table)?.has_delta() {
+            self.merge(table)?;
+        }
         let t = self.get_table(table)?;
         let col = t.schema().col_id(column)?;
         let ty = t.schema().columns()[col].ty;
@@ -213,16 +282,36 @@ impl Database {
                 column: column.to_string(),
             });
         }
-        let mut idx = match kind {
-            IndexKind::Hash => Index::Hash(HashIndex::with_capacity(t.len())),
-            IndexKind::RBTree => Index::RBTree(RBTree::new()),
-        };
-        for row in 0..t.len() {
-            if let Some(key) = index_key(t, row, col) {
-                idx.insert(key, row as u32);
-            }
-        }
+        let idx = build_index(t, col, kind);
         self.indexes.insert((table.to_string(), col), idx);
+        Ok(())
+    }
+
+    /// Re-derive every index on `table` from its (new) main store.
+    fn rebuild_indexes(&mut self, table: &str) -> Result<(), DbError> {
+        let cols: Vec<ColId> = self
+            .indexes
+            .keys()
+            .filter(|(t, _)| t == table)
+            .map(|(_, c)| *c)
+            .collect();
+        if cols.is_empty() {
+            return Ok(());
+        }
+        let t = self.versioned(table)?.main();
+        let rebuilt: Vec<(ColId, Index)> = cols
+            .into_iter()
+            .map(|c| {
+                let kind = match self.indexes[&(table.to_string(), c)] {
+                    Index::Hash(_) => IndexKind::Hash,
+                    Index::RBTree(_) => IndexKind::RBTree,
+                };
+                (c, build_index(t, c, kind))
+            })
+            .collect();
+        for (c, idx) in rebuilt {
+            self.indexes.insert((table.to_string(), c), idx);
+        }
         Ok(())
     }
 
@@ -273,6 +362,11 @@ impl Database {
         let LogicalPlan::Scan { table } = input.as_ref() else {
             return Ok(None);
         };
+        // Indexes cover the main store only; with a pending delta the
+        // engine scan path (which understands overlays) is authoritative.
+        if self.versioned(table)?.has_delta() {
+            return Ok(None);
+        }
         let t = self.get_table(table)?;
         // find an indexed conjunct
         let mut rows: Option<Vec<u32>> = None;
@@ -330,16 +424,83 @@ impl Database {
         Ok(Some(out))
     }
 
-    /// Total bytes across all tables.
+    /// Total bytes across all tables (main stores + pending deltas).
     pub fn byte_size(&self) -> usize {
-        self.tables.values().map(|t| t.byte_size()).sum()
+        self.tables
+            .values()
+            .map(|t| t.main().byte_size() + t.delta_byte_size())
+            .sum()
+    }
+
+    /// Take a consistent, owned snapshot of every table. The snapshot is
+    /// `Send + Sync` and independent of later DML — the handle concurrent
+    /// readers query while writers keep appending (see `pdsm-txn`).
+    pub fn snapshot(&self) -> DbSnapshot {
+        DbSnapshot {
+            tables: self
+                .tables
+                .iter()
+                .map(|(n, vt)| (n.clone(), vt.snapshot()))
+                .collect(),
+        }
     }
 }
 
+/// Queries against `&Database` see each table's main store plus its pending
+/// delta (Rust's borrow rules guarantee no write happens during the
+/// borrow, so no snapshotting is needed on this path).
 impl TableProvider for Database {
     fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name).map(|vt| vt.main())
+    }
+
+    fn overlay(&self, name: &str) -> Option<Overlay<'_>> {
+        self.tables.get(name).and_then(|vt| vt.overlay())
+    }
+}
+
+/// An owned multi-table snapshot: every table pinned at one version.
+/// Implements [`TableProvider`], so it can be handed to any engine — from
+/// any thread — while the database keeps moving.
+#[derive(Clone)]
+pub struct DbSnapshot {
+    tables: HashMap<String, Snapshot>,
+}
+
+impl DbSnapshot {
+    /// The pinned snapshot of `name`.
+    pub fn table_snapshot(&self, name: &str) -> Option<&Snapshot> {
         self.tables.get(name)
     }
+
+    /// Execute `plan` against this snapshot with the chosen engine.
+    pub fn run(&self, plan: &LogicalPlan, engine: EngineKind) -> Result<QueryOutput, DbError> {
+        Ok(engine.engine().execute(plan, self)?)
+    }
+}
+
+impl TableProvider for DbSnapshot {
+    fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name).map(|s| s.main())
+    }
+
+    fn overlay(&self, name: &str) -> Option<Overlay<'_>> {
+        self.tables.get(name).and_then(|s| s.overlay())
+    }
+}
+
+/// Build one secondary index over a main store.
+fn build_index(t: &Table, col: ColId, kind: IndexKind) -> Index {
+    let mut idx = match kind {
+        IndexKind::Hash => Index::Hash(HashIndex::with_capacity(t.len())),
+        IndexKind::RBTree => Index::RBTree(RBTree::new()),
+    };
+    for row in 0..t.len() {
+        if let Some(key) = index_key(t, row, col) {
+            idx.insert(key, row as u32);
+        }
+    }
+    idx
 }
 
 /// Index key of `table[row][col]`: integers by value, strings by dictionary
@@ -537,6 +698,60 @@ mod tests {
         let after = db.run_indexed(&plan, EngineKind::Compiled).unwrap();
         before.assert_same(&after, "relayout");
         assert_eq!(db.get_table("orders").unwrap().layout().n_groups(), 3);
+    }
+
+    #[test]
+    fn get_table_mut_implicit_merge_rebuilds_indexes() {
+        let mut db = demo_db();
+        db.create_index("orders", "id", IndexKind::Hash).unwrap();
+        // tombstone one indexed row and append a replacement → pending delta
+        db.delete("orders", 3).unwrap();
+        db.insert(
+            "orders",
+            &[Value::Int32(10_000), Value::from("cust-x"), Value::Int64(3)],
+        )
+        .unwrap();
+        // bulk-load access merges implicitly; the index must follow the
+        // renumbered rows
+        let _ = db.get_table_mut("orders").unwrap();
+        assert!(!db.versioned("orders").unwrap().has_delta());
+        let new_row = QueryBuilder::scan("orders")
+            .filter(Expr::col(0).eq(Expr::lit(10_000)))
+            .build();
+        let indexed = db.run_indexed(&new_row, EngineKind::Compiled).unwrap();
+        let scanned = db.run(&new_row, EngineKind::Compiled).unwrap();
+        indexed.assert_same(&scanned, "index rebuilt by implicit merge");
+        assert_eq!(indexed.len(), 1);
+        let gone = QueryBuilder::scan("orders")
+            .filter(Expr::col(0).eq(Expr::lit(3)))
+            .build();
+        let indexed = db.run_indexed(&gone, EngineKind::Compiled).unwrap();
+        let scanned = db.run(&gone, EngineKind::Compiled).unwrap();
+        indexed.assert_same(&scanned, "deleted row absent from rebuilt index");
+        assert!(indexed.is_empty());
+    }
+
+    #[test]
+    fn versioned_dml_and_merge_roundtrip() {
+        let mut db = demo_db();
+        let id = db
+            .insert(
+                "orders",
+                &[Value::Int32(900), Value::from("cust-z"), Value::Int64(1)],
+            )
+            .unwrap();
+        let new_id = db.update("orders", id, "qty", &Value::Int64(7)).unwrap();
+        assert_ne!(id, new_id);
+        db.delete("orders", 0).unwrap();
+        let count = QueryBuilder::scan("orders")
+            .aggregate(vec![], vec![pdsm_plan::logical::AggExpr::count_star()])
+            .build();
+        let live = db.run(&count, EngineKind::Compiled).unwrap();
+        assert_eq!(live.rows[0][0], Value::Int64(500)); // 500 + 1 − 1
+        let stats = db.merge("orders").unwrap();
+        assert_eq!(stats.rows_after, 500);
+        let merged = db.run(&count, EngineKind::Compiled).unwrap();
+        assert_eq!(merged.rows[0][0], Value::Int64(500));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod advisor;
 pub mod database;
 
 pub use advisor::{AdvisorReport, LayoutAdvisor};
-pub use database::{Database, DbError, EngineKind, IndexKind};
+pub use database::{Database, DbError, DbSnapshot, EngineKind, IndexKind};
 pub use pdsm_exec::QueryOutput;
 pub use pdsm_par::ParallelEngine;
+pub use pdsm_txn::{MergeStats, RowId, SharedTable, Snapshot, VersionedTable};

@@ -14,7 +14,7 @@
 //! sequentially (`⊕`, [`Pattern::seq`]) or concurrently (`⊙`,
 //! [`Pattern::conc`]). Estimating a query's cost means *programming* this
 //! model: the plan-to-pattern translator in `pdsm-plan` emits a pattern, and
-//! [`cost::estimate`](crate::cost::estimate) prices it against a calibrated
+//! [`crate::cost::estimate`] prices it against a calibrated
 //! [`Hierarchy`].
 //!
 //! ```

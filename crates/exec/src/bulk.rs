@@ -13,12 +13,13 @@
 //! positions materialized. Finally, each of the materialized buffers are
 //! aggregated."
 
-use crate::engine::{Accumulator, Engine, ExecError, TableProvider};
+use crate::engine::{Accumulator, Engine, ExecError, Overlay, TableProvider};
 use crate::keys::GroupKey;
 use crate::result::QueryOutput;
 use pdsm_plan::expr::{CmpOp, Expr};
 use pdsm_plan::logical::{AggExpr, LogicalPlan};
 use pdsm_storage::dictionary::like_match;
+use pdsm_storage::row::Row;
 use pdsm_storage::types::cmp_values;
 use pdsm_storage::{ColId, DataType, Table, Value};
 use std::collections::HashMap;
@@ -382,7 +383,13 @@ fn exec(
             let t = db
                 .table(table)
                 .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
-            Ok(materialize_scan(t, table, None, required))
+            let overlay = db.overlay(table);
+            let positions = live_positions(t, overlay.as_ref());
+            let tail: Vec<&Row> = overlay
+                .as_ref()
+                .map(|o| o.live_tail().collect())
+                .unwrap_or_default();
+            Ok(materialize_scan(t, table, positions, &tail, required))
         }
         LogicalPlan::Select { input, pred, .. } => {
             // Fuse select-over-scan into selection primitives on base data.
@@ -390,12 +397,25 @@ fn exec(
                 let t = db
                     .table(table)
                     .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
-                let mut positions: Option<Vec<u32>> = None;
+                let overlay = db.overlay(table);
+                // Tombstoned rows seed the candidate list so every selection
+                // primitive only ever sees visible positions.
+                let mut positions: Option<Vec<u32>> = live_positions(t, overlay.as_ref());
                 for conj in conjuncts(pred) {
                     positions = Some(select_conjunct(t, conj, positions));
                 }
                 let positions = positions.unwrap_or_else(|| (0..t.len() as u32).collect());
-                return Ok(materialize_scan(t, table, Some(positions), required));
+                // The tail is filtered row-at-a-time: tail rows are decoded,
+                // so typed selection primitives do not apply to them.
+                let tail: Vec<&Row> = overlay
+                    .as_ref()
+                    .map(|o| {
+                        o.live_tail()
+                            .filter(|r| pred.eval_bool(r.values()))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                return Ok(materialize_scan(t, table, Some(positions), &tail, required));
             }
             // Generic: filter a materialized chunk row-at-a-time.
             let chunk = exec(input, db, required)?;
@@ -479,13 +499,32 @@ fn exec(
     }
 }
 
+/// The visible main-store positions under `overlay`, or `None` when every
+/// main row is visible (no tombstones) and the caller can keep the cheaper
+/// "all rows" representation.
+fn live_positions(t: &Table, overlay: Option<&Overlay<'_>>) -> Option<Vec<u32>> {
+    let o = overlay?;
+    if o.dead.iter().all(|d| !d) {
+        return None;
+    }
+    Some(
+        (0..t.len() as u32)
+            .filter(|&i| !o.is_dead(i as usize))
+            .collect(),
+    )
+}
+
 /// Materialize the required columns of `t` at `positions` into a chunk whose
 /// column space matches the table schema (unused columns become empty NULL
-/// buffers so positional indexing stays valid).
+/// buffers so positional indexing stays valid). `tail` rows (already
+/// visibility- and predicate-filtered) are appended after the main rows;
+/// string buffers fall back to decoded values in that case because tail
+/// strings may not be interned in the main dictionaries.
 fn materialize_scan(
     t: &Table,
     name: &str,
     positions: Option<Vec<u32>>,
+    tail: &[&Row],
     required: &[(String, Vec<ColId>)],
 ) -> Chunk {
     let needed: Vec<ColId> = required
@@ -493,12 +532,28 @@ fn materialize_scan(
         .find(|(n, _)| n == name)
         .map(|(_, c)| c.clone())
         .unwrap_or_else(|| (0..t.schema().len()).collect());
-    let len = positions.as_ref().map(|p| p.len()).unwrap_or(t.len());
+    let main_len = positions.as_ref().map(|p| p.len()).unwrap_or(t.len());
+    let len = main_len + tail.len();
     let mut cols: Vec<ColBuf> = (0..t.schema().len())
         .map(|_| ColBuf::Val(Vec::new()))
         .collect();
     for &c in &needed {
-        cols[c] = fetch(t, name, c, positions.as_deref());
+        let mut buf = fetch(t, name, c, positions.as_deref());
+        if !tail.is_empty() {
+            if let ColBuf::Code { codes, col, .. } = &buf {
+                let dict = t.dict(*col).expect("str col");
+                buf = ColBuf::Val(
+                    codes
+                        .iter()
+                        .map(|&code| Value::Str(dict.decode(code).to_owned()))
+                        .collect(),
+                );
+            }
+            for row in tail {
+                push_tail_value(&mut buf, &row.values()[c]);
+            }
+        }
+        cols[c] = buf;
     }
     // pad unused columns with NULLs (cheap: one shared behaviour)
     for (c, buf) in cols.iter_mut().enumerate() {
@@ -507,6 +562,22 @@ fn materialize_scan(
         }
     }
     Chunk { cols, len }
+}
+
+/// Append one decoded tail value to a materialized column buffer. Typed
+/// buffers stay typed: tail values are normalized to the column type at
+/// write time, so the conversions here cannot fail on visible data.
+fn push_tail_value(buf: &mut ColBuf, v: &Value) {
+    match buf {
+        ColBuf::I32(out) => match v {
+            Value::Int32(x) => out.push(*x),
+            other => out.push(other.as_i64().expect("normalized tail value") as i32),
+        },
+        ColBuf::I64(out) => out.push(v.as_i64().expect("normalized tail value")),
+        ColBuf::F64(out) => out.push(v.as_f64().expect("normalized tail value")),
+        ColBuf::Code { .. } => unreachable!("Code buffers decode before tail append"),
+        ColBuf::Val(out) => out.push(v.clone()),
+    }
 }
 
 /// Positional gather over every buffer of a chunk.

@@ -20,7 +20,10 @@
 //! branches (the same target every iteration), which is the microarchitectural
 //! property the paper contrasts against Volcano's function pointers.
 
-use crate::engine::{Accumulator, Engine, ExecError, TableProvider};
+use crate::engine::{
+    agg_tail_update, fig2c_tail_fold, masked_tail_row, tail_defeats_raw_keys, tail_raw_key,
+    tail_row_passes, Accumulator, Engine, ExecError, Overlay, TableProvider,
+};
 use crate::keys::GroupKey;
 use crate::result::QueryOutput;
 use pdsm_plan::expr::{CmpOp, Expr};
@@ -480,9 +483,13 @@ fn push_row(row: Vec<Value>, steps: &[Step], sink: &mut Sink) {
 }
 
 /// Run a fused pipeline: one loop over the scan, kernels first, survivors
-/// through the steps into the sink.
+/// through the steps into the sink. With an [`Overlay`], tombstoned rows
+/// are skipped and the live tail rows run through the same steps after the
+/// main loop (predicates interpreted: tail rows are decoded, not
+/// dictionary-coded).
 fn run_pipeline(
     table: &Table,
+    overlay: Option<Overlay<'_>>,
     preds: &[Expr],
     steps: &[Step],
     needed: &[ColId],
@@ -491,9 +498,13 @@ fn run_pipeline(
     let kernels: Vec<PredKernel<'_>> = preds.iter().map(|p| compile_pred(table, p)).collect();
     let width = table.schema().len();
     let n = table.len();
+    let dead: &[bool] = overlay.as_ref().map(|o| o.dead).unwrap_or(&[]);
     // Probe steps whose key reads columns this scan must supply are included
     // in `needed` by the caller.
     'rows: for i in 0..n {
+        if !dead.is_empty() && dead[i] {
+            continue;
+        }
         for k in &kernels {
             if !k.test(i) {
                 continue 'rows;
@@ -504,6 +515,14 @@ fn run_pipeline(
             row[c] = table.get(i, c).expect("in-range");
         }
         push_row(row, steps, &mut sink);
+    }
+    if let Some(o) = &overlay {
+        for r in o.live_tail() {
+            if !tail_row_passes(preds, r) {
+                continue;
+            }
+            push_row(masked_tail_row(r, needed, width), steps, &mut sink);
+        }
     }
     sink.finish()
 }
@@ -520,8 +539,15 @@ enum AggReader<'t> {
 
 /// The literal Fig. 2c kernel: one `i32` comparison predicate, scalar `sum`s
 /// over non-nullable `i32` columns. Compiles to a single branch + a handful
-/// of adds per tuple — the code HyPer's LLVM backend would emit.
-fn fig2c_kernel(table: &Table, preds: &[Expr], aggs: &[AggExpr]) -> Option<Vec<Vec<Value>>> {
+/// of adds per tuple — the code HyPer's LLVM backend would emit. With an
+/// overlay, the typed loop additionally skips tombstones and the (decoded)
+/// tail rows fold into the same running sums afterwards.
+fn fig2c_kernel(
+    table: &Table,
+    overlay: Option<&Overlay<'_>>,
+    preds: &[Expr],
+    aggs: &[AggExpr],
+) -> Option<Vec<Vec<Value>>> {
     if preds.len() != 1 {
         return None;
     }
@@ -537,6 +563,7 @@ fn fig2c_kernel(table: &Table, preds: &[Expr], aggs: &[AggExpr]) -> Option<Vec<V
         _ => return None,
     };
     let mut readers = Vec::with_capacity(aggs.len());
+    let mut agg_cols = Vec::with_capacity(aggs.len());
     for a in aggs {
         match &a.arg {
             Some(Expr::Col(c)) if a.func == pdsm_plan::logical::AggFunc::Sum => {
@@ -545,17 +572,19 @@ fn fig2c_kernel(table: &Table, preds: &[Expr], aggs: &[AggExpr]) -> Option<Vec<V
                     return None;
                 }
                 readers.push(table.i32_reader(*c));
+                agg_cols.push(*c);
             }
             _ => return None,
         }
     }
     let n = table.len();
+    let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);
     let mut sums = vec![0i64; readers.len()];
     let mut hits = 0u64;
     match op {
         CmpOp::Eq => {
             for i in 0..n {
-                if pr.get(i) as i64 == pv {
+                if (dead.is_empty() || !dead[i]) && pr.get(i) as i64 == pv {
                     hits += 1;
                     for (s, r) in sums.iter_mut().zip(readers.iter()) {
                         *s += r.get(i) as i64;
@@ -565,7 +594,7 @@ fn fig2c_kernel(table: &Table, preds: &[Expr], aggs: &[AggExpr]) -> Option<Vec<V
         }
         _ => {
             for i in 0..n {
-                if op.matches((pr.get(i) as i64).cmp(&pv)) {
+                if (dead.is_empty() || !dead[i]) && op.matches((pr.get(i) as i64).cmp(&pv)) {
                     hits += 1;
                     for (s, r) in sums.iter_mut().zip(readers.iter()) {
                         *s += r.get(i) as i64;
@@ -574,6 +603,7 @@ fn fig2c_kernel(table: &Table, preds: &[Expr], aggs: &[AggExpr]) -> Option<Vec<V
             }
         }
     }
+    fig2c_tail_fold(overlay, preds, &agg_cols, &mut sums, &mut hits);
     let row: Vec<Value> = sums
         .into_iter()
         .map(|s| {
@@ -597,9 +627,13 @@ enum KeyReader<'t> {
 /// Grouped-aggregation fast path: a single plain-column group key and
 /// plain-column aggregate arguments. Keys hash as raw `u64`s (no per-row
 /// `Value` allocation, no byte-key serialization) — the compiled engine's
-/// group-by loop, as HyPer's generated code would do it.
+/// group-by loop, as HyPer's generated code would do it. Overlay tombstones
+/// are skipped in the typed loop and tail rows fold in afterwards; if a tail
+/// row carries a group-key string the main dictionary has never seen, there
+/// is no raw code for it and the caller falls back to the generic path.
 fn grouped_agg_fast_path(
     table: &Table,
+    overlay: Option<&Overlay<'_>>,
     preds: &[Expr],
     group_by: &[Expr],
     aggs: &[AggExpr],
@@ -617,6 +651,9 @@ fn grouped_agg_fast_path(
         DataType::Str => KeyReader::Code(table.str_code_reader(*key_col), *key_col),
         DataType::Float64 => return None,
     };
+    if tail_defeats_raw_keys(table, *key_col, overlay) {
+        return None;
+    }
     let mut readers = Vec::with_capacity(aggs.len());
     for a in aggs {
         match &a.arg {
@@ -643,7 +680,11 @@ fn grouped_agg_fast_path(
     }
     let mut groups: HashMap<u64, Vec<Accumulator>> = HashMap::new();
     let n = table.len();
+    let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);
     'rows: for i in 0..n {
+        if !dead.is_empty() && dead[i] {
+            continue;
+        }
         for k in &kernels {
             if !k.test(i) {
                 continue 'rows;
@@ -678,6 +719,19 @@ fn grouped_agg_fast_path(
             }
         }
     }
+    if let Some(o) = overlay {
+        for r in o.live_tail() {
+            if !tail_row_passes(preds, r) {
+                continue;
+            }
+            let raw_key = tail_raw_key(table, *key_col, &r.values()[*key_col])
+                .expect("tail keys checked before entering the fast path");
+            let accs = groups
+                .entry(raw_key)
+                .or_insert_with(|| aggs.iter().map(|a| Accumulator::new(a.func)).collect());
+            agg_tail_update(aggs, r, accs);
+        }
+    }
     let decode_key = |raw: u64| -> Value {
         match &key {
             // Int32 keys must decode as Int32 to match the generic path.
@@ -706,10 +760,11 @@ fn grouped_agg_fast_path(
 
 fn scalar_agg_fast_path(
     table: &Table,
+    overlay: Option<&Overlay<'_>>,
     preds: &[Expr],
     aggs: &[AggExpr],
 ) -> Option<Vec<Vec<Value>>> {
-    if let Some(rows) = fig2c_kernel(table, preds, aggs) {
+    if let Some(rows) = fig2c_kernel(table, overlay, preds, aggs) {
         return Some(rows);
     }
     // All aggregates must be over plain non-string columns (or count(*)).
@@ -740,7 +795,11 @@ fn scalar_agg_fast_path(
     }
     let mut accs: Vec<Accumulator> = aggs.iter().map(|a| Accumulator::new(a.func)).collect();
     let n = table.len();
+    let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);
     'rows: for i in 0..n {
+        if !dead.is_empty() && dead[i] {
+            continue;
+        }
         for k in &kernels {
             if !k.test(i) {
                 continue 'rows;
@@ -767,6 +826,14 @@ fn scalar_agg_fast_path(
             }
         }
     }
+    if let Some(o) = overlay {
+        for r in o.live_tail() {
+            if !tail_row_passes(preds, r) {
+                continue;
+            }
+            agg_tail_update(aggs, r, &mut accs);
+        }
+    }
     Some(vec![accs.iter().map(|a| a.finish()).collect()])
 }
 
@@ -791,7 +858,14 @@ fn exec(
                 .table(&table)
                 .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
             let needed = needed_cols(&table, t, required);
-            run_pipeline(t, &preds, &steps, &needed, Sink::Collect(Vec::new()))
+            run_pipeline(
+                t,
+                db.overlay(&table),
+                &preds,
+                &steps,
+                &needed,
+                Sink::Collect(Vec::new()),
+            )
         }
     })
 }
@@ -883,21 +957,26 @@ fn lower(
                     let t = db
                         .table(&table)
                         .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+                    let overlay = db.overlay(&table);
                     // Fig. 2c fast path: no steps, scalar column aggregates.
                     if steps.is_empty() && group_by.is_empty() {
-                        if let Some(rows) = scalar_agg_fast_path(t, &preds, aggs) {
+                        if let Some(rows) = scalar_agg_fast_path(t, overlay.as_ref(), &preds, aggs)
+                        {
                             return Ok(Fragment::Rows(rows));
                         }
                     }
                     // Grouped fast path: single plain-column key.
                     if steps.is_empty() && !group_by.is_empty() {
-                        if let Some(rows) = grouped_agg_fast_path(t, &preds, group_by, aggs) {
+                        if let Some(rows) =
+                            grouped_agg_fast_path(t, overlay.as_ref(), &preds, group_by, aggs)
+                        {
                             return Ok(Fragment::Rows(rows));
                         }
                     }
                     let needed = needed_cols(&table, t, required);
                     run_pipeline(
                         t,
+                        overlay,
                         &preds,
                         &steps,
                         &needed,

@@ -1,15 +1,159 @@
 //! The engine abstraction and shared aggregate semantics.
 
 use crate::result::QueryOutput;
-use pdsm_plan::logical::{AggFunc, LogicalPlan};
+use pdsm_plan::expr::Expr;
+use pdsm_plan::logical::{AggExpr, AggFunc, LogicalPlan};
+use pdsm_storage::row::Row;
 use pdsm_storage::types::cmp_values;
-use pdsm_storage::{Table, Value};
+use pdsm_storage::{ColId, Table, Value};
+
+/// A snapshot visibility overlay over one table: tombstones on the
+/// read-optimized main store plus an append-only tail of decoded rows.
+///
+/// This is how the versioned write path (`pdsm-txn`) presents in-flight
+/// changes to the engines: a scan of a table with an overlay must produce
+/// `main − tombstones` (in main order) followed by the live tail rows (in
+/// append order) — exactly the rows a merged-then-scanned table would yield,
+/// in the same order. Tail rows hold *decoded* values (strings, not
+/// dictionary codes), because delta strings may not be interned in the main
+/// store's dictionaries until merge.
+#[derive(Clone, Copy)]
+pub struct Overlay<'a> {
+    /// `dead[i] == true` → main row `i` is tombstoned (deleted or
+    /// superseded). An empty slice means no main row is tombstoned.
+    pub dead: &'a [bool],
+    /// Rows appended after the main store, full schema width, decoded.
+    pub tail: &'a [Row],
+    /// Liveness of tail rows (tail rows can themselves be tombstoned by a
+    /// later delete). An empty slice means every tail row is live.
+    pub tail_alive: &'a [bool],
+}
+
+impl<'a> Overlay<'a> {
+    /// Is main row `i` tombstoned?
+    #[inline(always)]
+    pub fn is_dead(&self, i: usize) -> bool {
+        self.dead.get(i).copied().unwrap_or(false)
+    }
+
+    /// The live tail rows, in append order.
+    pub fn live_tail(&self) -> impl Iterator<Item = &'a Row> + 'a {
+        let alive = self.tail_alive;
+        self.tail
+            .iter()
+            .enumerate()
+            .filter(move |(k, _)| alive.is_empty() || alive[*k])
+            .map(|(_, r)| r)
+    }
+
+    /// Number of live tail rows.
+    pub fn live_tail_len(&self) -> usize {
+        if self.tail_alive.is_empty() {
+            self.tail.len()
+        } else {
+            self.tail_alive.iter().filter(|a| **a).count()
+        }
+    }
+}
+
+/// Evaluate a scan's predicate conjuncts against a decoded tail row.
+/// Engines use this in place of their typed kernels for the tail portion:
+/// kernels are bound to main-store partition readers and dictionary codes,
+/// which tail rows do not have.
+pub fn tail_row_passes(preds: &[Expr], row: &Row) -> bool {
+    preds.iter().all(|p| p.eval_bool(row.values()))
+}
+
+/// Materialize a tail row the way engines materialize main rows: only the
+/// `needed` columns populated, every other position NULL. Keeping the two
+/// paths identical is what makes overlay scans byte-compatible with scans
+/// of a merged table.
+pub fn masked_tail_row(row: &Row, needed: &[ColId], width: usize) -> Vec<Value> {
+    let mut out = vec![Value::Null; width];
+    for &c in needed {
+        if let Some(v) = row.values().get(c) {
+            out[c] = v.clone();
+        }
+    }
+    out
+}
+
+/// Raw `u64` group key of a decoded tail value, hashed the way the typed
+/// grouped fast paths hash main rows: integers sign-extended, strings by
+/// main-dictionary code. `None` when no raw key exists — a string the main
+/// dictionary has never interned has no code, so raw-key fast paths must
+/// fall back to the generic (decoded-key) path.
+pub fn tail_raw_key(table: &Table, key_col: ColId, v: &Value) -> Option<u64> {
+    match v {
+        Value::Int32(_) | Value::Int64(_) => v.as_i64().map(|x| x as u64),
+        Value::Str(s) => table
+            .dict(key_col)
+            .and_then(|d| d.code_of(s))
+            .map(|c| c as u64),
+        _ => None,
+    }
+}
+
+/// True iff some live tail row's group-key value has no raw `u64` key (see
+/// [`tail_raw_key`]) — the bail-out check every raw-key grouped fast path
+/// must run before trusting `tail_raw_key(...).expect(..)` in its fold.
+pub fn tail_defeats_raw_keys(table: &Table, key_col: ColId, overlay: Option<&Overlay<'_>>) -> bool {
+    let Some(o) = overlay else {
+        return false;
+    };
+    o.live_tail()
+        .any(|r| tail_raw_key(table, key_col, &r.values()[key_col]).is_none())
+}
+
+/// Fold one decoded tail row into a slice of accumulators by evaluating
+/// each aggregate's argument against the row (`count(*)` counts the row).
+/// This is the shared tail half of every engine's aggregation fast path;
+/// the caller has already applied the scan predicates.
+pub fn agg_tail_update(aggs: &[AggExpr], row: &Row, accs: &mut [Accumulator]) {
+    for (acc, spec) in accs.iter_mut().zip(aggs) {
+        match &spec.arg {
+            Some(e) => acc.update(&e.eval(row.values())),
+            None => acc.update(&Value::Int32(1)),
+        }
+    }
+}
+
+/// Fold the live tail rows passing `preds` into the Fig.-2c kernel's raw
+/// running sums (`agg_cols` are the non-nullable `i32` sum columns).
+pub fn fig2c_tail_fold(
+    overlay: Option<&Overlay<'_>>,
+    preds: &[Expr],
+    agg_cols: &[ColId],
+    sums: &mut [i64],
+    hits: &mut u64,
+) {
+    let Some(o) = overlay else {
+        return;
+    };
+    for r in o.live_tail() {
+        if !tail_row_passes(preds, r) {
+            continue;
+        }
+        *hits += 1;
+        for (s, &c) in sums.iter_mut().zip(agg_cols) {
+            *s += r.values()[c].as_i64().expect("non-nullable i32 tail value");
+        }
+    }
+}
 
 /// Resolves table names to storage. Implemented by `pdsm-core`'s `Database`
 /// and by plain maps in tests.
 pub trait TableProvider {
     /// The table called `name`, if present.
     fn table(&self, name: &str) -> Option<&Table>;
+
+    /// The visibility overlay of `name`, if the provider is versioned and
+    /// the table has pending changes. The default (plain, unversioned
+    /// providers) is `None`: the main store is the whole truth.
+    fn overlay(&self, name: &str) -> Option<Overlay<'_>> {
+        let _ = name;
+        None
+    }
 }
 
 impl TableProvider for std::collections::HashMap<String, Table> {

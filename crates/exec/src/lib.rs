@@ -34,7 +34,9 @@ pub mod volcano;
 
 pub use compiled::{compile_pred, PredKernel};
 pub use engine::{
-    Accumulator, BulkEngine, CompiledEngine, Engine, ExecError, TableProvider, VolcanoEngine,
+    agg_tail_update, fig2c_tail_fold, masked_tail_row, tail_defeats_raw_keys, tail_raw_key,
+    tail_row_passes, Accumulator, BulkEngine, CompiledEngine, Engine, ExecError, Overlay,
+    TableProvider, VolcanoEngine,
 };
 pub use result::QueryOutput;
 pub use vectorized::VectorizedEngine;

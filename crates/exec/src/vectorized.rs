@@ -1,6 +1,6 @@
 //! The vectorized engine — MonetDB/X100-style block-at-a-time processing
-//! (§II-A of the paper, citing Zukowski et al. [35] and the
-//! vectorization-vs-compilation study of Sompolski et al. [32]).
+//! (§II-A of the paper, citing Zukowski et al. \[35\] and the
+//! vectorization-vs-compilation study of Sompolski et al. \[32\]).
 //!
 //! Between bulk and compiled: primitives are invoked **once per vector**
 //! (amortizing interpretation overhead like bulk) but intermediates —
@@ -16,7 +16,9 @@
 //! comparisons involving those operators use the other three engines.
 
 use crate::compiled::{compile_pred, conjuncts, PredKernel};
-use crate::engine::{Accumulator, Engine, ExecError, TableProvider};
+use crate::engine::{
+    masked_tail_row, tail_row_passes, Accumulator, Engine, ExecError, TableProvider,
+};
 use crate::keys::GroupKey;
 use crate::result::QueryOutput;
 use pdsm_plan::expr::Expr;
@@ -71,37 +73,23 @@ impl Engine for VectorizedEngine {
             .unwrap_or_else(|| (0..t.schema().len()).collect());
         let kernels: Vec<PredKernel<'_>> = shape.preds.iter().map(|p| compile_pred(t, p)).collect();
 
+        let overlay = db.overlay(shape.table);
         let mut out = QueryOutput::new();
         let mut agg_state: HashMap<GroupKey, (Vec<Value>, Vec<Accumulator>)> = HashMap::new();
         let n = t.len();
         let vs = self.vector_size;
-        // reusable, cache-resident selection vector
-        let mut sel: Vec<u32> = Vec::with_capacity(vs);
-        let mut start = 0usize;
-        while start < n {
-            let end = (start + vs).min(n);
-            sel.clear();
-            sel.extend(start as u32..end as u32);
-            // one primitive call per kernel per vector
-            for k in &kernels {
-                filter_vector(k, &mut sel);
-                if sel.is_empty() {
-                    break;
-                }
-            }
-            match &shape.sink {
-                VecSink::Collect(exprs) => {
-                    for &i in &sel {
-                        let row = materialize(t, i as usize, &needed);
+        let feed =
+            |row: Vec<Value>,
+             out: &mut QueryOutput,
+             agg_state: &mut HashMap<GroupKey, (Vec<Value>, Vec<Accumulator>)>| {
+                match &shape.sink {
+                    VecSink::Collect(exprs) => {
                         out.rows.push(match exprs {
                             Some(es) => es.iter().map(|e| e.eval(&row)).collect(),
                             None => row,
                         });
                     }
-                }
-                VecSink::Aggregate { group_by, aggs } => {
-                    for &i in &sel {
-                        let row = materialize(t, i as usize, &needed);
+                    VecSink::Aggregate { group_by, aggs } => {
                         let key_vals: Vec<Value> = group_by.iter().map(|g| g.eval(&row)).collect();
                         let entry = agg_state.entry(GroupKey::of(&key_vals)).or_insert_with(|| {
                             (
@@ -117,8 +105,44 @@ impl Engine for VectorizedEngine {
                         }
                     }
                 }
+            };
+        // reusable, cache-resident selection vector
+        let mut sel: Vec<u32> = Vec::with_capacity(vs);
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + vs).min(n);
+            sel.clear();
+            match &overlay {
+                // Tombstones filter the fresh selection vector like a
+                // zeroth primitive.
+                Some(o) if !o.dead.is_empty() => {
+                    sel.extend((start as u32..end as u32).filter(|&i| !o.is_dead(i as usize)))
+                }
+                _ => sel.extend(start as u32..end as u32),
+            }
+            // one primitive call per kernel per vector
+            for k in &kernels {
+                filter_vector(k, &mut sel);
+                if sel.is_empty() {
+                    break;
+                }
+            }
+            for &i in &sel {
+                let row = materialize(t, i as usize, &needed);
+                feed(row, &mut out, &mut agg_state);
             }
             start = end;
+        }
+        // The delta tail: decoded rows appended after the main store, with
+        // the predicates interpreted per row (no dictionary codes to test).
+        if let Some(o) = &overlay {
+            let width = t.schema().len();
+            for r in o.live_tail() {
+                if !tail_row_passes(&shape.preds, r) {
+                    continue;
+                }
+                feed(masked_tail_row(r, &needed, width), &mut out, &mut agg_state);
+            }
         }
         if let VecSink::Aggregate { group_by, aggs } = &shape.sink {
             if agg_state.is_empty() && group_by.is_empty() {

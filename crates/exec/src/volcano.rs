@@ -7,7 +7,7 @@
 //! accidental sloppiness — it is the faithful reconstruction of the model
 //! whose cost the paper quantifies. Do not "optimize" it.
 
-use crate::engine::{Accumulator, Engine, ExecError, TableProvider};
+use crate::engine::{Accumulator, Engine, ExecError, Overlay, TableProvider};
 use crate::keys::GroupKey;
 use crate::result::QueryOutput;
 use pdsm_plan::expr::Expr;
@@ -24,24 +24,47 @@ trait Operator {
 
 /// Scan over a table, materializing the listed columns per tuple (positions
 /// not listed are filled with NULL so column indexes stay schema-positional).
+/// With a visibility [`Overlay`], tombstoned main rows are skipped and the
+/// live tail rows are emitted after the main store, in append order.
 struct ScanOp<'a> {
     table: &'a Table,
+    overlay: Option<Overlay<'a>>,
     needed: Vec<ColId>,
     width: usize,
     row: usize,
+    tail_row: usize,
 }
 
 impl Operator for ScanOp<'_> {
     fn next(&mut self) -> Option<Vec<Value>> {
-        if self.row >= self.table.len() {
-            return None;
+        while self.row < self.table.len() {
+            let i = self.row;
+            self.row += 1;
+            if let Some(o) = &self.overlay {
+                if o.is_dead(i) {
+                    continue;
+                }
+            }
+            let mut out = vec![Value::Null; self.width];
+            for &c in &self.needed {
+                out[c] = self.table.get(i, c).expect("in-range");
+            }
+            return Some(out);
         }
-        let mut out = vec![Value::Null; self.width];
-        for &c in &self.needed {
-            out[c] = self.table.get(self.row, c).expect("in-range");
+        let o = self.overlay.as_ref()?;
+        while self.tail_row < o.tail.len() {
+            let k = self.tail_row;
+            self.tail_row += 1;
+            if !o.tail_alive.is_empty() && !o.tail_alive[k] {
+                continue;
+            }
+            return Some(crate::engine::masked_tail_row(
+                &o.tail[k],
+                &self.needed,
+                self.width,
+            ));
         }
-        self.row += 1;
-        Some(out)
+        None
     }
 }
 
@@ -276,9 +299,11 @@ impl VolcanoEngine {
                 .unwrap_or_else(|| (0..t.schema().len()).collect());
             return Ok(Box::new(ScanOp {
                 table: t,
+                overlay: db.overlay(table),
                 needed,
                 width: t.schema().len(),
                 row: 0,
+                tail_row: 0,
             }));
         }
         // Non-scan nodes: compile children through this same path.

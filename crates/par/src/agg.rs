@@ -15,7 +15,10 @@ use crate::morsel::MorselQueue;
 use crate::pool::run_workers;
 use pdsm_exec::compiled::{compile_pred, PredKernel};
 use pdsm_exec::keys::GroupKey;
-use pdsm_exec::Accumulator;
+use pdsm_exec::{
+    agg_tail_update, fig2c_tail_fold, tail_defeats_raw_keys, tail_raw_key, tail_row_passes,
+    Accumulator, Overlay,
+};
 use pdsm_plan::expr::Expr;
 use pdsm_plan::logical::{AggExpr, AggFunc};
 use pdsm_storage::partition::{F64Col, I32Col, I64Col, U32Col};
@@ -90,6 +93,7 @@ impl AggReader<'_> {
 /// is bit-identical to the sequential kernel at any thread count.
 fn fig2c_parallel(
     table: &Table,
+    overlay: Option<&Overlay<'_>>,
     preds: &[Expr],
     aggs: &[AggExpr],
     threads: usize,
@@ -119,6 +123,7 @@ fn fig2c_parallel(
     }
     let queue = MorselQueue::for_table(table);
     let threads = threads.min(queue.n_morsels()).max(1);
+    let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);
     let partials: Vec<(u64, Vec<i64>)> = run_workers(threads, |_| {
         let (pr, op, pv) = match compile_pred(table, &preds[0]) {
             PredKernel::I32Cmp {
@@ -137,7 +142,7 @@ fn fig2c_parallel(
             match op {
                 pdsm_plan::expr::CmpOp::Eq => {
                     for i in m.start..m.end {
-                        if pr.get(i) as i64 == pv {
+                        if (dead.is_empty() || !dead[i]) && pr.get(i) as i64 == pv {
                             hits += 1;
                             for (s, r) in sums.iter_mut().zip(readers.iter()) {
                                 *s += r.get(i) as i64;
@@ -147,7 +152,8 @@ fn fig2c_parallel(
                 }
                 _ => {
                     for i in m.start..m.end {
-                        if op.matches((pr.get(i) as i64).cmp(&pv)) {
+                        if (dead.is_empty() || !dead[i]) && op.matches((pr.get(i) as i64).cmp(&pv))
+                        {
                             hits += 1;
                             for (s, r) in sums.iter_mut().zip(readers.iter()) {
                                 *s += r.get(i) as i64;
@@ -167,6 +173,9 @@ fn fig2c_parallel(
             *s += p;
         }
     }
+    // Integer sums merge exactly, so the (sequential) tail folds in last —
+    // the same result the compiled engine's main-then-tail loop produces.
+    fig2c_tail_fold(overlay, preds, &cols, &mut sums, &mut hits);
     let row: Vec<Value> = sums
         .into_iter()
         .map(|s| {
@@ -185,17 +194,19 @@ fn fig2c_parallel(
 /// order. Returns the single result row.
 pub(crate) fn scalar_agg_parallel(
     table: &Table,
+    overlay: Option<&Overlay<'_>>,
     preds: &[Expr],
     aggs: &[AggExpr],
     needed: &[ColId],
     threads: usize,
 ) -> Vec<Vec<Value>> {
-    if let Some(rows) = fig2c_parallel(table, preds, aggs, threads) {
+    if let Some(rows) = fig2c_parallel(table, overlay, preds, aggs, threads) {
         return rows;
     }
     let queue = MorselQueue::for_table(table);
     let threads = threads.min(queue.n_morsels()).max(1);
     let width = table.schema().len();
+    let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);
     let partials: Vec<Vec<Accumulator>> = run_workers(threads, |_| {
         let kernels: Vec<PredKernel<'_>> = preds.iter().map(|p| compile_pred(table, p)).collect();
         let readers: Vec<AggReader<'_>> = aggs.iter().map(|a| reader_for(table, a)).collect();
@@ -204,6 +215,9 @@ pub(crate) fn scalar_agg_parallel(
         let mut row: Vec<Value> = vec![Value::Null; width];
         while let Some(m) = queue.claim() {
             'rows: for i in m.start..m.end {
+                if !dead.is_empty() && dead[i] {
+                    continue;
+                }
                 for k in &kernels {
                     if !k.test(i) {
                         continue 'rows;
@@ -228,6 +242,16 @@ pub(crate) fn scalar_agg_parallel(
     for partial in partials.iter().skip(1) {
         for (acc, p) in merged.iter_mut().zip(partial.iter()) {
             acc.merge(p);
+        }
+    }
+    // Only merge-exact aggregates reach this path, so folding the tail
+    // after the barrier matches the sequential main-then-tail fold.
+    if let Some(o) = overlay {
+        for r in o.live_tail() {
+            if !tail_row_passes(preds, r) {
+                continue;
+            }
+            agg_tail_update(aggs, r, &mut merged);
         }
     }
     vec![merged.iter().map(|a| a.finish()).collect()]
@@ -293,12 +317,21 @@ impl KeyReader<'_> {
 /// serialization — and partials merge by raw key at the barrier.
 fn grouped_fast_parallel(
     table: &Table,
+    overlay: Option<&Overlay<'_>>,
     preds: &[Expr],
     group_by: &[Expr],
     aggs: &[AggExpr],
     threads: usize,
 ) -> Option<Vec<Vec<Value>>> {
     let probe_key = KeyReader::open(table, group_by)?;
+    let [Expr::Col(key_col)] = group_by else {
+        return None;
+    };
+    // A tail row keyed by a string the main dictionary has never interned
+    // has no raw code; fall back to the generic (GroupKey) path.
+    if tail_defeats_raw_keys(table, *key_col, overlay) {
+        return None;
+    }
     // every aggregate must avoid row materialization
     for a in aggs {
         match &a.arg {
@@ -309,6 +342,7 @@ fn grouped_fast_parallel(
     }
     let queue = MorselQueue::for_table(table);
     let threads = threads.min(queue.n_morsels()).max(1);
+    let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);
     let partials: Vec<HashMap<u64, Vec<Accumulator>>> = run_workers(threads, |_| {
         let kernels: Vec<PredKernel<'_>> = preds.iter().map(|p| compile_pred(table, p)).collect();
         let readers: Vec<AggReader<'_>> = aggs.iter().map(|a| reader_for(table, a)).collect();
@@ -316,6 +350,9 @@ fn grouped_fast_parallel(
         let mut groups: HashMap<u64, Vec<Accumulator>> = HashMap::new();
         while let Some(m) = queue.claim() {
             'rows: for i in m.start..m.end {
+                if !dead.is_empty() && dead[i] {
+                    continue;
+                }
                 for k in &kernels {
                     if !k.test(i) {
                         continue 'rows;
@@ -346,6 +383,19 @@ fn grouped_fast_parallel(
             }
         }
     }
+    if let Some(o) = overlay {
+        for r in o.live_tail() {
+            if !tail_row_passes(preds, r) {
+                continue;
+            }
+            let raw = tail_raw_key(table, *key_col, &r.values()[*key_col])
+                .expect("tail keys checked before entering the fast path");
+            let accs = merged
+                .entry(raw)
+                .or_insert_with(|| aggs.iter().map(|a| Accumulator::new(a.func)).collect());
+            agg_tail_update(aggs, r, accs);
+        }
+    }
     Some(
         merged
             .into_iter()
@@ -364,18 +414,20 @@ fn grouped_fast_parallel(
 /// the same contract the sequential engines' hash aggregation has.
 pub(crate) fn grouped_agg_parallel(
     table: &Table,
+    overlay: Option<&Overlay<'_>>,
     preds: &[Expr],
     group_by: &[Expr],
     aggs: &[AggExpr],
     needed: &[ColId],
     threads: usize,
 ) -> Vec<Vec<Value>> {
-    if let Some(rows) = grouped_fast_parallel(table, preds, group_by, aggs, threads) {
+    if let Some(rows) = grouped_fast_parallel(table, overlay, preds, group_by, aggs, threads) {
         return rows;
     }
     let queue = MorselQueue::for_table(table);
     let threads = threads.min(queue.n_morsels()).max(1);
     let width = table.schema().len();
+    let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);
     let partials: Vec<GroupMap> = run_workers(threads, |_| {
         let kernels: Vec<PredKernel<'_>> = preds.iter().map(|p| compile_pred(table, p)).collect();
         let readers: Vec<AggReader<'_>> = aggs.iter().map(|a| reader_for(table, a)).collect();
@@ -383,6 +435,9 @@ pub(crate) fn grouped_agg_parallel(
         let mut row: Vec<Value> = vec![Value::Null; width];
         while let Some(m) = queue.claim() {
             'rows: for i in m.start..m.end {
+                if !dead.is_empty() && dead[i] {
+                    continue;
+                }
                 for k in &kernels {
                     if !k.test(i) {
                         continue 'rows;
@@ -420,6 +475,22 @@ pub(crate) fn grouped_agg_parallel(
                     }
                 }
             }
+        }
+    }
+    if let Some(o) = overlay {
+        for r in o.live_tail() {
+            if !tail_row_passes(preds, r) {
+                continue;
+            }
+            let key_vals: Vec<Value> = group_by.iter().map(|g| g.eval(r.values())).collect();
+            let key = GroupKey::of(&key_vals);
+            let entry = merged.entry(key).or_insert_with(|| {
+                (
+                    key_vals.clone(),
+                    aggs.iter().map(|a| Accumulator::new(a.func)).collect(),
+                )
+            });
+            agg_tail_update(aggs, r, &mut entry.1);
         }
     }
     if merged.is_empty() && group_by.is_empty() {
@@ -553,9 +624,9 @@ mod tests {
             AggExpr::new(AggFunc::Max, Expr::col(1)),
         ];
         let preds = vec![Expr::col(0).eq(Expr::lit(2))];
-        let one = scalar_agg_parallel(&t, &preds, &aggs, &[0, 1], 1);
+        let one = scalar_agg_parallel(&t, None, &preds, &aggs, &[0, 1], 1);
         for threads in [2, 4, 8] {
-            let many = scalar_agg_parallel(&t, &preds, &aggs, &[0, 1], threads);
+            let many = scalar_agg_parallel(&t, None, &preds, &aggs, &[0, 1], threads);
             assert_eq!(one, many, "threads={threads}");
         }
         assert_eq!(one[0][0], Value::Int64(6_000));
@@ -569,9 +640,9 @@ mod tests {
             AggExpr::new(AggFunc::Sum, Expr::col(1)),
         ];
         let group = vec![Expr::col(0)];
-        let mut one = grouped_agg_parallel(&t, &[], &group, &aggs, &[0, 1], 1);
+        let mut one = grouped_agg_parallel(&t, None, &[], &group, &aggs, &[0, 1], 1);
         for threads in [2, 4] {
-            let mut many = grouped_agg_parallel(&t, &[], &group, &aggs, &[0, 1], threads);
+            let mut many = grouped_agg_parallel(&t, None, &[], &group, &aggs, &[0, 1], threads);
             one.sort_by_key(|r| format!("{r:?}"));
             many.sort_by_key(|r| format!("{r:?}"));
             assert_eq!(one, many, "threads={threads}");
@@ -612,7 +683,7 @@ mod tests {
             AggExpr::count_star(),
             AggExpr::new(AggFunc::Sum, Expr::col(1)),
         ];
-        let out = scalar_agg_parallel(&t, &[], &aggs, &[1], 4);
+        let out = scalar_agg_parallel(&t, None, &[], &aggs, &[1], 4);
         assert_eq!(out, vec![vec![Value::Int64(0), Value::Null]]);
     }
 }

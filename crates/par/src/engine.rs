@@ -114,7 +114,7 @@ fn exec(
                 .table(&table)
                 .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
             let needed = needed_cols(&table, t, required);
-            collect_parallel(t, &preds, &steps, &needed, threads)
+            collect_parallel(t, db.overlay(&table), &preds, &steps, &needed, threads)
         }
     })
 }
@@ -198,16 +198,26 @@ fn lower(
                     let t = db
                         .table(&table)
                         .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+                    let overlay = db.overlay(&table);
                     let needed = needed_cols(&table, t, required);
                     let mergeable = steps.is_empty() && !aggs.iter().any(|a| float_sensitive(t, a));
                     if mergeable && group_by.is_empty() {
-                        scalar_agg_parallel(t, &preds, aggs, &needed, threads)
+                        scalar_agg_parallel(t, overlay.as_ref(), &preds, aggs, &needed, threads)
                     } else if mergeable {
-                        grouped_agg_parallel(t, &preds, group_by, aggs, &needed, threads)
+                        grouped_agg_parallel(
+                            t,
+                            overlay.as_ref(),
+                            &preds,
+                            group_by,
+                            aggs,
+                            &needed,
+                            threads,
+                        )
                     } else {
                         // Ordered collect keeps the sequential accumulation
                         // order, so float sums stay bit-identical.
-                        let survivors = collect_parallel(t, &preds, &steps, &needed, threads);
+                        let survivors =
+                            collect_parallel(t, overlay, &preds, &steps, &needed, threads);
                         fold_rows(survivors, group_by, aggs)
                     }
                 }

@@ -14,6 +14,7 @@ use crate::morsel::MorselQueue;
 use crate::pool::run_workers;
 use pdsm_exec::compiled::{compile_pred, PredKernel};
 use pdsm_exec::keys::GroupKey;
+use pdsm_exec::{masked_tail_row, tail_row_passes, Overlay};
 use pdsm_plan::expr::Expr;
 use pdsm_storage::{ColId, Table, Value};
 use std::collections::HashMap;
@@ -65,8 +66,10 @@ pub(crate) fn push_row(row: Vec<Value>, steps: &[Step], emit: &mut dyn FnMut(Vec
 
 /// One worker's share of a scan: claim morsels, run kernels, feed survivors
 /// through `steps`, calling `sink(morsel_index, row)` for every emitted row.
+/// `dead` is the snapshot's main-store tombstone mask (empty = none).
 pub(crate) fn scan_worker(
     table: &Table,
+    dead: &[bool],
     queue: &MorselQueue,
     preds: &[Expr],
     steps: &[Step],
@@ -77,6 +80,9 @@ pub(crate) fn scan_worker(
     let width = table.schema().len();
     while let Some(m) = queue.claim() {
         'rows: for i in m.start..m.end {
+            if !dead.is_empty() && dead[i] {
+                continue;
+            }
             for k in &kernels {
                 if !k.test(i) {
                     continue 'rows;
@@ -93,9 +99,12 @@ pub(crate) fn scan_worker(
 
 /// Run a scan pipeline on `threads` workers, materializing all emitted rows
 /// **in sequential scan order** (per-morsel buffers stitched by morsel
-/// index).
+/// index). The delta tail — when an overlay is present — is appended by one
+/// sequential pass after the stitch, which keeps the overall order the same
+/// as the compiled engine's main-then-tail scan.
 pub(crate) fn collect_parallel(
     table: &Table,
+    overlay: Option<Overlay<'_>>,
     preds: &[Expr],
     steps: &[Step],
     needed: &[ColId],
@@ -103,10 +112,12 @@ pub(crate) fn collect_parallel(
 ) -> Vec<Vec<Value>> {
     let queue = MorselQueue::for_table(table);
     let threads = threads.min(queue.n_morsels()).max(1);
+    let dead: &[bool] = overlay.as_ref().map(|o| o.dead).unwrap_or(&[]);
     let per_worker: Vec<Vec<(usize, Vec<Vec<Value>>)>> = run_workers(threads, |_| {
         let mut chunks: Vec<(usize, Vec<Vec<Value>>)> = Vec::new();
         scan_worker(
             table,
+            dead,
             &queue,
             preds,
             steps,
@@ -120,7 +131,19 @@ pub(crate) fn collect_parallel(
     });
     let mut tagged: Vec<(usize, Vec<Vec<Value>>)> = per_worker.into_iter().flatten().collect();
     tagged.sort_unstable_by_key(|(idx, _)| *idx);
-    tagged.into_iter().flat_map(|(_, rows)| rows).collect()
+    let mut out: Vec<Vec<Value>> = tagged.into_iter().flat_map(|(_, rows)| rows).collect();
+    if let Some(o) = &overlay {
+        let width = table.schema().len();
+        for r in o.live_tail() {
+            if !tail_row_passes(preds, r) {
+                continue;
+            }
+            push_row(masked_tail_row(r, needed, width), steps, &mut |row| {
+                out.push(row)
+            });
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -148,9 +171,9 @@ mod tests {
         let t = table(20_000);
         let preds = vec![Expr::col(1).eq(Expr::lit(3))];
         let needed = vec![0, 1];
-        let sequential = collect_parallel(&t, &preds, &[], &needed, 1);
+        let sequential = collect_parallel(&t, None, &preds, &[], &needed, 1);
         for threads in [2, 4, 8] {
-            let parallel = collect_parallel(&t, &preds, &[], &needed, threads);
+            let parallel = collect_parallel(&t, None, &preds, &[], &needed, threads);
             assert_eq!(sequential, parallel, "threads={threads}");
         }
         let expect = (0..20_000).filter(|i| i % 7 == 3).count();
@@ -162,8 +185,35 @@ mod tests {
         let t = table(5_000);
         let preds = vec![Expr::col(0).lt(Expr::lit(100))];
         let steps = vec![Step::Project(vec![Expr::col(0).mul(Expr::lit(2))])];
-        let out = collect_parallel(&t, &preds, &steps, &[0, 1], 4);
+        let out = collect_parallel(&t, None, &preds, &steps, &[0, 1], 4);
         assert_eq!(out.len(), 100);
         assert_eq!(out[7], vec![Value::Int64(14)]);
+    }
+
+    #[test]
+    fn overlay_tombstones_and_tail_in_order() {
+        use pdsm_storage::row::Row;
+        let t = table(1_000);
+        let mut dead = vec![false; 1_000];
+        dead[0] = true;
+        dead[3] = true;
+        let tail = vec![
+            Row(vec![Value::Int32(5000), Value::Int32(3)]),
+            Row(vec![Value::Int32(5001), Value::Int32(4)]),
+        ];
+        let overlay = Overlay {
+            dead: &dead,
+            tail: &tail,
+            tail_alive: &[],
+        };
+        let preds = vec![Expr::col(1).eq(Expr::lit(3))];
+        let one = collect_parallel(&t, Some(overlay), &preds, &[], &[0, 1], 1);
+        for threads in [2, 4] {
+            let many = collect_parallel(&t, Some(overlay), &preds, &[], &[0, 1], threads);
+            assert_eq!(one, many, "threads={threads}");
+        }
+        // row 3 (b==3) is tombstoned; tail row 5000 matches and comes last
+        assert!(!one.iter().any(|r| r[0] == Value::Int32(3)));
+        assert_eq!(one.last().unwrap()[0], Value::Int32(5000));
     }
 }

@@ -19,6 +19,9 @@ pub enum Error {
     NullViolation(String),
     /// A row index was out of range.
     RowOutOfRange { row: usize, len: usize },
+    /// A row id addressed a tombstoned (deleted or superseded) row in a
+    /// versioned table.
+    RowDeleted { row: usize },
     /// The number of values in a row did not match the schema width.
     ArityMismatch { expected: usize, got: usize },
     /// A layout did not form a disjoint cover of the schema's columns.
@@ -42,6 +45,7 @@ impl fmt::Display for Error {
             Error::RowOutOfRange { row, len } => {
                 write!(f, "row {row} out of range (table has {len} rows)")
             }
+            Error::RowDeleted { row } => write!(f, "row {row} is deleted"),
             Error::ArityMismatch { expected, got } => {
                 write!(
                     f,

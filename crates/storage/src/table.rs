@@ -184,11 +184,33 @@ impl Table {
         Ok(self.len - 1)
     }
 
-    /// Insert many rows.
+    /// Insert many rows atomically: every row is validated and encoded
+    /// before any is stored, so one bad row leaves the table unchanged.
+    /// (Strings of rejected rows may still have been interned — dictionary
+    /// growth is harmless, codes are only referenced by stored rows.)
     pub fn insert_batch(&mut self, rows: &[Vec<Value>]) -> Result<()> {
-        self.reserve(rows.len());
-        for r in rows {
-            self.insert(r)?;
+        let mut encoded_rows = Vec::with_capacity(rows.len());
+        for values in rows {
+            if values.len() != self.schema.len() {
+                return Err(Error::ArityMismatch {
+                    expected: self.schema.len(),
+                    got: values.len(),
+                });
+            }
+            let mut encoded = Vec::with_capacity(values.len());
+            for (c, v) in values.iter().enumerate() {
+                encoded.push(self.encode(c, v)?);
+            }
+            encoded_rows.push(encoded);
+        }
+        self.reserve(encoded_rows.len());
+        for encoded in &encoded_rows {
+            for p in &mut self.partitions {
+                let frag: Vec<RawVal> = p.cols().iter().map(|&c| encoded[c]).collect();
+                p.push_row(&frag)
+                    .expect("encoded fragment matches partition types");
+            }
+            self.len += 1;
         }
         Ok(())
     }
@@ -197,6 +219,9 @@ impl Table {
     pub fn get(&self, row: usize, c: ColId) -> Result<Value> {
         if row >= self.len {
             return Err(Error::RowOutOfRange { row, len: self.len });
+        }
+        if c >= self.schema.len() {
+            return Err(Error::UnknownColumn(c));
         }
         let (pi, slot) = self.col_loc[c];
         let raw = self.partitions[pi].get_raw(row, slot)?;
@@ -221,6 +246,9 @@ impl Table {
     pub fn update(&mut self, row: usize, c: ColId, v: &Value) -> Result<()> {
         if row >= self.len {
             return Err(Error::RowOutOfRange { row, len: self.len });
+        }
+        if c >= self.schema.len() {
+            return Err(Error::UnknownColumn(c));
         }
         let raw = self.encode(c, v)?;
         let (pi, slot) = self.col_loc[c];
@@ -410,6 +438,64 @@ mod tests {
             .is_err());
         assert_eq!(t.len(), before);
         assert_eq!(t.partitions()[0].len(), before);
+    }
+
+    #[test]
+    fn insert_batch_is_atomic() {
+        let mut t = demo_table(Layout::column(4));
+        let before = t.len();
+        let rows = vec![
+            vec![
+                Value::Int32(100),
+                Value::Str("ok".into()),
+                Value::Null,
+                Value::Int64(1),
+            ],
+            vec![Value::Int32(101)], // arity error
+        ];
+        assert!(matches!(
+            t.insert_batch(&rows),
+            Err(Error::ArityMismatch { .. })
+        ));
+        assert_eq!(t.len(), before, "no partial batch");
+        for p in t.partitions() {
+            assert_eq!(p.len(), before);
+        }
+        let rows = vec![
+            vec![
+                Value::Int32(100),
+                Value::Str("ok".into()),
+                Value::Null,
+                Value::Int64(1),
+            ],
+            vec![
+                Value::Int32(101),
+                Value::Str("ok2".into()),
+                Value::Float64(2.0),
+                Value::Int64(2),
+            ],
+        ];
+        t.insert_batch(&rows).unwrap();
+        assert_eq!(t.len(), before + 2);
+        assert_eq!(t.get(before + 1, 0).unwrap(), Value::Int32(101));
+    }
+
+    #[test]
+    fn column_bounds_are_errors_not_panics() {
+        let mut t = demo_table(Layout::row(4));
+        assert!(matches!(t.get(0, 99), Err(Error::UnknownColumn(99))));
+        assert!(matches!(
+            t.update(0, 99, &Value::Int32(1)),
+            Err(Error::UnknownColumn(99))
+        ));
+        assert!(matches!(
+            t.update(999, 0, &Value::Int32(1)),
+            Err(Error::RowOutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.update(0, 1, &Value::Int64(5)),
+            Err(Error::TypeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! # pdsm-txn — the versioned write path
+//!
+//! The paper's partially decomposed layouts trade scan cost against update
+//! cost, so a reproduction needs an update side: this crate makes every
+//! table writable *while it is being queried*, following the
+//! delta-plus-read-optimized-main design of push-based storage managers.
+//!
+//! A [`VersionedTable`] is:
+//!
+//! * an **immutable main store** — the existing partitioned
+//!   [`pdsm_storage::Table`], shared by `Arc` so merges never copy it under
+//!   a reader;
+//! * an **append-only delta** — decoded rows ([`pdsm_storage::Row`])
+//!   appended after the main store, plus tombstone masks over both the main
+//!   store and the delta itself. Updates are delete + re-insert, so the
+//!   delta never mutates in place;
+//! * a **merge** operation ([`VersionedTable::merge`] /
+//!   [`VersionedTable::merge_with_layout`]) that folds the delta into a
+//!   fresh main store — optionally under a different layout, which is how
+//!   the layout advisor re-optimizes a table as its workload evolves — and
+//!   bumps the version generation.
+//!
+//! ## Snapshots
+//!
+//! Readers take [`Snapshot`] handles: a snapshot pins the main store `Arc`
+//! plus a frozen copy of the delta overlay, so queries running on a
+//! snapshot see a consistent version no matter what writers do afterwards.
+//! Snapshots of an unchanged version share one overlay allocation (the
+//! per-version cache in [`VersionedTable::snapshot`]), making repeat
+//! snapshot acquisition O(1).
+//!
+//! Engines never learn about versioning: a snapshot (or a live
+//! `VersionedTable` behind `&self`) presents itself through
+//! [`pdsm_exec::TableProvider`], whose [`pdsm_exec::Overlay`] extension
+//! tells each engine which main rows are tombstoned and which decoded tail
+//! rows follow the main store. Scanning `main − tombstones` then the live
+//! tail yields exactly the rows — in exactly the order — of a
+//! merged-then-scanned table.
+//!
+//! ## Concurrency
+//!
+//! [`SharedTable`] wraps a `VersionedTable` in an `RwLock`: writers take
+//! the write lock per operation (appends are O(1)); readers take the read
+//! lock only long enough to clone a snapshot and then query entirely
+//! lock-free. A merge builds the new main store and swaps it in; in-flight
+//! readers keep their pinned `Arc` and finish on the old version.
+//!
+//! ```
+//! use pdsm_txn::VersionedTable;
+//! use pdsm_storage::{ColumnDef, DataType, Schema, Value};
+//!
+//! let schema = Schema::new(vec![
+//!     ColumnDef::new("k", DataType::Int32),
+//!     ColumnDef::new("v", DataType::Int64),
+//! ]);
+//! let mut t = VersionedTable::new("kv", schema);
+//! let a = t.insert(&[Value::Int32(1), Value::Int64(10)]).unwrap();
+//! let snap = t.snapshot(); // pins version: sees exactly one row
+//! t.delete(a).unwrap();
+//! t.insert(&[Value::Int32(2), Value::Int64(20)]).unwrap();
+//! assert_eq!(snap.len(), 1);
+//! assert_eq!(t.len(), 1);
+//! let stats = t.merge().unwrap(); // fold delta into a fresh main store
+//! assert_eq!(stats.rows_after, 1);
+//! assert_eq!(snap.len(), 1); // old snapshot unaffected
+//! ```
+
+pub mod shared;
+pub mod table;
+pub mod version;
+
+pub use shared::SharedTable;
+pub use table::{MergeStats, RowId, VersionedTable, WriteStats};
+pub use version::{OverlayData, Snapshot};

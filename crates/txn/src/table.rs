@@ -1,0 +1,667 @@
+//! [`VersionedTable`]: an immutable main store plus an append-only delta
+//! with tombstones, merged on demand.
+
+use crate::version::{OverlayData, Snapshot};
+use pdsm_exec::{Overlay, TableProvider};
+use pdsm_storage::row::Row;
+use pdsm_storage::{ColId, DataType, Error, Layout, Result, Schema, Table, Value};
+use std::sync::{Arc, OnceLock};
+
+/// Stable row address within one merge generation.
+///
+/// Ids `0..main.len()` address main-store rows by position; ids from
+/// `main.len()` upward address delta rows by append ordinal. Ids stay valid
+/// until the next [`VersionedTable::merge`], which compacts the surviving
+/// rows and renumbers them `0..len` in scan order (main survivors first,
+/// then tail survivors).
+pub type RowId = usize;
+
+/// What one merge did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Generation published by this merge.
+    pub generation: u64,
+    /// Main-store rows before the merge.
+    pub main_rows_before: usize,
+    /// Tombstoned rows dropped (main and delta).
+    pub tombstones_dropped: usize,
+    /// Live delta rows folded into the new main store.
+    pub delta_rows_folded: usize,
+    /// Rows in the new main store.
+    pub rows_after: usize,
+}
+
+/// Cumulative write-path counters (reset never; survives merges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    pub inserts: u64,
+    pub updates: u64,
+    pub deletes: u64,
+    pub merges: u64,
+}
+
+/// A versioned table: immutable partitioned main + append-only row-format
+/// delta with tombstones. See the crate docs for the design.
+///
+/// All write operations take `&mut self`; concurrent single-writer /
+/// multi-reader use goes through [`crate::SharedTable`].
+#[derive(Debug)]
+pub struct VersionedTable {
+    main: Arc<Table>,
+    generation: u64,
+    /// Tombstone mask over the main store. Empty until the first main-row
+    /// delete, then sized `main.len()`.
+    dead_main: Vec<bool>,
+    dead_main_count: usize,
+    /// Delta rows in append order (normalized, decoded values).
+    tail: Vec<Row>,
+    /// Liveness of each tail row.
+    tail_alive: Vec<bool>,
+    tail_dead_count: usize,
+    /// Write operations applied since the last merge.
+    n_ops: u64,
+    stats: WriteStats,
+    /// Frozen overlay of the *current* state, shared by snapshots; reset by
+    /// every write so each version is computed at most once.
+    snap_cache: OnceLock<Arc<OverlayData>>,
+}
+
+impl Clone for VersionedTable {
+    fn clone(&self) -> Self {
+        VersionedTable {
+            main: self.main.clone(),
+            generation: self.generation,
+            dead_main: self.dead_main.clone(),
+            dead_main_count: self.dead_main_count,
+            tail: self.tail.clone(),
+            tail_alive: self.tail_alive.clone(),
+            tail_dead_count: self.tail_dead_count,
+            n_ops: self.n_ops,
+            stats: self.stats,
+            snap_cache: OnceLock::new(),
+        }
+    }
+}
+
+impl VersionedTable {
+    /// Wrap an already-built table (e.g. from a workload generator) as the
+    /// generation-0 main store with an empty delta.
+    pub fn from_table(table: Table) -> Self {
+        VersionedTable {
+            main: Arc::new(table),
+            generation: 0,
+            dead_main: Vec::new(),
+            dead_main_count: 0,
+            tail: Vec::new(),
+            tail_alive: Vec::new(),
+            tail_dead_count: 0,
+            n_ops: 0,
+            stats: WriteStats::default(),
+            snap_cache: OnceLock::new(),
+        }
+    }
+
+    /// New empty versioned table in row layout.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Self::from_table(Table::new(name, schema))
+    }
+
+    /// New empty versioned table with an explicit layout.
+    pub fn with_layout(name: impl Into<String>, schema: Schema, layout: Layout) -> Result<Self> {
+        Ok(Self::from_table(Table::with_layout(name, schema, layout)?))
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        self.main.name()
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        self.main.schema()
+    }
+
+    /// The read-optimized main store (excludes pending delta rows).
+    pub fn main(&self) -> &Table {
+        &self.main
+    }
+
+    /// Shared handle to the main store.
+    pub fn main_arc(&self) -> Arc<Table> {
+        self.main.clone()
+    }
+
+    /// Mutable access to the main store for bulk loading. Only valid while
+    /// the delta is empty — delta row ids are positions relative to the
+    /// main store, so growing it underneath them would corrupt addressing.
+    pub fn main_mut(&mut self) -> Result<&mut Table> {
+        if self.has_delta() {
+            return Err(Error::InvalidLayout(
+                "cannot mutate the main store with a pending delta; merge first".into(),
+            ));
+        }
+        self.snap_cache = OnceLock::new();
+        Ok(Arc::make_mut(&mut self.main))
+    }
+
+    /// Merge generation (0 for a fresh table, +1 per merge).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Cumulative write counters.
+    pub fn write_stats(&self) -> WriteStats {
+        self.stats
+    }
+
+    /// Number of visible rows (main − tombstones + live delta).
+    pub fn len(&self) -> usize {
+        self.main.len() - self.dead_main_count + self.tail.len() - self.tail_dead_count
+    }
+
+    /// True iff no rows are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Write operations applied since the last merge.
+    pub fn delta_ops(&self) -> u64 {
+        self.n_ops
+    }
+
+    /// Delta rows appended since the last merge (live or tombstoned) —
+    /// the natural merge-threshold metric: it is what scans pay for.
+    pub fn delta_rows(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// True iff any write happened since the last merge.
+    pub fn has_delta(&self) -> bool {
+        self.n_ops > 0
+    }
+
+    /// The id space upper bound (main rows + delta ordinals).
+    fn id_space(&self) -> usize {
+        self.main.len() + self.tail.len()
+    }
+
+    fn bump(&mut self) {
+        self.n_ops += 1;
+        self.snap_cache = OnceLock::new();
+    }
+
+    /// Normalize `v` for column `c`: exactly the type checking and widening
+    /// [`Table::insert`]'s encoder performs, so a delta row decodes
+    /// byte-identically to the same row inserted into a plain table.
+    fn normalize(&self, c: ColId, v: &Value) -> Result<Value> {
+        let def = &self.schema().columns()[c];
+        match (v, def.ty) {
+            (Value::Null, _) => {
+                if def.nullable {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::NullViolation(def.name.clone()))
+                }
+            }
+            (Value::Int32(x), DataType::Int32) => Ok(Value::Int32(*x)),
+            (Value::Int64(x), DataType::Int64) => Ok(Value::Int64(*x)),
+            (Value::Int32(x), DataType::Int64) => Ok(Value::Int64(*x as i64)),
+            (Value::Float64(x), DataType::Float64) => Ok(Value::Float64(*x)),
+            (Value::Int32(x), DataType::Float64) => Ok(Value::Float64(*x as f64)),
+            (Value::Str(s), DataType::Str) => Ok(Value::Str(s.clone())),
+            (v, ty) => Err(Error::TypeMismatch {
+                column: def.name.clone(),
+                expected: ty.name(),
+                got: v.type_name(),
+            }),
+        }
+    }
+
+    fn normalize_row(&self, values: &[Value]) -> Result<Row> {
+        if values.len() != self.schema().len() {
+            return Err(Error::ArityMismatch {
+                expected: self.schema().len(),
+                got: values.len(),
+            });
+        }
+        values
+            .iter()
+            .enumerate()
+            .map(|(c, v)| self.normalize(c, v))
+            .collect::<Result<Vec<_>>>()
+            .map(Row)
+    }
+
+    /// Append one row to the delta. Returns its [`RowId`].
+    pub fn insert(&mut self, values: &[Value]) -> Result<RowId> {
+        let row = self.normalize_row(values)?;
+        let id = self.id_space();
+        self.tail.push(row);
+        self.tail_alive.push(true);
+        self.stats.inserts += 1;
+        self.bump();
+        Ok(id)
+    }
+
+    /// Append many rows atomically: every row is validated before any is
+    /// appended, so a bad row leaves the table unchanged.
+    pub fn insert_batch(&mut self, rows: &[Vec<Value>]) -> Result<Vec<RowId>> {
+        let normalized: Vec<Row> = rows
+            .iter()
+            .map(|r| self.normalize_row(r))
+            .collect::<Result<_>>()?;
+        let base = self.id_space();
+        let ids = (base..base + normalized.len()).collect();
+        self.tail.extend(normalized);
+        self.tail_alive.resize(self.tail.len(), true);
+        self.stats.inserts += rows.len() as u64;
+        self.bump();
+        Ok(ids)
+    }
+
+    /// Is `id` in range and not tombstoned?
+    pub fn is_visible(&self, id: RowId) -> bool {
+        if id < self.main.len() {
+            self.dead_main.get(id).map(|d| !d).unwrap_or(true)
+        } else {
+            self.tail_alive
+                .get(id - self.main.len())
+                .copied()
+                .unwrap_or(false)
+        }
+    }
+
+    /// Read one visible row, decoded.
+    pub fn get(&self, id: RowId) -> Result<Row> {
+        if id >= self.id_space() {
+            return Err(Error::RowOutOfRange {
+                row: id,
+                len: self.id_space(),
+            });
+        }
+        if !self.is_visible(id) {
+            return Err(Error::RowDeleted { row: id });
+        }
+        if id < self.main.len() {
+            self.main.row(id)
+        } else {
+            Ok(self.tail[id - self.main.len()].clone())
+        }
+    }
+
+    /// Tombstone one visible row.
+    pub fn delete(&mut self, id: RowId) -> Result<()> {
+        if id >= self.id_space() {
+            return Err(Error::RowOutOfRange {
+                row: id,
+                len: self.id_space(),
+            });
+        }
+        if !self.is_visible(id) {
+            return Err(Error::RowDeleted { row: id });
+        }
+        if id < self.main.len() {
+            if self.dead_main.is_empty() {
+                self.dead_main = vec![false; self.main.len()];
+            }
+            self.dead_main[id] = true;
+            self.dead_main_count += 1;
+        } else {
+            self.tail_alive[id - self.main.len()] = false;
+            self.tail_dead_count += 1;
+        }
+        self.stats.deletes += 1;
+        self.bump();
+        Ok(())
+    }
+
+    /// Overwrite one cell of a visible row. Implemented as tombstone +
+    /// re-append (the delta is append-only), so the row moves to the end of
+    /// the scan order and gets a fresh id, which is returned.
+    pub fn update(&mut self, id: RowId, c: ColId, v: &Value) -> Result<RowId> {
+        if c >= self.schema().len() {
+            return Err(Error::UnknownColumn(c));
+        }
+        let normalized = self.normalize(c, v)?;
+        let mut row = self.get(id)?;
+        row.0[c] = normalized;
+        self.delete(id).expect("visible: just read");
+        let new_id = self.id_space();
+        self.tail.push(row);
+        self.tail_alive.push(true);
+        // delete() and this append are one logical operation
+        self.stats.deletes -= 1;
+        self.stats.updates += 1;
+        self.bump();
+        Ok(new_id)
+    }
+
+    /// The engine-facing overlay of the current state, or `None` when the
+    /// delta is empty.
+    pub fn overlay(&self) -> Option<Overlay<'_>> {
+        if !self.has_delta() {
+            return None;
+        }
+        Some(Overlay {
+            dead: &self.dead_main,
+            tail: &self.tail,
+            tail_alive: if self.tail_dead_count > 0 {
+                &self.tail_alive
+            } else {
+                &[]
+            },
+        })
+    }
+
+    /// All visible rows in scan order (main order, then tail append order).
+    pub fn rows(&self) -> impl Iterator<Item = Row> + '_ {
+        let main_live = (0..self.main.len())
+            .filter(move |&i| self.dead_main.get(i).map(|d| !d).unwrap_or(true))
+            .map(move |i| self.main.row(i).expect("in-range"));
+        let tail_live = self
+            .tail
+            .iter()
+            .zip(self.tail_alive.iter())
+            .filter(|(_, alive)| **alive)
+            .map(|(r, _)| r.clone());
+        main_live.chain(tail_live)
+    }
+
+    /// Take a consistent snapshot of the current version. O(1) when this
+    /// version has already been snapshotted; otherwise the overlay is
+    /// frozen once (O(delta + tombstone mask)) and shared.
+    pub fn snapshot(&self) -> Snapshot {
+        let overlay = if self.has_delta() {
+            Some(
+                self.snap_cache
+                    .get_or_init(|| {
+                        Arc::new(OverlayData {
+                            dead: self.dead_main.clone(),
+                            tail: self.tail.clone(),
+                            tail_alive: if self.tail_dead_count > 0 {
+                                self.tail_alive.clone()
+                            } else {
+                                Vec::new()
+                            },
+                        })
+                    })
+                    .clone(),
+            )
+        } else {
+            None
+        };
+        Snapshot {
+            main: self.main.clone(),
+            overlay,
+            generation: self.generation,
+        }
+    }
+
+    /// Fold the delta into a fresh main store under the current layout.
+    pub fn merge(&mut self) -> Result<MergeStats> {
+        self.merge_with_layout(self.main.layout().clone())
+    }
+
+    /// Fold the delta into a fresh main store under `layout` — the
+    /// re-layout entry point the advisor drives. Publishing swaps the main
+    /// `Arc`, so in-flight snapshots keep reading the old version. Row ids
+    /// are renumbered; with an empty delta this is a pure relayout and ids
+    /// are stable.
+    pub fn merge_with_layout(&mut self, layout: Layout) -> Result<MergeStats> {
+        let mut fresh = Table::with_layout(self.name().to_string(), self.schema().clone(), layout)?;
+        fresh.reserve(self.len());
+        for row in self.rows() {
+            fresh
+                .insert(row.values())
+                .expect("merge re-encodes already-normalized rows");
+        }
+        let stats = MergeStats {
+            generation: self.generation + 1,
+            main_rows_before: self.main.len(),
+            tombstones_dropped: self.dead_main_count + self.tail_dead_count,
+            delta_rows_folded: self.tail.len() - self.tail_dead_count,
+            rows_after: fresh.len(),
+        };
+        self.main = Arc::new(fresh);
+        self.generation += 1;
+        self.dead_main = Vec::new();
+        self.dead_main_count = 0;
+        self.tail = Vec::new();
+        self.tail_alive = Vec::new();
+        self.tail_dead_count = 0;
+        self.n_ops = 0;
+        self.stats.merges += 1;
+        self.snap_cache = OnceLock::new();
+        Ok(stats)
+    }
+
+    /// Approximate bytes held by the delta (tail rows + masks).
+    pub fn delta_byte_size(&self) -> usize {
+        let row_bytes: usize = self
+            .tail
+            .iter()
+            .map(|r| {
+                r.values()
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => 24 + s.len(),
+                        _ => 16,
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        row_bytes + self.dead_main.len() + self.tail_alive.len()
+    }
+}
+
+/// A live `VersionedTable` is itself a single-table provider: queries
+/// against `&self` see main ∪ delta − tombstones. (Rust's borrow rules make
+/// this safe without snapshotting: no write can happen during the borrow.)
+impl TableProvider for VersionedTable {
+    fn table(&self, name: &str) -> Option<&Table> {
+        (name == self.name()).then_some(&*self.main)
+    }
+
+    fn overlay(&self, name: &str) -> Option<Overlay<'_>> {
+        if name == self.name() {
+            self.overlay()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsm_storage::ColumnDef;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int32),
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::nullable("price", DataType::Float64),
+        ])
+    }
+
+    fn seeded() -> VersionedTable {
+        let mut base = Table::new("t", schema());
+        for i in 0..10 {
+            base.insert(&[
+                Value::Int32(i),
+                Value::Str(format!("n{}", i % 3)),
+                Value::Float64(i as f64),
+            ])
+            .unwrap();
+        }
+        VersionedTable::from_table(base)
+    }
+
+    #[test]
+    fn insert_delete_update_visibility() {
+        let mut t = seeded();
+        assert_eq!(t.len(), 10);
+        let id = t
+            .insert(&[Value::Int32(10), Value::Str("new".into()), Value::Null])
+            .unwrap();
+        assert_eq!(id, 10);
+        assert_eq!(t.len(), 11);
+        t.delete(3).unwrap();
+        assert_eq!(t.len(), 10);
+        assert!(matches!(t.delete(3), Err(Error::RowDeleted { row: 3 })));
+        assert!(matches!(t.get(3), Err(Error::RowDeleted { .. })));
+        let new_id = t.update(id, 1, &Value::Str("renamed".into())).unwrap();
+        assert_eq!(new_id, 11);
+        assert!(matches!(t.get(id), Err(Error::RowDeleted { .. })));
+        assert_eq!(t.get(new_id).unwrap().0[1], Value::Str("renamed".into()));
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn dml_error_paths() {
+        let mut t = seeded();
+        assert!(matches!(
+            t.insert(&[Value::Int32(1)]),
+            Err(Error::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(&[Value::Str("x".into()), Value::Str("y".into()), Value::Null]),
+            Err(Error::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(&[Value::Null, Value::Str("y".into()), Value::Null]),
+            Err(Error::NullViolation(_))
+        ));
+        assert!(matches!(
+            t.delete(999),
+            Err(Error::RowOutOfRange { row: 999, .. })
+        ));
+        assert!(matches!(
+            t.update(0, 99, &Value::Int32(1)),
+            Err(Error::UnknownColumn(99))
+        ));
+        // nothing above changed the table
+        assert_eq!(t.len(), 10);
+        assert!(!t.has_delta());
+    }
+
+    #[test]
+    fn insert_batch_is_atomic() {
+        let mut t = seeded();
+        let bad = vec![
+            vec![Value::Int32(20), Value::Str("a".into()), Value::Null],
+            vec![Value::Int32(21)], // arity error
+        ];
+        assert!(t.insert_batch(&bad).is_err());
+        assert_eq!(t.len(), 10);
+        assert!(!t.has_delta());
+        let good = vec![
+            vec![Value::Int32(20), Value::Str("a".into()), Value::Null],
+            vec![
+                Value::Int32(21),
+                Value::Str("b".into()),
+                Value::Float64(1.0),
+            ],
+        ];
+        assert_eq!(t.insert_batch(&good).unwrap(), vec![10, 11]);
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    fn snapshots_pin_versions() {
+        let mut t = seeded();
+        let s0 = t.snapshot();
+        t.insert(&[Value::Int32(100), Value::Str("x".into()), Value::Null])
+            .unwrap();
+        let s1 = t.snapshot();
+        t.delete(0).unwrap();
+        let s2 = t.snapshot();
+        assert_eq!(s0.len(), 10);
+        assert_eq!(s1.len(), 11);
+        assert_eq!(s2.len(), 10);
+        t.merge().unwrap();
+        // old snapshots still read their pinned versions
+        assert_eq!(s0.len(), 10);
+        assert_eq!(s1.len(), 11);
+        assert_eq!(s2.len(), 10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.generation(), 1);
+    }
+
+    #[test]
+    fn snapshot_overlay_shared_within_version() {
+        let mut t = seeded();
+        t.insert(&[Value::Int32(100), Value::Str("x".into()), Value::Null])
+            .unwrap();
+        let a = t.snapshot();
+        let b = t.snapshot();
+        assert!(Arc::ptr_eq(
+            a.overlay.as_ref().unwrap(),
+            b.overlay.as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn merge_compacts_and_renumbers() {
+        let mut t = seeded();
+        t.delete(0).unwrap();
+        t.delete(9).unwrap();
+        t.insert(&[Value::Int32(50), Value::Str("tail".into()), Value::Null])
+            .unwrap();
+        let stats = t.merge().unwrap();
+        assert_eq!(stats.main_rows_before, 10);
+        assert_eq!(stats.tombstones_dropped, 2);
+        assert_eq!(stats.delta_rows_folded, 1);
+        assert_eq!(stats.rows_after, 9);
+        assert_eq!(t.main().len(), 9);
+        assert!(!t.has_delta());
+        // scan order: surviving main rows, then the folded tail row
+        assert_eq!(t.get(0).unwrap().0[0], Value::Int32(1));
+        assert_eq!(t.get(8).unwrap().0[0], Value::Int32(50));
+    }
+
+    #[test]
+    fn merge_into_different_layout_preserves_rows() {
+        let mut t = seeded();
+        t.delete(2).unwrap();
+        t.insert(&[Value::Int32(77), Value::Str("n0".into()), Value::Null])
+            .unwrap();
+        let before: Vec<Row> = t.rows().collect();
+        t.merge_with_layout(Layout::column(3)).unwrap();
+        let after: Vec<Row> = t.rows().collect();
+        assert_eq!(before, after);
+        assert_eq!(t.main().layout().n_groups(), 3);
+    }
+
+    #[test]
+    fn widening_matches_table_encoding() {
+        let mut t = VersionedTable::new(
+            "w",
+            Schema::new(vec![
+                ColumnDef::new("f", DataType::Float64),
+                ColumnDef::new("l", DataType::Int64),
+            ]),
+        );
+        let id = t.insert(&[Value::Int32(3), Value::Int32(4)]).unwrap();
+        assert_eq!(
+            t.get(id).unwrap().0,
+            vec![Value::Float64(3.0), Value::Int64(4)]
+        );
+        t.merge().unwrap();
+        assert_eq!(
+            t.get(0).unwrap().0,
+            vec![Value::Float64(3.0), Value::Int64(4)]
+        );
+    }
+
+    #[test]
+    fn main_mut_requires_empty_delta() {
+        let mut t = seeded();
+        assert!(t.main_mut().is_ok());
+        t.insert(&[Value::Int32(1), Value::Str("x".into()), Value::Null])
+            .unwrap();
+        assert!(t.main_mut().is_err());
+        t.merge().unwrap();
+        assert!(t.main_mut().is_ok());
+    }
+}

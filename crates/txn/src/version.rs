@@ -1,0 +1,117 @@
+//! Frozen version state: the overlay data snapshots pin, and the
+//! [`Snapshot`] handle itself.
+
+use pdsm_exec::{Overlay, TableProvider};
+use pdsm_storage::row::Row;
+use pdsm_storage::Table;
+use std::sync::Arc;
+
+/// An owned, immutable copy of one version's delta overlay: which main rows
+/// are tombstoned and which decoded rows follow the main store. Shared by
+/// every snapshot of the same version via `Arc`.
+#[derive(Debug, Clone, Default)]
+pub struct OverlayData {
+    /// `dead[i]` → main row `i` is invisible. Empty = no tombstones.
+    pub dead: Vec<bool>,
+    /// Rows appended after the main store (decoded, full schema width).
+    pub tail: Vec<Row>,
+    /// Liveness of tail rows. Empty = all live.
+    pub tail_alive: Vec<bool>,
+}
+
+impl OverlayData {
+    /// The borrowed view engines consume.
+    pub fn as_overlay(&self) -> Overlay<'_> {
+        Overlay {
+            dead: &self.dead,
+            tail: &self.tail,
+            tail_alive: &self.tail_alive,
+        }
+    }
+
+    /// Number of live tail rows.
+    pub fn live_tail_len(&self) -> usize {
+        self.as_overlay().live_tail_len()
+    }
+
+    /// Number of tombstoned main rows.
+    pub fn dead_main_len(&self) -> usize {
+        self.dead.iter().filter(|d| **d).count()
+    }
+}
+
+/// A consistent, immutable view of one table version: the pinned main store
+/// plus (when the version has pending writes) a frozen overlay.
+///
+/// Snapshots are cheap to clone, `Send + Sync`, and independent of the
+/// writer: queries against a snapshot are wait-free. A snapshot is also a
+/// single-table [`TableProvider`], so it can be handed directly to any
+/// engine.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub(crate) main: Arc<Table>,
+    pub(crate) overlay: Option<Arc<OverlayData>>,
+    pub(crate) generation: u64,
+}
+
+impl Snapshot {
+    /// The pinned read-optimized main store.
+    pub fn main(&self) -> &Table {
+        &self.main
+    }
+
+    /// The pinned overlay, if this version has pending delta rows or
+    /// tombstones.
+    pub fn overlay(&self) -> Option<Overlay<'_>> {
+        self.overlay.as_ref().map(|o| o.as_overlay())
+    }
+
+    /// Merge generation this snapshot pins (bumped by every merge).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of rows visible to this snapshot.
+    pub fn len(&self) -> usize {
+        match &self.overlay {
+            None => self.main.len(),
+            Some(o) => self.main.len() - o.dead_main_len() + o.live_tail_len(),
+        }
+    }
+
+    /// True iff no rows are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All visible rows in scan order (main-store order, then tail append
+    /// order), decoded. Intended for tests and verification, not hot paths.
+    pub fn rows(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.len());
+        let overlay = self.overlay.as_ref().map(|o| o.as_overlay());
+        for i in 0..self.main.len() {
+            if overlay.as_ref().map(|o| o.is_dead(i)).unwrap_or(false) {
+                continue;
+            }
+            out.push(self.main.row(i).expect("in-range"));
+        }
+        if let Some(o) = overlay {
+            out.extend(o.live_tail().cloned());
+        }
+        out
+    }
+}
+
+impl TableProvider for Snapshot {
+    fn table(&self, name: &str) -> Option<&Table> {
+        (name == self.main.name()).then_some(&*self.main)
+    }
+
+    fn overlay(&self, name: &str) -> Option<Overlay<'_>> {
+        if name == self.main.name() {
+            self.overlay.as_ref().map(|o| o.as_overlay())
+        } else {
+            None
+        }
+    }
+}

@@ -21,6 +21,7 @@
 pub mod ch;
 pub mod cnet;
 pub mod microbench;
+pub mod mixed;
 pub mod sapsd;
 
 use pdsm_plan::logical::LogicalPlan;

@@ -16,6 +16,7 @@ pub use pdsm_layout as layout;
 pub use pdsm_par as par;
 pub use pdsm_plan as plan;
 pub use pdsm_storage as storage;
+pub use pdsm_txn as txn;
 pub use pdsm_workloads as workloads;
 
 /// Commonly used items, re-exported for examples and quick experiments.
@@ -28,4 +29,5 @@ pub mod prelude {
     pub use pdsm_plan::expr::Expr;
     pub use pdsm_plan::logical::{AggExpr, AggFunc, LogicalPlan};
     pub use pdsm_storage::{ColumnDef, DataType, Layout, Schema, Table, Value};
+    pub use pdsm_txn::{MergeStats, SharedTable, Snapshot, VersionedTable};
 }

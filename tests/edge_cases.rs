@@ -186,6 +186,141 @@ fn vectorized_agrees_on_supported_subset() {
 }
 
 #[test]
+fn storage_dml_errors_never_panic() {
+    use mrdb::storage::Error;
+    let mut t = Table::new(
+        "t",
+        Schema::new(vec![
+            ColumnDef::new("i", DataType::Int32),
+            ColumnDef::new("s", DataType::Str),
+            ColumnDef::nullable("f", DataType::Float64),
+        ]),
+    );
+    t.insert(&[Value::Int32(1), Value::Str("a".into()), Value::Null])
+        .unwrap();
+
+    // wrong arity, both directions
+    assert!(matches!(
+        t.insert(&[Value::Int32(1)]),
+        Err(Error::ArityMismatch {
+            expected: 3,
+            got: 1
+        })
+    ));
+    assert!(matches!(
+        t.insert(&vec![Value::Int32(1); 5]),
+        Err(Error::ArityMismatch {
+            expected: 3,
+            got: 5
+        })
+    ));
+    // wrong type / NULL into non-nullable
+    assert!(matches!(
+        t.insert(&[Value::Str("x".into()), Value::Str("a".into()), Value::Null]),
+        Err(Error::TypeMismatch { .. })
+    ));
+    assert!(matches!(
+        t.insert(&[Value::Int32(1), Value::Null, Value::Null]),
+        Err(Error::NullViolation(_))
+    ));
+    // update: row and column out of range, wrong type
+    assert!(matches!(
+        t.update(99, 0, &Value::Int32(0)),
+        Err(Error::RowOutOfRange { row: 99, len: 1 })
+    ));
+    assert!(matches!(
+        t.update(0, 42, &Value::Int32(0)),
+        Err(Error::UnknownColumn(42))
+    ));
+    assert!(matches!(
+        t.update(0, 0, &Value::Float64(1.0)),
+        Err(Error::TypeMismatch { .. })
+    ));
+    // get: row and column out of range
+    assert!(matches!(
+        t.get(99, 0),
+        Err(Error::RowOutOfRange { row: 99, len: 1 })
+    ));
+    assert!(matches!(t.get(0, 42), Err(Error::UnknownColumn(42))));
+    // none of the failures changed the table
+    assert_eq!(t.len(), 1);
+    assert_eq!(
+        t.row(0).unwrap().0,
+        vec![Value::Int32(1), Value::Str("a".into()), Value::Null]
+    );
+}
+
+#[test]
+fn storage_insert_batch_is_all_or_nothing() {
+    use mrdb::storage::Error;
+    let mut t = Table::new(
+        "t",
+        Schema::new(vec![
+            ColumnDef::new("i", DataType::Int32),
+            ColumnDef::new("s", DataType::Str),
+        ]),
+    );
+    let bad_middle = vec![
+        vec![Value::Int32(1), Value::Str("a".into())],
+        vec![Value::Int32(2), Value::Int32(2)], // type error
+        vec![Value::Int32(3), Value::Str("c".into())],
+    ];
+    assert!(matches!(
+        t.insert_batch(&bad_middle),
+        Err(Error::TypeMismatch { .. })
+    ));
+    assert_eq!(t.len(), 0, "failed batch must insert nothing");
+    for p in t.partitions() {
+        assert_eq!(p.len(), 0, "partitions must stay consistent");
+    }
+    t.insert_batch(&[
+        vec![Value::Int32(1), Value::Str("a".into())],
+        vec![Value::Int32(2), Value::Str("b".into())],
+    ])
+    .unwrap();
+    assert_eq!(t.len(), 2);
+}
+
+#[test]
+fn versioned_dml_errors_and_tombstone_addressing() {
+    use mrdb::core::DbError;
+    use mrdb::storage::Error;
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            ColumnDef::new("i", DataType::Int32),
+            ColumnDef::new("s", DataType::Str),
+        ]),
+    )
+    .unwrap();
+    let a = db
+        .insert("t", &[Value::Int32(1), Value::from("x")])
+        .unwrap();
+    assert!(matches!(
+        db.insert("t", &[Value::Int32(1)]),
+        Err(DbError::Storage(Error::ArityMismatch { .. }))
+    ));
+    assert!(db.update("t", a, "nope", &Value::Int32(2)).is_err());
+    db.delete("t", a).unwrap();
+    assert!(matches!(
+        db.delete("t", a),
+        Err(DbError::Storage(Error::RowDeleted { .. }))
+    ));
+    assert!(matches!(
+        db.update("t", a, "i", &Value::Int32(2)),
+        Err(DbError::Storage(Error::RowDeleted { .. }))
+    ));
+    assert!(matches!(
+        db.delete("t", 999),
+        Err(DbError::Storage(Error::RowOutOfRange { .. }))
+    ));
+    // after merge the id space is compacted; old ids are out of range
+    db.merge("t").unwrap();
+    assert!(db.versioned("t").unwrap().is_empty());
+}
+
+#[test]
 fn sixty_four_column_table_round_trips() {
     let cols: Vec<ColumnDef> = (0..64)
         .map(|i| ColumnDef::new(format!("c{i}"), DataType::Int32))

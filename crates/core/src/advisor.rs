@@ -140,6 +140,21 @@ impl LayoutAdvisor {
         }
         Ok(report)
     }
+
+    /// Advise from the traffic [`Database::execute`] has observed (see
+    /// [`Database::observed_workload`]) — the closed loop the planner
+    /// enables: run queries, then let the merge re-advise from what
+    /// actually ran.
+    pub fn advise_observed(&self, db: &Database) -> AdvisorReport {
+        self.advise(db, &db.observed_workload())
+    }
+
+    /// Re-layout every table the observed workload touches, per its own
+    /// advice.
+    pub fn apply_observed(&self, db: &mut Database) -> Result<AdvisorReport, DbError> {
+        let workload = db.observed_workload();
+        self.apply(db, &workload)
+    }
 }
 
 #[cfg(test)]

@@ -7,18 +7,29 @@
 //! engines' [`pdsm_exec::Overlay`] support; [`Database::merge`] (or
 //! [`Database::relayout`], which is a merge under a new layout) folds the
 //! delta into a fresh main store and refreshes secondary indexes.
+//!
+//! Queries enter through [`Database::execute`]: the cost-based planner
+//! (`crate::planner`) lowers the logical plan to a [`PhysicalPlan`] —
+//! choosing engine and access path via `pdsm_cost::estimate` — caches it
+//! keyed on the tables' merge generations, and dispatches. [`Database::run`]
+//! remains as the forced-engine escape hatch benchmarks and differential
+//! tests use.
 
+use crate::planner::Planner;
 use pdsm_exec::engine::{
     BulkEngine, CompiledEngine, Engine, ExecError, Overlay, TableProvider, VolcanoEngine,
 };
-use pdsm_exec::QueryOutput;
+use pdsm_exec::{QueryOutput, VectorizedEngine};
 use pdsm_index::{HashIndex, Index, RBTree};
+use pdsm_layout::workload::{Workload, WorkloadQuery};
 use pdsm_par::ParallelEngine;
 use pdsm_plan::expr::{CmpOp, Expr};
 use pdsm_plan::logical::LogicalPlan;
+use pdsm_plan::physical::{AccessPath, EngineChoice, PhysicalPlan};
 use pdsm_storage::{ColId, DataType, Layout, Schema, Table, Value};
 use pdsm_txn::{MergeStats, RowId, Snapshot, VersionedTable};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Which execution engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +40,10 @@ pub enum EngineKind {
     Bulk,
     /// Data-centric fused pipelines (the paper's model).
     Compiled,
+    /// Block-at-a-time processing with cache-resident selection vectors
+    /// (MonetDB/X100 model). Supports single-table scan pipelines only —
+    /// check [`EngineKind::supports`] before dispatching joins or sorts.
+    Vectorized,
     /// Morsel-driven parallel execution of the compiled pipelines
     /// (`pdsm-par`). Thread count comes from `PDSM_THREADS` or the
     /// machine; use [`pdsm_par::ParallelEngine::with_threads`] directly to
@@ -38,6 +53,8 @@ pub enum EngineKind {
 
 /// The default parallel engine instance (automatic thread resolution).
 static PARALLEL: ParallelEngine = ParallelEngine::new();
+/// The default vectorized engine instance (X100's ~1k vector sweet spot).
+static VECTORIZED: VectorizedEngine = VectorizedEngine { vector_size: 1024 };
 
 impl EngineKind {
     /// The engine object.
@@ -46,6 +63,7 @@ impl EngineKind {
             EngineKind::Volcano => &VolcanoEngine,
             EngineKind::Bulk => &BulkEngine,
             EngineKind::Compiled => &CompiledEngine,
+            EngineKind::Vectorized => &VECTORIZED,
             EngineKind::Parallel => &PARALLEL,
         }
     }
@@ -53,13 +71,50 @@ impl EngineKind {
     /// All engines, for differential testing. Test helpers should iterate
     /// this rather than naming engines, so new engines are covered
     /// everywhere automatically.
-    pub fn all() -> [EngineKind; 4] {
+    pub fn all() -> [EngineKind; 5] {
         [
             EngineKind::Volcano,
             EngineKind::Bulk,
             EngineKind::Compiled,
+            EngineKind::Vectorized,
             EngineKind::Parallel,
         ]
+    }
+
+    /// Can this engine execute `plan`? Everything but the vectorized
+    /// engine handles the full operator vocabulary; the vectorized engine
+    /// is limited to single-table scan pipelines. Differential drivers
+    /// iterate [`EngineKind::all`] and skip unsupported combinations; the
+    /// planner never selects an engine that cannot run the plan.
+    pub fn supports(&self, plan: &LogicalPlan) -> bool {
+        match self {
+            EngineKind::Vectorized => VectorizedEngine::supports(plan),
+            _ => true,
+        }
+    }
+}
+
+impl From<EngineChoice> for EngineKind {
+    fn from(c: EngineChoice) -> Self {
+        match c {
+            EngineChoice::Volcano => EngineKind::Volcano,
+            EngineChoice::Bulk => EngineKind::Bulk,
+            EngineChoice::Vectorized => EngineKind::Vectorized,
+            EngineChoice::Compiled => EngineKind::Compiled,
+            EngineChoice::Parallel => EngineKind::Parallel,
+        }
+    }
+}
+
+impl From<EngineKind> for EngineChoice {
+    fn from(k: EngineKind) -> Self {
+        match k {
+            EngineKind::Volcano => EngineChoice::Volcano,
+            EngineKind::Bulk => EngineChoice::Bulk,
+            EngineKind::Vectorized => EngineChoice::Vectorized,
+            EngineKind::Compiled => EngineChoice::Compiled,
+            EngineKind::Parallel => EngineChoice::Parallel,
+        }
     }
 }
 
@@ -113,14 +168,49 @@ impl From<ExecError> for DbError {
     }
 }
 
+/// Upper bound on cached physical plans; the cache is cleared wholesale
+/// when it fills (plans are cheap to recompute).
+const PLAN_CACHE_CAP: usize = 256;
+/// Upper bound on *distinct* plans the observed workload records;
+/// frequencies of already-recorded plans keep counting past it.
+const OBSERVED_CAP: usize = 512;
+
+/// One cached lowering: valid while the catalog shape and every referenced
+/// table's `(generation, delta_ops)` fingerprint are unchanged — the merge
+/// generation counter `pdsm-txn` maintains is exactly the invalidation
+/// token the cache needs.
+struct CachedPlan {
+    epoch: u64,
+    deps: Vec<(String, u64, u64)>,
+    phys: Arc<PhysicalPlan>,
+}
+
+/// The observed workload plus an O(1) dedup index over it, so recording a
+/// repeat plan on the execute hot path never walks the query list.
+#[derive(Default)]
+struct ObservedTraffic {
+    workload: Workload,
+    /// `format!("{plan:?}")` → position in `workload.queries`.
+    by_key: HashMap<String, usize>,
+}
+
 /// An in-memory database: catalog of versioned tables + secondary indexes.
 #[derive(Default)]
 pub struct Database {
     tables: HashMap<String, VersionedTable>,
-    /// `(table, column) → index`. Indexes cover the main store only; they
-    /// are rebuilt by [`Database::merge`], and the indexed execution path
-    /// declines tables with a pending delta.
+    /// `(table, column) → index`. Indexes cover the main store only and
+    /// are rebuilt by [`Database::merge`]; the indexed execution path
+    /// unions probe hits with a scan of the live delta tail, so identity
+    /// selects stay indexed under write load.
     indexes: HashMap<(String, ColId), Index>,
+    /// Bumped by every catalog-shape change (table created/registered,
+    /// index created/dropped); part of the plan-cache validity key.
+    catalog_epoch: u64,
+    /// Physical plans keyed by the logical plan's rendering.
+    plan_cache: Mutex<HashMap<String, CachedPlan>>,
+    /// Every plan routed through [`Database::execute`], deduplicated with
+    /// frequencies — the observed traffic `relayout`/merge re-advise from.
+    observed: Mutex<ObservedTraffic>,
 }
 
 impl Database {
@@ -142,6 +232,7 @@ impl Database {
         let name = table.name().to_string();
         self.indexes.retain(|(t, _), _| t != &name);
         self.tables.insert(name, VersionedTable::from_table(table));
+        self.catalog_epoch += 1;
     }
 
     /// Create a table with an explicit layout.
@@ -156,6 +247,7 @@ impl Database {
         }
         let t = VersionedTable::with_layout(name, schema, layout)?;
         self.tables.insert(name.to_string(), t);
+        self.catalog_epoch += 1;
         Ok(())
     }
 
@@ -284,6 +376,7 @@ impl Database {
         }
         let idx = build_index(t, col, kind);
         self.indexes.insert((table.to_string(), col), idx);
+        self.catalog_epoch += 1;
         Ok(())
     }
 
@@ -320,6 +413,7 @@ impl Database {
         let t = self.get_table(table)?;
         let col = t.schema().col_id(column)?;
         self.indexes.remove(&(table.to_string(), col));
+        self.catalog_epoch += 1;
         Ok(())
     }
 
@@ -328,100 +422,296 @@ impl Database {
         self.indexes.get(&(table.to_string(), col))
     }
 
-    /// Execute `plan` with the chosen engine, without index acceleration.
+    /// Execute `plan` with the chosen engine, without index acceleration —
+    /// the forced-engine escape hatch benchmarks and differential tests
+    /// use. Routine queries should go through [`Database::execute`].
     pub fn run(&self, plan: &LogicalPlan, engine: EngineKind) -> Result<QueryOutput, DbError> {
         Ok(engine.engine().execute(plan, self)?)
     }
 
+    /// Execute `plan` through the cost-based planner: lower it to a
+    /// [`PhysicalPlan`] (cached per catalog/generation fingerprint), record
+    /// it in the observed workload, and dispatch to the chosen engine or
+    /// index probe. Results are byte-identical to every fixed engine.
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<QueryOutput, DbError> {
+        // One rendering serves both the plan cache and the observed-
+        // workload dedup — it is the only per-plan string work on a
+        // cache-hit execute.
+        let key = format!("{plan:?}");
+        let phys = self.plan_query_keyed(plan, &key)?;
+        self.record_observed(plan, key);
+        self.execute_physical(&phys)
+    }
+
+    /// Lower `plan` to its [`PhysicalPlan`] without executing it. Cached:
+    /// repeated calls return the same `Arc` until a referenced table's
+    /// merge generation or delta fingerprint moves, or the catalog changes
+    /// shape (table registered, index created/dropped).
+    pub fn plan_query(&self, plan: &LogicalPlan) -> Result<Arc<PhysicalPlan>, DbError> {
+        self.plan_query_keyed(plan, &format!("{plan:?}"))
+    }
+
+    fn plan_query_keyed(
+        &self,
+        plan: &LogicalPlan,
+        key: &str,
+    ) -> Result<Arc<PhysicalPlan>, DbError> {
+        let mut deps: Vec<(String, u64, u64)> = Vec::new();
+        for t in plan.tables() {
+            if deps.iter().any(|(n, _, _)| n == t) {
+                continue;
+            }
+            let vt = self.versioned(t)?;
+            deps.push((t.to_string(), vt.generation(), vt.delta_ops()));
+        }
+        {
+            let cache = self.plan_cache.lock().unwrap();
+            if let Some(c) = cache.get(key) {
+                if c.epoch == self.catalog_epoch && c.deps == deps {
+                    return Ok(c.phys.clone());
+                }
+            }
+        }
+        let phys = Arc::new(Planner::default().plan(self, plan)?);
+        let mut cache = self.plan_cache.lock().unwrap();
+        if cache.len() >= PLAN_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(
+            key.to_string(),
+            CachedPlan {
+                epoch: self.catalog_epoch,
+                deps,
+                phys: phys.clone(),
+            },
+        );
+        Ok(phys)
+    }
+
+    /// The `EXPLAIN` of `plan`: the physical plan's rendering — chosen
+    /// engine, per-pipeline access path, model cost and all priced
+    /// alternatives.
+    pub fn explain(&self, plan: &LogicalPlan) -> Result<String, DbError> {
+        Ok(self.plan_query(plan)?.explain())
+    }
+
+    /// Execute an already-lowered plan: index-probe pipelines run the
+    /// overlay-aware probe + delta-tail union; everything else dispatches
+    /// to the chosen engine.
+    pub fn execute_physical(&self, phys: &PhysicalPlan) -> Result<QueryOutput, DbError> {
+        if phys.access().is_indexed() {
+            if let Some(cand) = self.index_candidate(&phys.logical) {
+                if let Some(out) = self.run_index_candidate(&phys.logical, &cand)? {
+                    return Ok(out);
+                }
+            }
+            // Index dropped (or reshaped) since planning — scan instead.
+        }
+        self.run(&phys.logical, phys.engine.into())
+    }
+
     /// Execute `plan`, using an index for the outermost selection when one
     /// matches (the Fig.-10 "indexed" execution path); falls back to the
-    /// engine otherwise.
+    /// engine otherwise. Probes are delta-aware: main-store hits minus
+    /// tombstones, unioned with the filtered live tail.
     pub fn run_indexed(
         &self,
         plan: &LogicalPlan,
         engine: EngineKind,
     ) -> Result<QueryOutput, DbError> {
-        if let Some(out) = self.try_index_path(plan)? {
-            return Ok(out);
+        if let Some(cand) = self.index_candidate(plan) {
+            if let Some(out) = self.run_index_candidate(plan, &cand)? {
+                return Ok(out);
+            }
         }
         self.run(plan, engine)
     }
 
     /// Recognize `[Project] (Select (Scan))` plans whose predicate contains
-    /// an indexed equality or range conjunct; evaluate via the index plus
-    /// residual filtering and tuple reconstruction.
-    fn try_index_path(&self, plan: &LogicalPlan) -> Result<Option<QueryOutput>, DbError> {
-        // Peel an optional projection.
+    /// an indexed equality or range conjunct, and name the probe that
+    /// serves it. Pure shape/catalog matching — no data access, so the
+    /// planner prices the candidate before anything is fetched. A point
+    /// probe (one key's bucket) is preferred over a range probe whatever
+    /// the conjunct order.
+    pub(crate) fn index_candidate(&self, plan: &LogicalPlan) -> Option<IndexCandidate> {
+        let inner = match plan {
+            LogicalPlan::Project { input, .. } => input.as_ref(),
+            other => other,
+        };
+        let LogicalPlan::Select { input, pred, .. } = inner else {
+            return None;
+        };
+        let LogicalPlan::Scan { table } = input.as_ref() else {
+            return None;
+        };
+        let t = self.tables.get(table)?.main();
+        let mut range_cand: Option<IndexCandidate> = None;
+        for conj in conjuncts(pred) {
+            let Some((col, op, lit)) = simple_cmp(conj) else {
+                continue;
+            };
+            let Some(idx) = self.index(table, col) else {
+                continue;
+            };
+            match op {
+                CmpOp::Eq => {
+                    // The probe keys integers by value and strings by
+                    // dictionary code; a literal of any other type (or a
+                    // cross-type comparison the engines would coerce,
+                    // e.g. Int32 column = Float64 literal) has no index
+                    // key, so the probe would silently miss main-store
+                    // hits — leave those shapes to the scan path.
+                    let ty = t.schema().columns()[col].ty;
+                    let keyable = matches!(
+                        (ty, lit),
+                        (
+                            DataType::Int32 | DataType::Int64,
+                            Value::Int32(_) | Value::Int64(_)
+                        ) | (DataType::Str, Value::Str(_))
+                    );
+                    if !keyable {
+                        continue;
+                    }
+                    return Some(IndexCandidate {
+                        table: table.clone(),
+                        col,
+                        access: AccessPath::IndexPoint {
+                            column: col,
+                            key: lit.clone(),
+                        },
+                    });
+                }
+                CmpOp::Le | CmpOp::Lt | CmpOp::Ge | CmpOp::Gt
+                    if range_cand.is_none()
+                        && matches!(idx, Index::RBTree(_))
+                        && t.schema().columns()[col].ty != DataType::Str =>
+                {
+                    if let Some(k) = lit.as_i64() {
+                        // Saturating strict bounds can over-include one
+                        // key at the i64 extremes; that is safe — the
+                        // probe re-applies the full predicate to every
+                        // fetched row — whereas excluding a key would
+                        // silently drop rows.
+                        let (lo, hi) = match op {
+                            CmpOp::Le => (i64::MIN, k),
+                            CmpOp::Lt => (i64::MIN, k.saturating_sub(1)),
+                            CmpOp::Ge => (k, i64::MAX),
+                            CmpOp::Gt => (k.saturating_add(1), i64::MAX),
+                            _ => unreachable!(),
+                        };
+                        range_cand = Some(IndexCandidate {
+                            table: table.clone(),
+                            col,
+                            access: AccessPath::IndexRange {
+                                column: col,
+                                lo,
+                                hi,
+                            },
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        range_cand
+    }
+
+    /// Evaluate `plan` via an index candidate: probe the main-store index,
+    /// drop tombstoned hits, residual-filter and project the survivors,
+    /// then union the live delta tail (full predicate, append order). Rows
+    /// come out in scan order — main order then tail order — exactly what
+    /// an engine scan of the same plan produces. Returns `Ok(None)` when
+    /// the candidate no longer matches the catalog (caller falls back to
+    /// the engine).
+    fn run_index_candidate(
+        &self,
+        plan: &LogicalPlan,
+        cand: &IndexCandidate,
+    ) -> Result<Option<QueryOutput>, DbError> {
         let (project, inner) = match plan {
             LogicalPlan::Project { input, exprs } => (Some(exprs), input.as_ref()),
             other => (None, other),
         };
-        let LogicalPlan::Select { input, pred, .. } = inner else {
+        let LogicalPlan::Select { pred, .. } = inner else {
             return Ok(None);
         };
-        let LogicalPlan::Scan { table } = input.as_ref() else {
+        let vt = self.versioned(&cand.table)?;
+        let t = vt.main();
+        let Some(idx) = self.index(&cand.table, cand.col) else {
             return Ok(None);
         };
-        // Indexes cover the main store only; with a pending delta the
-        // engine scan path (which understands overlays) is authoritative.
-        if self.versioned(table)?.has_delta() {
-            return Ok(None);
-        }
-        let t = self.get_table(table)?;
-        // find an indexed conjunct
-        let mut rows: Option<Vec<u32>> = None;
-        for conj in conjuncts(pred) {
-            if let Some((col, op, lit)) = simple_cmp(conj) {
-                if let Some(idx) = self.index(table, col) {
-                    match op {
-                        CmpOp::Eq => {
-                            if let Some(key) = key_of_value(t, col, lit) {
-                                rows = Some(idx.lookup(key));
-                            } else {
-                                rows = Some(Vec::new()); // value not in dict
-                            }
-                            break;
-                        }
-                        CmpOp::Le | CmpOp::Lt | CmpOp::Ge | CmpOp::Gt
-                            if t.schema().columns()[col].ty != DataType::Str =>
-                        {
-                            if let Some(k) = lit.as_i64() {
-                                let (lo, hi) = match op {
-                                    CmpOp::Le => (i64::MIN + 1, k),
-                                    CmpOp::Lt => (i64::MIN + 1, k - 1),
-                                    CmpOp::Ge => (k, i64::MAX),
-                                    CmpOp::Gt => (k + 1, i64::MAX),
-                                    _ => unreachable!(),
-                                };
-                                if let Some(r) = idx.lookup_range(lo, hi) {
-                                    rows = Some(r);
-                                    break;
-                                }
-                            }
-                        }
-                        _ => {}
-                    }
-                }
-            }
-        }
-        let Some(mut rows) = rows else {
-            return Ok(None);
+        let mut rows = match &cand.access {
+            AccessPath::IndexPoint { key, .. } => match key_of_value(t, cand.col, key) {
+                Some(k) => idx.lookup(k),
+                None => Vec::new(), // value not in dictionary → no main hits
+            },
+            AccessPath::IndexRange { lo, hi, .. } => match idx.lookup_range(*lo, *hi) {
+                Some(r) => r,
+                None => return Ok(None), // index lost range support
+            },
+            AccessPath::FullScan => return Ok(None),
         };
         rows.sort_unstable();
-        // residual filter + projection via tuple reconstruction
+        let overlay = vt.overlay();
+        let materialize = |values: &[Value]| -> Vec<Value> {
+            match project {
+                Some(exprs) => exprs.iter().map(|e| e.eval(values)).collect(),
+                None => values.to_vec(),
+            }
+        };
         let mut out = QueryOutput::new();
         for r in rows {
+            if overlay.as_ref().is_some_and(|o| o.is_dead(r as usize)) {
+                continue;
+            }
             let row = t.row(r as usize)?;
             if !pred.eval_bool(row.values()) {
                 continue;
             }
-            let projected = match project {
-                Some(exprs) => exprs.iter().map(|e| e.eval(row.values())).collect(),
-                None => row.0,
-            };
-            out.rows.push(projected);
+            out.rows.push(materialize(row.values()));
+        }
+        if let Some(o) = overlay.as_ref() {
+            for row in o.live_tail() {
+                if !pred.eval_bool(row.values()) {
+                    continue;
+                }
+                out.rows.push(materialize(row.values()));
+            }
         }
         Ok(Some(out))
+    }
+
+    /// Record one executed plan into the observed workload (deduplicated;
+    /// repeats bump the frequency). `key` is the plan's rendering, shared
+    /// with the plan cache so `execute` formats it once.
+    fn record_observed(&self, plan: &LogicalPlan, key: String) {
+        let mut o = self.observed.lock().unwrap();
+        if let Some(&i) = o.by_key.get(&key) {
+            o.workload.queries[i].frequency += 1.0;
+            return;
+        }
+        let i = o.workload.queries.len();
+        if i >= OBSERVED_CAP {
+            return;
+        }
+        let name = format!("observed-{i}");
+        o.workload.push(WorkloadQuery::new(name, plan.clone()));
+        o.by_key.insert(key, i);
+    }
+
+    /// The traffic [`Database::execute`] has routed so far, as a
+    /// [`pdsm_layout::workload::Workload`]: one weighted entry per distinct
+    /// plan. Feed it to [`crate::LayoutAdvisor`] so `relayout`/merge can
+    /// re-advise from what actually ran.
+    pub fn observed_workload(&self) -> Workload {
+        self.observed.lock().unwrap().workload.clone()
+    }
+
+    /// Forget the observed workload (e.g. after applying its advice).
+    pub fn clear_observed_workload(&self) {
+        let mut o = self.observed.lock().unwrap();
+        o.workload.queries.clear();
+        o.by_key.clear();
     }
 
     /// Total bytes across all tables (main stores + pending deltas).
@@ -459,6 +749,17 @@ impl TableProvider for Database {
     }
 }
 
+/// A recognized index probe: which `(table, column)` index serves the
+/// plan's outermost selection, and how. Produced by
+/// `Database::index_candidate`, priced by the planner, executed by the
+/// overlay-aware probe.
+#[derive(Debug, Clone)]
+pub(crate) struct IndexCandidate {
+    pub table: String,
+    pub col: ColId,
+    pub access: AccessPath,
+}
+
 /// An owned multi-table snapshot: every table pinned at one version.
 /// Implements [`TableProvider`], so it can be handed to any engine — from
 /// any thread — while the database keeps moving.
@@ -473,9 +774,32 @@ impl DbSnapshot {
         self.tables.get(name)
     }
 
-    /// Execute `plan` against this snapshot with the chosen engine.
+    /// Execute `plan` against this snapshot with the chosen engine — the
+    /// forced-engine escape hatch. Routine queries should use
+    /// [`DbSnapshot::execute`].
     pub fn run(&self, plan: &LogicalPlan, engine: EngineKind) -> Result<QueryOutput, DbError> {
         Ok(engine.engine().execute(plan, self)?)
+    }
+
+    /// Execute `plan` with the planner choosing the engine. Snapshots
+    /// carry no secondary indexes, so access-path selection reduces to
+    /// engine selection over the pinned versions.
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<QueryOutput, DbError> {
+        let mut views = HashMap::new();
+        for name in plan.tables() {
+            if views.contains_key(name) {
+                continue;
+            }
+            let Some(s) = self.tables.get(name) else {
+                return Err(DbError::UnknownTable(name.to_string()));
+            };
+            views.insert(
+                name.to_string(),
+                crate::planner::table_view(s.main(), s.len()),
+            );
+        }
+        let phys = Planner::default().plan_views(views, plan);
+        self.run(plan, phys.engine.into())
     }
 }
 
@@ -524,7 +848,9 @@ fn key_of_value(t: &Table, col: ColId, v: &Value) -> Option<i64> {
     }
 }
 
-fn conjuncts(pred: &Expr) -> Vec<&Expr> {
+/// The AND-conjuncts of a predicate, in evaluation order (shared with the
+/// planner's conjunct-level selectivity pricing).
+pub(crate) fn conjuncts(pred: &Expr) -> Vec<&Expr> {
     let mut out = Vec::new();
     fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
         match e {
@@ -539,7 +865,8 @@ fn conjuncts(pred: &Expr) -> Vec<&Expr> {
     out
 }
 
-fn simple_cmp(e: &Expr) -> Option<(ColId, CmpOp, &Value)> {
+/// Decompose `col ⟨op⟩ literal` (either orientation) into its parts.
+pub(crate) fn simple_cmp(e: &Expr) -> Option<(ColId, CmpOp, &Value)> {
     if let Expr::Cmp { op, left, right } = e {
         match (left.as_ref(), right.as_ref()) {
             (Expr::Col(c), Expr::Lit(v)) => return Some((*c, *op, v)),

@@ -2,11 +2,13 @@
 //!
 //! The integrated memory-resident DBMS this reproduction delivers: a
 //! [`Database`] catalog of vertically partitioned tables, secondary index
-//! maintenance, engine selection (Volcano / bulk / compiled / parallel),
-//! an index-aware execution path for identity selects (§VI-B, Fig. 10),
-//! and the [`advisor`] that drives the cost-model-based layout optimizer
-//! (§V). The parallel engine (`pdsm-par`, morsel-driven execution of the
-//! compiled pipelines) registers here as [`EngineKind::Parallel`].
+//! maintenance, the cost-based [`planner`] that lowers every query to a
+//! [`pdsm_plan::physical::PhysicalPlan`] — choosing engine
+//! (Volcano / bulk / vectorized / compiled / parallel) and access path
+//! (full scan vs. main-index probe + delta-tail union, §VI-B, Fig. 10)
+//! via `pdsm_cost::estimate` — and the [`advisor`] that drives the
+//! cost-model-based layout optimizer (§V). Queries enter through
+//! [`Database::execute`]; [`Database::run`] forces an engine.
 //!
 //! ```
 //! use pdsm_core::{Database, EngineKind};
@@ -37,9 +39,12 @@
 
 pub mod advisor;
 pub mod database;
+pub mod planner;
 
 pub use advisor::{AdvisorReport, LayoutAdvisor};
 pub use database::{Database, DbError, DbSnapshot, EngineKind, IndexKind};
 pub use pdsm_exec::QueryOutput;
 pub use pdsm_par::ParallelEngine;
+pub use pdsm_plan::physical::{AccessPath, CostSummary, EngineChoice, PhysicalPlan};
 pub use pdsm_txn::{MergeStats, RowId, SharedTable, Snapshot, VersionedTable};
+pub use planner::Planner;

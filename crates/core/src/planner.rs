@@ -1,0 +1,620 @@
+//! The cost-based physical planner: `LogicalPlan` → [`PhysicalPlan`].
+//!
+//! This module closes the paper's loop — *model predicts, system acts*. For
+//! every query the planner:
+//!
+//! 1. builds [`TableView`]s of the referenced tables (current layout, row
+//!    counts including the live delta, optional statistics),
+//! 2. emits the query's access-pattern program (`pdsm_plan::emit_pattern`,
+//!    §IV-D) and prices it with the prefetch-aware cost function
+//!    [`pdsm_cost::cost::estimate`] (Eq. 5–6) — the memory half `T_Mem`,
+//! 3. adds a per-engine CPU term (per-tuple processing cycles of each
+//!    processing model, calibrated against the Fig.-3 ratios) to score
+//!    every *engine* alternative,
+//! 4. prices a main-index probe + delta-tail union as an *access-path*
+//!    alternative when the plan shape and catalog allow one,
+//! 5. and returns the cheapest combination as a [`PhysicalPlan`], with
+//!    every rejected alternative recorded for `explain()`.
+//!
+//! The planner never picks an index path the model scores worse than the
+//! best full scan — that invariant is property-tested in
+//! `tests/planner.rs`.
+
+use crate::database::{Database, DbError, IndexCandidate};
+use pdsm_cost::{cost, Atom, Hierarchy, Pattern};
+use pdsm_exec::VectorizedEngine;
+use pdsm_index::Index;
+use pdsm_plan::logical::LogicalPlan;
+use pdsm_plan::patterns::{emit_pattern, TableView};
+use pdsm_plan::physical::{AccessPath, CostSummary, EngineChoice, PhysicalPlan, PipelinePlan};
+use pdsm_plan::selectivity::estimate_selectivity;
+use std::collections::HashMap;
+
+/// Per-tuple CPU cycles of the Volcano model: two virtual calls plus
+/// `Value` boxing per operator per tuple (the paper's "function pointer
+/// chasing"; Fig. 3 measures roughly this ratio over compiled).
+pub const CPU_VOLCANO: f64 = 60.0;
+/// Per-tuple CPU cycles of bulk processing: tight typed loops, but one
+/// full pass (and materialized intermediate) per primitive.
+pub const CPU_BULK: f64 = 10.0;
+/// Per-tuple CPU cycles of vectorized processing: primitive dispatch
+/// amortized over a vector, selection-vector bookkeeping per tuple.
+pub const CPU_VECTORIZED: f64 = 4.0;
+/// Per-tuple CPU cycles of the compiled (fused-pipeline) model.
+pub const CPU_COMPILED: f64 = 1.5;
+/// Fixed cycles to launch, barrier and join a parallel pipeline — the
+/// reason tiny queries stay single-threaded.
+pub const PAR_FIXED_OVERHEAD: f64 = 30_000.0;
+/// Extra parallel cycles per worker (morsel-queue setup, partial merges).
+pub const PAR_PER_THREAD: f64 = 2_000.0;
+/// Cycles to reconstruct and residual-filter one index hit (full-row
+/// decode through every layout group plus interpreted predicate).
+pub const CPU_INDEX_HIT: f64 = 150.0;
+/// Cycles to interpret the predicate against one decoded delta-tail row.
+pub const CPU_TAIL_ROW: f64 = 60.0;
+
+/// The cost-based planner. [`Planner::default`] uses the calibrated
+/// Nehalem hierarchy and the machine's worker count; pin `threads` for
+/// deterministic plans (the explain snapshot test does).
+pub struct Planner {
+    /// Memory hierarchy the cost model prices against.
+    pub hierarchy: Hierarchy,
+    /// Worker threads the parallel engine would use.
+    pub threads: usize,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner {
+            hierarchy: Hierarchy::nehalem(),
+            threads: pdsm_par::default_threads(),
+        }
+    }
+}
+
+/// Cardinality + work propagation through one plan node.
+struct WorkEst {
+    /// Estimated rows flowing out of the node.
+    card: f64,
+    /// Total tuples processed (Σ over operators of their input rows) —
+    /// the multiplier of the per-engine CPU constants.
+    tuples: f64,
+    /// Rows materialized at operator boundaries — what the bulk model
+    /// additionally writes and re-reads.
+    mat_rows: f64,
+}
+
+impl Planner {
+    /// Lower `logical` against `db`'s catalog: choose engine and access
+    /// path via the cost model and record every priced alternative.
+    pub fn plan(&self, db: &Database, logical: &LogicalPlan) -> Result<PhysicalPlan, DbError> {
+        let views = self.views_for(db, logical)?;
+        let idx = db.index_candidate(logical);
+        self.plan_with(db, logical, views, idx)
+    }
+
+    /// Lower against prebuilt views with no index catalog (the snapshot
+    /// path): engine choice only.
+    pub fn plan_views(
+        &self,
+        views: HashMap<String, TableView>,
+        logical: &LogicalPlan,
+    ) -> PhysicalPlan {
+        self.build(None, logical, views, None)
+    }
+
+    fn plan_with(
+        &self,
+        db: &Database,
+        logical: &LogicalPlan,
+        views: HashMap<String, TableView>,
+        idx: Option<IndexCandidate>,
+    ) -> Result<PhysicalPlan, DbError> {
+        Ok(self.build(Some(db), logical, views, idx))
+    }
+
+    /// [`TableView`]s of every table `logical` references: current main
+    /// layout, row count covering main ∪ live delta.
+    fn views_for(
+        &self,
+        db: &Database,
+        logical: &LogicalPlan,
+    ) -> Result<HashMap<String, TableView>, DbError> {
+        let mut views = HashMap::new();
+        for name in logical.tables() {
+            if views.contains_key(name) {
+                continue;
+            }
+            let vt = db.versioned(name)?;
+            views.insert(name.to_string(), table_view(vt.main(), vt.len()));
+        }
+        Ok(views)
+    }
+
+    fn build(
+        &self,
+        db: Option<&Database>,
+        logical: &LogicalPlan,
+        views: HashMap<String, TableView>,
+        idx: Option<IndexCandidate>,
+    ) -> PhysicalPlan {
+        let emitted = emit_pattern(logical, &views);
+        let mem = cost::estimate(&emitted.pattern, &self.hierarchy).total_cycles;
+        let work = work_est(logical, &views);
+
+        // --- engine alternatives (all run the same full-scan pattern) ---
+        let mut engines: Vec<(EngineChoice, CostSummary)> = Vec::new();
+        engines.push((
+            EngineChoice::Compiled,
+            CostSummary {
+                mem_cycles: mem,
+                cpu_cycles: CPU_COMPILED * work.tuples,
+            },
+        ));
+        if VectorizedEngine::supports(logical) {
+            engines.push((
+                EngineChoice::Vectorized,
+                CostSummary {
+                    mem_cycles: mem,
+                    cpu_cycles: CPU_VECTORIZED * work.tuples,
+                },
+            ));
+        }
+        // Bulk pays the shared pattern plus a write + re-read of every
+        // materialized intermediate.
+        let mat = bulk_materialization_cycles(work.mat_rows, &self.hierarchy);
+        engines.push((
+            EngineChoice::Bulk,
+            CostSummary {
+                mem_cycles: mem + mat,
+                cpu_cycles: CPU_BULK * work.tuples,
+            },
+        ));
+        engines.push((
+            EngineChoice::Volcano,
+            CostSummary {
+                mem_cycles: mem,
+                cpu_cycles: CPU_VOLCANO * work.tuples,
+            },
+        ));
+        // Parallel splits the compiled pipeline across workers and pays a
+        // fixed fork/join overhead.
+        let threads = self.threads.max(1) as f64;
+        engines.push((
+            EngineChoice::Parallel,
+            CostSummary {
+                mem_cycles: mem / threads,
+                cpu_cycles: CPU_COMPILED * work.tuples / threads
+                    + PAR_FIXED_OVERHEAD
+                    + PAR_PER_THREAD * threads,
+            },
+        ));
+
+        let (best_engine, best_engine_cost) = engines
+            .iter()
+            .min_by(|a, b| a.1.total().partial_cmp(&b.1.total()).unwrap())
+            .map(|(e, c)| (*e, *c))
+            .expect("engine list is non-empty");
+
+        let mut alternatives: Vec<(String, f64)> = engines
+            .iter()
+            .map(|(e, c)| (format!("scan/{e}"), c.total()))
+            .collect();
+
+        // --- access-path alternative: index probe + delta-tail union ---
+        let mut chosen_access = AccessPath::FullScan;
+        let mut chosen_cost = best_engine_cost;
+        let mut probe_rows = 0.0;
+        if let (Some(db), Some(cand)) = (db, idx) {
+            if let Some((cost, hits)) = self.index_cost(db, logical, &cand, &views) {
+                alternatives.push(("index".to_string(), cost.total()));
+                if cost.total() < chosen_cost.total() {
+                    chosen_access = cand.access.clone();
+                    chosen_cost = cost;
+                    probe_rows = hits;
+                }
+            }
+        }
+        alternatives.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+        // --- pipelines: one per base-table scan, in scan order ---
+        let mut pipelines = Vec::new();
+        for (i, table) in logical.tables().into_iter().enumerate() {
+            let view = &views[table];
+            let delta_rows = db
+                .and_then(|d| d.versioned(table).ok())
+                .map(|vt| vt.live_delta_rows())
+                .unwrap_or(0);
+            let access = if i == 0 && chosen_access.is_indexed() {
+                chosen_access.clone()
+            } else {
+                AccessPath::FullScan
+            };
+            let est_rows = if access.is_indexed() {
+                probe_rows
+            } else {
+                view.n_rows as f64
+            };
+            pipelines.push(PipelinePlan {
+                table: table.to_string(),
+                access,
+                est_rows,
+                table_rows: view.n_rows,
+                delta_rows,
+            });
+        }
+
+        PhysicalPlan {
+            logical: logical.clone(),
+            engine: best_engine,
+            pipelines,
+            cost: chosen_cost,
+            alternatives,
+            est_out_rows: emitted.out_rows,
+        }
+    }
+
+    /// Price the index path: probe the index structure, reconstruct each
+    /// surviving hit through every layout group, then sequentially scan
+    /// the live delta tail. Returns `(cost, estimated hits)`, or `None`
+    /// when the candidate's table vanished from the views.
+    fn index_cost(
+        &self,
+        db: &Database,
+        logical: &LogicalPlan,
+        cand: &IndexCandidate,
+        views: &HashMap<String, TableView>,
+    ) -> Option<(CostSummary, f64)> {
+        let view = views.get(&cand.table)?;
+        let vt = db.versioned(&cand.table).ok()?;
+        let idx = db.index(&cand.table, cand.col)?;
+        let n_main = vt.main().len().max(1) as u64;
+        let keys = idx.key_count().max(1) as u64;
+        let delta = vt.live_delta_rows() as u64;
+
+        // Estimated main-store hits. The probe fetches every row matching
+        // the *indexed conjunct alone* — residual conjuncts filter only
+        // after reconstruction — so hits must be priced from that
+        // conjunct's selectivity, never the full predicate's (a highly
+        // selective residual would otherwise make a near-full-table range
+        // probe look cheap). A pinned hint stands in only when the
+        // predicate *is* the single indexed conjunct.
+        let sel = match &cand.access {
+            // One key's bucket: the index's own distinct count is the best
+            // estimate there is.
+            AccessPath::IndexPoint { .. } => {
+                single_conjunct_hint(logical).unwrap_or(1.0 / keys as f64)
+            }
+            _ => indexed_conjunct_selectivity(logical, cand, view).unwrap_or(1.0 / 3.0),
+        };
+        let hits = (sel.clamp(0.0, 1.0) * n_main as f64).ceil();
+        let k = hits.max(1.0) as u64;
+
+        let mut atoms: Vec<Pattern> = Vec::new();
+        // The index structure itself.
+        atoms.push(Pattern::atom(match idx {
+            Index::Hash(_) => Atom::rr_acc(keys, 24, 1),
+            Index::RBTree(_) => {
+                let depth = (keys.max(2) as f64).log2().ceil() as u64;
+                Atom::rr_acc(keys, 40, depth + k)
+            }
+        }));
+        // Tuple reconstruction: every hit decodes the full row, touching
+        // each layout group at a random position.
+        for group in view.layout.groups() {
+            let stride = view.group_stride(group);
+            atoms.push(Pattern::atom(Atom::rr_acc(n_main, stride.max(1), k)));
+        }
+        // Delta-tail union: one sequential pass over the decoded tail.
+        if delta > 0 {
+            let row_w = 16 * view.col_widths.len().max(1) as u64;
+            atoms.push(Pattern::atom(Atom::s_trav(delta, row_w)));
+        }
+        let mem = cost::estimate(&Pattern::seq(atoms), &self.hierarchy).total_cycles;
+        let cpu = CPU_INDEX_HIT * hits + CPU_TAIL_ROW * delta as f64;
+        Some((
+            CostSummary {
+                mem_cycles: mem,
+                cpu_cycles: cpu,
+            },
+            hits,
+        ))
+    }
+}
+
+/// The planning view of one table: its main store's layout and widths
+/// with the visible row count (main ∪ live delta) superimposed. Shared by
+/// the database and snapshot planning paths so they can never diverge.
+pub(crate) fn table_view(main: &pdsm_storage::Table, visible_rows: usize) -> TableView {
+    let mut view = TableView::from_table(main);
+    view.n_rows = visible_rows as u64;
+    view
+}
+
+/// The root selection's pinned selectivity, if the plan is a (possibly
+/// projected) selection over a scan with a `sel_hint`.
+fn selection_hint(plan: &LogicalPlan) -> Option<f64> {
+    match plan {
+        LogicalPlan::Project { input, .. } => selection_hint(input),
+        LogicalPlan::Select { sel_hint, .. } => *sel_hint,
+        _ => None,
+    }
+}
+
+/// The root selection's predicate (the one an index candidate came from).
+fn selection_pred(plan: &LogicalPlan) -> Option<&pdsm_plan::expr::Expr> {
+    match plan {
+        LogicalPlan::Project { input, .. } => selection_pred(input),
+        LogicalPlan::Select { pred, .. } => Some(pred),
+        _ => None,
+    }
+}
+
+/// The root selection's pinned `sel_hint`, but only when the predicate is
+/// a single conjunct — then the hint describes exactly what the probe
+/// fetches. With residual conjuncts the hint covers the whole predicate
+/// and would underprice the probe.
+fn single_conjunct_hint(plan: &LogicalPlan) -> Option<f64> {
+    let pred = selection_pred(plan)?;
+    if crate::database::conjuncts(pred).len() == 1 {
+        selection_hint(plan)
+    } else {
+        None
+    }
+}
+
+/// Selectivity of the range conjunct the candidate's index serves,
+/// estimated in isolation (see [`Planner::index_cost`] for why the full
+/// predicate's selectivity must not be used).
+fn indexed_conjunct_selectivity(
+    plan: &LogicalPlan,
+    cand: &IndexCandidate,
+    view: &TableView,
+) -> Option<f64> {
+    if let Some(h) = single_conjunct_hint(plan) {
+        return Some(h);
+    }
+    let pred = selection_pred(plan)?;
+    for c in crate::database::conjuncts(pred) {
+        let Some((col, op, _)) = crate::database::simple_cmp(c) else {
+            continue;
+        };
+        if col == cand.col && !matches!(op, pdsm_plan::expr::CmpOp::Eq) {
+            return Some(estimate_selectivity(c, view.stats.as_ref()));
+        }
+    }
+    None
+}
+
+/// Cycles bulk processing spends writing and re-reading `rows`
+/// materialized 8-byte intermediates.
+fn bulk_materialization_cycles(rows: f64, hw: &Hierarchy) -> f64 {
+    if rows < 1.0 {
+        return 0.0;
+    }
+    let n = rows as u64;
+    let p = Pattern::seq(vec![
+        Pattern::atom(Atom::s_trav(n, 8)),
+        Pattern::atom(Atom::s_trav(n, 8)),
+    ]);
+    cost::estimate(&p, hw).total_cycles
+}
+
+/// Leftmost base-table cardinality under `plan` (join match probability).
+fn base_rows(plan: &LogicalPlan, views: &HashMap<String, TableView>) -> f64 {
+    match plan {
+        LogicalPlan::Scan { table } => views.get(table).map(|v| v.n_rows as f64).unwrap_or(1.0),
+        LogicalPlan::Select { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => base_rows(input, views),
+        LogicalPlan::Join { left, .. } => base_rows(left, views),
+    }
+}
+
+/// Stats of the base table feeding `plan`'s pipeline, for selectivity.
+fn base_stats<'a>(
+    plan: &LogicalPlan,
+    views: &'a HashMap<String, TableView>,
+) -> Option<&'a pdsm_plan::selectivity::TableStatsView> {
+    match plan {
+        LogicalPlan::Scan { table } => views.get(table).and_then(|v| v.stats.as_ref()),
+        LogicalPlan::Select { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => base_stats(input, views),
+        LogicalPlan::Join { left, .. } => base_stats(left, views),
+    }
+}
+
+/// Propagate cardinality, tuple-processing work and materialized rows
+/// through the plan (the CPU side of engine scoring; the memory side comes
+/// from the emitted pattern).
+fn work_est(plan: &LogicalPlan, views: &HashMap<String, TableView>) -> WorkEst {
+    match plan {
+        LogicalPlan::Scan { table } => {
+            let n = views.get(table).map(|v| v.n_rows as f64).unwrap_or(0.0);
+            WorkEst {
+                card: n,
+                tuples: n,
+                mat_rows: 0.0,
+            }
+        }
+        LogicalPlan::Select {
+            input,
+            pred,
+            sel_hint,
+        } => {
+            let mut w = work_est(input, views);
+            let sel = sel_hint
+                .unwrap_or_else(|| estimate_selectivity(pred, base_stats(input, views)))
+                .clamp(0.0, 1.0);
+            w.tuples += w.card;
+            w.card *= sel;
+            w.mat_rows += w.card;
+            w
+        }
+        LogicalPlan::Project { input, .. } => {
+            let mut w = work_est(input, views);
+            w.tuples += w.card;
+            w.mat_rows += w.card;
+            w
+        }
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
+            let mut w = work_est(input, views);
+            w.tuples += w.card;
+            let groups = if group_by.is_empty() {
+                1.0
+            } else {
+                (100f64.powi(group_by.len() as i32)).min(w.card.max(1.0))
+            };
+            w.mat_rows += groups;
+            w.card = groups;
+            w
+        }
+        LogicalPlan::Join { left, right, .. } => {
+            let l = work_est(left, views);
+            let r = work_est(right, views);
+            let match_prob = (l.card / base_rows(left, views).max(1.0)).clamp(0.0, 1.0);
+            WorkEst {
+                card: r.card * match_prob,
+                tuples: l.tuples + r.tuples + l.card + r.card,
+                mat_rows: l.mat_rows + r.mat_rows + l.card,
+            }
+        }
+        LogicalPlan::Sort { input, .. } => {
+            let mut w = work_est(input, views);
+            w.tuples += w.card * w.card.max(2.0).log2();
+            w.mat_rows += w.card;
+            w
+        }
+        LogicalPlan::Limit { input, n } => {
+            let mut w = work_est(input, views);
+            w.card = w.card.min(*n as f64);
+            w
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::IndexKind;
+    use pdsm_plan::builder::QueryBuilder;
+    use pdsm_plan::expr::Expr;
+    use pdsm_plan::logical::{AggExpr, AggFunc};
+    use pdsm_storage::{ColumnDef, DataType, Schema, Value};
+
+    fn db(rows: i32) -> Database {
+        let mut db = Database::new();
+        let cols: Vec<ColumnDef> = (0..8)
+            .map(|i| ColumnDef::new(format!("c{i}"), DataType::Int32))
+            .collect();
+        db.create_table("r", Schema::new(cols)).unwrap();
+        for i in 0..rows {
+            let row: Vec<Value> = (0..8).map(|c| Value::Int32(i * 8 + c)).collect();
+            db.insert("r", &row).unwrap();
+        }
+        db
+    }
+
+    fn planner() -> Planner {
+        Planner {
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn scan_heavy_query_prefers_compiled_on_one_thread() {
+        let db = db(5_000);
+        let plan = QueryBuilder::scan("r")
+            .filter(Expr::col(0).gt(Expr::lit(10)))
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, Expr::col(1))])
+            .build();
+        let phys = planner().plan(&db, &plan).unwrap();
+        assert_eq!(phys.engine, EngineChoice::Compiled);
+        assert_eq!(*phys.access(), AccessPath::FullScan);
+        // every engine alternative priced
+        for e in ["compiled", "vectorized", "bulk", "volcano", "parallel"] {
+            assert!(
+                phys.cost_of(&format!("scan/{e}")).is_some(),
+                "missing alternative {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn many_threads_flip_large_scans_to_parallel() {
+        let db = db(20_000);
+        let plan = QueryBuilder::scan("r")
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, Expr::col(1))])
+            .build();
+        let many = Planner {
+            threads: 16,
+            ..Default::default()
+        };
+        let phys = many.plan(&db, &plan).unwrap();
+        assert_eq!(phys.engine, EngineChoice::Parallel);
+    }
+
+    #[test]
+    fn identity_select_takes_the_index() {
+        let mut db = db(5_000);
+        db.create_index("r", "c0", IndexKind::Hash).unwrap();
+        let plan = QueryBuilder::scan("r")
+            .filter(Expr::col(0).eq(Expr::lit(80)))
+            .build();
+        let phys = planner().plan(&db, &plan).unwrap();
+        assert!(phys.access().is_indexed(), "{}", phys.explain());
+        let scan = phys.best_scan_cost().unwrap();
+        assert!(
+            phys.cost.total() <= scan,
+            "index chosen but scored worse: {} vs {scan}",
+            phys.cost.total()
+        );
+    }
+
+    #[test]
+    fn unknown_table_is_reported() {
+        let db = Database::new();
+        let plan = QueryBuilder::scan("nope").build();
+        assert!(matches!(
+            planner().plan(&db, &plan),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn join_plans_get_one_pipeline_per_scan() {
+        let db = {
+            let mut db = db(500);
+            let cols: Vec<ColumnDef> = (0..4)
+                .map(|i| ColumnDef::new(format!("d{i}"), DataType::Int32))
+                .collect();
+            db.create_table("s", Schema::new(cols)).unwrap();
+            for i in 0..200 {
+                db.insert(
+                    "s",
+                    &(0..4).map(|c| Value::Int32(i * 4 + c)).collect::<Vec<_>>(),
+                )
+                .unwrap();
+            }
+            db
+        };
+        let plan = QueryBuilder::scan("r")
+            .join(QueryBuilder::scan("s").build(), Expr::col(0), Expr::col(0))
+            .aggregate(vec![], vec![AggExpr::count_star()])
+            .build();
+        let phys = planner().plan(&db, &plan).unwrap();
+        assert_eq!(phys.pipelines.len(), 2);
+        assert_eq!(phys.pipelines[0].table, "r");
+        assert_eq!(phys.pipelines[1].table, "s");
+        // vectorized cannot run joins, so it must not be priced
+        assert!(phys.cost_of("scan/vectorized").is_none());
+    }
+}

@@ -48,6 +48,15 @@ impl VectorizedEngine {
         assert!(vector_size > 0);
         VectorizedEngine { vector_size }
     }
+
+    /// Can this engine run `plan`? True exactly for the single-table
+    /// `[Limit]([Project|Aggregate](Select*(Scan)))` pipelines the
+    /// vectorized model implements; joins and sorts are not vectorized.
+    /// Planners and differential-test drivers consult this instead of
+    /// probing for [`ExecError::Unsupported`] at run time.
+    pub fn supports(plan: &LogicalPlan) -> bool {
+        recognize(plan).is_ok()
+    }
 }
 
 impl Engine for VectorizedEngine {

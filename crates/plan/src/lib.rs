@@ -14,15 +14,20 @@
 //!   [`patterns::TableView`] (row count + candidate layout), so the same
 //!   query can be priced under any hypothetical layout — the mechanism the
 //!   BPi layout optimizer drives.
+//! * [`physical`] — the planner's output: a logical plan annotated with the
+//!   model-chosen engine and per-pipeline access path, plus an `explain()`
+//!   rendering. Lowering lives in `pdsm-core::planner`.
 
 pub mod builder;
 pub mod expr;
 pub mod logical;
 pub mod patterns;
+pub mod physical;
 pub mod selectivity;
 
 pub use builder::QueryBuilder;
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use logical::{AggExpr, AggFunc, LogicalPlan, SortKey};
 pub use patterns::{emit_pattern, AccessGroup, AccessKind, TableView};
+pub use physical::{AccessPath, CostSummary, EngineChoice, PhysicalPlan, PipelinePlan};
 pub use selectivity::estimate_selectivity;

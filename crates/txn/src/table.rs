@@ -175,6 +175,13 @@ impl VersionedTable {
         self.tail.len()
     }
 
+    /// Live (non-tombstoned) delta-tail rows — what an index probe's
+    /// delta-union scan must visit, and therefore the delta term of the
+    /// planner's access-path cost.
+    pub fn live_delta_rows(&self) -> usize {
+        self.tail.len() - self.tail_dead_count
+    }
+
     /// True iff any write happened since the last merge.
     pub fn has_delta(&self) -> bool {
         self.n_ops > 0

@@ -61,4 +61,12 @@ fn main() {
     let b = db.run(&plan, EngineKind::Compiled).unwrap();
     a.assert_same(&b, "volcano vs compiled");
     println!("\nall engines agree; the compiled engine just gets there sooner.");
+
+    // --- 6. which is why you normally don't pick one: `execute` routes
+    // through the cost-based planner, which prices every engine (and any
+    // eligible index path) with the paper's cache-miss model and takes
+    // the cheapest. `explain` shows its reasoning.
+    let routed = db.execute(&plan).unwrap();
+    routed.assert_same(&b, "planner vs compiled");
+    println!("\nplanner's EXPLAIN:\n{}", db.explain(&plan).unwrap());
 }

@@ -152,9 +152,12 @@ proptest! {
             .limit(k)
             .build();
         // sorted output with a unique tiebreak column must match exactly —
-        // row-for-row, across every registered engine
+        // row-for-row, across every registered engine that can sort
         let reference = EngineKind::all()[0].engine().execute(&plan, &db).unwrap();
         for kind in &EngineKind::all()[1..] {
+            if !kind.supports(&plan) {
+                continue;
+            }
             let out = kind.engine().execute(&plan, &db).unwrap();
             prop_assert_eq!(&reference.rows, &out.rows, "{:?}", kind);
         }

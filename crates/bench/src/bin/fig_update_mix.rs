@@ -1,21 +1,34 @@
 //! **fig_update_mix** — the delta-store trade-off the versioned write path
-//! (`pdsm-txn`) introduces: read/write mixes (100/0, 95/5, 50/50) swept
-//! across merge thresholds, reporting read and write throughput.
+//! (`pdsm-txn`) introduces, *before and after* decoupling maintenance from
+//! the write path: read/write mixes (100/0, 95/5, 50/50) swept across
+//! merge thresholds, in both merge modes:
 //!
-//! A bigger merge threshold amortizes merge cost over more writes but
-//! makes every scan carry a bigger interpreted delta tail; a threshold of
-//! one keeps scans pure but pays a full main-store rebuild per write batch.
-//! The sweep exposes the crossover, per mix, against the pure-scan
-//! (100/0, empty delta) baseline.
+//! * `sync` — the pre-scheduler behavior: the writer's thread pays the
+//!   whole O(table) fold whenever the delta crosses the threshold. Small
+//!   thresholds ⇒ the 50/50 mix falls off a cliff (the p99 write latency
+//!   *is* a full merge).
+//! * `background` — the three-phase pipeline: the writer runs
+//!   `begin_merge` (O(delta) cut) and later `finish_merge` (O(ops since
+//!   cut) replay + swap); the fold itself runs on a worker thread. The
+//!   writer never blocks on a full merge, so p99 write latency stays
+//!   bounded at every threshold.
+//!
+//! Besides the table, the run emits a machine-readable
+//! `BENCH_update_mix.json` (throughput + p99 write latency per
+//! mix × threshold × mode) so the perf trajectory is recorded run over
+//! run.
 //!
 //! Usage: `cargo run -p pdsm-bench --release --bin fig_update_mix
-//!         [--rows 200000] [--ops 4000] [--sel 0.05] [--engine compiled]`
+//!         [--rows 200000] [--ops 4000] [--sel 0.05] [--engine compiled]
+//!         [--json BENCH_update_mix.json]`
 
-use pdsm_bench::{fmt_num, print_table, Args};
+use pdsm_bench::{fmt_num, percentile, print_table, Args, Json};
 use pdsm_core::EngineKind;
-use pdsm_txn::VersionedTable;
+use pdsm_storage::Layout;
+use pdsm_txn::{BuiltMain, MergeTicket, VersionedTable};
 use pdsm_workloads::microbench;
 use pdsm_workloads::mixed::{self, MixedOp, MIXES};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::Instant;
 
 fn engine_of(name: &str) -> EngineKind {
@@ -27,15 +40,61 @@ fn engine_of(name: &str) -> EngineKind {
     }
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Sync,
+    Background,
+}
+
+impl Mode {
+    fn name(&self) -> &'static str {
+        match self {
+            Mode::Sync => "sync",
+            Mode::Background => "background",
+        }
+    }
+}
+
 struct MixResult {
     mix: &'static str,
     threshold: usize,
+    mode: Mode,
     reads: u64,
     writes: u64,
     merges: u64,
     read_qps: f64,
     write_ops: f64,
+    /// 99th-percentile single-write-op latency, microseconds. In sync
+    /// mode this includes inline merges; in background mode it includes
+    /// begin (cut) and finish (replay + swap) but never the fold.
+    p99_write_us: f64,
     max_delta: usize,
+}
+
+/// The off-thread fold worker a background-mode run uses.
+struct Builder {
+    tx: Sender<(MergeTicket, Layout)>,
+    rx: Receiver<pdsm_storage::Result<BuiltMain>>,
+    _handle: std::thread::JoinHandle<()>,
+}
+
+impl Builder {
+    fn spawn() -> Builder {
+        let (tx, job_rx) = channel::<(MergeTicket, Layout)>();
+        let (done_tx, rx) = channel();
+        let handle = std::thread::spawn(move || {
+            while let Ok((ticket, layout)) = job_rx.recv() {
+                if done_tx.send(ticket.build(layout)).is_err() {
+                    break;
+                }
+            }
+        });
+        Builder {
+            tx,
+            rx,
+            _handle: handle,
+        }
+    }
 }
 
 fn run_mix(
@@ -45,15 +104,22 @@ fn run_mix(
     mix: (&'static str, f64),
     threshold: usize,
     kind: EngineKind,
+    mode: Mode,
 ) -> MixResult {
     let base = microbench::generate(rows, sel, microbench::pdsm_layout(), 42);
     let mut t = VersionedTable::from_table(base);
     let mut live = mixed::live_ids(&t);
     let w = mixed::microbench_mix(ops, mix.1, sel, 7);
     let engine = kind.engine();
+    let builder = match mode {
+        Mode::Background => Some(Builder::spawn()),
+        Mode::Sync => None,
+    };
+    let mut in_flight = false;
 
     let mut read_time = 0f64;
     let mut write_time = 0f64;
+    let mut write_lats: Vec<f64> = Vec::new();
     let mut reads = 0u64;
     let mut writes = 0u64;
     let mut max_delta = 0usize;
@@ -67,21 +133,56 @@ fn run_mix(
                 reads += 1;
             }
             _ => {
+                let gen_before = t.generation();
                 let t0 = Instant::now();
                 mixed::apply_write(&mut t, &mut live, op).expect("write");
-                if t.delta_rows() >= threshold {
-                    t.merge().expect("merge");
+                match (&builder, mode) {
+                    (_, Mode::Sync) => {
+                        if t.delta_rows() >= threshold {
+                            t.merge().expect("merge");
+                        }
+                    }
+                    (Some(b), Mode::Background) => {
+                        // catch up a finished fold: replay + swap only
+                        if in_flight {
+                            if let Ok(built) = b.rx.try_recv() {
+                                t.finish_merge(built.expect("build")).expect("finish");
+                                in_flight = false;
+                            }
+                        }
+                        if !in_flight && t.delta_rows() >= threshold {
+                            let ticket = t.begin_merge().expect("begin");
+                            let layout = ticket.snapshot().main().layout().clone();
+                            b.tx.send((ticket, layout)).expect("send job");
+                            in_flight = true;
+                        }
+                    }
+                    (None, Mode::Background) => unreachable!(),
+                }
+                let dt = t0.elapsed().as_secs_f64();
+                write_time += dt;
+                write_lats.push(dt);
+                writes += 1;
+                // bookkeeping outside the timed section: a completed merge
+                // renumbers ids, so the driver's live set must refresh
+                if t.generation() != gen_before {
                     live = mixed::live_ids(&t);
                 }
-                write_time += t0.elapsed().as_secs_f64();
-                writes += 1;
             }
         }
         max_delta = max_delta.max(t.delta_rows());
     }
+    // quiesce: land any straggling fold before reading the counters
+    if in_flight {
+        if let Some(b) = &builder {
+            let built = b.rx.recv().expect("final build").expect("build");
+            t.finish_merge(built).expect("final finish");
+        }
+    }
     MixResult {
         mix: mix.0,
         threshold,
+        mode,
         reads,
         writes,
         merges: t.write_stats().merges,
@@ -95,6 +196,7 @@ fn run_mix(
         } else {
             0.0
         },
+        p99_write_us: percentile(&write_lats, 0.99) * 1e6,
         max_delta,
     }
 }
@@ -105,53 +207,122 @@ fn main() {
     let ops: usize = args.get("ops", 4_000);
     let sel: f64 = args.get("sel", 0.05);
     let kind = engine_of(&args.get::<String>("engine", "compiled".into()));
+    let json_path: String = args.get("json", "BENCH_update_mix.json".into());
 
     println!(
         "fig_update_mix — {rows} base rows, {ops} ops, sel {sel}, engine {:?}\n",
         kind
     );
-    println!(
-        "read/write mixes x merge thresholds (threshold = delta rows that trigger a merge):\n"
-    );
+    println!("read/write mixes x merge thresholds x merge mode (sync = fold on the writer's");
+    println!("thread; background = three-phase pipeline, fold on a worker):\n");
 
     let thresholds = [64usize, 1_024, 16_384, usize::MAX];
+    let mut results = Vec::new();
     let mut out_rows = Vec::new();
     for mix in MIXES {
         for &threshold in &thresholds {
-            // pure-read mix never merges; one threshold row suffices
+            // pure-read mix never merges; one threshold/mode row suffices
             if mix.1 >= 1.0 && threshold != thresholds[0] {
                 continue;
             }
-            let r = run_mix(rows, ops, sel, mix, threshold, kind);
-            out_rows.push(vec![
-                r.mix.to_string(),
-                if mix.1 >= 1.0 {
-                    "-".into()
-                } else if r.threshold == usize::MAX {
-                    "never".into()
-                } else {
-                    r.threshold.to_string()
-                },
-                r.reads.to_string(),
-                r.writes.to_string(),
-                r.merges.to_string(),
-                r.max_delta.to_string(),
-                fmt_num(r.read_qps),
-                if r.writes == 0 {
-                    "-".into()
-                } else {
-                    fmt_num(r.write_ops)
-                },
-            ]);
+            for mode in [Mode::Sync, Mode::Background] {
+                if mix.1 >= 1.0 && mode == Mode::Background {
+                    continue;
+                }
+                let r = run_mix(rows, ops, sel, mix, threshold, kind, mode);
+                out_rows.push(vec![
+                    r.mix.to_string(),
+                    if mix.1 >= 1.0 {
+                        "-".into()
+                    } else if r.threshold == usize::MAX {
+                        "never".into()
+                    } else {
+                        r.threshold.to_string()
+                    },
+                    if mix.1 >= 1.0 {
+                        "-".into()
+                    } else {
+                        r.mode.name().into()
+                    },
+                    r.reads.to_string(),
+                    r.writes.to_string(),
+                    r.merges.to_string(),
+                    r.max_delta.to_string(),
+                    fmt_num(r.read_qps),
+                    if r.writes == 0 {
+                        "-".into()
+                    } else {
+                        fmt_num(r.write_ops)
+                    },
+                    if r.writes == 0 {
+                        "-".into()
+                    } else {
+                        format!("{:.0}", r.p99_write_us)
+                    },
+                ]);
+                results.push(r);
+            }
         }
     }
     print_table(
         &[
-            "mix", "merge@", "reads", "writes", "merges", "maxΔ", "read/s", "write/s",
+            "mix",
+            "merge@",
+            "mode",
+            "reads",
+            "writes",
+            "merges",
+            "maxΔ",
+            "read/s",
+            "write/s",
+            "p99wr(µs)",
         ],
         &out_rows,
     );
     println!(
-        "\n(read/s excludes write+merge time and vice versa; maxΔ = largest delta a scan saw)"
+        "\n(read/s excludes write+merge time and vice versa; maxΔ = largest delta a scan saw;"
     );
+    println!("p99wr = 99th-pct write-op latency — sync mode pays whole folds inline, background");
+    println!("mode pays only cut + replay + swap)");
+
+    let json = Json::obj(vec![
+        ("bench", Json::Str("fig_update_mix".into())),
+        ("rows", Json::Int(rows as i64)),
+        ("ops", Json::Int(ops as i64)),
+        ("sel", Json::Num(sel)),
+        ("engine", Json::Str(format!("{kind:?}"))),
+        (
+            "results",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("mix", Json::Str(r.mix.into())),
+                            (
+                                "threshold",
+                                if r.threshold == usize::MAX {
+                                    Json::Str("never".into())
+                                } else {
+                                    Json::Int(r.threshold as i64)
+                                },
+                            ),
+                            ("mode", Json::Str(r.mode.name().into())),
+                            ("reads", Json::Int(r.reads as i64)),
+                            ("writes", Json::Int(r.writes as i64)),
+                            ("merges", Json::Int(r.merges as i64)),
+                            ("read_per_s", Json::Num(r.read_qps)),
+                            ("write_per_s", Json::Num(r.write_ops)),
+                            ("p99_write_us", Json::Num(r.p99_write_us)),
+                            ("max_delta", Json::Int(r.max_delta as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match std::fs::write(&json_path, json.render() + "\n") {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+    }
 }

@@ -56,6 +56,85 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// The `p`-quantile (0..=1) of an unsorted sample, by nearest-rank on a
+/// sorted copy. Returns 0 for an empty sample.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p * s.len() as f64).ceil() as usize).clamp(1, s.len());
+    s[rank - 1]
+}
+
+/// Minimal JSON value builder for the machine-readable bench artifacts
+/// (no serde in the offline container). Numbers are emitted with enough
+/// precision to round-trip; strings are escaped.
+#[derive(Debug, Clone)]
+pub enum Json {
+    Num(f64),
+    Int(i64),
+    Str(String),
+    Bool(bool),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience object constructor.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Render as compact JSON text.
+    pub fn render(&self) -> String {
+        match self {
+            Json::Num(x) => {
+                if x.is_finite() {
+                    format!("{x}")
+                } else {
+                    "null".into()
+                }
+            }
+            Json::Int(x) => format!("{x}"),
+            Json::Bool(b) => format!("{b}"),
+            Json::Str(s) => {
+                let mut out = String::with_capacity(s.len() + 2);
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+                out
+            }
+            Json::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(Json::render).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Json::Obj(fields) => {
+                let inner: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("{}:{}", Json::Str(k.clone()).render(), v.render()))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+}
+
 /// Human format for big numbers (`1.3e9` style stays readable in tables).
 pub fn fmt_num(x: f64) -> String {
     if x == 0.0 {

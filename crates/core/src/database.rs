@@ -15,6 +15,10 @@
 //! remains as the forced-engine escape hatch benchmarks and differential
 //! tests use.
 
+use crate::maintenance::{
+    choose_layout, AdviseInputs, BuildJob, MaintenanceConfig, MaintenanceMode,
+    MaintenanceScheduler, MaintenanceStats,
+};
 use crate::planner::Planner;
 use pdsm_exec::engine::{
     BulkEngine, CompiledEngine, Engine, ExecError, Overlay, TableProvider, VolcanoEngine,
@@ -27,7 +31,7 @@ use pdsm_plan::expr::{CmpOp, Expr};
 use pdsm_plan::logical::LogicalPlan;
 use pdsm_plan::physical::{AccessPath, EngineChoice, PhysicalPlan};
 use pdsm_storage::{ColId, DataType, Layout, Schema, Table, Value};
-use pdsm_txn::{MergeStats, RowId, Snapshot, VersionedTable};
+use pdsm_txn::{MergeStats, RowId, Snapshot, VersionStats, VersionedTable};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -195,7 +199,6 @@ struct ObservedTraffic {
 }
 
 /// An in-memory database: catalog of versioned tables + secondary indexes.
-#[derive(Default)]
 pub struct Database {
     tables: HashMap<String, VersionedTable>,
     /// `(table, column) → index`. Indexes cover the main store only and
@@ -211,12 +214,36 @@ pub struct Database {
     /// Every plan routed through [`Database::execute`], deduplicated with
     /// frequencies — the observed traffic `relayout`/merge re-advise from.
     observed: Mutex<ObservedTraffic>,
+    /// The background merge scheduler (see [`crate::maintenance`]): every
+    /// DML call consults it, so merges run off the write path.
+    maintenance: MaintenanceScheduler,
+}
+
+impl Default for Database {
+    /// Empty database; maintenance policy comes from the environment
+    /// (`PDSM_MERGE`, `PDSM_MERGE_THRESHOLD`).
+    fn default() -> Self {
+        Self::with_maintenance(MaintenanceConfig::from_env())
+    }
 }
 
 impl Database {
     /// Empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty database with an explicit maintenance policy (tests and
+    /// embedders that must not depend on the process environment).
+    pub fn with_maintenance(cfg: MaintenanceConfig) -> Self {
+        Database {
+            tables: HashMap::new(),
+            indexes: HashMap::new(),
+            catalog_epoch: 0,
+            plan_cache: Mutex::new(HashMap::new()),
+            observed: Mutex::new(ObservedTraffic::default()),
+            maintenance: MaintenanceScheduler::new(cfg),
+        }
     }
 
     /// Create a table in row (N-ary) layout.
@@ -291,6 +318,7 @@ impl Database {
     /// Append a row to `table`'s delta. Returns its row id (stable until
     /// the next merge). Visible to every subsequent query.
     pub fn insert(&mut self, table: &str, values: &[Value]) -> Result<RowId, DbError> {
+        self.maintain(table)?;
         Ok(self.versioned_mut(table)?.insert(values)?)
     }
 
@@ -300,11 +328,16 @@ impl Database {
         table: &str,
         rows: &[Vec<Value>],
     ) -> Result<Vec<RowId>, DbError> {
+        self.maintain(table)?;
         Ok(self.versioned_mut(table)?.insert_batch(rows)?)
     }
 
     /// Overwrite one cell of a visible row (tombstone + re-append).
     /// Returns the row's new id.
+    ///
+    /// Never runs the maintenance step: `row` is a caller-held id, and a
+    /// merge inside the call would renumber it out from under the caller
+    /// (see [`Database::insert`] for where maintenance runs).
     pub fn update(
         &mut self,
         table: &str,
@@ -317,7 +350,8 @@ impl Database {
         Ok(vt.update(row, col, value)?)
     }
 
-    /// Tombstone one visible row of `table`.
+    /// Tombstone one visible row of `table`. Like [`Database::update`],
+    /// never runs the maintenance step (the id argument must stay valid).
     pub fn delete(&mut self, table: &str, row: RowId) -> Result<(), DbError> {
         Ok(self.versioned_mut(table)?.delete(row)?)
     }
@@ -342,6 +376,171 @@ impl Database {
             self.merge(&n)?;
         }
         Ok(())
+    }
+
+    /// The maintenance step every *insert* runs before applying its op:
+    /// catch up finished background builds (replay + swap, O(ops since
+    /// cut)), then check the written table against its merge threshold —
+    /// crossing it either merges inline ([`MaintenanceMode::Sync`]) or
+    /// pins a cut and hands the O(table) fold to the background worker.
+    ///
+    /// Only id-free entry points (inserts, [`Database::poll_maintenance`],
+    /// [`Database::flush_maintenance`]) run this, and they run it *before*
+    /// their own op. That yields a workable id contract under automatic
+    /// merging: row ids resolved after a call that can merge remain valid
+    /// through any run of `update`/`delete` calls until the next such
+    /// call. Drivers that cache ids longer must refresh them when
+    /// [`VersionedTable::generation`] moves.
+    fn maintain(&mut self, table: &str) -> Result<(), DbError> {
+        self.poll_maintenance()?;
+        let vt = self.versioned(table)?;
+        if !self.maintenance.wants_merge(table, vt.delta_ops()) || vt.has_pending_merge() {
+            return Ok(());
+        }
+        // `wants_merge` returned true, so the mode is Sync or Background.
+        if self.maintenance.config().mode == MaintenanceMode::Sync {
+            let advise = self.advise_inputs(table);
+            let current = self.versioned(table)?.main().layout().clone();
+            let (layout, advised) = choose_layout(
+                table,
+                current,
+                advise.as_ref(),
+                &pdsm_cost::Hierarchy::nehalem(),
+                &pdsm_layout::bpi::OptimizerConfig::default(),
+            );
+            self.versioned_mut(table)?.merge_with_layout(layout)?;
+            self.rebuild_indexes(table)?;
+            self.maintenance.note_sync_merge(advised);
+        } else {
+            let advise = self.advise_inputs(table);
+            let vt = self.versioned_mut(table)?;
+            let layout = vt.main().layout().clone();
+            let Ok(ticket) = vt.begin_merge() else {
+                return Ok(()); // already pending (raced an explicit begin)
+            };
+            self.maintenance.launch(BuildJob {
+                table: table.to_string(),
+                ticket,
+                layout,
+                advise,
+            });
+        }
+        Ok(())
+    }
+
+    /// The advisor inputs a merge of `table` ships to the worker: observed
+    /// workload + statistics-free table views. `None` when advising is off
+    /// or nothing observed touches the table.
+    fn advise_inputs(&self, table: &str) -> Option<AdviseInputs> {
+        if !self.maintenance.config().advise_on_merge {
+            return None;
+        }
+        let workload = self.observed_workload();
+        if !workload
+            .queries
+            .iter()
+            .any(|q| q.plan.tables().contains(&table))
+        {
+            return None;
+        }
+        let views = crate::LayoutAdvisor::default().views(self);
+        Some(AdviseInputs { views, workload })
+    }
+
+    /// Apply every background build that has finished, without blocking:
+    /// replay post-cut ops, swap the fresh main in, rebuild indexes.
+    /// Returns the merges applied. Stale builds (an explicit merge won the
+    /// race) are discarded and counted in [`Database::maintenance_stats`].
+    pub fn poll_maintenance(&mut self) -> Result<Vec<(String, MergeStats)>, DbError> {
+        let mut out = Vec::new();
+        let (finished, orphans) = self.maintenance.drain_done();
+        // Tables whose worker died before delivering a build: clear their
+        // pending cuts so automatic merging resumes (a fresh worker is
+        // spawned on the next launch).
+        for t in orphans {
+            if let Some(vt) = self.tables.get_mut(&t) {
+                vt.abort_merge();
+            }
+            self.maintenance.note_discarded();
+        }
+        for done in finished {
+            match done.result {
+                Ok(built) => match self.tables.get_mut(&done.table) {
+                    Some(vt) => match vt.finish_merge(built) {
+                        Ok(stats) => {
+                            self.rebuild_indexes(&done.table)?;
+                            self.maintenance.note_applied(done.advised);
+                            out.push((done.table, stats));
+                        }
+                        Err(_) => self.maintenance.note_discarded(),
+                    },
+                    None => self.maintenance.note_discarded(), // table replaced
+                },
+                Err(_) => {
+                    // Build failed; clear the pending cut so merges can run.
+                    if let Some(vt) = self.tables.get_mut(&done.table) {
+                        vt.abort_merge();
+                    }
+                    self.maintenance.note_discarded();
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Block until every in-flight background build is applied (or
+    /// discarded). The deterministic quiesce point tests and benchmarks
+    /// use; returns the merges applied.
+    pub fn flush_maintenance(&mut self) -> Result<Vec<(String, MergeStats)>, DbError> {
+        let mut out = self.poll_maintenance()?;
+        while self.maintenance.in_flight() > 0 {
+            if !self.maintenance.wait_one() {
+                // Worker died: reclaim the orphaned cuts.
+                for t in self.maintenance.take_in_flight() {
+                    if let Some(vt) = self.tables.get_mut(&t) {
+                        vt.abort_merge();
+                    }
+                    self.maintenance.note_discarded();
+                }
+                break;
+            }
+            out.extend(self.poll_maintenance()?);
+        }
+        Ok(out)
+    }
+
+    /// What the scheduler has done so far.
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        self.maintenance.stats()
+    }
+
+    /// The active maintenance policy.
+    pub fn maintenance_config(&self) -> &MaintenanceConfig {
+        self.maintenance.config()
+    }
+
+    /// Adjust the maintenance policy in place (mode, thresholds, advice).
+    /// Takes effect from the next write.
+    pub fn maintenance_config_mut(&mut self) -> &mut MaintenanceConfig {
+        self.maintenance.config_mut()
+    }
+
+    /// Set the merge threshold: globally (`table = None`) or for one table.
+    pub fn set_merge_threshold(&mut self, table: Option<&str>, delta_ops: u64) {
+        let cfg = self.maintenance.config_mut();
+        match table {
+            Some(t) => {
+                cfg.per_table.insert(t.to_string(), delta_ops);
+            }
+            None => cfg.merge_threshold = delta_ops,
+        }
+    }
+
+    /// Version-chain statistics for `table` (see `pdsm_txn::registry`):
+    /// live main stores, pinned generations, bytes held by superseded
+    /// versions.
+    pub fn version_stats(&self, table: &str) -> Result<VersionStats, DbError> {
+        Ok(self.versioned(table)?.version_stats())
     }
 
     /// Rebuild `table` under `layout`: a merge into the new layout. With an

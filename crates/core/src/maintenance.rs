@@ -1,0 +1,393 @@
+//! Background maintenance: the scheduler that takes merges off the write
+//! path.
+//!
+//! Every DML call used to be the only thing that could pay for a merge —
+//! an O(table) fold on the writer's thread (`fig_update_mix` shows the
+//! resulting 50/50-mix throughput cliff at small thresholds). The
+//! [`MaintenanceScheduler`] owned by [`crate::Database`] decouples that:
+//!
+//! * it watches every table's `delta_ops` against a configurable
+//!   threshold (global default + per-table overrides);
+//! * when a table crosses it, the write path runs only
+//!   [`pdsm_txn::VersionedTable::begin_merge`] (pin the cut, O(delta))
+//!   and hands the [`pdsm_txn::MergeTicket`] to a background worker
+//!   thread, which folds the cut into a fresh main store — consulting the
+//!   layout advisor on the observed workload first, so drifted tables
+//!   merge straight into an advised layout;
+//! * the finished build is *caught up* on a later write-path call (or an
+//!   explicit [`crate::Database::poll_maintenance`] /
+//!   [`crate::Database::flush_maintenance`]): the post-cut ops are
+//!   replayed and the new main swapped in, O(ops since cut).
+//!
+//! ## Modes (`PDSM_MERGE`)
+//!
+//! * `background` (default) — builds run on the worker thread.
+//! * `sync` — threshold crossings merge inline on the writer's thread:
+//!   deterministic, single-threaded, what 1-core CI and differential tests
+//!   want. Results are byte-identical to the background path (both run the
+//!   same three-phase pipeline; see `pdsm_txn::merge`).
+//! * `off` — the scheduler never merges; only explicit
+//!   [`crate::Database::merge`] calls do.
+//!
+//! `PDSM_MERGE_THRESHOLD` sets the global delta-ops threshold (default
+//! 65536). Both knobs are read once, when the [`MaintenanceConfig`] is
+//! built from the environment (i.e. at `Database::new`).
+
+use pdsm_cost::Hierarchy;
+use pdsm_layout::bpi::{optimize_table, OptimizerConfig};
+use pdsm_layout::workload::Workload;
+use pdsm_plan::patterns::TableView;
+use pdsm_storage::Layout;
+use pdsm_txn::{BuiltMain, MergeTicket};
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// When the scheduler is allowed to merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaintenanceMode {
+    /// Builds run on the background worker; swaps are caught up on later
+    /// write-path calls.
+    #[default]
+    Background,
+    /// Threshold crossings merge inline on the writer's thread
+    /// (deterministic fallback for 1-core runs and differential tests).
+    Sync,
+    /// The scheduler never merges.
+    Off,
+}
+
+/// Scheduler policy. [`MaintenanceConfig::from_env`] honors the
+/// `PDSM_MERGE` / `PDSM_MERGE_THRESHOLD` knobs; `Database::new` uses it.
+#[derive(Debug, Clone)]
+pub struct MaintenanceConfig {
+    pub mode: MaintenanceMode,
+    /// Delta ops (writes since last merge) that trigger a merge.
+    pub merge_threshold: u64,
+    /// Per-table threshold overrides.
+    pub per_table: HashMap<String, u64>,
+    /// Consult `LayoutAdvisor::advise_observed`-equivalent inputs at merge
+    /// time, so tables whose observed workload drifted merge into an
+    /// advised layout automatically.
+    pub advise_on_merge: bool,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            mode: MaintenanceMode::default(),
+            merge_threshold: 65_536,
+            per_table: HashMap::new(),
+            advise_on_merge: true,
+        }
+    }
+}
+
+impl MaintenanceConfig {
+    /// Defaults overridden by `PDSM_MERGE` (`background` | `sync` | `off`)
+    /// and `PDSM_MERGE_THRESHOLD` (delta ops).
+    pub fn from_env() -> Self {
+        let mut cfg = MaintenanceConfig::default();
+        match std::env::var("PDSM_MERGE").ok().as_deref() {
+            Some("sync") => cfg.mode = MaintenanceMode::Sync,
+            Some("off") => cfg.mode = MaintenanceMode::Off,
+            _ => {}
+        }
+        if let Some(t) = std::env::var("PDSM_MERGE_THRESHOLD")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.merge_threshold = t;
+        }
+        cfg
+    }
+
+    /// The threshold applying to `table`.
+    pub fn threshold_for(&self, table: &str) -> u64 {
+        self.per_table
+            .get(table)
+            .copied()
+            .unwrap_or(self.merge_threshold)
+    }
+}
+
+/// What the scheduler has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Background builds handed to the worker.
+    pub builds_started: u64,
+    /// Background builds whose swap was applied.
+    pub builds_applied: u64,
+    /// Background builds discarded (stale — an explicit merge won the
+    /// race — or failed).
+    pub builds_discarded: u64,
+    /// Inline merges run in [`MaintenanceMode::Sync`].
+    pub sync_merges: u64,
+    /// Merges (either mode) that folded into an advisor-chosen layout
+    /// differing from the table's previous one.
+    pub advised_relayouts: u64,
+}
+
+/// A build order for the worker: the pinned cut, the layout to fold into
+/// unless the advisor overrides it, and the advisor's inputs.
+pub(crate) struct BuildJob {
+    pub table: String,
+    pub ticket: MergeTicket,
+    pub layout: Layout,
+    pub advise: Option<AdviseInputs>,
+}
+
+/// Everything `optimize_table` needs, captured on the write path (cheap:
+/// views carry no statistics) and shipped to the worker so the BPi search
+/// itself runs off the hot path.
+pub(crate) struct AdviseInputs {
+    pub views: HashMap<String, TableView>,
+    pub workload: Workload,
+}
+
+/// A finished build coming back from the worker.
+pub(crate) struct BuildDone {
+    pub table: String,
+    pub result: Result<BuiltMain, pdsm_storage::Error>,
+    /// The advisor picked a layout different from the table's current one.
+    pub advised: bool,
+}
+
+enum Job {
+    Build(BuildJob),
+    Stop,
+}
+
+struct Worker {
+    tx: Sender<Job>,
+    rx: Receiver<BuildDone>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The per-database maintenance engine. `Database` consults it on every
+/// DML call; it owns the worker thread (spawned lazily on the first
+/// background build, so `sync`/`off` databases never start one).
+#[derive(Default)]
+pub struct MaintenanceScheduler {
+    cfg: MaintenanceConfig,
+    worker: Option<Worker>,
+    /// Tables with a build in flight (suppresses re-triggering).
+    in_flight: HashSet<String>,
+    /// Builds received by a blocking wait, not yet drained.
+    done_buf: Vec<BuildDone>,
+    stats: MaintenanceStats,
+}
+
+impl MaintenanceScheduler {
+    pub fn new(cfg: MaintenanceConfig) -> Self {
+        MaintenanceScheduler {
+            cfg,
+            worker: None,
+            in_flight: HashSet::new(),
+            done_buf: Vec::new(),
+            stats: MaintenanceStats::default(),
+        }
+    }
+
+    /// Scheduler built from the process environment (`PDSM_MERGE`,
+    /// `PDSM_MERGE_THRESHOLD`).
+    pub fn from_env() -> Self {
+        Self::new(MaintenanceConfig::from_env())
+    }
+
+    pub fn config(&self) -> &MaintenanceConfig {
+        &self.cfg
+    }
+
+    pub fn config_mut(&mut self) -> &mut MaintenanceConfig {
+        &mut self.cfg
+    }
+
+    pub fn stats(&self) -> MaintenanceStats {
+        self.stats
+    }
+
+    /// Background builds currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Should `table` at `delta_ops` merge now? (Threshold crossed, mode
+    /// permits it, and no build for it is already in flight.)
+    pub(crate) fn wants_merge(&self, table: &str, delta_ops: u64) -> bool {
+        self.cfg.mode != MaintenanceMode::Off
+            && delta_ops >= self.cfg.threshold_for(table)
+            && !self.in_flight.contains(table)
+    }
+
+    pub(crate) fn note_sync_merge(&mut self, advised: bool) {
+        self.stats.sync_merges += 1;
+        if advised {
+            self.stats.advised_relayouts += 1;
+        }
+    }
+
+    pub(crate) fn note_applied(&mut self, advised: bool) {
+        self.stats.builds_applied += 1;
+        if advised {
+            self.stats.advised_relayouts += 1;
+        }
+    }
+
+    pub(crate) fn note_discarded(&mut self) {
+        self.stats.builds_discarded += 1;
+    }
+
+    /// Hand a build to the worker (spawning it on first use).
+    pub(crate) fn launch(&mut self, job: BuildJob) {
+        let worker = self.worker.get_or_insert_with(|| {
+            let (tx_jobs, rx_jobs) = channel::<Job>();
+            let (tx_done, rx_done) = channel::<BuildDone>();
+            let handle = std::thread::Builder::new()
+                .name("pdsm-maintenance".into())
+                .spawn(move || worker_loop(rx_jobs, tx_done))
+                .expect("spawn maintenance worker");
+            Worker {
+                tx: tx_jobs,
+                rx: rx_done,
+                handle: Some(handle),
+            }
+        });
+        self.in_flight.insert(job.table.clone());
+        self.stats.builds_started += 1;
+        // A send only fails if the worker died (a panic inside a build).
+        // Drop it so the next drain reclaims the orphaned in_flight
+        // entries and the next launch respawns a fresh worker.
+        if worker.tx.send(Job::Build(job)).is_err() {
+            self.worker = None;
+        }
+    }
+
+    /// All builds that have finished, without blocking. The second value
+    /// lists tables orphaned by a dead worker (a panic inside a build):
+    /// their builds will never arrive, so the caller must abort their
+    /// pending merges. The dead worker is dropped, and the next
+    /// [`MaintenanceScheduler::launch`] spawns a fresh one — a lost build
+    /// never disables automatic merging.
+    pub(crate) fn drain_done(&mut self) -> (Vec<BuildDone>, Vec<String>) {
+        let mut out = std::mem::take(&mut self.done_buf);
+        let mut worker_dead = false;
+        if let Some(w) = &self.worker {
+            loop {
+                match w.rx.try_recv() {
+                    Ok(d) => out.push(d),
+                    Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                    Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                        worker_dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        for d in &out {
+            self.in_flight.remove(&d.table);
+        }
+        if worker_dead {
+            self.worker = None;
+        }
+        // in_flight entries with no worker to serve them are orphans
+        // (covers both the dead-worker path above and a failed send)
+        let orphans = if self.worker.is_none() {
+            self.in_flight.drain().collect()
+        } else {
+            Vec::new()
+        };
+        (out, orphans)
+    }
+
+    /// Block until one in-flight build finishes (buffered for the next
+    /// [`MaintenanceScheduler::drain_done`]). Returns false — no progress
+    /// possible — when nothing is in flight or the worker died; the caller
+    /// then reclaims [`MaintenanceScheduler::take_in_flight`] tables.
+    pub(crate) fn wait_one(&mut self) -> bool {
+        if self.in_flight.is_empty() {
+            return false;
+        }
+        let Some(w) = &self.worker else {
+            return false;
+        };
+        match w.rx.recv() {
+            Ok(d) => {
+                self.in_flight.remove(&d.table);
+                self.done_buf.push(d);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Tables that still count as in flight (used to abort their pending
+    /// merges if the worker died).
+    pub(crate) fn take_in_flight(&mut self) -> Vec<String> {
+        self.in_flight.drain().collect()
+    }
+}
+
+impl Drop for MaintenanceScheduler {
+    fn drop(&mut self) {
+        if let Some(w) = self.worker.take() {
+            let _ = w.tx.send(Job::Stop);
+            if let Some(h) = w.handle {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Pick the layout a merge of `table` should fold into: the advisor's
+/// choice over the observed workload when it differs from `current`,
+/// otherwise `current`. Returns `(layout, advised)`.
+pub(crate) fn choose_layout(
+    table: &str,
+    current: Layout,
+    advise: Option<&AdviseInputs>,
+    hw: &Hierarchy,
+    cfg: &OptimizerConfig,
+) -> (Layout, bool) {
+    let Some(a) = advise else {
+        return (current, false);
+    };
+    if a.workload.queries.is_empty() || !a.views.contains_key(table) {
+        return (current, false);
+    }
+    let opt = optimize_table(table, &a.views, &a.workload, hw, cfg);
+    if opt.layout != current {
+        (opt.layout, true)
+    } else {
+        (current, false)
+    }
+}
+
+fn worker_loop(rx_jobs: Receiver<Job>, tx_done: Sender<BuildDone>) {
+    let hw = Hierarchy::nehalem();
+    let opt_cfg = OptimizerConfig::default();
+    while let Ok(job) = rx_jobs.recv() {
+        let job = match job {
+            Job::Stop => break,
+            Job::Build(j) => j,
+        };
+        let (layout, advised) = choose_layout(
+            &job.table,
+            job.layout.clone(),
+            job.advise.as_ref(),
+            &hw,
+            &opt_cfg,
+        );
+        let result = job.ticket.build(layout);
+        if tx_done
+            .send(BuildDone {
+                table: job.table,
+                result,
+                advised,
+            })
+            .is_err()
+        {
+            break;
+        }
+    }
+}

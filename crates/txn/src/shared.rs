@@ -8,9 +8,11 @@
 //! store; readers that grabbed a snapshot before the merge keep their
 //! pinned `Arc`s and are never blocked mid-query or torn.
 
+use crate::merge::{BuiltMain, MergeTicket};
+use crate::registry::VersionStats;
 use crate::table::{MergeStats, RowId, VersionedTable, WriteStats};
 use crate::version::Snapshot;
-use pdsm_storage::{ColId, Layout, Result, Value};
+use pdsm_storage::{ColId, Error, Layout, Result, Value};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A cloneable handle to a concurrently usable versioned table.
@@ -61,14 +63,80 @@ impl SharedTable {
         self.write().delete(id)
     }
 
-    /// Fold the delta into a fresh main store (current layout).
+    /// Fold the delta into a fresh main store (current layout),
+    /// synchronously: the write lock is held for the whole fold. Prefer
+    /// [`SharedTable::background_merge`] when writers must not stall.
     pub fn merge(&self) -> Result<MergeStats> {
         self.write().merge()
     }
 
-    /// Fold the delta into a fresh main store under `layout`.
+    /// Fold the delta into a fresh main store under `layout` (write lock
+    /// held for the whole fold).
     pub fn merge_with_layout(&self, layout: Layout) -> Result<MergeStats> {
         self.write().merge_with_layout(layout)
+    }
+
+    /// Phase 1 of a background merge: pin the cut and start the replay
+    /// log. The write lock is held only for the O(delta) overlay freeze.
+    pub fn begin_merge(&self) -> Result<MergeTicket> {
+        self.write().begin_merge()
+    }
+
+    /// Phase 3 of a background merge: replay post-cut ops and swap. The
+    /// write lock is held only for the O(ops since cut) replay.
+    pub fn finish_merge(&self, built: BuiltMain) -> Result<MergeStats> {
+        self.write().finish_merge(built)
+    }
+
+    /// Drop any pending merge build (its `finish_merge` turns stale).
+    pub fn abort_merge(&self) -> bool {
+        self.write().abort_merge()
+    }
+
+    /// Run one full background merge from this thread: begin (short write
+    /// lock) → build off-lock, writers and readers proceed → finish (short
+    /// write lock). This is the maintenance-thread entry point.
+    ///
+    /// Returns `Ok(None)` without touching the table when a build is
+    /// already pending or the swap lost to a concurrent explicit merge.
+    pub fn background_merge(&self) -> Result<Option<MergeStats>> {
+        self.background_merge_with(None)
+    }
+
+    /// [`SharedTable::background_merge`], folding into `layout` (e.g. the
+    /// layout advisor's pick) instead of the current one.
+    pub fn background_merge_with(&self, layout: Option<Layout>) -> Result<Option<MergeStats>> {
+        let ticket = match self.write().begin_merge() {
+            Ok(t) => t,
+            Err(Error::MergeInProgress) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let layout = layout.unwrap_or_else(|| ticket.snapshot().main().layout().clone());
+        let built = match ticket.build(layout) {
+            Ok(b) => b,
+            Err(e) => {
+                // Epoch-guarded: abort only our own pending merge — a
+                // sync merge may have preempted us and someone else may
+                // have begun a newer one meanwhile.
+                self.write().abort_merge_epoch(ticket.epoch());
+                return Err(e);
+            }
+        };
+        match self.write().finish_merge(built) {
+            Ok(s) => Ok(Some(s)),
+            Err(Error::StaleMergeBuild) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Merge generation right now.
+    pub fn generation(&self) -> u64 {
+        self.read().generation()
+    }
+
+    /// Version-chain statistics right now (see [`crate::registry`]).
+    pub fn version_stats(&self) -> VersionStats {
+        self.read().version_stats()
     }
 
     /// Visible row count right now.

@@ -1,6 +1,9 @@
 //! [`VersionedTable`]: an immutable main store plus an append-only delta
-//! with tombstones, merged on demand.
+//! with tombstones, merged on demand — synchronously or through the
+//! three-phase background pipeline (see [`crate::merge`]).
 
+use crate::merge::{BuiltMain, MergeTicket};
+use crate::registry::{VersionRegistry, VersionStats};
 use crate::version::{OverlayData, Snapshot};
 use pdsm_exec::{Overlay, TableProvider};
 use pdsm_storage::row::Row;
@@ -40,6 +43,30 @@ pub struct WriteStats {
     pub merges: u64,
 }
 
+/// The replay log a pending background merge maintains: enough to carry
+/// every op that lands between the build's snapshot cut and the swap.
+///
+/// Inserts need no explicit log — tail rows past `cut_tail` *are* the
+/// post-cut inserts, carried verbatim into the new delta. Only tombstones
+/// of rows that existed at the cut must be replayed through the build's
+/// remap (updates are tombstone + re-append, so they decompose into the
+/// two cases).
+#[derive(Debug)]
+struct PendingMerge {
+    /// Must match the finishing build's epoch.
+    epoch: u64,
+    /// Tail length at the cut; rows past it belong to the next version's
+    /// delta.
+    cut_tail: usize,
+    /// `n_ops` at the cut; the next version's delta op count is the
+    /// difference.
+    cut_ops: u64,
+    /// Cut-space row ids tombstoned after the cut (each was alive at the
+    /// cut — liveness only decreases within a version — so each has a
+    /// remap entry).
+    replay_deletes: Vec<RowId>,
+}
+
 /// A versioned table: immutable partitioned main + append-only row-format
 /// delta with tombstones. See the crate docs for the design.
 ///
@@ -64,10 +91,22 @@ pub struct VersionedTable {
     /// Frozen overlay of the *current* state, shared by snapshots; reset by
     /// every write so each version is computed at most once.
     snap_cache: OnceLock<Arc<OverlayData>>,
+    /// Reader/version bookkeeping shared with every snapshot.
+    registry: Arc<VersionRegistry>,
+    /// Monotonic counter of merge builds begun; stamps tickets so stale
+    /// builds can never swap in.
+    merge_epoch: u64,
+    /// The in-flight background merge, if any.
+    pending: Option<PendingMerge>,
 }
 
 impl Clone for VersionedTable {
     fn clone(&self) -> Self {
+        // The clone is an independent table: it gets its own registry
+        // (snapshots of the original keep counting against the original)
+        // and no pending merge (the in-flight build belongs to `self`).
+        let registry = Arc::new(VersionRegistry::default());
+        registry.publish(self.generation, &self.main);
         VersionedTable {
             main: self.main.clone(),
             generation: self.generation,
@@ -79,6 +118,9 @@ impl Clone for VersionedTable {
             n_ops: self.n_ops,
             stats: self.stats,
             snap_cache: OnceLock::new(),
+            registry,
+            merge_epoch: self.merge_epoch,
+            pending: None,
         }
     }
 }
@@ -87,8 +129,11 @@ impl VersionedTable {
     /// Wrap an already-built table (e.g. from a workload generator) as the
     /// generation-0 main store with an empty delta.
     pub fn from_table(table: Table) -> Self {
+        let main = Arc::new(table);
+        let registry = Arc::new(VersionRegistry::default());
+        registry.publish(0, &main);
         VersionedTable {
-            main: Arc::new(table),
+            main,
             generation: 0,
             dead_main: Vec::new(),
             dead_main_count: 0,
@@ -98,6 +143,9 @@ impl VersionedTable {
             n_ops: 0,
             stats: WriteStats::default(),
             snap_cache: OnceLock::new(),
+            registry,
+            merge_epoch: 0,
+            pending: None,
         }
     }
 
@@ -140,6 +188,8 @@ impl VersionedTable {
                 "cannot mutate the main store with a pending delta; merge first".into(),
             ));
         }
+        // A direct main-store edit invalidates any in-flight merge build.
+        self.abort_merge();
         self.snap_cache = OnceLock::new();
         Ok(Arc::make_mut(&mut self.main))
     }
@@ -317,6 +367,14 @@ impl VersionedTable {
             self.tail_alive[id - self.main.len()] = false;
             self.tail_dead_count += 1;
         }
+        // Tombstones of rows that existed at a pending build's cut must be
+        // replayed through the remap at swap time; rows appended after the
+        // cut carry their own liveness into the next delta.
+        if let Some(p) = self.pending.as_mut() {
+            if id < self.main.len() + p.cut_tail {
+                p.replay_deletes.push(id);
+            }
+        }
         self.stats.deletes += 1;
         self.bump();
         Ok(())
@@ -401,10 +459,16 @@ impl VersionedTable {
             main: self.main.clone(),
             overlay,
             generation: self.generation,
+            _ticket: Some(self.registry.register(self.generation, &self.main)),
         }
     }
 
     /// Fold the delta into a fresh main store under the current layout.
+    ///
+    /// Synchronous: the fold runs on the caller's thread. Aborts any
+    /// pending background build first (the explicit merge wins; the
+    /// in-flight build's `finish_merge` will fail `StaleMergeBuild` and
+    /// be discarded by its owner).
     pub fn merge(&mut self) -> Result<MergeStats> {
         self.merge_with_layout(self.main.layout().clone())
     }
@@ -414,32 +478,135 @@ impl VersionedTable {
     /// `Arc`, so in-flight snapshots keep reading the old version. Row ids
     /// are renumbered; with an empty delta this is a pure relayout and ids
     /// are stable.
+    ///
+    /// Implemented as the three-phase pipeline run back-to-back (begin →
+    /// build → finish) so the synchronous and background paths share one
+    /// fold and stay byte-identical by construction.
     pub fn merge_with_layout(&mut self, layout: Layout) -> Result<MergeStats> {
-        let mut fresh = Table::with_layout(self.name().to_string(), self.schema().clone(), layout)?;
-        fresh.reserve(self.len());
-        for row in self.rows() {
-            fresh
-                .insert(row.values())
-                .expect("merge re-encodes already-normalized rows");
+        self.abort_merge();
+        let ticket = self.begin_merge()?;
+        let built = match ticket.build(layout) {
+            Ok(b) => b,
+            Err(e) => {
+                self.abort_merge();
+                return Err(e);
+            }
+        };
+        self.finish_merge(built)
+    }
+
+    /// Phase 1 of a background merge: pin the current version as the
+    /// build's *cut* and start recording post-cut tombstones for replay.
+    /// O(delta) to freeze the overlay; the heavy fold belongs to
+    /// [`MergeTicket::build`], which runs on any thread.
+    ///
+    /// Errors with [`Error::MergeInProgress`] if a build is already
+    /// pending ([`VersionedTable::abort_merge`] clears it).
+    pub fn begin_merge(&mut self) -> Result<MergeTicket> {
+        if self.pending.is_some() {
+            return Err(Error::MergeInProgress);
         }
+        self.merge_epoch += 1;
+        self.pending = Some(PendingMerge {
+            epoch: self.merge_epoch,
+            cut_tail: self.tail.len(),
+            cut_ops: self.n_ops,
+            replay_deletes: Vec::new(),
+        });
+        Ok(MergeTicket {
+            snapshot: self.snapshot(),
+            epoch: self.merge_epoch,
+        })
+    }
+
+    /// Phase 3 of a background merge: replay the ops that landed since the
+    /// build's cut and swap the fresh main store in. O(ops since cut) —
+    /// the write path never pays the O(table) fold.
+    ///
+    /// Errors with [`Error::StaleMergeBuild`] (table untouched) when the
+    /// merge state moved on since the build began: another merge
+    /// completed, the build was aborted, or the main store was edited.
+    pub fn finish_merge(&mut self, built: BuiltMain) -> Result<MergeStats> {
+        match &self.pending {
+            Some(p)
+                if p.epoch == built.epoch
+                    && built.cut_main_rows == self.main.len()
+                    && built.cut_tail == p.cut_tail => {}
+            _ => return Err(Error::StaleMergeBuild),
+        }
+        let pending = self.pending.take().expect("matched above");
+        // Replay post-cut tombstones of cut-time rows onto the fresh main.
+        let mut dead_main = Vec::new();
+        let mut dead_main_count = 0usize;
+        for &id in &pending.replay_deletes {
+            let Some(p) = built.remap[id] else {
+                continue; // defensive: dead at cut, nothing to replay
+            };
+            if dead_main.is_empty() {
+                dead_main = vec![false; built.table.len()];
+            }
+            if !dead_main[p as usize] {
+                dead_main[p as usize] = true;
+                dead_main_count += 1;
+            }
+        }
+        // Rows appended after the cut become the next version's delta,
+        // liveness carried verbatim.
+        let tail: Vec<Row> = self.tail.split_off(pending.cut_tail);
+        let tail_alive: Vec<bool> = self.tail_alive.split_off(pending.cut_tail);
+        let tail_dead_count = tail_alive.iter().filter(|a| !**a).count();
         let stats = MergeStats {
             generation: self.generation + 1,
-            main_rows_before: self.main.len(),
-            tombstones_dropped: self.dead_main_count + self.tail_dead_count,
-            delta_rows_folded: self.tail.len() - self.tail_dead_count,
-            rows_after: fresh.len(),
+            main_rows_before: built.cut_main_rows,
+            tombstones_dropped: built.dead_at_cut,
+            delta_rows_folded: built.tail_folded,
+            rows_after: built.table.len(),
         };
-        self.main = Arc::new(fresh);
+        self.main = Arc::new(built.table);
         self.generation += 1;
-        self.dead_main = Vec::new();
-        self.dead_main_count = 0;
-        self.tail = Vec::new();
-        self.tail_alive = Vec::new();
-        self.tail_dead_count = 0;
-        self.n_ops = 0;
+        self.registry.publish(self.generation, &self.main);
+        self.dead_main = dead_main;
+        self.dead_main_count = dead_main_count;
+        self.tail = tail;
+        self.tail_alive = tail_alive;
+        self.tail_dead_count = tail_dead_count;
+        self.n_ops -= pending.cut_ops;
         self.stats.merges += 1;
         self.snap_cache = OnceLock::new();
         Ok(stats)
+    }
+
+    /// Drop any pending merge build. Its `finish_merge` will fail with
+    /// [`Error::StaleMergeBuild`]. Returns whether a build was pending.
+    pub fn abort_merge(&mut self) -> bool {
+        self.pending.take().is_some()
+    }
+
+    /// Drop the pending merge build only if it is the one `epoch` stamps
+    /// (see [`crate::MergeTicket::epoch`]) — the safe abort for an owner
+    /// that may have been preempted: a newer pending merge begun by
+    /// someone else is left alone. Returns whether an abort happened.
+    pub fn abort_merge_epoch(&mut self, epoch: u64) -> bool {
+        match &self.pending {
+            Some(p) if p.epoch == epoch => {
+                self.pending = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True iff a background merge build is in flight (begun, not yet
+    /// finished or aborted).
+    pub fn has_pending_merge(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Version-chain statistics: how many main stores are still allocated,
+    /// how many readers pin which generations, and the bytes superseded
+    /// versions hold. See [`crate::registry`].
+    pub fn version_stats(&self) -> VersionStats {
+        self.registry.stats(self.generation)
     }
 
     /// Approximate bytes held by the delta (tail rows + masks).
@@ -659,6 +826,159 @@ mod tests {
             t.get(0).unwrap().0,
             vec![Value::Float64(3.0), Value::Int64(4)]
         );
+    }
+
+    /// Run `write_ops(t)` between begin and finish of a background merge,
+    /// and the identical ops on a clone that stays un-merged; both tables
+    /// (and then both after a final sync merge) must agree exactly.
+    fn background_vs_live(
+        mut t: VersionedTable,
+        layout: Layout,
+        write_ops: impl Fn(&mut VersionedTable),
+    ) {
+        let mut live = t.clone();
+        let ticket = t.begin_merge().unwrap();
+        write_ops(&mut t);
+        write_ops(&mut live);
+        let built = ticket.build(layout).unwrap();
+        t.finish_merge(built).unwrap();
+        let a: Vec<Row> = t.rows().collect();
+        let b: Vec<Row> = live.rows().collect();
+        assert_eq!(a, b, "background-merged vs live scan order");
+        t.merge().unwrap();
+        live.merge().unwrap();
+        let a: Vec<Row> = t.rows().collect();
+        let b: Vec<Row> = live.rows().collect();
+        assert_eq!(a, b, "after final sync merge");
+    }
+
+    #[test]
+    fn background_merge_replays_interleaved_ops() {
+        background_vs_live(seeded(), Layout::column(3), |t| {
+            // inserts after the cut
+            t.insert(&[Value::Int32(100), Value::Str("post".into()), Value::Null])
+                .unwrap();
+            // delete a main-store row that existed at the cut
+            t.delete(2).unwrap();
+            // update a cut-time row: tombstone (replayed) + re-append (carried)
+            t.update(5, 1, &Value::Str("upd".into())).unwrap();
+            // delete a row appended after the cut (carried liveness)
+            let id = t
+                .insert(&[Value::Int32(101), Value::Str("gone".into()), Value::Null])
+                .unwrap();
+            t.delete(id).unwrap();
+        });
+    }
+
+    #[test]
+    fn background_merge_replays_cut_tail_tombstones() {
+        // Seed a delta before the cut so the replay must remap tail
+        // ordinals, not just main positions.
+        let mut t = seeded();
+        let pre = t
+            .insert(&[Value::Int32(50), Value::Str("pre".into()), Value::Null])
+            .unwrap();
+        t.insert(&[Value::Int32(51), Value::Str("pre2".into()), Value::Null])
+            .unwrap();
+        background_vs_live(t, Layout::row(3), move |t| {
+            t.delete(pre).unwrap(); // cut-tail row tombstoned post-cut
+            t.delete(0).unwrap();
+        });
+    }
+
+    #[test]
+    fn background_merge_with_quiet_window_matches_sync() {
+        let mut t = seeded();
+        t.delete(0).unwrap();
+        t.insert(&[Value::Int32(70), Value::Str("x".into()), Value::Null])
+            .unwrap();
+        let mut sync = t.clone();
+        let ticket = t.begin_merge().unwrap();
+        let built = ticket.build(Layout::column(3)).unwrap();
+        let a = t.finish_merge(built).unwrap();
+        let b = sync.merge_with_layout(Layout::column(3)).unwrap();
+        assert_eq!(a, b, "identical MergeStats");
+        assert!(!t.has_delta());
+        let ta: Vec<Row> = t.rows().collect();
+        let tb: Vec<Row> = sync.rows().collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn stale_build_is_rejected_and_table_untouched() {
+        let mut t = seeded();
+        t.insert(&[Value::Int32(60), Value::Str("d".into()), Value::Null])
+            .unwrap();
+        let ticket = t.begin_merge().unwrap();
+        assert!(matches!(t.begin_merge(), Err(Error::MergeInProgress)));
+        let built = ticket.build(Layout::row(3)).unwrap();
+        // an explicit merge intervenes: the build is now stale
+        t.merge().unwrap();
+        let gen = t.generation();
+        let rows: Vec<Row> = t.rows().collect();
+        assert!(matches!(t.finish_merge(built), Err(Error::StaleMergeBuild)));
+        assert_eq!(t.generation(), gen);
+        assert_eq!(t.rows().collect::<Vec<_>>(), rows);
+        // aborting with nothing pending is a no-op
+        assert!(!t.abort_merge());
+    }
+
+    #[test]
+    fn abort_merge_epoch_only_aborts_its_own() {
+        let mut t = seeded();
+        t.insert(&[Value::Int32(61), Value::Str("e".into()), Value::Null])
+            .unwrap();
+        let stale_epoch = t.begin_merge().unwrap().epoch();
+        t.merge().unwrap(); // preempts the pending build and completes
+        let ticket2 = t.begin_merge().unwrap();
+        assert!(
+            !t.abort_merge_epoch(stale_epoch),
+            "a preempted owner must not abort someone else's newer merge"
+        );
+        assert!(t.has_pending_merge());
+        assert!(t.abort_merge_epoch(ticket2.epoch()));
+        assert!(!t.has_pending_merge());
+    }
+
+    #[test]
+    fn post_cut_ops_remain_as_delta_after_swap() {
+        let mut t = seeded();
+        let ticket = t.begin_merge().unwrap();
+        t.insert(&[Value::Int32(80), Value::Str("a".into()), Value::Null])
+            .unwrap();
+        t.delete(1).unwrap();
+        let built = ticket.build(Layout::row(3)).unwrap();
+        t.finish_merge(built).unwrap();
+        // the swap folded only the cut; the two post-cut ops are the new delta
+        assert_eq!(t.delta_ops(), 2);
+        assert_eq!(t.delta_rows(), 1);
+        assert_eq!(t.len(), 10); // 10 − 1 + 1
+        assert!(t.has_delta());
+    }
+
+    #[test]
+    fn long_lived_snapshot_pins_only_its_own_version() {
+        let mut t = seeded();
+        let pin = t.snapshot();
+        let pinned_gen = pin.generation();
+        for i in 0..6 {
+            t.insert(&[Value::Int32(200 + i), Value::Str("m".into()), Value::Null])
+                .unwrap();
+            t.merge().unwrap();
+        }
+        let s = t.version_stats();
+        assert_eq!(s.pinned_versions, 1, "only the long-lived reader's gen");
+        assert_eq!(
+            s.live_mains, 2,
+            "pinned version + current — intermediates reclaimed"
+        );
+        assert!(s.pinned_bytes > 0);
+        assert_eq!(pin.generation(), pinned_gen);
+        drop(pin);
+        let s = t.version_stats();
+        assert_eq!(s.pinned_versions, 0);
+        assert_eq!(s.live_mains, 1, "only the current main remains");
+        assert_eq!(s.pinned_bytes, 0);
     }
 
     #[test]

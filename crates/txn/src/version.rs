@@ -1,6 +1,7 @@
 //! Frozen version state: the overlay data snapshots pin, and the
 //! [`Snapshot`] handle itself.
 
+use crate::registry::VersionTicket;
 use pdsm_exec::{Overlay, TableProvider};
 use pdsm_storage::row::Row;
 use pdsm_storage::Table;
@@ -52,6 +53,10 @@ pub struct Snapshot {
     pub(crate) main: Arc<Table>,
     pub(crate) overlay: Option<Arc<OverlayData>>,
     pub(crate) generation: u64,
+    /// Reader registration in the table's version registry; released
+    /// (decrementing this generation's reader count) when the last clone
+    /// of this snapshot drops.
+    pub(crate) _ticket: Option<Arc<VersionTicket>>,
 }
 
 impl Snapshot {

@@ -21,7 +21,10 @@ pub use pdsm_workloads as workloads;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
-    pub use pdsm_core::{Database, EngineKind, IndexKind, LayoutAdvisor, QueryOutput};
+    pub use pdsm_core::{
+        Database, EngineKind, IndexKind, LayoutAdvisor, MaintenanceConfig, MaintenanceMode,
+        MaintenanceStats, QueryOutput,
+    };
     pub use pdsm_exec::engine::{BulkEngine, CompiledEngine, Engine, VolcanoEngine};
     pub use pdsm_layout::workload::{Workload, WorkloadQuery};
     pub use pdsm_par::ParallelEngine;
@@ -29,5 +32,5 @@ pub mod prelude {
     pub use pdsm_plan::expr::Expr;
     pub use pdsm_plan::logical::{AggExpr, AggFunc, LogicalPlan};
     pub use pdsm_storage::{ColumnDef, DataType, Layout, Schema, Table, Value};
-    pub use pdsm_txn::{MergeStats, SharedTable, Snapshot, VersionedTable};
+    pub use pdsm_txn::{MergeStats, SharedTable, Snapshot, VersionStats, VersionedTable};
 }

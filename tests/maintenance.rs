@@ -1,0 +1,335 @@
+//! The maintenance scheduler end-to-end: background merges stay
+//! byte-identical to synchronous ones, the advisor loop re-layouts
+//! drifted tables at merge time, plan caches survive background
+//! generation bumps, and version chains stay bounded.
+
+use mrdb::prelude::*;
+use mrdb::storage::Value as V;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn cfg(mode: MaintenanceMode, threshold: u64) -> MaintenanceConfig {
+    MaintenanceConfig {
+        mode,
+        merge_threshold: threshold,
+        advise_on_merge: false,
+        ..Default::default()
+    }
+}
+
+fn make_table(db: &mut Database) {
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            ColumnDef::new("k", DataType::Int32),
+            ColumnDef::new("v", DataType::Int64),
+            ColumnDef::new("s", DataType::Str),
+        ]),
+    )
+    .unwrap();
+}
+
+/// Current live row ids in scan order (the timing-invariant resolution
+/// drivers must use when the scheduler can renumber ids at any write).
+fn live_ids(db: &Database) -> Vec<usize> {
+    let vt = db.versioned("t").unwrap();
+    (0..vt.main().len() + vt.delta_rows())
+        .filter(|&i| vt.is_visible(i))
+        .collect()
+}
+
+/// Apply one deterministic op-stream step. Row targets resolve by *live
+/// position* (scan order), which is invariant under merge timing — so two
+/// databases merging at different moments apply identical logical ops.
+///
+/// Ids resolved here are used immediately, with no insert in between —
+/// exactly the id contract `Database::maintain` documents (only id-free
+/// entry points can merge and renumber).
+fn apply_step(db: &mut Database, rng: &mut SmallRng) {
+    let w = rng.gen_range(0..10);
+    if w < 6 {
+        let k: i32 = rng.gen_range(0..1000);
+        db.insert(
+            "t",
+            &[
+                V::Int32(k),
+                V::Int64(k as i64 * 3),
+                V::Str(format!("s{}", k % 7)),
+            ],
+        )
+        .unwrap();
+    } else if w < 8 {
+        let live = live_ids(db);
+        if !live.is_empty() {
+            let id = live[rng.gen_range(0..u64::MAX) as usize % live.len()];
+            db.update("t", id, "v", &V::Int64(rng.gen_range(-500..500)))
+                .unwrap();
+        }
+    } else {
+        let live = live_ids(db);
+        if !live.is_empty() {
+            let id = live[rng.gen_range(0..u64::MAX) as usize % live.len()];
+            db.delete("t", id).unwrap();
+        }
+    }
+}
+
+fn scan_rows(db: &Database) -> Vec<Vec<Value>> {
+    db.run(&QueryBuilder::scan("t").build(), EngineKind::Compiled)
+        .unwrap()
+        .rows
+}
+
+#[test]
+fn sync_mode_merges_inline_at_threshold() {
+    let mut db = Database::with_maintenance(cfg(MaintenanceMode::Sync, 64));
+    make_table(&mut db);
+    for i in 0..500i32 {
+        db.insert("t", &[V::Int32(i), V::Int64(i as i64), V::Str("x".into())])
+            .unwrap();
+    }
+    let vt = db.versioned("t").unwrap();
+    assert!(vt.generation() > 0, "threshold crossings merged");
+    assert!(vt.delta_ops() < 64 + 1, "delta stays bounded");
+    let stats = db.maintenance_stats();
+    assert!(stats.sync_merges >= 7, "got {:?}", stats);
+    assert_eq!(stats.builds_started, 0, "sync mode never uses the worker");
+    assert_eq!(scan_rows(&db).len(), 500);
+}
+
+#[test]
+fn background_mode_builds_off_thread_and_catches_up() {
+    let mut db = Database::with_maintenance(cfg(MaintenanceMode::Background, 64));
+    make_table(&mut db);
+    for i in 0..500i32 {
+        db.insert("t", &[V::Int32(i), V::Int64(i as i64), V::Str("x".into())])
+            .unwrap();
+    }
+    let applied = db.flush_maintenance().unwrap();
+    let stats = db.maintenance_stats();
+    assert!(stats.builds_started >= 1, "got {:?}", stats);
+    assert_eq!(
+        stats.builds_applied, stats.builds_started,
+        "all builds caught up (none raced an explicit merge): {:?}",
+        stats
+    );
+    assert_eq!(stats.sync_merges, 0);
+    assert!(!applied.is_empty() || stats.builds_applied > 0);
+    assert!(db.versioned("t").unwrap().generation() > 0);
+    assert_eq!(scan_rows(&db).len(), 500);
+}
+
+#[test]
+fn background_and_sync_paths_are_byte_identical() {
+    let mut sync_db = Database::with_maintenance(cfg(MaintenanceMode::Sync, 48));
+    let mut bg_db = Database::with_maintenance(cfg(MaintenanceMode::Background, 48));
+    let mut off_db = Database::with_maintenance(cfg(MaintenanceMode::Off, 48));
+    for db in [&mut sync_db, &mut bg_db, &mut off_db] {
+        make_table(db);
+    }
+    // identical op streams; targets resolve by live position (timing-proof)
+    let mut r1 = SmallRng::seed_from_u64(99);
+    let mut r2 = SmallRng::seed_from_u64(99);
+    let mut r3 = SmallRng::seed_from_u64(99);
+    for _ in 0..800 {
+        apply_step(&mut sync_db, &mut r1);
+        apply_step(&mut bg_db, &mut r2);
+        apply_step(&mut off_db, &mut r3);
+    }
+    bg_db.flush_maintenance().unwrap();
+    // live scans agree before any final merge...
+    let a = scan_rows(&sync_db);
+    let b = scan_rows(&bg_db);
+    let c = scan_rows(&off_db);
+    assert_eq!(a, b, "sync vs background live state");
+    assert_eq!(a, c, "scheduled vs never-merged live state");
+    // ...and after everything is folded
+    for db in [&mut sync_db, &mut bg_db, &mut off_db] {
+        db.merge_all().unwrap();
+    }
+    let a = scan_rows(&sync_db);
+    let b = scan_rows(&bg_db);
+    let c = scan_rows(&off_db);
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+    assert!(bg_db.maintenance_stats().builds_started > 0);
+    assert!(sync_db.maintenance_stats().sync_merges > 0);
+}
+
+#[test]
+fn explicit_merge_wins_over_in_flight_build() {
+    let mut db = Database::with_maintenance(cfg(MaintenanceMode::Background, 32));
+    make_table(&mut db);
+    // the 33rd insert's entry check crosses the threshold and launches a
+    // build; no later DML entry exists that could apply it first
+    for i in 0..33i32 {
+        db.insert("t", &[V::Int32(i), V::Int64(0), V::Str("x".into())])
+            .unwrap();
+    }
+    assert!(db.versioned("t").unwrap().has_pending_merge());
+    // preempt the in-flight build with an explicit merge
+    db.merge("t").unwrap();
+    db.flush_maintenance().unwrap();
+    let stats = db.maintenance_stats();
+    assert_eq!(stats.builds_started, 1);
+    assert_eq!(
+        stats.builds_discarded, 1,
+        "preempted build discarded: {:?}",
+        stats
+    );
+    assert_eq!(stats.builds_applied, 0);
+    assert_eq!(scan_rows(&db).len(), 33);
+}
+
+/// ROADMAP's "layout advice as policy" loop: tables whose observed
+/// workload drifted merge into an advised layout automatically.
+fn advised_relayout_on(mode: MaintenanceMode) {
+    let mut c = cfg(mode, 200);
+    c.advise_on_merge = true;
+    let mut db = Database::with_maintenance(c);
+    let cols: Vec<ColumnDef> = (0..16)
+        .map(|i| ColumnDef::new(format!("c{i}"), DataType::Int32))
+        .collect();
+    db.create_table("r", Schema::new(cols)).unwrap();
+    for i in 0..2000i32 {
+        let row: Vec<Value> = (0..16).map(|c| V::Int32(i * 16 + c)).collect();
+        db.insert("r", &row).unwrap();
+    }
+    db.flush_maintenance().unwrap();
+    db.merge_all().unwrap();
+    assert_eq!(
+        db.get_table("r").unwrap().layout().n_groups(),
+        1,
+        "no observed traffic yet: merges keep the row layout"
+    );
+    // narrow scan traffic: the advisor should split the hot columns out
+    let q = QueryBuilder::scan("r")
+        .filter_with_selectivity(Expr::col(0).eq(Expr::lit(3)), 0.05)
+        .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, Expr::col(1))])
+        .build();
+    for _ in 0..5 {
+        db.execute(&q).unwrap();
+    }
+    for i in 0..250i32 {
+        let row: Vec<Value> = (0..16).map(|c| V::Int32(i * 16 + c)).collect();
+        db.insert("r", &row).unwrap();
+    }
+    db.flush_maintenance().unwrap();
+    let stats = db.maintenance_stats();
+    assert!(
+        stats.advised_relayouts >= 1,
+        "merge consulted the advisor: {:?}",
+        stats
+    );
+    assert!(
+        db.get_table("r").unwrap().layout().n_groups() > 1,
+        "drifted table merged into an advised layout: {}",
+        db.get_table("r").unwrap().layout()
+    );
+    // results unchanged under the new layout
+    let out = db.execute(&q).unwrap();
+    assert_eq!(out.rows.len(), 1);
+}
+
+#[test]
+fn advised_relayout_at_merge_sync() {
+    advised_relayout_on(MaintenanceMode::Sync);
+}
+
+#[test]
+fn advised_relayout_at_merge_background() {
+    advised_relayout_on(MaintenanceMode::Background);
+}
+
+#[test]
+fn plan_cache_follows_background_generation_bumps() {
+    let mut db = Database::with_maintenance(cfg(MaintenanceMode::Background, 64));
+    make_table(&mut db);
+    for i in 0..60i32 {
+        db.insert("t", &[V::Int32(i), V::Int64(i as i64), V::Str("x".into())])
+            .unwrap();
+    }
+    let plan = QueryBuilder::scan("t")
+        .filter(Expr::col(0).lt(Expr::lit(10)))
+        .build();
+    let p1 = db.plan_query(&plan).unwrap();
+    let p1b = db.plan_query(&plan).unwrap();
+    assert!(std::sync::Arc::ptr_eq(&p1, &p1b), "stable while quiet");
+    // push past the threshold and catch the background merge up
+    for i in 60..130i32 {
+        db.insert("t", &[V::Int32(i), V::Int64(i as i64), V::Str("x".into())])
+            .unwrap();
+    }
+    db.flush_maintenance().unwrap();
+    db.poll_maintenance().unwrap();
+    assert!(db.versioned("t").unwrap().generation() > 0);
+    let p2 = db.plan_query(&plan).unwrap();
+    assert!(
+        !std::sync::Arc::ptr_eq(&p1, &p2),
+        "background generation bump invalidates the cached plan"
+    );
+    assert_eq!(db.execute(&plan).unwrap().rows.len(), 10);
+}
+
+#[test]
+fn long_lived_db_snapshot_pins_one_version() {
+    let mut db = Database::with_maintenance(cfg(MaintenanceMode::Off, 0));
+    make_table(&mut db);
+    for i in 0..100i32 {
+        db.insert("t", &[V::Int32(i), V::Int64(0), V::Str("x".into())])
+            .unwrap();
+    }
+    db.merge("t").unwrap();
+    let pinned = db.snapshot(); // long-lived reader at generation 1
+    for round in 0..6i32 {
+        for i in 0..50 {
+            db.insert(
+                "t",
+                &[
+                    V::Int32(1000 + round * 50 + i),
+                    V::Int64(1),
+                    V::Str("y".into()),
+                ],
+            )
+            .unwrap();
+        }
+        db.merge("t").unwrap();
+    }
+    let s = db.version_stats("t").unwrap();
+    assert_eq!(
+        s.live_mains, 2,
+        "snapshot's version + current; intermediates reclaimed: {:?}",
+        s
+    );
+    assert_eq!(s.pinned_versions, 1);
+    assert!(s.pinned_bytes > 0);
+    // the pinned snapshot still reads its version
+    assert_eq!(
+        pinned
+            .table_snapshot("t")
+            .map(|t| t.len())
+            .unwrap_or_default(),
+        100
+    );
+    drop(pinned);
+    let s = db.version_stats("t").unwrap();
+    assert_eq!(s.live_mains, 1, "last reader released → version dropped");
+    assert_eq!(s.pinned_bytes, 0);
+}
+
+#[test]
+fn env_config_parses_modes_and_threshold() {
+    if std::env::var("PDSM_MERGE").is_err() && std::env::var("PDSM_MERGE_THRESHOLD").is_err() {
+        let cfg = MaintenanceConfig::from_env();
+        assert_eq!(cfg.mode, MaintenanceMode::Background);
+        assert_eq!(cfg.merge_threshold, 65_536);
+    }
+    // per-table override logic
+    let mut c = MaintenanceConfig {
+        merge_threshold: 100,
+        ..Default::default()
+    };
+    c.per_table.insert("hot".into(), 10);
+    assert_eq!(c.threshold_for("hot"), 10);
+    assert_eq!(c.threshold_for("cold"), 100);
+}

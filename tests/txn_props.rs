@@ -31,6 +31,13 @@ enum Op {
         hint: usize,
     },
     Merge,
+    /// Begin a background merge (pin the cut, run the build immediately;
+    /// the swap waits for [`Op::FinishMerge`], so every op in between
+    /// lands in the replay window). No-op if a build is already pending.
+    BeginMerge,
+    /// Swap a previously built background merge in — or discard it if a
+    /// synchronous [`Op::Merge`] made it stale. No-op without a build.
+    FinishMerge,
 }
 
 fn arb_row() -> impl Strategy<Value = Vec<Value>> {
@@ -60,6 +67,8 @@ fn arb_op() -> impl Strategy<Value = Op> {
         }),
         (0usize..1000).prop_map(|hint| Op::Delete { hint }),
         Just(Op::Merge),
+        Just(Op::BeginMerge),
+        Just(Op::FinishMerge),
     ]
 }
 
@@ -106,11 +115,16 @@ impl Model {
                 let rows = self.rows();
                 self.slots = rows.into_iter().map(Some).collect();
             }
+            // Background merges never change content, and hint resolution
+            // goes through the live list (scan order, which a swap
+            // preserves) — so the model ignores them entirely. That *is*
+            // the property: the three-phase pipeline is invisible.
+            Op::BeginMerge | Op::FinishMerge => {}
         }
     }
 }
 
-fn apply_versioned(t: &mut VersionedTable, op: &Op) {
+fn apply_versioned(t: &mut VersionedTable, build: &mut Option<mrdb::txn::BuiltMain>, op: &Op) {
     match op {
         Op::Insert(row) => {
             t.insert(row).expect("typed rows insert");
@@ -137,6 +151,24 @@ fn apply_versioned(t: &mut VersionedTable, op: &Op) {
         Op::Merge => {
             t.merge().expect("merge");
         }
+        Op::BeginMerge => {
+            if build.is_some() || t.has_pending_merge() {
+                return;
+            }
+            let ticket = t.begin_merge().expect("begin");
+            let layout = ticket.snapshot().main().layout().clone();
+            // build immediately; every op until FinishMerge is replayed
+            *build = Some(ticket.build(layout).expect("build"));
+        }
+        Op::FinishMerge => {
+            if let Some(b) = build.take() {
+                match t.finish_merge(b) {
+                    Ok(_) => {}
+                    Err(mrdb::storage::Error::StaleMergeBuild) => {} // a sync merge won
+                    Err(e) => panic!("finish_merge: {e}"),
+                }
+            }
+        }
     }
 }
 
@@ -156,8 +188,9 @@ proptest! {
         for layout in layouts() {
             let mut t = VersionedTable::with_layout("t", schema(), layout.clone()).unwrap();
             let mut model = Model::default();
+            let mut build = None;
             for op in &ops {
-                apply_versioned(&mut t, op);
+                apply_versioned(&mut t, &mut build, op);
                 model.apply(op);
                 prop_assert_eq!(t.len(), model.rows().len());
             }
@@ -203,16 +236,17 @@ proptest! {
     fn snapshot_equals_state_at_acquisition(ops in proptest::collection::vec(arb_op(), 1..40)) {
         let mut t = VersionedTable::new("t", schema());
         let mut model = Model::default();
+        let mut build = None;
         // split the op stream: snapshot in the middle, keep writing after
         let cut = ops.len() / 2;
         for op in &ops[..cut] {
-            apply_versioned(&mut t, op);
+            apply_versioned(&mut t, &mut build, op);
             model.apply(op);
         }
         let snap = t.snapshot();
         let frozen = model.rows();
         for op in &ops[cut..] {
-            apply_versioned(&mut t, op);
+            apply_versioned(&mut t, &mut build, op);
             model.apply(op);
         }
         let got: Vec<Vec<Value>> = snap.rows().into_iter().map(|r| r.0).collect();

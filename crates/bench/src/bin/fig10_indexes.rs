@@ -16,18 +16,13 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn build_db(scale: usize, columnar: Option<&str>, indexed: bool) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     for t in sapsd::tables(scale, 7) {
         db.register(t);
     }
     match columnar {
         Some("column") => {
-            for name in db
-                .table_names()
-                .into_iter()
-                .map(str::to_string)
-                .collect::<Vec<_>>()
-            {
+            for name in db.table_names() {
                 let w = db.get_table(&name).unwrap().schema().len();
                 db.relayout(&name, Layout::column(w)).unwrap();
             }
@@ -70,7 +65,7 @@ fn main() {
 
             // Q6: 1000 inserts incl. index maintenance; the database is
             // prepared outside the timed region.
-            let mut db2 = build_db(scale, Some(layout), indexed);
+            let db2 = build_db(scale, Some(layout), indexed);
             let mut rng = SmallRng::seed_from_u64(5);
             let base = db2.get_table("VBAP").unwrap().len() as i32;
             let ins_rows: Vec<_> = (0..1000)

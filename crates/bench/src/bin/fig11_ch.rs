@@ -16,7 +16,7 @@ use pdsm_storage::Layout;
 use pdsm_workloads::ch;
 
 fn build_db(w: usize, layouts: Option<&[(String, Layout)]>) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     for t in ch::tables(w, 13) {
         db.register(t);
     }

@@ -32,7 +32,7 @@ fn main() {
     let width = base.schema().len();
 
     // hybrid via the advisor (weighted workload!)
-    let mut row_db = Database::new();
+    let row_db = Database::new();
     row_db.register(base.clone());
     let mut workload = Workload::new();
     for q in &queries {
@@ -51,10 +51,10 @@ fn main() {
 
     let mut dbs: Vec<(&str, Database)> = Vec::new();
     dbs.push(("row", row_db));
-    let mut col_db = Database::new();
+    let col_db = Database::new();
     col_db.register(base.relayout(Layout::column(width)).unwrap());
     dbs.push(("column", col_db));
-    let mut hyb_db = Database::new();
+    let hyb_db = Database::new();
     hyb_db.register(base.relayout(hybrid_layout).unwrap());
     dbs.push(("hybrid", hyb_db));
 

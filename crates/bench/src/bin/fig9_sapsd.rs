@@ -22,7 +22,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn build_db(scale: usize, layouts: Option<&[(String, Layout)]>) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     for t in sapsd::tables(scale, 7) {
         db.register(t);
     }
@@ -110,7 +110,7 @@ fn main() {
             QueryKind::Insert { table, count } => {
                 for (lname, db) in &dbs {
                     // clone outside the timed region; measure only inserts
-                    let mut db2 = clone_db(db);
+                    let db2 = clone_db(db);
                     let mut rng = SmallRng::seed_from_u64(99);
                     let base = db2.get_table(table).unwrap().len() as i32;
                     let ins_rows: Vec<_> = (0..*count)
@@ -139,9 +139,9 @@ fn main() {
 }
 
 fn clone_db(db: &Database) -> Database {
-    let mut out = Database::new();
+    let out = Database::new();
     for name in db.table_names() {
-        out.register(db.get_table(name).unwrap().clone());
+        out.register(db.get_table(&name).unwrap().as_ref().clone());
     }
     out
 }

@@ -66,7 +66,7 @@ fn main() {
     // --- microbenchmark: selectivity sweep × layouts ---
     let mut table = Vec::new();
     for (lname, layout) in microbench::layouts() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.register(microbench::generate(rows, 0.05, layout, 1));
         for sel in [0.001, 0.01, 0.1, 0.5] {
             let plan = microbench::query(sel);
@@ -95,7 +95,7 @@ fn main() {
     );
 
     // --- SAP-SD with the paper's indexes ---
-    let mut db = Database::new();
+    let db = Database::new();
     for t in sapsd::tables(scale, 7) {
         db.register(t);
     }

@@ -13,23 +13,41 @@
 //!   writer never blocks on a full merge, so p99 write latency stays
 //!   bounded at every threshold.
 //!
-//! Besides the table, the run emits a machine-readable
+//! Background mode applies the same **backpressure** rule the
+//! `Database` write path uses (`PDSM_MERGE_MAX_LAG`-style): when the
+//! delta outruns the in-flight build by `8 ×` the threshold, the writer
+//! merges inline and the stale build is discarded — so `maxΔ` is bounded
+//! at `8 × threshold` instead of growing with however far a 1-core
+//! builder lags.
+//!
+//! A second scenario exercises the shared-handle API itself: N writer
+//! threads ingesting into N **disjoint** tables through one
+//! `Arc<Database>`, background scheduler merging under them — recording
+//! cross-table write throughput per writer count (flat per-writer rows/s
+//! on multi-core hosts = cross-table scaling).
+//!
+//! Besides the tables, the run emits a machine-readable
 //! `BENCH_update_mix.json` (throughput + p99 write latency per
-//! mix × threshold × mode) so the perf trajectory is recorded run over
-//! run.
+//! mix × threshold × mode, plus the multi-table scaling runs) so the
+//! perf trajectory is recorded run over run.
 //!
 //! Usage: `cargo run -p pdsm-bench --release --bin fig_update_mix
 //!         [--rows 200000] [--ops 4000] [--sel 0.05] [--engine compiled]
 //!         [--json BENCH_update_mix.json]`
 
 use pdsm_bench::{fmt_num, percentile, print_table, Args, Json};
-use pdsm_core::EngineKind;
-use pdsm_storage::Layout;
+use pdsm_core::{Database, EngineKind, MaintenanceConfig, MaintenanceMode};
+use pdsm_storage::{Layout, Value};
 use pdsm_txn::{BuiltMain, MergeTicket, VersionedTable};
 use pdsm_workloads::microbench;
 use pdsm_workloads::mixed::{self, MixedOp, MIXES};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Backpressure factor the background mode applies (mirrors the
+/// `Database` write path's `PDSM_MERGE_MAX_LAG` default).
+const MAX_LAG: usize = 8;
 
 fn engine_of(name: &str) -> EngineKind {
     match name {
@@ -144,11 +162,21 @@ fn run_mix(
                     }
                     (Some(b), Mode::Background) => {
                         // catch up a finished fold: replay + swap only
+                        // (tolerating staleness — a backpressure merge may
+                        // have preempted the build)
                         if in_flight {
                             if let Ok(built) = b.rx.try_recv() {
-                                t.finish_merge(built.expect("build")).expect("finish");
+                                match t.finish_merge(built.expect("build")) {
+                                    Ok(_) | Err(pdsm_storage::Error::StaleMergeBuild) => {}
+                                    Err(e) => panic!("finish: {e}"),
+                                }
                                 in_flight = false;
                             }
+                        }
+                        // backpressure: the delta outran the builder by
+                        // MAX_LAG thresholds — merge inline, stale the build
+                        if in_flight && t.delta_rows() >= threshold.saturating_mul(MAX_LAG) {
+                            t.merge().expect("backpressure merge");
                         }
                         if !in_flight && t.delta_rows() >= threshold {
                             let ticket = t.begin_merge().expect("begin");
@@ -173,10 +201,14 @@ fn run_mix(
         max_delta = max_delta.max(t.delta_rows());
     }
     // quiesce: land any straggling fold before reading the counters
+    // (stale if a backpressure merge preempted it)
     if in_flight {
         if let Some(b) = &builder {
             let built = b.rx.recv().expect("final build").expect("build");
-            t.finish_merge(built).expect("final finish");
+            match t.finish_merge(built) {
+                Ok(_) | Err(pdsm_storage::Error::StaleMergeBuild) => {}
+                Err(e) => panic!("final finish: {e}"),
+            }
         }
     }
     MixResult {
@@ -198,6 +230,65 @@ fn run_mix(
         },
         p99_write_us: percentile(&write_lats, 0.99) * 1e6,
         max_delta,
+    }
+}
+
+/// One multi-table scaling run: `writers` threads, each ingesting
+/// `rows_each` rows into its own table through one shared
+/// `Arc<Database>`, background scheduler merging under them.
+struct MtResult {
+    writers: usize,
+    rows_each: usize,
+    elapsed_s: f64,
+    write_ops: f64,
+    merges_applied: u64,
+}
+
+fn run_multi_table(writers: usize, rows_each: usize, threshold: usize) -> MtResult {
+    let db = Arc::new(Database::with_maintenance(MaintenanceConfig {
+        mode: MaintenanceMode::Background,
+        merge_threshold: threshold as u64,
+        advise_on_merge: false,
+        ..Default::default()
+    }));
+    for w in 0..writers {
+        db.create_table(
+            &format!("t{w}"),
+            pdsm_storage::Schema::new(vec![
+                pdsm_storage::ColumnDef::new("k", pdsm_storage::DataType::Int32),
+                pdsm_storage::ColumnDef::new("v", pdsm_storage::DataType::Int64),
+            ]),
+        )
+        .expect("create");
+    }
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                let table = format!("t{w}");
+                for i in 0..rows_each {
+                    db.insert(
+                        &table,
+                        &[
+                            Value::Int32(i as i32),
+                            Value::Int64((w * rows_each + i) as i64),
+                        ],
+                    )
+                    .expect("insert");
+                }
+            });
+        }
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    db.flush_maintenance().expect("flush");
+    let stats = db.maintenance_stats();
+    MtResult {
+        writers,
+        rows_each,
+        elapsed_s,
+        write_ops: (writers * rows_each) as f64 / elapsed_s,
+        merges_applied: stats.builds_applied + stats.sync_merges,
     }
 }
 
@@ -285,6 +376,36 @@ fn main() {
     println!("p99wr = 99th-pct write-op latency — sync mode pays whole folds inline, background");
     println!("mode pays only cut + replay + swap)");
 
+    // --- multi-table cross-table write scaling (shared Database handle) ---
+    let rows_each = (rows / 4).max(10_000);
+    println!("\nmulti-table ingest: N writers x N disjoint tables through one Arc<Database>");
+    println!("(background merges @16384; flat per-writer rows/s = cross-table scaling):\n");
+    let mut mt_results = Vec::new();
+    let mut mt_rows = Vec::new();
+    for writers in [1usize, 2, 4] {
+        let r = run_multi_table(writers, rows_each, 16_384);
+        mt_rows.push(vec![
+            r.writers.to_string(),
+            r.rows_each.to_string(),
+            format!("{:.0}", r.elapsed_s * 1e3),
+            fmt_num(r.write_ops),
+            fmt_num(r.write_ops / r.writers as f64),
+            r.merges_applied.to_string(),
+        ]);
+        mt_results.push(r);
+    }
+    print_table(
+        &[
+            "writers",
+            "rows/writer",
+            "ms",
+            "write/s",
+            "write/s/writer",
+            "merges",
+        ],
+        &mt_rows,
+    );
+
     let json = Json::obj(vec![
         ("bench", Json::Str("fig_update_mix".into())),
         ("rows", Json::Int(rows as i64)),
@@ -315,6 +436,27 @@ fn main() {
                             ("write_per_s", Json::Num(r.write_ops)),
                             ("p99_write_us", Json::Num(r.p99_write_us)),
                             ("max_delta", Json::Int(r.max_delta as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "multi_table",
+            Json::Arr(
+                mt_results
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("writers", Json::Int(r.writers as i64)),
+                            ("rows_per_writer", Json::Int(r.rows_each as i64)),
+                            ("elapsed_s", Json::Num(r.elapsed_s)),
+                            ("write_per_s", Json::Num(r.write_ops)),
+                            (
+                                "write_per_s_per_writer",
+                                Json::Num(r.write_ops / r.writers as f64),
+                            ),
+                            ("merges_applied", Json::Int(r.merges_applied as i64)),
                         ])
                     })
                     .collect(),

@@ -17,7 +17,7 @@ fn main() {
     let rows: usize = args.get("rows", 200_000);
     let scale = rows / 2 * 10; // ADRC gets 2 rows per customer = scale/10*2
 
-    let mut db = Database::new();
+    let db = Database::new();
     for t in sapsd::tables(scale.max(100), 7) {
         db.register(t);
     }

@@ -66,26 +66,31 @@ impl LayoutAdvisor {
     pub fn views(&self, db: &Database) -> HashMap<String, TableView> {
         let mut views = HashMap::new();
         for name in db.table_names() {
-            let vt = db.versioned(name).expect("listed");
-            let t = vt.main();
+            // Pin a snapshot (short lock) and do all the O(rows × cols)
+            // stats work lock-free against it — writers to the table are
+            // never stalled behind a stats pass. Tables can be
+            // dropped/replaced concurrently; skip ones that vanished
+            // between the listing and the lookup.
+            let Ok(snap) = db.table_snapshot(&name) else {
+                continue;
+            };
+            let t = snap.main();
             let mut view = TableView::from_table(t);
-            view.n_rows = vt.len() as u64;
+            view.n_rows = snap.len() as u64;
             if self.compute_stats {
                 let ncols = t.schema().len();
                 let mut stats = TableStatsView {
                     distinct: vec![None; ncols],
                     density: vec![None; ncols],
                 };
+                let has_delta = snap.overlay().is_some();
                 // Decode visible rows once, not once per column.
-                let delta_rows: Vec<pdsm_storage::Row> = if vt.has_delta() {
-                    vt.rows().collect()
-                } else {
-                    Vec::new()
-                };
+                let visible: Vec<pdsm_storage::Row> =
+                    if has_delta { snap.rows() } else { Vec::new() };
                 for c in 0..ncols {
-                    let s = if vt.has_delta() {
+                    let s = if has_delta {
                         pdsm_storage::stats::ColumnStats::compute(
-                            delta_rows.iter().map(|r| r.values()[c].clone()),
+                            visible.iter().map(|r| r.values()[c].clone()),
                         )
                     } else {
                         t.col_stats(c)
@@ -132,8 +137,9 @@ impl LayoutAdvisor {
         report
     }
 
-    /// Advise and immediately rebuild the affected tables.
-    pub fn apply(&self, db: &mut Database, workload: &Workload) -> Result<AdvisorReport, DbError> {
+    /// Advise and immediately rebuild the affected tables. `&self` all the
+    /// way down: each relayout holds only its own table's write lock.
+    pub fn apply(&self, db: &Database, workload: &Workload) -> Result<AdvisorReport, DbError> {
         let report = self.advise(db, workload);
         for advice in &report.tables {
             db.relayout(&advice.table, advice.layout.clone())?;
@@ -151,7 +157,7 @@ impl LayoutAdvisor {
 
     /// Re-layout every table the observed workload touches, per its own
     /// advice.
-    pub fn apply_observed(&self, db: &mut Database) -> Result<AdvisorReport, DbError> {
+    pub fn apply_observed(&self, db: &Database) -> Result<AdvisorReport, DbError> {
         let workload = db.observed_workload();
         self.apply(db, &workload)
     }
@@ -167,7 +173,7 @@ mod tests {
     use pdsm_storage::{ColumnDef, DataType, Schema, Value};
 
     fn wide_db(rows: i32) -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         let cols: Vec<ColumnDef> = (0..16)
             .map(|i| ColumnDef::new(format!("c{i}"), DataType::Int32))
             .collect();
@@ -204,15 +210,13 @@ mod tests {
 
     #[test]
     fn apply_rebuilds_and_preserves_results() {
-        let mut db = wide_db(500);
+        let db = wide_db(500);
         let plan = QueryBuilder::scan("r")
             .filter(Expr::col(0).gt(Expr::lit(100)))
             .project(vec![Expr::col(1), Expr::col(15)])
             .build();
         let before = db.run(&plan, crate::EngineKind::Compiled).unwrap();
-        let report = LayoutAdvisor::default()
-            .apply(&mut db, &workload())
-            .unwrap();
+        let report = LayoutAdvisor::default().apply(&db, &workload()).unwrap();
         assert!(!report.tables.is_empty());
         let after = db.run(&plan, crate::EngineKind::Compiled).unwrap();
         before.assert_same(&after, "advisor apply");

@@ -1,12 +1,27 @@
-//! The database catalog: versioned tables, indexes, engines and DML.
+//! The database catalog: versioned tables, indexes, engines and DML —
+//! behind a **shared handle**: every entry point takes `&self`.
 //!
-//! Every table lives as a [`pdsm_txn::VersionedTable`]: an immutable
-//! read-optimized main store plus an append-only delta with tombstones.
-//! DML ([`Database::insert`] / [`Database::update`] / [`Database::delete`])
-//! appends to the delta; queries see main ∪ delta − tombstones through the
-//! engines' [`pdsm_exec::Overlay`] support; [`Database::merge`] (or
-//! [`Database::relayout`], which is a merge under a new layout) folds the
-//! delta into a fresh main store and refreshes secondary indexes.
+//! Every table lives as a [`pdsm_txn::SharedTable`]: an immutable
+//! read-optimized main store plus an append-only delta with tombstones,
+//! wrapped in that table's own reader/writer lock. The catalog itself is
+//! an `RwLock`-guarded map of those handles, so
+//!
+//! * writers to **different** tables proceed fully in parallel (each takes
+//!   only its own table's write lock, per operation),
+//! * writers to the **same** table serialize on that table's lock only,
+//! * readers never block writers: queries run over [`pdsm_txn::Snapshot`]s
+//!   pinned under a short read lock, entirely lock-free afterwards.
+//!
+//! `Database` is `Send + Sync`; the multi-threaded entry point is
+//! `Arc<Database>` (clone the `Arc` per thread). DML
+//! ([`Database::insert`] / [`Database::update`] / [`Database::delete`])
+//! appends to the written table's delta; queries see main ∪ delta −
+//! tombstones through the engines' [`pdsm_exec::Overlay`] support;
+//! [`Database::merge`] (or [`Database::relayout`], which is a merge under
+//! a new layout) folds the delta into a fresh main store and refreshes
+//! secondary indexes. Background maintenance (see [`crate::maintenance`])
+//! begins merges on the write path but builds *and applies* them on a
+//! worker thread.
 //!
 //! Queries enter through [`Database::execute`]: the cost-based planner
 //! (`crate::planner`) lowers the logical plan to a [`PhysicalPlan`] —
@@ -14,6 +29,26 @@
 //! keyed on the tables' merge generations, and dispatches. [`Database::run`]
 //! remains as the forced-engine escape hatch benchmarks and differential
 //! tests use.
+//!
+//! ## Migration notes (from the single-writer `&mut self` API)
+//!
+//! * `versioned(name) -> &VersionedTable` and `get_table_mut(name)` are
+//!   gone — borrows can no longer escape the catalog lock. Use
+//!   [`Database::with_table`] / [`Database::with_table_write`] (closure
+//!   under the table's own lock), [`Database::shared`] (owned handle),
+//!   [`Database::table_snapshot`] (pinned version), or
+//!   [`Database::edit_main`] (bulk loading).
+//! * `get_table(name)` now returns an owned `Arc<Table>` of the main
+//!   store instead of `&Table`.
+//! * `maintenance_config_mut()` is replaced by
+//!   [`Database::set_maintenance_config`] /
+//!   [`Database::update_maintenance_config`].
+//! * Row-id stability: in `Background` mode a finished merge can now swap
+//!   in **at any moment** (the worker applies it), renumbering row ids.
+//!   Resolve-then-mutate sequences that must be atomic belong in one
+//!   [`Database::with_table_write`] closure; ids crossing statements are
+//!   only stable in `Sync`/`Off` modes, where merges happen exclusively
+//!   inside insert-path calls.
 
 use crate::maintenance::{
     choose_layout, AdviseInputs, BuildJob, MaintenanceConfig, MaintenanceMode,
@@ -31,9 +66,10 @@ use pdsm_plan::expr::{CmpOp, Expr};
 use pdsm_plan::logical::LogicalPlan;
 use pdsm_plan::physical::{AccessPath, EngineChoice, PhysicalPlan};
 use pdsm_storage::{ColId, DataType, Layout, Schema, Table, Value};
-use pdsm_txn::{MergeStats, RowId, Snapshot, VersionStats, VersionedTable};
+use pdsm_txn::{MergeStats, RowId, SharedTable, Snapshot, VersionStats, VersionedTable};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Which execution engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,7 +218,10 @@ const OBSERVED_CAP: usize = 512;
 /// One cached lowering: valid while the catalog shape and every referenced
 /// table's `(generation, delta_ops)` fingerprint are unchanged — the merge
 /// generation counter `pdsm-txn` maintains is exactly the invalidation
-/// token the cache needs.
+/// token the cache needs. Generation bumps now also come from the
+/// background worker; the fingerprint is re-read from the live tables on
+/// every lookup, so concurrent bumps invalidate no differently from
+/// inline ones.
 struct CachedPlan {
     epoch: u64,
     deps: Vec<(String, u64, u64)>,
@@ -198,30 +237,78 @@ struct ObservedTraffic {
     by_key: HashMap<String, usize>,
 }
 
-/// An in-memory database: catalog of versioned tables + secondary indexes.
+/// One secondary index, tagged with the main-store generation it was built
+/// from. A probe uses it only when the tag matches the pinned snapshot's
+/// generation; anything stale falls back to the (always-correct) scan
+/// path until the next merge's rebuild catches the index up.
+#[derive(Clone)]
+pub(crate) struct IndexEntry {
+    pub generation: u64,
+    pub kind: IndexKind,
+    pub index: Arc<Index>,
+}
+
+/// Every secondary index of one table, behind that table's index lock
+/// (taken *after* the table lock, never while holding it for a fold).
+#[derive(Default)]
+pub(crate) struct IndexSet {
+    pub by_col: HashMap<ColId, IndexEntry>,
+}
+
+/// One catalog slot: the shared table handle plus its index set. Cloning
+/// an entry clones two `Arc`s — every accessor hands entries out of the
+/// catalog lock this way, so no borrow ever escapes it.
+#[derive(Clone)]
+struct TableEntry {
+    table: SharedTable,
+    indexes: Arc<RwLock<IndexSet>>,
+}
+
+impl TableEntry {
+    fn new(table: VersionedTable) -> Self {
+        TableEntry {
+            table: SharedTable::new(table),
+            indexes: Arc::new(RwLock::new(IndexSet::default())),
+        }
+    }
+}
+
+/// An in-memory database: catalog of versioned tables + secondary indexes,
+/// usable concurrently through a shared handle (`Arc<Database>`).
+///
+/// Locking granularity, coarsest to finest:
+/// * **catalog lock** (`RwLock`) — held only to look a table handle up or
+///   to change the catalog's shape (create/register/drop);
+/// * **per-table lock** (inside [`SharedTable`]) — writers take it per
+///   DML op; merges hold it only for the begin/finish phases (the fold
+///   runs off-lock);
+/// * **per-table index lock** — swapped-in rebuilds and probes.
+///
+/// No lock is ever held across query execution: engines run over pinned
+/// snapshots.
 pub struct Database {
-    tables: HashMap<String, VersionedTable>,
-    /// `(table, column) → index`. Indexes cover the main store only and
-    /// are rebuilt by [`Database::merge`]; the indexed execution path
-    /// unions probe hits with a scan of the live delta tail, so identity
-    /// selects stay indexed under write load.
-    indexes: HashMap<(String, ColId), Index>,
+    /// The catalog: table name → shared handle + index set. The lock is
+    /// held only for lookups and shape changes, never across a table
+    /// operation — so writers to different tables never contend here
+    /// beyond a read-lock acquisition.
+    catalog: RwLock<HashMap<String, TableEntry>>,
     /// Bumped by every catalog-shape change (table created/registered,
     /// index created/dropped); part of the plan-cache validity key.
-    catalog_epoch: u64,
+    catalog_epoch: AtomicU64,
     /// Physical plans keyed by the logical plan's rendering.
     plan_cache: Mutex<HashMap<String, CachedPlan>>,
     /// Every plan routed through [`Database::execute`], deduplicated with
     /// frequencies — the observed traffic `relayout`/merge re-advise from.
     observed: Mutex<ObservedTraffic>,
     /// The background merge scheduler (see [`crate::maintenance`]): every
-    /// DML call consults it, so merges run off the write path.
+    /// insert-path call consults it; its worker holds [`SharedTable`]
+    /// clones and applies finished builds itself.
     maintenance: MaintenanceScheduler,
 }
 
 impl Default for Database {
     /// Empty database; maintenance policy comes from the environment
-    /// (`PDSM_MERGE`, `PDSM_MERGE_THRESHOLD`).
+    /// (`PDSM_MERGE`, `PDSM_MERGE_THRESHOLD`, `PDSM_MERGE_MAX_LAG`).
     fn default() -> Self {
         Self::with_maintenance(MaintenanceConfig::from_env())
     }
@@ -237,204 +324,343 @@ impl Database {
     /// embedders that must not depend on the process environment).
     pub fn with_maintenance(cfg: MaintenanceConfig) -> Self {
         Database {
-            tables: HashMap::new(),
-            indexes: HashMap::new(),
-            catalog_epoch: 0,
+            catalog: RwLock::new(HashMap::new()),
+            catalog_epoch: AtomicU64::new(0),
             plan_cache: Mutex::new(HashMap::new()),
             observed: Mutex::new(ObservedTraffic::default()),
             maintenance: MaintenanceScheduler::new(cfg),
         }
     }
 
-    /// Create a table in row (N-ary) layout.
-    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<(), DbError> {
+    fn read_catalog(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, TableEntry>> {
+        self.catalog.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_catalog(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, TableEntry>> {
+        self.catalog.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn bump_epoch(&self) {
+        self.catalog_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The catalog entry for `name`, cloned out of the catalog lock.
+    fn entry(&self, name: &str) -> Result<TableEntry, DbError> {
+        self.read_catalog()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Create a table in row (N-ary) layout. Takes the catalog write lock
+    /// briefly.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<(), DbError> {
         let layout = Layout::row(schema.len());
         self.create_table_with_layout(name, schema, layout)
     }
 
     /// Adopt an already-built table (e.g. from a workload generator) as the
     /// generation-0 main store. Replaces any existing table of the same
-    /// name; indexes on the old table are dropped.
-    pub fn register(&mut self, table: Table) {
+    /// name; indexes on the old table are dropped. Takes the catalog write
+    /// lock briefly.
+    ///
+    /// `register` is a catalog-*setup* operation, not a concurrent-DML
+    /// one: a thread already inside a DML call on the replaced name holds
+    /// the old handle and will apply its op to the detached table —
+    /// success with no effect on the new one. Quiesce writers to a name
+    /// before re-registering it.
+    pub fn register(&self, table: Table) {
         let name = table.name().to_string();
-        self.indexes.retain(|(t, _), _| t != &name);
-        self.tables.insert(name, VersionedTable::from_table(table));
-        self.catalog_epoch += 1;
+        self.write_catalog()
+            .insert(name, TableEntry::new(VersionedTable::from_table(table)));
+        self.bump_epoch();
     }
 
-    /// Create a table with an explicit layout.
+    /// Create a table with an explicit layout. Takes the catalog write
+    /// lock briefly.
     pub fn create_table_with_layout(
-        &mut self,
+        &self,
         name: &str,
         schema: Schema,
         layout: Layout,
     ) -> Result<(), DbError> {
-        if self.tables.contains_key(name) {
+        let t = VersionedTable::with_layout(name, schema, layout)?;
+        let mut catalog = self.write_catalog();
+        if catalog.contains_key(name) {
             return Err(DbError::DuplicateTable(name.to_string()));
         }
-        let t = VersionedTable::with_layout(name, schema, layout)?;
-        self.tables.insert(name.to_string(), t);
-        self.catalog_epoch += 1;
+        catalog.insert(name.to_string(), TableEntry::new(t));
+        drop(catalog);
+        self.bump_epoch();
         Ok(())
     }
 
-    /// The versioned table called `name`.
-    pub fn versioned(&self, name: &str) -> Result<&VersionedTable, DbError> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    /// An owned handle to `name`'s [`SharedTable`] — the per-table
+    /// concurrency primitive itself, for callers that want to drive a
+    /// single table directly (snapshot/DML/three-phase merge) without
+    /// going back through the catalog.
+    pub fn shared(&self, name: &str) -> Result<SharedTable, DbError> {
+        Ok(self.entry(name)?.table)
     }
 
-    fn versioned_mut(&mut self, name: &str) -> Result<&mut VersionedTable, DbError> {
-        self.tables
-            .get_mut(name)
-            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    /// Run `f` under `name`'s table **read** lock. The closure sees a
+    /// consistent [`VersionedTable`]; nothing borrowed from it can escape.
+    /// This replaces the old `versioned(name) -> &VersionedTable`
+    /// accessor.
+    pub fn with_table<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&VersionedTable) -> R,
+    ) -> Result<R, DbError> {
+        Ok(self.entry(name)?.table.with_read(f))
     }
 
-    /// The read-optimized main store of `name`. Excludes pending delta
-    /// rows — query through [`Database::run`] (or a snapshot) to see those.
-    pub fn get_table(&self, name: &str) -> Result<&Table, DbError> {
-        Ok(self.versioned(name)?.main())
+    /// Run `f` under `name`'s table **write** lock — the compound-write
+    /// primitive. While `f` runs, no other writer, merge swap, or
+    /// background catch-up can touch the table, so resolve-then-mutate
+    /// sequences (look a row id up, then update it) are atomic here even
+    /// in `Background` maintenance mode.
+    ///
+    /// Maintenance never runs inside: a compound write never merges.
+    pub fn with_table_write<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut VersionedTable) -> R,
+    ) -> Result<R, DbError> {
+        Ok(self.entry(name)?.table.with_write(f))
     }
 
-    /// Mutable access to the main store (bulk loading). A pending delta is
-    /// merged first (rebuilding indexes), since delta row addressing is
-    /// relative to the main store. Note that direct main-store edits are
-    /// not reflected in existing indexes or snapshots.
-    pub fn get_table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
-        if self.versioned(name)?.has_delta() {
+    /// A pinned snapshot of `name` at its current version (short read
+    /// lock; queries on the snapshot run lock-free).
+    pub fn table_snapshot(&self, name: &str) -> Result<Snapshot, DbError> {
+        Ok(self.entry(name)?.table.snapshot())
+    }
+
+    /// The read-optimized main store of `name`, as an owned `Arc` (the
+    /// main store is immutable between merges). Excludes pending delta
+    /// rows — query through [`Database::run`] (or a snapshot) to see
+    /// those.
+    pub fn get_table(&self, name: &str) -> Result<Arc<Table>, DbError> {
+        Ok(self.entry(name)?.table.main_arc())
+    }
+
+    /// Edit the main store in place (bulk loading), under the table's
+    /// write lock. A pending delta is merged first (rebuilding indexes),
+    /// since delta row addressing is relative to the main store. Replaces
+    /// the old `get_table_mut` accessor. Note that direct main-store edits
+    /// are not reflected in existing indexes or snapshots.
+    pub fn edit_main<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> R) -> Result<R, DbError> {
+        let entry = self.entry(name)?;
+        if entry.table.has_delta() {
             self.merge(name)?;
         }
-        Ok(self.versioned_mut(name)?.main_mut()?)
+        let r = entry.table.with_write(|vt| vt.main_mut().map(f))?;
+        Ok(r)
     }
 
-    /// Table names in the catalog.
-    pub fn table_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+    /// Table names in the catalog, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.read_catalog().keys().cloned().collect();
         names.sort_unstable();
         names
     }
 
     /// Append a row to `table`'s delta. Returns its row id (stable until
-    /// the next merge). Visible to every subsequent query.
-    pub fn insert(&mut self, table: &str, values: &[Value]) -> Result<RowId, DbError> {
-        self.maintain(table)?;
-        Ok(self.versioned_mut(table)?.insert(values)?)
+    /// the next merge — see the struct docs for id stability under
+    /// background maintenance). Visible to every subsequent query.
+    ///
+    /// Locking: the written table's write lock, per operation. Writers to
+    /// other tables are unaffected.
+    pub fn insert(&self, table: &str, values: &[Value]) -> Result<RowId, DbError> {
+        let entry = self.entry(table)?;
+        self.maintain(table, &entry)?;
+        Ok(entry.table.insert(values)?)
     }
 
-    /// Append many rows atomically.
-    pub fn insert_batch(
-        &mut self,
-        table: &str,
-        rows: &[Vec<Value>],
-    ) -> Result<Vec<RowId>, DbError> {
-        self.maintain(table)?;
-        Ok(self.versioned_mut(table)?.insert_batch(rows)?)
+    /// Append many rows atomically (readers see all or none). Same
+    /// locking granularity as [`Database::insert`].
+    pub fn insert_batch(&self, table: &str, rows: &[Vec<Value>]) -> Result<Vec<RowId>, DbError> {
+        let entry = self.entry(table)?;
+        self.maintain(table, &entry)?;
+        Ok(entry.table.insert_batch(rows)?)
     }
 
     /// Overwrite one cell of a visible row (tombstone + re-append).
-    /// Returns the row's new id.
+    /// Returns the row's new id. Holds only the written table's write
+    /// lock; column resolution and the write are one atomic operation.
     ///
     /// Never runs the maintenance step: `row` is a caller-held id, and a
     /// merge inside the call would renumber it out from under the caller
     /// (see [`Database::insert`] for where maintenance runs).
     pub fn update(
-        &mut self,
+        &self,
         table: &str,
         row: RowId,
         column: &str,
         value: &Value,
     ) -> Result<RowId, DbError> {
-        let vt = self.versioned_mut(table)?;
-        let col = vt.schema().col_id(column)?;
-        Ok(vt.update(row, col, value)?)
+        let entry = self.entry(table)?;
+        Ok(entry.table.with_write(|vt| {
+            let col = vt.schema().col_id(column)?;
+            vt.update(row, col, value)
+        })?)
     }
 
-    /// Tombstone one visible row of `table`. Like [`Database::update`],
-    /// never runs the maintenance step (the id argument must stay valid).
-    pub fn delete(&mut self, table: &str, row: RowId) -> Result<(), DbError> {
-        Ok(self.versioned_mut(table)?.delete(row)?)
+    /// Tombstone one visible row of `table` (the table's write lock, one
+    /// operation). Like [`Database::update`], never runs the maintenance
+    /// step (the id argument must stay valid).
+    pub fn delete(&self, table: &str, row: RowId) -> Result<(), DbError> {
+        Ok(self.entry(table)?.table.delete(row)?)
     }
 
     /// Fold `table`'s delta into a fresh main store (current layout) and
-    /// rebuild its secondary indexes.
-    pub fn merge(&mut self, table: &str) -> Result<MergeStats, DbError> {
-        let stats = self.versioned_mut(table)?.merge()?;
-        self.rebuild_indexes(table)?;
+    /// rebuild its secondary indexes. Synchronous: the table's write lock
+    /// is held for the fold; any in-flight background build turns stale
+    /// and is discarded. Other tables are untouched.
+    pub fn merge(&self, table: &str) -> Result<MergeStats, DbError> {
+        let entry = self.entry(table)?;
+        let (stats, main, generation) = entry.table.with_write(|vt| {
+            let stats = vt.merge()?;
+            Ok::<_, pdsm_storage::Error>((stats, vt.main_arc(), vt.generation()))
+        })?;
+        rebuild_index_set(&entry.indexes, &main, generation);
         Ok(stats)
     }
 
     /// Merge every table with a pending delta.
-    pub fn merge_all(&mut self) -> Result<(), DbError> {
-        let names: Vec<String> = self
-            .tables
-            .iter()
-            .filter(|(_, vt)| vt.has_delta())
-            .map(|(n, _)| n.clone())
-            .collect();
-        for n in names {
-            self.merge(&n)?;
+    pub fn merge_all(&self) -> Result<(), DbError> {
+        for name in self.table_names() {
+            let entry = self.entry(&name)?;
+            if entry.table.has_delta() {
+                self.merge(&name)?;
+            }
         }
         Ok(())
     }
 
     /// The maintenance step every *insert* runs before applying its op:
-    /// catch up finished background builds (replay + swap, O(ops since
-    /// cut)), then check the written table against its merge threshold —
-    /// crossing it either merges inline ([`MaintenanceMode::Sync`]) or
-    /// pins a cut and hands the O(table) fold to the background worker.
+    /// check the written table against its merge threshold — crossing it
+    /// either merges inline ([`MaintenanceMode::Sync`]) or pins a cut and
+    /// hands the O(table) fold to the background worker, which applies the
+    /// swap itself (catch-up no longer rides the write path).
     ///
-    /// Only id-free entry points (inserts, [`Database::poll_maintenance`],
-    /// [`Database::flush_maintenance`]) run this, and they run it *before*
-    /// their own op. That yields a workable id contract under automatic
-    /// merging: row ids resolved after a call that can merge remain valid
-    /// through any run of `update`/`delete` calls until the next such
-    /// call. Drivers that cache ids longer must refresh them when
-    /// [`VersionedTable::generation`] moves.
-    fn maintain(&mut self, table: &str) -> Result<(), DbError> {
-        self.poll_maintenance()?;
-        let vt = self.versioned(table)?;
-        if !self.maintenance.wants_merge(table, vt.delta_ops()) || vt.has_pending_merge() {
+    /// Backpressure: if a build is in flight and the delta has outrun it
+    /// by `max_lag ×` the threshold, this writer merges synchronously (the
+    /// stale build is discarded), bounding what scans pay for.
+    fn maintain(&self, table: &str, entry: &TableEntry) -> Result<(), DbError> {
+        // Scalar policy only — extracted under the scheduler lock without
+        // cloning the config (this runs on every insert).
+        let policy = self.maintenance.policy_for(table);
+        if policy.mode == MaintenanceMode::Off {
             return Ok(());
         }
-        // `wants_merge` returned true, so the mode is Sync or Background.
-        if self.maintenance.config().mode == MaintenanceMode::Sync {
-            let advise = self.advise_inputs(table);
-            let current = self.versioned(table)?.main().layout().clone();
-            let (layout, advised) = choose_layout(
-                table,
-                current,
-                advise.as_ref(),
-                &pdsm_cost::Hierarchy::nehalem(),
-                &pdsm_layout::bpi::OptimizerConfig::default(),
-            );
-            self.versioned_mut(table)?.merge_with_layout(layout)?;
-            self.rebuild_indexes(table)?;
-            self.maintenance.note_sync_merge(advised);
+        let threshold = policy.threshold;
+        let (ops, pending) = entry
+            .table
+            .with_read(|vt| (vt.delta_ops(), vt.has_pending_merge()));
+        if ops < threshold {
+            return Ok(());
+        }
+        // Backpressure applies only when the builder cannot be (re)used:
+        // the delta outran it by max_lag thresholds AND either a cut is
+        // still pending or the launch slot is blocked (a stale build not
+        // yet reaped, or the worker busy). With the slot free, a lagging
+        // table just launches a background build — no writer stall.
+        let lagging = policy.mode == MaintenanceMode::Background
+            && policy.max_lag > 0
+            && ops >= threshold.saturating_mul(policy.max_lag);
+        if pending {
+            if lagging {
+                return self.sync_merge_entry(table, entry, &policy, true);
+            }
+            return Ok(());
+        }
+        match policy.mode {
+            MaintenanceMode::Sync => self.sync_merge_entry(table, entry, &policy, false),
+            MaintenanceMode::Background => {
+                // Claim the launch slot first so concurrent writers of the
+                // same table race begin_merge at most once each.
+                if !self.maintenance.try_reserve(table) {
+                    if lagging {
+                        // Slot blocked while the delta runs away — bound
+                        // it inline; the blocked build turns stale.
+                        return self.sync_merge_entry(table, entry, &policy, true);
+                    }
+                    return Ok(());
+                }
+                let advise = if policy.advise_on_merge {
+                    self.advise_inputs(table)
+                } else {
+                    None
+                };
+                match entry.table.begin_merge() {
+                    Ok(ticket) => {
+                        let layout = ticket.snapshot().main().layout().clone();
+                        self.maintenance.launch(BuildJob {
+                            table: table.to_string(),
+                            handle: entry.table.clone(),
+                            indexes: Arc::clone(&entry.indexes),
+                            ticket,
+                            layout,
+                            advise,
+                        });
+                        Ok(())
+                    }
+                    Err(_) => {
+                        // Raced an explicit begin on the shared handle.
+                        self.maintenance.unreserve(table);
+                        Ok(())
+                    }
+                }
+            }
+            MaintenanceMode::Off => Ok(()),
+        }
+    }
+
+    /// One synchronous, advisor-consulted merge of `table` on the calling
+    /// thread (the sync-mode and backpressure path).
+    fn sync_merge_entry(
+        &self,
+        table: &str,
+        entry: &TableEntry,
+        policy: &crate::maintenance::TablePolicy,
+        backpressure: bool,
+    ) -> Result<(), DbError> {
+        let advise = if policy.advise_on_merge {
+            self.advise_inputs(table)
         } else {
-            let advise = self.advise_inputs(table);
-            let vt = self.versioned_mut(table)?;
-            let layout = vt.main().layout().clone();
-            let Ok(ticket) = vt.begin_merge() else {
-                return Ok(()); // already pending (raced an explicit begin)
-            };
-            self.maintenance.launch(BuildJob {
-                table: table.to_string(),
-                ticket,
-                layout,
-                advise,
-            });
+            None
+        };
+        let current = entry.table.with_read(|vt| vt.main().layout().clone());
+        let (layout, advised) = choose_layout(
+            table,
+            current,
+            advise.as_ref(),
+            &pdsm_cost::Hierarchy::nehalem(),
+            &pdsm_layout::bpi::OptimizerConfig::default(),
+        );
+        let merged = entry.table.with_write(|vt| {
+            // Re-check under the write lock: concurrent writers of the
+            // same table may all have seen the threshold crossed before
+            // the first one merged — the latecomers must not each rerun
+            // the O(table) fold on a near-empty delta.
+            if vt.delta_ops() < policy.threshold.max(1) {
+                return Ok::<_, pdsm_storage::Error>(None);
+            }
+            vt.merge_with_layout(layout)?;
+            Ok(Some((vt.main_arc(), vt.generation())))
+        })?;
+        if let Some((main, generation)) = merged {
+            rebuild_index_set(&entry.indexes, &main, generation);
+            self.maintenance.note_sync_merge(advised, backpressure);
         }
         Ok(())
     }
 
     /// The advisor inputs a merge of `table` ships to the worker: observed
-    /// workload + statistics-free table views. `None` when advising is off
-    /// or nothing observed touches the table.
+    /// workload + statistics-free table views. `None` when nothing
+    /// observed touches the table (callers gate on `advise_on_merge`).
     fn advise_inputs(&self, table: &str) -> Option<AdviseInputs> {
-        if !self.maintenance.config().advise_on_merge {
-            return None;
-        }
         let workload = self.observed_workload();
         if !workload
             .queries
@@ -447,66 +673,18 @@ impl Database {
         Some(AdviseInputs { views, workload })
     }
 
-    /// Apply every background build that has finished, without blocking:
-    /// replay post-cut ops, swap the fresh main in, rebuild indexes.
-    /// Returns the merges applied. Stale builds (an explicit merge won the
-    /// race) are discarded and counted in [`Database::maintenance_stats`].
-    pub fn poll_maintenance(&mut self) -> Result<Vec<(String, MergeStats)>, DbError> {
-        let mut out = Vec::new();
-        let (finished, orphans) = self.maintenance.drain_done();
-        // Tables whose worker died before delivering a build: clear their
-        // pending cuts so automatic merging resumes (a fresh worker is
-        // spawned on the next launch).
-        for t in orphans {
-            if let Some(vt) = self.tables.get_mut(&t) {
-                vt.abort_merge();
-            }
-            self.maintenance.note_discarded();
-        }
-        for done in finished {
-            match done.result {
-                Ok(built) => match self.tables.get_mut(&done.table) {
-                    Some(vt) => match vt.finish_merge(built) {
-                        Ok(stats) => {
-                            self.rebuild_indexes(&done.table)?;
-                            self.maintenance.note_applied(done.advised);
-                            out.push((done.table, stats));
-                        }
-                        Err(_) => self.maintenance.note_discarded(),
-                    },
-                    None => self.maintenance.note_discarded(), // table replaced
-                },
-                Err(_) => {
-                    // Build failed; clear the pending cut so merges can run.
-                    if let Some(vt) = self.tables.get_mut(&done.table) {
-                        vt.abort_merge();
-                    }
-                    self.maintenance.note_discarded();
-                }
-            }
-        }
-        Ok(out)
+    /// Merges the background worker has applied since the last call,
+    /// without blocking. (The worker applies builds itself now; this only
+    /// reports them.)
+    pub fn poll_maintenance(&self) -> Result<Vec<(String, MergeStats)>, DbError> {
+        Ok(self.maintenance.drain_applied())
     }
 
     /// Block until every in-flight background build is applied (or
     /// discarded). The deterministic quiesce point tests and benchmarks
-    /// use; returns the merges applied.
-    pub fn flush_maintenance(&mut self) -> Result<Vec<(String, MergeStats)>, DbError> {
-        let mut out = self.poll_maintenance()?;
-        while self.maintenance.in_flight() > 0 {
-            if !self.maintenance.wait_one() {
-                // Worker died: reclaim the orphaned cuts.
-                for t in self.maintenance.take_in_flight() {
-                    if let Some(vt) = self.tables.get_mut(&t) {
-                        vt.abort_merge();
-                    }
-                    self.maintenance.note_discarded();
-                }
-                break;
-            }
-            out.extend(self.poll_maintenance()?);
-        }
-        Ok(out)
+    /// use; returns the merges applied since the last drain.
+    pub fn flush_maintenance(&self) -> Result<Vec<(String, MergeStats)>, DbError> {
+        Ok(self.maintenance.flush())
     }
 
     /// What the scheduler has done so far.
@@ -514,118 +692,146 @@ impl Database {
         self.maintenance.stats()
     }
 
-    /// The active maintenance policy.
-    pub fn maintenance_config(&self) -> &MaintenanceConfig {
+    /// A copy of the active maintenance policy.
+    pub fn maintenance_config(&self) -> MaintenanceConfig {
         self.maintenance.config()
     }
 
-    /// Adjust the maintenance policy in place (mode, thresholds, advice).
-    /// Takes effect from the next write.
-    pub fn maintenance_config_mut(&mut self) -> &mut MaintenanceConfig {
-        self.maintenance.config_mut()
+    /// Replace the maintenance policy (mode, thresholds, advice,
+    /// backpressure). Takes effect from the next write. This replaces the
+    /// old `maintenance_config_mut` escape hatch — config changes go
+    /// through the same interior-mutability discipline as everything else.
+    pub fn set_maintenance_config(&self, cfg: MaintenanceConfig) {
+        self.maintenance.set_config(cfg);
+    }
+
+    /// Adjust the maintenance policy in place under the scheduler lock.
+    pub fn update_maintenance_config(&self, f: impl FnOnce(&mut MaintenanceConfig)) {
+        self.maintenance.update_config(f);
     }
 
     /// Set the merge threshold: globally (`table = None`) or for one table.
-    pub fn set_merge_threshold(&mut self, table: Option<&str>, delta_ops: u64) {
-        let cfg = self.maintenance.config_mut();
-        match table {
+    pub fn set_merge_threshold(&self, table: Option<&str>, delta_ops: u64) {
+        self.maintenance.update_config(|cfg| match table {
             Some(t) => {
                 cfg.per_table.insert(t.to_string(), delta_ops);
             }
             None => cfg.merge_threshold = delta_ops,
-        }
+        });
     }
 
     /// Version-chain statistics for `table` (see `pdsm_txn::registry`):
     /// live main stores, pinned generations, bytes held by superseded
     /// versions.
     pub fn version_stats(&self, table: &str) -> Result<VersionStats, DbError> {
-        Ok(self.versioned(table)?.version_stats())
+        self.with_table(table, |vt| vt.version_stats())
     }
 
     /// Rebuild `table` under `layout`: a merge into the new layout. With an
     /// empty delta this is a pure relayout and row ids are stable (the
     /// property the index tests rely on); with a pending delta the delta is
-    /// folded in and ids renumber. Indexes are rebuilt either way.
-    pub fn relayout(&mut self, table: &str, layout: Layout) -> Result<(), DbError> {
-        self.versioned_mut(table)?.merge_with_layout(layout)?;
-        self.rebuild_indexes(table)?;
+    /// folded in and ids renumber. Indexes are rebuilt either way. Holds
+    /// the table's write lock for the fold.
+    pub fn relayout(&self, table: &str, layout: Layout) -> Result<(), DbError> {
+        let entry = self.entry(table)?;
+        let (_stats, (main, generation)) = entry
+            .table
+            .merge_with_layout_then(layout, |vt| (vt.main_arc(), vt.generation()))?;
+        rebuild_index_set(&entry.indexes, &main, generation);
         Ok(())
     }
 
     /// Create (and backfill) an index on `table.column`. A pending delta is
-    /// merged first so the index covers every visible row.
-    pub fn create_index(
-        &mut self,
-        table: &str,
-        column: &str,
-        kind: IndexKind,
-    ) -> Result<(), DbError> {
-        if self.versioned(table)?.has_delta() {
+    /// merged first so the index covers every visible row. The build runs
+    /// off-lock over the immutable main store; only the install takes the
+    /// index lock.
+    pub fn create_index(&self, table: &str, column: &str, kind: IndexKind) -> Result<(), DbError> {
+        let entry = self.entry(table)?;
+        if entry.table.has_delta() {
             self.merge(table)?;
         }
-        let t = self.get_table(table)?;
-        let col = t.schema().col_id(column)?;
-        let ty = t.schema().columns()[col].ty;
+        let (main, generation) = entry.table.with_read(|vt| (vt.main_arc(), vt.generation()));
+        let col = main.schema().col_id(column)?;
+        let ty = main.schema().columns()[col].ty;
         if ty == DataType::Float64 {
             return Err(DbError::NotIndexable {
                 table: table.to_string(),
                 column: column.to_string(),
             });
         }
-        let idx = build_index(t, col, kind);
-        self.indexes.insert((table.to_string(), col), idx);
-        self.catalog_epoch += 1;
-        Ok(())
-    }
-
-    /// Re-derive every index on `table` from its (new) main store.
-    fn rebuild_indexes(&mut self, table: &str) -> Result<(), DbError> {
-        let cols: Vec<ColId> = self
+        let index = Arc::new(build_index(&main, col, kind));
+        entry
             .indexes
-            .keys()
-            .filter(|(t, _)| t == table)
-            .map(|(_, c)| *c)
-            .collect();
-        if cols.is_empty() {
-            return Ok(());
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .by_col
+            .insert(
+                col,
+                IndexEntry {
+                    generation,
+                    kind,
+                    index,
+                },
+            );
+        // A background merge may have swapped the main store while we were
+        // building. One catch-up rebuild closes the common race; anything
+        // rarer is caught by the probe's generation check and healed by
+        // the next merge's rebuild.
+        let (main2, gen2) = entry.table.with_read(|vt| (vt.main_arc(), vt.generation()));
+        if gen2 != generation {
+            rebuild_index_set(&entry.indexes, &main2, gen2);
         }
-        let t = self.versioned(table)?.main();
-        let rebuilt: Vec<(ColId, Index)> = cols
-            .into_iter()
-            .map(|c| {
-                let kind = match self.indexes[&(table.to_string(), c)] {
-                    Index::Hash(_) => IndexKind::Hash,
-                    Index::RBTree(_) => IndexKind::RBTree,
-                };
-                (c, build_index(t, c, kind))
-            })
-            .collect();
-        for (c, idx) in rebuilt {
-            self.indexes.insert((table.to_string(), c), idx);
-        }
+        self.bump_epoch();
         Ok(())
     }
 
     /// Drop the index on `table.column` if present.
-    pub fn drop_index(&mut self, table: &str, column: &str) -> Result<(), DbError> {
-        let t = self.get_table(table)?;
-        let col = t.schema().col_id(column)?;
-        self.indexes.remove(&(table.to_string(), col));
-        self.catalog_epoch += 1;
+    pub fn drop_index(&self, table: &str, column: &str) -> Result<(), DbError> {
+        let entry = self.entry(table)?;
+        let col = entry.table.with_read(|vt| vt.schema().col_id(column))?;
+        entry
+            .indexes
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .by_col
+            .remove(&col);
+        self.bump_epoch();
         Ok(())
     }
 
-    /// The index on `(table, col)`, if any.
-    pub fn index(&self, table: &str, col: ColId) -> Option<&Index> {
-        self.indexes.get(&(table.to_string(), col))
+    /// The index on `(table, col)`, if any — an owned handle; it may be
+    /// one generation behind the main store right after a merge (probes
+    /// check, planners only price).
+    pub fn index(&self, table: &str, col: ColId) -> Option<Arc<Index>> {
+        let entry = self.read_catalog().get(table)?.clone();
+        let set = entry.indexes.read().unwrap_or_else(|e| e.into_inner());
+        set.by_col.get(&col).map(|e| Arc::clone(&e.index))
+    }
+
+    /// A consistent provider for `plan`'s tables: each table pinned at its
+    /// current version (short read lock per table; missing tables are left
+    /// for the engine to report). Queries then run entirely lock-free.
+    fn provider_for(&self, plan: &LogicalPlan) -> DbSnapshot {
+        let catalog = self.read_catalog();
+        let mut tables = HashMap::new();
+        for name in plan.tables() {
+            if tables.contains_key(name) {
+                continue;
+            }
+            if let Some(e) = catalog.get(name) {
+                tables.insert(name.to_string(), e.table.snapshot());
+            }
+        }
+        DbSnapshot { tables }
     }
 
     /// Execute `plan` with the chosen engine, without index acceleration —
     /// the forced-engine escape hatch benchmarks and differential tests
-    /// use. Routine queries should go through [`Database::execute`].
+    /// use. Runs over snapshots pinned at call time (no lock held during
+    /// execution). Routine queries should go through [`Database::execute`].
     pub fn run(&self, plan: &LogicalPlan, engine: EngineKind) -> Result<QueryOutput, DbError> {
-        Ok(engine.engine().execute(plan, self)?)
+        let provider = self.provider_for(plan);
+        Ok(engine.engine().execute(plan, &provider)?)
     }
 
     /// Execute `plan` through the cost-based planner: lower it to a
@@ -644,8 +850,9 @@ impl Database {
 
     /// Lower `plan` to its [`PhysicalPlan`] without executing it. Cached:
     /// repeated calls return the same `Arc` until a referenced table's
-    /// merge generation or delta fingerprint moves, or the catalog changes
-    /// shape (table registered, index created/dropped).
+    /// merge generation or delta fingerprint moves (including bumps from
+    /// the background worker), or the catalog changes shape (table
+    /// registered, index created/dropped).
     pub fn plan_query(&self, plan: &LogicalPlan) -> Result<Arc<PhysicalPlan>, DbError> {
         self.plan_query_keyed(plan, &format!("{plan:?}"))
     }
@@ -660,26 +867,28 @@ impl Database {
             if deps.iter().any(|(n, _, _)| n == t) {
                 continue;
             }
-            let vt = self.versioned(t)?;
-            deps.push((t.to_string(), vt.generation(), vt.delta_ops()));
+            let (generation, delta_ops) =
+                self.with_table(t, |vt| (vt.generation(), vt.delta_ops()))?;
+            deps.push((t.to_string(), generation, delta_ops));
         }
+        let epoch = self.catalog_epoch.load(Ordering::Relaxed);
         {
-            let cache = self.plan_cache.lock().unwrap();
+            let cache = self.plan_cache.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(c) = cache.get(key) {
-                if c.epoch == self.catalog_epoch && c.deps == deps {
+                if c.epoch == epoch && c.deps == deps {
                     return Ok(c.phys.clone());
                 }
             }
         }
         let phys = Arc::new(Planner::default().plan(self, plan)?);
-        let mut cache = self.plan_cache.lock().unwrap();
+        let mut cache = self.plan_cache.lock().unwrap_or_else(|e| e.into_inner());
         if cache.len() >= PLAN_CACHE_CAP {
             cache.clear();
         }
         cache.insert(
             key.to_string(),
             CachedPlan {
-                epoch: self.catalog_epoch,
+                epoch,
                 deps,
                 phys: phys.clone(),
             },
@@ -743,13 +952,15 @@ impl Database {
         let LogicalPlan::Scan { table } = input.as_ref() else {
             return None;
         };
-        let t = self.tables.get(table)?.main();
+        let entry = self.read_catalog().get(table)?.clone();
+        let t = entry.table.main_arc();
+        let set = entry.indexes.read().unwrap_or_else(|e| e.into_inner());
         let mut range_cand: Option<IndexCandidate> = None;
         for conj in conjuncts(pred) {
             let Some((col, op, lit)) = simple_cmp(conj) else {
                 continue;
             };
-            let Some(idx) = self.index(table, col) else {
+            let Some(ie) = set.by_col.get(&col) else {
                 continue;
             };
             match op {
@@ -782,7 +993,7 @@ impl Database {
                 }
                 CmpOp::Le | CmpOp::Lt | CmpOp::Ge | CmpOp::Gt
                     if range_cand.is_none()
-                        && matches!(idx, Index::RBTree(_))
+                        && matches!(ie.index.as_ref(), Index::RBTree(_))
                         && t.schema().columns()[col].ty != DataType::Str =>
                 {
                     if let Some(k) = lit.as_i64() {
@@ -815,13 +1026,14 @@ impl Database {
         range_cand
     }
 
-    /// Evaluate `plan` via an index candidate: probe the main-store index,
-    /// drop tombstoned hits, residual-filter and project the survivors,
-    /// then union the live delta tail (full predicate, append order). Rows
-    /// come out in scan order — main order then tail order — exactly what
-    /// an engine scan of the same plan produces. Returns `Ok(None)` when
-    /// the candidate no longer matches the catalog (caller falls back to
-    /// the engine).
+    /// Evaluate `plan` via an index candidate: pin a snapshot, probe the
+    /// main-store index, drop tombstoned hits, residual-filter and project
+    /// the survivors, then union the live delta tail (full predicate,
+    /// append order). Rows come out in scan order — main order then tail
+    /// order — exactly what an engine scan of the same plan produces.
+    /// Returns `Ok(None)` when the candidate no longer matches the catalog
+    /// or the index lags the snapshot's generation (a merge swapped the
+    /// main in between; the caller falls back to the engine).
     fn run_index_candidate(
         &self,
         plan: &LogicalPlan,
@@ -834,24 +1046,34 @@ impl Database {
         let LogicalPlan::Select { pred, .. } = inner else {
             return Ok(None);
         };
-        let vt = self.versioned(&cand.table)?;
-        let t = vt.main();
-        let Some(idx) = self.index(&cand.table, cand.col) else {
-            return Ok(None);
+        let entry = self.entry(&cand.table)?;
+        // The snapshot pins (main, overlay, generation) atomically; the
+        // index is used only if it covers exactly that main store.
+        let snap = entry.table.snapshot();
+        let ie = {
+            let set = entry.indexes.read().unwrap_or_else(|e| e.into_inner());
+            match set.by_col.get(&cand.col) {
+                Some(e) => e.clone(),
+                None => return Ok(None),
+            }
         };
+        if ie.generation != snap.generation() {
+            return Ok(None); // index not yet rebuilt for this version
+        }
+        let t = snap.main();
         let mut rows = match &cand.access {
             AccessPath::IndexPoint { key, .. } => match key_of_value(t, cand.col, key) {
-                Some(k) => idx.lookup(k),
+                Some(k) => ie.index.lookup(k),
                 None => Vec::new(), // value not in dictionary → no main hits
             },
-            AccessPath::IndexRange { lo, hi, .. } => match idx.lookup_range(*lo, *hi) {
+            AccessPath::IndexRange { lo, hi, .. } => match ie.index.lookup_range(*lo, *hi) {
                 Some(r) => r,
                 None => return Ok(None), // index lost range support
             },
             AccessPath::FullScan => return Ok(None),
         };
         rows.sort_unstable();
-        let overlay = vt.overlay();
+        let overlay = snap.overlay();
         let materialize = |values: &[Value]| -> Vec<Value> {
             match project {
                 Some(exprs) => exprs.iter().map(|e| e.eval(values)).collect(),
@@ -884,7 +1106,7 @@ impl Database {
     /// repeats bump the frequency). `key` is the plan's rendering, shared
     /// with the plan cache so `execute` formats it once.
     fn record_observed(&self, plan: &LogicalPlan, key: String) {
-        let mut o = self.observed.lock().unwrap();
+        let mut o = self.observed.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(&i) = o.by_key.get(&key) {
             o.workload.queries[i].frequency += 1.0;
             return;
@@ -903,48 +1125,81 @@ impl Database {
     /// plan. Feed it to [`crate::LayoutAdvisor`] so `relayout`/merge can
     /// re-advise from what actually ran.
     pub fn observed_workload(&self) -> Workload {
-        self.observed.lock().unwrap().workload.clone()
+        self.observed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .workload
+            .clone()
     }
 
     /// Forget the observed workload (e.g. after applying its advice).
     pub fn clear_observed_workload(&self) {
-        let mut o = self.observed.lock().unwrap();
+        let mut o = self.observed.lock().unwrap_or_else(|e| e.into_inner());
         o.workload.queries.clear();
         o.by_key.clear();
     }
 
     /// Total bytes across all tables (main stores + pending deltas).
     pub fn byte_size(&self) -> usize {
-        self.tables
+        self.read_catalog()
             .values()
-            .map(|t| t.main().byte_size() + t.delta_byte_size())
+            .map(|e| {
+                e.table
+                    .with_read(|vt| vt.main().byte_size() + vt.delta_byte_size())
+            })
             .sum()
     }
 
-    /// Take a consistent, owned snapshot of every table. The snapshot is
-    /// `Send + Sync` and independent of later DML — the handle concurrent
-    /// readers query while writers keep appending (see `pdsm-txn`).
+    /// Take an owned snapshot of every table, each pinned at its current
+    /// version. The snapshot is `Send + Sync` and independent of later DML
+    /// — the handle concurrent readers query while writers keep appending
+    /// (see `pdsm-txn`). Each table's cut is internally consistent; the
+    /// cuts of different tables are taken in sequence under one catalog
+    /// read lock.
     pub fn snapshot(&self) -> DbSnapshot {
         DbSnapshot {
             tables: self
-                .tables
+                .read_catalog()
                 .iter()
-                .map(|(n, vt)| (n.clone(), vt.snapshot()))
+                .map(|(n, e)| (n.clone(), e.table.snapshot()))
                 .collect(),
         }
     }
 }
 
-/// Queries against `&Database` see each table's main store plus its pending
-/// delta (Rust's borrow rules guarantee no write happens during the
-/// borrow, so no snapshotting is needed on this path).
-impl TableProvider for Database {
-    fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(name).map(|vt| vt.main())
+/// Re-derive every index of a table from a freshly merged main store.
+/// Called after the swap (sync path: the merging thread; background path:
+/// the maintenance worker), never under the table lock — the main store is
+/// immutable, and the per-index generation tag keeps racing rebuilds
+/// monotonic: an older build never overwrites a newer one, and columns
+/// dropped meanwhile stay dropped.
+pub(crate) fn rebuild_index_set(indexes: &RwLock<IndexSet>, main: &Table, generation: u64) {
+    let cols: Vec<(ColId, IndexKind)> = {
+        let set = indexes.read().unwrap_or_else(|e| e.into_inner());
+        set.by_col
+            .iter()
+            .filter(|(_, e)| e.generation < generation)
+            .map(|(c, e)| (*c, e.kind))
+            .collect()
+    };
+    if cols.is_empty() {
+        return;
     }
-
-    fn overlay(&self, name: &str) -> Option<Overlay<'_>> {
-        self.tables.get(name).and_then(|vt| vt.overlay())
+    let rebuilt: Vec<(ColId, IndexKind, Arc<Index>)> = cols
+        .into_iter()
+        .map(|(c, k)| (c, k, Arc::new(build_index(main, c, k))))
+        .collect();
+    let mut set = indexes.write().unwrap_or_else(|e| e.into_inner());
+    for (col, kind, index) in rebuilt {
+        if let Some(e) = set.by_col.get_mut(&col) {
+            if e.generation < generation {
+                *e = IndexEntry {
+                    generation,
+                    kind,
+                    index,
+                };
+            }
+        }
     }
 }
 
@@ -1092,7 +1347,7 @@ mod tests {
     use pdsm_storage::ColumnDef;
 
     fn demo_db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "orders",
             Schema::new(vec![
@@ -1131,7 +1386,7 @@ mod tests {
 
     #[test]
     fn duplicate_and_unknown_tables() {
-        let mut db = demo_db();
+        let db = demo_db();
         assert!(matches!(
             db.create_table(
                 "orders",
@@ -1147,7 +1402,7 @@ mod tests {
 
     #[test]
     fn index_path_matches_scan_path() {
-        let mut db = demo_db();
+        let db = demo_db();
         db.create_index("orders", "id", IndexKind::Hash).unwrap();
         let plan = QueryBuilder::scan("orders")
             .filter(Expr::col(0).eq(Expr::lit(123)))
@@ -1160,7 +1415,7 @@ mod tests {
 
     #[test]
     fn rbtree_index_serves_ranges() {
-        let mut db = demo_db();
+        let db = demo_db();
         db.create_index("orders", "id", IndexKind::RBTree).unwrap();
         let plan = QueryBuilder::scan("orders")
             .filter(Expr::col(0).lt(Expr::lit(10)))
@@ -1174,7 +1429,7 @@ mod tests {
 
     #[test]
     fn string_index_via_dictionary_codes() {
-        let mut db = demo_db();
+        let db = demo_db();
         db.create_index("orders", "cust", IndexKind::Hash).unwrap();
         let plan = QueryBuilder::scan("orders")
             .filter(Expr::col(1).eq(Expr::lit("cust-7")))
@@ -1196,7 +1451,7 @@ mod tests {
 
     #[test]
     fn index_maintained_by_inserts() {
-        let mut db = demo_db();
+        let db = demo_db();
         db.create_index("orders", "id", IndexKind::Hash).unwrap();
         db.insert(
             "orders",
@@ -1214,7 +1469,7 @@ mod tests {
 
     #[test]
     fn relayout_preserves_queries_and_indexes() {
-        let mut db = demo_db();
+        let db = demo_db();
         db.create_index("orders", "id", IndexKind::Hash).unwrap();
         let plan = QueryBuilder::scan("orders")
             .filter(Expr::col(0).eq(Expr::lit(42)))
@@ -1227,8 +1482,8 @@ mod tests {
     }
 
     #[test]
-    fn get_table_mut_implicit_merge_rebuilds_indexes() {
-        let mut db = demo_db();
+    fn edit_main_implicit_merge_rebuilds_indexes() {
+        let db = demo_db();
         db.create_index("orders", "id", IndexKind::Hash).unwrap();
         // tombstone one indexed row and append a replacement → pending delta
         db.delete("orders", 3).unwrap();
@@ -1239,8 +1494,8 @@ mod tests {
         .unwrap();
         // bulk-load access merges implicitly; the index must follow the
         // renumbered rows
-        let _ = db.get_table_mut("orders").unwrap();
-        assert!(!db.versioned("orders").unwrap().has_delta());
+        db.edit_main("orders", |_t| {}).unwrap();
+        assert!(!db.with_table("orders", |vt| vt.has_delta()).unwrap());
         let new_row = QueryBuilder::scan("orders")
             .filter(Expr::col(0).eq(Expr::lit(10_000)))
             .build();
@@ -1259,7 +1514,7 @@ mod tests {
 
     #[test]
     fn versioned_dml_and_merge_roundtrip() {
-        let mut db = demo_db();
+        let db = demo_db();
         let id = db
             .insert(
                 "orders",
@@ -1282,7 +1537,7 @@ mod tests {
 
     #[test]
     fn float_columns_not_indexable() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "f",
             Schema::new(vec![ColumnDef::new("x", DataType::Float64)]),
@@ -1296,7 +1551,7 @@ mod tests {
 
     #[test]
     fn residual_predicates_still_apply() {
-        let mut db = demo_db();
+        let db = demo_db();
         db.create_index("orders", "cust", IndexKind::Hash).unwrap();
         // indexed conjunct + residual on qty
         let plan = QueryBuilder::scan("orders")
@@ -1310,5 +1565,12 @@ mod tests {
         let indexed = db.run_indexed(&plan, EngineKind::Compiled).unwrap();
         let scanned = db.run(&plan, EngineKind::Compiled).unwrap();
         indexed.assert_same(&scanned, "residual");
+    }
+
+    #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<DbSnapshot>();
     }
 }

@@ -17,7 +17,7 @@
 //! use pdsm_plan::logical::{AggExpr, AggFunc};
 //! use pdsm_storage::{ColumnDef, DataType, Schema, Value};
 //!
-//! let mut db = Database::new();
+//! let db = Database::new();
 //! db.create_table(
 //!     "r",
 //!     Schema::new(vec![

@@ -1,5 +1,6 @@
 //! Background maintenance: the scheduler that takes merges off the write
-//! path.
+//! path — and, since the shared-handle redesign, applies them off the
+//! write path too.
 //!
 //! Every DML call used to be the only thing that could pay for a merge —
 //! an O(table) fold on the writer's thread (`fig_update_mix` shows the
@@ -9,19 +10,36 @@
 //! * it watches every table's `delta_ops` against a configurable
 //!   threshold (global default + per-table overrides);
 //! * when a table crosses it, the write path runs only
-//!   [`pdsm_txn::VersionedTable::begin_merge`] (pin the cut, O(delta))
-//!   and hands the [`pdsm_txn::MergeTicket`] to a background worker
-//!   thread, which folds the cut into a fresh main store — consulting the
+//!   [`pdsm_txn::SharedTable::begin_merge`] (pin the cut, O(delta), short
+//!   write lock) and hands the [`pdsm_txn::MergeTicket`] — together with
+//!   clones of the table's [`pdsm_txn::SharedTable`] handle and its index
+//!   set — to a background worker thread;
+//! * the worker folds the cut into a fresh main store — consulting the
 //!   layout advisor on the observed workload first, so drifted tables
-//!   merge straight into an advised layout;
-//! * the finished build is *caught up* on a later write-path call (or an
-//!   explicit [`crate::Database::poll_maintenance`] /
-//!   [`crate::Database::flush_maintenance`]): the post-cut ops are
-//!   replayed and the new main swapped in, O(ops since cut).
+//!   merge straight into an advised layout — then **applies the swap
+//!   itself** via [`pdsm_txn::SharedTable::finish_merge_then`] (replay
+//!   post-cut ops + swap, O(ops since cut), short write lock) and rebuilds
+//!   the table's secondary indexes from the fresh main store. Catch-up no
+//!   longer rides the write path: writers never apply someone else's
+//!   merge.
+//!
+//! ## Backpressure (`PDSM_MERGE_MAX_LAG`)
+//!
+//! A fast writer can outrun the builder: while one build is in flight the
+//! delta keeps growing, and scans pay for every pending row. When a
+//! table's `delta_ops` exceeds `max_lag ×` its merge threshold and the
+//! builder cannot absorb it — a cut is still pending, or the launch slot
+//! is blocked by a not-yet-reaped build — the writing thread falls back
+//! to a *synchronous* merge (staling the in-flight build, which is
+//! discarded harmlessly). With the slot free, a lagging table just
+//! launches a background build: writers never stall when the worker is
+//! available. `PDSM_MERGE_MAX_LAG` sets the factor (default 8; `0`
+//! disables backpressure).
 //!
 //! ## Modes (`PDSM_MERGE`)
 //!
-//! * `background` (default) — builds run on the worker thread.
+//! * `background` (default) — builds run and are applied on the worker
+//!   thread.
 //! * `sync` — threshold crossings merge inline on the writer's thread:
 //!   deterministic, single-threaded, what 1-core CI and differential tests
 //!   want. Results are byte-identical to the background path (both run the
@@ -30,24 +48,26 @@
 //!   [`crate::Database::merge`] calls do.
 //!
 //! `PDSM_MERGE_THRESHOLD` sets the global delta-ops threshold (default
-//! 65536). Both knobs are read once, when the [`MaintenanceConfig`] is
+//! 65536). All knobs are read once, when the [`MaintenanceConfig`] is
 //! built from the environment (i.e. at `Database::new`).
 
+use crate::database::IndexSet;
 use pdsm_cost::Hierarchy;
 use pdsm_layout::bpi::{optimize_table, OptimizerConfig};
 use pdsm_layout::workload::Workload;
 use pdsm_plan::patterns::TableView;
 use pdsm_storage::Layout;
-use pdsm_txn::{BuiltMain, MergeTicket};
+use pdsm_txn::{MergeStats, MergeTicket, SharedTable};
 use std::collections::{HashMap, HashSet};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 /// When the scheduler is allowed to merge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MaintenanceMode {
-    /// Builds run on the background worker; swaps are caught up on later
-    /// write-path calls.
+    /// Builds run — and are applied — on the background worker.
     #[default]
     Background,
     /// Threshold crossings merge inline on the writer's thread
@@ -58,7 +78,8 @@ pub enum MaintenanceMode {
 }
 
 /// Scheduler policy. [`MaintenanceConfig::from_env`] honors the
-/// `PDSM_MERGE` / `PDSM_MERGE_THRESHOLD` knobs; `Database::new` uses it.
+/// `PDSM_MERGE` / `PDSM_MERGE_THRESHOLD` / `PDSM_MERGE_MAX_LAG` knobs;
+/// `Database::new` uses it.
 #[derive(Debug, Clone)]
 pub struct MaintenanceConfig {
     pub mode: MaintenanceMode,
@@ -70,6 +91,11 @@ pub struct MaintenanceConfig {
     /// time, so tables whose observed workload drifted merge into an
     /// advised layout automatically.
     pub advise_on_merge: bool,
+    /// Backpressure factor: once `delta_ops ≥ max_lag × threshold` and the
+    /// background builder cannot absorb it (a build is in flight or its
+    /// slot is blocked), the writing thread merges synchronously instead
+    /// of letting the delta grow without bound. `0` disables backpressure.
+    pub max_lag: u64,
 }
 
 impl Default for MaintenanceConfig {
@@ -79,13 +105,15 @@ impl Default for MaintenanceConfig {
             merge_threshold: 65_536,
             per_table: HashMap::new(),
             advise_on_merge: true,
+            max_lag: 8,
         }
     }
 }
 
 impl MaintenanceConfig {
-    /// Defaults overridden by `PDSM_MERGE` (`background` | `sync` | `off`)
-    /// and `PDSM_MERGE_THRESHOLD` (delta ops).
+    /// Defaults overridden by `PDSM_MERGE` (`background` | `sync` | `off`),
+    /// `PDSM_MERGE_THRESHOLD` (delta ops) and `PDSM_MERGE_MAX_LAG`
+    /// (backpressure factor, `0` = off).
     pub fn from_env() -> Self {
         let mut cfg = MaintenanceConfig::default();
         match std::env::var("PDSM_MERGE").ok().as_deref() {
@@ -98,6 +126,12 @@ impl MaintenanceConfig {
             .and_then(|v| v.parse().ok())
         {
             cfg.merge_threshold = t;
+        }
+        if let Some(l) = std::env::var("PDSM_MERGE_MAX_LAG")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.max_lag = l;
         }
         cfg
     }
@@ -116,22 +150,41 @@ impl MaintenanceConfig {
 pub struct MaintenanceStats {
     /// Background builds handed to the worker.
     pub builds_started: u64,
-    /// Background builds whose swap was applied.
+    /// Background builds the worker applied (replay + swap + index
+    /// rebuild).
     pub builds_applied: u64,
-    /// Background builds discarded (stale — an explicit merge won the
-    /// race — or failed).
+    /// Background builds discarded (stale — an explicit or backpressure
+    /// merge won the race — or failed).
     pub builds_discarded: u64,
     /// Inline merges run in [`MaintenanceMode::Sync`].
     pub sync_merges: u64,
-    /// Merges (either mode) that folded into an advisor-chosen layout
+    /// Inline merges forced by backpressure: the delta outran an in-flight
+    /// build by more than [`MaintenanceConfig::max_lag`] thresholds.
+    pub backpressure_merges: u64,
+    /// Merges (any path) that folded into an advisor-chosen layout
     /// differing from the table's previous one.
     pub advised_relayouts: u64,
 }
 
-/// A build order for the worker: the pinned cut, the layout to fold into
-/// unless the advisor overrides it, and the advisor's inputs.
+/// The scalar maintenance policy for one table at one instant (see
+/// [`MaintenanceScheduler::policy_for`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TablePolicy {
+    pub mode: MaintenanceMode,
+    pub threshold: u64,
+    pub max_lag: u64,
+    pub advise_on_merge: bool,
+}
+
+/// A build order for the worker: the pinned cut, the table and index
+/// handles to apply the finished build to, the layout to fold into unless
+/// the advisor overrides it, and the advisor's inputs.
 pub(crate) struct BuildJob {
     pub table: String,
+    /// Cloned shared handle — the worker finishes the merge through it.
+    pub handle: SharedTable,
+    /// The table's index set — rebuilt from the fresh main after the swap.
+    pub indexes: Arc<RwLock<IndexSet>>,
     pub ticket: MergeTicket,
     pub layout: Layout,
     pub advise: Option<AdviseInputs>,
@@ -145,198 +198,281 @@ pub(crate) struct AdviseInputs {
     pub workload: Workload,
 }
 
-/// A finished build coming back from the worker.
-pub(crate) struct BuildDone {
-    pub table: String,
-    pub result: Result<BuiltMain, pdsm_storage::Error>,
-    /// The advisor picked a layout different from the table's current one.
-    pub advised: bool,
-}
-
-enum Job {
-    Build(BuildJob),
-    Stop,
-}
-
-struct Worker {
-    tx: Sender<Job>,
-    rx: Receiver<BuildDone>,
+/// Mutable scheduler state, shared between the front (DML threads) and
+/// the worker thread. The mutex is held only for bookkeeping — never
+/// across a fold, a table lock, or an index rebuild.
+struct SchedState {
+    /// Job channel to the worker; `None` until the first background build.
+    tx: Option<Sender<BuildJob>>,
     handle: Option<JoinHandle<()>>,
+    /// Tables with a build in flight (suppresses re-triggering).
+    in_flight: HashSet<String>,
+    /// Merges the worker applied since the last drain.
+    applied: Vec<(String, MergeStats)>,
+    stats: MaintenanceStats,
+}
+
+struct SchedShared {
+    /// The active policy, swapped wholesale on change. Kept outside the
+    /// state mutex so the per-insert policy probe takes only a shared
+    /// read lock and clones an `Arc` — no exclusive serialization point
+    /// and no allocation on the write hot path.
+    cfg: RwLock<Arc<MaintenanceConfig>>,
+    state: Mutex<SchedState>,
+    /// Signalled whenever a build completes (applied or discarded).
+    done: Condvar,
+}
+
+impl SchedShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn cfg(&self) -> Arc<MaintenanceConfig> {
+        Arc::clone(&self.cfg.read().unwrap_or_else(|e| e.into_inner()))
+    }
 }
 
 /// The per-database maintenance engine. `Database` consults it on every
-/// DML call; it owns the worker thread (spawned lazily on the first
-/// background build, so `sync`/`off` databases never start one).
-#[derive(Default)]
+/// insert-path call; it owns the worker thread (spawned lazily on the
+/// first background build, so `sync`/`off` databases never start one).
+/// All entry points take `&self` — the scheduler is interior-mutable, the
+/// shape the shared `Database` handle requires.
 pub struct MaintenanceScheduler {
-    cfg: MaintenanceConfig,
-    worker: Option<Worker>,
-    /// Tables with a build in flight (suppresses re-triggering).
-    in_flight: HashSet<String>,
-    /// Builds received by a blocking wait, not yet drained.
-    done_buf: Vec<BuildDone>,
-    stats: MaintenanceStats,
+    shared: Arc<SchedShared>,
+}
+
+impl Default for MaintenanceScheduler {
+    fn default() -> Self {
+        Self::new(MaintenanceConfig::default())
+    }
 }
 
 impl MaintenanceScheduler {
     pub fn new(cfg: MaintenanceConfig) -> Self {
         MaintenanceScheduler {
-            cfg,
-            worker: None,
-            in_flight: HashSet::new(),
-            done_buf: Vec::new(),
-            stats: MaintenanceStats::default(),
+            shared: Arc::new(SchedShared {
+                cfg: RwLock::new(Arc::new(cfg)),
+                state: Mutex::new(SchedState {
+                    tx: None,
+                    handle: None,
+                    in_flight: HashSet::new(),
+                    applied: Vec::new(),
+                    stats: MaintenanceStats::default(),
+                }),
+                done: Condvar::new(),
+            }),
         }
     }
 
     /// Scheduler built from the process environment (`PDSM_MERGE`,
-    /// `PDSM_MERGE_THRESHOLD`).
+    /// `PDSM_MERGE_THRESHOLD`, `PDSM_MERGE_MAX_LAG`).
     pub fn from_env() -> Self {
         Self::new(MaintenanceConfig::from_env())
     }
 
-    pub fn config(&self) -> &MaintenanceConfig {
-        &self.cfg
+    /// A copy of the active policy. (The scheduler is shared across
+    /// threads, so no reference into it can be handed out.)
+    pub fn config(&self) -> MaintenanceConfig {
+        (*self.shared.cfg()).clone()
     }
 
-    pub fn config_mut(&mut self) -> &mut MaintenanceConfig {
-        &mut self.cfg
+    /// The scalar policy applying to one table — what the insert-path
+    /// maintenance check needs. A shared read lock + `Arc` bump, then the
+    /// fields are read lock-free: no exclusive lock and no allocation on
+    /// the write hot path.
+    pub(crate) fn policy_for(&self, table: &str) -> TablePolicy {
+        let cfg = self.shared.cfg();
+        TablePolicy {
+            mode: cfg.mode,
+            threshold: cfg.threshold_for(table),
+            max_lag: cfg.max_lag,
+            advise_on_merge: cfg.advise_on_merge,
+        }
+    }
+
+    /// Replace the policy. Takes effect from the next write.
+    pub fn set_config(&self, cfg: MaintenanceConfig) {
+        *self.shared.cfg.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(cfg);
+    }
+
+    /// Adjust the policy in place under the config lock.
+    pub fn update_config(&self, f: impl FnOnce(&mut MaintenanceConfig)) {
+        let mut guard = self.shared.cfg.write().unwrap_or_else(|e| e.into_inner());
+        let mut cfg = (**guard).clone();
+        f(&mut cfg);
+        *guard = Arc::new(cfg);
     }
 
     pub fn stats(&self) -> MaintenanceStats {
-        self.stats
+        self.shared.lock().stats
     }
 
     /// Background builds currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.in_flight.len()
+        self.shared.lock().in_flight.len()
     }
 
-    /// Should `table` at `delta_ops` merge now? (Threshold crossed, mode
-    /// permits it, and no build for it is already in flight.)
-    pub(crate) fn wants_merge(&self, table: &str, delta_ops: u64) -> bool {
-        self.cfg.mode != MaintenanceMode::Off
-            && delta_ops >= self.cfg.threshold_for(table)
-            && !self.in_flight.contains(table)
+    /// Atomically claim the launch slot for `table`: returns false when a
+    /// build for it is already in flight. A successful reservation must be
+    /// followed by [`MaintenanceScheduler::launch`] or
+    /// [`MaintenanceScheduler::unreserve`].
+    pub(crate) fn try_reserve(&self, table: &str) -> bool {
+        self.shared.lock().in_flight.insert(table.to_string())
     }
 
-    pub(crate) fn note_sync_merge(&mut self, advised: bool) {
-        self.stats.sync_merges += 1;
+    /// Release a reservation whose `begin_merge` lost a race.
+    pub(crate) fn unreserve(&self, table: &str) {
+        let mut st = self.shared.lock();
+        st.in_flight.remove(table);
+        drop(st);
+        self.shared.done.notify_all();
+    }
+
+    pub(crate) fn note_sync_merge(&self, advised: bool, backpressure: bool) {
+        let mut st = self.shared.lock();
+        st.stats.sync_merges += 1;
+        if backpressure {
+            st.stats.backpressure_merges += 1;
+        }
         if advised {
-            self.stats.advised_relayouts += 1;
+            st.stats.advised_relayouts += 1;
         }
     }
 
-    pub(crate) fn note_applied(&mut self, advised: bool) {
-        self.stats.builds_applied += 1;
-        if advised {
-            self.stats.advised_relayouts += 1;
-        }
-    }
-
-    pub(crate) fn note_discarded(&mut self) {
-        self.stats.builds_discarded += 1;
-    }
-
-    /// Hand a build to the worker (spawning it on first use).
-    pub(crate) fn launch(&mut self, job: BuildJob) {
-        let worker = self.worker.get_or_insert_with(|| {
-            let (tx_jobs, rx_jobs) = channel::<Job>();
-            let (tx_done, rx_done) = channel::<BuildDone>();
+    /// Hand a reserved build to the worker (spawning it on first use).
+    pub(crate) fn launch(&self, job: BuildJob) {
+        let mut st = self.shared.lock();
+        st.stats.builds_started += 1;
+        if st.tx.is_none() {
+            let (tx, rx) = channel::<BuildJob>();
+            let shared = Arc::clone(&self.shared);
             let handle = std::thread::Builder::new()
                 .name("pdsm-maintenance".into())
-                .spawn(move || worker_loop(rx_jobs, tx_done))
-                .expect("spawn maintenance worker");
-            Worker {
-                tx: tx_jobs,
-                rx: rx_done,
-                handle: Some(handle),
-            }
-        });
-        self.in_flight.insert(job.table.clone());
-        self.stats.builds_started += 1;
-        // A send only fails if the worker died (a panic inside a build).
-        // Drop it so the next drain reclaims the orphaned in_flight
-        // entries and the next launch respawns a fresh worker.
-        if worker.tx.send(Job::Build(job)).is_err() {
-            self.worker = None;
-        }
-    }
-
-    /// All builds that have finished, without blocking. The second value
-    /// lists tables orphaned by a dead worker (a panic inside a build):
-    /// their builds will never arrive, so the caller must abort their
-    /// pending merges. The dead worker is dropped, and the next
-    /// [`MaintenanceScheduler::launch`] spawns a fresh one — a lost build
-    /// never disables automatic merging.
-    pub(crate) fn drain_done(&mut self) -> (Vec<BuildDone>, Vec<String>) {
-        let mut out = std::mem::take(&mut self.done_buf);
-        let mut worker_dead = false;
-        if let Some(w) = &self.worker {
-            loop {
-                match w.rx.try_recv() {
-                    Ok(d) => out.push(d),
-                    Err(std::sync::mpsc::TryRecvError::Empty) => break,
-                    Err(std::sync::mpsc::TryRecvError::Disconnected) => {
-                        worker_dead = true;
-                        break;
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        run_build(job, &shared);
                     }
-                }
+                })
+                .expect("spawn maintenance worker");
+            st.tx = Some(tx);
+            st.handle = Some(handle);
+        }
+        // A send fails only if the worker thread died (a panic outside
+        // run_build's contained region). Reclaim fully: release the slot,
+        // abort the orphaned cut, and drop the dead worker so the next
+        // launch respawns a fresh one — a lost build never disables
+        // automatic merging and never wedges flush().
+        match st.tx.as_ref().expect("installed above").send(job) {
+            Ok(()) => {}
+            Err(std::sync::mpsc::SendError(job)) => {
+                st.stats.builds_discarded += 1;
+                st.in_flight.remove(&job.table);
+                st.tx = None;
+                st.handle = None; // already dead; dropping detaches it
+                drop(st);
+                job.handle.abort_merge_epoch(job.ticket.epoch());
+                self.shared.done.notify_all();
             }
-        }
-        for d in &out {
-            self.in_flight.remove(&d.table);
-        }
-        if worker_dead {
-            self.worker = None;
-        }
-        // in_flight entries with no worker to serve them are orphans
-        // (covers both the dead-worker path above and a failed send)
-        let orphans = if self.worker.is_none() {
-            self.in_flight.drain().collect()
-        } else {
-            Vec::new()
-        };
-        (out, orphans)
-    }
-
-    /// Block until one in-flight build finishes (buffered for the next
-    /// [`MaintenanceScheduler::drain_done`]). Returns false — no progress
-    /// possible — when nothing is in flight or the worker died; the caller
-    /// then reclaims [`MaintenanceScheduler::take_in_flight`] tables.
-    pub(crate) fn wait_one(&mut self) -> bool {
-        if self.in_flight.is_empty() {
-            return false;
-        }
-        let Some(w) = &self.worker else {
-            return false;
-        };
-        match w.rx.recv() {
-            Ok(d) => {
-                self.in_flight.remove(&d.table);
-                self.done_buf.push(d);
-                true
-            }
-            Err(_) => false,
         }
     }
 
-    /// Tables that still count as in flight (used to abort their pending
-    /// merges if the worker died).
-    pub(crate) fn take_in_flight(&mut self) -> Vec<String> {
-        self.in_flight.drain().collect()
+    /// Merges the worker has applied since the last drain, without
+    /// blocking.
+    pub fn drain_applied(&self) -> Vec<(String, MergeStats)> {
+        std::mem::take(&mut self.shared.lock().applied)
+    }
+
+    /// Block until every in-flight build has been applied (or discarded),
+    /// then drain the applied list — the deterministic quiesce point tests
+    /// and benchmarks use.
+    pub fn flush(&self) -> Vec<(String, MergeStats)> {
+        let mut st = self.shared.lock();
+        while !st.in_flight.is_empty() {
+            st = self.shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        std::mem::take(&mut st.applied)
     }
 }
 
 impl Drop for MaintenanceScheduler {
     fn drop(&mut self) {
-        if let Some(w) = self.worker.take() {
-            let _ = w.tx.send(Job::Stop);
-            if let Some(h) = w.handle {
-                let _ = h.join();
-            }
+        let (tx, handle) = {
+            let mut st = self.shared.lock();
+            (st.tx.take(), st.handle.take())
+        };
+        drop(tx); // closes the channel; the worker loop exits
+        if let Some(h) = handle {
+            let _ = h.join();
         }
     }
+}
+
+/// Process one build on the worker thread: advise the layout, fold the
+/// cut, apply the swap through the shared handle, rebuild the table's
+/// indexes from the fresh main store, record the outcome. Panics inside
+/// the fold are contained — the pending cut is aborted and the build
+/// counted as discarded, so a poisoned table never wedges the scheduler.
+fn run_build(job: BuildJob, shared: &SchedShared) {
+    let table = job.table.clone();
+    let handle = job.handle.clone();
+    let epoch = job.ticket.epoch();
+    let hw = Hierarchy::nehalem();
+    let opt_cfg = OptimizerConfig::default();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let (layout, advised) = choose_layout(
+            &job.table,
+            job.layout.clone(),
+            job.advise.as_ref(),
+            &hw,
+            &opt_cfg,
+        );
+        match job.ticket.build(layout) {
+            Ok(built) => {
+                match job
+                    .handle
+                    .finish_merge_then(built, |vt| (vt.main_arc(), vt.generation()))
+                {
+                    Ok((stats, (main, generation))) => {
+                        // Index rebuild runs off every lock: the fresh main
+                        // is immutable, and the generation tag makes a
+                        // stale result harmless (probes fall back to scan).
+                        crate::database::rebuild_index_set(&job.indexes, &main, generation);
+                        Some((stats, advised))
+                    }
+                    // Stale: an explicit or backpressure merge preempted us.
+                    Err(_) => None,
+                }
+            }
+            Err(_) => {
+                // Build failed; clear our pending cut so merges can run.
+                job.handle.abort_merge_epoch(epoch);
+                None
+            }
+        }
+    }));
+    if outcome.is_err() {
+        // A panic mid-fold: make sure our cut is not left pending.
+        handle.abort_merge_epoch(epoch);
+    }
+    // Release the job — and with it the ticket's pinned cut snapshot —
+    // *before* reporting completion: a thread woken by flush() must never
+    // observe this build still pinning a superseded version.
+    drop(job);
+    let mut st = shared.lock();
+    st.in_flight.remove(&table);
+    match outcome {
+        Ok(Some((stats, advised))) => {
+            st.stats.builds_applied += 1;
+            if advised {
+                st.stats.advised_relayouts += 1;
+            }
+            st.applied.push((table, stats));
+        }
+        _ => st.stats.builds_discarded += 1,
+    }
+    drop(st);
+    shared.done.notify_all();
 }
 
 /// Pick the layout a merge of `table` should fold into: the advisor's
@@ -360,34 +496,5 @@ pub(crate) fn choose_layout(
         (opt.layout, true)
     } else {
         (current, false)
-    }
-}
-
-fn worker_loop(rx_jobs: Receiver<Job>, tx_done: Sender<BuildDone>) {
-    let hw = Hierarchy::nehalem();
-    let opt_cfg = OptimizerConfig::default();
-    while let Ok(job) = rx_jobs.recv() {
-        let job = match job {
-            Job::Stop => break,
-            Job::Build(j) => j,
-        };
-        let (layout, advised) = choose_layout(
-            &job.table,
-            job.layout.clone(),
-            job.advise.as_ref(),
-            &hw,
-            &opt_cfg,
-        );
-        let result = job.ticket.build(layout);
-        if tx_done
-            .send(BuildDone {
-                table: job.table,
-                result,
-                advised,
-            })
-            .is_err()
-        {
-            break;
-        }
     }
 }

@@ -125,8 +125,8 @@ impl Planner {
             if views.contains_key(name) {
                 continue;
             }
-            let vt = db.versioned(name)?;
-            views.insert(name.to_string(), table_view(vt.main(), vt.len()));
+            let view = db.with_table(name, |vt| table_view(vt.main(), vt.len()))?;
+            views.insert(name.to_string(), view);
         }
         Ok(views)
     }
@@ -222,8 +222,7 @@ impl Planner {
         for (i, table) in logical.tables().into_iter().enumerate() {
             let view = &views[table];
             let delta_rows = db
-                .and_then(|d| d.versioned(table).ok())
-                .map(|vt| vt.live_delta_rows())
+                .and_then(|d| d.with_table(table, |vt| vt.live_delta_rows()).ok())
                 .unwrap_or(0);
             let access = if i == 0 && chosen_access.is_indexed() {
                 chosen_access.clone()
@@ -266,11 +265,13 @@ impl Planner {
         views: &HashMap<String, TableView>,
     ) -> Option<(CostSummary, f64)> {
         let view = views.get(&cand.table)?;
-        let vt = db.versioned(&cand.table).ok()?;
+        let (main_rows, live_delta) = db
+            .with_table(&cand.table, |vt| (vt.main().len(), vt.live_delta_rows()))
+            .ok()?;
         let idx = db.index(&cand.table, cand.col)?;
-        let n_main = vt.main().len().max(1) as u64;
+        let n_main = main_rows.max(1) as u64;
         let keys = idx.key_count().max(1) as u64;
-        let delta = vt.live_delta_rows() as u64;
+        let delta = live_delta as u64;
 
         // Estimated main-store hits. The probe fetches every row matching
         // the *indexed conjunct alone* — residual conjuncts filter only
@@ -292,7 +293,7 @@ impl Planner {
 
         let mut atoms: Vec<Pattern> = Vec::new();
         // The index structure itself.
-        atoms.push(Pattern::atom(match idx {
+        atoms.push(Pattern::atom(match idx.as_ref() {
             Index::Hash(_) => Atom::rr_acc(keys, 24, 1),
             Index::RBTree(_) => {
                 let depth = (keys.max(2) as f64).log2().ceil() as u64;
@@ -510,7 +511,7 @@ mod tests {
     use pdsm_storage::{ColumnDef, DataType, Schema, Value};
 
     fn db(rows: i32) -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         let cols: Vec<ColumnDef> = (0..8)
             .map(|i| ColumnDef::new(format!("c{i}"), DataType::Int32))
             .collect();
@@ -564,7 +565,7 @@ mod tests {
 
     #[test]
     fn identity_select_takes_the_index() {
-        let mut db = db(5_000);
+        let db = db(5_000);
         db.create_index("r", "c0", IndexKind::Hash).unwrap();
         let plan = QueryBuilder::scan("r")
             .filter(Expr::col(0).eq(Expr::lit(80)))
@@ -592,7 +593,7 @@ mod tests {
     #[test]
     fn join_plans_get_one_pipeline_per_scan() {
         let db = {
-            let mut db = db(500);
+            let db = db(500);
             let cols: Vec<ColumnDef> = (0..4)
                 .map(|i| ColumnDef::new(format!("d{i}"), DataType::Int32))
                 .collect();

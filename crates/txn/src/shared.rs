@@ -88,9 +88,44 @@ impl SharedTable {
         self.write().finish_merge(built)
     }
 
+    /// [`SharedTable::finish_merge`], then run `f` under the *same* write
+    /// lock — the hook a maintenance scheduler uses to capture post-swap
+    /// state (the fresh main `Arc`, the new generation) atomically with the
+    /// swap, e.g. to rebuild secondary indexes off-lock afterwards. `f` is
+    /// not called when the build is stale.
+    pub fn finish_merge_then<R>(
+        &self,
+        built: BuiltMain,
+        f: impl FnOnce(&VersionedTable) -> R,
+    ) -> Result<(MergeStats, R)> {
+        let mut t = self.write();
+        let stats = t.finish_merge(built)?;
+        let r = f(&t);
+        Ok((stats, r))
+    }
+
+    /// Synchronous [`SharedTable::merge_with_layout`], then run `f` under
+    /// the same write lock (see [`SharedTable::finish_merge_then`]).
+    pub fn merge_with_layout_then<R>(
+        &self,
+        layout: Layout,
+        f: impl FnOnce(&VersionedTable) -> R,
+    ) -> Result<(MergeStats, R)> {
+        let mut t = self.write();
+        let stats = t.merge_with_layout(layout)?;
+        let r = f(&t);
+        Ok((stats, r))
+    }
+
     /// Drop any pending merge build (its `finish_merge` turns stale).
     pub fn abort_merge(&self) -> bool {
         self.write().abort_merge()
+    }
+
+    /// Drop the pending merge build only if `epoch` stamps it (the safe
+    /// abort for a build owner that may have been preempted).
+    pub fn abort_merge_epoch(&self, epoch: u64) -> bool {
+        self.write().abort_merge_epoch(epoch)
     }
 
     /// Run one full background merge from this thread: begin (short write
@@ -152,6 +187,27 @@ impl SharedTable {
     /// Delta rows pending merge right now.
     pub fn delta_rows(&self) -> usize {
         self.read().delta_rows()
+    }
+
+    /// Write operations since the last merge right now (the merge-threshold
+    /// metric maintenance schedulers watch).
+    pub fn delta_ops(&self) -> u64 {
+        self.read().delta_ops()
+    }
+
+    /// True iff any write happened since the last merge.
+    pub fn has_delta(&self) -> bool {
+        self.read().has_delta()
+    }
+
+    /// True iff a background merge build is in flight.
+    pub fn has_pending_merge(&self) -> bool {
+        self.read().has_pending_merge()
+    }
+
+    /// Shared handle to the current main store.
+    pub fn main_arc(&self) -> std::sync::Arc<pdsm_storage::Table> {
+        self.read().main_arc()
     }
 
     /// Cumulative write counters.

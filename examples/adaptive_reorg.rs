@@ -28,7 +28,7 @@ fn main() {
     let cols: Vec<ColumnDef> = (0..24)
         .map(|i| ColumnDef::new(format!("c{i}"), DataType::Int32))
         .collect();
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("events", Schema::new(cols)).unwrap();
     for i in 0..300_000i32 {
         let row: Vec<Value> = (0..24)
@@ -68,7 +68,7 @@ fn main() {
     let reference = db.run(&probe, EngineKind::Compiled).unwrap();
 
     println!("phase 1 (lookup-heavy):");
-    let report = advisor.apply(&mut db, &oltp).unwrap();
+    let report = advisor.apply(&db, &oltp).unwrap();
     println!(
         "  advisor chose {} — lookups: {:.1} weighted-ms",
         report.tables[0].layout,
@@ -76,7 +76,7 @@ fn main() {
     );
 
     println!("\nworkload shifts to analytics; reorganizing online...");
-    let report = advisor.apply(&mut db, &olap).unwrap();
+    let report = advisor.apply(&db, &olap).unwrap();
     println!(
         "  advisor chose {} — analytics: {:.1} weighted-ms",
         report.tables[0].layout,

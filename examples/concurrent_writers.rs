@@ -1,0 +1,112 @@
+//! Concurrent per-table ingest through the shared `Database` handle:
+//! `Arc<Database>` cloned per thread, one writer per table, background
+//! merges landing under the writers, readers on consistent snapshots.
+//!
+//! Writers to *different* tables proceed fully in parallel (each takes
+//! only its own table's lock per operation); writers to the *same* table
+//! would serialize on that table's lock alone. On a multi-core host the
+//! ingest wall-clock stays roughly flat as tables (and writer threads)
+//! are added.
+//!
+//!     cargo run --release --example concurrent_writers
+
+use mrdb::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ROWS_PER_TABLE: usize = 100_000;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("id", DataType::Int32),
+        ColumnDef::new("payload", DataType::Int64),
+        ColumnDef::new("tag", DataType::Str),
+    ])
+}
+
+fn ingest(db: &Database, table: &str, rows: usize, seed: i64) {
+    for i in 0..rows {
+        db.insert(
+            table,
+            &[
+                Value::Int32(i as i32),
+                Value::Int64(seed.wrapping_mul(i as i64)),
+                Value::Str(format!("t{}", i % 5)),
+            ],
+        )
+        .expect("insert");
+    }
+}
+
+fn main() {
+    println!(
+        "concurrent_writers — disjoint-table parallel ingest, {} rows/table, {} core(s)\n",
+        ROWS_PER_TABLE,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+
+    for n_tables in [1usize, 2, 4] {
+        // Background maintenance with a small threshold: merges run and
+        // are applied on the worker thread while the writers keep going.
+        let db = Arc::new(Database::with_maintenance(MaintenanceConfig {
+            mode: MaintenanceMode::Background,
+            merge_threshold: 16_384,
+            ..Default::default()
+        }));
+        for i in 0..n_tables {
+            db.create_table(&format!("events_{i}"), schema()).unwrap();
+        }
+
+        // One writer thread per table, all sharing the same Arc<Database>.
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for i in 0..n_tables {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    ingest(&db, &format!("events_{i}"), ROWS_PER_TABLE, i as i64 + 1);
+                });
+            }
+            // A concurrent reader: snapshots are consistent cuts, taken
+            // and queried without ever blocking the writers.
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                let plan = QueryBuilder::scan("events_0")
+                    .aggregate(vec![], vec![AggExpr::count_star()])
+                    .build();
+                for _ in 0..20 {
+                    let n = db.snapshot().run(&plan, EngineKind::Compiled).unwrap().rows[0][0]
+                        .as_i64()
+                        .unwrap();
+                    assert!(n <= ROWS_PER_TABLE as i64);
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let ingest_s = t0.elapsed().as_secs_f64();
+        db.flush_maintenance().unwrap();
+
+        let stats = db.maintenance_stats();
+        let total = n_tables * ROWS_PER_TABLE;
+        println!(
+            "{n_tables} table(s) x {n_tables} writer(s): {total:>7} rows in {:>6.0} ms \
+             ({:>9.0} rows/s), {} background merges applied",
+            ingest_s * 1e3,
+            total as f64 / ingest_s,
+            stats.builds_applied,
+        );
+
+        // Every table holds exactly its writer's rows.
+        for i in 0..n_tables {
+            let count = QueryBuilder::scan(format!("events_{i}"))
+                .aggregate(vec![], vec![AggExpr::count_star()])
+                .build();
+            let n = db.execute(&count).unwrap().rows[0][0].as_i64().unwrap();
+            assert_eq!(n, ROWS_PER_TABLE as i64);
+        }
+    }
+    println!("\nper-table row counts verified — writers never interfered with each other.");
+    println!("(on a multi-core host the rows/s column grows with the writer count;");
+    println!("per-table locks mean disjoint writers never serialize on the catalog)");
+}

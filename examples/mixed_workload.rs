@@ -10,7 +10,7 @@ use mrdb::workloads::sapsd;
 
 fn main() {
     let scale = 5_000;
-    let mut db = Database::new();
+    let db = Database::new();
     for t in sapsd::tables(scale, 7) {
         db.register(t);
     }
@@ -53,7 +53,7 @@ fn main() {
         .iter()
         .map(|q| db.run(&q.plan, EngineKind::Compiled).unwrap())
         .collect();
-    advisor.apply(&mut db, &workload).unwrap();
+    advisor.apply(&db, &workload).unwrap();
     println!("\nafter relayout (compiled engine):");
     for (q, before_out) in workload.queries.iter().zip(&before) {
         let t0 = std::time::Instant::now();

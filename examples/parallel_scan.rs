@@ -6,7 +6,7 @@
 use mrdb::prelude::*;
 
 fn main() {
-    let mut db = Database::new();
+    let db = Database::new();
     let t = mrdb::workloads::microbench::generate(
         500_000,
         0.03,
@@ -32,10 +32,13 @@ fn main() {
 
     println!("\npinned worker counts (ParallelEngine::with_threads):");
     let reference = reference.expect("ran at least one engine");
+    // Engines consume a TableProvider; under the shared-handle API that is
+    // a snapshot pinned at the current version, not the database itself.
+    let snap = db.snapshot();
     for threads in [1, 2, 4, 8] {
         let engine = ParallelEngine::with_threads(threads);
         let start = std::time::Instant::now();
-        let out = Engine::execute(&engine, &plan, &db).expect("query runs");
+        let out = Engine::execute(&engine, &plan, &snap).expect("query runs");
         reference.assert_same(&out, "pinned threads");
         println!(
             "  {threads} thread(s): {:>9.1?}  (results identical)",

@@ -22,7 +22,7 @@ fn main() {
     let layout = Layout::from_groups(vec![vec![0], (1..=4).collect(), (5..16).collect()], 16)
         .expect("valid layout");
 
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table_with_layout("R", schema, layout).unwrap();
     for i in 0..200_000i32 {
         let row: Vec<Value> = (0..16)

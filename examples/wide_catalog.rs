@@ -29,7 +29,7 @@ fn main() {
     }
 
     // row baseline, column baseline, and the advisor's hybrid
-    let mut row_db = Database::new();
+    let row_db = Database::new();
     row_db.register(base.clone());
     let advisor = LayoutAdvisor::default();
     let report = advisor.advise(&row_db, &workload);
@@ -49,7 +49,7 @@ fn main() {
 
     println!("frequency-weighted execution time (compiled engine):");
     for (name, table) in variants {
-        let mut db = Database::new();
+        let db = Database::new();
         db.register(table);
         let mut weighted_ms = 0.0;
         for q in &queries {

@@ -5,7 +5,7 @@ use mrdb::prelude::*;
 use mrdb::workloads::{ch, cnet, sapsd, QueryKind};
 
 fn load_sapsd(scale: usize) -> (Database, Vec<mrdb::workloads::BenchQuery>) {
-    let mut db = Database::new();
+    let db = Database::new();
     for t in sapsd::tables(scale, 7) {
         db.register(t);
     }
@@ -14,7 +14,7 @@ fn load_sapsd(scale: usize) -> (Database, Vec<mrdb::workloads::BenchQuery>) {
 
 #[test]
 fn sapsd_advisor_roundtrip_preserves_all_query_results() {
-    let (mut db, queries) = load_sapsd(400);
+    let (db, queries) = load_sapsd(400);
     let mut workload = Workload::new();
     for q in &queries {
         if let Some(p) = q.as_plan() {
@@ -26,7 +26,7 @@ fn sapsd_advisor_roundtrip_preserves_all_query_results() {
         .iter()
         .map(|q| db.run(&q.plan, EngineKind::Compiled).unwrap())
         .collect();
-    let report = LayoutAdvisor::default().apply(&mut db, &workload).unwrap();
+    let report = LayoutAdvisor::default().apply(&db, &workload).unwrap();
     assert_eq!(report.tables.len(), 5, "all five SD tables advised");
     assert!(report.speedup_vs_row() >= 1.0);
     for (q, b) in workload.queries.iter().zip(&before) {
@@ -40,7 +40,7 @@ fn sapsd_advisor_roundtrip_preserves_all_query_results() {
 
 #[test]
 fn sapsd_insert_query_visibility() {
-    let (mut db, queries) = load_sapsd(300);
+    let (db, queries) = load_sapsd(300);
     let q6 = &queries[5];
     let QueryKind::Insert { table, .. } = &q6.kind else {
         panic!("Q6 must be the insert query");
@@ -65,14 +65,9 @@ fn sapsd_insert_query_visibility() {
 #[test]
 fn sapsd_indexes_agree_with_scans_on_all_layouts() {
     for columnar in [false, true] {
-        let (mut db, queries) = load_sapsd(300);
+        let (db, queries) = load_sapsd(300);
         if columnar {
-            for name in db
-                .table_names()
-                .into_iter()
-                .map(str::to_string)
-                .collect::<Vec<_>>()
-            {
+            for name in db.table_names() {
                 let w = db.get_table(&name).unwrap().schema().len();
                 db.relayout(&name, Layout::column(w)).unwrap();
             }
@@ -90,7 +85,7 @@ fn sapsd_indexes_agree_with_scans_on_all_layouts() {
 
 #[test]
 fn ch_queries_stable_across_layout_changes() {
-    let mut db = Database::new();
+    let db = Database::new();
     for t in ch::tables(1, 13) {
         db.register(t);
     }
@@ -113,7 +108,7 @@ fn ch_queries_stable_across_layout_changes() {
 #[test]
 fn cnet_weighted_workload_advisor_separates_dense_columns() {
     let table = cnet::generate(600, 64, 11, 17);
-    let mut db = Database::new();
+    let db = Database::new();
     db.register(table);
     let queries = cnet::queries("laptops", 40, 300);
     let mut workload = Workload::new();

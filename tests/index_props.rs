@@ -80,7 +80,7 @@ proptest! {
         probe in 0i32..250,
         use_rbtree in any::<bool>(),
     ) {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "t",
             Schema::new(vec![

@@ -1,7 +1,8 @@
 //! The maintenance scheduler end-to-end: background merges stay
-//! byte-identical to synchronous ones, the advisor loop re-layouts
-//! drifted tables at merge time, plan caches survive background
-//! generation bumps, and version chains stay bounded.
+//! byte-identical to synchronous ones, the worker applies its own builds
+//! (catch-up never rides the write path), backpressure bounds the delta,
+//! the advisor loop re-layouts drifted tables at merge time, plan caches
+//! survive background generation bumps, and version chains stay bounded.
 
 use mrdb::prelude::*;
 use mrdb::storage::Value as V;
@@ -13,11 +14,15 @@ fn cfg(mode: MaintenanceMode, threshold: u64) -> MaintenanceConfig {
         mode,
         merge_threshold: threshold,
         advise_on_merge: false,
+        // Backpressure off: these suites assert exact build counts, which
+        // a lag-triggered inline merge would perturb (it is covered by its
+        // own test below).
+        max_lag: 0,
         ..Default::default()
     }
 }
 
-fn make_table(db: &mut Database) {
+fn make_table(db: &Database) {
     db.create_table(
         "t",
         Schema::new(vec![
@@ -29,23 +34,16 @@ fn make_table(db: &mut Database) {
     .unwrap();
 }
 
-/// Current live row ids in scan order (the timing-invariant resolution
-/// drivers must use when the scheduler can renumber ids at any write).
-fn live_ids(db: &Database) -> Vec<usize> {
-    let vt = db.versioned("t").unwrap();
-    (0..vt.main().len() + vt.delta_rows())
-        .filter(|&i| vt.is_visible(i))
-        .collect()
-}
-
 /// Apply one deterministic op-stream step. Row targets resolve by *live
 /// position* (scan order), which is invariant under merge timing — so two
 /// databases merging at different moments apply identical logical ops.
 ///
-/// Ids resolved here are used immediately, with no insert in between —
-/// exactly the id contract `Database::maintain` documents (only id-free
-/// entry points can merge and renumber).
-fn apply_step(db: &mut Database, rng: &mut SmallRng) {
+/// Updates and deletes resolve-and-apply inside one
+/// [`Database::with_table_write`] closure: under worker-applied background
+/// merges a swap could otherwise renumber the id between resolution and
+/// use. (The rng is only consulted when the live set is non-empty, which
+/// is a property of the logical state — identical across databases.)
+fn apply_step(db: &Database, rng: &mut SmallRng) {
     let w = rng.gen_range(0..10);
     if w < 6 {
         let k: i32 = rng.gen_range(0..1000);
@@ -59,18 +57,29 @@ fn apply_step(db: &mut Database, rng: &mut SmallRng) {
         )
         .unwrap();
     } else if w < 8 {
-        let live = live_ids(db);
-        if !live.is_empty() {
-            let id = live[rng.gen_range(0..u64::MAX) as usize % live.len()];
-            db.update("t", id, "v", &V::Int64(rng.gen_range(-500..500)))
-                .unwrap();
-        }
+        db.with_table_write("t", |vt| {
+            let live: Vec<usize> = (0..vt.main().len() + vt.delta_rows())
+                .filter(|&i| vt.is_visible(i))
+                .collect();
+            if !live.is_empty() {
+                let id = live[rng.gen_range(0..u64::MAX) as usize % live.len()];
+                let col = vt.schema().col_id("v").unwrap();
+                vt.update(id, col, &V::Int64(rng.gen_range(-500..500)))
+                    .unwrap();
+            }
+        })
+        .unwrap();
     } else {
-        let live = live_ids(db);
-        if !live.is_empty() {
-            let id = live[rng.gen_range(0..u64::MAX) as usize % live.len()];
-            db.delete("t", id).unwrap();
-        }
+        db.with_table_write("t", |vt| {
+            let live: Vec<usize> = (0..vt.main().len() + vt.delta_rows())
+                .filter(|&i| vt.is_visible(i))
+                .collect();
+            if !live.is_empty() {
+                let id = live[rng.gen_range(0..u64::MAX) as usize % live.len()];
+                vt.delete(id).unwrap();
+            }
+        })
+        .unwrap();
     }
 }
 
@@ -82,15 +91,17 @@ fn scan_rows(db: &Database) -> Vec<Vec<Value>> {
 
 #[test]
 fn sync_mode_merges_inline_at_threshold() {
-    let mut db = Database::with_maintenance(cfg(MaintenanceMode::Sync, 64));
-    make_table(&mut db);
+    let db = Database::with_maintenance(cfg(MaintenanceMode::Sync, 64));
+    make_table(&db);
     for i in 0..500i32 {
         db.insert("t", &[V::Int32(i), V::Int64(i as i64), V::Str("x".into())])
             .unwrap();
     }
-    let vt = db.versioned("t").unwrap();
-    assert!(vt.generation() > 0, "threshold crossings merged");
-    assert!(vt.delta_ops() < 64 + 1, "delta stays bounded");
+    let (generation, delta_ops) = db
+        .with_table("t", |vt| (vt.generation(), vt.delta_ops()))
+        .unwrap();
+    assert!(generation > 0, "threshold crossings merged");
+    assert!(delta_ops < 64 + 1, "delta stays bounded");
     let stats = db.maintenance_stats();
     assert!(stats.sync_merges >= 7, "got {:?}", stats);
     assert_eq!(stats.builds_started, 0, "sync mode never uses the worker");
@@ -98,9 +109,9 @@ fn sync_mode_merges_inline_at_threshold() {
 }
 
 #[test]
-fn background_mode_builds_off_thread_and_catches_up() {
-    let mut db = Database::with_maintenance(cfg(MaintenanceMode::Background, 64));
-    make_table(&mut db);
+fn background_mode_builds_and_applies_off_thread() {
+    let db = Database::with_maintenance(cfg(MaintenanceMode::Background, 64));
+    make_table(&db);
     for i in 0..500i32 {
         db.insert("t", &[V::Int32(i), V::Int64(i as i64), V::Str("x".into())])
             .unwrap();
@@ -110,21 +121,21 @@ fn background_mode_builds_off_thread_and_catches_up() {
     assert!(stats.builds_started >= 1, "got {:?}", stats);
     assert_eq!(
         stats.builds_applied, stats.builds_started,
-        "all builds caught up (none raced an explicit merge): {:?}",
+        "the worker applied every build (none raced an explicit merge): {:?}",
         stats
     );
     assert_eq!(stats.sync_merges, 0);
     assert!(!applied.is_empty() || stats.builds_applied > 0);
-    assert!(db.versioned("t").unwrap().generation() > 0);
+    assert!(db.with_table("t", |vt| vt.generation()).unwrap() > 0);
     assert_eq!(scan_rows(&db).len(), 500);
 }
 
 #[test]
 fn background_and_sync_paths_are_byte_identical() {
-    let mut sync_db = Database::with_maintenance(cfg(MaintenanceMode::Sync, 48));
-    let mut bg_db = Database::with_maintenance(cfg(MaintenanceMode::Background, 48));
-    let mut off_db = Database::with_maintenance(cfg(MaintenanceMode::Off, 48));
-    for db in [&mut sync_db, &mut bg_db, &mut off_db] {
+    let sync_db = Database::with_maintenance(cfg(MaintenanceMode::Sync, 48));
+    let bg_db = Database::with_maintenance(cfg(MaintenanceMode::Background, 48));
+    let off_db = Database::with_maintenance(cfg(MaintenanceMode::Off, 48));
+    for db in [&sync_db, &bg_db, &off_db] {
         make_table(db);
     }
     // identical op streams; targets resolve by live position (timing-proof)
@@ -132,9 +143,9 @@ fn background_and_sync_paths_are_byte_identical() {
     let mut r2 = SmallRng::seed_from_u64(99);
     let mut r3 = SmallRng::seed_from_u64(99);
     for _ in 0..800 {
-        apply_step(&mut sync_db, &mut r1);
-        apply_step(&mut bg_db, &mut r2);
-        apply_step(&mut off_db, &mut r3);
+        apply_step(&sync_db, &mut r1);
+        apply_step(&bg_db, &mut r2);
+        apply_step(&off_db, &mut r3);
     }
     bg_db.flush_maintenance().unwrap();
     // live scans agree before any final merge...
@@ -144,7 +155,7 @@ fn background_and_sync_paths_are_byte_identical() {
     assert_eq!(a, b, "sync vs background live state");
     assert_eq!(a, c, "scheduled vs never-merged live state");
     // ...and after everything is folded
-    for db in [&mut sync_db, &mut bg_db, &mut off_db] {
+    for db in [&sync_db, &bg_db, &off_db] {
         db.merge_all().unwrap();
     }
     let a = scan_rows(&sync_db);
@@ -158,27 +169,86 @@ fn background_and_sync_paths_are_byte_identical() {
 
 #[test]
 fn explicit_merge_wins_over_in_flight_build() {
-    let mut db = Database::with_maintenance(cfg(MaintenanceMode::Background, 32));
-    make_table(&mut db);
+    let db = Database::with_maintenance(cfg(MaintenanceMode::Background, 32));
+    make_table(&db);
     // the 33rd insert's entry check crosses the threshold and launches a
-    // build; no later DML entry exists that could apply it first
+    // build; the worker may apply it at any moment now
     for i in 0..33i32 {
         db.insert("t", &[V::Int32(i), V::Int64(0), V::Str("x".into())])
             .unwrap();
     }
-    assert!(db.versioned("t").unwrap().has_pending_merge());
-    // preempt the in-flight build with an explicit merge
+    // An explicit merge always wins whatever the race: if the build is
+    // still pending it turns stale and the worker discards it; if the
+    // worker already applied it, this just merges the (empty) delta.
     db.merge("t").unwrap();
     db.flush_maintenance().unwrap();
     let stats = db.maintenance_stats();
     assert_eq!(stats.builds_started, 1);
     assert_eq!(
-        stats.builds_discarded, 1,
-        "preempted build discarded: {:?}",
+        stats.builds_applied + stats.builds_discarded,
+        1,
+        "every build is accounted for exactly once: {:?}",
         stats
     );
-    assert_eq!(stats.builds_applied, 0);
     assert_eq!(scan_rows(&db).len(), 33);
+
+    // Deterministic preemption, at the shared-handle level: pin a cut,
+    // build it, preempt with an explicit merge — the late swap must fail
+    // stale and leave the table untouched.
+    db.insert("t", &[V::Int32(100), V::Int64(1), V::Str("y".into())])
+        .unwrap();
+    let shared = db.shared("t").unwrap();
+    let ticket = shared.begin_merge().unwrap();
+    let layout = ticket.snapshot().main().layout().clone();
+    let built = ticket.build(layout).unwrap();
+    db.merge("t").unwrap(); // aborts the pending cut
+    let rows = scan_rows(&db);
+    assert!(matches!(
+        shared.finish_merge(built),
+        Err(mrdb::storage::Error::StaleMergeBuild)
+    ));
+    assert_eq!(scan_rows(&db), rows, "stale swap must not touch the table");
+}
+
+#[test]
+fn backpressure_falls_back_to_inline_merges() {
+    // A tiny threshold with a manually pinned cut simulates a builder that
+    // never catches up: the delta outruns the in-flight "build" and the
+    // writer must merge inline once the lag factor is exceeded.
+    let db = Database::with_maintenance(MaintenanceConfig {
+        mode: MaintenanceMode::Background,
+        merge_threshold: 16,
+        advise_on_merge: false,
+        max_lag: 4, // backpressure at 64 pending ops
+        ..Default::default()
+    });
+    make_table(&db);
+    let shared = db.shared("t").unwrap();
+    // Pin a cut directly on the handle: the scheduler sees a pending merge
+    // and will not launch its own build — exactly the "builder stuck"
+    // regime.
+    let ticket = shared.begin_merge().unwrap();
+    for i in 0..200i32 {
+        db.insert("t", &[V::Int32(i), V::Int64(0), V::Str("x".into())])
+            .unwrap();
+        assert!(
+            db.with_table("t", |vt| vt.delta_ops()).unwrap() <= 64,
+            "backpressure must bound the delta at max_lag × threshold"
+        );
+    }
+    let stats = db.maintenance_stats();
+    assert!(
+        stats.backpressure_merges >= 1,
+        "inline fallback engaged: {stats:?}"
+    );
+    assert_eq!(scan_rows(&db).len(), 200);
+    // The stuck build is long stale.
+    let layout = ticket.snapshot().main().layout().clone();
+    let built = ticket.build(layout).unwrap();
+    assert!(matches!(
+        shared.finish_merge(built),
+        Err(mrdb::storage::Error::StaleMergeBuild)
+    ));
 }
 
 /// ROADMAP's "layout advice as policy" loop: tables whose observed
@@ -186,7 +256,7 @@ fn explicit_merge_wins_over_in_flight_build() {
 fn advised_relayout_on(mode: MaintenanceMode) {
     let mut c = cfg(mode, 200);
     c.advise_on_merge = true;
-    let mut db = Database::with_maintenance(c);
+    let db = Database::with_maintenance(c);
     let cols: Vec<ColumnDef> = (0..16)
         .map(|i| ColumnDef::new(format!("c{i}"), DataType::Int32))
         .collect();
@@ -243,8 +313,8 @@ fn advised_relayout_at_merge_background() {
 
 #[test]
 fn plan_cache_follows_background_generation_bumps() {
-    let mut db = Database::with_maintenance(cfg(MaintenanceMode::Background, 64));
-    make_table(&mut db);
+    let db = Database::with_maintenance(cfg(MaintenanceMode::Background, 64));
+    make_table(&db);
     for i in 0..60i32 {
         db.insert("t", &[V::Int32(i), V::Int64(i as i64), V::Str("x".into())])
             .unwrap();
@@ -255,14 +325,13 @@ fn plan_cache_follows_background_generation_bumps() {
     let p1 = db.plan_query(&plan).unwrap();
     let p1b = db.plan_query(&plan).unwrap();
     assert!(std::sync::Arc::ptr_eq(&p1, &p1b), "stable while quiet");
-    // push past the threshold and catch the background merge up
+    // push past the threshold and let the worker land the merge
     for i in 60..130i32 {
         db.insert("t", &[V::Int32(i), V::Int64(i as i64), V::Str("x".into())])
             .unwrap();
     }
     db.flush_maintenance().unwrap();
-    db.poll_maintenance().unwrap();
-    assert!(db.versioned("t").unwrap().generation() > 0);
+    assert!(db.with_table("t", |vt| vt.generation()).unwrap() > 0);
     let p2 = db.plan_query(&plan).unwrap();
     assert!(
         !std::sync::Arc::ptr_eq(&p1, &p2),
@@ -273,8 +342,8 @@ fn plan_cache_follows_background_generation_bumps() {
 
 #[test]
 fn long_lived_db_snapshot_pins_one_version() {
-    let mut db = Database::with_maintenance(cfg(MaintenanceMode::Off, 0));
-    make_table(&mut db);
+    let db = Database::with_maintenance(cfg(MaintenanceMode::Off, 0));
+    make_table(&db);
     for i in 0..100i32 {
         db.insert("t", &[V::Int32(i), V::Int64(0), V::Str("x".into())])
             .unwrap();
@@ -319,10 +388,14 @@ fn long_lived_db_snapshot_pins_one_version() {
 
 #[test]
 fn env_config_parses_modes_and_threshold() {
-    if std::env::var("PDSM_MERGE").is_err() && std::env::var("PDSM_MERGE_THRESHOLD").is_err() {
+    if std::env::var("PDSM_MERGE").is_err()
+        && std::env::var("PDSM_MERGE_THRESHOLD").is_err()
+        && std::env::var("PDSM_MERGE_MAX_LAG").is_err()
+    {
         let cfg = MaintenanceConfig::from_env();
         assert_eq!(cfg.mode, MaintenanceMode::Background);
         assert_eq!(cfg.merge_threshold, 65_536);
+        assert_eq!(cfg.max_lag, 8);
     }
     // per-table override logic
     let mut c = MaintenanceConfig {
@@ -332,4 +405,29 @@ fn env_config_parses_modes_and_threshold() {
     c.per_table.insert("hot".into(), 10);
     assert_eq!(c.threshold_for("hot"), 10);
     assert_eq!(c.threshold_for("cold"), 100);
+}
+
+#[test]
+fn set_maintenance_config_replaces_the_mut_escape_hatch() {
+    let db = Database::with_maintenance(cfg(MaintenanceMode::Off, 10));
+    make_table(&db);
+    let mut c = db.maintenance_config();
+    assert_eq!(c.mode, MaintenanceMode::Off);
+    c.mode = MaintenanceMode::Sync;
+    c.merge_threshold = 8;
+    db.set_maintenance_config(c);
+    assert_eq!(db.maintenance_config().mode, MaintenanceMode::Sync);
+    db.update_maintenance_config(|cfg| cfg.merge_threshold = 4);
+    db.set_merge_threshold(Some("t"), 16);
+    let c = db.maintenance_config();
+    assert_eq!(c.merge_threshold, 4);
+    assert_eq!(c.threshold_for("t"), 16);
+    // the new policy is live: sync merges now happen at the per-table
+    // threshold
+    for i in 0..40i32 {
+        db.insert("t", &[V::Int32(i), V::Int64(0), V::Str("x".into())])
+            .unwrap();
+    }
+    assert!(db.maintenance_stats().sync_merges >= 1);
+    assert!(db.with_table("t", |vt| vt.generation()).unwrap() > 0);
 }

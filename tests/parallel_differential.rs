@@ -15,10 +15,13 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Run `plan` on every registered engine plus pinned-thread parallel
 /// engines, asserting all outputs match the first engine's.
 fn assert_all_engines_agree(db: &Database, plan: &mrdb::plan::logical::LogicalPlan, ctx: &str) {
-    let base = common::assert_engines_agree(plan, db, ctx);
+    // Engines consume a TableProvider; under the shared-handle API that is
+    // a snapshot pinned at the current version, not the database itself.
+    let snap = db.snapshot();
+    let base = common::assert_engines_agree(plan, &snap, ctx);
     for threads in THREAD_COUNTS {
         let engine = ParallelEngine::with_threads(threads);
-        let out = mrdb::exec::Engine::execute(&engine, plan, db)
+        let out = mrdb::exec::Engine::execute(&engine, plan, &snap)
             .unwrap_or_else(|e| panic!("{ctx}: parallel({threads}) failed: {e}"));
         base.assert_same(&out, &format!("{ctx}: parallel threads={threads}"));
     }
@@ -28,7 +31,7 @@ fn assert_all_engines_agree(db: &Database, plan: &mrdb::plan::logical::LogicalPl
 fn microbench_all_layouts_all_threads() {
     let base = microbench::generate(40_000, 0.05, Layout::row(microbench::N_COLS), 11);
     for (layout_name, layout) in microbench::layouts() {
-        let mut db = Database::new();
+        let db = Database::new();
         db.register(base.relayout(layout).unwrap());
         for sel in [0.0, 0.01, 0.5] {
             let plan = microbench::query(sel);
@@ -50,11 +53,12 @@ fn microbench_exact_sums_survive_threading() {
             }
         }
     }
-    let mut db = Database::new();
+    let db = Database::new();
     db.register(t);
     let plan = microbench::query(0.1);
+    let snap = db.snapshot();
     for threads in THREAD_COUNTS {
-        let out = mrdb::exec::Engine::execute(&ParallelEngine::with_threads(threads), &plan, &db)
+        let out = mrdb::exec::Engine::execute(&ParallelEngine::with_threads(threads), &plan, &snap)
             .unwrap();
         for (slot, e) in expect.iter().enumerate() {
             assert_eq!(
@@ -69,7 +73,7 @@ fn microbench_exact_sums_survive_threading() {
 
 #[test]
 fn ch_workload_row_layout() {
-    let mut db = Database::new();
+    let db = Database::new();
     for t in ch::tables(1, 13) {
         db.register(t);
     }
@@ -81,16 +85,11 @@ fn ch_workload_row_layout() {
 
 #[test]
 fn ch_workload_columnar_layout() {
-    let mut db = Database::new();
+    let db = Database::new();
     for t in ch::tables(1, 13) {
         db.register(t);
     }
-    for name in db
-        .table_names()
-        .into_iter()
-        .map(str::to_string)
-        .collect::<Vec<_>>()
-    {
+    for name in db.table_names() {
         let w = db.get_table(&name).unwrap().schema().len();
         db.relayout(&name, Layout::column(w)).unwrap();
     }
@@ -102,7 +101,7 @@ fn ch_workload_columnar_layout() {
 
 #[test]
 fn ch_workload_advised_layout() {
-    let mut db = Database::new();
+    let db = Database::new();
     for t in ch::tables(1, 13) {
         db.register(t);
     }
@@ -112,7 +111,7 @@ fn ch_workload_advised_layout() {
             workload.push(WorkloadQuery::new(q.name.clone(), p.clone()));
         }
     }
-    LayoutAdvisor::default().apply(&mut db, &workload).unwrap();
+    LayoutAdvisor::default().apply(&db, &workload).unwrap();
     for q in ch::queries() {
         let Some(plan) = q.as_plan() else { continue };
         assert_all_engines_agree(&db, plan, &format!("CH {} (advised)", q.name));
@@ -124,7 +123,7 @@ fn parallel_scan_order_is_byte_identical_to_compiled() {
     // Non-aggregating plans promise *exact* row order, not just set
     // equality: per-morsel buffers must stitch back into scan order.
     let t = microbench::generate(25_000, 0.2, microbench::pdsm_layout(), 3);
-    let mut db = Database::new();
+    let db = Database::new();
     db.register(t);
     let plan = mrdb::plan::builder::QueryBuilder::scan("R")
         .filter(mrdb::plan::expr::Expr::col(0).eq(mrdb::plan::expr::Expr::lit(0)))
@@ -135,11 +134,62 @@ fn parallel_scan_order_is_byte_identical_to_compiled() {
         .build();
     let compiled = db.run(&plan, EngineKind::Compiled).unwrap();
     assert!(!compiled.is_empty());
+    let snap = db.snapshot();
     for threads in THREAD_COUNTS {
-        let par = mrdb::exec::Engine::execute(&ParallelEngine::with_threads(threads), &plan, &db)
+        let par = mrdb::exec::Engine::execute(&ParallelEngine::with_threads(threads), &plan, &snap)
             .unwrap();
         assert_eq!(compiled.rows, par.rows, "threads={threads}");
     }
+}
+
+/// The ROADMAP's multi-core CI target, asserted rather than just
+/// recorded: parallel scan ≥2× over 1 thread at 4 threads. Opt-in via
+/// `PDSM_ASSERT_SCALING=1` (the `multicore` CI job sets it) so laptop
+/// `cargo test` runs never flake on timing; self-skips with a logged
+/// notice when the host has fewer than 4 cores (hosted runners vary).
+#[test]
+fn parallel_scan_scaling_asserted_on_multicore() {
+    if std::env::var("PDSM_ASSERT_SCALING").is_err() {
+        eprintln!("notice: PDSM_ASSERT_SCALING unset; skipping the ≥2x @ 4-thread assertion");
+        return;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 4 {
+        eprintln!("notice: only {cores} core(s) available; skipping the ≥2x @ 4-thread assertion");
+        return;
+    }
+    let db = Database::new();
+    db.register(microbench::generate(
+        2_000_000,
+        0.05,
+        microbench::pdsm_layout(),
+        17,
+    ));
+    let plan = microbench::query(0.05);
+    let snap = db.snapshot();
+    let best_of = |threads: usize| -> f64 {
+        let engine = ParallelEngine::with_threads(threads);
+        // warm-up, then best of 5 (scaling is about capacity, not noise)
+        let _ = mrdb::exec::Engine::execute(&engine, &plan, &snap).unwrap();
+        (0..5)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                std::hint::black_box(mrdb::exec::Engine::execute(&engine, &plan, &snap).unwrap());
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::MAX, f64::min)
+    };
+    let t1 = best_of(1);
+    let t4 = best_of(4);
+    let speedup = t1 / t4;
+    eprintln!("parallel scan scaling: 1t {t1:.4}s, 4t {t4:.4}s -> {speedup:.2}x");
+    assert!(
+        speedup >= 2.0,
+        "parallel scan must scale ≥2x at 4 threads on a ≥4-core host \
+         (got {speedup:.2}x: 1t {t1:.4}s vs 4t {t4:.4}s)"
+    );
 }
 
 #[test]

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 /// A small write mix: appends, one update, one delete — enough to leave a
 /// non-trivial delta (tail rows *and* main tombstones).
-fn churn(db: &mut Database, table: &str) {
+fn churn(db: &Database, table: &str) {
     let width = db.get_table(table).unwrap().schema().len();
     let first_col = db.get_table(table).unwrap().schema().columns()[1]
         .name
@@ -32,7 +32,7 @@ fn churn(db: &mut Database, table: &str) {
     db.delete(table, 7).unwrap();
     db.update(table, 11, &first_col, &Value::Int32(-777))
         .unwrap();
-    assert!(db.versioned(table).unwrap().has_delta());
+    assert!(db.with_table(table, |vt| vt.has_delta()).unwrap());
 }
 
 /// `execute` must agree with every fixed engine (skipping shapes an engine
@@ -56,10 +56,10 @@ fn assert_execute_matches_engines(db: &Database, plan: &LogicalPlan, ctx: &str) 
 fn execute_matches_every_engine_across_layouts_and_deltas() {
     for (lname, layout) in microbench::layouts() {
         for with_delta in [false, true] {
-            let mut db = Database::new();
+            let db = Database::new();
             db.register(microbench::generate(2_000, 0.05, layout.clone(), 9));
             if with_delta {
-                churn(&mut db, "R");
+                churn(&db, "R");
             }
             let ctx = format!("{lname}/delta={with_delta}");
             assert_execute_matches_engines(&db, &microbench::query(0.05), &ctx);
@@ -95,12 +95,12 @@ fn execute_matches_every_engine_across_layouts_and_deltas() {
 
 #[test]
 fn indexed_selects_stay_indexed_under_write_load() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.register(microbench::generate(3_000, 0.01, Layout::row(16), 5));
     db.create_index("R", "B", IndexKind::Hash).unwrap();
     // write load: new rows (one with the probed key), tombstones, updates
     let probed = db.get_table("R").unwrap().get(100, 1).unwrap();
-    churn(&mut db, "R");
+    churn(&db, "R");
     let mut hit_row: Vec<Value> = (0..16).map(|c| Value::Int32(90_000 + c)).collect();
     hit_row[1] = probed.clone();
     db.insert("R", &hit_row).unwrap();
@@ -131,7 +131,7 @@ fn coerced_literals_never_probe_the_index() {
     // (3.0 == 3), but the index keys integers by value — a probe would
     // silently miss every main-store hit. The planner must leave this
     // shape on the scan path.
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("t", Schema::new(vec![ColumnDef::new("k", DataType::Int32)]))
         .unwrap();
     for i in 0..500 {
@@ -157,7 +157,7 @@ fn coerced_literals_never_probe_the_index() {
 #[test]
 fn range_probe_keeps_i64_extreme_keys() {
     // An RB-tree can index i64::MIN; `col <= 0` must not skip it.
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("t", Schema::new(vec![ColumnDef::new("k", DataType::Int64)]))
         .unwrap();
     for v in [i64::MIN, -5, 0, 5, i64::MAX] {
@@ -189,7 +189,7 @@ fn range_probe_keeps_i64_extreme_keys() {
 
 #[test]
 fn point_probe_preferred_over_range_whatever_the_conjunct_order() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         Schema::new(vec![
@@ -232,7 +232,7 @@ fn selective_residual_does_not_make_a_wide_range_probe_look_cheap() {
     // `v < huge AND k = 5`: the probe fetches every `v < huge` row; the
     // selective equality filters only afterwards. Pricing hits from the
     // full predicate would make the near-full-table probe look cheap.
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         Schema::new(vec![
@@ -267,7 +267,7 @@ fn selective_residual_does_not_make_a_wide_range_probe_look_cheap() {
 
 #[test]
 fn explain_snapshot() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.register(microbench::generate(
         1_000,
         0.01,
@@ -306,7 +306,7 @@ physical plan
 
 #[test]
 fn observed_workload_captures_routed_traffic() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.register(microbench::generate(500, 0.05, Layout::row(16), 3));
     let q1 = microbench::query(0.05);
     let q2 = QueryBuilder::scan("R").build();
@@ -336,7 +336,7 @@ fn observed_workload_captures_routed_traffic() {
 
 #[test]
 fn plan_cache_keyed_on_generations_and_catalog() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.register(microbench::generate(800, 0.05, Layout::row(16), 3));
     let plan = microbench::query(0.05);
 
@@ -363,9 +363,9 @@ fn plan_cache_keyed_on_generations_and_catalog() {
 
 #[test]
 fn snapshot_execute_picks_an_engine_and_agrees() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.register(microbench::generate(1_500, 0.05, Layout::column(16), 7));
-    churn(&mut db, "R");
+    churn(&db, "R");
     let snap = db.snapshot();
     let plan = microbench::query(0.05);
     let routed = snap.execute(&plan).unwrap();
@@ -387,7 +387,7 @@ proptest! {
         bound in 0i32..2000,
         delta in 0usize..30,
     ) {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "t",
             Schema::new(vec![

@@ -1,0 +1,2 @@
+-- Sent last by CI: stops the server gracefully.
+SHUTDOWN

@@ -58,7 +58,7 @@ use crate::planner::Planner;
 use pdsm_exec::engine::{
     BulkEngine, CompiledEngine, Engine, ExecError, Overlay, TableProvider, VolcanoEngine,
 };
-use pdsm_exec::{QueryOutput, VectorizedEngine};
+use pdsm_exec::{QueryOutput, QueryResult, VectorizedEngine};
 use pdsm_index::{HashIndex, Index, RBTree};
 use pdsm_layout::workload::{Workload, WorkloadQuery};
 use pdsm_par::ParallelEngine;
@@ -134,6 +134,37 @@ impl EngineKind {
     }
 }
 
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EngineKind::Volcano => "volcano",
+            EngineKind::Bulk => "bulk",
+            EngineKind::Compiled => "compiled",
+            EngineKind::Vectorized => "vectorized",
+            EngineKind::Parallel => "parallel",
+        })
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    /// Parse the [`std::fmt::Display`] names (case-insensitive) — the
+    /// `PDSM_ENGINE`-style knob format.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "volcano" => Ok(EngineKind::Volcano),
+            "bulk" => Ok(EngineKind::Bulk),
+            "compiled" => Ok(EngineKind::Compiled),
+            "vectorized" => Ok(EngineKind::Vectorized),
+            "parallel" => Ok(EngineKind::Parallel),
+            other => Err(format!(
+                "unknown engine {other:?} (expected volcano|bulk|compiled|vectorized|parallel)"
+            )),
+        }
+    }
+}
+
 impl From<EngineChoice> for EngineKind {
     fn from(c: EngineChoice) -> Self {
         match c {
@@ -194,7 +225,15 @@ impl std::fmt::Display for DbError {
     }
 }
 
-impl std::error::Error for DbError {}
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Storage(e) => Some(e),
+            DbError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<pdsm_storage::Error> for DbError {
     fn from(e: pdsm_storage::Error) -> Self {
@@ -513,6 +552,54 @@ impl Database {
         Ok(self.entry(table)?.table.delete(row)?)
     }
 
+    /// SQL `UPDATE table SET col = v, … [WHERE pred]`: overwrite the given
+    /// columns of every visible row matching `pred` (all rows when `None`).
+    /// Returns the number of rows updated. The match and every write happen
+    /// under one acquisition of the table's write lock, so the statement is
+    /// atomic with respect to concurrent DML and background merge swaps.
+    /// `pred` is evaluated against full schema-order rows.
+    pub fn update_where(
+        &self,
+        table: &str,
+        sets: &[(String, Value)],
+        pred: Option<&Expr>,
+    ) -> Result<usize, DbError> {
+        let entry = self.entry(table)?;
+        Ok(entry.table.with_write(|vt| {
+            let cols: Vec<(ColId, Value)> = sets
+                .iter()
+                .map(|(name, v)| vt.schema().col_id(name).map(|c| (c, v.clone())))
+                .collect::<Result<_, _>>()?;
+            let ids = matching_ids(vt, pred)?;
+            let n = ids.len();
+            for id in ids {
+                // update() re-appends under a fresh id; chain multi-column
+                // sets through the returned id.
+                let mut cur = id;
+                for (c, v) in &cols {
+                    cur = vt.update(cur, *c, v)?;
+                }
+            }
+            Ok::<_, pdsm_storage::Error>(n)
+        })?)
+    }
+
+    /// SQL `DELETE FROM table [WHERE pred]`: tombstone every visible row
+    /// matching `pred` (all rows when `None`). Returns the number of rows
+    /// deleted. Atomic under one acquisition of the table's write lock,
+    /// like [`Database::update_where`].
+    pub fn delete_where(&self, table: &str, pred: Option<&Expr>) -> Result<usize, DbError> {
+        let entry = self.entry(table)?;
+        Ok(entry.table.with_write(|vt| {
+            let ids = matching_ids(vt, pred)?;
+            let n = ids.len();
+            for id in ids {
+                vt.delete(id)?;
+            }
+            Ok::<_, pdsm_storage::Error>(n)
+        })?)
+    }
+
     /// Fold `table`'s delta into a fresh main store (current layout) and
     /// rebuild its secondary indexes. Synchronous: the table's write lock
     /// is held for the fold; any in-flight background build turns stale
@@ -829,16 +916,17 @@ impl Database {
     /// the forced-engine escape hatch benchmarks and differential tests
     /// use. Runs over snapshots pinned at call time (no lock held during
     /// execution). Routine queries should go through [`Database::execute`].
-    pub fn run(&self, plan: &LogicalPlan, engine: EngineKind) -> Result<QueryOutput, DbError> {
+    pub fn run(&self, plan: &LogicalPlan, engine: EngineKind) -> Result<QueryResult, DbError> {
         let provider = self.provider_for(plan);
-        Ok(engine.engine().execute(plan, &provider)?)
+        let output = engine.engine().execute(plan, &provider)?;
+        Ok(QueryResult::new(provider.output_names(plan), output))
     }
 
     /// Execute `plan` through the cost-based planner: lower it to a
     /// [`PhysicalPlan`] (cached per catalog/generation fingerprint), record
     /// it in the observed workload, and dispatch to the chosen engine or
     /// index probe. Results are byte-identical to every fixed engine.
-    pub fn execute(&self, plan: &LogicalPlan) -> Result<QueryOutput, DbError> {
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<QueryResult, DbError> {
         // One rendering serves both the plan cache and the observed-
         // workload dedup — it is the only per-plan string work on a
         // cache-hit execute.
@@ -906,11 +994,11 @@ impl Database {
     /// Execute an already-lowered plan: index-probe pipelines run the
     /// overlay-aware probe + delta-tail union; everything else dispatches
     /// to the chosen engine.
-    pub fn execute_physical(&self, phys: &PhysicalPlan) -> Result<QueryOutput, DbError> {
+    pub fn execute_physical(&self, phys: &PhysicalPlan) -> Result<QueryResult, DbError> {
         if phys.access().is_indexed() {
             if let Some(cand) = self.index_candidate(&phys.logical) {
                 if let Some(out) = self.run_index_candidate(&phys.logical, &cand)? {
-                    return Ok(out);
+                    return Ok(QueryResult::new(self.names_for(&phys.logical), out));
                 }
             }
             // Index dropped (or reshaped) since planning — scan instead.
@@ -926,13 +1014,28 @@ impl Database {
         &self,
         plan: &LogicalPlan,
         engine: EngineKind,
-    ) -> Result<QueryOutput, DbError> {
+    ) -> Result<QueryResult, DbError> {
         if let Some(cand) = self.index_candidate(plan) {
             if let Some(out) = self.run_index_candidate(plan, &cand)? {
-                return Ok(out);
+                return Ok(QueryResult::new(self.names_for(plan), out));
             }
         }
         self.run(plan, engine)
+    }
+
+    /// Output column names of `plan` against the current catalog (short
+    /// read locks; see [`LogicalPlan::output_names`]).
+    fn names_for(&self, plan: &LogicalPlan) -> Vec<String> {
+        plan.output_names(&|t| {
+            self.with_table(t, |vt| {
+                vt.schema()
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect()
+            })
+            .ok()
+        })
     }
 
     /// Recognize `[Project] (Select (Scan))` plans whose predicate contains
@@ -1228,17 +1331,32 @@ impl DbSnapshot {
         self.tables.get(name)
     }
 
+    /// Output column names of `plan` against the pinned schemas.
+    pub(crate) fn output_names(&self, plan: &LogicalPlan) -> Vec<String> {
+        plan.output_names(&|t| {
+            self.tables.get(t).map(|s| {
+                s.main()
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect()
+            })
+        })
+    }
+
     /// Execute `plan` against this snapshot with the chosen engine — the
     /// forced-engine escape hatch. Routine queries should use
     /// [`DbSnapshot::execute`].
-    pub fn run(&self, plan: &LogicalPlan, engine: EngineKind) -> Result<QueryOutput, DbError> {
-        Ok(engine.engine().execute(plan, self)?)
+    pub fn run(&self, plan: &LogicalPlan, engine: EngineKind) -> Result<QueryResult, DbError> {
+        let output = engine.engine().execute(plan, self)?;
+        Ok(QueryResult::new(self.output_names(plan), output))
     }
 
     /// Execute `plan` with the planner choosing the engine. Snapshots
     /// carry no secondary indexes, so access-path selection reduces to
     /// engine selection over the pinned versions.
-    pub fn execute(&self, plan: &LogicalPlan) -> Result<QueryOutput, DbError> {
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<QueryResult, DbError> {
         let mut views = HashMap::new();
         for name in plan.tables() {
             if views.contains_key(name) {
@@ -1300,6 +1418,27 @@ fn key_of_value(t: &Table, col: ColId, v: &Value) -> Option<i64> {
         Value::Str(s) => t.dict(col).and_then(|d| d.code_of(s)).map(|c| c as i64),
         _ => None,
     }
+}
+
+/// Row ids of every visible row of `vt` matching `pred` (all visible rows
+/// when `None`), in scan order. Runs under the caller's table lock — the
+/// id set is only meaningful while that lock is held.
+fn matching_ids(
+    vt: &VersionedTable,
+    pred: Option<&Expr>,
+) -> Result<Vec<RowId>, pdsm_storage::Error> {
+    let id_space = vt.main().len() + vt.delta_rows();
+    let mut ids = Vec::new();
+    for id in 0..id_space {
+        if !vt.is_visible(id) {
+            continue;
+        }
+        let row = vt.get(id)?;
+        if pred.is_none_or(|p| p.eval_bool(row.values())) {
+            ids.push(id);
+        }
+    }
+    Ok(ids)
 }
 
 /// The AND-conjuncts of a predicate, in evaluation order (shared with the

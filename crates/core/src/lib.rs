@@ -45,7 +45,7 @@ pub mod planner;
 pub use advisor::{AdvisorReport, LayoutAdvisor};
 pub use database::{Database, DbError, DbSnapshot, EngineKind, IndexKind};
 pub use maintenance::{MaintenanceConfig, MaintenanceMode, MaintenanceScheduler, MaintenanceStats};
-pub use pdsm_exec::QueryOutput;
+pub use pdsm_exec::{QueryOutput, QueryResult};
 pub use pdsm_par::ParallelEngine;
 pub use pdsm_plan::physical::{AccessPath, CostSummary, EngineChoice, PhysicalPlan};
 pub use pdsm_txn::{MergeStats, RowId, SharedTable, Snapshot, VersionStats, VersionedTable};

@@ -38,5 +38,5 @@ pub use engine::{
     tail_row_passes, Accumulator, BulkEngine, CompiledEngine, Engine, ExecError, Overlay,
     TableProvider, VolcanoEngine,
 };
-pub use result::QueryOutput;
+pub use result::{QueryOutput, QueryResult};
 pub use vectorized::VectorizedEngine;

@@ -8,6 +8,56 @@ pub struct QueryOutput {
     pub rows: Vec<Vec<Value>>,
 }
 
+/// A query result with its output schema: the column names of the plan
+/// root plus the materialized rows. This is what `Database::run` /
+/// `Database::execute` return — network sessions need the header to frame
+/// results, while row-only consumers keep working through `Deref` to
+/// [`QueryOutput`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column names, in plan-root order (`SELECT` list order).
+    pub columns: Vec<String>,
+    /// The materialized rows.
+    pub output: QueryOutput,
+}
+
+impl QueryResult {
+    /// Wrap an engine's output with its column names.
+    pub fn new(columns: Vec<String>, output: QueryOutput) -> Self {
+        QueryResult { columns, output }
+    }
+
+    /// Discard the header, keeping only the rows.
+    pub fn into_output(self) -> QueryOutput {
+        self.output
+    }
+}
+
+impl std::ops::Deref for QueryResult {
+    type Target = QueryOutput;
+    fn deref(&self) -> &QueryOutput {
+        &self.output
+    }
+}
+
+impl std::ops::DerefMut for QueryResult {
+    fn deref_mut(&mut self) -> &mut QueryOutput {
+        &mut self.output
+    }
+}
+
+impl AsRef<QueryOutput> for QueryResult {
+    fn as_ref(&self) -> &QueryOutput {
+        &self.output
+    }
+}
+
+impl AsRef<QueryOutput> for QueryOutput {
+    fn as_ref(&self) -> &QueryOutput {
+        self
+    }
+}
+
 impl QueryOutput {
     /// Empty result.
     pub fn new() -> Self {
@@ -39,9 +89,10 @@ impl QueryOutput {
     }
 
     /// Assert two outputs are equal up to row order (panics with a diff).
-    pub fn assert_same(&self, other: &QueryOutput, context: &str) {
+    /// Accepts either [`QueryOutput`] or [`QueryResult`] on both sides.
+    pub fn assert_same(&self, other: &impl AsRef<QueryOutput>, context: &str) {
         let a = self.normalized();
-        let b = other.normalized();
+        let b = other.as_ref().normalized();
         if a != b {
             let only_a: Vec<_> = a.iter().filter(|r| !b.contains(r)).take(5).collect();
             let only_b: Vec<_> = b.iter().filter(|r| !a.contains(r)).take(5).collect();

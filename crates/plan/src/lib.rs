@@ -17,10 +17,13 @@
 //! * [`physical`] — the planner's output: a logical plan annotated with the
 //!   model-chosen engine and per-pipeline access path, plus an `explain()`
 //!   rendering. Lowering lives in `pdsm-core::planner`.
+//! * [`names`] — SQL-flavoured rendering of expressions and the output
+//!   column names of a plan (result framing, SQL renderer).
 
 pub mod builder;
 pub mod expr;
 pub mod logical;
+pub mod names;
 pub mod patterns;
 pub mod physical;
 pub mod selectivity;
@@ -28,6 +31,7 @@ pub mod selectivity;
 pub use builder::QueryBuilder;
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use logical::{AggExpr, AggFunc, LogicalPlan, SortKey};
+pub use names::{render_agg, render_expr, sql_literal};
 pub use patterns::{emit_pattern, AccessGroup, AccessKind, TableView};
 pub use physical::{AccessPath, CostSummary, EngineChoice, PhysicalPlan, PipelinePlan};
 pub use selectivity::estimate_selectivity;

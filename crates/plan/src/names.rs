@@ -1,0 +1,207 @@
+//! SQL-flavoured rendering of expressions and output column names.
+//!
+//! Two consumers share this module: result framing (`Database::execute`
+//! returns a `QueryResult` whose header names come from
+//! [`LogicalPlan::output_names`]) and the SQL renderer in `pdsm-sql`
+//! (which rebuilds query text from a plan for the `.sql` differential
+//! suites). Keeping the expression syntax in one place is what makes the
+//! render→parse round trip structural: every binary operator is
+//! parenthesised, so the parse tree of the rendering is exactly the
+//! original expression tree.
+
+use crate::expr::{ArithOp, CmpOp, Expr};
+use crate::logical::{AggExpr, LogicalPlan};
+use pdsm_storage::{ColId, Value};
+
+/// Render a literal as a SQL token: strings are single-quoted with `''`
+/// escaping, floats keep their shortest round-trip form (always with a
+/// fractional part or exponent, so they re-parse as floats).
+pub fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Int32(x) => x.to_string(),
+        Value::Int64(x) => x.to_string(),
+        Value::Float64(x) => {
+            let s = format!("{x:?}");
+            if s.contains('.') || s.contains('e') || s.contains('E') || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+    }
+}
+
+fn cmp_token(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "<>",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+fn arith_token(op: ArithOp) -> &'static str {
+    match op {
+        ArithOp::Add => "+",
+        ArithOp::Sub => "-",
+        ArithOp::Mul => "*",
+        ArithOp::Div => "/",
+        ArithOp::Mod => "%",
+    }
+}
+
+/// Render an expression as SQL, resolving column ids through `name_of`.
+/// Every compound node is parenthesised so the rendering parses back to
+/// the identical tree.
+pub fn render_expr(e: &Expr, name_of: &impl Fn(ColId) -> String) -> String {
+    match e {
+        Expr::Col(c) => name_of(*c),
+        Expr::Lit(v) => sql_literal(v),
+        Expr::Cmp { op, left, right } => format!(
+            "({} {} {})",
+            render_expr(left, name_of),
+            cmp_token(*op),
+            render_expr(right, name_of)
+        ),
+        Expr::Like { expr, pattern } => format!(
+            "({} LIKE '{}')",
+            render_expr(expr, name_of),
+            pattern.replace('\'', "''")
+        ),
+        Expr::And(a, b) => format!(
+            "({} AND {})",
+            render_expr(a, name_of),
+            render_expr(b, name_of)
+        ),
+        Expr::Or(a, b) => format!(
+            "({} OR {})",
+            render_expr(a, name_of),
+            render_expr(b, name_of)
+        ),
+        Expr::Not(a) => format!("(NOT {})", render_expr(a, name_of)),
+        Expr::IsNull(a) => format!("({} IS NULL)", render_expr(a, name_of)),
+        Expr::Arith { op, left, right } => format!(
+            "({} {} {})",
+            render_expr(left, name_of),
+            arith_token(*op),
+            render_expr(right, name_of)
+        ),
+    }
+}
+
+/// Render one aggregate as SQL (`count(*)` / `sum(NETWR)` / …).
+pub fn render_agg(a: &AggExpr, name_of: &impl Fn(ColId) -> String) -> String {
+    match &a.arg {
+        None => format!("{}(*)", a.func),
+        Some(e) => format!("{}({})", a.func, render_expr(e, name_of)),
+    }
+}
+
+/// The display name of a projected expression: bare column references keep
+/// their column name, anything else is its SQL rendering.
+fn item_name(e: &Expr, input: &[String]) -> String {
+    let name_of = |c: ColId| input.get(c).cloned().unwrap_or_else(|| format!("col{c}"));
+    render_expr(e, &name_of)
+}
+
+impl LogicalPlan {
+    /// Output column names of this plan, resolving base tables through
+    /// `names_of` (table name → its schema's column names). Unknown tables
+    /// fall back to positional `col<N>` placeholders, so the result always
+    /// has the plan's arity when the plan is well-formed.
+    pub fn output_names(&self, names_of: &impl Fn(&str) -> Option<Vec<String>>) -> Vec<String> {
+        match self {
+            LogicalPlan::Scan { table } => names_of(table).unwrap_or_default(),
+            LogicalPlan::Select { input, .. } | LogicalPlan::Limit { input, .. } => {
+                input.output_names(names_of)
+            }
+            LogicalPlan::Sort { input, .. } => input.output_names(names_of),
+            LogicalPlan::Project { input, exprs } => {
+                let inner = input.output_names(names_of);
+                exprs.iter().map(|e| item_name(e, &inner)).collect()
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let inner = input.output_names(names_of);
+                let name_of = |c: ColId| inner.get(c).cloned().unwrap_or_else(|| format!("col{c}"));
+                group_by
+                    .iter()
+                    .map(|g| item_name(g, &inner))
+                    .chain(aggs.iter().map(|a| render_agg(a, &name_of)))
+                    .collect()
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                let mut names = left.output_names(names_of);
+                names.extend(right.output_names(names_of));
+                names
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use crate::logical::AggFunc;
+
+    fn resolver(t: &str) -> Option<Vec<String>> {
+        match t {
+            "R" => Some(vec!["A".into(), "B".into(), "C".into()]),
+            "S" => Some(vec!["X".into(), "Y".into()]),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn literals_round_trip_their_type() {
+        assert_eq!(sql_literal(&Value::Int32(5)), "5");
+        assert_eq!(sql_literal(&Value::Float64(5.0)), "5.0");
+        assert_eq!(sql_literal(&Value::Str("it's".into())), "'it''s'");
+        assert_eq!(sql_literal(&Value::Null), "NULL");
+    }
+
+    #[test]
+    fn expr_rendering_parenthesises_structure() {
+        let e = Expr::col(0).eq(Expr::lit(1)).and(Expr::col(1).like("x%"));
+        let names = ["A".to_string(), "B".to_string()];
+        assert_eq!(
+            render_expr(&e, &|c| names[c].clone()),
+            "((A = 1) AND (B LIKE 'x%'))"
+        );
+    }
+
+    #[test]
+    fn output_names_through_operators() {
+        let plan = QueryBuilder::scan("R")
+            .filter(Expr::col(0).eq(Expr::lit(1)))
+            .aggregate(
+                vec![Expr::col(2)],
+                vec![
+                    AggExpr::count_star(),
+                    AggExpr::new(AggFunc::Sum, Expr::col(1)),
+                ],
+            )
+            .build();
+        assert_eq!(
+            plan.output_names(&resolver),
+            vec!["C", "count(*)", "sum(B)"]
+        );
+    }
+
+    #[test]
+    fn join_names_concatenate() {
+        let plan = QueryBuilder::scan("R")
+            .join(QueryBuilder::scan("S").build(), Expr::col(0), Expr::col(0))
+            .project(vec![Expr::col(4), Expr::col(1)])
+            .build();
+        assert_eq!(plan.output_names(&resolver), vec!["Y", "B"]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Abstract syntax produced by the parser, consumed by the binder.
+//!
+//! The AST keeps names and spans; nothing is resolved yet. Expressions mirror
+//! `pdsm_plan::Expr` one-to-one (plus aggregate calls, which the binder
+//! hoists into `LogicalPlan::Aggregate`), so lowering is structural.
+
+use crate::error::Span;
+use pdsm_plan::{AggFunc, ArithOp, CmpOp};
+use pdsm_storage::Value;
+
+/// A name with the span it occupied in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ident {
+    pub name: String,
+    pub span: Span,
+}
+
+/// An unresolved scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Literal value with its source span.
+    Lit(Value, Span),
+    /// `[table.]column` reference.
+    Col {
+        table: Option<String>,
+        name: String,
+        span: Span,
+    },
+    /// Binary comparison.
+    Cmp {
+        op: CmpOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    /// `expr LIKE 'pattern'`.
+    Like {
+        expr: Box<AstExpr>,
+        pattern: String,
+        span: Span,
+    },
+    And(Box<AstExpr>, Box<AstExpr>),
+    Or(Box<AstExpr>, Box<AstExpr>),
+    Not(Box<AstExpr>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        expr: Box<AstExpr>,
+        negated: bool,
+    },
+    /// Binary arithmetic.
+    Arith {
+        op: ArithOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    /// Aggregate call; `arg: None` is `count(*)`.
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<AstExpr>>,
+        span: Span,
+    },
+}
+
+impl AstExpr {
+    /// Source span covering the whole expression.
+    pub fn span(&self) -> Span {
+        match self {
+            AstExpr::Lit(_, s) => *s,
+            AstExpr::Col { span, .. } => *span,
+            AstExpr::Like { expr, span, .. } => expr.span().merge(*span),
+            AstExpr::Cmp { left, right, .. } | AstExpr::Arith { left, right, .. } => {
+                left.span().merge(right.span())
+            }
+            AstExpr::And(a, b) | AstExpr::Or(a, b) => a.span().merge(b.span()),
+            AstExpr::Not(a) => a.span(),
+            AstExpr::IsNull { expr, .. } => expr.span(),
+            AstExpr::Agg { span, arg, .. } => match arg {
+                Some(a) => span.merge(a.span()),
+                None => *span,
+            },
+        }
+    }
+
+    /// True iff an aggregate call occurs anywhere in this expression.
+    pub fn has_agg(&self) -> bool {
+        match self {
+            AstExpr::Agg { .. } => true,
+            AstExpr::Lit(..) | AstExpr::Col { .. } => false,
+            AstExpr::Like { expr, .. } | AstExpr::Not(expr) | AstExpr::IsNull { expr, .. } => {
+                expr.has_agg()
+            }
+            AstExpr::Cmp { left, right, .. } | AstExpr::Arith { left, right, .. } => {
+                left.has_agg() || right.has_agg()
+            }
+            AstExpr::And(a, b) | AstExpr::Or(a, b) => a.has_agg() || b.has_agg(),
+        }
+    }
+}
+
+/// One item of a `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: AstExpr,
+    pub alias: Option<Ident>,
+}
+
+/// The `SELECT` list: `*` or explicit items.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectList {
+    Star(Span),
+    Items(Vec<SelectItem>),
+}
+
+/// `JOIN table ON <expr>` — the binder requires the `ON` expression to be an
+/// equi-comparison between one column of each side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub table: Ident,
+    pub on: AstExpr,
+}
+
+/// One `ORDER BY` key before binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderKey {
+    /// 1-based output ordinal (`ORDER BY 2`).
+    Ordinal(usize, Span),
+    /// Expression / output-name reference.
+    Expr(AstExpr),
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub items: SelectList,
+    pub from: Ident,
+    pub joins: Vec<JoinClause>,
+    pub pred: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub order_by: Vec<(OrderKey, bool)>,
+    pub limit: Option<(usize, Span)>,
+}
+
+/// A column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstColumnDef {
+    pub name: Ident,
+    /// Type name token (`INT`, `BIGINT`, `DOUBLE`, `TEXT`, …).
+    pub ty: Ident,
+    /// `true` for `NULL`, `false` for `NOT NULL` (the default — matching
+    /// `ColumnDef::new`).
+    pub nullable: bool,
+}
+
+/// Any parsed statement, names still unresolved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstStatement {
+    Select(SelectStmt),
+    Explain(SelectStmt),
+    Insert {
+        table: Ident,
+        /// Optional explicit column list; must be a permutation of the
+        /// schema when present.
+        columns: Option<Vec<Ident>>,
+        /// Literal rows (signs already folded into the values).
+        rows: Vec<Vec<(Value, Span)>>,
+    },
+    Update {
+        table: Ident,
+        sets: Vec<(Ident, (Value, Span))>,
+        pred: Option<AstExpr>,
+    },
+    Delete {
+        table: Ident,
+        pred: Option<AstExpr>,
+    },
+    CreateTable {
+        name: Ident,
+        columns: Vec<AstColumnDef>,
+    },
+    CreateIndex {
+        table: Ident,
+        column: Ident,
+        /// `USING <ident>` clause, if any (`HASH`, `RBTREE`/`BTREE`/`TREE`).
+        using: Option<Ident>,
+    },
+}

@@ -1,0 +1,127 @@
+//! `pdsm-repl` — interactive SQL shell over an in-process database.
+//!
+//! ```text
+//! pdsm-repl [--seed SPEC]
+//! ```
+//!
+//! Reads one statement per line from stdin, prints results as aligned
+//! columns. `--seed` accepts the same workload specs as `pdsm-server`
+//! (`sapsd:<scale>:<seed>`, `microbench:<rows>:<seed>`). `QUIT` or EOF
+//! exits. This is the same session layer the TCP server uses — only the
+//! framing differs.
+
+use pdsm_core::Database;
+use pdsm_sql::{render_value, Response, Session};
+use pdsm_storage::Layout;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+fn main() {
+    let mut seed_spec: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => seed_spec = args.next(),
+            "--help" | "-h" => {
+                eprintln!("usage: pdsm-repl [--seed sapsd:SCALE:SEED|microbench:ROWS:SEED]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let db = Database::new();
+    if let Some(spec) = &seed_spec {
+        if let Err(e) = seed(&db, spec) {
+            eprintln!("bad --seed {spec:?}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("loaded {spec}: tables {:?}", db.table_names());
+    }
+    let session = Session::new(Arc::new(db));
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("sql> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let stmt = line.trim();
+        if stmt.is_empty() || stmt.starts_with("--") {
+            continue;
+        }
+        if stmt.eq_ignore_ascii_case("quit") || stmt.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        match session.statement(stmt) {
+            Response::Count(n) => println!("OK, {n} rows affected"),
+            Response::Error(msg) => println!("error: {msg}"),
+            Response::Rows { columns, rows } => print_table(&columns, &rows),
+        }
+    }
+}
+
+fn print_table(columns: &[String], rows: &[Vec<pdsm_storage::Value>]) {
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(render_value).collect())
+        .collect();
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() && cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<w$}", w = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", line(columns));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in &rendered {
+        println!("{}", line(row));
+    }
+    println!("({} rows)", rows.len());
+}
+
+fn seed(db: &Database, spec: &str) -> Result<(), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [kind, a, b] = parts.as_slice() else {
+        return Err("expected <kind>:<n>:<seed>".into());
+    };
+    let n: usize = a.parse().map_err(|_| format!("bad count {a:?}"))?;
+    let rng_seed: u64 = b.parse().map_err(|_| format!("bad seed {b:?}"))?;
+    match *kind {
+        "sapsd" => {
+            for t in pdsm_workloads::sapsd::tables(n, rng_seed) {
+                db.register(t);
+            }
+        }
+        "microbench" => {
+            let t = pdsm_workloads::microbench::generate(n, 0.1, Layout::row(16), rng_seed);
+            db.register(t);
+        }
+        other => return Err(format!("unknown workload {other:?}")),
+    }
+    Ok(())
+}

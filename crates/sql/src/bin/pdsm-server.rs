@@ -1,0 +1,107 @@
+//! `pdsm-server` — serve a database over the line protocol.
+//!
+//! ```text
+//! pdsm-server [--listen ADDR] [--max-sessions N] [--seed SPEC] [--port-file PATH]
+//!
+//!   --listen ADDR        bind address (default 127.0.0.1:5433; use :0 for
+//!                        an ephemeral port)
+//!   --max-sessions N     concurrent session limit (default 64)
+//!   --seed SPEC          preload a workload:
+//!                          sapsd:<scale>:<seed>       SAP-SD tables
+//!                          microbench:<rows>:<seed>   microbench table R
+//!   --port-file PATH     write the bound port number to PATH once ready
+//! ```
+//!
+//! The server runs until a client sends `SHUTDOWN`.
+
+use pdsm_core::Database;
+use pdsm_sql::{ServerConfig, SqlServer};
+use pdsm_storage::Layout;
+use std::sync::Arc;
+
+fn main() {
+    let mut listen = "127.0.0.1:5433".to_string();
+    let mut max_sessions = 64usize;
+    let mut seed_spec: Option<String> = None;
+    let mut port_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--listen" => listen = take("--listen"),
+            "--max-sessions" => {
+                max_sessions = take("--max-sessions").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --max-sessions value");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => seed_spec = Some(take("--seed")),
+            "--port-file" => port_file = Some(take("--port-file")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: pdsm-server [--listen ADDR] [--max-sessions N] \
+                     [--seed sapsd:SCALE:SEED|microbench:ROWS:SEED] [--port-file PATH]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let db = Database::new();
+    if let Some(spec) = &seed_spec {
+        seed(&db, spec).unwrap_or_else(|e| {
+            eprintln!("bad --seed {spec:?}: {e}");
+            std::process::exit(2);
+        });
+    }
+
+    let server = SqlServer::start(Arc::new(db), &listen, ServerConfig { max_sessions })
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind {listen}: {e}");
+            std::process::exit(1);
+        });
+    let addr = server.local_addr();
+    eprintln!("pdsm-server listening on {addr} (send SHUTDOWN to stop)");
+    if let Some(path) = &port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    server.wait();
+    eprintln!("pdsm-server stopped");
+}
+
+/// Parse `sapsd:<scale>:<seed>` / `microbench:<rows>:<seed>` and load the
+/// corresponding tables.
+fn seed(db: &Database, spec: &str) -> Result<(), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [kind, a, b] = parts.as_slice() else {
+        return Err("expected <kind>:<n>:<seed>".into());
+    };
+    let n: usize = a.parse().map_err(|_| format!("bad count {a:?}"))?;
+    let rng_seed: u64 = b.parse().map_err(|_| format!("bad seed {b:?}"))?;
+    match *kind {
+        "sapsd" => {
+            for t in pdsm_workloads::sapsd::tables(n, rng_seed) {
+                db.register(t);
+            }
+        }
+        "microbench" => {
+            let t = pdsm_workloads::microbench::generate(n, 0.1, Layout::row(16), rng_seed);
+            db.register(t);
+        }
+        other => return Err(format!("unknown workload {other:?}")),
+    }
+    Ok(())
+}

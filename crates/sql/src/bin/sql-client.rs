@@ -1,0 +1,128 @@
+//! `sql-client` — scripted driver for `pdsm-server` (CI and smoke tests).
+//!
+//! ```text
+//! sql-client --addr HOST:PORT [--expect FILE] [--parallel] [--print] FILE.sql...
+//! ```
+//!
+//! Opens one connection per `.sql` file (sequentially, or concurrently
+//! with `--parallel`), sends each non-empty non-comment line as a
+//! statement, and folds the responses into a deterministic FNV-1a hash:
+//! `ROWS` results contribute their header plus data rows normalized
+//! (floats reformatted to 9 decimal places, rows sorted), DML results
+//! contribute `OK <n>`. Prints `<file-stem> <hash>` per file.
+//!
+//! `--expect FILE` compares against lines of `<file-stem> <hash>` and
+//! exits non-zero on any mismatch or server error, which is what the CI
+//! job asserts.
+
+use pdsm_sql::drive_file;
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut expect: Option<String> = None;
+    let mut parallel = false;
+    let mut print = false;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next(),
+            "--expect" => expect = args.next(),
+            "--parallel" => parallel = true,
+            "--print" => print = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: sql-client --addr HOST:PORT [--expect FILE] [--parallel] \
+                     [--print] FILE.sql..."
+                );
+                return;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("--addr is required");
+        std::process::exit(2);
+    };
+    if files.is_empty() {
+        eprintln!("no .sql files given");
+        std::process::exit(2);
+    }
+
+    let run = move |file: String, addr: String| -> Result<(String, u64), String> {
+        let stem = std::path::Path::new(&file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| file.clone());
+        let hash = drive_file(&addr, &file, print).map_err(|e| format!("{stem}: {e}"))?;
+        Ok((stem, hash))
+    };
+
+    let results: Vec<Result<(String, u64), String>> = if parallel {
+        let handles: Vec<_> = files
+            .iter()
+            .map(|f| {
+                let (f, a, run) = (f.clone(), addr.clone(), run);
+                std::thread::spawn(move || run(f, a))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    } else {
+        files.iter().map(|f| run(f.clone(), addr.clone())).collect()
+    };
+
+    let mut failed = false;
+    let mut hashes = Vec::new();
+    for r in results {
+        match r {
+            Ok((stem, hash)) => {
+                println!("{stem} {hash:016x}");
+                hashes.push((stem, hash));
+            }
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(expect_file) = expect {
+        let text = std::fs::read_to_string(&expect_file).unwrap_or_else(|e| {
+            eprintln!("cannot read {expect_file}: {e}");
+            std::process::exit(2);
+        });
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((name, want)) = line.split_once(char::is_whitespace) else {
+                eprintln!("bad expectation line {line:?}");
+                failed = true;
+                continue;
+            };
+            let want = want.trim();
+            match hashes.iter().find(|(stem, _)| stem == name) {
+                None => {
+                    eprintln!("FAIL {name}: no result (file not driven?)");
+                    failed = true;
+                }
+                Some((_, got)) => {
+                    let got = format!("{got:016x}");
+                    if got != want {
+                        eprintln!("FAIL {name}: hash {got}, expected {want}");
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,1079 @@
+//! Name resolution and type checking: AST → bound [`Statement`]s.
+//!
+//! The binder resolves table/column names against a [`SqlCatalog`]
+//! (case-insensitively, exact match preferred), checks operand types, and
+//! coerces comparison literals to the referenced column's exact storage
+//! type. The coercion is load-bearing, not cosmetic: `cmp_values` orders
+//! mixed-type operands by type tag, so a predicate comparing an `Int32`
+//! column against an `Int64` literal would silently select nothing. After
+//! binding, every comparison is same-typed.
+
+use crate::ast::*;
+use crate::error::{Span, SqlError};
+use pdsm_core::{Database, IndexKind};
+use pdsm_plan::{AggExpr, AggFunc, CmpOp, Expr, LogicalPlan};
+use pdsm_storage::{ColId, DataType, Schema, Value};
+
+/// Source of table schemas for binding. Implemented by [`Database`] and by
+/// `HashMap<String, Schema>` (tests, offline tooling).
+pub trait SqlCatalog {
+    /// Resolve `name` (case-insensitive; exact match wins) to the table's
+    /// canonical name and schema.
+    fn resolve_table(&self, name: &str) -> Option<(String, Schema)>;
+}
+
+impl SqlCatalog for Database {
+    fn resolve_table(&self, name: &str) -> Option<(String, Schema)> {
+        if let Ok(s) = self.with_table(name, |vt| vt.schema().clone()) {
+            return Some((name.to_string(), s));
+        }
+        let canon = self
+            .table_names()
+            .into_iter()
+            .find(|t| t.eq_ignore_ascii_case(name))?;
+        let schema = self.with_table(&canon, |vt| vt.schema().clone()).ok()?;
+        Some((canon, schema))
+    }
+}
+
+impl SqlCatalog for std::collections::HashMap<String, Schema> {
+    fn resolve_table(&self, name: &str) -> Option<(String, Schema)> {
+        if let Some(s) = self.get(name) {
+            return Some((name.to_string(), s.clone()));
+        }
+        self.iter()
+            .find(|(t, _)| t.eq_ignore_ascii_case(name))
+            .map(|(t, s)| (t.clone(), s.clone()))
+    }
+}
+
+/// A fully bound statement, ready to execute against a `Database`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT …` lowered to a logical plan.
+    Query(LogicalPlan),
+    /// `EXPLAIN SELECT …` — same plan, routed to the planner's explain.
+    Explain(LogicalPlan),
+    /// `INSERT` with full schema-order rows, literals coerced.
+    Insert {
+        table: String,
+        rows: Vec<Vec<Value>>,
+    },
+    /// `UPDATE … SET … [WHERE …]` with canonical column names.
+    Update {
+        table: String,
+        sets: Vec<(String, Value)>,
+        pred: Option<Expr>,
+    },
+    /// `DELETE FROM … [WHERE …]`.
+    Delete { table: String, pred: Option<Expr> },
+    /// `CREATE TABLE`.
+    CreateTable { name: String, schema: Schema },
+    /// `CREATE INDEX … ON table(column)`.
+    CreateIndex {
+        table: String,
+        column: String,
+        kind: IndexKind,
+    },
+}
+
+/// Parse and bind one statement.
+pub fn compile(sql: &str, catalog: &impl SqlCatalog) -> Result<Statement, SqlError> {
+    bind(&crate::parser::parse(sql)?, catalog)
+}
+
+/// Bind a parsed statement against `catalog`.
+pub fn bind(stmt: &AstStatement, catalog: &impl SqlCatalog) -> Result<Statement, SqlError> {
+    match stmt {
+        AstStatement::Select(s) => Ok(Statement::Query(bind_select(s, catalog)?)),
+        AstStatement::Explain(s) => Ok(Statement::Explain(bind_select(s, catalog)?)),
+        AstStatement::Insert {
+            table,
+            columns,
+            rows,
+        } => bind_insert(table, columns.as_deref(), rows, catalog),
+        AstStatement::Update { table, sets, pred } => bind_update(table, sets, pred, catalog),
+        AstStatement::Delete { table, pred } => {
+            let (canon, schema) = resolve_table(catalog, table)?;
+            let scope = Scope::of(&canon, &schema);
+            let pred = pred
+                .as_ref()
+                .map(|p| scope.bind_scalar(p).map(|(e, _)| e))
+                .transpose()?;
+            Ok(Statement::Delete { table: canon, pred })
+        }
+        AstStatement::CreateTable { name, columns } => bind_create_table(name, columns),
+        AstStatement::CreateIndex {
+            table,
+            column,
+            using,
+        } => bind_create_index(table, column, using.as_ref(), catalog),
+    }
+}
+
+fn resolve_table(catalog: &impl SqlCatalog, table: &Ident) -> Result<(String, Schema), SqlError> {
+    catalog
+        .resolve_table(&table.name)
+        .ok_or_else(|| SqlError::bind(format!("unknown table {:?}", table.name), table.span))
+}
+
+// ----------------------------------------------------------------------
+// Scope: the columns visible to scalar expressions.
+// ----------------------------------------------------------------------
+
+struct ScopeCol {
+    table: String,
+    name: String,
+    ty: DataType,
+}
+
+struct Scope {
+    cols: Vec<ScopeCol>,
+}
+
+impl Scope {
+    fn of(table: &str, schema: &Schema) -> Scope {
+        Scope {
+            cols: schema
+                .columns()
+                .iter()
+                .map(|c| ScopeCol {
+                    table: table.to_string(),
+                    name: c.name.clone(),
+                    ty: c.ty,
+                })
+                .collect(),
+        }
+    }
+
+    fn extend_with(&mut self, other: Scope) {
+        self.cols.extend(other.cols);
+    }
+
+    fn resolve(
+        &self,
+        qual: Option<&str>,
+        name: &str,
+        span: Span,
+    ) -> Result<(ColId, DataType), SqlError> {
+        let qual_ok = |c: &ScopeCol| qual.is_none_or(|q| c.table.eq_ignore_ascii_case(q));
+        let exact: Vec<ColId> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| qual_ok(c) && c.name == name)
+            .map(|(i, _)| i)
+            .collect();
+        let cands = if exact.is_empty() {
+            self.cols
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| qual_ok(c) && c.name.eq_ignore_ascii_case(name))
+                .map(|(i, _)| i)
+                .collect()
+        } else {
+            exact
+        };
+        match cands.as_slice() {
+            [] => {
+                let ctx = match qual {
+                    Some(q) => format!(" in table {q:?}"),
+                    None => String::new(),
+                };
+                Err(SqlError::bind(
+                    format!("unknown column {name:?}{ctx}"),
+                    span,
+                ))
+            }
+            [one] => Ok((*one, self.cols[*one].ty)),
+            _ => Err(SqlError::bind(
+                format!("ambiguous column {name:?} — qualify it with a table name"),
+                span,
+            )),
+        }
+    }
+
+    /// Bind a scalar (aggregate-free) expression, returning the lowered
+    /// `Expr` and its type when statically known (`None` for NULL).
+    fn bind_scalar(&self, e: &AstExpr) -> Result<(Expr, Option<DataType>), SqlError> {
+        match e {
+            AstExpr::Lit(v, _) => Ok((Expr::Lit(v.clone()), v.data_type())),
+            AstExpr::Col { table, name, span } => {
+                let (id, ty) = self.resolve(table.as_deref(), name, *span)?;
+                Ok((Expr::Col(id), Some(ty)))
+            }
+            AstExpr::Cmp { op, left, right } => {
+                let (le, lt) = self.bind_scalar(left)?;
+                let (re, rt) = self.bind_scalar(right)?;
+                let (le, re) = unify_comparison(le, lt, re, rt, left.span(), right.span())?;
+                Ok((le.cmp(*op, re), Some(DataType::Int32)))
+            }
+            AstExpr::Like {
+                expr,
+                pattern,
+                span,
+            } => {
+                let (ee, ty) = self.bind_scalar(expr)?;
+                if matches!(ty, Some(t) if t != DataType::Str) {
+                    return Err(SqlError::type_error(
+                        "LIKE requires a string operand",
+                        expr.span().merge(*span),
+                    ));
+                }
+                Ok((ee.like(pattern.clone()), Some(DataType::Int32)))
+            }
+            AstExpr::And(a, b) => {
+                let (ae, _) = self.bind_scalar(a)?;
+                let (be, _) = self.bind_scalar(b)?;
+                Ok((ae.and(be), Some(DataType::Int32)))
+            }
+            AstExpr::Or(a, b) => {
+                let (ae, _) = self.bind_scalar(a)?;
+                let (be, _) = self.bind_scalar(b)?;
+                Ok((ae.or(be), Some(DataType::Int32)))
+            }
+            AstExpr::Not(a) => {
+                let (ae, _) = self.bind_scalar(a)?;
+                Ok((ae.not(), Some(DataType::Int32)))
+            }
+            AstExpr::IsNull { expr, negated } => {
+                let (ee, _) = self.bind_scalar(expr)?;
+                let e = ee.is_null();
+                Ok((if *negated { e.not() } else { e }, Some(DataType::Int32)))
+            }
+            AstExpr::Arith { op, left, right } => {
+                let (le, lt) = self.bind_scalar(left)?;
+                let (re, rt) = self.bind_scalar(right)?;
+                for (t, side) in [(lt, left), (rt, right)] {
+                    if matches!(t, Some(DataType::Str)) {
+                        return Err(SqlError::type_error(
+                            "arithmetic requires numeric operands",
+                            side.span(),
+                        ));
+                    }
+                }
+                let ty = if lt == Some(DataType::Float64) || rt == Some(DataType::Float64) {
+                    DataType::Float64
+                } else {
+                    DataType::Int64
+                };
+                Ok((le.arith(*op, re), Some(ty)))
+            }
+            AstExpr::Agg { span, .. } => Err(SqlError::bind(
+                "aggregate calls are only allowed as top-level SELECT items",
+                *span,
+            )),
+        }
+    }
+
+    /// Bind an aggregate call.
+    fn bind_agg(
+        &self,
+        func: AggFunc,
+        arg: Option<&AstExpr>,
+        span: Span,
+    ) -> Result<AggExpr, SqlError> {
+        let Some(arg) = arg else {
+            return Ok(AggExpr::count_star());
+        };
+        let (e, ty) = self.bind_scalar(arg)?;
+        match (func, ty) {
+            (AggFunc::Sum | AggFunc::Avg, Some(DataType::Str)) => Err(SqlError::type_error(
+                format!("{func} requires a numeric argument"),
+                arg.span().merge(span),
+            )),
+            _ => Ok(AggExpr::new(func, e)),
+        }
+    }
+}
+
+/// Make both sides of a comparison the same storage type by coercing
+/// literal operands toward the column side. Non-literal sides of different
+/// known types are a type error (engines compare same-typed values only).
+fn unify_comparison(
+    le: Expr,
+    lt: Option<DataType>,
+    re: Expr,
+    rt: Option<DataType>,
+    lspan: Span,
+    rspan: Span,
+) -> Result<(Expr, Expr), SqlError> {
+    match (&le, &re) {
+        (_, Expr::Lit(v)) if lt.is_some() => {
+            let coerced = coerce_lit(v, lt.unwrap(), rspan)?;
+            Ok((le, Expr::Lit(coerced)))
+        }
+        (Expr::Lit(v), _) if rt.is_some() => {
+            let coerced = coerce_lit(v, rt.unwrap(), lspan)?;
+            Ok((Expr::Lit(coerced), re))
+        }
+        _ => match (lt, rt) {
+            (Some(a), Some(b)) if a != b && !numeric_pair_ok(a, b) => Err(SqlError::type_error(
+                format!("cannot compare {a:?} with {b:?}"),
+                lspan.merge(rspan),
+            )),
+            _ => Ok((le, re)),
+        },
+    }
+}
+
+/// Mixed *computed* numeric comparisons that the interpreter handles via
+/// float/int promotion would still trip `cmp_values`' type-tag ordering,
+/// so only identical types pass; this hook documents the intent.
+fn numeric_pair_ok(_a: DataType, _b: DataType) -> bool {
+    false
+}
+
+/// Coerce a literal to `target`, the storage type of the column it is
+/// compared with or inserted into.
+pub(crate) fn coerce_lit(v: &Value, target: DataType, span: Span) -> Result<Value, SqlError> {
+    let err = |msg: String| Err(SqlError::type_error(msg, span));
+    match (v, target) {
+        (Value::Null, _) => Ok(Value::Null),
+        (Value::Int32(x), DataType::Int32) => Ok(Value::Int32(*x)),
+        (Value::Int32(x), DataType::Int64) => Ok(Value::Int64(*x as i64)),
+        (Value::Int32(x), DataType::Float64) => Ok(Value::Float64(*x as f64)),
+        (Value::Int64(x), DataType::Int64) => Ok(Value::Int64(*x)),
+        (Value::Int64(x), DataType::Int32) => match i32::try_from(*x) {
+            Ok(v) => Ok(Value::Int32(v)),
+            Err(_) => err(format!("integer literal {x} out of range for INT column")),
+        },
+        (Value::Int64(x), DataType::Float64) => Ok(Value::Float64(*x as f64)),
+        (Value::Float64(x), DataType::Float64) => Ok(Value::Float64(*x)),
+        (Value::Float64(x), DataType::Int32 | DataType::Int64) => err(format!(
+            "float literal {x} cannot be compared with an integer column"
+        )),
+        (Value::Str(s), DataType::Str) => Ok(Value::Str(s.clone())),
+        (v, t) => err(format!("literal {v} is incompatible with {t:?} column")),
+    }
+}
+
+// ----------------------------------------------------------------------
+// SELECT
+// ----------------------------------------------------------------------
+
+fn bind_select(s: &SelectStmt, catalog: &impl SqlCatalog) -> Result<LogicalPlan, SqlError> {
+    let (from_name, from_schema) = resolve_table(catalog, &s.from)?;
+    let mut scope = Scope::of(&from_name, &from_schema);
+    let mut plan = LogicalPlan::Scan { table: from_name };
+
+    // Joins: left-deep, ON must be an equi-comparison between one column of
+    // each side.
+    for j in &s.joins {
+        let (rname, rschema) = resolve_table(catalog, &j.table)?;
+        let rscope = Scope::of(&rname, &rschema);
+        let (lkey, rkey) = bind_join_on(&j.on, &scope, &rscope)?;
+        plan = LogicalPlan::Join {
+            left: Box::new(plan),
+            right: Box::new(LogicalPlan::Scan { table: rname }),
+            left_key: Expr::Col(lkey),
+            right_key: Expr::Col(rkey),
+        };
+        scope.extend_with(rscope);
+    }
+
+    if let Some(p) = &s.pred {
+        if p.has_agg() {
+            return Err(SqlError::bind(
+                "aggregate calls are not allowed in WHERE",
+                p.span(),
+            ));
+        }
+        let (pred, _) = scope.bind_scalar(p)?;
+        plan = LogicalPlan::Select {
+            input: Box::new(plan),
+            pred,
+            sel_hint: None,
+        };
+    }
+
+    let groups: Vec<Expr> = s
+        .group_by
+        .iter()
+        .map(|g| scope.bind_scalar(g).map(|(e, _)| e))
+        .collect::<Result<_, _>>()?;
+
+    let has_agg_item = match &s.items {
+        SelectList::Star(_) => false,
+        SelectList::Items(items) => items.iter().any(|i| i.expr.has_agg()),
+    };
+
+    // Bound select items in output space, for ORDER BY resolution:
+    // (alias, bound pre-projection expr or agg marker).
+    enum OutItem {
+        Scalar(Expr),
+        Agg(AggExpr),
+    }
+    let mut out_items: Vec<(Option<String>, Option<String>, OutItem)> = Vec::new();
+
+    if !groups.is_empty() || has_agg_item {
+        let SelectList::Items(items) = &s.items else {
+            return Err(SqlError::bind(
+                "SELECT * cannot be combined with GROUP BY or aggregates",
+                match &s.items {
+                    SelectList::Star(sp) => *sp,
+                    SelectList::Items(_) => unreachable!(),
+                },
+            ));
+        };
+        let mut aggs: Vec<AggExpr> = Vec::new();
+        // Output position of each select item in groups ++ aggs space.
+        let mut positions: Vec<usize> = Vec::new();
+        for item in items {
+            match &item.expr {
+                AstExpr::Agg { func, arg, span } => {
+                    let a = scope.bind_agg(*func, arg.as_deref(), *span)?;
+                    aggs.push(a.clone());
+                    positions.push(groups.len() + aggs.len() - 1);
+                    out_items.push((
+                        item.alias.as_ref().map(|a| a.name.clone()),
+                        None,
+                        OutItem::Agg(a),
+                    ));
+                }
+                e if e.has_agg() => {
+                    return Err(SqlError::bind(
+                        "aggregate calls are only allowed as top-level SELECT items",
+                        e.span(),
+                    ))
+                }
+                e => {
+                    let (b, _) = scope.bind_scalar(e)?;
+                    let idx = groups.iter().position(|g| g == &b).ok_or_else(|| {
+                        SqlError::bind(
+                            "non-aggregate SELECT item must appear in GROUP BY",
+                            e.span(),
+                        )
+                    })?;
+                    positions.push(idx);
+                    let bare = bare_col_name(e);
+                    out_items.push((
+                        item.alias.as_ref().map(|a| a.name.clone()),
+                        bare,
+                        OutItem::Scalar(b),
+                    ));
+                }
+            }
+        }
+        plan = LogicalPlan::Aggregate {
+            input: Box::new(plan),
+            group_by: groups.clone(),
+            aggs: aggs.clone(),
+        };
+        let identity = positions.len() == groups.len() + aggs.len()
+            && positions.iter().enumerate().all(|(i, &p)| i == p);
+        if !identity {
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                exprs: positions.iter().map(|&p| Expr::Col(p)).collect(),
+            };
+        }
+    } else {
+        match &s.items {
+            SelectList::Star(_) => {}
+            SelectList::Items(items) => {
+                let mut exprs = Vec::with_capacity(items.len());
+                for item in items {
+                    let (b, _) = scope.bind_scalar(&item.expr)?;
+                    let bare = bare_col_name(&item.expr);
+                    out_items.push((
+                        item.alias.as_ref().map(|a| a.name.clone()),
+                        bare,
+                        OutItem::Scalar(b.clone()),
+                    ));
+                    exprs.push(b);
+                }
+                plan = LogicalPlan::Project {
+                    input: Box::new(plan),
+                    exprs,
+                };
+            }
+        }
+    }
+
+    // ORDER BY: keys resolve against the *output* of the select list —
+    // ordinals, aliases, bare output-column names, or (for `SELECT *`)
+    // arbitrary input-scope expressions.
+    if !s.order_by.is_empty() {
+        let is_star = matches!(s.items, SelectList::Star(_));
+        let out_arity = if is_star {
+            scope.cols.len()
+        } else {
+            out_items.len()
+        };
+        let mut keys = Vec::with_capacity(s.order_by.len());
+        for (key, asc) in &s.order_by {
+            let expr = match key {
+                OrderKey::Ordinal(n, sp) => {
+                    if *n > out_arity {
+                        return Err(SqlError::bind(
+                            format!(
+                                "ORDER BY ordinal {n} out of range (output has {out_arity} columns)"
+                            ),
+                            *sp,
+                        ));
+                    }
+                    Expr::Col(n - 1)
+                }
+                OrderKey::Expr(e) => {
+                    if is_star {
+                        scope.bind_scalar(e)?.0
+                    } else {
+                        resolve_order_key(e, &out_items, &scope)?
+                    }
+                }
+            };
+            keys.push(pdsm_plan::SortKey { expr, asc: *asc });
+        }
+        plan = LogicalPlan::Sort {
+            input: Box::new(plan),
+            keys,
+        };
+    }
+
+    if let Some((n, _)) = s.limit {
+        plan = LogicalPlan::Limit {
+            input: Box::new(plan),
+            n,
+        };
+    }
+    return Ok(plan);
+
+    // Helpers local to select binding.
+
+    fn bare_col_name(e: &AstExpr) -> Option<String> {
+        match e {
+            AstExpr::Col { name, .. } => Some(name.clone()),
+            _ => None,
+        }
+    }
+
+    /// A bound select-list slot: alias, underlying column name, item.
+    type SelectSlot = (Option<String>, Option<String>, OutItem);
+
+    /// Resolve an ORDER BY key against the select-list output: by alias,
+    /// by bare column name, or by structural equality with a bound item.
+    fn resolve_order_key(
+        e: &AstExpr,
+        out_items: &[SelectSlot],
+        scope: &Scope,
+    ) -> Result<Expr, SqlError> {
+        // By name (alias first, then underlying column name).
+        if let AstExpr::Col {
+            table: None, name, ..
+        } = e
+        {
+            let by = |f: &dyn Fn(&SelectSlot) -> bool| {
+                let hits: Vec<usize> = out_items
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, it)| f(it))
+                    .map(|(i, _)| i)
+                    .collect();
+                hits
+            };
+            let alias_hits = by(&|it| {
+                it.0.as_deref()
+                    .is_some_and(|a| a.eq_ignore_ascii_case(name))
+            });
+            let name_hits = by(&|it| {
+                it.1.as_deref()
+                    .is_some_and(|c| c.eq_ignore_ascii_case(name))
+            });
+            let hits = if alias_hits.is_empty() {
+                name_hits
+            } else {
+                alias_hits
+            };
+            match hits.as_slice() {
+                [one] => return Ok(Expr::Col(*one)),
+                [_, _, ..] => {
+                    return Err(SqlError::bind(
+                        format!("ambiguous ORDER BY column {name:?}"),
+                        e.span(),
+                    ))
+                }
+                [] => {}
+            }
+        }
+        // By structure: bind the key and compare with the bound items.
+        match e {
+            AstExpr::Agg { func, arg, span } => {
+                let a = scope.bind_agg(*func, arg.as_deref(), *span)?;
+                for (i, (_, _, it)) in out_items.iter().enumerate() {
+                    if matches!(it, OutItem::Agg(b) if *b == a) {
+                        return Ok(Expr::Col(i));
+                    }
+                }
+            }
+            other => {
+                if let Ok((b, _)) = scope.bind_scalar(other) {
+                    for (i, (_, _, it)) in out_items.iter().enumerate() {
+                        if matches!(it, OutItem::Scalar(s) if *s == b) {
+                            return Ok(Expr::Col(i));
+                        }
+                    }
+                }
+            }
+        }
+        Err(SqlError::bind(
+            "ORDER BY key must be an output ordinal, alias, or selected expression",
+            e.span(),
+        ))
+    }
+}
+
+/// Destructure a join's ON clause into (left-side column, right-side
+/// column), accepting either orientation.
+fn bind_join_on(on: &AstExpr, left: &Scope, right: &Scope) -> Result<(ColId, ColId), SqlError> {
+    let AstExpr::Cmp {
+        op: CmpOp::Eq,
+        left: a,
+        right: b,
+    } = on
+    else {
+        return Err(SqlError::bind(
+            "JOIN ON must be a single equality between two columns",
+            on.span(),
+        ));
+    };
+    let col = |e: &AstExpr| -> Result<(Option<String>, String, Span), SqlError> {
+        match e {
+            AstExpr::Col { table, name, span } => Ok((table.clone(), name.clone(), *span)),
+            other => Err(SqlError::bind(
+                "JOIN ON operands must be column references",
+                other.span(),
+            )),
+        }
+    };
+    let (aq, an, asp) = col(a)?;
+    let (bq, bn, bsp) = col(b)?;
+    let try_orient = |l: &(Option<String>, String, Span), r: &(Option<String>, String, Span)| {
+        let lres = left.resolve(l.0.as_deref(), &l.1, l.2);
+        let rres = right.resolve(r.0.as_deref(), &r.1, r.2);
+        match (lres, rres) {
+            (Ok((lc, lt)), Ok((rc, rt))) => Some((lc, lt, rc, rt)),
+            _ => None,
+        }
+    };
+    let a_tuple = (aq, an, asp);
+    let b_tuple = (bq, bn, bsp);
+    let (lc, lt, rc, rt) = try_orient(&a_tuple, &b_tuple)
+        .or_else(|| try_orient(&b_tuple, &a_tuple))
+        .ok_or_else(|| {
+            SqlError::bind(
+                "JOIN ON must reference one column from each side",
+                on.span(),
+            )
+        })?;
+    if lt != rt {
+        return Err(SqlError::type_error(
+            format!("join keys have different types ({lt:?} vs {rt:?})"),
+            on.span(),
+        ));
+    }
+    Ok((lc, rc))
+}
+
+// ----------------------------------------------------------------------
+// DML / DDL
+// ----------------------------------------------------------------------
+
+fn bind_insert(
+    table: &Ident,
+    columns: Option<&[Ident]>,
+    rows: &[Vec<(Value, Span)>],
+    catalog: &impl SqlCatalog,
+) -> Result<Statement, SqlError> {
+    let (canon, schema) = resolve_table(catalog, table)?;
+    // Map from VALUES position to schema column id.
+    let order: Vec<ColId> = match columns {
+        None => (0..schema.len()).collect(),
+        Some(cols) => {
+            if cols.len() != schema.len() {
+                return Err(SqlError::bind(
+                    format!(
+                        "INSERT column list must cover all {} columns of {canon} (got {})",
+                        schema.len(),
+                        cols.len()
+                    ),
+                    table.span,
+                ));
+            }
+            let mut order = Vec::with_capacity(cols.len());
+            let mut seen = vec![false; schema.len()];
+            for c in cols {
+                let id = resolve_schema_col(&schema, &c.name, c.span)?;
+                if seen[id] {
+                    return Err(SqlError::bind(
+                        format!("duplicate INSERT column {:?}", c.name),
+                        c.span,
+                    ));
+                }
+                seen[id] = true;
+                order.push(id);
+            }
+            order
+        }
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != order.len() {
+            let span = row
+                .first()
+                .map(|(_, s)| row.iter().fold(*s, |acc, (_, s2)| acc.merge(*s2)))
+                .unwrap_or_default();
+            return Err(SqlError::bind(
+                format!(
+                    "INSERT row has {} values, expected {}",
+                    row.len(),
+                    order.len()
+                ),
+                span,
+            ));
+        }
+        let mut full = vec![Value::Null; schema.len()];
+        for ((v, span), &col) in row.iter().zip(&order) {
+            full[col] = coerce_lit(v, schema.columns()[col].ty, *span)?;
+        }
+        out.push(full);
+    }
+    Ok(Statement::Insert {
+        table: canon,
+        rows: out,
+    })
+}
+
+fn bind_update(
+    table: &Ident,
+    sets: &[(Ident, (Value, Span))],
+    pred: &Option<AstExpr>,
+    catalog: &impl SqlCatalog,
+) -> Result<Statement, SqlError> {
+    let (canon, schema) = resolve_table(catalog, table)?;
+    let scope = Scope::of(&canon, &schema);
+    let mut bound_sets = Vec::with_capacity(sets.len());
+    for (col, (v, vspan)) in sets {
+        let id = resolve_schema_col(&schema, &col.name, col.span)?;
+        let def = &schema.columns()[id];
+        bound_sets.push((def.name.clone(), coerce_lit(v, def.ty, *vspan)?));
+    }
+    let pred = pred
+        .as_ref()
+        .map(|p| scope.bind_scalar(p).map(|(e, _)| e))
+        .transpose()?;
+    Ok(Statement::Update {
+        table: canon,
+        sets: bound_sets,
+        pred,
+    })
+}
+
+/// Resolve a column against a schema: exact name first, then unique
+/// case-insensitive match.
+fn resolve_schema_col(schema: &Schema, name: &str, span: Span) -> Result<ColId, SqlError> {
+    if let Ok(id) = schema.col_id(name) {
+        return Ok(id);
+    }
+    let hits: Vec<ColId> = schema
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.name.eq_ignore_ascii_case(name))
+        .map(|(i, _)| i)
+        .collect();
+    match hits.as_slice() {
+        [one] => Ok(*one),
+        [] => Err(SqlError::bind(format!("unknown column {name:?}"), span)),
+        _ => Err(SqlError::bind(format!("ambiguous column {name:?}"), span)),
+    }
+}
+
+fn bind_create_table(name: &Ident, columns: &[AstColumnDef]) -> Result<Statement, SqlError> {
+    use pdsm_storage::ColumnDef;
+    let mut defs = Vec::with_capacity(columns.len());
+    let mut seen: Vec<&str> = Vec::new();
+    for c in columns {
+        if seen.iter().any(|s| s.eq_ignore_ascii_case(&c.name.name)) {
+            return Err(SqlError::bind(
+                format!("duplicate column {:?}", c.name.name),
+                c.name.span,
+            ));
+        }
+        seen.push(&c.name.name);
+        let ty = match c.ty.name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "INT4" => DataType::Int32,
+            "BIGINT" | "INT8" => DataType::Int64,
+            "DOUBLE" | "FLOAT" | "FLOAT8" | "REAL" => DataType::Float64,
+            "TEXT" | "VARCHAR" | "STRING" | "CHAR" => DataType::Str,
+            other => {
+                return Err(SqlError::bind(
+                    format!("unknown type {other:?} (expected INT, BIGINT, DOUBLE or TEXT)"),
+                    c.ty.span,
+                ))
+            }
+        };
+        defs.push(if c.nullable {
+            ColumnDef::nullable(c.name.name.clone(), ty)
+        } else {
+            ColumnDef::new(c.name.name.clone(), ty)
+        });
+    }
+    Ok(Statement::CreateTable {
+        name: name.name.clone(),
+        schema: Schema::new(defs),
+    })
+}
+
+fn bind_create_index(
+    table: &Ident,
+    column: &Ident,
+    using: Option<&Ident>,
+    catalog: &impl SqlCatalog,
+) -> Result<Statement, SqlError> {
+    let (canon, schema) = resolve_table(catalog, table)?;
+    let id = resolve_schema_col(&schema, &column.name, column.span)?;
+    let kind = match using {
+        None => IndexKind::Hash,
+        Some(u) => match u.name.to_ascii_uppercase().as_str() {
+            "HASH" => IndexKind::Hash,
+            "RBTREE" | "BTREE" | "TREE" => IndexKind::RBTree,
+            other => {
+                return Err(SqlError::bind(
+                    format!("unknown index kind {other:?} (expected HASH or RBTREE)"),
+                    u.span,
+                ))
+            }
+        },
+    };
+    Ok(Statement::CreateIndex {
+        table: canon,
+        column: schema.columns()[id].name.clone(),
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsm_plan::QueryBuilder;
+    use pdsm_storage::ColumnDef;
+    use std::collections::HashMap;
+
+    fn catalog() -> HashMap<String, Schema> {
+        let mut m = HashMap::new();
+        m.insert(
+            "R".to_string(),
+            Schema::new(vec![
+                ColumnDef::new("A", DataType::Int32),
+                ColumnDef::new("B", DataType::Int64),
+                ColumnDef::new("C", DataType::Float64),
+                ColumnDef::new("D", DataType::Str),
+            ]),
+        );
+        m.insert(
+            "S".to_string(),
+            Schema::new(vec![
+                ColumnDef::new("A", DataType::Int32),
+                ColumnDef::new("E", DataType::Str),
+            ]),
+        );
+        m
+    }
+
+    fn q(sql: &str) -> LogicalPlan {
+        match compile(sql, &catalog()).unwrap() {
+            Statement::Query(p) => p,
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literals_coerce_to_column_type() {
+        // B is Int64: the Int32 literal 5 must become Int64(5).
+        let p = q("SELECT * FROM R WHERE B = 5");
+        let expected = QueryBuilder::scan("R")
+            .filter(Expr::col(1).eq(Expr::lit(5i64)))
+            .build();
+        assert_eq!(p, expected);
+        // C is Float64: integer literal becomes a float.
+        let p = q("SELECT * FROM R WHERE C > 2");
+        let expected = QueryBuilder::scan("R")
+            .filter(Expr::col(2).gt(Expr::lit(2.0)))
+            .build();
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn float_vs_int_column_is_a_type_error() {
+        let err = compile("SELECT * FROM R WHERE A = 1.5", &catalog()).unwrap_err();
+        assert!(err.to_string().contains("float literal"), "{err}");
+        let err = compile("SELECT * FROM R WHERE D = 3", &catalog()).unwrap_err();
+        assert!(err.to_string().contains("incompatible"), "{err}");
+    }
+
+    #[test]
+    fn projection_and_star() {
+        assert_eq!(
+            q("SELECT A, D FROM R"),
+            QueryBuilder::scan("R")
+                .project(vec![Expr::col(0), Expr::col(3)])
+                .build()
+        );
+        assert_eq!(q("SELECT * FROM R"), QueryBuilder::scan("R").build());
+    }
+
+    #[test]
+    fn aggregate_identity_order_needs_no_project() {
+        let p = q("SELECT D, count(*), sum(A) FROM R GROUP BY D");
+        let expected = QueryBuilder::scan("R")
+            .aggregate(
+                vec![Expr::col(3)],
+                vec![
+                    AggExpr::count_star(),
+                    AggExpr::new(AggFunc::Sum, Expr::col(0)),
+                ],
+            )
+            .build();
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn aggregate_reordered_items_get_a_projection() {
+        // agg first, group second → Project [1, 0] on top.
+        let p = q("SELECT count(*), D FROM R GROUP BY D");
+        let expected = QueryBuilder::scan("R")
+            .aggregate(vec![Expr::col(3)], vec![AggExpr::count_star()])
+            .project(vec![Expr::col(1), Expr::col(0)])
+            .build();
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn group_by_violation_is_caught() {
+        let err = compile("SELECT A, count(*) FROM R GROUP BY D", &catalog()).unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn join_binds_either_orientation() {
+        let expected = QueryBuilder::scan("R")
+            .join(QueryBuilder::scan("S").build(), Expr::col(0), Expr::col(0))
+            .build();
+        assert_eq!(q("SELECT * FROM R JOIN S ON R.A = S.A"), expected);
+        assert_eq!(q("SELECT * FROM R JOIN S ON S.A = R.A"), expected);
+    }
+
+    #[test]
+    fn unqualified_join_columns_resolve_one_per_side() {
+        // Each ON operand resolves against one side, so the bare names
+        // bind to R.A and S.A respectively.
+        let expected = QueryBuilder::scan("R")
+            .join(QueryBuilder::scan("S").build(), Expr::col(0), Expr::col(0))
+            .build();
+        assert_eq!(q("SELECT * FROM R JOIN S ON A = A"), expected);
+        // But an operand resolving on neither side is still an error.
+        let err = compile("SELECT * FROM R JOIN S ON A = nosuch", &catalog()).unwrap_err();
+        assert!(err.to_string().contains("each side"), "{err}");
+    }
+
+    #[test]
+    fn order_by_ordinal_alias_and_name() {
+        let sorted = |asc: bool| {
+            QueryBuilder::scan("R")
+                .project(vec![Expr::col(0), Expr::col(1)])
+                .sort(vec![(Expr::col(1), asc)])
+                .build()
+        };
+        assert_eq!(q("SELECT A, B FROM R ORDER BY 2"), sorted(true));
+        assert_eq!(q("SELECT A, B FROM R ORDER BY B DESC"), sorted(false));
+        assert_eq!(q("SELECT A, B AS x FROM R ORDER BY x DESC"), sorted(false));
+        // SELECT * sorts in input scope.
+        assert_eq!(
+            q("SELECT * FROM R ORDER BY C"),
+            QueryBuilder::scan("R")
+                .sort(vec![(Expr::col(2), true)])
+                .build()
+        );
+    }
+
+    #[test]
+    fn order_by_out_of_range_ordinal() {
+        let err = compile("SELECT A FROM R ORDER BY 2", &catalog()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn insert_with_column_permutation() {
+        let stmt = compile(
+            "INSERT INTO R (D, C, B, A) VALUES ('x', 1.5, 7, 3)",
+            &catalog(),
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(
+                    rows[0],
+                    vec![
+                        Value::Int32(3),
+                        Value::Int64(7),
+                        Value::Float64(1.5),
+                        Value::Str("x".into())
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Partial column lists are rejected: storage inserts full rows.
+        assert!(compile("INSERT INTO R (A) VALUES (1)", &catalog()).is_err());
+    }
+
+    #[test]
+    fn update_and_delete_bind() {
+        let stmt = compile("UPDATE R SET a = 9 WHERE d LIKE 'x%'", &catalog()).unwrap();
+        match stmt {
+            Statement::Update { table, sets, pred } => {
+                assert_eq!(table, "R");
+                // Case-insensitive resolution canonicalizes the name.
+                assert_eq!(sets, vec![("A".to_string(), Value::Int32(9))]);
+                assert!(pred.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            compile("DELETE FROM R", &catalog()).unwrap(),
+            Statement::Delete { pred: None, .. }
+        ));
+    }
+
+    #[test]
+    fn ddl_binds() {
+        let stmt = compile(
+            "CREATE TABLE T (id INT, n BIGINT, x DOUBLE, s TEXT NULL)",
+            &catalog(),
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable { schema, .. } => {
+                assert_eq!(schema.len(), 4);
+                assert!(schema.columns()[3].nullable);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            compile("CREATE INDEX ON R (A) USING BTREE", &catalog()).unwrap(),
+            Statement::CreateIndex {
+                kind: IndexKind::RBTree,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_names_error_with_spans() {
+        let err = compile("SELECT * FROM nosuch", &catalog()).unwrap_err();
+        assert!(err.to_string().contains("unknown table"), "{err}");
+        let err = compile("SELECT nosuch FROM R", &catalog()).unwrap_err();
+        assert_eq!(err.span().start, 7);
+    }
+}

@@ -1,0 +1,140 @@
+//! Scripted-client driving: run `.sql` files against a server and fold the
+//! responses into a deterministic hash.
+//!
+//! Shared between the `sql-client` binary (CI) and the workspace test that
+//! keeps the checked-in expectation hashes honest — both must byte-agree
+//! on normalization and hashing or the check is meaningless.
+
+use crate::session::{read_response, WireResponse};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Run every statement of `file` over one fresh connection to `addr`,
+/// returning the accumulated result hash. With `print`, echo each
+/// statement's normalized result to stdout.
+///
+/// Hash input per statement: `ROWS <n>`, the header line, then the data
+/// rows float-normalized and sorted — or `OK <n>` for DML. A server `ERR`
+/// aborts with the offending line number.
+pub fn drive_file(addr: &str, file: &str, print: bool) -> Result<u64, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read: {e}"))?;
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting).map_err(|e| e.to_string())?;
+    if !greeting.starts_with("HELLO") {
+        return Err(format!("unexpected greeting {greeting:?}"));
+    }
+
+    let mut hasher = Fnv1a::new();
+    for (lineno, stmt) in text.lines().enumerate() {
+        let stmt = stmt.trim();
+        if stmt.is_empty() || stmt.starts_with("--") {
+            continue;
+        }
+        writeln!(writer, "{stmt}").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let resp = read_response(&mut reader).map_err(|e| e.to_string())?;
+        match resp {
+            WireResponse::Rows { header, data } => {
+                hasher.line(&format!("ROWS {}", data.len()));
+                hasher.line(&header);
+                let mut normalized: Vec<String> = data.iter().map(|l| normalize_line(l)).collect();
+                normalized.sort();
+                if print {
+                    println!("-- line {}: {stmt}", lineno + 1);
+                    println!("{header}");
+                    for l in &normalized {
+                        println!("{l}");
+                    }
+                }
+                for l in &normalized {
+                    hasher.line(l);
+                }
+            }
+            WireResponse::Count(n) => {
+                hasher.line(&format!("OK {n}"));
+                if print {
+                    println!("-- line {}: {stmt}\nOK {n}", lineno + 1);
+                }
+            }
+            WireResponse::Error(msg) => {
+                return Err(format!("line {}: server error: {msg}", lineno + 1))
+            }
+            WireResponse::Bye => return Err("unexpected BYE".to_string()),
+        }
+    }
+    writeln!(writer, "QUIT").ok();
+    writer.flush().ok();
+    Ok(hasher.finish())
+}
+
+/// Reformat float-looking fields to 9 decimal places so accumulation order
+/// can never flip a digit, mirroring `QueryOutput::normalized`.
+pub fn normalize_line(line: &str) -> String {
+    line.split('\t')
+        .map(|f| {
+            let looks_float = f.contains('.') || f.contains('e') || f.contains('E');
+            match (looks_float, f.parse::<f64>()) {
+                (true, Ok(v)) => format!("{v:.9}"),
+                _ => f.to_string(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\t")
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable across platforms.
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Standard 64-bit offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf29ce484222325)
+    }
+
+    /// Fold one line (a trailing `\n` is hashed for framing).
+    pub fn line(&mut self, s: &str) {
+        for b in s.as_bytes() {
+            self.0 ^= *b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+        self.0 ^= b'\n' as u64;
+        self.0 = self.0.wrapping_mul(0x100000001b3);
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_rewrites_only_float_fields() {
+        assert_eq!(normalize_line("abc\t1.5\t10"), "abc\t1.500000000\t10");
+        // Int-looking and non-numeric fields stay verbatim.
+        assert_eq!(normalize_line("1e3x\tNULL"), "1e3x\tNULL");
+    }
+
+    #[test]
+    fn hash_is_framing_sensitive() {
+        let mut a = Fnv1a::new();
+        a.line("ab");
+        a.line("c");
+        let mut b = Fnv1a::new();
+        b.line("a");
+        b.line("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,123 @@
+//! Typed SQL frontend errors carrying source spans.
+
+/// A byte range in the original SQL text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first offending byte.
+    pub start: usize,
+    /// Byte offset one past the last offending byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// Smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Which frontend stage rejected the statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlErrorKind {
+    /// Lexing or grammar error.
+    Parse,
+    /// Name resolution error (unknown table/column, ambiguous reference).
+    Bind,
+    /// Type error (incomparable operands, literal out of range, …).
+    Type,
+}
+
+/// An error from the SQL frontend: stage, message, and the byte span of the
+/// offending text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    kind: SqlErrorKind,
+    message: String,
+    span: Span,
+}
+
+impl SqlError {
+    /// Grammar/lexing error at `span`.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        SqlError {
+            kind: SqlErrorKind::Parse,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Name-resolution error at `span`.
+    pub fn bind(message: impl Into<String>, span: Span) -> Self {
+        SqlError {
+            kind: SqlErrorKind::Bind,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Type error at `span`.
+    pub fn type_error(message: impl Into<String>, span: Span) -> Self {
+        SqlError {
+            kind: SqlErrorKind::Type,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Which stage rejected the statement.
+    pub fn kind(&self) -> SqlErrorKind {
+        self.kind
+    }
+
+    /// The offending byte range in the source text.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The bare message, without stage/span framing.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stage = match self.kind {
+            SqlErrorKind::Parse => "parse",
+            SqlErrorKind::Bind => "bind",
+            SqlErrorKind::Type => "type",
+        };
+        write!(
+            f,
+            "{stage} error at byte {}..{}: {}",
+            self.span.start, self.span.end, self.message
+        )
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_stage_and_span() {
+        let e = SqlError::bind("unknown column X", Span::new(7, 8));
+        assert_eq!(e.to_string(), "bind error at byte 7..8: unknown column X");
+        assert_eq!(e.kind(), SqlErrorKind::Bind);
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        assert_eq!(Span::new(3, 5).merge(Span::new(9, 12)), Span::new(3, 12));
+    }
+}

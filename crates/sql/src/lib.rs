@@ -1,0 +1,46 @@
+//! # pdsm-sql
+//!
+//! SQL frontend and network service for the PDSM database. Everything is
+//! hand-written — no parser generators, no external dependencies — and
+//! lowers onto the existing engine surface:
+//!
+//! * [`token`] — lexer with byte-offset spans; total over arbitrary input.
+//! * [`parser`] — recursive-descent parser for the supported SQL subset:
+//!   `SELECT` (projections, the five aggregates, `WHERE` with the full
+//!   expression language, `GROUP BY`, equi-`JOIN`, `ORDER BY`, `LIMIT`),
+//!   `EXPLAIN`, `INSERT`, `UPDATE`, `DELETE`, `CREATE TABLE`,
+//!   `CREATE INDEX`.
+//! * [`binder`] — name resolution and type checking against a
+//!   [`SqlCatalog`] (implemented by `Database`), producing
+//!   [`Statement`]s over `pdsm_plan::LogicalPlan`. Comparison literals are
+//!   coerced to the referenced column's exact storage type, because the
+//!   engines compare same-typed values only.
+//! * [`render`] — the inverse: [`plan_to_sql`] renders a canonical plan
+//!   back to SQL text such that parse+bind reproduces the plan
+//!   structurally (modulo selectivity hints). The differential suites
+//!   lean on this to run every benchmark query as SQL text.
+//! * [`session`] — statement execution over `Arc<Database>` plus the
+//!   line-protocol framing shared by server, REPL, and client.
+//! * [`server`] — thread-per-connection TCP server with a session limit
+//!   and graceful shutdown.
+//!
+//! Binaries: `pdsm-server` (network service), `pdsm-repl` (interactive
+//! shell), `sql-client` (scripted CI driver with result hashing).
+
+pub mod ast;
+pub mod binder;
+pub mod client;
+pub mod error;
+pub mod parser;
+pub mod render;
+pub mod server;
+pub mod session;
+pub mod token;
+
+pub use binder::{bind, compile, SqlCatalog, Statement};
+pub use client::{drive_file, normalize_line, Fnv1a};
+pub use error::{Span, SqlError, SqlErrorKind};
+pub use parser::parse;
+pub use render::{plan_to_sql, strip_hints, RenderError};
+pub use server::{ServerConfig, SqlServer};
+pub use session::{read_response, render_value, write_response, Response, Session, WireResponse};

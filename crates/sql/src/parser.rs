@@ -1,0 +1,806 @@
+//! Hand-written recursive-descent parser.
+//!
+//! Grammar (statements; `[]` optional, `{}` repeated):
+//!
+//! ```text
+//! statement   := select | EXPLAIN select | insert | update | delete
+//!              | create_table | create_index
+//! select      := SELECT items FROM ident { [INNER] JOIN ident ON expr }
+//!                [WHERE expr] [GROUP BY expr {, expr}]
+//!                [ORDER BY key [ASC|DESC] {, key [ASC|DESC]}] [LIMIT int]
+//! items       := '*' | item {, item}
+//! item        := expr [AS ident]
+//! key         := int | expr                  -- 1-based ordinal or expression
+//! insert      := INSERT INTO ident ['(' ident {, ident} ')']
+//!                VALUES row {, row}
+//! row         := '(' literal {, literal} ')'
+//! update      := UPDATE ident SET ident '=' literal {, ident '=' literal}
+//!                [WHERE expr]
+//! delete      := DELETE FROM ident [WHERE expr]
+//! create_table:= CREATE TABLE ident '(' coldef {, coldef} ')'
+//! coldef      := ident typename [NULL | NOT NULL]
+//! create_index:= CREATE INDEX [ident] ON ident '(' ident ')' [USING ident]
+//! ```
+//!
+//! Expression precedence, loosest first: `OR`, `AND`, `NOT`, comparison /
+//! `LIKE` / `IS [NOT] NULL` (non-associative), `+ -`, `* / %`, unary minus,
+//! primary. Aggregate calls (`count`/`sum`/`min`/`max`/`avg`) are ordinary
+//! identifiers followed by `(`; any other call site is a parse error.
+
+use crate::ast::*;
+use crate::error::{Span, SqlError};
+use crate::token::{lex, Tok};
+use pdsm_plan::{AggFunc, ArithOp, CmpOp};
+use pdsm_storage::Value;
+
+/// Parse one statement (optionally terminated by `;`) from `src`.
+pub fn parse(src: &str) -> Result<AstStatement, SqlError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+    };
+    let stmt = p.statement()?;
+    p.eat(&Tok::Semi);
+    let (t, s) = p.peek();
+    if t != &Tok::Eof {
+        return Err(SqlError::parse(
+            format!("expected end of statement, found {}", t.describe()),
+            s,
+        ));
+    }
+    Ok(stmt)
+}
+
+struct Parser<'a> {
+    toks: &'a [(Tok, Span)],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> (&'a Tok, Span) {
+        let (t, s) = &self.toks[self.pos.min(self.toks.len() - 1)];
+        (t, *s)
+    }
+
+    fn bump(&mut self) -> (Tok, Span) {
+        let (t, s) = self.peek();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        (t.clone(), s)
+    }
+
+    /// Consume `t` if it is next; report whether it was.
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek().0 == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<Span, SqlError> {
+        let (next, s) = self.peek();
+        if next == &t {
+            self.bump();
+            Ok(s)
+        } else {
+            Err(SqlError::parse(
+                format!("expected {what}, found {}", next.describe()),
+                s,
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<Ident, SqlError> {
+        let (t, span) = self.peek();
+        match t {
+            Tok::Ident(name) => {
+                let id = Ident {
+                    name: name.clone(),
+                    span,
+                };
+                self.bump();
+                Ok(id)
+            }
+            other => Err(SqlError::parse(
+                format!("expected {what}, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<AstStatement, SqlError> {
+        let (t, span) = self.peek();
+        match t {
+            Tok::Select => Ok(AstStatement::Select(self.select()?)),
+            Tok::Explain => {
+                self.bump();
+                Ok(AstStatement::Explain(self.select()?))
+            }
+            Tok::Insert => self.insert(),
+            Tok::Update => self.update(),
+            Tok::Delete => self.delete(),
+            Tok::Create => self.create(),
+            other => Err(SqlError::parse(
+                format!(
+                    "expected SELECT, EXPLAIN, INSERT, UPDATE, DELETE or CREATE, found {}",
+                    other.describe()
+                ),
+                span,
+            )),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect(Tok::Select, "SELECT")?;
+        let items = if let (Tok::Star, s) = self.peek() {
+            self.bump();
+            SelectList::Star(s)
+        } else {
+            let mut items = vec![self.select_item()?];
+            while self.eat(&Tok::Comma) {
+                items.push(self.select_item()?);
+            }
+            SelectList::Items(items)
+        };
+        self.expect(Tok::From, "FROM")?;
+        let from = self.expect_ident("table name")?;
+        let mut joins = Vec::new();
+        loop {
+            if self.eat(&Tok::Inner) {
+                self.expect(Tok::Join, "JOIN")?;
+            } else if !self.eat(&Tok::Join) {
+                break;
+            }
+            let table = self.expect_ident("table name")?;
+            self.expect(Tok::On, "ON")?;
+            let on = self.expr()?;
+            joins.push(JoinClause { table, on });
+        }
+        let pred = if self.eat(&Tok::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat(&Tok::Group) {
+            self.expect(Tok::By, "BY")?;
+            group_by.push(self.expr()?);
+            while self.eat(&Tok::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat(&Tok::Order) {
+            self.expect(Tok::By, "BY")?;
+            loop {
+                let key = match self.peek() {
+                    (Tok::Int(n), s) => {
+                        let n = *n;
+                        self.bump();
+                        if n < 1 {
+                            return Err(SqlError::parse(
+                                format!("ORDER BY ordinal must be >= 1, got {n}"),
+                                s,
+                            ));
+                        }
+                        OrderKey::Ordinal(n as usize, s)
+                    }
+                    _ => OrderKey::Expr(self.expr()?),
+                };
+                let asc = if self.eat(&Tok::Desc) {
+                    false
+                } else {
+                    self.eat(&Tok::Asc);
+                    true
+                };
+                order_by.push((key, asc));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat(&Tok::Limit) {
+            let (t, s) = self.peek();
+            match t {
+                Tok::Int(n) if *n >= 0 => {
+                    let n = *n as usize;
+                    self.bump();
+                    Some((n, s))
+                }
+                other => {
+                    return Err(SqlError::parse(
+                        format!(
+                            "expected non-negative LIMIT count, found {}",
+                            other.describe()
+                        ),
+                        s,
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            from,
+            joins,
+            pred,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let expr = self.expr()?;
+        let alias = if self.eat(&Tok::As) {
+            Some(self.expect_ident("alias")?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn insert(&mut self) -> Result<AstStatement, SqlError> {
+        self.expect(Tok::Insert, "INSERT")?;
+        self.expect(Tok::Into, "INTO")?;
+        let table = self.expect_ident("table name")?;
+        let columns = if self.eat(&Tok::LParen) {
+            let mut cols = vec![self.expect_ident("column name")?];
+            while self.eat(&Tok::Comma) {
+                cols.push(self.expect_ident("column name")?);
+            }
+            self.expect(Tok::RParen, ")")?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect(Tok::Values, "VALUES")?;
+        let mut rows = vec![self.value_row()?];
+        while self.eat(&Tok::Comma) {
+            rows.push(self.value_row()?);
+        }
+        Ok(AstStatement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn value_row(&mut self) -> Result<Vec<(Value, Span)>, SqlError> {
+        self.expect(Tok::LParen, "(")?;
+        let mut row = vec![self.literal()?];
+        while self.eat(&Tok::Comma) {
+            row.push(self.literal()?);
+        }
+        self.expect(Tok::RParen, ")")?;
+        Ok(row)
+    }
+
+    /// A literal with optional sign, as allowed in VALUES / SET positions.
+    fn literal(&mut self) -> Result<(Value, Span), SqlError> {
+        let (t, span) = self.peek();
+        let negative = matches!(t, Tok::Minus);
+        if negative || matches!(t, Tok::Plus) {
+            self.bump();
+        }
+        let (t, s) = self.peek();
+        let v = match t {
+            Tok::Int(n) => {
+                let n = if negative { -*n } else { *n };
+                int_value(n)
+            }
+            Tok::Float(x) => Value::Float64(if negative { -*x } else { *x }),
+            Tok::Str(txt) if !negative => Value::Str(txt.clone()),
+            Tok::Null if !negative => Value::Null,
+            other => {
+                return Err(SqlError::parse(
+                    format!("expected literal, found {}", other.describe()),
+                    s,
+                ))
+            }
+        };
+        self.bump();
+        Ok((v, span.merge(s)))
+    }
+
+    fn update(&mut self) -> Result<AstStatement, SqlError> {
+        self.expect(Tok::Update, "UPDATE")?;
+        let table = self.expect_ident("table name")?;
+        self.expect(Tok::Set, "SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.expect_ident("column name")?;
+            self.expect(Tok::Eq, "=")?;
+            let val = self.literal()?;
+            sets.push((col, val));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        let pred = if self.eat(&Tok::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(AstStatement::Update { table, sets, pred })
+    }
+
+    fn delete(&mut self) -> Result<AstStatement, SqlError> {
+        self.expect(Tok::Delete, "DELETE")?;
+        self.expect(Tok::From, "FROM")?;
+        let table = self.expect_ident("table name")?;
+        let pred = if self.eat(&Tok::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(AstStatement::Delete { table, pred })
+    }
+
+    fn create(&mut self) -> Result<AstStatement, SqlError> {
+        self.expect(Tok::Create, "CREATE")?;
+        let (t, span) = self.peek();
+        match t {
+            Tok::Table => {
+                self.bump();
+                let name = self.expect_ident("table name")?;
+                self.expect(Tok::LParen, "(")?;
+                let mut columns = vec![self.column_def()?];
+                while self.eat(&Tok::Comma) {
+                    columns.push(self.column_def()?);
+                }
+                self.expect(Tok::RParen, ")")?;
+                Ok(AstStatement::CreateTable { name, columns })
+            }
+            Tok::Index => {
+                self.bump();
+                // Optional index name — accepted and ignored: the engine
+                // keys indexes by (table, column).
+                if matches!(self.peek().0, Tok::Ident(_)) {
+                    self.bump();
+                }
+                self.expect(Tok::On, "ON")?;
+                let table = self.expect_ident("table name")?;
+                self.expect(Tok::LParen, "(")?;
+                let column = self.expect_ident("column name")?;
+                self.expect(Tok::RParen, ")")?;
+                let using = if self.eat(&Tok::Using) {
+                    Some(self.expect_ident("index kind")?)
+                } else {
+                    None
+                };
+                Ok(AstStatement::CreateIndex {
+                    table,
+                    column,
+                    using,
+                })
+            }
+            other => Err(SqlError::parse(
+                format!("expected TABLE or INDEX, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+
+    fn column_def(&mut self) -> Result<AstColumnDef, SqlError> {
+        let name = self.expect_ident("column name")?;
+        let ty = self.expect_ident("type name")?;
+        // Optional VARCHAR(30)-style width — parsed and ignored (strings
+        // are dictionary-encoded, width is irrelevant).
+        if self.eat(&Tok::LParen) {
+            let (t, s) = self.peek();
+            if !matches!(t, Tok::Int(_)) {
+                return Err(SqlError::parse(
+                    format!("expected type width, found {}", t.describe()),
+                    s,
+                ));
+            }
+            self.bump();
+            self.expect(Tok::RParen, ")")?;
+        }
+        let nullable = if self.eat(&Tok::Not) {
+            self.expect(Tok::Null, "NULL")?;
+            false
+        } else {
+            self.eat(&Tok::Null)
+        };
+        Ok(AstColumnDef { name, ty, nullable })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<AstExpr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr, SqlError> {
+        let mut e = self.and_expr()?;
+        while self.eat(&Tok::Or) {
+            let rhs = self.and_expr()?;
+            e = AstExpr::Or(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr, SqlError> {
+        let mut e = self.not_expr()?;
+        while self.eat(&Tok::And) {
+            let rhs = self.not_expr()?;
+            e = AstExpr::And(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr, SqlError> {
+        if self.eat(&Tok::Not) {
+            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<AstExpr, SqlError> {
+        let left = self.add_expr()?;
+        let (t, _) = self.peek();
+        let op = match t {
+            Tok::Eq => Some(CmpOp::Eq),
+            Tok::Ne => Some(CmpOp::Ne),
+            Tok::Lt => Some(CmpOp::Lt),
+            Tok::Le => Some(CmpOp::Le),
+            Tok::Gt => Some(CmpOp::Gt),
+            Tok::Ge => Some(CmpOp::Ge),
+            Tok::Like => {
+                self.bump();
+                let (p, s) = self.peek();
+                return match p {
+                    Tok::Str(pat) => {
+                        let pat = pat.clone();
+                        self.bump();
+                        Ok(AstExpr::Like {
+                            expr: Box::new(left),
+                            pattern: pat,
+                            span: s,
+                        })
+                    }
+                    other => Err(SqlError::parse(
+                        format!("expected LIKE pattern string, found {}", other.describe()),
+                        s,
+                    )),
+                };
+            }
+            Tok::Is => {
+                self.bump();
+                let negated = self.eat(&Tok::Not);
+                self.expect(Tok::Null, "NULL")?;
+                return Ok(AstExpr::IsNull {
+                    expr: Box::new(left),
+                    negated,
+                });
+            }
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let right = self.add_expr()?;
+                Ok(AstExpr::Cmp {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<AstExpr, SqlError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek().0 {
+                Tok::Plus => ArithOp::Add,
+                Tok::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            e = AstExpr::Arith {
+                op,
+                left: Box::new(e),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<AstExpr, SqlError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek().0 {
+                Tok::Star => ArithOp::Mul,
+                Tok::Slash => ArithOp::Div,
+                Tok::Percent => ArithOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            e = AstExpr::Arith {
+                op,
+                left: Box::new(e),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<AstExpr, SqlError> {
+        if let (Tok::Minus, span) = self.peek() {
+            self.bump();
+            let inner = self.unary_expr()?;
+            return Ok(match inner {
+                // Fold the sign into numeric literals so `-5` binds as a
+                // literal (type coercion applies), not as `0 - 5`.
+                AstExpr::Lit(Value::Int32(v), s) => {
+                    AstExpr::Lit(int_value(-(v as i64)), span.merge(s))
+                }
+                AstExpr::Lit(Value::Int64(v), s) => {
+                    AstExpr::Lit(int_value(v.wrapping_neg()), span.merge(s))
+                }
+                AstExpr::Lit(Value::Float64(v), s) => {
+                    AstExpr::Lit(Value::Float64(-v), span.merge(s))
+                }
+                other => AstExpr::Arith {
+                    op: ArithOp::Sub,
+                    left: Box::new(AstExpr::Lit(Value::Int32(0), span)),
+                    right: Box::new(other),
+                },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<AstExpr, SqlError> {
+        let (t, span) = self.peek();
+        match t {
+            Tok::Int(n) => {
+                let v = int_value(*n);
+                self.bump();
+                Ok(AstExpr::Lit(v, span))
+            }
+            Tok::Float(x) => {
+                let v = Value::Float64(*x);
+                self.bump();
+                Ok(AstExpr::Lit(v, span))
+            }
+            Tok::Str(s) => {
+                let v = Value::Str(s.clone());
+                self.bump();
+                Ok(AstExpr::Lit(v, span))
+            }
+            Tok::Null => {
+                self.bump();
+                Ok(AstExpr::Lit(Value::Null, span))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen, ")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                // Function call?
+                if self.peek().0 == &Tok::LParen {
+                    return self.call(name, span);
+                }
+                // Qualified column?
+                if self.eat(&Tok::Dot) {
+                    let col = self.expect_ident("column name")?;
+                    return Ok(AstExpr::Col {
+                        table: Some(name),
+                        name: col.name,
+                        span: span.merge(col.span),
+                    });
+                }
+                Ok(AstExpr::Col {
+                    table: None,
+                    name,
+                    span,
+                })
+            }
+            other => Err(SqlError::parse(
+                format!("expected expression, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+
+    fn call(&mut self, name: String, span: Span) -> Result<AstExpr, SqlError> {
+        let func = match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "avg" => AggFunc::Avg,
+            _ => return Err(SqlError::parse(format!("unknown function {name:?}"), span)),
+        };
+        self.expect(Tok::LParen, "(")?;
+        let arg = if self.peek().0 == &Tok::Star {
+            self.bump();
+            if func != AggFunc::Count {
+                return Err(SqlError::parse(
+                    format!("{func}(*) is not valid; only count(*) takes '*'"),
+                    span,
+                ));
+            }
+            None
+        } else {
+            Some(Box::new(self.expr()?))
+        };
+        let close = self.expect(Tok::RParen, ")")?;
+        Ok(AstExpr::Agg {
+            func,
+            arg,
+            span: span.merge(close),
+        })
+    }
+}
+
+/// An integer literal: `Int32` when it fits, otherwise `Int64` — mirroring
+/// the storage engine's narrowest-type convention.
+fn int_value(n: i64) -> Value {
+    match i32::try_from(n) {
+        Ok(v) => Value::Int32(v),
+        Err(_) => Value::Int64(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_star_minimal() {
+        let ast = parse("SELECT * FROM VBAK").unwrap();
+        match ast {
+            AstStatement::Select(s) => {
+                assert!(matches!(s.items, SelectList::Star(_)));
+                assert_eq!(s.from.name, "VBAK");
+                assert!(s.pred.is_none());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_or_binds_loosest() {
+        // a = 1 AND b = 2 OR c = 3  →  Or(And(..), ..)
+        let ast = parse("SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3").unwrap();
+        let AstStatement::Select(s) = ast else {
+            panic!()
+        };
+        assert!(matches!(s.pred, Some(AstExpr::Or(..))));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        // a + b * c parses as a + (b * c)
+        let ast = parse("SELECT a + b * c FROM t").unwrap();
+        let AstStatement::Select(s) = ast else {
+            panic!()
+        };
+        let SelectList::Items(items) = s.items else {
+            panic!()
+        };
+        match &items[0].expr {
+            AstExpr::Arith {
+                op: ArithOp::Add,
+                right,
+                ..
+            } => assert!(matches!(
+                **right,
+                AstExpr::Arith {
+                    op: ArithOp::Mul,
+                    ..
+                }
+            )),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_and_group_order_limit() {
+        let ast = parse(
+            "SELECT KUNNR, count(*), sum(NETWR) FROM VBAK \
+             GROUP BY KUNNR ORDER BY 3 DESC LIMIT 10",
+        )
+        .unwrap();
+        let AstStatement::Select(s) = ast else {
+            panic!()
+        };
+        let SelectList::Items(items) = &s.items else {
+            panic!()
+        };
+        assert_eq!(items.len(), 3);
+        assert!(items[1].expr.has_agg());
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 1);
+        assert!(matches!(s.order_by[0], (OrderKey::Ordinal(3, _), false)));
+        assert_eq!(s.limit.map(|(n, _)| n), Some(10));
+    }
+
+    #[test]
+    fn join_with_qualified_columns() {
+        let ast = parse("SELECT * FROM VBAK JOIN VBAP ON VBAK.VBELN = VBAP.VBELN").unwrap();
+        let AstStatement::Select(s) = ast else {
+            panic!()
+        };
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].table.name, "VBAP");
+    }
+
+    #[test]
+    fn insert_with_negative_literals() {
+        let ast = parse("INSERT INTO t (a, b) VALUES (1, -2.5), (-3, NULL)").unwrap();
+        let AstStatement::Insert { rows, columns, .. } = ast else {
+            panic!()
+        };
+        assert_eq!(columns.as_ref().unwrap().len(), 2);
+        assert_eq!(rows[0][1].0, Value::Float64(-2.5));
+        assert_eq!(rows[1][0].0, Value::Int32(-3));
+        assert_eq!(rows[1][1].0, Value::Null);
+    }
+
+    #[test]
+    fn update_delete_create() {
+        assert!(matches!(
+            parse("UPDATE t SET a = 1, b = 'x' WHERE c > 0").unwrap(),
+            AstStatement::Update { .. }
+        ));
+        assert!(matches!(
+            parse("DELETE FROM t WHERE a IS NOT NULL").unwrap(),
+            AstStatement::Delete { .. }
+        ));
+        let AstStatement::CreateTable { columns, .. } =
+            parse("CREATE TABLE t (a INT NOT NULL, b VARCHAR(30) NULL, c DOUBLE)").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(columns.len(), 3);
+        assert!(!columns[0].nullable);
+        assert!(columns[1].nullable);
+        assert!(!columns[2].nullable);
+        assert!(matches!(
+            parse("CREATE INDEX idx ON t (a) USING HASH").unwrap(),
+            AstStatement::CreateIndex { .. }
+        ));
+    }
+
+    #[test]
+    fn errors_have_spans() {
+        let err = parse("SELECT FROM t").unwrap_err();
+        assert_eq!(err.span().start, 7);
+        let err = parse("SELECT nosuchfn(a) FROM t").unwrap_err();
+        assert!(err.to_string().contains("unknown function"));
+        assert!(parse("SELECT sum(*) FROM t").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t LIMIT -1").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT * FROM t; SELECT * FROM u").is_err());
+        assert!(parse("SELECT * FROM t )").is_err());
+    }
+}

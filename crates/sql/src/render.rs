@@ -1,0 +1,451 @@
+//! Plan → SQL rendering, the inverse of parse+bind.
+//!
+//! Renders the canonical operator stack `[Limit [Sort]] [Project|Aggregate]
+//! [Select] (Scan | left-deep Join of Scans)` back to a single SELECT
+//! statement. Every expression is rendered fully parenthesised (see
+//! `pdsm_plan::names`), ORDER BY keys become 1-based output ordinals, and
+//! column references are table-qualified whenever more than one table is in
+//! scope — so parsing and binding the rendering reproduces the original
+//! plan structurally (modulo `sel_hint`, which SQL cannot carry).
+//!
+//! Plans outside that canonical shape (filters under joins, non-column
+//! join keys, projections of projections, …) get a [`RenderError`] — the
+//! differential suites only need the shapes the workloads produce.
+
+use crate::binder::SqlCatalog;
+use pdsm_plan::{render_agg, render_expr, Expr, LogicalPlan, SortKey};
+
+/// A plan shape the SQL grammar cannot express.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderError(pub String);
+
+impl std::fmt::Display for RenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan not renderable as SQL: {}", self.0)
+    }
+}
+
+impl std::error::Error for RenderError {}
+
+/// Render `plan` as a SELECT statement, resolving column names through
+/// `catalog`.
+pub fn plan_to_sql(plan: &LogicalPlan, catalog: &impl SqlCatalog) -> Result<String, RenderError> {
+    let mut cur = plan;
+
+    let mut limit = None;
+    if let LogicalPlan::Limit { input, n } = cur {
+        limit = Some(*n);
+        cur = input;
+    }
+    let mut sort: Option<&[SortKey]> = None;
+    if let LogicalPlan::Sort { input, keys } = cur {
+        sort = Some(keys);
+        cur = input;
+    }
+
+    // Select list layer.
+    enum List<'a> {
+        Star,
+        Exprs(&'a [Expr]),
+        Agg {
+            group_by: &'a [Expr],
+            aggs: &'a [pdsm_plan::AggExpr],
+            /// Projection positions into groups ++ aggs, when reordered.
+            order: Option<&'a [Expr]>,
+        },
+    }
+    let list;
+    match cur {
+        LogicalPlan::Project { input, exprs } => match &**input {
+            LogicalPlan::Aggregate {
+                input: agg_in,
+                group_by,
+                aggs,
+            } => {
+                list = List::Agg {
+                    group_by,
+                    aggs,
+                    order: Some(exprs),
+                };
+                cur = agg_in;
+            }
+            _ => {
+                list = List::Exprs(exprs);
+                cur = input;
+            }
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            list = List::Agg {
+                group_by,
+                aggs,
+                order: None,
+            };
+            cur = input;
+        }
+        _ => list = List::Star,
+    }
+
+    // Filter layer.
+    let mut pred = None;
+    if let LogicalPlan::Select {
+        input,
+        pred: p,
+        sel_hint: _,
+    } = cur
+    {
+        pred = Some(p);
+        cur = input;
+    }
+
+    // FROM / JOIN layer: left-deep joins over scans.
+    let mut joins: Vec<(&str, &Expr, &Expr)> = Vec::new(); // (right table, lkey, rkey)
+    let mut node = cur;
+    loop {
+        match node {
+            LogicalPlan::Scan { .. } => break,
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let LogicalPlan::Scan { table } = &**right else {
+                    return Err(RenderError(
+                        "join right side must be a base-table scan".into(),
+                    ));
+                };
+                joins.push((table, left_key, right_key));
+                node = left;
+            }
+            other => {
+                return Err(RenderError(format!(
+                    "operator {} cannot appear below the filter",
+                    op_name(other)
+                )))
+            }
+        }
+    }
+    joins.reverse();
+    let LogicalPlan::Scan { table: from } = node else {
+        unreachable!()
+    };
+
+    // Scope: (table, column) per input position, join order.
+    let mut scope: Vec<(String, String)> = Vec::new();
+    let mut tables = vec![from.as_str()];
+    tables.extend(joins.iter().map(|(t, _, _)| *t));
+    for t in &tables {
+        let (canon, schema) = catalog
+            .resolve_table(t)
+            .ok_or_else(|| RenderError(format!("unknown table {t:?}")))?;
+        for c in schema.columns() {
+            scope.push((canon.clone(), c.name.clone()));
+        }
+    }
+    for (i, t) in tables.iter().enumerate() {
+        if tables[..i].iter().any(|u| u.eq_ignore_ascii_case(t)) {
+            return Err(RenderError(format!(
+                "table {t:?} appears twice; self-joins are not renderable"
+            )));
+        }
+    }
+    let qualify = tables.len() > 1;
+    let name_of = |c: usize| -> String {
+        match scope.get(c) {
+            Some((t, n)) if qualify => format!("{t}.{n}"),
+            Some((_, n)) => n.clone(),
+            None => format!("col{c}"),
+        }
+    };
+
+    // Assemble.
+    let mut sql = String::from("SELECT ");
+    let (items, out_arity): (String, usize) = match &list {
+        List::Star => ("*".to_string(), scope.len()),
+        List::Exprs(exprs) => (
+            exprs
+                .iter()
+                .map(|e| render_expr(e, &name_of))
+                .collect::<Vec<_>>()
+                .join(", "),
+            exprs.len(),
+        ),
+        List::Agg {
+            group_by,
+            aggs,
+            order,
+        } => {
+            let rendered: Vec<String> = group_by
+                .iter()
+                .map(|g| render_expr(g, &name_of))
+                .chain(aggs.iter().map(|a| render_agg(a, &name_of)))
+                .collect();
+            match order {
+                None => (rendered.join(", "), rendered.len()),
+                Some(exprs) => {
+                    let mut items = Vec::with_capacity(exprs.len());
+                    for e in *exprs {
+                        let Expr::Col(i) = e else {
+                            return Err(RenderError(
+                                "projection over an aggregate must be a column shuffle".into(),
+                            ));
+                        };
+                        let item = rendered.get(*i).ok_or_else(|| {
+                            RenderError(format!("projection column {i} out of range"))
+                        })?;
+                        items.push(item.clone());
+                    }
+                    (items.join(", "), exprs.len())
+                }
+            }
+        }
+    };
+    sql.push_str(&items);
+    sql.push_str(" FROM ");
+    sql.push_str(from);
+    // Join keys are in each side's own column space; the left key indexes
+    // the accumulated left scope, the right key the joined table alone.
+    let mut left_width = catalog
+        .resolve_table(from)
+        .map(|(_, s)| s.len())
+        .unwrap_or(0);
+    for (t, lkey, rkey) in &joins {
+        let (Expr::Col(lc), Expr::Col(rc)) = (lkey, rkey) else {
+            return Err(RenderError("join keys must be plain columns".into()));
+        };
+        if *lc >= left_width {
+            return Err(RenderError(format!(
+                "left join key {lc} out of range for the left side"
+            )));
+        }
+        let (canon, rschema) = catalog
+            .resolve_table(t)
+            .ok_or_else(|| RenderError(format!("unknown table {t:?}")))?;
+        let rname = rschema
+            .columns()
+            .get(*rc)
+            .ok_or_else(|| RenderError(format!("right join key {rc} out of range")))?
+            .name
+            .clone();
+        let (lt, ln) = &scope[*lc];
+        sql.push_str(&format!(" JOIN {canon} ON {lt}.{ln} = {canon}.{rname}"));
+        left_width += rschema.len();
+    }
+    if let Some(p) = pred {
+        sql.push_str(" WHERE ");
+        sql.push_str(&render_expr(p, &name_of));
+    }
+    if let List::Agg { group_by, .. } = &list {
+        if !group_by.is_empty() {
+            sql.push_str(" GROUP BY ");
+            let rendered: Vec<String> = group_by.iter().map(|g| render_expr(g, &name_of)).collect();
+            sql.push_str(&rendered.join(", "));
+        }
+    }
+    if let Some(keys) = sort {
+        sql.push_str(" ORDER BY ");
+        let mut parts = Vec::with_capacity(keys.len());
+        for k in keys {
+            let part = match (&k.expr, &list) {
+                (Expr::Col(i), _) if *i < out_arity => format!("{}", i + 1),
+                // `SELECT *` sorts in input scope; a non-column key is
+                // only expressible there.
+                (e, List::Star) => render_expr(e, &name_of),
+                (e, _) => {
+                    return Err(RenderError(format!(
+                        "sort key {e:?} does not reference an output column"
+                    )))
+                }
+            };
+            parts.push(if k.asc { part } else { format!("{part} DESC") });
+        }
+        sql.push_str(&parts.join(", "));
+    }
+    if let Some(n) = limit {
+        sql.push_str(&format!(" LIMIT {n}"));
+    }
+    Ok(sql)
+}
+
+fn op_name(p: &LogicalPlan) -> &'static str {
+    match p {
+        LogicalPlan::Scan { .. } => "Scan",
+        LogicalPlan::Select { .. } => "Select",
+        LogicalPlan::Project { .. } => "Project",
+        LogicalPlan::Aggregate { .. } => "Aggregate",
+        LogicalPlan::Join { .. } => "Join",
+        LogicalPlan::Sort { .. } => "Sort",
+        LogicalPlan::Limit { .. } => "Limit",
+    }
+}
+
+/// Strip `sel_hint`s from a plan — SQL text cannot carry them, so
+/// round-trip comparisons normalize both sides through this.
+pub fn strip_hints(plan: &LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { table } => LogicalPlan::Scan {
+            table: table.clone(),
+        },
+        LogicalPlan::Select {
+            input,
+            pred,
+            sel_hint: _,
+        } => LogicalPlan::Select {
+            input: Box::new(strip_hints(input)),
+            pred: pred.clone(),
+            sel_hint: None,
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(strip_hints(input)),
+            exprs: exprs.clone(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(strip_hints(input)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => LogicalPlan::Join {
+            left: Box::new(strip_hints(left)),
+            right: Box::new(strip_hints(right)),
+            left_key: left_key.clone(),
+            right_key: right_key.clone(),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(strip_hints(input)),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(strip_hints(input)),
+            n: *n,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::{compile, Statement};
+    use pdsm_plan::{AggExpr, AggFunc, QueryBuilder};
+    use pdsm_storage::{ColumnDef, DataType, Schema};
+    use std::collections::HashMap;
+
+    fn catalog() -> HashMap<String, Schema> {
+        let mut m = HashMap::new();
+        m.insert(
+            "R".to_string(),
+            Schema::new(vec![
+                ColumnDef::new("A", DataType::Int32),
+                ColumnDef::new("B", DataType::Int64),
+                ColumnDef::new("D", DataType::Str),
+            ]),
+        );
+        m.insert(
+            "S".to_string(),
+            Schema::new(vec![
+                ColumnDef::new("A", DataType::Int32),
+                ColumnDef::new("E", DataType::Str),
+            ]),
+        );
+        m
+    }
+
+    fn round_trip(plan: &LogicalPlan) {
+        let cat = catalog();
+        let sql = plan_to_sql(plan, &cat).unwrap();
+        match compile(&sql, &cat).unwrap() {
+            Statement::Query(p) => {
+                assert_eq!(p, strip_hints(plan), "through SQL: {sql}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_filter_project_round_trips() {
+        round_trip(
+            &QueryBuilder::scan("R")
+                .filter(Expr::col(0).eq(Expr::lit(1)).and(Expr::col(2).like("x%")))
+                .project(vec![Expr::col(0), Expr::col(1)])
+                .build(),
+        );
+    }
+
+    #[test]
+    fn hint_is_stripped_not_lost_in_comparison() {
+        let plan = QueryBuilder::scan("R")
+            .filter_with_selectivity(Expr::col(0).eq(Expr::lit(1)), 0.25)
+            .build();
+        round_trip(&plan);
+    }
+
+    #[test]
+    fn aggregate_and_reordered_projection_round_trip() {
+        round_trip(
+            &QueryBuilder::scan("R")
+                .aggregate(
+                    vec![Expr::col(2)],
+                    vec![
+                        AggExpr::count_star(),
+                        AggExpr::new(AggFunc::Sum, Expr::col(1)),
+                    ],
+                )
+                .build(),
+        );
+        round_trip(
+            &QueryBuilder::scan("R")
+                .aggregate(vec![Expr::col(2)], vec![AggExpr::count_star()])
+                .project(vec![Expr::col(1), Expr::col(0)])
+                .build(),
+        );
+    }
+
+    #[test]
+    fn join_sort_limit_round_trip() {
+        round_trip(
+            &QueryBuilder::scan("R")
+                .join(QueryBuilder::scan("S").build(), Expr::col(0), Expr::col(0))
+                .project(vec![Expr::col(2), Expr::col(4)])
+                .sort(vec![(Expr::col(0), false)])
+                .limit(10)
+                .build(),
+        );
+    }
+
+    #[test]
+    fn star_sort_renders_input_scope_expression() {
+        round_trip(
+            &QueryBuilder::scan("R")
+                .sort(vec![(Expr::col(1), true)])
+                .build(),
+        );
+    }
+
+    #[test]
+    fn unrenderable_shapes_are_declined() {
+        // Filter below a join is not expressible without subqueries.
+        let plan = LogicalPlan::Join {
+            left: Box::new(
+                QueryBuilder::scan("R")
+                    .filter(Expr::col(0).eq(Expr::lit(1)))
+                    .build(),
+            ),
+            right: Box::new(QueryBuilder::scan("S").build()),
+            left_key: Expr::Col(0),
+            right_key: Expr::Col(0),
+        };
+        assert!(plan_to_sql(&plan, &catalog()).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Line-protocol TCP server over `Arc<Database>`.
+//!
+//! One OS thread per connection, each running its own [`Session`]. The
+//! accept loop enforces a connection limit (excess connections get
+//! `ERR server at capacity` and are closed) and supports graceful
+//! shutdown: new connections are refused, live sessions are drained, and
+//! every thread is joined before [`SqlServer::shutdown`] returns.
+//!
+//! Connection-level commands (not SQL, handled by the server loop):
+//!
+//! * `QUIT` / `EXIT` — `BYE`, then the connection closes.
+//! * `SHUTDOWN` — `OK 0`, then the whole server shuts down gracefully.
+//!
+//! Blank lines and `--` comment lines are ignored without a response, so
+//! clients can stream `.sql` files verbatim.
+
+use crate::session::{write_response, Response, Session};
+use pdsm_core::Database;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrent sessions; further connections are refused with
+    /// `ERR server at capacity`.
+    pub max_sessions: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { max_sessions: 64 }
+    }
+}
+
+/// A running SQL server. Dropping it without calling
+/// [`SqlServer::shutdown`] leaves the accept thread running detached;
+/// call `shutdown()` (or send `SHUTDOWN` over the wire and [`SqlServer::wait`])
+/// for an orderly stop.
+pub struct SqlServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl SqlServer {
+    /// Bind `bind_addr` (e.g. `127.0.0.1:0`) and start accepting
+    /// connections against `db`.
+    pub fn start(
+        db: Arc<Database>,
+        bind_addr: &str,
+        cfg: ServerConfig,
+    ) -> std::io::Result<SqlServer> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || accept_loop(listener, db, cfg, shutdown))
+        };
+        Ok(SqlServer {
+            addr,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal shutdown, wake the acceptor, and join every thread. Live
+    /// sessions finish their in-flight statement and disconnect.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until the server stops on its own (a client sent `SHUTDOWN`).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    db: Arc<Database>,
+    cfg: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        handles.retain(|h| !h.is_finished());
+        if active.load(Ordering::SeqCst) >= cfg.max_sessions {
+            let mut s = stream;
+            let _ = write_response(&mut s, &Response::Error("server at capacity".into()));
+            continue;
+        }
+        active.fetch_add(1, Ordering::SeqCst);
+        let db = Arc::clone(&db);
+        let shutdown = Arc::clone(&shutdown);
+        let active = Arc::clone(&active);
+        let server_addr = listener.local_addr().ok();
+        handles.push(std::thread::spawn(move || {
+            let _ = serve_connection(stream, db, &shutdown);
+            active.fetch_sub(1, Ordering::SeqCst);
+            // If this session initiated shutdown, wake the acceptor.
+            if shutdown.load(Ordering::SeqCst) {
+                if let Some(addr) = server_addr {
+                    let _ = TcpStream::connect(addr);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    db: Arc<Database>,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    // Short read timeouts let the session poll the shutdown flag while
+    // idle; partially read lines accumulate in `buf` across timeouts.
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "HELLO pdsm-sql 1")?;
+    writer.flush()?;
+    let session = Session::new(db);
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let line = std::mem::take(&mut buf);
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("--") {
+            continue;
+        }
+        match line.to_ascii_uppercase().as_str() {
+            "QUIT" | "EXIT" => {
+                writeln!(writer, "BYE")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            "SHUTDOWN" => {
+                write_response(&mut writer, &Response::Count(0))?;
+                shutdown.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+            _ => {}
+        }
+        let resp = session.statement(line);
+        write_response(&mut writer, &resp)?;
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{read_response, WireResponse};
+    use pdsm_storage::{ColumnDef, DataType, Schema};
+
+    fn server() -> SqlServer {
+        let db = Database::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("a", DataType::Int32),
+                ColumnDef::new("s", DataType::Str),
+            ]),
+        )
+        .unwrap();
+        SqlServer::start(Arc::new(db), "127.0.0.1:0", ServerConfig::default()).unwrap()
+    }
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            let writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut greeting = String::new();
+            reader.read_line(&mut greeting).unwrap();
+            assert!(greeting.starts_with("HELLO pdsm-sql"), "{greeting:?}");
+            Client { reader, writer }
+        }
+
+        fn send(&mut self, sql: &str) -> WireResponse {
+            writeln!(self.writer, "{sql}").unwrap();
+            self.writer.flush().unwrap();
+            read_response(&mut self.reader).unwrap()
+        }
+    }
+
+    #[test]
+    fn insert_query_quit_over_tcp() {
+        let srv = server();
+        let mut c = Client::connect(srv.local_addr());
+        assert_eq!(
+            c.send("INSERT INTO t VALUES (1, 'x'), (2, 'y')"),
+            WireResponse::Count(2)
+        );
+        match c.send("SELECT a, s FROM t ORDER BY 1") {
+            WireResponse::Rows { header, data } => {
+                assert_eq!(header, "a\ts");
+                assert_eq!(data, vec!["1\tx", "2\ty"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match c.send("SELECT * FROM nosuch") {
+            WireResponse::Error(msg) => assert!(msg.contains("unknown table")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.send("QUIT"), WireResponse::Bye);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn concurrent_sessions_and_graceful_shutdown() {
+        let srv = server();
+        let addr = srv.local_addr();
+        let mut a = Client::connect(addr);
+        let mut b = Client::connect(addr);
+        assert_eq!(a.send("CREATE TABLE ta (x INT)"), WireResponse::Count(0));
+        assert_eq!(b.send("CREATE TABLE tb (y INT)"), WireResponse::Count(0));
+        let ha = std::thread::spawn(move || {
+            for i in 0..50 {
+                let r = a.send(&format!("INSERT INTO ta VALUES ({i})"));
+                assert_eq!(r, WireResponse::Count(1));
+            }
+            a.send("SELECT count(*) FROM ta")
+        });
+        let hb = std::thread::spawn(move || {
+            for i in 0..50 {
+                let r = b.send(&format!("INSERT INTO tb VALUES ({i})"));
+                assert_eq!(r, WireResponse::Count(1));
+            }
+            b.send("SELECT count(*) FROM tb")
+        });
+        for h in [ha, hb] {
+            match h.join().unwrap() {
+                WireResponse::Rows { data, .. } => assert_eq!(data, vec!["50"]),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn session_limit_refuses_excess_connections() {
+        let db = Arc::new(Database::new());
+        let srv = SqlServer::start(db, "127.0.0.1:0", ServerConfig { max_sessions: 1 }).unwrap();
+        let _c1 = Client::connect(srv.local_addr());
+        // Give the acceptor a moment to register the first session.
+        std::thread::sleep(Duration::from_millis(100));
+        let stream = TcpStream::connect(srv.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream);
+        match read_response(&mut reader).unwrap() {
+            WireResponse::Error(msg) => assert!(msg.contains("capacity"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_server() {
+        let srv = server();
+        let addr = srv.local_addr();
+        let mut c = Client::connect(addr);
+        assert_eq!(c.send("SHUTDOWN"), WireResponse::Count(0));
+        srv.wait();
+        // New connections are no longer served.
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                let s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_millis(200)))
+                    .unwrap();
+                let mut r = BufReader::new(s);
+                let mut line = String::new();
+                matches!(r.read_line(&mut line), Ok(0) | Err(_))
+            }
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! Sessions and the line-protocol wire format.
+//!
+//! A [`Session`] executes one SQL statement at a time against a shared
+//! [`Database`] handle: parse → bind → execute, snapshot-per-statement via
+//! `Database::execute` (reads) or the predicate-DML entry points (writes).
+//! Sessions hold no locks between statements, so any number of them can
+//! run concurrently over one `Arc<Database>`.
+//!
+//! ## Wire format
+//!
+//! Requests are single lines of SQL (newline-terminated). Responses:
+//!
+//! ```text
+//! ROWS <n>\n<TAB-separated header>\n<n TAB-separated rows>
+//! OK <count>\n
+//! ERR <message>\n
+//! ```
+//!
+//! Field values escape `\`, TAB, CR and LF as `\\`, `\t`, `\r`, `\n`;
+//! NULLs render as `NULL`. Error messages are flattened to one line.
+
+use crate::binder::{compile, Statement};
+use pdsm_core::Database;
+use pdsm_storage::Value;
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A query result: header plus rows.
+    Rows {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
+    /// A DML/DDL acknowledgement with its affected-row count.
+    Count(usize),
+    /// Any frontend or engine error, rendered to a message.
+    Error(String),
+}
+
+/// One SQL session over a shared database handle.
+pub struct Session {
+    db: Arc<Database>,
+}
+
+impl Session {
+    /// Open a session on `db`.
+    pub fn new(db: Arc<Database>) -> Self {
+        Session { db }
+    }
+
+    /// The underlying database handle.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Execute one statement; never panics, never returns `Err` — every
+    /// failure becomes [`Response::Error`].
+    pub fn statement(&self, sql: &str) -> Response {
+        let stmt = match compile(sql, &*self.db) {
+            Ok(s) => s,
+            Err(e) => return Response::Error(e.to_string()),
+        };
+        match self.execute(stmt) {
+            Ok(r) => r,
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    fn execute(&self, stmt: Statement) -> Result<Response, String> {
+        let err = |e: pdsm_core::DbError| e.to_string();
+        match stmt {
+            Statement::Query(plan) => {
+                let result = self.db.execute(&plan).map_err(err)?;
+                Ok(Response::Rows {
+                    columns: result.columns.clone(),
+                    rows: result.into_output().rows,
+                })
+            }
+            Statement::Explain(plan) => {
+                let text = self.db.explain(&plan).map_err(err)?;
+                Ok(Response::Rows {
+                    columns: vec!["plan".to_string()],
+                    rows: text
+                        .lines()
+                        .map(|l| vec![Value::Str(l.to_string())])
+                        .collect(),
+                })
+            }
+            Statement::Insert { table, rows } => {
+                let ids = self.db.insert_batch(&table, &rows).map_err(err)?;
+                Ok(Response::Count(ids.len()))
+            }
+            Statement::Update { table, sets, pred } => {
+                let n = self
+                    .db
+                    .update_where(&table, &sets, pred.as_ref())
+                    .map_err(err)?;
+                Ok(Response::Count(n))
+            }
+            Statement::Delete { table, pred } => {
+                let n = self.db.delete_where(&table, pred.as_ref()).map_err(err)?;
+                Ok(Response::Count(n))
+            }
+            Statement::CreateTable { name, schema } => {
+                self.db.create_table(&name, schema).map_err(err)?;
+                Ok(Response::Count(0))
+            }
+            Statement::CreateIndex {
+                table,
+                column,
+                kind,
+            } => {
+                self.db.create_index(&table, &column, kind).map_err(err)?;
+                Ok(Response::Count(0))
+            }
+        }
+    }
+}
+
+/// Render one value as a wire field.
+pub fn render_value(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Str(s) => escape_field(s),
+        other => other.to_string(),
+    }
+}
+
+fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write a response in the wire format.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    match resp {
+        Response::Rows { columns, rows } => {
+            writeln!(w, "ROWS {}", rows.len())?;
+            writeln!(
+                w,
+                "{}",
+                columns
+                    .iter()
+                    .map(|c| escape_field(c))
+                    .collect::<Vec<_>>()
+                    .join("\t")
+            )?;
+            for row in rows {
+                writeln!(
+                    w,
+                    "{}",
+                    row.iter().map(render_value).collect::<Vec<_>>().join("\t")
+                )?;
+            }
+        }
+        Response::Count(n) => writeln!(w, "OK {n}")?,
+        Response::Error(msg) => writeln!(w, "ERR {}", msg.replace(['\n', '\r'], " "))?,
+    }
+    w.flush()
+}
+
+/// A response as read off the wire by a client: the raw lines, parsed just
+/// enough to know the kind and row payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResponse {
+    /// Header line plus data lines (still TAB-separated, escaped).
+    Rows {
+        header: String,
+        data: Vec<String>,
+    },
+    Count(usize),
+    Error(String),
+    /// Server said goodbye (QUIT acknowledgement).
+    Bye,
+}
+
+/// Read one response from the wire (client side).
+pub fn read_response(r: &mut impl BufRead) -> io::Result<WireResponse> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    let line = line.trim_end_matches(['\n', '\r']);
+    if let Some(n) = line.strip_prefix("ROWS ") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad ROWS count"))?;
+        let mut header = String::new();
+        if r.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "missing header",
+            ));
+        }
+        let header = header.trim_end_matches(['\n', '\r']).to_string();
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = String::new();
+            if r.read_line(&mut row)? == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "missing row"));
+            }
+            data.push(row.trim_end_matches(['\n', '\r']).to_string());
+        }
+        Ok(WireResponse::Rows { header, data })
+    } else if let Some(n) = line.strip_prefix("OK ") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad OK count"))?;
+        Ok(WireResponse::Count(n))
+    } else if let Some(msg) = line.strip_prefix("ERR ") {
+        Ok(WireResponse::Error(msg.to_string()))
+    } else if line == "BYE" {
+        Ok(WireResponse::Bye)
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected response line {line:?}"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsm_storage::{ColumnDef, DataType, Schema};
+
+    fn db() -> Arc<Database> {
+        let db = Database::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("a", DataType::Int32),
+                ColumnDef::new("s", DataType::Str),
+            ]),
+        )
+        .unwrap();
+        Arc::new(db)
+    }
+
+    #[test]
+    fn dml_and_query_through_session() {
+        let s = Session::new(db());
+        assert_eq!(
+            s.statement("INSERT INTO t VALUES (1, 'x'), (2, 'y')"),
+            Response::Count(2)
+        );
+        match s.statement("SELECT a FROM t WHERE s = 'y'") {
+            Response::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["a"]);
+                assert_eq!(rows, vec![vec![Value::Int32(2)]]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            s.statement("UPDATE t SET a = 10 WHERE s = 'x'"),
+            Response::Count(1)
+        );
+        assert_eq!(s.statement("DELETE FROM t WHERE a = 2"), Response::Count(1));
+    }
+
+    #[test]
+    fn errors_become_responses_not_panics() {
+        let s = Session::new(db());
+        for bad in [
+            "SELECT * FROM nosuch",
+            "SELECT nosuchcol FROM t",
+            "FLAGRANT NONSENSE",
+            "SELECT * FROM t WHERE a = 'oops'",
+        ] {
+            match s.statement(bad) {
+                Response::Error(msg) => assert!(!msg.is_empty()),
+                other => panic!("{bad:?} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ddl_through_session() {
+        let s = Session::new(db());
+        assert_eq!(
+            s.statement("CREATE TABLE u (k INT, v TEXT)"),
+            Response::Count(0)
+        );
+        assert_eq!(s.statement("CREATE INDEX ON u (k)"), Response::Count(0));
+        assert_eq!(
+            s.statement("INSERT INTO u VALUES (5, 'z')"),
+            Response::Count(1)
+        );
+        match s.statement("EXPLAIN SELECT * FROM u WHERE k = 5") {
+            Response::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["plan"]);
+                assert!(!rows.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let resp = Response::Rows {
+            columns: vec!["a".into(), "s".into()],
+            rows: vec![
+                vec![Value::Int32(1), Value::Str("x\ty".into())],
+                vec![Value::Null, Value::Str("line\nbreak".into())],
+            ],
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let mut r = io::BufReader::new(&buf[..]);
+        match read_response(&mut r).unwrap() {
+            WireResponse::Rows { header, data } => {
+                assert_eq!(header, "a\ts");
+                assert_eq!(data, vec!["1\tx\\ty", "NULL\tline\\nbreak"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::Error("multi\nline".into())).unwrap();
+        let mut r = io::BufReader::new(&buf[..]);
+        assert_eq!(
+            read_response(&mut r).unwrap(),
+            WireResponse::Error("multi line".into())
+        );
+    }
+}

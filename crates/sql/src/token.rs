@@ -1,0 +1,384 @@
+//! Lexer: SQL text → tokens with byte-offset spans.
+//!
+//! The lexer is total over arbitrary input: every byte sequence either
+//! tokenizes or produces a [`SqlError`] whose span points at the offending
+//! bytes. Keywords are recognized case-insensitively; everything else that
+//! looks like a word is an [`Tok::Ident`]. Aggregate function names are
+//! *not* keywords — the parser treats `ident (` as a call site, so tables
+//! and columns may be named `sum` without quoting.
+
+use crate::error::{Span, SqlError};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier (table, column, alias, function name).
+    Ident(String),
+    /// Integer literal that fits `i64` (sign handled by the parser).
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal, `''` unescaped.
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    // Keywords.
+    Select,
+    From,
+    Where,
+    Group,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+    Join,
+    Inner,
+    On,
+    And,
+    Or,
+    Not,
+    Like,
+    Is,
+    Null,
+    As,
+    Insert,
+    Into,
+    Values,
+    Update,
+    Set,
+    Delete,
+    Create,
+    Table,
+    Index,
+    Using,
+    Explain,
+    /// End of input (always the last token; simplifies the parser).
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable token name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier {s:?}"),
+            Tok::Int(v) => format!("integer {v}"),
+            Tok::Float(v) => format!("float {v}"),
+            Tok::Str(s) => format!("string {s:?}"),
+            Tok::Eof => "end of input".to_string(),
+            other => format!("{other:?}").to_uppercase(),
+        }
+    }
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    // Uppercase once; keywords are short so the allocation is irrelevant
+    // next to parse cost.
+    Some(match word.to_ascii_uppercase().as_str() {
+        "SELECT" => Tok::Select,
+        "FROM" => Tok::From,
+        "WHERE" => Tok::Where,
+        "GROUP" => Tok::Group,
+        "ORDER" => Tok::Order,
+        "BY" => Tok::By,
+        "ASC" => Tok::Asc,
+        "DESC" => Tok::Desc,
+        "LIMIT" => Tok::Limit,
+        "JOIN" => Tok::Join,
+        "INNER" => Tok::Inner,
+        "ON" => Tok::On,
+        "AND" => Tok::And,
+        "OR" => Tok::Or,
+        "NOT" => Tok::Not,
+        "LIKE" => Tok::Like,
+        "IS" => Tok::Is,
+        "NULL" => Tok::Null,
+        "AS" => Tok::As,
+        "INSERT" => Tok::Insert,
+        "INTO" => Tok::Into,
+        "VALUES" => Tok::Values,
+        "UPDATE" => Tok::Update,
+        "SET" => Tok::Set,
+        "DELETE" => Tok::Delete,
+        "CREATE" => Tok::Create,
+        "TABLE" => Tok::Table,
+        "INDEX" => Tok::Index,
+        "USING" => Tok::Using,
+        "EXPLAIN" => Tok::Explain,
+        _ => return None,
+    })
+}
+
+/// Tokenize `src` into a vector of `(token, span)` pairs terminated by
+/// [`Tok::Eof`]. Comments (`-- to end of line`) and ASCII whitespace are
+/// skipped.
+pub fn lex(src: &str) -> Result<Vec<(Tok, Span)>, SqlError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if b == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Punctuation and operators.
+        let simple = match b {
+            b'(' => Some(Tok::LParen),
+            b')' => Some(Tok::RParen),
+            b',' => Some(Tok::Comma),
+            b'.' => {
+                // A dot starting a number (`.5`) is lexed as a float below.
+                if bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    None
+                } else {
+                    Some(Tok::Dot)
+                }
+            }
+            b';' => Some(Tok::Semi),
+            b'*' => Some(Tok::Star),
+            b'+' => Some(Tok::Plus),
+            b'-' => Some(Tok::Minus),
+            b'/' => Some(Tok::Slash),
+            b'%' => Some(Tok::Percent),
+            b'=' => Some(Tok::Eq),
+            _ => None,
+        };
+        if let Some(t) = simple {
+            out.push((t, Span::new(start, start + 1)));
+            i += 1;
+            continue;
+        }
+        match b {
+            b'<' => {
+                let (t, w) = match bytes.get(i + 1) {
+                    Some(b'=') => (Tok::Le, 2),
+                    Some(b'>') => (Tok::Ne, 2),
+                    _ => (Tok::Lt, 1),
+                };
+                out.push((t, Span::new(start, start + w)));
+                i += w;
+            }
+            b'>' => {
+                let (t, w) = match bytes.get(i + 1) {
+                    Some(b'=') => (Tok::Ge, 2),
+                    _ => (Tok::Gt, 1),
+                };
+                out.push((t, Span::new(start, start + w)));
+                i += w;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Ne, Span::new(start, start + 2)));
+                    i += 2;
+                } else {
+                    return Err(SqlError::parse(
+                        "unexpected character '!'",
+                        Span::new(start, start + 1),
+                    ));
+                }
+            }
+            b'\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::parse(
+                                "unterminated string literal",
+                                Span::new(start, bytes.len()),
+                            ))
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Copy one full UTF-8 scalar (src is &str, so
+                            // char boundaries are well-defined).
+                            let ch = src[i..].chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push((Tok::Str(s), Span::new(start, i)));
+            }
+            b'0'..=b'9' | b'.' => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && bytes.get(j + 1).is_none_or(|c| !c.is_ascii_alphabetic())
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k].is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text = &src[i..j];
+                let span = Span::new(i, j);
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| {
+                        SqlError::parse(format!("bad float literal {text:?}"), span)
+                    })?;
+                    out.push((Tok::Float(v), span));
+                } else {
+                    let v: i64 = text.parse().map_err(|_| {
+                        SqlError::parse(format!("integer literal {text:?} out of range"), span)
+                    })?;
+                    out.push((Tok::Int(v), span));
+                }
+                i = j;
+            }
+            _ => {
+                // Classify by the decoded scalar, not the raw lead byte: a
+                // multi-byte char whose lead byte happens to look alphabetic
+                // in Latin-1 (e.g. U+FFFD starts with 0xEF = 'ï') must not
+                // enter the identifier path, or the loop below would not
+                // advance.
+                let ch = src[i..].chars().next().unwrap();
+                if ch != '_' && !ch.is_alphabetic() {
+                    return Err(SqlError::parse(
+                        format!("unexpected character {ch:?}"),
+                        Span::new(i, i + ch.len_utf8()),
+                    ));
+                }
+                let mut j = i;
+                while j < bytes.len() {
+                    let c = src[j..].chars().next().unwrap();
+                    if c == '_' || c.is_alphanumeric() {
+                        j += c.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[i..j];
+                let span = Span::new(i, j);
+                match keyword(word) {
+                    Some(t) => out.push((t, span)),
+                    None => out.push((Tok::Ident(word.to_string()), span)),
+                }
+                i = j;
+            }
+        }
+    }
+    out.push((Tok::Eof, Span::new(src.len(), src.len())));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            toks("select FROM WhErE"),
+            vec![Tok::Select, Tok::From, Tok::Where, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        assert_eq!(
+            toks("a <= 10 <> 2.5 != 1e3"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Int(10),
+                Tok::Ne,
+                Tok::Float(2.5),
+                Tok::Ne,
+                Tok::Float(1e3),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_unescape_quotes() {
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("select -- everything\n1"),
+            vec![Tok::Select, Tok::Int(1), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn bad_input_is_an_error_with_span() {
+        let err = lex("select @").unwrap_err();
+        assert_eq!(err.span().start, 7);
+        let err = lex("'open").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn multibyte_non_letter_errors_instead_of_looping() {
+        // U+FFFD's lead byte (0xEF) is alphabetic when misread as Latin-1;
+        // the lexer must reject the char, not spin on it.
+        let err = lex("select \u{fffd}").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+        // Real multi-byte letters still lex as identifiers.
+        assert_eq!(toks("änder"), vec![Tok::Ident("änder".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn huge_integer_is_an_error_not_a_panic() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

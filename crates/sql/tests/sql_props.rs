@@ -1,0 +1,399 @@
+//! Property tests for the SQL frontend.
+//!
+//! 1. **Fuzz**: the parser (and binder) are total — arbitrary token soup
+//!    and arbitrary bytes produce `Err` with an in-bounds span, never a
+//!    panic.
+//! 2. **Round trip**: for random plans in the renderer's canonical shape,
+//!    `plan_to_sql` → `parse` → `bind` reproduces the original plan
+//!    structurally (modulo `sel_hint`, which SQL text cannot carry).
+
+use pdsm_plan::{AggExpr, AggFunc, CmpOp, Expr, LogicalPlan, QueryBuilder};
+use pdsm_sql::{compile, parse, plan_to_sql, strip_hints, Statement};
+use pdsm_storage::{ColumnDef, DataType, Schema, Value};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use std::collections::HashMap;
+
+fn catalog() -> HashMap<String, Schema> {
+    let mut m = HashMap::new();
+    m.insert(
+        "R".to_string(),
+        Schema::new(vec![
+            ColumnDef::new("A", DataType::Int32),
+            ColumnDef::new("B", DataType::Int64),
+            ColumnDef::new("C", DataType::Float64),
+            ColumnDef::nullable("D", DataType::Str),
+        ]),
+    );
+    m.insert(
+        "S".to_string(),
+        Schema::new(vec![
+            ColumnDef::new("K", DataType::Int32),
+            ColumnDef::new("E", DataType::Str),
+            ColumnDef::new("F", DataType::Int64),
+        ]),
+    );
+    m
+}
+
+// ----------------------------------------------------------------------
+// Fuzz: token soup.
+// ----------------------------------------------------------------------
+
+const FRAGMENTS: &[&str] = &[
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "ORDER",
+    "LIMIT",
+    "JOIN",
+    "ON",
+    "AND",
+    "OR",
+    "NOT",
+    "LIKE",
+    "IS",
+    "NULL",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "CREATE",
+    "TABLE",
+    "INDEX",
+    "USING",
+    "EXPLAIN",
+    "AS",
+    "ASC",
+    "DESC",
+    "(",
+    ")",
+    ",",
+    ".",
+    "*",
+    "+",
+    "-",
+    "/",
+    "%",
+    "=",
+    "<>",
+    "<",
+    "<=",
+    ">",
+    ">=",
+    "!",
+    "!=",
+    ";",
+    "'",
+    "''",
+    "'x'",
+    "'it''s'",
+    "R",
+    "S",
+    "A",
+    "B",
+    "C",
+    "D",
+    "K",
+    "count",
+    "sum",
+    "avg",
+    "min",
+    "max",
+    "nosuch",
+    "123",
+    "-7",
+    "0",
+    "99999999999999999999999",
+    "1.5",
+    ".5",
+    "1e309",
+    "1.5e3",
+    "--",
+    "@",
+    "#",
+    "\\",
+    "🦀",
+    "änder",
+];
+
+fn soup_strategy() -> BoxedStrategy<String> {
+    BoxedStrategy::from_fn(|rng: &mut TestRng| {
+        if rng.below(8) == 0 {
+            // Arbitrary bytes, lossily decoded: exercises the lexer's
+            // error paths on raw garbage.
+            let n = rng.below(40);
+            let bytes: Vec<u8> = (0..n).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+            return String::from_utf8_lossy(&bytes).into_owned();
+        }
+        let n = rng.below(24);
+        let mut out = String::new();
+        for _ in 0..n {
+            out.push_str(FRAGMENTS[rng.below(FRAGMENTS.len())]);
+            if rng.below(3) > 0 {
+                out.push(' ');
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(600))]
+    #[test]
+    fn parser_and_binder_never_panic(sql in soup_strategy()) {
+        let cat = catalog();
+        if let Err(e) = parse(&sql) {
+            let span = e.span();
+            prop_assert!(span.start <= span.end, "span inverted: {e}");
+            prop_assert!(span.end <= sql.len(), "span out of bounds: {e} on {sql:?}");
+        }
+        // Binding may fail too, but must not panic either.
+        let _ = compile(&sql, &cat);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Round trip: random canonical plans.
+// ----------------------------------------------------------------------
+
+/// Column types of the current scope, in output order.
+type Types = Vec<DataType>;
+
+fn rand_lit(rng: &mut TestRng, ty: DataType) -> Value {
+    match ty {
+        DataType::Int32 => Value::Int32(rng.below(2001) as i32 - 1000),
+        DataType::Int64 => {
+            let base = rng.below(2001) as i64 - 1000;
+            if rng.below(4) == 0 {
+                Value::Int64(base + 10_000_000_000)
+            } else {
+                Value::Int64(base)
+            }
+        }
+        DataType::Float64 => Value::Float64((rng.below(4001) as f64 - 2000.0) / 8.0),
+        DataType::Str => {
+            const POOL: &[&str] = &["", "a", "it's", "x%y", "hello world", "C0000006", "ü"];
+            Value::Str(POOL[rng.below(POOL.len())].to_string())
+        }
+    }
+}
+
+fn rand_cmp(rng: &mut TestRng) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][rng.below(6)]
+}
+
+fn gen_pred(rng: &mut TestRng, types: &Types, depth: usize) -> Expr {
+    if depth == 0 || rng.below(3) == 0 {
+        let c = rng.below(types.len());
+        let ty = types[c];
+        match (ty, rng.below(4)) {
+            (_, 0) => Expr::col(c).is_null(),
+            (DataType::Str, 1) => {
+                const PATS: &[&str] = &["a%", "%b%", "_x%", "%", "C%6"];
+                Expr::col(c).like(PATS[rng.below(PATS.len())])
+            }
+            _ => {
+                let lit = Expr::lit(rand_lit(rng, ty));
+                let op = rand_cmp(rng);
+                if rng.below(4) == 0 {
+                    // Literal on the left: the binder coerces either side.
+                    lit.cmp(op, Expr::col(c))
+                } else {
+                    Expr::col(c).cmp(op, lit)
+                }
+            }
+        }
+    } else {
+        let a = gen_pred(rng, types, depth - 1);
+        match rng.below(3) {
+            0 => a.and(gen_pred(rng, types, depth - 1)),
+            1 => a.or(gen_pred(rng, types, depth - 1)),
+            _ => a.not(),
+        }
+    }
+}
+
+fn gen_agg(rng: &mut TestRng, types: &Types) -> AggExpr {
+    match rng.below(5) {
+        0 => AggExpr::count_star(),
+        1 | 2 => {
+            // sum/avg over a numeric column.
+            let numeric: Vec<usize> = (0..types.len())
+                .filter(|&c| types[c] != DataType::Str)
+                .collect();
+            let c = numeric[rng.below(numeric.len())];
+            let f = if rng.below(2) == 0 {
+                AggFunc::Sum
+            } else {
+                AggFunc::Avg
+            };
+            AggExpr::new(f, Expr::col(c))
+        }
+        _ => {
+            let c = rng.below(types.len());
+            let f = if rng.below(2) == 0 {
+                AggFunc::Min
+            } else {
+                AggFunc::Max
+            };
+            AggExpr::new(f, Expr::col(c))
+        }
+    }
+}
+
+fn gen_plan(rng: &mut TestRng) -> LogicalPlan {
+    use DataType::*;
+    // Base: scan R, optionally joined with S on a same-typed key pair.
+    let (mut b, mut types): (QueryBuilder, Types) = if rng.below(2) == 0 {
+        let (lk, rk) = if rng.below(2) == 0 { (0, 0) } else { (1, 2) }; // A=K or B=F
+        (
+            QueryBuilder::scan("R").join(
+                QueryBuilder::scan("S").build(),
+                Expr::col(lk),
+                Expr::col(rk),
+            ),
+            vec![Int32, Int64, Float64, Str, Int32, Str, Int64],
+        )
+    } else {
+        (QueryBuilder::scan("R"), vec![Int32, Int64, Float64, Str])
+    };
+
+    if rng.below(2) == 0 {
+        let depth = rng.below(3);
+        let pred = gen_pred(rng, &types, depth);
+        b = if rng.below(4) == 0 {
+            b.filter_with_selectivity(pred, rng.below(100) as f64 / 100.0)
+        } else {
+            b.filter(pred)
+        };
+    }
+
+    // Select-list shape: star, projection, or aggregation.
+    let is_star;
+    match rng.below(3) {
+        0 => {
+            is_star = true;
+        }
+        1 => {
+            is_star = false;
+            let k = 1 + rng.below(types.len());
+            let mut exprs = Vec::with_capacity(k);
+            let mut out_types = Vec::with_capacity(k);
+            for _ in 0..k {
+                let c = rng.below(types.len());
+                if types[c] != Str && rng.below(5) == 0 {
+                    // Occasional computed item. Unlike comparisons, arith
+                    // literals are not re-typed by the binder, so the
+                    // literal must round-trip through SQL text unchanged:
+                    // small ints parse back as Int32, so only use Int64
+                    // when the value is outside i32 range.
+                    let lit = match rand_lit(rng, types[c]) {
+                        Value::Int64(v) if i32::try_from(v).is_ok() => Value::Int32(v as i32),
+                        v => v,
+                    };
+                    exprs.push(Expr::col(c).add(Expr::lit(lit)));
+                    out_types.push(if types[c] == Float64 { Float64 } else { Int64 });
+                } else {
+                    exprs.push(Expr::col(c));
+                    out_types.push(types[c]);
+                }
+            }
+            b = b.project(exprs);
+            types = out_types;
+        }
+        _ => {
+            is_star = false;
+            // Distinct group columns (duplicates would make select-item →
+            // group matching ambiguous).
+            let n_groups = rng.below(3);
+            let mut group_cols: Vec<usize> = Vec::new();
+            while group_cols.len() < n_groups {
+                let c = rng.below(types.len());
+                if !group_cols.contains(&c) {
+                    group_cols.push(c);
+                }
+            }
+            let n_aggs = 1 + rng.below(2);
+            let aggs: Vec<AggExpr> = (0..n_aggs).map(|_| gen_agg(rng, &types)).collect();
+            let groups: Vec<Expr> = group_cols.iter().map(|&c| Expr::col(c)).collect();
+            let g = group_cols.len();
+            let slot_types: Types = group_cols
+                .iter()
+                .map(|&c| types[c])
+                .chain(std::iter::repeat_n(Int64, aggs.len()))
+                .collect();
+            // Optionally shuffle the select list. The binder emits aggs in
+            // select-list order (groups keep GROUP BY order), so express the
+            // shuffle in that canonical form: reorder `aggs` by appearance
+            // and add a Project only when the mapping is not the identity.
+            let mut perm: Vec<usize> = (0..slot_types.len()).collect();
+            if rng.below(2) == 0 {
+                for i in (1..perm.len()).rev() {
+                    let j = rng.below(i + 1);
+                    perm.swap(i, j);
+                }
+            }
+            let agg_order: Vec<usize> = perm.iter().filter(|&&p| p >= g).map(|&p| p - g).collect();
+            let canon_aggs: Vec<AggExpr> = agg_order.iter().map(|&a| aggs[a].clone()).collect();
+            let exprs: Vec<usize> = perm
+                .iter()
+                .map(|&p| {
+                    if p < g {
+                        p
+                    } else {
+                        g + agg_order.iter().position(|&a| a == p - g).unwrap()
+                    }
+                })
+                .collect();
+            b = b.aggregate(groups, canon_aggs);
+            types = perm.iter().map(|&p| slot_types[p]).collect();
+            if exprs.iter().enumerate().any(|(i, &p)| i != p) {
+                b = b.project(exprs.into_iter().map(Expr::Col).collect());
+            }
+        }
+    }
+
+    if rng.below(2) == 0 {
+        let n_keys = 1 + rng.below(2);
+        let keys: Vec<(Expr, bool)> = (0..n_keys)
+            .map(|_| (Expr::col(rng.below(types.len())), rng.below(2) == 0))
+            .collect();
+        b = b.sort(keys);
+    }
+    let _ = is_star;
+    if rng.below(2) == 0 {
+        b = b.limit(rng.below(200));
+    }
+    b.build()
+}
+
+fn plan_strategy() -> BoxedStrategy<LogicalPlan> {
+    BoxedStrategy::from_fn(gen_plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+    #[test]
+    fn rendered_plans_parse_back_identically(plan in plan_strategy()) {
+        let cat = catalog();
+        let sql = plan_to_sql(&plan, &cat).expect("generated plan must be renderable");
+        match compile(&sql, &cat) {
+            Ok(Statement::Query(bound)) => {
+                prop_assert_eq!(bound, strip_hints(&plan), "through SQL: {}", sql);
+            }
+            other => panic!("{sql:?} did not bind to a query: {other:?}"),
+        }
+    }
+}

@@ -26,7 +26,7 @@ fn main() {
         if let Some(r) = &reference {
             r.assert_same(&out, &format!("{kind:?} vs reference"));
         } else {
-            reference = Some(out);
+            reference = Some(out.into_output());
         }
     }
 

@@ -15,6 +15,7 @@ pub use pdsm_index as index;
 pub use pdsm_layout as layout;
 pub use pdsm_par as par;
 pub use pdsm_plan as plan;
+pub use pdsm_sql as sql;
 pub use pdsm_storage as storage;
 pub use pdsm_txn as txn;
 pub use pdsm_workloads as workloads;
@@ -23,7 +24,7 @@ pub use pdsm_workloads as workloads;
 pub mod prelude {
     pub use pdsm_core::{
         Database, EngineKind, IndexKind, LayoutAdvisor, MaintenanceConfig, MaintenanceMode,
-        MaintenanceStats, QueryOutput,
+        MaintenanceStats, QueryOutput, QueryResult,
     };
     pub use pdsm_exec::engine::{BulkEngine, CompiledEngine, Engine, VolcanoEngine};
     pub use pdsm_layout::workload::{Workload, WorkloadQuery};
@@ -31,6 +32,7 @@ pub mod prelude {
     pub use pdsm_plan::builder::QueryBuilder;
     pub use pdsm_plan::expr::Expr;
     pub use pdsm_plan::logical::{AggExpr, AggFunc, LogicalPlan};
+    pub use pdsm_sql::{plan_to_sql, Response, ServerConfig, Session, SqlServer};
     pub use pdsm_storage::{ColumnDef, DataType, Layout, Schema, Table, Value};
     pub use pdsm_txn::{MergeStats, SharedTable, Snapshot, VersionStats, VersionedTable};
 }

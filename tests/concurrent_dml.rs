@@ -94,6 +94,7 @@ fn apply_stream(db: &Database, table: &str, ops: usize, seed: u64) {
 fn scan(db: &Database, table: &str) -> Vec<Vec<Value>> {
     db.run(&QueryBuilder::scan(table).build(), EngineKind::Compiled)
         .unwrap()
+        .into_output()
         .rows
 }
 

@@ -86,6 +86,7 @@ fn apply_step(db: &Database, rng: &mut SmallRng) {
 fn scan_rows(db: &Database) -> Vec<Vec<Value>> {
     db.run(&QueryBuilder::scan("t").build(), EngineKind::Compiled)
         .unwrap()
+        .into_output()
         .rows
 }
 

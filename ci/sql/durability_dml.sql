@@ -1,0 +1,9 @@
+-- Durability-job DML: applied once before the SIGKILL. VBELN ids
+-- >= 8000000 are reserved for this script (disjoint from dml_vbap.sql)
+-- so the read script's results stay deterministic.
+INSERT INTO VBAP VALUES (8000001, 10, 'DUR-8000001', 'DUR-8000001', 'TAN', 'B-1', 'W01', 'L01', 3.0, 'EA', 75.25, 'EUR', 25.08, 1, '', 20230201, 'S1', 'G1', 'V1', 'R1')
+INSERT INTO VBAP VALUES (8000002, 10, 'DUR-8000002', 'DUR-8000002', 'TAN', 'B-2', 'W01', 'L02', 6.0, 'EA', 150.5, 'EUR', 25.08, 1, '', 20230202, 'S1', 'G1', 'V1', 'R2'), (8000003, 20, 'DUR-8000003', 'DUR-8000003', 'TAN', 'B-3', 'W02', 'L01', 1.0, 'EA', 9.99, 'EUR', 9.99, 1, '', 20230203, 'S2', 'G2', 'V1', 'R1')
+UPDATE VBAP SET NETWR = 888.125, WAERK = 'USD' WHERE VBELN = 8000001
+DELETE FROM VBAP WHERE VBELN = 8000003
+INSERT INTO VBAP VALUES (8000004, 10, 'DUR-8000004', 'DUR-8000004', 'TAN', 'B-4', 'W03', 'L01', 2.5, 'EA', 42.0, 'EUR', 16.8, 1, 'Z1', 20230204, 'S2', 'G1', 'V2', 'R3')
+UPDATE VBAP SET KWMENG = 7.0 WHERE VBELN = 8000002

@@ -1,0 +1,8 @@
+-- Durability-job reads: run before the SIGKILL and again after the
+-- restart; the FNV-1a hashes the client prints must match exactly
+-- (recovery is byte-identical at the last durable record).
+SELECT VBELN, POSNR, MATNR, KWMENG, NETWR, WAERK FROM VBAP WHERE VBELN >= 8000000 ORDER BY 1, 2
+SELECT count(*), sum(NETWR) FROM VBAP WHERE VBELN >= 8000000
+SELECT count(*) FROM VBAP
+SELECT count(*), sum(NETWR) FROM VBAP
+SELECT MATNR, count(*), sum(KWMENG) FROM VBAP WHERE VBELN >= 8000000 GROUP BY MATNR ORDER BY 1

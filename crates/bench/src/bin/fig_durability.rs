@@ -1,0 +1,334 @@
+//! **fig_durability** — what the write-ahead log costs, and what recovery
+//! buys: the 50/50 update mix from `fig_update_mix` is replayed through
+//! the *durable* `Database` write path under every fsync policy, against
+//! the non-durable baseline:
+//!
+//! * `none`     — plain in-memory `Database` (the pre-WAL write path);
+//! * `wal-off`  — WAL appended, never fsynced (durability up to the OS);
+//! * `wal-batch`— group commit: appends return immediately, a background
+//!   flusher coalesces fsyncs (the `PDSM_FSYNC=batch` default);
+//! * `wal-always` — one fsync per committed op (classic synchronous WAL).
+//!
+//! Each durable run then drops the database and measures a cold
+//! `Database::open` — recovery time and how many WAL ops it replayed
+//! (bounded by checkpoint-on-merge, not by history).
+//!
+//! Emits `BENCH_durability.json` with write/read throughput, p99 write
+//! latency, the `Database::storage_stats()` counters (WAL bytes, fsyncs,
+//! group-commit sizes, checkpoints), and the recovery measurements. The
+//! headline acceptance number: `wal-batch` write p99 within 2x of `none`.
+//!
+//! Usage: `cargo run -p pdsm-bench --release --bin fig_durability
+//!         [--rows 100000] [--ops 4000] [--sel 0.05] [--threshold 1024]
+//!         [--json BENCH_durability.json]`
+
+use pdsm_bench::{fmt_num, percentile, print_table, Args, Json};
+use pdsm_core::{
+    Database, DurabilityConfig, EngineKind, FsyncMode, MaintenanceConfig, MaintenanceMode,
+    StorageStats,
+};
+use pdsm_workloads::microbench;
+use pdsm_workloads::mixed::{self, MixedOp};
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    None,
+    Wal(FsyncMode),
+}
+
+impl Mode {
+    fn name(&self) -> &'static str {
+        match self {
+            Mode::None => "none",
+            Mode::Wal(FsyncMode::Off) => "wal-off",
+            Mode::Wal(FsyncMode::Batch) => "wal-batch",
+            Mode::Wal(FsyncMode::Always) => "wal-always",
+        }
+    }
+}
+
+struct ModeResult {
+    mode: Mode,
+    reads: u64,
+    writes: u64,
+    read_qps: f64,
+    write_ops: f64,
+    p99_write_us: f64,
+    stats: StorageStats,
+    /// Cold `Database::open` on the directory the run left behind.
+    recovery_ms: f64,
+    recovery_replay_ops: u64,
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pdsm-fig-durability-{}-{tag}", std::process::id()))
+}
+
+fn open_mode(mode: Mode, dir: &PathBuf, threshold: usize) -> Database {
+    let maintenance = MaintenanceConfig {
+        mode: MaintenanceMode::Sync,
+        merge_threshold: threshold as u64,
+        advise_on_merge: false,
+        ..Default::default()
+    };
+    match mode {
+        Mode::None => Database::with_maintenance(maintenance),
+        Mode::Wal(fsync) => {
+            let _ = std::fs::remove_dir_all(dir);
+            Database::open_with(DurabilityConfig::new(dir).with_fsync(fsync), maintenance)
+                .expect("open data dir")
+        }
+    }
+}
+
+fn run_mode(mode: Mode, rows: usize, ops: usize, sel: f64, threshold: usize) -> ModeResult {
+    let dir = bench_dir(mode.name());
+    let db = open_mode(mode, &dir, threshold);
+    db.register(microbench::generate(
+        rows,
+        sel,
+        microbench::pdsm_layout(),
+        42,
+    ));
+    let mut live: Vec<usize> = (0..db.get_table("R").unwrap().len()).collect();
+    let w = mixed::microbench_mix(ops, 0.5, sel, 7);
+    let engine = EngineKind::Compiled;
+
+    let mut read_time = 0f64;
+    let mut write_time = 0f64;
+    let mut write_lats: Vec<f64> = Vec::new();
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    for op in &w.ops {
+        match op {
+            MixedOp::Read { plan } => {
+                let t0 = Instant::now();
+                let out = db.run(&w.plans[*plan].1, engine).expect("read");
+                read_time += t0.elapsed().as_secs_f64();
+                std::hint::black_box(out);
+                reads += 1;
+            }
+            _ => {
+                // A merge renumbers ids; refresh the live set afterwards
+                // (outside the timed section).
+                let gen_before = db.shared("R").unwrap().generation();
+                let t0 = Instant::now();
+                db.with_table_write("R", |vt| match op {
+                    MixedOp::Read { .. } => unreachable!(),
+                    MixedOp::Insert { rows } => {
+                        live.extend(vt.insert_batch(rows).expect("insert"));
+                    }
+                    MixedOp::Update {
+                        row_hint,
+                        col,
+                        value,
+                    } => {
+                        if !live.is_empty() {
+                            let slot = (*row_hint % live.len() as u64) as usize;
+                            live[slot] = vt.update(live[slot], *col, value).expect("update");
+                        }
+                    }
+                    MixedOp::Delete { row_hint } => {
+                        if !live.is_empty() {
+                            let slot = (*row_hint % live.len() as u64) as usize;
+                            vt.delete(live[slot]).expect("delete");
+                            live.swap_remove(slot);
+                        }
+                    }
+                })
+                .expect("table");
+                // Merge policy lives on the insert path; drive it the way
+                // `Database::insert` would, so checkpoints happen mid-run.
+                let shared = db.shared("R").unwrap();
+                if shared.delta_ops() >= threshold as u64 {
+                    db.merge("R").expect("merge");
+                }
+                let dt = t0.elapsed().as_secs_f64();
+                write_time += dt;
+                write_lats.push(dt);
+                writes += 1;
+                if db.shared("R").unwrap().generation() != gen_before {
+                    live = db
+                        .with_table("R", |vt| {
+                            (0..vt.main().len() + vt.delta_rows())
+                                .filter(|&i| vt.is_visible(i))
+                                .collect()
+                        })
+                        .unwrap();
+                }
+            }
+        }
+    }
+    let stats = db.storage_stats();
+    drop(db);
+
+    // Cold recovery: reopen the directory the crash would find.
+    let (recovery_ms, recovery_replay_ops) = match mode {
+        Mode::None => (0.0, 0),
+        Mode::Wal(fsync) => {
+            let t0 = Instant::now();
+            let db = Database::open_with(
+                DurabilityConfig::new(&dir).with_fsync(fsync),
+                MaintenanceConfig {
+                    mode: MaintenanceMode::Off,
+                    ..Default::default()
+                },
+            )
+            .expect("recover");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let replayed = db.storage_stats().recovery_replay_ops;
+            drop(db);
+            let _ = std::fs::remove_dir_all(&dir);
+            (ms, replayed)
+        }
+    };
+
+    ModeResult {
+        mode,
+        reads,
+        writes,
+        read_qps: if read_time > 0.0 {
+            reads as f64 / read_time
+        } else {
+            0.0
+        },
+        write_ops: if write_time > 0.0 {
+            writes as f64 / write_time
+        } else {
+            0.0
+        },
+        p99_write_us: percentile(&write_lats, 0.99) * 1e6,
+        stats,
+        recovery_ms,
+        recovery_replay_ops,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let rows: usize = args.get("rows", 100_000);
+    let ops: usize = args.get("ops", 4_000);
+    let sel: f64 = args.get("sel", 0.05);
+    let threshold: usize = args.get("threshold", 1_024);
+    let json_path: String = args.get("json", "BENCH_durability.json".into());
+
+    println!(
+        "fig_durability — {rows} base rows, {ops} ops (50/50 mix), sel {sel}, merge@{threshold}\n"
+    );
+    println!("durability modes on the Database write path (none = pre-WAL baseline):\n");
+
+    let modes = [
+        Mode::None,
+        Mode::Wal(FsyncMode::Off),
+        Mode::Wal(FsyncMode::Batch),
+        Mode::Wal(FsyncMode::Always),
+    ];
+    let results: Vec<ModeResult> = modes
+        .iter()
+        .map(|&m| run_mode(m, rows, ops, sel, threshold))
+        .collect();
+
+    let out_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let s = &r.stats;
+            vec![
+                r.mode.name().to_string(),
+                r.reads.to_string(),
+                r.writes.to_string(),
+                fmt_num(r.read_qps),
+                fmt_num(r.write_ops),
+                format!("{:.0}", r.p99_write_us),
+                fmt_num(s.wal_bytes_appended as f64),
+                s.wal_fsyncs.to_string(),
+                if s.wal_fsyncs > 0 {
+                    format!("{:.1}", s.wal_appends_synced as f64 / s.wal_fsyncs as f64)
+                } else {
+                    "-".into()
+                },
+                s.checkpoints.to_string(),
+                if r.mode == Mode::None {
+                    "-".into()
+                } else {
+                    format!("{:.1}", r.recovery_ms)
+                },
+                r.recovery_replay_ops.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "mode",
+            "reads",
+            "writes",
+            "read/s",
+            "write/s",
+            "p99wr(µs)",
+            "walB",
+            "fsyncs",
+            "grp",
+            "ckpts",
+            "recov(ms)",
+            "replay",
+        ],
+        &out_rows,
+    );
+
+    let base_p99 = results[0].p99_write_us;
+    let batch_p99 = results[2].p99_write_us;
+    let ratio = if base_p99 > 0.0 {
+        batch_p99 / base_p99
+    } else {
+        0.0
+    };
+    println!("\n(grp = mean group-commit size; replay = WAL ops the cold reopen replayed —");
+    println!("bounded by checkpoint-on-merge, not by history)");
+    println!(
+        "\nwal-batch p99 vs none: {batch_p99:.0}µs / {base_p99:.0}µs = {ratio:.2}x (target ≤ 2x)"
+    );
+
+    let json = Json::obj(vec![
+        ("bench", Json::Str("fig_durability".into())),
+        ("rows", Json::Int(rows as i64)),
+        ("ops", Json::Int(ops as i64)),
+        ("sel", Json::Num(sel)),
+        ("threshold", Json::Int(threshold as i64)),
+        ("batch_vs_none_p99_ratio", Json::Num(ratio)),
+        (
+            "results",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        let s = &r.stats;
+                        Json::obj(vec![
+                            ("mode", Json::Str(r.mode.name().into())),
+                            ("reads", Json::Int(r.reads as i64)),
+                            ("writes", Json::Int(r.writes as i64)),
+                            ("read_per_s", Json::Num(r.read_qps)),
+                            ("write_per_s", Json::Num(r.write_ops)),
+                            ("p99_write_us", Json::Num(r.p99_write_us)),
+                            ("wal_bytes_appended", Json::Int(s.wal_bytes_appended as i64)),
+                            ("wal_appends", Json::Int(s.wal_appends as i64)),
+                            ("wal_fsyncs", Json::Int(s.wal_fsyncs as i64)),
+                            ("wal_appends_synced", Json::Int(s.wal_appends_synced as i64)),
+                            ("wal_max_group", Json::Int(s.wal_max_group as i64)),
+                            ("checkpoints", Json::Int(s.checkpoints as i64)),
+                            ("recovery_ms", Json::Num(r.recovery_ms)),
+                            (
+                                "recovery_replay_ops",
+                                Json::Int(r.recovery_replay_ops as i64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match std::fs::write(&json_path, json.render() + "\n") {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+    }
+}

@@ -66,8 +66,13 @@ use pdsm_plan::expr::{CmpOp, Expr};
 use pdsm_plan::logical::LogicalPlan;
 use pdsm_plan::physical::{AccessPath, EngineChoice, PhysicalPlan};
 use pdsm_storage::{ColId, DataType, Layout, Schema, Table, Value};
-use pdsm_txn::{MergeStats, RowId, SharedTable, Snapshot, VersionStats, VersionedTable};
+use pdsm_store::{FsyncMode, Manifest};
+use pdsm_txn::durability::replay;
+use pdsm_txn::{
+    MergeStats, RowId, SharedTable, Snapshot, TableDurability, VersionStats, VersionedTable,
+};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -247,6 +252,75 @@ impl From<ExecError> for DbError {
     }
 }
 
+fn io_db(ctx: &str, e: std::io::Error) -> DbError {
+    DbError::Storage(pdsm_storage::Error::Io(format!("{ctx}: {e}")))
+}
+
+/// How a durable [`Database`] writes to disk: where, and how eagerly.
+///
+/// Handed to [`Database::open_with`]; [`Database::open`] builds one from
+/// the environment ([`FsyncMode::from_env`] reads `PDSM_FSYNC`).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root directory: one subdirectory per table (main blobs + WAL) plus
+    /// the shared `MANIFEST`.
+    pub data_dir: PathBuf,
+    /// WAL fsync policy (`always` | `batch` | `off`).
+    pub fsync: FsyncMode,
+}
+
+impl DurabilityConfig {
+    /// Durability under `data_dir` with the fsync policy from `PDSM_FSYNC`
+    /// (default: `batch` group commit).
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            data_dir: data_dir.into(),
+            fsync: FsyncMode::from_env(),
+        }
+    }
+
+    /// Same directory, explicit fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncMode) -> Self {
+        self.fsync = fsync;
+        self
+    }
+}
+
+/// The database-wide durable state: config plus the shared manifest every
+/// table commits its checkpoint generation through.
+struct DbDurability {
+    config: DurabilityConfig,
+    manifest: Arc<Manifest>,
+}
+
+/// Aggregated durability counters across every durable table — the
+/// observability face of the WAL/checkpoint subsystem
+/// ([`Database::storage_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Tables with a WAL attached (0 for a purely in-memory database).
+    pub durable_tables: usize,
+    /// Total WAL bytes appended since open (including records later
+    /// truncated away by checkpoints).
+    pub wal_bytes_appended: u64,
+    /// WAL records appended since open.
+    pub wal_appends: u64,
+    /// Physical fsyncs issued on WAL files.
+    pub wal_fsyncs: u64,
+    /// Appends whose durability was confirmed by a group-commit fsync —
+    /// `wal_appends_synced / wal_fsyncs` is the mean group-commit size.
+    pub wal_appends_synced: u64,
+    /// Largest single group commit (appends confirmed by one fsync).
+    pub wal_max_group: u64,
+    /// Bytes currently live in WAL files (shrinks at every checkpoint).
+    pub wal_live_bytes: u64,
+    /// Checkpoints taken (one per merge of a durable table).
+    pub checkpoints: u64,
+    /// WAL ops replayed by the last [`Database::open`], summed over
+    /// tables — the witness that recovery is O(ops since last checkpoint).
+    pub recovery_replay_ops: u64,
+}
+
 /// Upper bound on cached physical plans; the cache is cleared wholesale
 /// when it fills (plans are cheap to recompute).
 const PLAN_CACHE_CAP: usize = 256;
@@ -343,6 +417,10 @@ pub struct Database {
     /// insert-path call consults it; its worker holds [`SharedTable`]
     /// clones and applies finished builds itself.
     maintenance: MaintenanceScheduler,
+    /// `Some` iff this database was opened with a data directory
+    /// ([`Database::open`]): newly created tables get a WAL, merges
+    /// checkpoint, and reopening the directory recovers everything.
+    durability: Option<DbDurability>,
 }
 
 impl Default for Database {
@@ -368,7 +446,101 @@ impl Database {
             plan_cache: Mutex::new(HashMap::new()),
             observed: Mutex::new(ObservedTraffic::default()),
             maintenance: MaintenanceScheduler::new(cfg),
+            durability: None,
         }
+    }
+
+    /// Open (or create) a **durable** database rooted at `data_dir`:
+    /// every table present in the directory's manifest is recovered —
+    /// newest checkpointed main store loaded, WAL tail replayed through
+    /// the normal DML path — and every table created afterwards writes a
+    /// WAL and checkpoints on merge. Replay cost is O(ops since that
+    /// table's last checkpoint), not O(history). A torn or corrupt WAL
+    /// tail (the crash point) is truncated, never an error; a corrupt
+    /// *committed* checkpoint blob is.
+    ///
+    /// Fsync policy comes from `PDSM_FSYNC` (`always` | `batch` | `off`,
+    /// default `batch`); maintenance policy from the environment as in
+    /// [`Database::new`]. Use [`Database::open_with`] to pin both.
+    pub fn open(data_dir: impl Into<PathBuf>) -> Result<Database, DbError> {
+        Self::open_with(
+            DurabilityConfig::new(data_dir),
+            MaintenanceConfig::from_env(),
+        )
+    }
+
+    /// [`Database::open`] with explicit durability and maintenance
+    /// configuration.
+    pub fn open_with(
+        config: DurabilityConfig,
+        maintenance: MaintenanceConfig,
+    ) -> Result<Database, DbError> {
+        std::fs::create_dir_all(&config.data_dir).map_err(|e| io_db("create data dir", e))?;
+        let manifest = Arc::new(
+            Manifest::open(config.data_dir.join("MANIFEST"))
+                .map_err(|e| io_db("open manifest", e))?,
+        );
+        let mut db = Self::with_maintenance(maintenance);
+        db.durability = Some(DbDurability {
+            config,
+            manifest: Arc::clone(&manifest),
+        });
+        let d = db.durability.as_ref().expect("just set");
+        // Recover every manifest table: newest committed main + WAL tail
+        // replayed through the normal DML path (so engines, overlays and
+        // row ids come out exactly as they were at the last durable op).
+        let mut recovered = Vec::new();
+        for (name, generation) in manifest.tables() {
+            let rec = TableDurability::recover(
+                &d.config.data_dir,
+                &name,
+                generation,
+                Arc::clone(&manifest),
+                d.config.fsync,
+            )?;
+            let mut vt = VersionedTable::from_recovered(rec.table, generation);
+            replay(&mut vt, &rec.ops)?;
+            vt.set_durability(Arc::new(rec.durability));
+            recovered.push((name, TableEntry::new(vt)));
+        }
+        {
+            let mut catalog = db.write_catalog();
+            for (name, entry) in recovered {
+                catalog.insert(name, entry);
+            }
+        }
+        db.bump_epoch();
+        Ok(db)
+    }
+
+    /// True iff this database persists to a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The data directory, when durable.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.durability
+            .as_ref()
+            .map(|d| d.config.data_dir.as_path())
+    }
+
+    /// Attach a WAL + checkpoint lifecycle to a fresh table (no-op for an
+    /// in-memory database). Called with the catalog write lock held, so a
+    /// create/register race can never double-create one table's files.
+    fn make_durable(&self, vt: &mut VersionedTable) -> Result<(), DbError> {
+        if let Some(d) = &self.durability {
+            let td = TableDurability::create(
+                &d.config.data_dir,
+                vt.main().name(),
+                Arc::clone(&d.manifest),
+                d.config.fsync,
+                vt.main(),
+                vt.generation(),
+            )?;
+            vt.set_durability(Arc::new(td));
+        }
+        Ok(())
     }
 
     fn read_catalog(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, TableEntry>> {
@@ -408,11 +580,26 @@ impl Database {
     /// the old handle and will apply its op to the detached table —
     /// success with no effect on the new one. Quiesce writers to a name
     /// before re-registering it.
+    ///
+    /// In a durable database the table is checkpointed as its generation-0
+    /// main store before it becomes visible; a disk error here panics —
+    /// use [`Database::try_register`] to handle it.
     pub fn register(&self, table: Table) {
+        self.try_register(table)
+            .expect("persisting a registered table failed");
+    }
+
+    /// [`Database::register`], surfacing the durable-persist error instead
+    /// of panicking. Infallible for an in-memory database.
+    pub fn try_register(&self, table: Table) -> Result<(), DbError> {
         let name = table.name().to_string();
-        self.write_catalog()
-            .insert(name, TableEntry::new(VersionedTable::from_table(table)));
+        let mut vt = VersionedTable::from_table(table);
+        let mut catalog = self.write_catalog();
+        self.make_durable(&mut vt)?;
+        catalog.insert(name, TableEntry::new(vt));
+        drop(catalog);
         self.bump_epoch();
+        Ok(())
     }
 
     /// Create a table with an explicit layout. Takes the catalog write
@@ -423,11 +610,12 @@ impl Database {
         schema: Schema,
         layout: Layout,
     ) -> Result<(), DbError> {
-        let t = VersionedTable::with_layout(name, schema, layout)?;
+        let mut t = VersionedTable::with_layout(name, schema, layout)?;
         let mut catalog = self.write_catalog();
         if catalog.contains_key(name) {
             return Err(DbError::DuplicateTable(name.to_string()));
         }
+        self.make_durable(&mut t)?;
         catalog.insert(name.to_string(), TableEntry::new(t));
         drop(catalog);
         self.bump_epoch();
@@ -493,7 +681,14 @@ impl Database {
         if entry.table.has_delta() {
             self.merge(name)?;
         }
-        let r = entry.table.with_write(|vt| vt.main_mut().map(f))?;
+        // Re-persist the edited main store blob (the WAL describes delta
+        // ops only; a just-merged table's WAL is empty, so the blob swap
+        // alone keeps the durable state consistent).
+        let r = entry.table.with_write(|vt| {
+            let r = vt.main_mut().map(f)?;
+            vt.persist_main()?;
+            Ok::<_, pdsm_storage::Error>(r)
+        })?;
         Ok(r)
     }
 
@@ -623,6 +818,52 @@ impl Database {
             }
         }
         Ok(())
+    }
+
+    /// Bring the durable state fully up to date: every table with a
+    /// pending delta is merged (each merge checkpoints — fresh main blob
+    /// committed, WAL truncated), and tables that are already clean get a
+    /// final WAL fsync. After this returns, reopening the data directory
+    /// replays zero WAL ops. No-op for an in-memory database.
+    ///
+    /// This is the clean-shutdown hook (`pdsm-server` calls it after
+    /// `SHUTDOWN`).
+    pub fn checkpoint_all(&self) -> Result<(), DbError> {
+        for name in self.table_names() {
+            let entry = self.entry(&name)?;
+            if entry.table.durability().is_none() {
+                continue;
+            }
+            if entry.table.has_delta() {
+                self.merge(&name)?;
+            } else if let Some(d) = entry.table.durability() {
+                d.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregated WAL/checkpoint/recovery counters across every durable
+    /// table (all zeros for an in-memory database).
+    pub fn storage_stats(&self) -> StorageStats {
+        let mut s = StorageStats::default();
+        let entries: Vec<TableEntry> = self.read_catalog().values().cloned().collect();
+        for entry in entries {
+            let Some(d) = entry.table.durability() else {
+                continue;
+            };
+            let ds = d.stats();
+            s.durable_tables += 1;
+            s.wal_bytes_appended += ds.wal.bytes_appended;
+            s.wal_appends += ds.wal.appends;
+            s.wal_fsyncs += ds.wal.fsyncs;
+            s.wal_appends_synced += ds.wal.appends_synced;
+            s.wal_max_group = s.wal_max_group.max(ds.wal.max_group);
+            s.wal_live_bytes += ds.wal_len;
+            s.checkpoints += ds.checkpoints;
+            s.recovery_replay_ops += ds.last_recovery_replay_ops;
+        }
+        s
     }
 
     /// The maintenance step every *insert* runs before applying its op:
@@ -1711,5 +1952,185 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Database>();
         assert_send_sync::<DbSnapshot>();
+    }
+
+    fn durable_tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pdsm-core-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open_off(dir: &Path) -> Database {
+        Database::open_with(
+            DurabilityConfig::new(dir).with_fsync(FsyncMode::Off),
+            MaintenanceConfig {
+                mode: MaintenanceMode::Off,
+                ..MaintenanceConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn count_orders(db: &Database) -> i64 {
+        let count = QueryBuilder::scan("orders")
+            .aggregate(vec![], vec![pdsm_plan::logical::AggExpr::count_star()])
+            .build();
+        match db.run(&count, EngineKind::Compiled).unwrap().rows[0][0] {
+            Value::Int64(n) => n,
+            ref v => panic!("count returned {v:?}"),
+        }
+    }
+
+    #[test]
+    fn durable_database_survives_reopen() {
+        let dir = durable_tmpdir("reopen");
+        {
+            let db = open_off(&dir);
+            db.create_table(
+                "orders",
+                Schema::new(vec![
+                    ColumnDef::new("id", DataType::Int32),
+                    ColumnDef::new("cust", DataType::Str),
+                    ColumnDef::new("qty", DataType::Int64),
+                ]),
+            )
+            .unwrap();
+            for i in 0..50 {
+                db.insert(
+                    "orders",
+                    &[
+                        Value::Int32(i),
+                        Value::Str(format!("cust-{}", i % 5)),
+                        Value::Int64(i as i64),
+                    ],
+                )
+                .unwrap();
+            }
+            db.delete("orders", 3).unwrap();
+            db.update("orders", 7, "qty", &Value::Int64(999)).unwrap();
+            assert!(db.is_durable());
+            let stats = db.storage_stats();
+            assert_eq!(stats.durable_tables, 1);
+            assert!(stats.wal_appends >= 52);
+        }
+        let db = open_off(&dir);
+        assert_eq!(db.table_names(), vec!["orders".to_string()]);
+        assert_eq!(count_orders(&db), 49);
+        // 50 inserts + 1 delete + 1 update replayed from the WAL tail.
+        assert_eq!(db.storage_stats().recovery_replay_ops, 52);
+        let probe = QueryBuilder::scan("orders")
+            .filter(Expr::col(0).eq(Expr::lit(7)))
+            .project(vec![Expr::col(2)])
+            .build();
+        let out = db.run(&probe, EngineKind::Compiled).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int64(999)]]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_on_merge_makes_recovery_replay_small() {
+        let dir = durable_tmpdir("ckpt");
+        {
+            let db = open_off(&dir);
+            db.create_table(
+                "orders",
+                Schema::new(vec![
+                    ColumnDef::new("id", DataType::Int32),
+                    ColumnDef::new("qty", DataType::Int64),
+                ]),
+            )
+            .unwrap();
+            for i in 0..200 {
+                db.insert("orders", &[Value::Int32(i), Value::Int64(i as i64)])
+                    .unwrap();
+            }
+            db.merge("orders").unwrap();
+            assert_eq!(db.storage_stats().checkpoints, 1);
+            assert_eq!(db.storage_stats().wal_live_bytes, 0);
+            // Only these land in the WAL after the checkpoint.
+            db.insert("orders", &[Value::Int32(200), Value::Int64(200)])
+                .unwrap();
+            db.delete("orders", 0).unwrap();
+        }
+        let db = open_off(&dir);
+        // Replay is O(ops since the last checkpoint), not O(history).
+        assert_eq!(db.storage_stats().recovery_replay_ops, 2);
+        assert_eq!(count_orders(&db), 200);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_all_leaves_nothing_to_replay() {
+        let dir = durable_tmpdir("ckpt-all");
+        {
+            let db = open_off(&dir);
+            db.create_table(
+                "orders",
+                Schema::new(vec![ColumnDef::new("id", DataType::Int32)]),
+            )
+            .unwrap();
+            for i in 0..30 {
+                db.insert("orders", &[Value::Int32(i)]).unwrap();
+            }
+            db.checkpoint_all().unwrap();
+            assert_eq!(db.storage_stats().wal_live_bytes, 0);
+        }
+        let db = open_off(&dir);
+        assert_eq!(db.storage_stats().recovery_replay_ops, 0);
+        assert_eq!(count_orders(&db), 30);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registered_table_is_durable_and_edit_main_persists() {
+        let dir = durable_tmpdir("register");
+        {
+            let db = open_off(&dir);
+            let mut t = Table::new(
+                "orders",
+                Schema::new(vec![ColumnDef::new("id", DataType::Int32)]),
+            );
+            for i in 0..10 {
+                t.insert(&[Value::Int32(i)]).unwrap();
+            }
+            db.register(t);
+            db.edit_main("orders", |main| {
+                main.insert(&[Value::Int32(99)]).map(|_| ())
+            })
+            .unwrap()
+            .unwrap();
+        }
+        let db = open_off(&dir);
+        assert_eq!(count_orders(&db), 11);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_merge_checkpoints_durably() {
+        let dir = durable_tmpdir("bg-merge");
+        {
+            let db = Database::open_with(
+                DurabilityConfig::new(&dir).with_fsync(FsyncMode::Off),
+                MaintenanceConfig {
+                    mode: MaintenanceMode::Background,
+                    merge_threshold: 64,
+                    ..MaintenanceConfig::default()
+                },
+            )
+            .unwrap();
+            db.create_table(
+                "orders",
+                Schema::new(vec![ColumnDef::new("id", DataType::Int32)]),
+            )
+            .unwrap();
+            for i in 0..500 {
+                db.insert("orders", &[Value::Int32(i)]).unwrap();
+            }
+            db.flush_maintenance().unwrap();
+            assert!(db.storage_stats().checkpoints >= 1);
+        }
+        let db = open_off(&dir);
+        assert_eq!(count_orders(&db), 500);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -43,10 +43,16 @@ pub mod maintenance;
 pub mod planner;
 
 pub use advisor::{AdvisorReport, LayoutAdvisor};
-pub use database::{Database, DbError, DbSnapshot, EngineKind, IndexKind};
+pub use database::{
+    Database, DbError, DbSnapshot, DurabilityConfig, EngineKind, IndexKind, StorageStats,
+};
 pub use maintenance::{MaintenanceConfig, MaintenanceMode, MaintenanceScheduler, MaintenanceStats};
 pub use pdsm_exec::{QueryOutput, QueryResult};
 pub use pdsm_par::ParallelEngine;
 pub use pdsm_plan::physical::{AccessPath, CostSummary, EngineChoice, PhysicalPlan};
-pub use pdsm_txn::{MergeStats, RowId, SharedTable, Snapshot, VersionStats, VersionedTable};
+pub use pdsm_store::FsyncMode;
+pub use pdsm_txn::{
+    DurabilityStats, MergeStats, RowId, SharedTable, Snapshot, TableDurability, VersionStats,
+    VersionedTable,
+};
 pub use planner::Planner;

@@ -429,6 +429,14 @@ fn run_build(job: BuildJob, shared: &SchedShared) {
         );
         match job.ticket.build(layout) {
             Ok(built) => {
+                // Durable tables: serialize the checkpoint blob off-lock
+                // so finish_merge's checkpoint renames it instead of
+                // serializing under the write lock. A failed pre-persist
+                // (self-removed) just means inline fallback.
+                if let Some(d) = job.handle.durability() {
+                    let generation = job.ticket.snapshot().generation() + 1;
+                    let _ = d.pre_persist(built.table(), generation, epoch);
+                }
                 match job
                     .handle
                     .finish_merge_then(built, |vt| (vt.main_arc(), vt.generation()))

@@ -80,6 +80,21 @@ impl Bitmap {
         (0..self.len).map(move |i| self.get(i))
     }
 
+    /// The backing words (persistence only; bit `i` lives in
+    /// `words[i / 64]` at `1 << (i % 64)`).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from persisted words. Tail bits past `len` are cleared so
+    /// the invariant `count_ones` relies on holds whatever was on disk.
+    pub(crate) fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert!(words.len() == len.div_ceil(64), "word count mismatch");
+        let mut bm = Bitmap { words, len };
+        bm.clear_tail();
+        bm
+    }
+
     /// Zero any bits beyond `len` in the last word (keeps `count_ones` exact).
     fn clear_tail(&mut self) {
         let tail = self.len % 64;

@@ -68,6 +68,18 @@ impl Dictionary {
             .collect()
     }
 
+    /// Rebuild from persisted strings, codes assigned by position — the
+    /// inverse of dumping [`Dictionary::iter`] in code order, so codes
+    /// survive a save/load cycle byte-identically.
+    pub(crate) fn from_strings(strings: Vec<String>) -> Self {
+        let codes = strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        Dictionary { strings, codes }
+    }
+
     /// Iterate `(code, string)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
         self.strings

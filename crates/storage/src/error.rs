@@ -32,6 +32,10 @@ pub enum Error {
     /// A merge build was finished against a table whose merge state moved
     /// on (another merge completed, or the pending build was aborted).
     StaleMergeBuild,
+    /// Durability I/O failed (WAL append, checkpoint write, recovery
+    /// read). Carries the rendered `std::io::Error` so this enum stays
+    /// `Clone + Eq`.
+    Io(String),
 }
 
 impl fmt::Display for Error {
@@ -65,6 +69,7 @@ impl fmt::Display for Error {
             Error::StaleMergeBuild => {
                 write!(f, "merge build is stale: the table's merge state moved on")
             }
+            Error::Io(msg) => write!(f, "durability I/O error: {msg}"),
         }
     }
 }

@@ -41,6 +41,7 @@ pub mod dictionary;
 pub mod error;
 pub mod layout;
 pub mod partition;
+pub mod persist;
 pub mod row;
 pub mod schema;
 pub mod stats;
@@ -52,6 +53,7 @@ pub use dictionary::Dictionary;
 pub use error::{Error, Result};
 pub use layout::{Layout, LayoutKind};
 pub use partition::{F64Col, I32Col, I64Col, Partition, U32Col};
+pub use persist::crc32;
 pub use row::Row;
 pub use schema::{ColId, ColumnDef, Schema};
 pub use stats::ColumnStats;

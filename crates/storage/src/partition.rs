@@ -268,6 +268,28 @@ impl Partition {
         &self.data
     }
 
+    /// Overwrite this (empty, freshly constructed) partition's contents
+    /// from persisted state. Geometry (cols/types/offsets/stride) is
+    /// derived deterministically by [`Partition::new`], so only the arena
+    /// and validity bitmaps travel to disk.
+    pub(crate) fn restore(&mut self, data: Vec<u8>, len: usize, validity: Vec<Option<Bitmap>>) {
+        assert_eq!(data.len(), len * self.stride, "arena size mismatch");
+        assert_eq!(validity.len(), self.cols.len(), "validity arity mismatch");
+        for (slot, v) in validity.iter().enumerate() {
+            assert_eq!(
+                v.is_some(),
+                self.validity[slot].is_some(),
+                "nullability mismatch at slot {slot}"
+            );
+            if let Some(bm) = v {
+                assert_eq!(bm.len(), len, "validity length mismatch at slot {slot}");
+            }
+        }
+        self.data = data;
+        self.len = len;
+        self.validity = validity;
+    }
+
     fn typed_col<T>(&self, slot: usize, want: &[DataType]) -> TypedCol<'_, T> {
         let ty = self.types[slot];
         assert!(

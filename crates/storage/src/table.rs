@@ -331,6 +331,24 @@ impl Table {
         let (pi, slot) = self.col_loc[c];
         self.partitions[pi].is_valid(row, slot)
     }
+
+    /// All per-column dictionaries, schema order (persistence only).
+    pub(crate) fn dicts(&self) -> &[Option<Dictionary>] {
+        &self.dicts
+    }
+
+    /// Overwrite dictionaries and row count from persisted state
+    /// (persistence only; partitions are restored separately).
+    pub(crate) fn restore_meta(&mut self, dicts: Vec<Option<Dictionary>>, len: usize) {
+        assert_eq!(dicts.len(), self.schema.len(), "dictionary arity mismatch");
+        self.dicts = dicts;
+        self.len = len;
+    }
+
+    /// Mutable partitions (persistence only).
+    pub(crate) fn partitions_mut(&mut self) -> &mut [Partition] {
+        &mut self.partitions
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,392 @@
+//! The per-table write-ahead log: an append-only file of framed records
+//! (see [`crate::record`]) with three durability disciplines.
+//!
+//! Appends always go straight to the `File` via `write_all` — there is no
+//! user-space buffering, so a SIGKILL can never lose an acknowledged
+//! append (only an OS crash can, bounded by the fsync policy):
+//!
+//! * [`FsyncMode::Always`] — fsync inline before the append returns.
+//!   Every acknowledged write survives power loss; latency = disk sync.
+//! * [`FsyncMode::Batch`] — the append returns after `write_all`; a
+//!   background flusher coalesces outstanding appends into one fsync
+//!   (group commit). Process crash loses nothing; power loss is bounded
+//!   by one coalesce window. This keeps the µs write path.
+//! * [`FsyncMode::Off`] — never fsync (tests, bulk loads).
+//!
+//! The flusher syncs through a cloned file handle *outside* the append
+//! lock, so appenders never wait behind a disk flush.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// When the WAL calls fsync. Parsed from `PDSM_FSYNC`
+/// (`always` | `batch` | `off`); the default is `batch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncMode {
+    /// fsync before every append returns.
+    Always,
+    /// Group commit: a background flusher coalesces appends into one
+    /// fsync; appends return immediately after the write.
+    #[default]
+    Batch,
+    /// Never fsync.
+    Off,
+}
+
+impl FsyncMode {
+    /// Read `PDSM_FSYNC` (`always` | `batch` | `off`), defaulting to
+    /// [`FsyncMode::Batch`].
+    pub fn from_env() -> Self {
+        match std::env::var("PDSM_FSYNC").ok().as_deref() {
+            Some("always") => FsyncMode::Always,
+            Some("off") => FsyncMode::Off,
+            _ => FsyncMode::Batch,
+        }
+    }
+}
+
+/// Counters one WAL has accumulated. Group-commit effectiveness is
+/// `appends_synced / fsyncs`; [`crate::wal::WalStats::max_group`] is the
+/// largest single group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Record bytes appended.
+    pub bytes_appended: u64,
+    /// Records appended.
+    pub appends: u64,
+    /// fsync calls issued.
+    pub fsyncs: u64,
+    /// Appends covered by an fsync so far (Batch mode; `appends` in
+    /// Always mode).
+    pub appends_synced: u64,
+    /// Largest number of appends one fsync covered.
+    pub max_group: u64,
+}
+
+impl WalStats {
+    /// Fold another WAL's counters into this one (for per-database
+    /// aggregation).
+    pub fn merge(&mut self, other: &WalStats) {
+        self.bytes_appended += other.bytes_appended;
+        self.appends += other.appends;
+        self.fsyncs += other.fsyncs;
+        self.appends_synced += other.appends_synced;
+        self.max_group = self.max_group.max(other.max_group);
+    }
+}
+
+struct WalInner {
+    file: File,
+    len: u64,
+    /// Appends since the last fsync (what the next group will cover).
+    pending: u64,
+    stats: WalStats,
+    stop: bool,
+}
+
+struct WalShared {
+    inner: Mutex<WalInner>,
+    /// Signalled on append (work for the flusher) and on stop.
+    work: Condvar,
+}
+
+/// One append-only log file. Cheap to clone-share via `Arc`; dropped, it
+/// joins its flusher (Batch mode) after a final fsync.
+pub struct Wal {
+    shared: Arc<WalShared>,
+    mode: FsyncMode,
+    flusher: Option<JoinHandle<()>>,
+}
+
+impl Wal {
+    /// Create (or truncate) the log at `path`.
+    pub fn create(path: &Path, mode: FsyncMode) -> std::io::Result<Wal> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Wal::from_file(file, 0, mode))
+    }
+
+    /// Open an existing log for appending, trusting exactly `valid_len`
+    /// bytes: anything past it (a torn tail found during recovery) is
+    /// truncated away first.
+    pub fn open_append(path: &Path, valid_len: u64, mode: FsyncMode) -> std::io::Result<Wal> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        use std::io::Seek;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::Start(valid_len))?;
+        Ok(Wal::from_file(file, valid_len, mode))
+    }
+
+    fn from_file(file: File, len: u64, mode: FsyncMode) -> Wal {
+        let shared = Arc::new(WalShared {
+            inner: Mutex::new(WalInner {
+                file,
+                len,
+                pending: 0,
+                stats: WalStats::default(),
+                stop: false,
+            }),
+            work: Condvar::new(),
+        });
+        let flusher = (mode == FsyncMode::Batch).then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pdsm-wal-flush".into())
+                .spawn(move || flusher_loop(&shared))
+                .expect("spawn wal flusher")
+        });
+        Wal {
+            shared,
+            mode,
+            flusher,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WalInner> {
+        self.shared.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append one framed record. The bytes hit the file (not a user-space
+    /// buffer) before this returns; whether they are also fsynced depends
+    /// on the mode.
+    pub fn append(&self, record: &[u8]) -> std::io::Result<()> {
+        let mut g = self.lock();
+        g.file.write_all(record)?;
+        g.len += record.len() as u64;
+        g.stats.bytes_appended += record.len() as u64;
+        g.stats.appends += 1;
+        match self.mode {
+            FsyncMode::Always => {
+                g.file.sync_data()?;
+                g.stats.fsyncs += 1;
+                g.stats.appends_synced += 1;
+                g.stats.max_group = g.stats.max_group.max(1);
+            }
+            FsyncMode::Batch => {
+                g.pending += 1;
+                let first = g.pending == 1;
+                drop(g);
+                // Only the append that opens a group needs to wake the
+                // flusher; later appends just join the pending group.
+                if first {
+                    self.shared.work.notify_one();
+                }
+            }
+            FsyncMode::Off => {}
+        }
+        Ok(())
+    }
+
+    /// Force everything appended so far to disk (checkpoint barriers and
+    /// clean shutdown), regardless of mode.
+    pub fn sync(&self) -> std::io::Result<()> {
+        let mut g = self.lock();
+        let group = g.pending;
+        g.pending = 0;
+        let file = g.file.try_clone()?;
+        drop(g);
+        file.sync_data()?;
+        let mut g = self.lock();
+        g.stats.fsyncs += 1;
+        g.stats.appends_synced += group;
+        g.stats.max_group = g.stats.max_group.max(group);
+        Ok(())
+    }
+
+    /// Bytes appended to the file so far.
+    pub fn len(&self) -> u64 {
+        self.lock().len
+    }
+
+    /// True iff nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> WalStats {
+        self.lock().stats
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        {
+            let mut g = self.lock();
+            g.stop = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// How long the flusher waits after the first append of a group before
+/// fsyncing, so racing writers coalesce into one sync. This is also the
+/// power-loss exposure window in Batch mode (a process crash still loses
+/// nothing — appends hit the file before returning). Overridable via
+/// `PDSM_FSYNC_WINDOW_MS` (cf. PostgreSQL's `commit_delay`): on a slow
+/// or busy disk a wider window trades staleness-under-power-loss for
+/// less fsync interference with the append path.
+const COALESCE_WINDOW_MS: u64 = 20;
+
+fn coalesce_window() -> Duration {
+    use std::sync::OnceLock;
+    static WINDOW: OnceLock<Duration> = OnceLock::new();
+    *WINDOW.get_or_init(|| {
+        let ms = std::env::var("PDSM_FSYNC_WINDOW_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(COALESCE_WINDOW_MS);
+        Duration::from_millis(ms)
+    })
+}
+
+/// Group-commit loop: wait for appends, give concurrent writers a short
+/// coalesce window, then fsync once for the whole group — through a
+/// cloned handle, off the append lock.
+fn flusher_loop(shared: &WalShared) {
+    loop {
+        let (group, file) = {
+            let mut g = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            while g.pending == 0 && !g.stop {
+                g = shared.work.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+            if g.pending == 0 && g.stop {
+                return;
+            }
+            drop(g);
+            // Coalesce: let the writers that raced us land too. The window
+            // bounds power-loss exposure AND the fsync rate — on a machine
+            // where fdatasync costs ~250µs, a too-eager flusher would eat
+            // a whole core (and the write path's tail latency) in syncs.
+            std::thread::sleep(coalesce_window());
+            let mut g = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let group = g.pending;
+            g.pending = 0;
+            let file = g.file.try_clone();
+            (group, file)
+        };
+        let synced = match file {
+            Ok(f) => f.sync_data().is_ok(),
+            Err(_) => false,
+        };
+        let mut g = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if synced {
+            g.stats.fsyncs += 1;
+            g.stats.appends_synced += group;
+            g.stats.max_group = g.stats.max_group.max(group);
+        }
+        if g.stop && g.pending == 0 {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{decode_stream, WalOp};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("pdsm-wal-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn append_then_reopen_replays_everything() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("wal.log");
+        let ops: Vec<WalOp> = (0..100).map(|i| WalOp::Delete { row: i }).collect();
+        {
+            let wal = Wal::create(&path, FsyncMode::Batch).unwrap();
+            for op in &ops {
+                wal.append(&op.encode_record()).unwrap();
+            }
+            wal.sync().unwrap();
+            let stats = wal.stats();
+            assert_eq!(stats.appends, 100);
+            assert!(stats.fsyncs >= 1);
+            assert!(stats.max_group >= 1);
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let (decoded, valid) = decode_stream(&bytes);
+        assert_eq!(valid, bytes.len());
+        assert_eq!(decoded, ops);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_append_truncates_the_torn_tail() {
+        let dir = tmpdir("truncate");
+        let path = dir.join("wal.log");
+        let op = WalOp::Delete { row: 1 };
+        let rec = op.encode_record();
+        {
+            let wal = Wal::create(&path, FsyncMode::Off).unwrap();
+            wal.append(&rec).unwrap();
+            wal.append(&rec).unwrap();
+        }
+        // Simulate a crash half-way through the second record.
+        let torn_len = rec.len() as u64 + 3;
+        {
+            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(torn_len).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let (ops, valid) = decode_stream(&bytes);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(valid as u64, rec.len() as u64);
+        let wal = Wal::open_append(&path, valid as u64, FsyncMode::Always).unwrap();
+        wal.append(&rec).unwrap();
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        let (ops, valid) = decode_stream(&bytes);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(valid, bytes.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_appends_all_land_and_coalesce() {
+        let dir = tmpdir("group");
+        let path = dir.join("wal.log");
+        let wal = std::sync::Arc::new(Wal::create(&path, FsyncMode::Batch).unwrap());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let wal = std::sync::Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        let op = WalOp::Delete { row: t * 1000 + i };
+                        wal.append(&op.encode_record()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        wal.sync().unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.appends, 1000);
+        // Group commit must have coalesced: far fewer fsyncs than appends.
+        assert!(stats.fsyncs < 1000, "fsyncs = {}", stats.fsyncs);
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        let (ops, valid) = decode_stream(&bytes);
+        assert_eq!(ops.len(), 1000);
+        assert_eq!(valid, bytes.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

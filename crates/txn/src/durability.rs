@@ -1,0 +1,661 @@
+//! Per-table durability: the glue between the in-memory
+//! [`VersionedTable`] and the on-disk primitives of
+//! `pdsm-store`.
+//!
+//! One [`TableDurability`] owns a table's slice of the data directory:
+//!
+//! ```text
+//! <data_dir>/<table>/main.<G>.tbl   checkpointed main store, generation G
+//! <data_dir>/<table>/wal.<G>.log    the WAL sitting on top of main.<G>
+//! <data_dir>/MANIFEST               table -> current generation (shared)
+//! ```
+//!
+//! Every committed DML batch is appended to the live WAL *before the
+//! table's write lock is released* ([`TableDurability::log`], called from
+//! the `VersionedTable` DML methods). A merge checkpoint
+//! ([`TableDurability::checkpoint`], called from `finish_merge` after the
+//! swap) persists the fresh main, rewrites the WAL **in the new id
+//! space** as delta-reconstruction ops — deletes of tombstoned main rows,
+//! one batch insert of the live tail, deletes of tombstoned tail rows —
+//! and flips the manifest entry, which is the single atomic commit point.
+//! The WAL therefore never outlives its main store's id space, and its
+//! length is always O(delta), not O(history).
+//!
+//! Recovery ([`TableDurability::recover`]) inverts this: load the
+//! manifest generation's main blob, decode the WAL up to the last whole
+//! checksum-valid record (a torn tail is the crash point, not an error),
+//! and hand the ops back for replay through the normal DML path.
+
+use crate::table::VersionedTable;
+use pdsm_storage::{persist, Error, Result, Row, Table};
+use pdsm_store::{
+    decode_stream, fsync_dir, remove_temp_files, sanitize_name, write_atomic, FsyncMode, Manifest,
+    Wal, WalOp, WalStats,
+};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Durability counters for one table (aggregated per-database by
+/// `pdsm-core`'s `storage_stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// WAL counters, summed across every WAL generation this table has
+    /// had since open (appends, bytes, fsyncs, group sizes).
+    pub wal: WalStats,
+    /// Bytes currently in the live WAL file.
+    pub wal_len: u64,
+    /// Checkpoints taken (one per merge while durable).
+    pub checkpoints: u64,
+    /// WAL records replayed by the most recent recovery.
+    pub last_recovery_replay_ops: u64,
+}
+
+/// What [`TableDurability::recover`] found on disk: the checkpointed main
+/// store plus the WAL tail to replay through normal DML. Replay must run
+/// *before* the durability handle is attached to the table, so the
+/// replayed ops are not logged again.
+pub struct RecoveredTable {
+    /// The main store at the manifest's generation.
+    pub table: Table,
+    /// Whole, checksum-valid WAL records, in append order.
+    pub ops: Vec<WalOp>,
+    /// The handle to attach once replay is done (its WAL is already open
+    /// for appending at the end of the valid prefix).
+    pub durability: TableDurability,
+}
+
+/// One table's WAL + checkpoint + manifest glue. Shared as
+/// `Arc<TableDurability>` between the owning `VersionedTable` and the
+/// database-level stats aggregation; all methods take `&self`.
+pub struct TableDurability {
+    dir: PathBuf,
+    name: String,
+    manifest: Arc<Manifest>,
+    fsync: FsyncMode,
+    /// The live WAL (for generation `G` = the manifest entry). Replaced
+    /// at every checkpoint; the mutex also covers the swap.
+    wal: Mutex<Wal>,
+    /// Counters folded in from WALs retired by checkpoints.
+    retired: Mutex<WalStats>,
+    checkpoints: AtomicU64,
+    last_recovery_replay_ops: AtomicU64,
+}
+
+impl std::fmt::Debug for TableDurability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableDurability")
+            .field("dir", &self.dir)
+            .field("name", &self.name)
+            .field("fsync", &self.fsync)
+            .finish_non_exhaustive()
+    }
+}
+
+fn io_err(ctx: &str, e: std::io::Error) -> Error {
+    Error::Io(format!("{ctx}: {e}"))
+}
+
+fn main_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("main.{generation}.tbl"))
+}
+
+fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("wal.{generation}.log"))
+}
+
+/// The pre-persisted build blob for merge epoch `epoch` (see
+/// [`TableDurability::pre_persist`]). Contains `.tmp`, so crash leftovers
+/// are scrubbed by [`remove_temp_files`].
+fn pre_persist_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("main.tmp.{epoch}.tbl"))
+}
+
+/// Parse `main.<G>.tbl` / `wal.<G>.log` file names back to generations.
+fn parse_generation(name: &str) -> Option<u64> {
+    let rest = name
+        .strip_prefix("main.")
+        .and_then(|r| r.strip_suffix(".tbl"))
+        .or_else(|| {
+            name.strip_prefix("wal.")
+                .and_then(|r| r.strip_suffix(".log"))
+        })?;
+    rest.parse().ok()
+}
+
+/// Drop every generation-stamped file except generation `keep`, plus any
+/// temp leftovers. Best-effort: old generations are garbage either way.
+fn cleanup(dir: &Path, keep: u64) {
+    remove_temp_files(dir);
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if parse_generation(&name).is_some_and(|g| g != keep) {
+            let _ = std::fs::remove_file(e.path());
+        }
+    }
+}
+
+impl TableDurability {
+    /// Bootstrap durability for a table that exists only in memory:
+    /// persist its main store at `generation`, start an empty WAL, and
+    /// commit the manifest entry. The table's delta must be empty (the
+    /// caller attaches durability at creation or right after a merge).
+    pub fn create(
+        data_dir: &Path,
+        name: &str,
+        manifest: Arc<Manifest>,
+        fsync: FsyncMode,
+        table: &Table,
+        generation: u64,
+    ) -> Result<TableDurability> {
+        let dir = data_dir.join(sanitize_name(name));
+        std::fs::create_dir_all(&dir).map_err(|e| io_err("create table dir", e))?;
+        let bytes = persist::to_bytes(table, generation);
+        let dest = main_path(&dir, generation);
+        write_atomic(
+            &dest,
+            &dir.join(format!("main.{generation}.tbl.tmp")),
+            &bytes,
+        )
+        .map_err(|e| io_err("persist main store", e))?;
+        let wal =
+            Wal::create(&wal_path(&dir, generation), fsync).map_err(|e| io_err("create wal", e))?;
+        fsync_dir(&dir).map_err(|e| io_err("fsync table dir", e))?;
+        manifest
+            .set(name, generation)
+            .map_err(|e| io_err("commit manifest", e))?;
+        cleanup(&dir, generation);
+        Ok(TableDurability {
+            dir,
+            name: name.to_string(),
+            manifest,
+            fsync,
+            wal: Mutex::new(wal),
+            retired: Mutex::new(WalStats::default()),
+            checkpoints: AtomicU64::new(0),
+            last_recovery_replay_ops: AtomicU64::new(0),
+        })
+    }
+
+    /// Load the table's durable state at `generation` (the manifest
+    /// entry): the checkpointed main store, and the WAL decoded up to the
+    /// last whole checksum-valid record. A short or corrupt WAL *tail* is
+    /// the crash point and is truncated away; a corrupt *committed* blob
+    /// (main store, or a record before the tail) is a hard error.
+    pub fn recover(
+        data_dir: &Path,
+        name: &str,
+        generation: u64,
+        manifest: Arc<Manifest>,
+        fsync: FsyncMode,
+    ) -> Result<RecoveredTable> {
+        let dir = data_dir.join(sanitize_name(name));
+        // Temp files are crash artifacts of unfinished writes: scrub them
+        // before they can be mistaken for real state.
+        remove_temp_files(&dir);
+        let bytes =
+            std::fs::read(main_path(&dir, generation)).map_err(|e| io_err("read main store", e))?;
+        let (table, on_disk_gen) = persist::from_bytes(&bytes)?;
+        if on_disk_gen != generation {
+            return Err(Error::Io(format!(
+                "main store generation mismatch for table {name}: manifest says {generation}, \
+                 blob says {on_disk_gen}"
+            )));
+        }
+        let wpath = wal_path(&dir, generation);
+        let (ops, wal) = match std::fs::read(&wpath) {
+            Ok(wal_bytes) => {
+                let (ops, valid) = decode_stream(&wal_bytes);
+                // Reopening at `valid` truncates the torn tail away.
+                let wal = Wal::open_append(&wpath, valid as u64, fsync)
+                    .map_err(|e| io_err("reopen wal", e))?;
+                (ops, wal)
+            }
+            // The WAL is written before the manifest flips, so a missing
+            // file should be impossible — but an empty log is the safe
+            // reading, and starting one keeps the invariant for later.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let wal = Wal::create(&wpath, fsync).map_err(|e| io_err("create wal", e))?;
+                (Vec::new(), wal)
+            }
+            Err(e) => return Err(io_err("read wal", e)),
+        };
+        cleanup(&dir, generation);
+        let replayed = ops.len() as u64;
+        Ok(RecoveredTable {
+            table,
+            ops,
+            durability: TableDurability {
+                dir,
+                name: name.to_string(),
+                manifest,
+                fsync,
+                wal: Mutex::new(wal),
+                retired: Mutex::new(WalStats::default()),
+                checkpoints: AtomicU64::new(0),
+                last_recovery_replay_ops: AtomicU64::new(replayed),
+            },
+        })
+    }
+
+    fn wal_lock(&self) -> MutexGuard<'_, Wal> {
+        self.wal.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append one committed op to the live WAL. Called from the
+    /// `VersionedTable` DML methods while the table write lock is held,
+    /// after the in-memory apply succeeded.
+    pub fn log(&self, op: &WalOp) -> Result<()> {
+        self.wal_lock()
+            .append(&op.encode_record())
+            .map_err(|e| io_err("wal append", e))
+    }
+
+    /// Force the live WAL to disk regardless of fsync mode (clean
+    /// shutdown, checkpoint barriers).
+    pub fn sync(&self) -> Result<()> {
+        self.wal_lock().sync().map_err(|e| io_err("wal sync", e))
+    }
+
+    /// Serialize a freshly built main store to the epoch-stamped temp
+    /// blob, off the table lock, so the checkpoint inside `finish_merge`
+    /// can rename it instead of serializing under the write lock. On any
+    /// error the partial file is removed — a half-written blob must never
+    /// be renamed into a committed name — and the checkpoint falls back
+    /// to inline serialization.
+    pub fn pre_persist(&self, table: &Table, generation: u64, epoch: u64) -> Result<()> {
+        let path = pre_persist_path(&self.dir, epoch);
+        let bytes = persist::to_bytes(table, generation);
+        let res = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(&bytes)?;
+            f.sync_data()
+        })();
+        if res.is_err() {
+            let _ = std::fs::remove_file(&path);
+        }
+        res.map_err(|e| io_err("pre-persist built main", e))
+    }
+
+    /// Checkpoint the post-merge state. Called from `finish_merge` with
+    /// the table write lock held, *after* the swap: `main` is the fresh
+    /// main store at `generation`, and `dead_main`/`tail`/`tail_alive`
+    /// are the new (post-cut) delta.
+    ///
+    /// Steps, in crash-safe order: (1) the main blob lands under its
+    /// generation-stamped name — by renaming the pre-persisted build of
+    /// `build_epoch` when present, else by serializing inline; (2) the
+    /// WAL for the new generation is written as reconstruction ops in the
+    /// new id space; (3) the manifest entry flips — the commit point;
+    /// (4) the live WAL handle moves to the new file; (5) stale
+    /// generations are scrubbed. A crash anywhere before (3) recovers
+    /// from the previous generation, whose main + WAL are an equivalent
+    /// un-merged description of the same rows.
+    pub fn checkpoint(
+        &self,
+        main: &Table,
+        generation: u64,
+        build_epoch: u64,
+        dead_main: &[bool],
+        tail: &[Row],
+        tail_alive: &[bool],
+    ) -> Result<()> {
+        // (1) main.<G>.tbl — rename the pre-persisted build if the
+        // background path left one (already fsynced), else serialize now.
+        let dest = main_path(&self.dir, generation);
+        let pre = pre_persist_path(&self.dir, build_epoch);
+        if std::fs::rename(&pre, &dest).is_ok() {
+            fsync_dir(&self.dir).map_err(|e| io_err("fsync table dir", e))?;
+        } else {
+            let bytes = persist::to_bytes(main, generation);
+            write_atomic(
+                &dest,
+                &self.dir.join(format!("main.{generation}.tbl.tmp")),
+                &bytes,
+            )
+            .map_err(|e| io_err("persist main store", e))?;
+        }
+        // (2) wal.<G>.log — rebuild the delta in the new id space:
+        // deletes of tombstoned main rows, then one insert batch of every
+        // tail row, then deletes of the tombstoned tail rows. Replaying
+        // these through normal DML reproduces the overlay exactly, with
+        // the same row ids, so later records keep addressing correctly.
+        let mut buf = Vec::new();
+        for (i, dead) in dead_main.iter().enumerate() {
+            if *dead {
+                buf.extend_from_slice(&WalOp::Delete { row: i as u64 }.encode_record());
+            }
+        }
+        if !tail.is_empty() {
+            buf.extend_from_slice(&WalOp::InsertBatch(tail.to_vec()).encode_record());
+        }
+        for (j, alive) in tail_alive.iter().enumerate() {
+            if !*alive {
+                let row = (main.len() + j) as u64;
+                buf.extend_from_slice(&WalOp::Delete { row }.encode_record());
+            }
+        }
+        let wal_dest = wal_path(&self.dir, generation);
+        write_atomic(
+            &wal_dest,
+            &self.dir.join(format!("wal.{generation}.log.tmp")),
+            &buf,
+        )
+        .map_err(|e| io_err("write checkpoint wal", e))?;
+        // (3) the commit point.
+        self.manifest
+            .set(&self.name, generation)
+            .map_err(|e| io_err("commit manifest", e))?;
+        // (4) swap the live WAL handle; fold the retired one's counters.
+        let new_wal = Wal::open_append(&wal_dest, buf.len() as u64, self.fsync)
+            .map_err(|e| io_err("reopen checkpoint wal", e))?;
+        {
+            let mut g = self.wal_lock();
+            let old_stats = g.stats();
+            self.retired
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .merge(&old_stats);
+            *g = new_wal;
+        }
+        // (5) previous generations are now unreachable.
+        cleanup(&self.dir, generation);
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Atomically replace the main blob for the *current* generation —
+    /// the hook for direct `main_mut` bulk edits, which are only legal
+    /// while the delta (and therefore the live WAL) is empty, so the blob
+    /// swap alone keeps disk and memory consistent.
+    pub fn persist_main(&self, table: &Table, generation: u64) -> Result<()> {
+        let bytes = persist::to_bytes(table, generation);
+        write_atomic(
+            &main_path(&self.dir, generation),
+            &self.dir.join(format!("main.{generation}.tbl.tmp")),
+            &bytes,
+        )
+        .map_err(|e| io_err("persist main store", e))
+    }
+
+    /// Current counters (live WAL + everything retired by checkpoints).
+    pub fn stats(&self) -> DurabilityStats {
+        let wal = self.wal_lock();
+        let mut merged = *self.retired.lock().unwrap_or_else(|e| e.into_inner());
+        merged.merge(&wal.stats());
+        DurabilityStats {
+            wal: merged,
+            wal_len: wal.len(),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            last_recovery_replay_ops: self.last_recovery_replay_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The fsync discipline this table runs under.
+    pub fn fsync_mode(&self) -> FsyncMode {
+        self.fsync
+    }
+
+    /// The table's directory inside the data dir.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Replay recovered WAL ops through the normal DML path. The table must
+/// not have durability attached yet (replay must not be re-logged);
+/// attach it after this returns.
+pub fn replay(table: &mut VersionedTable, ops: &[WalOp]) -> Result<()> {
+    debug_assert!(table.durability().is_none(), "replay would be re-logged");
+    for op in ops {
+        match op {
+            WalOp::InsertBatch(rows) => {
+                let rows: Vec<Vec<pdsm_storage::Value>> =
+                    rows.iter().map(|r| r.values().to_vec()).collect();
+                table.insert_batch(&rows)?;
+            }
+            WalOp::Update { row, col, value } => {
+                table.update(*row as usize, *col as usize, value)?;
+            }
+            WalOp::Delete { row } => table.delete(*row as usize)?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdsm_storage::{ColumnDef, DataType, Layout, Schema, Value};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pdsm-dur-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int32),
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::nullable("price", DataType::Float64),
+        ])
+    }
+
+    fn durable_table(dir: &Path, name: &str) -> (VersionedTable, Arc<Manifest>) {
+        let manifest = Arc::new(Manifest::open(dir.join("MANIFEST")).unwrap());
+        let mut t = VersionedTable::new(name, schema());
+        let d = TableDurability::create(
+            dir,
+            name,
+            Arc::clone(&manifest),
+            FsyncMode::Off,
+            t.main(),
+            t.generation(),
+        )
+        .unwrap();
+        t.set_durability(Arc::new(d));
+        (t, manifest)
+    }
+
+    /// A fresh process would do exactly this: reload the manifest, load
+    /// the blob, replay the WAL, then attach durability.
+    fn reopen(dir: &Path, name: &str) -> VersionedTable {
+        let manifest = Arc::new(Manifest::open(dir.join("MANIFEST")).unwrap());
+        let generation = manifest.get(name).unwrap();
+        let rec =
+            TableDurability::recover(dir, name, generation, manifest, FsyncMode::Off).unwrap();
+        let mut t = VersionedTable::from_recovered(rec.table, generation);
+        replay(&mut t, &rec.ops).unwrap();
+        t.set_durability(Arc::new(rec.durability));
+        t
+    }
+
+    fn all_rows(t: &VersionedTable) -> Vec<Row> {
+        t.rows().collect()
+    }
+
+    #[test]
+    fn dml_survives_reopen() {
+        let dir = tmpdir("dml");
+        let (mut t, _manifest) = durable_table(&dir, "orders");
+        t.insert(&[Value::Int32(1), Value::Str("a".into()), Value::Null])
+            .unwrap();
+        t.insert(&[Value::Int32(2), Value::Str("b".into()), Value::Float64(2.5)])
+            .unwrap();
+        let id = t
+            .insert(&[Value::Int32(3), Value::Str("c".into()), Value::Null])
+            .unwrap();
+        t.delete(id).unwrap();
+        t.update(0, 1, &Value::Str("a2".into())).unwrap();
+        let before = all_rows(&t);
+        drop(t);
+        let r = reopen(&dir, "orders");
+        assert_eq!(all_rows(&r), before);
+        assert_eq!(r.durability().unwrap().stats().last_recovery_replay_ops, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_on_merge_shrinks_wal_and_survives() {
+        let dir = tmpdir("ckpt");
+        let (mut t, manifest) = durable_table(&dir, "t");
+        for i in 0..50 {
+            t.insert(&[Value::Int32(i), Value::Str(format!("r{i}")), Value::Null])
+                .unwrap();
+        }
+        t.delete(3).unwrap();
+        let wal_before = t.durability().unwrap().stats().wal_len;
+        assert!(wal_before > 0);
+        t.merge().unwrap();
+        let d = t.durability().unwrap();
+        assert_eq!(d.stats().checkpoints, 1);
+        assert_eq!(d.stats().wal_len, 0, "empty delta => empty wal");
+        assert_eq!(manifest.get("t"), Some(1));
+        // post-checkpoint ops land in the new WAL and replay on reopen
+        t.update(0, 1, &Value::Str("post".into())).unwrap();
+        let before = all_rows(&t);
+        drop(d);
+        drop(t);
+        let r = reopen(&dir, "t");
+        assert_eq!(r.generation(), 1);
+        assert_eq!(all_rows(&r), before);
+        // replay is O(ops since checkpoint): exactly the one update
+        assert_eq!(r.durability().unwrap().stats().last_recovery_replay_ops, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_merge_checkpoint_carries_post_cut_delta() {
+        let dir = tmpdir("bg");
+        let (mut t, _manifest) = durable_table(&dir, "t");
+        for i in 0..10 {
+            t.insert(&[Value::Int32(i), Value::Str("x".into()), Value::Null])
+                .unwrap();
+        }
+        let ticket = t.begin_merge().unwrap();
+        // ops landing during the build: a delete of a cut row, an insert,
+        // and an update — all must survive the checkpointed swap.
+        t.delete(2).unwrap();
+        t.insert(&[Value::Int32(100), Value::Str("post".into()), Value::Null])
+            .unwrap();
+        t.update(4, 2, &Value::Float64(9.5)).unwrap();
+        let built = ticket.build(Layout::column(3)).unwrap();
+        t.finish_merge(built).unwrap();
+        let before = all_rows(&t);
+        drop(t);
+        let r = reopen(&dir, "t");
+        assert_eq!(r.generation(), 1);
+        assert_eq!(all_rows(&r), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_to_last_whole_record() {
+        let dir = tmpdir("torn");
+        let (mut t, _manifest) = durable_table(&dir, "t");
+        t.insert(&[Value::Int32(1), Value::Str("a".into()), Value::Null])
+            .unwrap();
+        t.insert(&[Value::Int32(2), Value::Str("b".into()), Value::Null])
+            .unwrap();
+        let survivors = all_rows(&t);
+        t.insert(&[Value::Int32(3), Value::Str("lost".into()), Value::Null])
+            .unwrap();
+        let wal = wal_path(&dir.join(sanitize_name("t")), 0);
+        drop(t);
+        // tear the last record: recovery must stop before it
+        let len = std::fs::metadata(&wal).unwrap().len();
+        pdsm_store::truncate_at(&wal, len - 3).unwrap();
+        let r = reopen(&dir, "t");
+        assert_eq!(all_rows(&r), survivors);
+        assert_eq!(r.durability().unwrap().stats().last_recovery_replay_ops, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn update_logs_a_single_op() {
+        let dir = tmpdir("oneop");
+        let (mut t, _manifest) = durable_table(&dir, "t");
+        t.insert(&[Value::Int32(1), Value::Str("a".into()), Value::Null])
+            .unwrap();
+        let appends_before = t.durability().unwrap().stats().wal.appends;
+        t.update(0, 1, &Value::Str("b".into())).unwrap();
+        let appends_after = t.durability().unwrap().stats().wal.appends;
+        assert_eq!(
+            appends_after - appends_before,
+            1,
+            "update must log one op, not its delete + append decomposition"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn half_written_pre_persist_blob_is_never_committed() {
+        let dir = tmpdir("halfblob");
+        let (mut t, _manifest) = durable_table(&dir, "t");
+        for i in 0..5 {
+            t.insert(&[Value::Int32(i), Value::Str("x".into()), Value::Null])
+                .unwrap();
+        }
+        // Simulate a crash that left a torn pre-persist temp file from an
+        // abandoned build epoch: recovery must scrub it, not read it.
+        let tdir = dir.join(sanitize_name("t"));
+        std::fs::write(pre_persist_path(&tdir, 7), b"torn garbage").unwrap();
+        let before = all_rows(&t);
+        drop(t);
+        let r = reopen(&dir, "t");
+        assert_eq!(all_rows(&r), before);
+        assert!(!pre_persist_path(&tdir, 7).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn main_mut_edits_persist() {
+        let dir = tmpdir("mainmut");
+        let (mut t, _manifest) = durable_table(&dir, "t");
+        t.main_mut()
+            .unwrap()
+            .insert(&[Value::Int32(9), Value::Str("bulk".into()), Value::Null])
+            .unwrap();
+        t.persist_main().unwrap();
+        let before = all_rows(&t);
+        assert_eq!(before.len(), 1);
+        drop(t);
+        let r = reopen(&dir, "t");
+        assert_eq!(all_rows(&r), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_committed_main_blob_is_a_hard_error() {
+        let dir = tmpdir("hard");
+        let (t, _manifest) = durable_table(&dir, "t");
+        drop(t);
+        let blob = main_path(&dir.join(sanitize_name("t")), 0);
+        pdsm_store::flip_bit(&blob, 12).unwrap();
+        let manifest = Arc::new(Manifest::open(dir.join("MANIFEST")).unwrap());
+        let res = TableDurability::recover(&dir, "t", 0, manifest, FsyncMode::Off);
+        assert!(res.is_err(), "bit rot in a committed blob must not pass");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_scrubs_previous_generation() {
+        let dir = tmpdir("scrub");
+        let (mut t, _manifest) = durable_table(&dir, "t");
+        t.insert(&[Value::Int32(1), Value::Str("a".into()), Value::Null])
+            .unwrap();
+        t.merge().unwrap();
+        let tdir = dir.join(sanitize_name("t"));
+        assert!(main_path(&tdir, 1).exists());
+        assert!(!main_path(&tdir, 0).exists(), "gen 0 blob scrubbed");
+        assert!(!wal_path(&tdir, 0).exists(), "gen 0 wal scrubbed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

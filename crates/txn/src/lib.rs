@@ -90,12 +90,14 @@
 //! assert_eq!(snap.len(), 1); // old snapshot unaffected
 //! ```
 
+pub mod durability;
 pub mod merge;
 pub mod registry;
 pub mod shared;
 pub mod table;
 pub mod version;
 
+pub use durability::{DurabilityStats, RecoveredTable, TableDurability};
 pub use merge::{BuiltMain, MergeTicket};
 pub use registry::{VersionRegistry, VersionStats};
 pub use shared::SharedTable;

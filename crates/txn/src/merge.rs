@@ -108,6 +108,13 @@ pub struct BuiltMain {
 }
 
 impl BuiltMain {
+    /// The freshly built main store (what `finish_merge` will swap in).
+    /// Build owners use this to pre-serialize the checkpoint blob off the
+    /// table lock (see `TableDurability::pre_persist`).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
     /// Rows in the fresh main store.
     pub fn len(&self) -> usize {
         self.table.len()

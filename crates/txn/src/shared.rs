@@ -157,6 +157,15 @@ impl SharedTable {
                 return Err(e);
             }
         };
+        // Durable tables: serialize the built main to its epoch-stamped
+        // temp blob off-lock, so the checkpoint inside finish_merge can
+        // rename it instead of serializing under the write lock. Errors
+        // are ignored — a failed (and self-removed) pre-persist just
+        // means the checkpoint falls back to inline serialization.
+        if let Some(d) = self.read().durability() {
+            let generation = ticket.snapshot().generation() + 1;
+            let _ = d.pre_persist(&built.table, generation, ticket.epoch());
+        }
         match self.write().finish_merge(built) {
             Ok(s) => Ok(Some(s)),
             Err(Error::StaleMergeBuild) => Ok(None),
@@ -213,6 +222,11 @@ impl SharedTable {
     /// Cumulative write counters.
     pub fn write_stats(&self) -> WriteStats {
         self.read().write_stats()
+    }
+
+    /// The durability handle, if this table is durable.
+    pub fn durability(&self) -> Option<std::sync::Arc<crate::TableDurability>> {
+        self.read().durability()
     }
 
     /// Run `f` under the read lock (e.g. to inspect the main store).

@@ -2,12 +2,14 @@
 //! with tombstones, merged on demand — synchronously or through the
 //! three-phase background pipeline (see [`crate::merge`]).
 
+use crate::durability::TableDurability;
 use crate::merge::{BuiltMain, MergeTicket};
 use crate::registry::{VersionRegistry, VersionStats};
 use crate::version::{OverlayData, Snapshot};
 use pdsm_exec::{Overlay, TableProvider};
 use pdsm_storage::row::Row;
 use pdsm_storage::{ColId, DataType, Error, Layout, Result, Schema, Table, Value};
+use pdsm_store::WalOp;
 use std::sync::{Arc, OnceLock};
 
 /// Stable row address within one merge generation.
@@ -98,6 +100,9 @@ pub struct VersionedTable {
     merge_epoch: u64,
     /// The in-flight background merge, if any.
     pending: Option<PendingMerge>,
+    /// WAL + checkpoint glue, if this table is durable. `None` costs the
+    /// write path nothing.
+    durability: Option<Arc<TableDurability>>,
 }
 
 impl Clone for VersionedTable {
@@ -121,6 +126,9 @@ impl Clone for VersionedTable {
             registry,
             merge_epoch: self.merge_epoch,
             pending: None,
+            // The clone must not log to the original's WAL: two tables
+            // sharing one log would corrupt each other's id space.
+            durability: None,
         }
     }
 }
@@ -146,7 +154,32 @@ impl VersionedTable {
             registry,
             merge_epoch: 0,
             pending: None,
+            durability: None,
         }
+    }
+
+    /// Wrap a main store loaded from a checkpoint, publishing it at the
+    /// recovered `generation` instead of 0. The WAL tail is then replayed
+    /// through the normal DML methods (see [`crate::durability::replay`])
+    /// and durability attached last, so replay is not re-logged.
+    pub fn from_recovered(table: Table, generation: u64) -> Self {
+        let mut t = Self::from_table(table);
+        t.generation = generation;
+        t.registry = Arc::new(VersionRegistry::default());
+        t.registry.publish(generation, &t.main);
+        t
+    }
+
+    /// Attach the WAL + checkpoint glue. From here on every committed DML
+    /// op is logged before the caller gets control back, and every merge
+    /// checkpoints.
+    pub fn set_durability(&mut self, durability: Arc<TableDurability>) {
+        self.durability = Some(durability);
+    }
+
+    /// The durability handle, if this table is durable.
+    pub fn durability(&self) -> Option<Arc<TableDurability>> {
+        self.durability.clone()
     }
 
     /// New empty versioned table in row layout.
@@ -192,6 +225,17 @@ impl VersionedTable {
         self.abort_merge();
         self.snap_cache = OnceLock::new();
         Ok(Arc::make_mut(&mut self.main))
+    }
+
+    /// Re-persist the main store after [`VersionedTable::main_mut`] bulk
+    /// edits. A no-op for non-durable tables. Safe as a lone blob swap:
+    /// `main_mut` requires an empty delta, and an empty delta means the
+    /// live WAL is empty too, so the blob is the whole durable state.
+    pub fn persist_main(&self) -> Result<()> {
+        match &self.durability {
+            Some(d) => d.persist_main(&self.main, self.generation),
+            None => Ok(()),
+        }
     }
 
     /// Merge generation (0 for a fresh table, +1 per merge).
@@ -292,11 +336,18 @@ impl VersionedTable {
     /// Append one row to the delta. Returns its [`RowId`].
     pub fn insert(&mut self, values: &[Value]) -> Result<RowId> {
         let row = self.normalize_row(values)?;
+        let logged = self
+            .durability
+            .as_ref()
+            .map(|_| WalOp::InsertBatch(vec![row.clone()]));
         let id = self.id_space();
         self.tail.push(row);
         self.tail_alive.push(true);
         self.stats.inserts += 1;
         self.bump();
+        if let Some(op) = logged {
+            self.durability.as_ref().expect("mapped above").log(&op)?;
+        }
         Ok(id)
     }
 
@@ -307,12 +358,19 @@ impl VersionedTable {
             .iter()
             .map(|r| self.normalize_row(r))
             .collect::<Result<_>>()?;
+        let logged = self
+            .durability
+            .as_ref()
+            .map(|_| WalOp::InsertBatch(normalized.clone()));
         let base = self.id_space();
         let ids = (base..base + normalized.len()).collect();
         self.tail.extend(normalized);
         self.tail_alive.resize(self.tail.len(), true);
         self.stats.inserts += rows.len() as u64;
         self.bump();
+        if let Some(op) = logged {
+            self.durability.as_ref().expect("mapped above").log(&op)?;
+        }
         Ok(ids)
     }
 
@@ -377,6 +435,9 @@ impl VersionedTable {
         }
         self.stats.deletes += 1;
         self.bump();
+        if let Some(d) = &self.durability {
+            d.log(&WalOp::Delete { row: id as u64 })?;
+        }
         Ok(())
     }
 
@@ -389,8 +450,13 @@ impl VersionedTable {
         }
         let normalized = self.normalize(c, v)?;
         let mut row = self.get(id)?;
-        row.0[c] = normalized;
+        row.0[c] = normalized.clone();
+        // The WAL carries update as one op, not its tombstone + re-append
+        // decomposition: detach durability around the internal delete so
+        // it is not logged separately.
+        let durability = self.durability.take();
         self.delete(id).expect("visible: just read");
+        self.durability = durability;
         let new_id = self.id_space();
         self.tail.push(row);
         self.tail_alive.push(true);
@@ -398,6 +464,13 @@ impl VersionedTable {
         self.stats.deletes -= 1;
         self.stats.updates += 1;
         self.bump();
+        if let Some(d) = &self.durability {
+            d.log(&WalOp::Update {
+                row: id as u64,
+                col: c as u32,
+                value: normalized,
+            })?;
+        }
         Ok(new_id)
     }
 
@@ -562,6 +635,7 @@ impl VersionedTable {
             delta_rows_folded: built.tail_folded,
             rows_after: built.table.len(),
         };
+        let build_epoch = built.epoch;
         self.main = Arc::new(built.table);
         self.generation += 1;
         self.registry.publish(self.generation, &self.main);
@@ -573,6 +647,21 @@ impl VersionedTable {
         self.n_ops -= pending.cut_ops;
         self.stats.merges += 1;
         self.snap_cache = OnceLock::new();
+        // Checkpoint-on-merge: persist the fresh main and rewrite the WAL
+        // in the new id space, still under the caller's write lock, so no
+        // op can land between the swap and its durable record. An I/O
+        // error here leaves the in-memory merge applied (readers are
+        // fine) but reports the broken durable state to the caller.
+        if let Some(d) = self.durability.clone() {
+            d.checkpoint(
+                &self.main,
+                self.generation,
+                build_epoch,
+                &self.dead_main,
+                &self.tail,
+                &self.tail_alive,
+            )?;
+        }
         Ok(stats)
     }
 

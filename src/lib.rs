@@ -17,14 +17,16 @@ pub use pdsm_par as par;
 pub use pdsm_plan as plan;
 pub use pdsm_sql as sql;
 pub use pdsm_storage as storage;
+pub use pdsm_store as store;
 pub use pdsm_txn as txn;
 pub use pdsm_workloads as workloads;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
     pub use pdsm_core::{
-        Database, EngineKind, IndexKind, LayoutAdvisor, MaintenanceConfig, MaintenanceMode,
-        MaintenanceStats, QueryOutput, QueryResult,
+        Database, DurabilityConfig, EngineKind, FsyncMode, IndexKind, LayoutAdvisor,
+        MaintenanceConfig, MaintenanceMode, MaintenanceStats, QueryOutput, QueryResult,
+        StorageStats,
     };
     pub use pdsm_exec::engine::{BulkEngine, CompiledEngine, Engine, VolcanoEngine};
     pub use pdsm_layout::workload::{Workload, WorkloadQuery};

@@ -843,6 +843,19 @@ impl Database {
         Ok(())
     }
 
+    /// Process-wide scan-kernel counters: SIMD vs. scalar chunks executed
+    /// and zone blocks scanned vs. pruned, accumulated across every query
+    /// on every engine since the last [`Database::reset_scan_stats`].
+    /// Process-wide (not per-database) because the kernels themselves are.
+    pub fn scan_stats(&self) -> pdsm_exec::ScanCounters {
+        pdsm_exec::scan_counters()
+    }
+
+    /// Zero the process-wide scan-kernel counters (benchmark bracketing).
+    pub fn reset_scan_stats(&self) {
+        pdsm_exec::reset_scan_counters()
+    }
+
     /// Aggregated WAL/checkpoint/recovery counters across every durable
     /// table (all zeros for an in-memory database).
     pub fn storage_stats(&self) -> StorageStats {

@@ -47,7 +47,10 @@ pub use database::{
     Database, DbError, DbSnapshot, DurabilityConfig, EngineKind, IndexKind, StorageStats,
 };
 pub use maintenance::{MaintenanceConfig, MaintenanceMode, MaintenanceScheduler, MaintenanceStats};
-pub use pdsm_exec::{QueryOutput, QueryResult};
+pub use pdsm_exec::{
+    reset_scan_counters, scan_counters, set_mode_override, QueryOutput, QueryResult, ScanCounters,
+    SimdMode,
+};
 pub use pdsm_par::ParallelEngine;
 pub use pdsm_plan::physical::{AccessPath, CostSummary, EngineChoice, PhysicalPlan};
 pub use pdsm_store::FsyncMode;

@@ -22,7 +22,7 @@
 
 use crate::database::{Database, DbError, IndexCandidate};
 use pdsm_cost::{cost, Atom, Hierarchy, Pattern};
-use pdsm_exec::VectorizedEngine;
+use pdsm_exec::{zone_preds, VectorizedEngine};
 use pdsm_index::Index;
 use pdsm_plan::logical::LogicalPlan;
 use pdsm_plan::patterns::{emit_pattern, TableView};
@@ -142,13 +142,22 @@ impl Planner {
         let mem = cost::estimate(&emitted.pattern, &self.hierarchy).total_cycles;
         let work = work_est(logical, &views);
 
+        // --- zone-map pruning: the "partitions survived" term ---
+        // Blocks the main store's zone map refutes under the root selection
+        // are never touched by the compiled scan skeleton or dispensed by
+        // the morsel queue, so those two engines' memory traffic and
+        // per-tuple work shrink linearly with the surviving fraction.
+        // Volcano/bulk/vectorized read every block and are priced unscaled.
+        let (zone_blocks, zone_pruned) = zone_stats(db, logical);
+        let survived = pdsm_cost::survived_fraction(zone_blocks, zone_pruned);
+
         // --- engine alternatives (all run the same full-scan pattern) ---
         let mut engines: Vec<(EngineChoice, CostSummary)> = Vec::new();
         engines.push((
             EngineChoice::Compiled,
             CostSummary {
-                mem_cycles: mem,
-                cpu_cycles: CPU_COMPILED * work.tuples,
+                mem_cycles: mem * survived,
+                cpu_cycles: CPU_COMPILED * work.tuples * survived,
             },
         ));
         if VectorizedEngine::supports(logical) {
@@ -183,8 +192,8 @@ impl Planner {
         engines.push((
             EngineChoice::Parallel,
             CostSummary {
-                mem_cycles: mem / threads,
-                cpu_cycles: CPU_COMPILED * work.tuples / threads
+                mem_cycles: mem * survived / threads,
+                cpu_cycles: CPU_COMPILED * work.tuples * survived / threads
                     + PAR_FIXED_OVERHEAD
                     + PAR_PER_THREAD * threads,
             },
@@ -234,12 +243,21 @@ impl Planner {
             } else {
                 view.n_rows as f64
             };
+            // Zone stats belong to the scan the selection drives; an index
+            // probe bypasses the scan and consults no zone map.
+            let (zb, zp) = if i == 0 && !access.is_indexed() {
+                (zone_blocks, zone_pruned)
+            } else {
+                (0, 0)
+            };
             pipelines.push(PipelinePlan {
                 table: table.to_string(),
                 access,
                 est_rows,
                 table_rows: view.n_rows,
                 delta_rows,
+                zone_blocks: zb,
+                zone_pruned: zp,
             });
         }
 
@@ -330,6 +348,55 @@ pub(crate) fn table_view(main: &pdsm_storage::Table, visible_rows: usize) -> Tab
     let mut view = TableView::from_table(main);
     view.n_rows = visible_rows as u64;
     view
+}
+
+/// Zone blocks `(total, refuted)` of the root selection's main-store scan,
+/// from the same `zone_preds` translation the engines prune with — so the
+/// planner prices exactly the skipping that will happen. `(0, 0)` — zone
+/// map not consulted — without a database, for multi-table plans (the
+/// selection's columns would not be scan columns), with no refutable
+/// conjunct, or over an empty main store; execution prunes nothing in
+/// those cases either.
+fn zone_stats(db: Option<&Database>, logical: &LogicalPlan) -> (usize, usize) {
+    let (Some(db), Some(pred)) = (db, scan_selection(logical)) else {
+        return (0, 0);
+    };
+    let tables = logical.tables();
+    let [table] = tables.as_slice() else {
+        return (0, 0);
+    };
+    db.with_table(table, |vt| {
+        let main = vt.main();
+        if main.is_empty() {
+            return (0, 0);
+        }
+        let zp = zone_preds(main, std::slice::from_ref(pred));
+        if zp.is_empty() {
+            return (0, 0);
+        }
+        main.zone_map().prune_stats(&zp)
+    })
+    .unwrap_or((0, 0))
+}
+
+/// The predicate of the selection sitting *directly over the scan* —
+/// its columns are scan columns, which is what `zone_preds` requires.
+/// Descends through every single-input node; joins yield `None`.
+fn scan_selection(plan: &LogicalPlan) -> Option<&pdsm_plan::expr::Expr> {
+    match plan {
+        LogicalPlan::Select { input, pred, .. } => {
+            if matches!(input.as_ref(), LogicalPlan::Scan { .. }) {
+                Some(pred)
+            } else {
+                scan_selection(input)
+            }
+        }
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => scan_selection(input),
+        _ => None,
+    }
 }
 
 /// The root selection's pinned selectivity, if the plan is a (possibly

@@ -34,6 +34,39 @@ impl Estimate {
     }
 }
 
+/// Zone-map pruning term: the fraction of a scan that survives partition
+/// (zone-block) pruning. Blocks are fixed-size row ranges, so both memory
+/// traffic and per-tuple CPU work of a pruned scan scale linearly with the
+/// surviving fraction. `total == 0` (empty table / no zone map consulted)
+/// means nothing was pruned: fraction 1.
+pub fn survived_fraction(total_blocks: usize, pruned_blocks: usize) -> f64 {
+    if total_blocks == 0 {
+        1.0
+    } else {
+        (total_blocks.saturating_sub(pruned_blocks)) as f64 / total_blocks as f64
+    }
+}
+
+/// Scale an [`Estimate`] by the surviving fraction of a pruned scan: every
+/// level's misses and cycles shrink linearly (the skipped blocks are never
+/// touched, so they induce no misses at any level).
+pub fn scale_estimate(est: &Estimate, fraction: f64) -> Estimate {
+    let f = fraction.clamp(0.0, 1.0);
+    Estimate {
+        levels: est
+            .levels
+            .iter()
+            .map(|l| CostBreakdown {
+                level: l.level,
+                misses: l.misses.scaled(f),
+                cycles: l.cycles * f,
+            })
+            .collect(),
+        hidden_cycles: est.hidden_cycles * f,
+        total_cycles: est.total_cycles * f,
+    }
+}
+
 /// Accumulate per-level misses over the pattern tree. Children of a `⊙`
 /// node split the available cache capacity evenly (the Generic Cost Model's
 /// treatment of concurrent patterns competing for cache).
@@ -220,6 +253,29 @@ mod tests {
         assert_eq!(e.levels[5].misses.total(), 0.0);
         // register level counts processed words
         assert_eq!(e.levels[0].misses.total(), 1000.0);
+    }
+
+    #[test]
+    fn survived_fraction_term() {
+        assert_eq!(survived_fraction(0, 0), 1.0);
+        assert_eq!(survived_fraction(10, 0), 1.0);
+        assert_eq!(survived_fraction(10, 5), 0.5);
+        assert_eq!(survived_fraction(10, 10), 0.0);
+        // over-pruning saturates rather than going negative
+        assert_eq!(survived_fraction(10, 11), 0.0);
+    }
+
+    #[test]
+    fn pruned_scan_scales_linearly() {
+        let e = estimate(&Pattern::atom(Atom::s_trav(10_000_000, 4)), &hw());
+        let half = scale_estimate(&e, 0.5);
+        assert!((half.total_cycles - e.total_cycles * 0.5).abs() < 1e-9);
+        assert!((half.hidden_cycles - e.hidden_cycles * 0.5).abs() < 1e-9);
+        for (h, f) in half.levels.iter().zip(e.levels.iter()) {
+            assert!((h.misses.total() - f.misses.total() * 0.5).abs() < 1e-9);
+        }
+        // full survival is identity
+        assert_eq!(scale_estimate(&e, 1.0).total_cycles, e.total_cycles);
     }
 
     #[test]

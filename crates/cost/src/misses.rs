@@ -28,6 +28,15 @@ impl LevelMisses {
         self.sequential += other.sequential;
         self.random += other.random;
     }
+
+    /// Both components scaled by `f` (zone-pruned scans touch a linear
+    /// fraction of the blocks, hence of the misses).
+    pub fn scaled(&self, f: f64) -> LevelMisses {
+        LevelMisses {
+            sequential: self.sequential * f,
+            random: self.random * f,
+        }
+    }
 }
 
 /// Cardenas' formula (Eq. 7): expected number of distinct records touched

@@ -26,13 +26,15 @@ use crate::engine::{
 };
 use crate::keys::GroupKey;
 use crate::result::QueryOutput;
+use crate::simd;
 use pdsm_plan::expr::{CmpOp, Expr};
 use pdsm_plan::logical::{AggExpr, LogicalPlan};
 use pdsm_storage::dictionary::like_match;
 use pdsm_storage::partition::{F64Col, I32Col, I64Col, U32Col};
 use pdsm_storage::types::cmp_values;
-use pdsm_storage::{ColId, DataType, Table, Value};
+use pdsm_storage::{ColId, DataType, Table, Value, ZoneMap, ZoneOp, ZonePred, ZONE_BLOCK_ROWS};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The compiled engine.
 #[derive(Debug, Default, Clone, Copy)]
@@ -364,6 +366,213 @@ pub fn conjuncts(pred: &Expr) -> Vec<&Expr> {
 }
 
 // ---------------------------------------------------------------------------
+// zone-map pruning
+// ---------------------------------------------------------------------------
+
+/// Extract the zone-map-refutable conjuncts of `preds` (each element is
+/// itself a conjunct of the scan). Mirrors [`compile_pred`]'s literal
+/// handling, so a zone refutation is exactly "no row in this block can pass
+/// the corresponding kernel": comparisons against literals on numeric
+/// columns (in the kernel's widened domain), `IS [NOT] NULL` on plain
+/// columns. `OR`s, string predicates, and anything interpreted contribute
+/// nothing — pruning stays sound by simply knowing less.
+pub fn zone_preds(t: &Table, preds: &[Expr]) -> Vec<ZonePred> {
+    let mut out = Vec::new();
+    for p in preds {
+        for c in conjuncts(p) {
+            collect_zone_pred(t, c, &mut out);
+        }
+    }
+    out
+}
+
+fn collect_zone_pred(t: &Table, e: &Expr, out: &mut Vec<ZonePred>) {
+    let zop = |op: CmpOp| match op {
+        CmpOp::Eq => ZoneOp::Eq,
+        CmpOp::Ne => ZoneOp::Ne,
+        CmpOp::Lt => ZoneOp::Lt,
+        CmpOp::Le => ZoneOp::Le,
+        CmpOp::Gt => ZoneOp::Gt,
+        CmpOp::Ge => ZoneOp::Ge,
+    };
+    match e {
+        Expr::Cmp { op, left, right } => {
+            let sides = match (left.as_ref(), right.as_ref()) {
+                (Expr::Col(c), Expr::Lit(v)) => Some((*c, *op, v)),
+                (Expr::Lit(v), Expr::Col(c)) => {
+                    let flip = match op {
+                        CmpOp::Lt => CmpOp::Gt,
+                        CmpOp::Le => CmpOp::Ge,
+                        CmpOp::Gt => CmpOp::Lt,
+                        CmpOp::Ge => CmpOp::Le,
+                        o => *o,
+                    };
+                    Some((*c, flip, v))
+                }
+                _ => None,
+            };
+            if let Some((col, op, lit)) = sides {
+                match t.schema().columns()[col].ty {
+                    DataType::Int32 | DataType::Int64 => {
+                        if let Some(v) = lit.as_i64() {
+                            out.push(ZonePred::I64Cmp {
+                                col,
+                                op: zop(op),
+                                v,
+                            });
+                        }
+                    }
+                    DataType::Float64 => {
+                        if let Some(v) = lit.as_f64() {
+                            out.push(ZonePred::F64Cmp {
+                                col,
+                                op: zop(op),
+                                v,
+                            });
+                        }
+                    }
+                    DataType::Str => {}
+                }
+            }
+        }
+        Expr::IsNull(inner) => {
+            if let Expr::Col(c) = inner.as_ref() {
+                out.push(ZonePred::IsNull {
+                    col: *c,
+                    negate: false,
+                });
+            }
+        }
+        Expr::Not(inner) => {
+            if let Expr::IsNull(inner2) = inner.as_ref() {
+                if let Expr::Col(c) = inner2.as_ref() {
+                    out.push(ZonePred::IsNull {
+                        col: *c,
+                        negate: true,
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The zone map of `table` when any conjunct can refute blocks; `None`
+/// avoids even the (one-time) zone-map build for unprunable scans.
+fn prunable_zones(table: &Table, zpreds: &[ZonePred]) -> Option<Arc<ZoneMap>> {
+    if zpreds.is_empty() || table.is_empty() {
+        return None;
+    }
+    Some(table.zone_map().clone())
+}
+
+/// Per-row validity of `c` over `len (≤ 64)` rows from `start`, as a bitmask.
+fn valid_mask(t: &Table, c: ColId, start: usize, len: usize) -> u64 {
+    let mut m = 0u64;
+    for j in 0..len {
+        m |= (t.is_valid(start + j, c) as u64) << j;
+    }
+    m
+}
+
+impl<'t> PredKernel<'t> {
+    /// Evaluate this kernel over `len (≤ 64)` consecutive main-store rows
+    /// starting at `start`; bit `j` of the result is `self.test(start + j)`.
+    /// Densely packed integer comparisons go through the wide kernels of
+    /// [`crate::simd`]; everything else falls back to a scalar loop, so the
+    /// mask is always exactly the row-at-a-time verdicts.
+    pub fn block_mask(
+        &self,
+        start: usize,
+        len: usize,
+        wide: bool,
+        stats: &mut simd::ChunkStats,
+    ) -> u64 {
+        debug_assert!(len <= 64);
+        match self {
+            PredKernel::I32Cmp {
+                r,
+                op,
+                v,
+                null_col,
+                t,
+            } => {
+                let mut m = match r.as_slice() {
+                    Some(s) => simd::mask_i32(&s[start..start + len], *op, *v, wide, stats),
+                    None => {
+                        stats.scalar += 1;
+                        let mut m = 0u64;
+                        for j in 0..len {
+                            let x = r.get(start + j) as i64;
+                            m |= (op.matches(x.cmp(v)) as u64) << j;
+                        }
+                        m
+                    }
+                };
+                if let Some(c) = null_col {
+                    m &= valid_mask(t, *c, start, len);
+                }
+                m
+            }
+            PredKernel::I64Cmp {
+                r,
+                op,
+                v,
+                null_col,
+                t,
+            } => {
+                let mut m = match r.as_slice() {
+                    Some(s) => simd::mask_i64(&s[start..start + len], *op, *v, wide, stats),
+                    None => {
+                        stats.scalar += 1;
+                        let mut m = 0u64;
+                        for j in 0..len {
+                            m |= (op.matches(r.get(start + j).cmp(v)) as u64) << j;
+                        }
+                        m
+                    }
+                };
+                if let Some(c) = null_col {
+                    m &= valid_mask(t, *c, start, len);
+                }
+                m
+            }
+            PredKernel::Never => 0,
+            PredKernel::Null { col, negate, t } => {
+                let vm = valid_mask(t, *col, start, len);
+                if *negate {
+                    vm
+                } else {
+                    !vm & simd::ones(len)
+                }
+            }
+            PredKernel::And(a, b) => {
+                let ma = a.block_mask(start, len, wide, stats);
+                if ma == 0 {
+                    return 0;
+                }
+                ma & b.block_mask(start, len, wide, stats)
+            }
+            PredKernel::Or(a, b) => {
+                a.block_mask(start, len, wide, stats) | b.block_mask(start, len, wide, stats)
+            }
+            PredKernel::Not(a) => !a.block_mask(start, len, wide, stats) & simd::ones(len),
+            // Float comparisons, dictionary-code tests, and interpreted
+            // predicates stay scalar (floats deliberately so: see the
+            // module docs of `crate::simd`).
+            _ => {
+                stats.scalar += 1;
+                let mut m = 0u64;
+                for j in 0..len {
+                    m |= (self.test(start + j) as u64) << j;
+                }
+                m
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // pipelines
 // ---------------------------------------------------------------------------
 
@@ -501,21 +710,49 @@ fn run_pipeline(
     let dead: &[bool] = overlay.as_ref().map(|o| o.dead).unwrap_or(&[]);
     // Probe steps whose key reads columns this scan must supply are included
     // in `needed` by the caller.
-    'rows: for i in 0..n {
-        if !dead.is_empty() && dead[i] {
-            continue;
-        }
-        for k in &kernels {
-            if !k.test(i) {
-                continue 'rows;
+    let wide = simd::wide_enabled(simd::mode());
+    let mut stats = simd::ChunkStats::default();
+    let zpreds = zone_preds(table, preds);
+    let zones = prunable_zones(table, &zpreds);
+    let (mut scanned, mut pruned) = (0u64, 0u64);
+    for b in 0..n.div_ceil(ZONE_BLOCK_ROWS) {
+        let (bs, be) = (b * ZONE_BLOCK_ROWS, ((b + 1) * ZONE_BLOCK_ROWS).min(n));
+        if let Some(z) = &zones {
+            if z.block_refuted(b, &zpreds) {
+                pruned += 1;
+                continue;
             }
+            scanned += 1;
         }
-        let mut row = vec![Value::Null; width];
-        for &c in needed {
-            row[c] = table.get(i, c).expect("in-range");
+        let mut sub = bs;
+        while sub < be {
+            let len = (be - sub).min(64);
+            let mut mask = simd::ones(len);
+            if !dead.is_empty() {
+                for (j, &d) in dead[sub..sub + len].iter().enumerate() {
+                    mask &= !((d as u64) << j);
+                }
+            }
+            for k in &kernels {
+                if mask == 0 {
+                    break;
+                }
+                mask &= k.block_mask(sub, len, wide, &mut stats);
+            }
+            while mask != 0 {
+                let i = sub + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let mut row = vec![Value::Null; width];
+                for &c in needed {
+                    row[c] = table.get(i, c).expect("in-range");
+                }
+                push_row(row, steps, &mut sink);
+            }
+            sub += len;
         }
-        push_row(row, steps, &mut sink);
     }
+    stats.flush();
+    simd::note_blocks(scanned, pruned);
     if let Some(o) = &overlay {
         for r in o.live_tail() {
             if !tail_row_passes(preds, r) {
@@ -581,28 +818,45 @@ fn fig2c_kernel(
     let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);
     let mut sums = vec![0i64; readers.len()];
     let mut hits = 0u64;
-    match op {
-        CmpOp::Eq => {
-            for i in 0..n {
-                if (dead.is_empty() || !dead[i]) && pr.get(i) as i64 == pv {
-                    hits += 1;
-                    for (s, r) in sums.iter_mut().zip(readers.iter()) {
-                        *s += r.get(i) as i64;
-                    }
-                }
+    let wide = simd::wide_enabled(simd::mode());
+    let mut stats = simd::ChunkStats::default();
+    // Dense slices exist when each column lives alone in its partition
+    // (column / suitable hybrid layouts) — that is where the fused wide
+    // kernel applies. Tombstoned scans keep the scalar path.
+    let pred_slice = pr.as_slice();
+    let agg_slices: Option<Vec<&[i32]>> = readers.iter().map(|r| r.as_slice()).collect();
+    let zpreds = zone_preds(table, preds);
+    let zones = prunable_zones(table, &zpreds);
+    let (mut scanned, mut pruned) = (0u64, 0u64);
+    for b in 0..n.div_ceil(ZONE_BLOCK_ROWS) {
+        let (bs, be) = (b * ZONE_BLOCK_ROWS, ((b + 1) * ZONE_BLOCK_ROWS).min(n));
+        if let Some(z) = &zones {
+            if z.block_refuted(b, &zpreds) {
+                pruned += 1;
+                continue;
+            }
+            scanned += 1;
+        }
+        if dead.is_empty() {
+            if let (Some(ps), Some(ags)) = (pred_slice, agg_slices.as_ref()) {
+                let tails: Vec<&[i32]> = ags.iter().map(|a| &a[bs..be]).collect();
+                hits += simd::fused_filter_sum_i32(
+                    &ps[bs..be],
+                    op,
+                    pv,
+                    &tails,
+                    &mut sums,
+                    wide,
+                    &mut stats,
+                );
+                continue;
             }
         }
-        _ => {
-            for i in 0..n {
-                if (dead.is_empty() || !dead[i]) && op.matches((pr.get(i) as i64).cmp(&pv)) {
-                    hits += 1;
-                    for (s, r) in sums.iter_mut().zip(readers.iter()) {
-                        *s += r.get(i) as i64;
-                    }
-                }
-            }
-        }
+        stats.scalar += (be - bs).div_ceil(simd::CHUNK_ROWS) as u64;
+        fig2c_scan_rows(&pr, op, pv, &readers, dead, bs, be, &mut sums, &mut hits);
     }
+    stats.flush();
+    simd::note_blocks(scanned, pruned);
     fig2c_tail_fold(overlay, preds, &agg_cols, &mut sums, &mut hits);
     let row: Vec<Value> = sums
         .into_iter()
@@ -615,6 +869,44 @@ fn fig2c_kernel(
         })
         .collect();
     Some(vec![row])
+}
+
+/// The row-at-a-time Fig.-2c loop, for strided columns and tombstoned
+/// regions (the pre-SIMD kernel, kept verbatim as the fallback).
+#[allow(clippy::too_many_arguments)]
+fn fig2c_scan_rows(
+    pr: &I32Col<'_>,
+    op: CmpOp,
+    pv: i64,
+    readers: &[I32Col<'_>],
+    dead: &[bool],
+    start: usize,
+    end: usize,
+    sums: &mut [i64],
+    hits: &mut u64,
+) {
+    match op {
+        CmpOp::Eq => {
+            for i in start..end {
+                if (dead.is_empty() || !dead[i]) && pr.get(i) as i64 == pv {
+                    *hits += 1;
+                    for (s, r) in sums.iter_mut().zip(readers.iter()) {
+                        *s += r.get(i) as i64;
+                    }
+                }
+            }
+        }
+        _ => {
+            for i in start..end {
+                if (dead.is_empty() || !dead[i]) && op.matches((pr.get(i) as i64).cmp(&pv)) {
+                    *hits += 1;
+                    for (s, r) in sums.iter_mut().zip(readers.iter()) {
+                        *s += r.get(i) as i64;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Typed reader over a single-column group key.
@@ -681,44 +973,72 @@ fn grouped_agg_fast_path(
     let mut groups: HashMap<u64, Vec<Accumulator>> = HashMap::new();
     let n = table.len();
     let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);
-    'rows: for i in 0..n {
-        if !dead.is_empty() && dead[i] {
-            continue;
-        }
-        for k in &kernels {
-            if !k.test(i) {
-                continue 'rows;
+    let wide = simd::wide_enabled(simd::mode());
+    let mut stats = simd::ChunkStats::default();
+    let zpreds = zone_preds(table, preds);
+    let zones = prunable_zones(table, &zpreds);
+    let (mut scanned, mut pruned) = (0u64, 0u64);
+    for b in 0..n.div_ceil(ZONE_BLOCK_ROWS) {
+        let (bs, be) = (b * ZONE_BLOCK_ROWS, ((b + 1) * ZONE_BLOCK_ROWS).min(n));
+        if let Some(z) = &zones {
+            if z.block_refuted(b, &zpreds) {
+                pruned += 1;
+                continue;
             }
+            scanned += 1;
         }
-        let raw_key = match &key {
-            KeyReader::I32(r) => r.get(i) as i64 as u64,
-            KeyReader::I64(r) => r.get(i) as u64,
-            KeyReader::Code(r, _) => r.get(i) as u64,
-        };
-        let accs = groups
-            .entry(raw_key)
-            .or_insert_with(|| aggs.iter().map(|a| Accumulator::new(a.func)).collect());
-        for (acc, rd) in accs.iter_mut().zip(readers.iter()) {
-            match rd {
-                AggReader::CountStar => acc.update_i64(1),
-                AggReader::I32(r, nc) => {
-                    if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
-                        acc.update_i64(r.get(i) as i64);
-                    }
-                }
-                AggReader::I64(r, nc) => {
-                    if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
-                        acc.update_i64(r.get(i));
-                    }
-                }
-                AggReader::F64(r, nc) => {
-                    if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
-                        acc.update_f64(r.get(i));
-                    }
+        let mut sub = bs;
+        while sub < be {
+            let len = (be - sub).min(64);
+            let mut mask = simd::ones(len);
+            if !dead.is_empty() {
+                for (j, &d) in dead[sub..sub + len].iter().enumerate() {
+                    mask &= !((d as u64) << j);
                 }
             }
+            for k in &kernels {
+                if mask == 0 {
+                    break;
+                }
+                mask &= k.block_mask(sub, len, wide, &mut stats);
+            }
+            while mask != 0 {
+                let i = sub + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let raw_key = match &key {
+                    KeyReader::I32(r) => r.get(i) as i64 as u64,
+                    KeyReader::I64(r) => r.get(i) as u64,
+                    KeyReader::Code(r, _) => r.get(i) as u64,
+                };
+                let accs = groups
+                    .entry(raw_key)
+                    .or_insert_with(|| aggs.iter().map(|a| Accumulator::new(a.func)).collect());
+                for (acc, rd) in accs.iter_mut().zip(readers.iter()) {
+                    match rd {
+                        AggReader::CountStar => acc.update_i64(1),
+                        AggReader::I32(r, nc) => {
+                            if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
+                                acc.update_i64(r.get(i) as i64);
+                            }
+                        }
+                        AggReader::I64(r, nc) => {
+                            if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
+                                acc.update_i64(r.get(i));
+                            }
+                        }
+                        AggReader::F64(r, nc) => {
+                            if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
+                                acc.update_f64(r.get(i));
+                            }
+                        }
+                    }
+                }
+            }
+            sub += len;
         }
     }
+    stats.flush();
+    simd::note_blocks(scanned, pruned);
     if let Some(o) = overlay {
         for r in o.live_tail() {
             if !tail_row_passes(preds, r) {
@@ -796,36 +1116,64 @@ fn scalar_agg_fast_path(
     let mut accs: Vec<Accumulator> = aggs.iter().map(|a| Accumulator::new(a.func)).collect();
     let n = table.len();
     let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);
-    'rows: for i in 0..n {
-        if !dead.is_empty() && dead[i] {
-            continue;
-        }
-        for k in &kernels {
-            if !k.test(i) {
-                continue 'rows;
+    let wide = simd::wide_enabled(simd::mode());
+    let mut stats = simd::ChunkStats::default();
+    let zpreds = zone_preds(table, preds);
+    let zones = prunable_zones(table, &zpreds);
+    let (mut scanned, mut pruned) = (0u64, 0u64);
+    for b in 0..n.div_ceil(ZONE_BLOCK_ROWS) {
+        let (bs, be) = (b * ZONE_BLOCK_ROWS, ((b + 1) * ZONE_BLOCK_ROWS).min(n));
+        if let Some(z) = &zones {
+            if z.block_refuted(b, &zpreds) {
+                pruned += 1;
+                continue;
             }
+            scanned += 1;
         }
-        for (acc, rd) in accs.iter_mut().zip(readers.iter()) {
-            match rd {
-                AggReader::CountStar => acc.update_i64(1),
-                AggReader::I32(r, nc) => {
-                    if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
-                        acc.update_i64(r.get(i) as i64);
-                    }
-                }
-                AggReader::I64(r, nc) => {
-                    if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
-                        acc.update_i64(r.get(i));
-                    }
-                }
-                AggReader::F64(r, nc) => {
-                    if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
-                        acc.update_f64(r.get(i));
-                    }
+        let mut sub = bs;
+        while sub < be {
+            let len = (be - sub).min(64);
+            let mut mask = simd::ones(len);
+            if !dead.is_empty() {
+                for (j, &d) in dead[sub..sub + len].iter().enumerate() {
+                    mask &= !((d as u64) << j);
                 }
             }
+            for k in &kernels {
+                if mask == 0 {
+                    break;
+                }
+                mask &= k.block_mask(sub, len, wide, &mut stats);
+            }
+            while mask != 0 {
+                let i = sub + mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                for (acc, rd) in accs.iter_mut().zip(readers.iter()) {
+                    match rd {
+                        AggReader::CountStar => acc.update_i64(1),
+                        AggReader::I32(r, nc) => {
+                            if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
+                                acc.update_i64(r.get(i) as i64);
+                            }
+                        }
+                        AggReader::I64(r, nc) => {
+                            if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
+                                acc.update_i64(r.get(i));
+                            }
+                        }
+                        AggReader::F64(r, nc) => {
+                            if nc.map(|c| table.is_valid(i, c)).unwrap_or(true) {
+                                acc.update_f64(r.get(i));
+                            }
+                        }
+                    }
+                }
+            }
+            sub += len;
         }
     }
+    stats.flush();
+    simd::note_blocks(scanned, pruned);
     if let Some(o) = overlay {
         for r in o.live_tail() {
             if !tail_row_passes(preds, r) {

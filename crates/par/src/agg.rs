@@ -13,10 +13,10 @@
 
 use crate::morsel::MorselQueue;
 use crate::pool::run_workers;
-use pdsm_exec::compiled::{compile_pred, PredKernel};
+use pdsm_exec::compiled::{compile_pred, zone_preds, PredKernel};
 use pdsm_exec::keys::GroupKey;
 use pdsm_exec::{
-    agg_tail_update, fig2c_tail_fold, tail_defeats_raw_keys, tail_raw_key, tail_row_passes,
+    agg_tail_update, fig2c_tail_fold, simd, tail_defeats_raw_keys, tail_raw_key, tail_row_passes,
     Accumulator, Overlay,
 };
 use pdsm_plan::expr::Expr;
@@ -121,9 +121,11 @@ fn fig2c_parallel(
             _ => return None,
         }
     }
-    let queue = MorselQueue::for_table(table);
+    let (queue, scanned, pruned) = MorselQueue::for_table_pruned(table, &zone_preds(table, preds));
+    simd::note_blocks(scanned, pruned);
     let threads = threads.min(queue.n_morsels()).max(1);
     let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);
+    let wide = simd::wide_enabled(simd::mode());
     let partials: Vec<(u64, Vec<i64>)> = run_workers(threads, |_| {
         let (pr, op, pv) = match compile_pred(table, &preds[0]) {
             PredKernel::I32Cmp {
@@ -136,9 +138,31 @@ fn fig2c_parallel(
             _ => unreachable!("shape checked above"),
         };
         let readers: Vec<I32Col<'_>> = cols.iter().map(|&c| table.i32_reader(c)).collect();
+        // The same fused wide kernel the compiled engine runs, one morsel
+        // at a time. Integer sums are associative, so per-morsel chunked
+        // accumulation merges exactly at the barrier.
+        let pred_slice = pr.as_slice();
+        let agg_slices: Option<Vec<&[i32]>> = readers.iter().map(|r| r.as_slice()).collect();
+        let mut stats = simd::ChunkStats::default();
         let mut sums = vec![0i64; readers.len()];
         let mut hits = 0u64;
         while let Some(m) = queue.claim() {
+            if dead.is_empty() {
+                if let (Some(ps), Some(ags)) = (pred_slice, agg_slices.as_ref()) {
+                    let tails: Vec<&[i32]> = ags.iter().map(|a| &a[m.start..m.end]).collect();
+                    hits += simd::fused_filter_sum_i32(
+                        &ps[m.start..m.end],
+                        op,
+                        pv,
+                        &tails,
+                        &mut sums,
+                        wide,
+                        &mut stats,
+                    );
+                    continue;
+                }
+            }
+            stats.scalar += m.len().div_ceil(simd::CHUNK_ROWS) as u64;
             match op {
                 pdsm_plan::expr::CmpOp::Eq => {
                     for i in m.start..m.end {
@@ -163,6 +187,7 @@ fn fig2c_parallel(
                 }
             }
         }
+        stats.flush();
         (hits, sums)
     });
     let mut hits = 0u64;
@@ -203,7 +228,8 @@ pub(crate) fn scalar_agg_parallel(
     if let Some(rows) = fig2c_parallel(table, overlay, preds, aggs, threads) {
         return rows;
     }
-    let queue = MorselQueue::for_table(table);
+    let (queue, scanned, pruned) = MorselQueue::for_table_pruned(table, &zone_preds(table, preds));
+    simd::note_blocks(scanned, pruned);
     let threads = threads.min(queue.n_morsels()).max(1);
     let width = table.schema().len();
     let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);
@@ -340,7 +366,8 @@ fn grouped_fast_parallel(
             _ => return None,
         }
     }
-    let queue = MorselQueue::for_table(table);
+    let (queue, scanned, pruned) = MorselQueue::for_table_pruned(table, &zone_preds(table, preds));
+    simd::note_blocks(scanned, pruned);
     let threads = threads.min(queue.n_morsels()).max(1);
     let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);
     let partials: Vec<HashMap<u64, Vec<Accumulator>>> = run_workers(threads, |_| {
@@ -424,7 +451,8 @@ pub(crate) fn grouped_agg_parallel(
     if let Some(rows) = grouped_fast_parallel(table, overlay, preds, group_by, aggs, threads) {
         return rows;
     }
-    let queue = MorselQueue::for_table(table);
+    let (queue, scanned, pruned) = MorselQueue::for_table_pruned(table, &zone_preds(table, preds));
+    simd::note_blocks(scanned, pruned);
     let threads = threads.min(queue.n_morsels()).max(1);
     let width = table.schema().len();
     let dead: &[bool] = overlay.map(|o| o.dead).unwrap_or(&[]);

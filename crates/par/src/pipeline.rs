@@ -12,9 +12,9 @@
 
 use crate::morsel::MorselQueue;
 use crate::pool::run_workers;
-use pdsm_exec::compiled::{compile_pred, PredKernel};
+use pdsm_exec::compiled::{compile_pred, zone_preds, PredKernel};
 use pdsm_exec::keys::GroupKey;
-use pdsm_exec::{masked_tail_row, tail_row_passes, Overlay};
+use pdsm_exec::{masked_tail_row, simd, tail_row_passes, Overlay};
 use pdsm_plan::expr::Expr;
 use pdsm_storage::{ColId, Table, Value};
 use std::collections::HashMap;
@@ -110,7 +110,8 @@ pub(crate) fn collect_parallel(
     needed: &[ColId],
     threads: usize,
 ) -> Vec<Vec<Value>> {
-    let queue = MorselQueue::for_table(table);
+    let (queue, scanned, pruned) = MorselQueue::for_table_pruned(table, &zone_preds(table, preds));
+    simd::note_blocks(scanned, pruned);
     let threads = threads.min(queue.n_morsels()).max(1);
     let dead: &[bool] = overlay.as_ref().map(|o| o.dead).unwrap_or(&[]);
     let per_worker: Vec<Vec<(usize, Vec<Vec<Value>>)>> = run_workers(threads, |_| {

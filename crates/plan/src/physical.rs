@@ -100,6 +100,23 @@ pub struct PipelinePlan {
     pub table_rows: u64,
     /// Live delta-tail rows an index probe must union in (0 = merged).
     pub delta_rows: usize,
+    /// Zone blocks of the main store this scan consulted for pruning
+    /// (0 = zone map not consulted — no refutable predicate or index path).
+    pub zone_blocks: usize,
+    /// Zone blocks the planner expects the scan to skip outright.
+    pub zone_pruned: usize,
+}
+
+impl PipelinePlan {
+    /// Fraction of zone blocks the scan must actually touch (1 when the
+    /// zone map was not consulted) — the cost model's pruning term.
+    pub fn survived_fraction(&self) -> f64 {
+        if self.zone_blocks == 0 {
+            1.0
+        } else {
+            (self.zone_blocks - self.zone_pruned) as f64 / self.zone_blocks as f64
+        }
+    }
 }
 
 /// Model-predicted cycles, split the way the paper splits them: memory
@@ -190,6 +207,14 @@ impl PhysicalPlan {
             if p.access.is_indexed() {
                 s.push_str(&format!(" (+{} delta)", p.delta_rows));
             }
+            if p.zone_blocks > 0 {
+                s.push_str(&format!(
+                    ", partitions: {}/{}/{} (scanned/pruned/total)",
+                    p.zone_blocks - p.zone_pruned,
+                    p.zone_pruned,
+                    p.zone_blocks,
+                ));
+            }
             s.push('\n');
         }
         s.push_str(&format!(
@@ -226,6 +251,8 @@ mod tests {
                 est_rows: 2.0,
                 table_rows: 100,
                 delta_rows: 3,
+                zone_blocks: 0,
+                zone_pruned: 0,
             }],
             cost: CostSummary {
                 mem_cycles: 900.0,
@@ -249,6 +276,24 @@ mod tests {
         assert!(e.contains("(+3 delta)"), "{e}");
         assert!(e.contains("cost: 1000 cycles (mem 900 + cpu 100)"), "{e}");
         assert!(e.contains("scan/volcano=90000"), "{e}");
+    }
+
+    #[test]
+    fn explain_reports_partition_pruning() {
+        let mut p = sample();
+        p.pipelines[0].access = AccessPath::FullScan;
+        p.pipelines[0].zone_blocks = 40;
+        p.pipelines[0].zone_pruned = 30;
+        let e = p.explain();
+        assert!(
+            e.contains("partitions: 10/30/40 (scanned/pruned/total)"),
+            "{e}"
+        );
+        assert!((p.pipelines[0].survived_fraction() - 0.25).abs() < 1e-12);
+        // unconsulted zone map reports nothing and scales nothing
+        let q = sample();
+        assert!(!q.explain().contains("partitions:"), "{}", q.explain());
+        assert_eq!(q.pipelines[0].survived_fraction(), 1.0);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod schema;
 pub mod stats;
 pub mod table;
 pub mod types;
+pub mod zonemap;
 
 pub use bitmap::Bitmap;
 pub use dictionary::Dictionary;
@@ -59,3 +60,4 @@ pub use schema::{ColId, ColumnDef, Schema};
 pub use stats::ColumnStats;
 pub use table::Table;
 pub use types::{DataType, Value};
+pub use zonemap::{ColZone, ZoneBlock, ZoneMap, ZoneOp, ZonePred, ZONE_BLOCK_ROWS};

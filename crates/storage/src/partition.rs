@@ -384,6 +384,35 @@ macro_rules! impl_typed_col {
             pub fn iter(&self) -> impl Iterator<Item = $t> + '_ {
                 (0..self.len).map(move |i| self.get(i))
             }
+
+            /// Byte distance between consecutive values (the partition's
+            /// fragment stride).
+            #[inline(always)]
+            pub fn stride(&self) -> usize {
+                self.stride
+            }
+
+            /// The values as one contiguous typed slice, when the field is
+            /// densely packed (the column lives alone in its partition, so
+            /// stride == value width) *and* the arena happens to be aligned
+            /// for the type. This is the entry ticket to the SIMD kernels
+            /// in `pdsm-exec`; callers fall back to strided `get` loops
+            /// when it returns `None`.
+            pub fn as_slice(&self) -> Option<&'a [$t]> {
+                const W: usize = std::mem::size_of::<$t>();
+                if self.stride != W {
+                    return None;
+                }
+                let bytes = self.data.get(self.offset..self.offset + self.len * W)?;
+                // SAFETY: every $t bit pattern is a valid value; align_to
+                // only yields the middle when alignment holds.
+                let (pre, mid, _) = unsafe { bytes.align_to::<$t>() };
+                if pre.is_empty() && mid.len() == self.len {
+                    Some(mid)
+                } else {
+                    None
+                }
+            }
         }
     };
 }
@@ -491,6 +520,31 @@ mod tests {
         assert_eq!(p.get_raw(0, 1).unwrap(), RawVal::F64(9.0));
         assert!(p.set_raw(0, 0, RawVal::Null).is_err());
         assert!(p.set_raw(3, 0, RawVal::I32(0)).is_err());
+    }
+
+    #[test]
+    fn as_slice_only_for_densely_packed_fields() {
+        // Multi-field partition: stride 24 ≠ 4, so no contiguous view.
+        let mut p = part();
+        p.push_row(&[RawVal::I32(1), RawVal::F64(2.0), RawVal::U32(3)])
+            .unwrap();
+        assert!(p.i32_col(0).as_slice().is_none());
+        assert!(p.f64_col(1).as_slice().is_none());
+
+        // Single-column partition: stride == width, contiguous view works.
+        let mut lone = Partition::new(vec![0], vec![DataType::Int32], vec![false]);
+        for i in 0..1000 {
+            lone.push_row(&[RawVal::I32(i)]).unwrap();
+        }
+        let col = lone.i32_col(0);
+        let s = col.as_slice().expect("packed i32 column is contiguous");
+        assert_eq!(s.len(), 1000);
+        assert!(s.iter().enumerate().all(|(i, &v)| v == i as i32));
+        assert_eq!(col.stride(), 4);
+
+        // Empty packed column: a Some(&[]) view, not a None.
+        let empty = Partition::new(vec![0], vec![DataType::Int64], vec![false]);
+        assert_eq!(empty.i64_col(0).as_slice(), Some(&[][..]));
     }
 
     #[test]

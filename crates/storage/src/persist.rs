@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! "PDSMTBL1"  magic
-//! u32         format version (1)
+//! u32         format version (2)
 //! u64         generation (the merge counter at checkpoint time)
 //! str         table name              (str = u32 length + UTF-8 bytes)
 //! u32         #columns, then per column: str name, u8 type, u8 nullable
@@ -21,8 +21,14 @@
 //! u64         row count
 //! per group:  u64 arena bytes + bytes, then per slot:
 //!             u8 has-validity, u32 bit count, u64 words
+//! per column: u8 zone tag (0 none, 1 int, 2 float), then for 1/2:
+//!             u32 #blocks + per block: 8B min, 8B max, u8 flags   (v2+)
 //! u32         CRC-32 of everything above
 //! ```
+//!
+//! Version 1 blobs (no zone section) load fine — the zone map is simply
+//! rebuilt lazily on first use. The zone build is deterministic, so a
+//! load/re-save cycle stays byte-exact in either direction.
 //!
 //! [`from_bytes`] fails hard on any mismatch — unlike a WAL tail, a
 //! committed checkpoint blob is written atomically, so corruption here is
@@ -35,9 +41,12 @@ use crate::layout::Layout;
 use crate::schema::{ColumnDef, Schema};
 use crate::table::Table;
 use crate::types::DataType;
+use crate::zonemap::{ColZone, ZoneBlock, ZoneMap, ZONE_BLOCK_ROWS};
 
 const MAGIC: &[u8; 8] = b"PDSMTBL1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest version [`from_bytes`] still accepts (v1 = no zone section).
+const MIN_VERSION: u32 = 1;
 
 /// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), table-driven. Shared by
 /// every durable artifact in the workspace (WAL records, checkpoint
@@ -147,9 +156,39 @@ pub fn to_bytes(table: &Table, generation: u64) -> Vec<u8> {
             }
         }
     }
+    // v2: the zone map travels with the checkpoint so recovery starts
+    // with scan pruning warm instead of paying a rebuild pass.
+    let zones = table.zone_map();
+    for zone in zones.cols() {
+        match zone {
+            ColZone::Skipped => buf.push(0),
+            ColZone::Int(blocks) => {
+                buf.push(1);
+                buf.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+                for b in blocks {
+                    buf.extend_from_slice(&b.min.to_le_bytes());
+                    buf.extend_from_slice(&b.max.to_le_bytes());
+                    buf.push(zone_flags(b.has_null, b.has_value));
+                }
+            }
+            ColZone::Float(blocks) => {
+                buf.push(2);
+                buf.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+                for b in blocks {
+                    buf.extend_from_slice(&b.min.to_bits().to_le_bytes());
+                    buf.extend_from_slice(&b.max.to_bits().to_le_bytes());
+                    buf.push(zone_flags(b.has_null, b.has_value));
+                }
+            }
+        }
+    }
     let crc = crc32(&buf);
     buf.extend_from_slice(&crc.to_le_bytes());
     buf
+}
+
+fn zone_flags(has_null: bool, has_value: bool) -> u8 {
+    (has_null as u8) | ((has_value as u8) << 1)
 }
 
 struct Reader<'a> {
@@ -207,7 +246,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<(Table, u64)> {
         pos: MAGIC.len(),
     };
     let version = r.u32()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(corrupt("unsupported format version"));
     }
     let generation = r.u64()?;
@@ -289,11 +328,73 @@ pub fn from_bytes(bytes: &[u8]) -> Result<(Table, u64)> {
         }
         table.partitions_mut()[pi].restore(arena, len, validity);
     }
+    let zones = if version >= 2 {
+        let n_blocks = len.div_ceil(ZONE_BLOCK_ROWS);
+        let mut zone_cols = Vec::with_capacity(ncols);
+        for c in 0..ncols {
+            let tag = r.u8()?;
+            let ty = table.schema().columns()[c].ty;
+            let want = match ty {
+                DataType::Int32 | DataType::Int64 => 1,
+                DataType::Float64 => 2,
+                DataType::Str => 0,
+            };
+            if tag != want {
+                return Err(corrupt("zone tag does not match column type"));
+            }
+            zone_cols.push(match tag {
+                0 => ColZone::Skipped,
+                1 => ColZone::Int(read_zone_blocks(&mut r, n_blocks, |min, max| ZoneBlock {
+                    min: i64::from_le_bytes(min),
+                    max: i64::from_le_bytes(max),
+                    has_null: false,
+                    has_value: false,
+                })?),
+                _ => ColZone::Float(read_zone_blocks(&mut r, n_blocks, |min, max| ZoneBlock {
+                    min: f64::from_bits(u64::from_le_bytes(min)),
+                    max: f64::from_bits(u64::from_le_bytes(max)),
+                    has_null: false,
+                    has_value: false,
+                })?),
+            });
+        }
+        Some(ZoneMap::from_parts(len, zone_cols))
+    } else {
+        None
+    };
     if r.pos != body.len() {
         return Err(corrupt("trailing bytes"));
     }
     table.restore_meta(dicts, len);
+    if let Some(z) = zones {
+        table.install_zones(z);
+    }
     Ok((table, generation))
+}
+
+fn read_zone_blocks<T: Copy>(
+    r: &mut Reader<'_>,
+    n_blocks: usize,
+    make: impl Fn([u8; 8], [u8; 8]) -> ZoneBlock<T>,
+) -> Result<Vec<ZoneBlock<T>>> {
+    let n = r.u32()? as usize;
+    if n != n_blocks {
+        return Err(corrupt("zone block count does not match row count"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let min: [u8; 8] = r.take(8)?.try_into().unwrap();
+        let max: [u8; 8] = r.take(8)?.try_into().unwrap();
+        let flags = r.u8()?;
+        if flags & !0b11 != 0 {
+            return Err(corrupt("bad zone flags"));
+        }
+        let mut b = make(min, max);
+        b.has_null = flags & 1 != 0;
+        b.has_value = flags & 2 != 0;
+        out.push(b);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -367,6 +468,46 @@ mod tests {
         let (back, generation) = from_bytes(&bytes).unwrap();
         assert_eq!(generation, 0);
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn zone_map_travels_with_the_blob() {
+        let t = demo(Layout::column(4));
+        let warmed = t.zone_map().clone();
+        let bytes = to_bytes(&t, 3);
+        let (back, _) = from_bytes(&bytes).unwrap();
+        // The reloaded table answers pruning questions without a rebuild
+        // pass: its installed map equals the one computed from the data.
+        assert_eq!(**back.zone_map(), *warmed);
+        assert_eq!(to_bytes(&back, 3), bytes);
+    }
+
+    #[test]
+    fn version_1_blob_without_zone_section_still_loads() {
+        let t = demo(Layout::row(4));
+        let v2 = to_bytes(&t, 9);
+        // Surgically rebuild the v1 form: drop the zone section (which sits
+        // between the partitions and the CRC), stamp version 1, re-CRC.
+        let zone_len: usize = t
+            .zone_map()
+            .cols()
+            .iter()
+            .map(|z| match z {
+                ColZone::Skipped => 1,
+                ColZone::Int(b) => 1 + 4 + b.len() * 17,
+                ColZone::Float(b) => 1 + 4 + b.len() * 17,
+            })
+            .sum();
+        let body_end = v2.len() - 4 - zone_len;
+        let mut v1 = v2[..body_end].to_vec();
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let crc = crc32(&v1);
+        v1.extend_from_slice(&crc.to_le_bytes());
+        let (back, generation) = from_bytes(&v1).unwrap();
+        assert_eq!(generation, 9);
+        assert_eq!(back.len(), t.len());
+        // No installed map — but the lazy rebuild produces the same one.
+        assert_eq!(**back.zone_map(), **t.zone_map());
     }
 
     #[test]

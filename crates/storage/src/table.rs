@@ -8,6 +8,8 @@ use crate::row::Row;
 use crate::schema::{ColId, Schema};
 use crate::stats::ColumnStats;
 use crate::types::{DataType, Value};
+use crate::zonemap::ZoneMap;
+use std::sync::{Arc, OnceLock};
 
 /// A memory-resident table stored according to a vertical-partitioning
 /// [`Layout`]. Dictionaries for `Str` columns live at the table level so that
@@ -23,6 +25,10 @@ pub struct Table {
     /// One dictionary per `Str` column (index = ColId), `None` otherwise.
     dicts: Vec<Option<Dictionary>>,
     len: usize,
+    /// Lazily built zone map (see [`crate::zonemap`]). Every `&mut` path
+    /// that can change stored values clears it; cloning a table with a
+    /// built map shares it (it is immutable once built).
+    zones: OnceLock<Arc<ZoneMap>>,
 }
 
 impl Table {
@@ -73,6 +79,7 @@ impl Table {
             col_loc,
             dicts,
             len: 0,
+            zones: OnceLock::new(),
         })
     }
 
@@ -181,6 +188,7 @@ impl Table {
                 .expect("encoded fragment matches partition types");
         }
         self.len += 1;
+        self.invalidate_zones();
         Ok(self.len - 1)
     }
 
@@ -212,6 +220,7 @@ impl Table {
             }
             self.len += 1;
         }
+        self.invalidate_zones();
         Ok(())
     }
 
@@ -252,6 +261,7 @@ impl Table {
         }
         let raw = self.encode(c, v)?;
         let (pi, slot) = self.col_loc[c];
+        self.invalidate_zones();
         self.partitions[pi].set_raw(row, slot, raw)
     }
 
@@ -332,6 +342,27 @@ impl Table {
         self.partitions[pi].is_valid(row, slot)
     }
 
+    /// The table's zone map (per-block min/max summaries, see
+    /// [`crate::zonemap`]), built on first use and cached until the next
+    /// mutation. An `Arc` so merge/checkpoint paths can warm and hand the
+    /// map across clones for free.
+    pub fn zone_map(&self) -> &Arc<ZoneMap> {
+        self.zones.get_or_init(|| Arc::new(ZoneMap::build(self)))
+    }
+
+    /// Install a pre-built zone map (persistence / merge warm-up only).
+    /// No-op if a map is already cached. The caller asserts `z` describes
+    /// exactly this table's contents.
+    pub(crate) fn install_zones(&self, z: ZoneMap) {
+        debug_assert_eq!(z.n_rows(), self.len);
+        let _ = self.zones.set(Arc::new(z));
+    }
+
+    /// Drop the cached zone map; called by every mutating path.
+    fn invalidate_zones(&mut self) {
+        self.zones = OnceLock::new();
+    }
+
     /// All per-column dictionaries, schema order (persistence only).
     pub(crate) fn dicts(&self) -> &[Option<Dictionary>] {
         &self.dicts
@@ -343,10 +374,12 @@ impl Table {
         assert_eq!(dicts.len(), self.schema.len(), "dictionary arity mismatch");
         self.dicts = dicts;
         self.len = len;
+        self.invalidate_zones();
     }
 
     /// Mutable partitions (persistence only).
     pub(crate) fn partitions_mut(&mut self) -> &mut [Partition] {
+        self.invalidate_zones();
         &mut self.partitions
     }
 }

@@ -81,6 +81,11 @@ impl MergeTicket {
                 tail_folded += 1;
             }
         }
+        // Warm the zone map here, off the writer lock: the fold above
+        // already touched every value, and the checkpoint taken by
+        // `finish_merge` persists the zones alongside the partitions. (A
+        // post-cut replay invalidates them; they then rebuild lazily.)
+        fresh.zone_map();
         Ok(BuiltMain {
             epoch: self.epoch,
             table: fresh,

@@ -26,7 +26,7 @@ pub mod prelude {
     pub use pdsm_core::{
         Database, DurabilityConfig, EngineKind, FsyncMode, IndexKind, LayoutAdvisor,
         MaintenanceConfig, MaintenanceMode, MaintenanceStats, QueryOutput, QueryResult,
-        StorageStats,
+        ScanCounters, SimdMode, StorageStats,
     };
     pub use pdsm_exec::engine::{BulkEngine, CompiledEngine, Engine, VolcanoEngine};
     pub use pdsm_layout::workload::{Workload, WorkloadQuery};

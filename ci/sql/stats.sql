@@ -1,0 +1,4 @@
+-- Connection-level cache counters (see crates/sql/src/server.rs).
+-- Values depend on run history, so this script is printed and grepped
+-- by the result-cache CI job, never hash-asserted.
+STATS

@@ -55,6 +55,9 @@ use crate::maintenance::{
     MaintenanceScheduler, MaintenanceStats,
 };
 use crate::planner::Planner;
+use crate::result_cache::{
+    CacheStats, DepTokens, PlanCache, ResultCache, ResultCacheConfig, FRAGMENT_TABLE,
+};
 use pdsm_exec::engine::{
     BulkEngine, CompiledEngine, Engine, ExecError, Overlay, TableProvider, VolcanoEngine,
 };
@@ -63,6 +66,7 @@ use pdsm_index::{HashIndex, Index, RBTree};
 use pdsm_layout::workload::{Workload, WorkloadQuery};
 use pdsm_par::ParallelEngine;
 use pdsm_plan::expr::{CmpOp, Expr};
+use pdsm_plan::fingerprint::{pipeline_fragment, plan_fingerprint, substitute_fragment};
 use pdsm_plan::logical::LogicalPlan;
 use pdsm_plan::physical::{AccessPath, EngineChoice, PhysicalPlan};
 use pdsm_storage::{ColId, DataType, Layout, Schema, Table, Value};
@@ -321,25 +325,12 @@ pub struct StorageStats {
     pub recovery_replay_ops: u64,
 }
 
-/// Upper bound on cached physical plans; the cache is cleared wholesale
-/// when it fills (plans are cheap to recompute).
+/// Upper bound on cached physical plans, across the cache's shards
+/// (per-shard LRU eviction past it — see [`crate::result_cache::PlanCache`]).
 const PLAN_CACHE_CAP: usize = 256;
 /// Upper bound on *distinct* plans the observed workload records;
 /// frequencies of already-recorded plans keep counting past it.
 const OBSERVED_CAP: usize = 512;
-
-/// One cached lowering: valid while the catalog shape and every referenced
-/// table's `(generation, delta_ops)` fingerprint are unchanged — the merge
-/// generation counter `pdsm-txn` maintains is exactly the invalidation
-/// token the cache needs. Generation bumps now also come from the
-/// background worker; the fingerprint is re-read from the live tables on
-/// every lookup, so concurrent bumps invalidate no differently from
-/// inline ones.
-struct CachedPlan {
-    epoch: u64,
-    deps: Vec<(String, u64, u64)>,
-    phys: Arc<PhysicalPlan>,
-}
 
 /// The observed workload plus an O(1) dedup index over it, so recording a
 /// repeat plan on the execute hot path never walks the query list.
@@ -408,8 +399,16 @@ pub struct Database {
     /// Bumped by every catalog-shape change (table created/registered,
     /// index created/dropped); part of the plan-cache validity key.
     catalog_epoch: AtomicU64,
-    /// Physical plans keyed by the logical plan's rendering.
-    plan_cache: Mutex<HashMap<String, CachedPlan>>,
+    /// Physical plans keyed by the logical plan's rendering, validated
+    /// against the referenced tables' live `(generation, delta_ops)`
+    /// tokens on every lookup. Sharded + LRU-bounded; repeat executes of
+    /// the same plan take only a shard read lock.
+    plan_cache: PlanCache,
+    /// Materialized results keyed by [`pdsm_plan::plan_fingerprint`] plus
+    /// the same per-table tokens — see [`crate::result_cache`]. Consulted
+    /// by [`Database::execute`] for admitted plans; serves whole results
+    /// and filtered-scan fragments.
+    result_cache: ResultCache,
     /// Every plan routed through [`Database::execute`], deduplicated with
     /// frequencies — the observed traffic `relayout`/merge re-advise from.
     observed: Mutex<ObservedTraffic>,
@@ -443,7 +442,8 @@ impl Database {
         Database {
             catalog: RwLock::new(HashMap::new()),
             catalog_epoch: AtomicU64::new(0),
-            plan_cache: Mutex::new(HashMap::new()),
+            plan_cache: PlanCache::new(PLAN_CACHE_CAP),
+            result_cache: ResultCache::new(ResultCacheConfig::from_env()),
             observed: Mutex::new(ObservedTraffic::default()),
             maintenance: MaintenanceScheduler::new(cfg),
             durability: None,
@@ -1178,16 +1178,17 @@ impl Database {
 
     /// Execute `plan` through the cost-based planner: lower it to a
     /// [`PhysicalPlan`] (cached per catalog/generation fingerprint), record
-    /// it in the observed workload, and dispatch to the chosen engine or
-    /// index probe. Results are byte-identical to every fixed engine.
+    /// it in the observed workload, consult the result cache for admitted
+    /// plans, and dispatch to the chosen engine or index probe. Results
+    /// are byte-identical to every fixed engine — cached or not.
     pub fn execute(&self, plan: &LogicalPlan) -> Result<QueryResult, DbError> {
         // One rendering serves both the plan cache and the observed-
         // workload dedup — it is the only per-plan string work on a
         // cache-hit execute.
         let key = format!("{plan:?}");
-        let phys = self.plan_query_keyed(plan, &key)?;
+        let (phys, deps, epoch) = self.plan_query_deps(plan, &key)?;
         self.record_observed(plan, key);
-        self.execute_physical(&phys)
+        self.execute_physical_cached(&phys, Some((deps, epoch)))
     }
 
     /// Lower `plan` to its [`PhysicalPlan`] without executing it. Cached:
@@ -1196,15 +1197,14 @@ impl Database {
     /// the background worker), or the catalog changes shape (table
     /// registered, index created/dropped).
     pub fn plan_query(&self, plan: &LogicalPlan) -> Result<Arc<PhysicalPlan>, DbError> {
-        self.plan_query_keyed(plan, &format!("{plan:?}"))
+        Ok(self.plan_query_deps(plan, &format!("{plan:?}"))?.0)
     }
 
-    fn plan_query_keyed(
-        &self,
-        plan: &LogicalPlan,
-        key: &str,
-    ) -> Result<Arc<PhysicalPlan>, DbError> {
-        let mut deps: Vec<(String, u64, u64)> = Vec::new();
+    /// The per-table invalidation tokens of every table `plan` reads, plus
+    /// the catalog epoch — the shared validity fingerprint of the plan and
+    /// result caches.
+    fn deps_and_epoch(&self, plan: &LogicalPlan) -> Result<(DepTokens, u64), DbError> {
+        let mut deps: DepTokens = Vec::new();
         for t in plan.tables() {
             if deps.iter().any(|(n, _, _)| n == t) {
                 continue;
@@ -1214,41 +1214,114 @@ impl Database {
             deps.push((t.to_string(), generation, delta_ops));
         }
         let epoch = self.catalog_epoch.load(Ordering::Relaxed);
-        {
-            let cache = self.plan_cache.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(c) = cache.get(key) {
-                if c.epoch == epoch && c.deps == deps {
-                    return Ok(c.phys.clone());
-                }
-            }
+        Ok((deps, epoch))
+    }
+
+    /// Lower (or fetch the cached lowering of) `plan`, returning the
+    /// tokens it was validated against so callers can reuse them for the
+    /// result-cache probe without re-reading table locks.
+    fn plan_query_deps(
+        &self,
+        plan: &LogicalPlan,
+        key: &str,
+    ) -> Result<(Arc<PhysicalPlan>, DepTokens, u64), DbError> {
+        let (deps, epoch) = self.deps_and_epoch(plan)?;
+        if let Some(phys) = self.plan_cache.lookup(key, epoch, &deps) {
+            return Ok((phys, deps, epoch));
         }
         let phys = Arc::new(Planner::default().plan(self, plan)?);
-        let mut cache = self.plan_cache.lock().unwrap_or_else(|e| e.into_inner());
-        if cache.len() >= PLAN_CACHE_CAP {
-            cache.clear();
-        }
-        cache.insert(
-            key.to_string(),
-            CachedPlan {
-                epoch,
-                deps,
-                phys: phys.clone(),
-            },
-        );
-        Ok(phys)
+        self.plan_cache
+            .insert(key.to_string(), epoch, deps.clone(), phys.clone());
+        Ok((phys, deps, epoch))
     }
 
     /// The `EXPLAIN` of `plan`: the physical plan's rendering — chosen
-    /// engine, per-pipeline access path, model cost and all priced
-    /// alternatives.
+    /// engine, per-pipeline access path, model cost, all priced
+    /// alternatives — plus the result cache's live status for this plan
+    /// (`bypass` when disabled or not admitted, otherwise a stat-silent
+    /// peek answers `hit` or `miss`).
     pub fn explain(&self, plan: &LogicalPlan) -> Result<String, DbError> {
-        Ok(self.plan_query(plan)?.explain())
+        let key = format!("{plan:?}");
+        let (phys, deps, epoch) = self.plan_query_deps(plan, &key)?;
+        let status = if !self.result_cache.is_enabled() || !phys.cache_admit {
+            "bypass"
+        } else if self
+            .result_cache
+            .probe(&plan_fingerprint(&phys.logical), epoch, &deps, false)
+            .is_some()
+        {
+            "hit"
+        } else {
+            "miss"
+        };
+        Ok(phys.explain_with(Some(status)))
     }
 
-    /// Execute an already-lowered plan: index-probe pipelines run the
-    /// overlay-aware probe + delta-tail union; everything else dispatches
-    /// to the chosen engine.
+    /// Execute an already-lowered plan, consulting the result cache the
+    /// same way [`Database::execute`] does.
     pub fn execute_physical(&self, phys: &PhysicalPlan) -> Result<QueryResult, DbError> {
+        self.execute_physical_cached(phys, None)
+    }
+
+    /// The cache-wrapped execution path. `deps_epoch` carries the tokens
+    /// `execute` already read for the plan cache; `None` (direct
+    /// `execute_physical` callers) reads them fresh.
+    fn execute_physical_cached(
+        &self,
+        phys: &PhysicalPlan,
+        deps_epoch: Option<(DepTokens, u64)>,
+    ) -> Result<QueryResult, DbError> {
+        // The entire cache-off cost: one atomic load.
+        if !self.result_cache.is_enabled() {
+            return self.execute_physical_uncached(phys);
+        }
+        if !phys.cache_admit {
+            // The model priced this result as cheaper to recompute than
+            // to copy in and out of a cache.
+            self.result_cache.note_bypass();
+            return self.execute_physical_uncached(phys);
+        }
+        let (deps, epoch) = match deps_epoch {
+            Some(d) => d,
+            None => self.deps_and_epoch(&phys.logical)?,
+        };
+        let fp = plan_fingerprint(&phys.logical);
+        if let Some(hit) = self.result_cache.probe(&fp, epoch, &deps, true) {
+            return Ok((*hit.result).clone());
+        }
+        // Whole-result miss: a cached filtered-scan fragment may still
+        // serve this plan (e.g. an aggregate over a previously-run
+        // filter); otherwise execute for real.
+        let result = match self.fragment_result(&phys.logical, epoch, &deps)? {
+            Some(r) => r,
+            None => self.execute_physical_uncached(phys)?,
+        };
+        // Admit only if no DML/merge/shape change raced the execution:
+        // the tokens are monotonic, so equality before and after brackets
+        // the pinned snapshot and proves the tag matches the rows. A
+        // vanished table just skips admission.
+        if let Ok((deps_after, epoch_after)) = self.deps_and_epoch(&phys.logical) {
+            if deps_after == deps && epoch_after == epoch {
+                let result = Arc::new(result);
+                let benefit = (phys.cost.total() - phys.copy_out_cycles).max(0.0);
+                self.result_cache.admit(
+                    fp,
+                    epoch,
+                    deps,
+                    Arc::clone(&result),
+                    benefit,
+                    self.fragment_schema(&phys.logical),
+                );
+                return Ok((*result).clone());
+            }
+        }
+        Ok(result)
+    }
+
+    /// Execute an already-lowered plan with no cache interaction:
+    /// index-probe pipelines run the overlay-aware probe + delta-tail
+    /// union; everything else dispatches to the chosen engine.
+    fn execute_physical_uncached(&self, phys: &PhysicalPlan) -> Result<QueryResult, DbError> {
         if phys.access().is_indexed() {
             if let Some(cand) = self.index_candidate(&phys.logical) {
                 if let Some(out) = self.run_index_candidate(&phys.logical, &cand)? {
@@ -1258,6 +1331,87 @@ impl Database {
             // Index dropped (or reshaped) since planning — scan instead.
         }
         self.run(&phys.logical, phys.engine.into())
+    }
+
+    /// Serve `plan` from a cached filtered-scan fragment: when `plan` is a
+    /// **global aggregate** directly over a cached-and-current
+    /// `Select(Scan)` fragment, the fragment's rows are rebuilt into a
+    /// synthetic table once and the aggregate runs over them on the
+    /// compiled engine. Restricted to empty-`group_by` aggregates because
+    /// their single-row output is independent of both row order and the
+    /// engine that computes it — grouped or row-returning consumers would
+    /// tie the output's row *order* to the serving engine, and group order
+    /// is an engine-level degree of freedom this cache must not alter.
+    fn fragment_result(
+        &self,
+        plan: &LogicalPlan,
+        epoch: u64,
+        deps: &DepTokens,
+    ) -> Result<Option<QueryResult>, DbError> {
+        let LogicalPlan::Aggregate {
+            input, group_by, ..
+        } = plan
+        else {
+            return Ok(None);
+        };
+        if !group_by.is_empty() {
+            return Ok(None);
+        }
+        let Some(frag) = pipeline_fragment(plan) else {
+            return Ok(None);
+        };
+        if !std::ptr::eq(frag, input.as_ref()) {
+            return Ok(None);
+        }
+        let fp = plan_fingerprint(frag);
+        // Single-table plans only (fragments never cross joins), so the
+        // plan's tokens are exactly the fragment's tokens.
+        let Some(entry) = self.result_cache.probe(&fp, epoch, deps, false) else {
+            return Ok(None);
+        };
+        let Some(table) = entry.fragment_table() else {
+            return Ok(None);
+        };
+        self.result_cache.note_fragment_hit(&entry);
+        let rewritten = substitute_fragment(plan, FRAGMENT_TABLE);
+        let provider = FragProvider { table };
+        let output = EngineKind::Compiled
+            .engine()
+            .execute(&rewritten, &provider)?;
+        Ok(Some(QueryResult::new(self.names_for(plan), output)))
+    }
+
+    /// The base table's schema when `plan` is a full-schema filtered scan
+    /// (`Select` directly over `Scan`) — the shape whose cached result can
+    /// later serve as a fragment for other plans.
+    fn fragment_schema(&self, plan: &LogicalPlan) -> Option<Schema> {
+        let LogicalPlan::Select { input, .. } = plan else {
+            return None;
+        };
+        let LogicalPlan::Scan { table } = input.as_ref() else {
+            return None;
+        };
+        self.with_table(table, |vt| vt.schema().clone()).ok()
+    }
+
+    /// Combined counters of the plan cache and the result cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            plan: self.plan_cache.stats(),
+            result: self.result_cache.stats(),
+        }
+    }
+
+    /// Reconfigure the result cache (tests, embedders, benchmarks that
+    /// must not depend on the process environment). Drops every cached
+    /// result; counters keep accumulating.
+    pub fn set_result_cache(&self, cfg: ResultCacheConfig) {
+        self.result_cache.set_config(cfg);
+    }
+
+    /// The result cache's active configuration.
+    pub fn result_cache_config(&self) -> ResultCacheConfig {
+        self.result_cache.config()
     }
 
     /// Execute `plan`, using an index for the outermost selection when one
@@ -1636,6 +1790,19 @@ impl TableProvider for DbSnapshot {
 
     fn overlay(&self, name: &str) -> Option<Overlay<'_>> {
         self.tables.get(name).and_then(|s| s.overlay())
+    }
+}
+
+/// Provider serving a single materialized fragment under
+/// [`FRAGMENT_TABLE`] — what a fragment-rewritten plan scans. No overlay:
+/// the fragment is fully materialized, its rows are the whole truth.
+struct FragProvider {
+    table: Arc<Table>,
+}
+
+impl TableProvider for FragProvider {
+    fn table(&self, name: &str) -> Option<&Table> {
+        (name == FRAGMENT_TABLE).then_some(&self.table)
     }
 }
 

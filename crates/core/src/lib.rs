@@ -41,6 +41,7 @@ pub mod advisor;
 pub mod database;
 pub mod maintenance;
 pub mod planner;
+pub mod result_cache;
 
 pub use advisor::{AdvisorReport, LayoutAdvisor};
 pub use database::{
@@ -59,3 +60,4 @@ pub use pdsm_txn::{
     VersionedTable,
 };
 pub use planner::Planner;
+pub use result_cache::{CacheStats, PlanCacheStats, ResultCacheConfig, ResultCacheStats};

@@ -52,6 +52,15 @@ pub const PAR_PER_THREAD: f64 = 2_000.0;
 pub const CPU_INDEX_HIT: f64 = 150.0;
 /// Cycles to interpret the predicate against one decoded delta-tail row.
 pub const CPU_TAIL_ROW: f64 = 60.0;
+/// Result-cache admission: predicted re-execution must exceed the priced
+/// copy-out (`pdsm_cost::copy_out_cycles` of the estimated result bytes)
+/// by this factor. Keeps barely-profitable results out — cache churn costs
+/// budget and eviction work that the model does not price.
+pub const CACHE_ADMIT_FACTOR: f64 = 4.0;
+/// Result-cache admission floor: plans predicted cheaper than this
+/// re-execute faster than the cache's own bookkeeping (fingerprint, probe,
+/// store), so they always bypass — point index probes land here.
+pub const CACHE_MIN_REEXEC_CYCLES: f64 = 20_000.0;
 
 /// The cost-based planner. [`Planner::default`] uses the calibrated
 /// Nehalem hierarchy and the machine's worker count; pin `threads` for
@@ -261,6 +270,18 @@ impl Planner {
             });
         }
 
+        // --- result-cache admission: recompute vs. copy-out ---
+        // Estimated materialized size: output rows × output arity ×
+        // ~16 bytes per Value. Admit only when re-running the chosen plan
+        // is predicted CACHE_ADMIT_FACTOR× dearer than writing the result
+        // once and reading it back — full-table SELECT *s (copy ≈ scan)
+        // bypass, aggregates over big scans (copy ≈ one row) admit.
+        let out_arity = logical.arity(&|t| views.get(t).map(|v| v.col_widths.len()).unwrap_or(0));
+        let out_bytes = (emitted.out_rows.max(0.0) * out_arity.max(1) as f64 * 16.0) as u64;
+        let copy_out = pdsm_cost::copy_out_cycles(out_bytes, &self.hierarchy);
+        let cache_admit = chosen_cost.total() >= CACHE_MIN_REEXEC_CYCLES
+            && chosen_cost.total() > CACHE_ADMIT_FACTOR * copy_out;
+
         PhysicalPlan {
             logical: logical.clone(),
             engine: best_engine,
@@ -268,6 +289,8 @@ impl Planner {
             cost: chosen_cost,
             alternatives,
             est_out_rows: emitted.out_rows,
+            cache_admit,
+            copy_out_cycles: copy_out,
         }
     }
 

@@ -47,6 +47,25 @@ pub fn survived_fraction(total_blocks: usize, pruned_blocks: usize) -> f64 {
     }
 }
 
+/// Cycles to copy a materialized result through a cache: one sequential
+/// write of `bytes` plus one sequential re-read on the first reuse — the
+/// "copy-out" side of the cache-vs-recompute admission test (Dursun et
+/// al.'s reuse criterion, priced with this model's own sequential-traversal
+/// atom). A result is worth caching only when re-executing its plan costs
+/// more than this.
+pub fn copy_out_cycles(bytes: u64, hw: &Hierarchy) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    // Price as 8-byte word traffic; round the byte count up to whole words.
+    let words = bytes.div_ceil(8);
+    let p = Pattern::seq(vec![
+        Pattern::atom(crate::Atom::s_trav(words, 8)),
+        Pattern::atom(crate::Atom::s_trav(words, 8)),
+    ]);
+    estimate(&p, hw).total_cycles
+}
+
 /// Scale an [`Estimate`] by the surviving fraction of a pruned scan: every
 /// level's misses and cycles shrink linearly (the skipped blocks are never
 /// touched, so they induce no misses at any level).
@@ -253,6 +272,16 @@ mod tests {
         assert_eq!(e.levels[5].misses.total(), 0.0);
         // register level counts processed words
         assert_eq!(e.levels[0].misses.total(), 1000.0);
+    }
+
+    #[test]
+    fn copy_out_grows_with_bytes() {
+        let hw = Hierarchy::nehalem();
+        assert_eq!(copy_out_cycles(0, &hw), 0.0);
+        let small = copy_out_cycles(1 << 10, &hw);
+        let big = copy_out_cycles(1 << 24, &hw);
+        assert!(small > 0.0);
+        assert!(big > small * 100.0, "big={big} small={small}");
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub mod misses;
 
 pub use algebra::Pattern;
 pub use atoms::Atom;
-pub use cost::{scale_estimate, survived_fraction, CostBreakdown, Estimate};
+pub use cost::{copy_out_cycles, scale_estimate, survived_fraction, CostBreakdown, Estimate};
 pub use hierarchy::{Hierarchy, Level};
 pub use misses::{cardenas, LevelMisses};

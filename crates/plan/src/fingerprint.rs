@@ -1,0 +1,233 @@
+//! Canonical plan fingerprints — the result cache's key.
+//!
+//! [`plan_fingerprint`] renders a [`LogicalPlan`] to a canonical string
+//! that identifies *what the plan computes*, normalizing away annotations
+//! that cannot change the result. Today that is exactly one thing: the
+//! `sel_hint` on [`LogicalPlan::Select`] — benchmarks sweep hints on
+//! otherwise-identical plans, and a result computed under one hint is
+//! byte-identical to the same plan under another. Everything
+//! result-relevant (tables, predicates, expressions, literal *types* —
+//! an `Int32` literal coerces differently from an `Int64` one) stays in
+//! the rendering verbatim.
+//!
+//! The companion helpers [`pipeline_fragment`] and [`substitute_fragment`]
+//! identify and splice out the *filtered-scan fragment* of a single-table
+//! pipeline — the `Select(Scan)` subtree every operator above it consumes.
+//! A cached fragment keyed by `plan_fingerprint(fragment)` can then serve
+//! any later plan over the same fragment (e.g. an aggregate over a
+//! previously-run filter) by substituting a scan of the materialized rows.
+
+use crate::logical::LogicalPlan;
+
+/// Canonical fingerprint of `plan`: a deterministic rendering with
+/// result-irrelevant annotations (`sel_hint`) normalized away. Two plans
+/// with equal fingerprints compute identical results over identical table
+/// versions.
+pub fn plan_fingerprint(plan: &LogicalPlan) -> String {
+    let mut s = String::new();
+    render(plan, &mut s);
+    s
+}
+
+fn render(plan: &LogicalPlan, out: &mut String) {
+    match plan {
+        LogicalPlan::Scan { table } => {
+            out.push_str("scan(");
+            out.push_str(table);
+            out.push(')');
+        }
+        LogicalPlan::Select { input, pred, .. } => {
+            // sel_hint deliberately omitted: it prices, it never filters.
+            out.push_str(&format!("select({pred:?})["));
+            render(input, out);
+            out.push(']');
+        }
+        LogicalPlan::Project { input, exprs } => {
+            out.push_str(&format!("project({exprs:?})["));
+            render(input, out);
+            out.push(']');
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            out.push_str(&format!("aggregate(group={group_by:?}, aggs={aggs:?})["));
+            render(input, out);
+            out.push(']');
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            out.push_str(&format!("join(lk={left_key:?}, rk={right_key:?})["));
+            render(left, out);
+            out.push_str("]×[");
+            render(right, out);
+            out.push(']');
+        }
+        LogicalPlan::Sort { input, keys } => {
+            out.push_str(&format!("sort({keys:?})["));
+            render(input, out);
+            out.push(']');
+        }
+        LogicalPlan::Limit { input, n } => {
+            out.push_str(&format!("limit({n})["));
+            render(input, out);
+            out.push(']');
+        }
+    }
+}
+
+/// The plan's *filtered-scan fragment*: the `Select(Scan)` subtree feeding
+/// every operator above it, reached through single-input operators only.
+/// `None` for joins (two pipelines, no single fragment), for bare scans
+/// (nothing filtered to reuse) and for plans with no selection. The
+/// returned node may be the plan itself — callers deciding whether a
+/// *sub*-result exists should compare addresses.
+pub fn pipeline_fragment(plan: &LogicalPlan) -> Option<&LogicalPlan> {
+    match plan {
+        LogicalPlan::Select { input, .. } => {
+            if matches!(input.as_ref(), LogicalPlan::Scan { .. }) {
+                Some(plan)
+            } else {
+                pipeline_fragment(input)
+            }
+        }
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => pipeline_fragment(input),
+        LogicalPlan::Scan { .. } | LogicalPlan::Join { .. } => None,
+    }
+}
+
+/// Rebuild `plan` with its filtered-scan fragment (the node
+/// [`pipeline_fragment`] finds) replaced by a scan of `table` — the
+/// consuming side of fragment reuse. The fragment preserves the base
+/// table's full schema, so every column reference above it stays valid.
+pub fn substitute_fragment(plan: &LogicalPlan, table: &str) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Select {
+            input,
+            pred,
+            sel_hint,
+        } => {
+            if matches!(input.as_ref(), LogicalPlan::Scan { .. }) {
+                LogicalPlan::Scan {
+                    table: table.to_string(),
+                }
+            } else {
+                LogicalPlan::Select {
+                    input: Box::new(substitute_fragment(input, table)),
+                    pred: pred.clone(),
+                    sel_hint: *sel_hint,
+                }
+            }
+        }
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(substitute_fragment(input, table)),
+            exprs: exprs.clone(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(substitute_fragment(input, table)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(substitute_fragment(input, table)),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(substitute_fragment(input, table)),
+            n: *n,
+        },
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use crate::expr::Expr;
+    use crate::logical::AggExpr;
+
+    fn filtered(sel_hint: Option<f64>) -> LogicalPlan {
+        let mut plan = QueryBuilder::scan("t")
+            .filter(Expr::col(0).eq(Expr::lit(7)))
+            .build();
+        if let LogicalPlan::Select { sel_hint: h, .. } = &mut plan {
+            *h = sel_hint;
+        }
+        plan
+    }
+
+    #[test]
+    fn hints_are_normalized_away() {
+        assert_eq!(
+            plan_fingerprint(&filtered(None)),
+            plan_fingerprint(&filtered(Some(0.01)))
+        );
+    }
+
+    #[test]
+    fn result_relevant_parts_distinguish() {
+        let a = QueryBuilder::scan("t")
+            .filter(Expr::col(0).eq(Expr::lit(7)))
+            .build();
+        let b = QueryBuilder::scan("t")
+            .filter(Expr::col(0).eq(Expr::lit(8)))
+            .build();
+        assert_ne!(plan_fingerprint(&a), plan_fingerprint(&b));
+        // literal type matters: Int32(7) vs Int64(7) coerce differently
+        let c = QueryBuilder::scan("t")
+            .filter(Expr::col(0).eq(Expr::lit(7i64)))
+            .build();
+        assert_ne!(plan_fingerprint(&a), plan_fingerprint(&c));
+        // table name matters
+        let d = QueryBuilder::scan("u")
+            .filter(Expr::col(0).eq(Expr::lit(7)))
+            .build();
+        assert_ne!(plan_fingerprint(&a), plan_fingerprint(&d));
+    }
+
+    #[test]
+    fn fragment_found_through_consumers() {
+        let frag = filtered(None);
+        let agg = QueryBuilder::scan("t")
+            .filter(Expr::col(0).eq(Expr::lit(7)))
+            .aggregate(vec![], vec![AggExpr::count_star()])
+            .build();
+        let found = pipeline_fragment(&agg).expect("fragment under aggregate");
+        assert_eq!(plan_fingerprint(found), plan_fingerprint(&frag));
+        // the fragment of a bare Select(Scan) is the plan itself
+        let this = pipeline_fragment(&frag).unwrap();
+        assert!(std::ptr::eq(this, &frag));
+        // bare scans and joins have none
+        assert!(pipeline_fragment(&QueryBuilder::scan("t").build()).is_none());
+    }
+
+    #[test]
+    fn substitution_splices_a_scan() {
+        let agg = QueryBuilder::scan("t")
+            .filter(Expr::col(0).eq(Expr::lit(7)))
+            .aggregate(vec![], vec![AggExpr::count_star()])
+            .build();
+        let rewritten = substitute_fragment(&agg, "#frag");
+        match &rewritten {
+            LogicalPlan::Aggregate { input, .. } => match input.as_ref() {
+                LogicalPlan::Scan { table } => assert_eq!(table, "#frag"),
+                other => panic!("expected scan under aggregate, got {other:?}"),
+            },
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+        assert_eq!(rewritten.tables(), vec!["#frag"]);
+    }
+}

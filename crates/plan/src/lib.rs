@@ -22,6 +22,7 @@
 
 pub mod builder;
 pub mod expr;
+pub mod fingerprint;
 pub mod logical;
 pub mod names;
 pub mod patterns;
@@ -30,6 +31,7 @@ pub mod selectivity;
 
 pub use builder::QueryBuilder;
 pub use expr::{ArithOp, CmpOp, Expr};
+pub use fingerprint::{pipeline_fragment, plan_fingerprint, substitute_fragment};
 pub use logical::{AggExpr, AggFunc, LogicalPlan, SortKey};
 pub use names::{render_agg, render_expr, sql_literal};
 pub use patterns::{emit_pattern, AccessGroup, AccessKind, TableView};

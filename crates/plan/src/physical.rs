@@ -156,6 +156,15 @@ pub struct PhysicalPlan {
     pub alternatives: Vec<(String, f64)>,
     /// Estimated result cardinality.
     pub est_out_rows: f64,
+    /// Result-cache admission: `true` iff the model priced re-executing
+    /// this plan above materializing and re-reading its result
+    /// (`copy_out_cycles`) — the Dursun-style cache-vs-recompute test.
+    /// `false` plans bypass the result cache entirely.
+    pub cache_admit: bool,
+    /// Model-predicted cycles to copy the materialized result out of a
+    /// cache (one sequential write + one re-read of the estimated result
+    /// bytes) — what admission weighed `cost` against.
+    pub copy_out_cycles: f64,
 }
 
 impl PhysicalPlan {
@@ -193,6 +202,16 @@ impl PhysicalPlan {
     /// per pipeline, the model's cost breakdown, and every priced
     /// alternative. This is the system's `EXPLAIN`.
     pub fn explain(&self) -> String {
+        self.explain_with(None)
+    }
+
+    /// [`PhysicalPlan::explain`] plus a `cache:` line reporting the result
+    /// cache's live status for this plan (`hit`, `miss` or `bypass`).
+    /// Status is dynamic — the same cached plan can be a miss now and a
+    /// hit next time — so callers (e.g. `Database::explain`) probe the
+    /// cache at explain time and pass the answer in; `None` omits the
+    /// line, keeping the bare rendering byte-stable for snapshots.
+    pub fn explain_with(&self, cache: Option<&str>) -> String {
         let mut s = String::new();
         s.push_str("physical plan\n");
         s.push_str(&format!("  engine: {}\n", self.engine));
@@ -229,6 +248,9 @@ impl PhysicalPlan {
             s.push_str(&format!(" {label}={cycles:.0}"));
         }
         s.push('\n');
+        if let Some(status) = cache {
+            s.push_str(&format!("  cache: {status}\n"));
+        }
         s
     }
 }
@@ -264,6 +286,8 @@ mod tests {
                 ("scan/volcano".to_string(), 90000.0),
             ],
             est_out_rows: 2.0,
+            cache_admit: false,
+            copy_out_cycles: 0.0,
         }
     }
 
@@ -294,6 +318,16 @@ mod tests {
         let q = sample();
         assert!(!q.explain().contains("partitions:"), "{}", q.explain());
         assert_eq!(q.pipelines[0].survived_fraction(), 1.0);
+    }
+
+    #[test]
+    fn explain_with_appends_cache_line() {
+        let p = sample();
+        assert!(!p.explain().contains("cache:"), "{}", p.explain());
+        assert_eq!(p.explain_with(None), p.explain());
+        let e = p.explain_with(Some("hit"));
+        assert!(e.ends_with("  cache: hit\n"), "{e}");
+        assert!(e.starts_with(&p.explain()), "{e}");
     }
 
     #[test]

@@ -119,6 +119,23 @@ fn main() {
             Err(e) => eprintln!("pdsm-server checkpoint failed: {e}"),
         }
     }
+    let s = db.cache_stats();
+    eprintln!(
+        "pdsm-server cache summary: result hits={} fragment_hits={} misses={} \
+         bypasses={} hit_rate={:.1}% bytes={} evictions={} invalidations={} | \
+         plan hits={} misses={} evictions={}",
+        s.result.hits,
+        s.result.fragment_hits,
+        s.result.misses,
+        s.result.bypasses,
+        s.result.hit_rate() * 100.0,
+        s.result.bytes,
+        s.result.evictions,
+        s.result.invalidations,
+        s.plan.hits,
+        s.plan.misses,
+        s.plan.evictions,
+    );
     eprintln!("pdsm-server stopped");
 }
 

@@ -9,6 +9,10 @@
 //! Connection-level commands (not SQL, handled by the server loop):
 //!
 //! * `QUIT` / `EXIT` — `BYE`, then the connection closes.
+//! * `STATS` — a two-column `metric / value` result with the database's
+//!   plan- and result-cache counters (hit rates, resident bytes,
+//!   invalidations), so clients and CI can assert cache behaviour over
+//!   the wire.
 //! * `SHUTDOWN` — `OK 0`, then the whole server shuts down gracefully.
 //!
 //! Blank lines and `--` comment lines are ignored without a response, so
@@ -145,7 +149,7 @@ fn serve_connection(
     let mut reader = BufReader::new(stream);
     writeln!(writer, "HELLO pdsm-sql 1")?;
     writer.flush()?;
-    let session = Session::new(db);
+    let session = Session::new(Arc::clone(&db));
     let mut buf = String::new();
     loop {
         match reader.read_line(&mut buf) {
@@ -170,6 +174,10 @@ fn serve_connection(
                 writer.flush()?;
                 return Ok(());
             }
+            "STATS" => {
+                write_response(&mut writer, &stats_response(&db))?;
+                continue;
+            }
             "SHUTDOWN" => {
                 write_response(&mut writer, &Response::Count(0))?;
                 shutdown.store(true, Ordering::SeqCst);
@@ -182,6 +190,38 @@ fn serve_connection(
         if shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
+    }
+}
+
+/// The `STATS` command's payload: every plan- and result-cache counter as
+/// a `metric / value` row, in a fixed order so clients can parse by line.
+fn stats_response(db: &Database) -> Response {
+    use pdsm_storage::Value;
+    let s = db.cache_stats();
+    let rows: Vec<(&str, i64)> = vec![
+        ("result_cache_enabled", s.result.enabled as i64),
+        ("result_cache_budget_bytes", s.result.budget_bytes as i64),
+        ("result_cache_bytes", s.result.bytes as i64),
+        ("result_cache_entries", s.result.entries as i64),
+        ("result_cache_hits", s.result.hits as i64),
+        ("result_cache_fragment_hits", s.result.fragment_hits as i64),
+        ("result_cache_misses", s.result.misses as i64),
+        ("result_cache_bypasses", s.result.bypasses as i64),
+        ("result_cache_evictions", s.result.evictions as i64),
+        ("result_cache_invalidations", s.result.invalidations as i64),
+        ("result_cache_insertions", s.result.insertions as i64),
+        ("plan_cache_hits", s.plan.hits as i64),
+        ("plan_cache_misses", s.plan.misses as i64),
+        ("plan_cache_evictions", s.plan.evictions as i64),
+        ("plan_cache_invalidations", s.plan.invalidations as i64),
+        ("plan_cache_entries", s.plan.entries as i64),
+    ];
+    Response::Rows {
+        columns: vec!["metric".into(), "value".into()],
+        rows: rows
+            .into_iter()
+            .map(|(m, v)| vec![Value::Str(m.to_string()), Value::Int64(v)])
+            .collect(),
     }
 }
 
@@ -277,6 +317,34 @@ mod tests {
                 WireResponse::Rows { data, .. } => assert_eq!(data, vec!["50"]),
                 other => panic!("unexpected {other:?}"),
             }
+        }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn stats_command_reports_cache_counters() {
+        let srv = server();
+        let mut c = Client::connect(srv.local_addr());
+        for i in 0..4 {
+            assert_eq!(
+                c.send(&format!("INSERT INTO t VALUES ({i}, 'x')")),
+                WireResponse::Count(1)
+            );
+        }
+        // Two identical aggregates: the second can hit the result cache.
+        for _ in 0..2 {
+            match c.send("SELECT count(*) FROM t WHERE a > 0") {
+                WireResponse::Rows { data, .. } => assert_eq!(data, vec!["3"]),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match c.send("STATS") {
+            WireResponse::Rows { header, data } => {
+                assert_eq!(header, "metric\tvalue");
+                assert!(data.iter().any(|l| l.starts_with("result_cache_enabled\t")));
+                assert!(data.iter().any(|l| l.starts_with("plan_cache_hits\t")));
+            }
+            other => panic!("unexpected {other:?}"),
         }
         srv.shutdown();
     }

@@ -24,9 +24,9 @@ pub use pdsm_workloads as workloads;
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
     pub use pdsm_core::{
-        Database, DurabilityConfig, EngineKind, FsyncMode, IndexKind, LayoutAdvisor,
-        MaintenanceConfig, MaintenanceMode, MaintenanceStats, QueryOutput, QueryResult,
-        ScanCounters, SimdMode, StorageStats,
+        CacheStats, Database, DurabilityConfig, EngineKind, FsyncMode, IndexKind, LayoutAdvisor,
+        MaintenanceConfig, MaintenanceMode, MaintenanceStats, PlanCacheStats, QueryOutput,
+        QueryResult, ResultCacheConfig, ResultCacheStats, ScanCounters, SimdMode, StorageStats,
     };
     pub use pdsm_exec::engine::{BulkEngine, CompiledEngine, Engine, VolcanoEngine};
     pub use pdsm_layout::workload::{Workload, WorkloadQuery};

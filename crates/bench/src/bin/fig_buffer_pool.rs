@@ -1,0 +1,386 @@
+//! **fig_buffer_pool** — larger-than-memory tables through the buffer
+//! pool: a checkpointed table ~4× the pool budget is scanned repeatedly
+//! with the streaming (extent-at-a-time) executor, and the run must stay
+//! inside the budget instead of hydrating the whole main store:
+//!
+//! * `resident`    — no pool: recovery hydrates everything (the ceiling);
+//! * `pool-fit`    — budget ≥ dataset: the pool caches every extent, so
+//!   repeated scans should cost close to resident (the overhead leg);
+//! * `pool-tight`  — budget ≈ dataset/4: every scan faults and evicts,
+//!   peak RSS growth must stay near the budget, not the dataset;
+//! * `selective`   — a ≤1 % *clustered* scan under the tight budget:
+//!   zone maps must refute the cold extents outside the matching suffix,
+//!   so the pool faults only the surviving extents.
+//!
+//! Every leg runs in a fresh child process (the binary re-execs itself)
+//! so each leg's `VmHWM` — the kernel's own peak-RSS high-water mark —
+//! is its own, not the previous leg's. Emits `BENCH_buffer_pool.json`.
+//!
+//! Usage: `cargo run -p pdsm-bench --release --bin fig_buffer_pool
+//!         [--rows 200000] [--iters 4] [--extent-rows 8192]
+//!         [--json BENCH_buffer_pool.json]`
+
+use pdsm_bench::{fmt_num, print_table, Args, Json};
+use pdsm_core::{
+    BufferPool, Database, DurabilityConfig, EngineKind, FsyncMode, MaintenanceConfig,
+    MaintenanceMode,
+};
+use pdsm_plan::builder::QueryBuilder;
+use pdsm_plan::expr::Expr;
+use pdsm_plan::logical::{AggExpr, AggFunc};
+use pdsm_workloads::microbench;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const PHASE_ENV: &str = "PDSM_FIG_POOL_PHASE";
+const DIR_ENV: &str = "PDSM_FIG_POOL_DIR";
+
+/// The data dir is minted once by the parent (keyed on *its* pid) and
+/// handed to every child phase through the environment.
+fn bench_dir() -> PathBuf {
+    match std::env::var(DIR_ENV) {
+        Ok(d) => PathBuf::from(d),
+        Err(_) => std::env::temp_dir().join(format!("pdsm-fig-buffer-pool-{}", std::process::id())),
+    }
+}
+
+/// The kernel's peak-RSS high-water mark for this process, in bytes.
+fn vm_hwm_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse::<u64>().ok())
+        })
+        .unwrap_or(0)
+        * 1024
+}
+
+/// Total bytes of the checkpoint blobs under `dir` — the on-disk dataset
+/// size the pool budget is measured against.
+fn checkpoint_bytes(dir: &Path) -> u64 {
+    let mut total = 0;
+    if let Ok(tables) = std::fs::read_dir(dir) {
+        for t in tables.flatten() {
+            if let Ok(files) = std::fs::read_dir(t.path()) {
+                for f in files.flatten() {
+                    let name = f.file_name().to_string_lossy().into_owned();
+                    if name.starts_with("main.") && name.ends_with(".tbl") {
+                        total += f.metadata().map(|m| m.len()).unwrap_or(0);
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+fn maint_off() -> MaintenanceConfig {
+    MaintenanceConfig {
+        mode: MaintenanceMode::Off,
+        ..Default::default()
+    }
+}
+
+fn open(dir: &Path, budget: Option<usize>) -> Database {
+    Database::open_with_pool(
+        DurabilityConfig::new(dir).with_fsync(FsyncMode::Off),
+        maint_off(),
+        budget.map(BufferPool::new),
+    )
+    .expect("open data dir")
+}
+
+/// A full-table streaming aggregate: every non-refuted extent faults.
+fn full_scan_plan() -> pdsm_plan::logical::LogicalPlan {
+    QueryBuilder::scan("R")
+        .aggregate(
+            vec![],
+            vec![
+                AggExpr::new(AggFunc::Sum, Expr::col(1)),
+                AggExpr::new(AggFunc::Count, Expr::col(2)),
+            ],
+        )
+        .build()
+}
+
+fn emit(k: &str, v: impl std::fmt::Display) {
+    println!("RESULT {k}={v}");
+}
+
+/// Child: build the dataset once — checkpointed with small extents so a
+/// few MB already spans dozens of them.
+fn phase_seed(dir: &Path, rows: usize) {
+    let _ = std::fs::remove_dir_all(dir);
+    let db = open(dir, None);
+    // sel 0.0: column A is the strictly decreasing -(i+1), so suffix
+    // range predicates are exactly clustered and zone maps bite.
+    db.register(microbench::generate(
+        rows,
+        0.0,
+        microbench::pdsm_layout(),
+        42,
+    ));
+    drop(db);
+    emit("dataset_bytes", checkpoint_bytes(dir));
+}
+
+/// Child: scan the table `iters` times; report wall time, RSS growth
+/// during the queries, and the pool counters.
+fn phase_scan(dir: &Path, budget: Option<usize>, iters: usize, rows: usize) {
+    let db = open(dir, budget);
+    let plan = full_scan_plan();
+    let hwm_before = vm_hwm_bytes();
+    let t0 = Instant::now();
+    let mut checksum = 0i64;
+    for _ in 0..iters {
+        let out = db.run(&plan, EngineKind::Compiled).expect("scan");
+        checksum ^= match &out.rows[0][1] {
+            pdsm_storage::Value::Int64(n) => *n,
+            _ => 0,
+        };
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    emit("elapsed_s", format!("{:.6}", elapsed));
+    emit(
+        "rows_per_s",
+        format!("{:.0}", (rows * iters) as f64 / elapsed),
+    );
+    emit(
+        "rss_growth_bytes",
+        vm_hwm_bytes().saturating_sub(hwm_before),
+    );
+    if let Some(p) = db.pool_stats() {
+        emit("pool_budget", p.budget_bytes);
+        emit("pool_peak_resident", p.peak_resident_bytes);
+        emit("pool_hits", p.hits);
+        emit("pool_misses", p.misses);
+        emit("pool_evictions", p.evictions);
+        emit("pool_overcommits", p.overcommits);
+    }
+}
+
+/// Child: the clustered ≤1 % scan under the tight budget — zone maps
+/// must keep cold extents cold.
+fn phase_selective(dir: &Path, budget: usize, rows: usize) {
+    let db = open(dir, Some(budget));
+    let k = rows / 100; // 1 % suffix: A = -(i+1) < -(rows-k) ⇔ i ≥ rows-k
+    let plan = QueryBuilder::scan("R")
+        .filter(Expr::col(0).lt(Expr::lit(-((rows - k) as i32))))
+        .aggregate(vec![], vec![AggExpr::new(AggFunc::Count, Expr::col(1))])
+        .build();
+    let out = db.run(&plan, EngineKind::Compiled).expect("selective scan");
+    emit(
+        "matched",
+        match &out.rows[0][0] {
+            pdsm_storage::Value::Int64(n) => *n,
+            _ => -1,
+        },
+    );
+    let (extents, groups) = db
+        .with_table("R", |vt| {
+            vt.cold_main()
+                .map(|c| (c.n_extents(), c.header().layout.n_groups()))
+                .unwrap_or((0, 0))
+        })
+        .expect("table");
+    emit("extents_total", extents);
+    emit("groups_per_extent", groups);
+    let p = db.pool_stats().expect("pool stats");
+    emit("pool_misses", p.misses);
+    emit("pool_skipped_faults", p.skipped_faults);
+}
+
+fn run_child(dir: &Path, phase: &str, budget: Option<usize>) -> HashMap<String, String> {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.args(std::env::args().skip(1))
+        .env(PHASE_ENV, phase)
+        .env(DIR_ENV, dir);
+    if let Some(b) = budget {
+        cmd.env("PDSM_FIG_POOL_BUDGET", b.to_string());
+    }
+    let out = cmd.output().expect("spawn child phase");
+    assert!(
+        out.status.success(),
+        "phase {phase} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter_map(|l| l.strip_prefix("RESULT "))
+        .filter_map(|l| l.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn get<T: std::str::FromStr + Default>(m: &HashMap<String, String>, k: &str) -> T {
+    m.get(k).and_then(|v| v.parse().ok()).unwrap_or_default()
+}
+
+fn main() {
+    let args = Args::parse();
+    let rows: usize = args.get("rows", 200_000);
+    let iters: usize = args.get("iters", 4);
+    let extent_rows: usize = args.get("extent-rows", 8_192);
+    let json_path: String = args.get("json", "BENCH_buffer_pool.json".into());
+    // Children inherit the knob, so seeding and scanning agree on extents.
+    std::env::set_var("PDSM_EXTENT_ROWS", extent_rows.to_string());
+    let dir = bench_dir();
+
+    if let Ok(phase) = std::env::var(PHASE_ENV) {
+        let budget: Option<usize> = std::env::var("PDSM_FIG_POOL_BUDGET")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        match phase.as_str() {
+            "seed" => phase_seed(&dir, rows),
+            "resident" => phase_scan(&dir, None, iters, rows),
+            "pooled" => phase_scan(&dir, budget, iters, rows),
+            "selective" => phase_selective(&dir, budget.expect("budget"), rows),
+            other => panic!("unknown phase {other}"),
+        }
+        return;
+    }
+
+    println!("fig_buffer_pool — {rows} rows, {iters} scan iters, {extent_rows}-row extents\n");
+    let seed = run_child(&dir, "seed", None);
+    let dataset: u64 = get(&seed, "dataset_bytes");
+    let tight = (dataset / 4) as usize; // dataset ≈ 4× budget
+    let fit = (dataset * 2) as usize;
+    println!(
+        "dataset {} on disk; tight budget {} (¼), fit budget {} (2×)\n",
+        fmt_num(dataset as f64),
+        fmt_num(tight as f64),
+        fmt_num(fit as f64)
+    );
+
+    let resident = run_child(&dir, "resident", None);
+    let pool_fit = run_child(&dir, "pooled", Some(fit));
+    let pool_tight = run_child(&dir, "pooled", Some(tight));
+    let selective = run_child(&dir, "selective", Some(tight));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let legs = [
+        ("resident", &resident),
+        ("pool-fit", &pool_fit),
+        ("pool-tight", &pool_tight),
+    ];
+    let table: Vec<Vec<String>> = legs
+        .iter()
+        .map(|(name, m)| {
+            vec![
+                name.to_string(),
+                fmt_num(get::<f64>(m, "rows_per_s")),
+                fmt_num(get::<u64>(m, "rss_growth_bytes") as f64),
+                fmt_num(get::<u64>(m, "pool_peak_resident") as f64),
+                get::<u64>(m, "pool_hits").to_string(),
+                get::<u64>(m, "pool_misses").to_string(),
+                get::<u64>(m, "pool_evictions").to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "leg",
+            "rows/s",
+            "rss-growth",
+            "pool-peak",
+            "hits",
+            "misses",
+            "evict",
+        ],
+        &table,
+    );
+
+    // Acceptance: the tight leg's RSS growth stays near the budget, far
+    // under the dataset; the selective scan faults only the suffix.
+    let tight_rss: u64 = get(&pool_tight, "rss_growth_bytes");
+    let rss_ok = tight_rss < dataset;
+    let fit_overhead = get::<f64>(&resident, "elapsed_s").max(1e-9);
+    let fit_ratio = get::<f64>(&pool_fit, "elapsed_s") / fit_overhead;
+
+    let extents: u64 = get(&selective, "extents_total");
+    let groups: u64 = get(&selective, "groups_per_extent");
+    let skipped: u64 = get(&selective, "pool_skipped_faults");
+    let sel_misses: u64 = get(&selective, "pool_misses");
+    let faulted = extents.saturating_sub(skipped);
+    let expect_faulted = ((rows / 100) as u64).div_ceil(extent_rows as u64) + 1;
+    let sel_ok = faulted <= expect_faulted && sel_misses == faulted * groups;
+    println!(
+        "\npool-tight RSS growth {} vs dataset {} — bounded: {}",
+        fmt_num(tight_rss as f64),
+        fmt_num(dataset as f64),
+        if rss_ok { "PASS" } else { "FAIL" }
+    );
+    println!("pool-fit elapsed vs resident: {fit_ratio:.2}x");
+    println!(
+        "selective 1% scan: {faulted}/{extents} extents faulted (≤ {expect_faulted} expected), \
+         {skipped} zone-skipped, {sel_misses} group faults — {}",
+        if sel_ok { "PASS" } else { "FAIL" }
+    );
+
+    let leg_json = |m: &HashMap<String, String>| {
+        Json::obj(vec![
+            ("elapsed_s", Json::Num(get(m, "elapsed_s"))),
+            ("rows_per_s", Json::Num(get(m, "rows_per_s"))),
+            (
+                "rss_growth_bytes",
+                Json::Int(get::<u64>(m, "rss_growth_bytes") as i64),
+            ),
+            (
+                "pool_budget",
+                Json::Int(get::<u64>(m, "pool_budget") as i64),
+            ),
+            (
+                "pool_peak_resident",
+                Json::Int(get::<u64>(m, "pool_peak_resident") as i64),
+            ),
+            ("pool_hits", Json::Int(get::<u64>(m, "pool_hits") as i64)),
+            (
+                "pool_misses",
+                Json::Int(get::<u64>(m, "pool_misses") as i64),
+            ),
+            (
+                "pool_evictions",
+                Json::Int(get::<u64>(m, "pool_evictions") as i64),
+            ),
+            (
+                "pool_overcommits",
+                Json::Int(get::<u64>(m, "pool_overcommits") as i64),
+            ),
+        ])
+    };
+    let json = Json::obj(vec![
+        ("bench", Json::Str("fig_buffer_pool".into())),
+        ("rows", Json::Int(rows as i64)),
+        ("iters", Json::Int(iters as i64)),
+        ("extent_rows", Json::Int(extent_rows as i64)),
+        ("dataset_bytes", Json::Int(dataset as i64)),
+        ("tight_budget_bytes", Json::Int(tight as i64)),
+        ("fit_budget_bytes", Json::Int(fit as i64)),
+        ("resident", leg_json(&resident)),
+        ("pool_fit", leg_json(&pool_fit)),
+        ("pool_tight", leg_json(&pool_tight)),
+        ("fit_vs_resident_ratio", Json::Num(fit_ratio)),
+        ("tight_rss_bounded", Json::Str(rss_ok.to_string())),
+        (
+            "selective",
+            Json::obj(vec![
+                ("matched", Json::Int(get::<i64>(&selective, "matched"))),
+                ("extents_total", Json::Int(extents as i64)),
+                ("extents_faulted", Json::Int(faulted as i64)),
+                ("extents_zone_skipped", Json::Int(skipped as i64)),
+                ("group_faults", Json::Int(sel_misses as i64)),
+                ("faults_only_survivors", Json::Str(sel_ok.to_string())),
+            ]),
+        ),
+    ]);
+    match std::fs::write(&json_path, json.render() + "\n") {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+    }
+}

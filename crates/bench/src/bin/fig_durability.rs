@@ -45,6 +45,7 @@ impl Mode {
             Mode::Wal(FsyncMode::Off) => "wal-off",
             Mode::Wal(FsyncMode::Batch) => "wal-batch",
             Mode::Wal(FsyncMode::Always) => "wal-always",
+            Mode::Wal(FsyncMode::Group) => "wal-group",
         }
     }
 }
@@ -224,6 +225,7 @@ fn main() {
         Mode::Wal(FsyncMode::Off),
         Mode::Wal(FsyncMode::Batch),
         Mode::Wal(FsyncMode::Always),
+        Mode::Wal(FsyncMode::Group),
     ];
     let results: Vec<ModeResult> = modes
         .iter()

@@ -69,6 +69,7 @@ use pdsm_plan::expr::{CmpOp, Expr};
 use pdsm_plan::fingerprint::{pipeline_fragment, plan_fingerprint, substitute_fragment};
 use pdsm_plan::logical::LogicalPlan;
 use pdsm_plan::physical::{AccessPath, EngineChoice, PhysicalPlan};
+use pdsm_pool::{BufferPool, PoolStats};
 use pdsm_storage::{ColId, DataType, Layout, Schema, Table, Value};
 use pdsm_store::{FsyncMode, Manifest};
 use pdsm_txn::durability::replay;
@@ -420,6 +421,10 @@ pub struct Database {
     /// ([`Database::open`]): newly created tables get a WAL, merges
     /// checkpoint, and reopening the directory recovers everything.
     durability: Option<DbDurability>,
+    /// `Some` iff `PDSM_POOL_BYTES` configured a buffer pool at open:
+    /// checkpointed tables then recover *cold* (header-only) and fault
+    /// extents through the pool on demand, instead of loading wholesale.
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl Default for Database {
@@ -447,6 +452,7 @@ impl Database {
             observed: Mutex::new(ObservedTraffic::default()),
             maintenance: MaintenanceScheduler::new(cfg),
             durability: None,
+            pool: None,
         }
     }
 
@@ -475,6 +481,18 @@ impl Database {
         config: DurabilityConfig,
         maintenance: MaintenanceConfig,
     ) -> Result<Database, DbError> {
+        Self::open_with_pool(config, maintenance, BufferPool::from_env())
+    }
+
+    /// [`Database::open_with`] with an explicit buffer pool — `Some` makes
+    /// checkpointed tables recover cold and fault through it, `None`
+    /// forces fully-resident recovery. For tests and embedders that must
+    /// not depend on `PDSM_POOL_BYTES` in the process environment.
+    pub fn open_with_pool(
+        config: DurabilityConfig,
+        maintenance: MaintenanceConfig,
+        pool: Option<Arc<BufferPool>>,
+    ) -> Result<Database, DbError> {
         std::fs::create_dir_all(&config.data_dir).map_err(|e| io_db("create data dir", e))?;
         let manifest = Arc::new(
             Manifest::open(config.data_dir.join("MANIFEST"))
@@ -485,15 +503,18 @@ impl Database {
             config,
             manifest: Arc::clone(&manifest),
         });
+        db.pool = pool;
         let d = db.durability.as_ref().expect("just set");
         // Recover every manifest table: newest committed main + WAL tail
         // replayed through the normal DML path (so engines, overlays and
         // row ids come out exactly as they were at the last durable op).
-        let mut recovered = Vec::new();
-        for (name, generation) in manifest.tables() {
+        // With a buffer pool configured the main store stays *cold* —
+        // header only, extents fault in on demand — because WAL replay
+        // never reads main-store row data.
+        let recover_resident = |name: &str, generation: u64| -> Result<VersionedTable, DbError> {
             let rec = TableDurability::recover(
                 &d.config.data_dir,
-                &name,
+                name,
                 generation,
                 Arc::clone(&manifest),
                 d.config.fsync,
@@ -501,6 +522,32 @@ impl Database {
             let mut vt = VersionedTable::from_recovered(rec.table, generation);
             replay(&mut vt, &rec.ops)?;
             vt.set_durability(Arc::new(rec.durability));
+            Ok(vt)
+        };
+        let mut recovered = Vec::new();
+        for (name, generation) in manifest.tables() {
+            let vt = match &db.pool {
+                Some(pool) => match TableDurability::recover_cold(
+                    &d.config.data_dir,
+                    &name,
+                    generation,
+                    Arc::clone(&manifest),
+                    d.config.fsync,
+                    Arc::clone(pool),
+                ) {
+                    Ok(rec) => {
+                        let mut vt = VersionedTable::from_cold(rec.cold, generation);
+                        replay(&mut vt, &rec.ops)?;
+                        vt.set_durability(Arc::new(rec.durability));
+                        vt
+                    }
+                    // Pre-extent (v2) checkpoints cannot be opened cold;
+                    // the resident path loads them — and re-raises real
+                    // corruption as the hard error it is.
+                    Err(_) => recover_resident(&name, generation)?,
+                },
+                None => recover_resident(&name, generation)?,
+            };
             recovered.push((name, TableEntry::new(vt)));
         }
         {
@@ -879,6 +926,18 @@ impl Database {
         s
     }
 
+    /// The buffer pool, when `PDSM_POOL_BYTES` configured one at open.
+    pub fn pool(&self) -> Option<&Arc<BufferPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Buffer-pool counters (hits, misses, evictions, resident bytes,
+    /// fault latency), when pooling is enabled — `None` means every table
+    /// is fully memory-resident.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.as_ref().map(|p| p.stats())
+    }
+
     /// The maintenance step every *insert* runs before applying its op:
     /// check the written table against its merge threshold — crossing it
     /// either merges inline ([`MaintenanceMode::Sync`]) or pins a cut and
@@ -1171,6 +1230,14 @@ impl Database {
     /// use. Runs over snapshots pinned at call time (no lock held during
     /// execution). Routine queries should go through [`Database::execute`].
     pub fn run(&self, plan: &LogicalPlan, engine: EngineKind) -> Result<QueryResult, DbError> {
+        // A still-cold table streams extent-at-a-time through the buffer
+        // pool when the plan shape allows it — the scan then never holds
+        // more than one extent's frames pinned, so a table larger than
+        // the pool budget scans in bounded memory. Non-streamable shapes
+        // fall through and hydrate below.
+        if let Some(result) = crate::streaming::run_cold_streaming(self, plan, engine)? {
+            return Ok(result);
+        }
         let provider = self.provider_for(plan);
         let output = engine.engine().execute(plan, &provider)?;
         Ok(QueryResult::new(provider.output_names(plan), output))
@@ -1433,7 +1500,7 @@ impl Database {
 
     /// Output column names of `plan` against the current catalog (short
     /// read locks; see [`LogicalPlan::output_names`]).
-    fn names_for(&self, plan: &LogicalPlan) -> Vec<String> {
+    pub(crate) fn names_for(&self, plan: &LogicalPlan) -> Vec<String> {
         plan.output_names(&|t| {
             self.with_table(t, |vt| {
                 vt.schema()

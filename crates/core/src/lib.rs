@@ -42,6 +42,7 @@ pub mod database;
 pub mod maintenance;
 pub mod planner;
 pub mod result_cache;
+pub mod streaming;
 
 pub use advisor::{AdvisorReport, LayoutAdvisor};
 pub use database::{
@@ -54,6 +55,7 @@ pub use pdsm_exec::{
 };
 pub use pdsm_par::ParallelEngine;
 pub use pdsm_plan::physical::{AccessPath, CostSummary, EngineChoice, PhysicalPlan};
+pub use pdsm_pool::{BufferPool, PoolStats};
 pub use pdsm_store::FsyncMode;
 pub use pdsm_txn::{
     DurabilityStats, MergeStats, RowId, SharedTable, Snapshot, TableDurability, VersionStats,

@@ -134,7 +134,14 @@ impl Planner {
             if views.contains_key(name) {
                 continue;
             }
-            let view = db.with_table(name, |vt| table_view(vt.main(), vt.len()))?;
+            // A still-cold table plans from its checkpoint header alone
+            // (schema, layout, row count) — hydrating it here would fault
+            // the whole table in before the planner even decides whether
+            // the scan can skip most of it.
+            let view = db.with_table(name, |vt| match vt.cold_main() {
+                Some(cold) => table_view(&cold.skeleton(), vt.len()),
+                None => table_view(vt.main(), vt.len()),
+            })?;
             views.insert(name.to_string(), view);
         }
         Ok(views)
@@ -160,6 +167,14 @@ impl Planner {
         let (zone_blocks, zone_pruned) = zone_stats(db, logical);
         let survived = pdsm_cost::survived_fraction(zone_blocks, zone_pruned);
 
+        // --- disk tier: faulting cold checkpoint extents ---
+        // Every engine streams a cold table's extents through the buffer
+        // pool the same way (zone-refuted extents skipped, resident ones
+        // free), so the disk term is one constant added to every
+        // alternative — it never flips an engine choice, it makes the
+        // totals honest and prices scan-vs-index on equal footing.
+        let (extents_total, extents_resident, extents_pruned, disk) = cold_stats(db, logical);
+
         // --- engine alternatives (all run the same full-scan pattern) ---
         let mut engines: Vec<(EngineChoice, CostSummary)> = Vec::new();
         engines.push((
@@ -167,6 +182,7 @@ impl Planner {
             CostSummary {
                 mem_cycles: mem * survived,
                 cpu_cycles: CPU_COMPILED * work.tuples * survived,
+                disk_cycles: disk,
             },
         ));
         if VectorizedEngine::supports(logical) {
@@ -175,6 +191,7 @@ impl Planner {
                 CostSummary {
                     mem_cycles: mem,
                     cpu_cycles: CPU_VECTORIZED * work.tuples,
+                    disk_cycles: disk,
                 },
             ));
         }
@@ -186,6 +203,7 @@ impl Planner {
             CostSummary {
                 mem_cycles: mem + mat,
                 cpu_cycles: CPU_BULK * work.tuples,
+                disk_cycles: disk,
             },
         ));
         engines.push((
@@ -193,6 +211,7 @@ impl Planner {
             CostSummary {
                 mem_cycles: mem,
                 cpu_cycles: CPU_VOLCANO * work.tuples,
+                disk_cycles: disk,
             },
         ));
         // Parallel splits the compiled pipeline across workers and pays a
@@ -205,6 +224,7 @@ impl Planner {
                 cpu_cycles: CPU_COMPILED * work.tuples * survived / threads
                     + PAR_FIXED_OVERHEAD
                     + PAR_PER_THREAD * threads,
+                disk_cycles: disk,
             },
         ));
 
@@ -224,7 +244,8 @@ impl Planner {
         let mut chosen_cost = best_engine_cost;
         let mut probe_rows = 0.0;
         if let (Some(db), Some(cand)) = (db, idx) {
-            if let Some((cost, hits)) = self.index_cost(db, logical, &cand, &views) {
+            if let Some((mut cost, hits)) = self.index_cost(db, logical, &cand, &views) {
+                cost.disk_cycles = disk;
                 alternatives.push(("index".to_string(), cost.total()));
                 if cost.total() < chosen_cost.total() {
                     chosen_access = cand.access.clone();
@@ -259,6 +280,11 @@ impl Planner {
             } else {
                 (0, 0)
             };
+            let (et, er, ep) = if i == 0 && !access.is_indexed() {
+                (extents_total, extents_resident, extents_pruned)
+            } else {
+                (0, 0, 0)
+            };
             pipelines.push(PipelinePlan {
                 table: table.to_string(),
                 access,
@@ -267,6 +293,9 @@ impl Planner {
                 delta_rows,
                 zone_blocks: zb,
                 zone_pruned: zp,
+                extents_total: et,
+                extents_resident: er,
+                extents_pruned: ep,
             });
         }
 
@@ -358,6 +387,7 @@ impl Planner {
             CostSummary {
                 mem_cycles: mem,
                 cpu_cycles: cpu,
+                disk_cycles: 0.0,
             },
             hits,
         ))
@@ -389,6 +419,21 @@ fn zone_stats(db: Option<&Database>, logical: &LogicalPlan) -> (usize, usize) {
         return (0, 0);
     };
     db.with_table(table, |vt| {
+        // Cold tables carry their zone map in the checkpoint header —
+        // pruning stats come straight from it, no hydration. A zero-row
+        // skeleton suffices for predicate translation, which needs only
+        // column types.
+        if let Some(cold) = vt.cold_main() {
+            let h = cold.header();
+            let (Some(zones), false) = (&h.zones, h.len == 0) else {
+                return (0, 0);
+            };
+            let zp = zone_preds(&cold.skeleton(), std::slice::from_ref(pred));
+            if zp.is_empty() {
+                return (0, 0);
+            }
+            return zones.prune_stats(&zp);
+        }
         let main = vt.main();
         if main.is_empty() {
             return (0, 0);
@@ -400,6 +445,48 @@ fn zone_stats(db: Option<&Database>, logical: &LogicalPlan) -> (usize, usize) {
         main.zone_map().prune_stats(&zp)
     })
     .unwrap_or((0, 0))
+}
+
+/// Cold-extent residency of the root scan's table: `(extents_total,
+/// resident, pruned, disk_cycles)` — all zeros for resident tables (the
+/// common case), multi-table plans, or snapshot planning. Pruned extents
+/// come from the same per-extent zone refutation the streaming executor
+/// skips with, so the disk term prices exactly the faults the scan will
+/// take: one request per layout group of each cold, non-refuted extent,
+/// plus its payload bytes through [`pdsm_cost::DiskTier`].
+fn cold_stats(db: Option<&Database>, logical: &LogicalPlan) -> (usize, usize, usize, f64) {
+    let Some(db) = db else {
+        return (0, 0, 0, 0.0);
+    };
+    let tables = logical.tables();
+    let [table] = tables.as_slice() else {
+        return (0, 0, 0, 0.0);
+    };
+    let Some(cold) = db
+        .with_table(table, |vt| vt.cold_main().cloned())
+        .ok()
+        .flatten()
+    else {
+        return (0, 0, 0, 0.0);
+    };
+    let zp = scan_selection(logical)
+        .map(|pred| zone_preds(&cold.skeleton(), std::slice::from_ref(pred)))
+        .unwrap_or_default();
+    let resident = cold.resident_extents();
+    let h = cold.header();
+    let (mut n_res, mut n_pruned, mut requests, mut bytes) = (0usize, 0usize, 0u64, 0u64);
+    for (e, res) in resident.iter().enumerate() {
+        if *res {
+            n_res += 1;
+        } else if cold.extent_refuted(e, &zp) {
+            n_pruned += 1;
+        } else {
+            requests += h.dir[e].len() as u64;
+            bytes += h.dir[e].iter().map(|&(_, plen)| plen).sum::<u64>();
+        }
+    }
+    let disk = pdsm_cost::DiskTier::default().fault_cycles(requests, bytes);
+    (cold.n_extents(), n_res, n_pruned, disk)
 }
 
 /// The predicate of the selection sitting *directly over the scan* —

@@ -36,11 +36,13 @@ pub mod algebra;
 pub mod atoms;
 pub mod calibrate;
 pub mod cost;
+pub mod disk;
 pub mod hierarchy;
 pub mod misses;
 
 pub use algebra::Pattern;
 pub use atoms::Atom;
 pub use cost::{copy_out_cycles, scale_estimate, survived_fraction, CostBreakdown, Estimate};
+pub use disk::DiskTier;
 pub use hierarchy::{Hierarchy, Level};
 pub use misses::{cardenas, LevelMisses};

@@ -105,6 +105,14 @@ pub struct PipelinePlan {
     pub zone_blocks: usize,
     /// Zone blocks the planner expects the scan to skip outright.
     pub zone_pruned: usize,
+    /// Checkpoint extents of a still-cold main store (0 = fully resident
+    /// table; the three fields below are then all zero too).
+    pub extents_total: usize,
+    /// Cold extents already resident in the buffer pool (no fault needed).
+    pub extents_resident: usize,
+    /// Cold extents the zone map refutes outright — the scan skips them
+    /// without faulting a byte.
+    pub extents_pruned: usize,
 }
 
 impl PipelinePlan {
@@ -128,12 +136,17 @@ pub struct CostSummary {
     pub mem_cycles: f64,
     /// Per-tuple CPU cycles of the chosen engine's processing model.
     pub cpu_cycles: f64,
+    /// Disk-tier cycles (`pdsm_cost::DiskTier`) to fault the cold,
+    /// non-pruned checkpoint extents this scan must touch. Zero for fully
+    /// resident tables — the common case — so the classic two-term
+    /// breakdown is unchanged until a table actually lives on disk.
+    pub disk_cycles: f64,
 }
 
 impl CostSummary {
     /// Total predicted cycles.
     pub fn total(&self) -> f64 {
-        self.mem_cycles + self.cpu_cycles
+        self.mem_cycles + self.cpu_cycles + self.disk_cycles
     }
 }
 
@@ -234,15 +247,35 @@ impl PhysicalPlan {
                     p.zone_blocks,
                 ));
             }
+            if p.extents_total > 0 {
+                s.push_str(&format!(
+                    ", extents: {}/{}/{}/{} (resident/cold/pruned/total)",
+                    p.extents_resident,
+                    p.extents_total - p.extents_resident - p.extents_pruned,
+                    p.extents_pruned,
+                    p.extents_total,
+                ));
+            }
             s.push('\n');
         }
-        s.push_str(&format!(
-            "  cost: {:.0} cycles (mem {:.0} + cpu {:.0}), est {:.0} output rows\n",
-            self.cost.total(),
-            self.cost.mem_cycles,
-            self.cost.cpu_cycles,
-            self.est_out_rows,
-        ));
+        if self.cost.disk_cycles > 0.0 {
+            s.push_str(&format!(
+                "  cost: {:.0} cycles (mem {:.0} + cpu {:.0} + disk {:.0}), est {:.0} output rows\n",
+                self.cost.total(),
+                self.cost.mem_cycles,
+                self.cost.cpu_cycles,
+                self.cost.disk_cycles,
+                self.est_out_rows,
+            ));
+        } else {
+            s.push_str(&format!(
+                "  cost: {:.0} cycles (mem {:.0} + cpu {:.0}), est {:.0} output rows\n",
+                self.cost.total(),
+                self.cost.mem_cycles,
+                self.cost.cpu_cycles,
+                self.est_out_rows,
+            ));
+        }
         s.push_str("  alternatives:");
         for (label, cycles) in &self.alternatives {
             s.push_str(&format!(" {label}={cycles:.0}"));
@@ -275,10 +308,14 @@ mod tests {
                 delta_rows: 3,
                 zone_blocks: 0,
                 zone_pruned: 0,
+                extents_total: 0,
+                extents_resident: 0,
+                extents_pruned: 0,
             }],
             cost: CostSummary {
                 mem_cycles: 900.0,
                 cpu_cycles: 100.0,
+                disk_cycles: 0.0,
             },
             alternatives: vec![
                 ("index".to_string(), 1000.0),
@@ -318,6 +355,29 @@ mod tests {
         let q = sample();
         assert!(!q.explain().contains("partitions:"), "{}", q.explain());
         assert_eq!(q.pipelines[0].survived_fraction(), 1.0);
+    }
+
+    #[test]
+    fn explain_reports_cold_extents_and_disk_cost() {
+        let mut p = sample();
+        p.pipelines[0].access = AccessPath::FullScan;
+        p.pipelines[0].extents_total = 16;
+        p.pipelines[0].extents_resident = 4;
+        p.pipelines[0].extents_pruned = 10;
+        p.cost.disk_cycles = 500.0;
+        let e = p.explain();
+        assert!(
+            e.contains("extents: 4/2/10/16 (resident/cold/pruned/total)"),
+            "{e}"
+        );
+        assert!(
+            e.contains("cost: 1500 cycles (mem 900 + cpu 100 + disk 500)"),
+            "{e}"
+        );
+        // resident tables render neither the extent line nor the disk term
+        let q = sample();
+        assert!(!q.explain().contains("extents:"), "{}", q.explain());
+        assert!(!q.explain().contains("disk"), "{}", q.explain());
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! [`ColdTable`]: a checkpointed main store opened *header-only*. Row data
+//! stays on disk until a query pins the extents it scans (or the table is
+//! hydrated wholesale). The open file handle is kept for the table's
+//! lifetime, so a later checkpoint unlinking this generation's file cannot
+//! invalidate in-flight faults (POSIX keeps the inode alive).
+
+use std::fs::File;
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::Arc;
+
+use pdsm_storage::persist::{self, ExtentData, TableHeader};
+use pdsm_storage::{Error, Result, Row, Table, ZonePred};
+
+use crate::pool::{BufferPool, FrameKey, PinnedFrame};
+
+pub struct ColdTable {
+    header: Arc<TableHeader>,
+    file: Arc<File>,
+    pool: Arc<BufferPool>,
+}
+
+fn io_err(e: io::Error) -> Error {
+    Error::Io(format!("cold table read: {e}"))
+}
+
+impl ColdTable {
+    /// Open a v3 extent checkpoint without reading any payload: the header
+    /// (schema, layout, dicts, zone map, extent directory) is validated
+    /// against its CRC; everything else faults in on demand.
+    pub fn open(path: &Path, pool: Arc<BufferPool>) -> Result<ColdTable> {
+        let file = File::open(path).map_err(io_err)?;
+        let mut prefix = [0u8; 16];
+        file.read_exact_at(&mut prefix, 0).map_err(io_err)?;
+        let header_len = u32::from_le_bytes(prefix[12..16].try_into().unwrap()) as usize;
+        let mut head = vec![0u8; header_len.clamp(16, 1 << 28)];
+        file.read_exact_at(&mut head, 0).map_err(io_err)?;
+        let header = persist::read_header(&head)?;
+        Ok(ColdTable {
+            header: Arc::new(header),
+            file: Arc::new(file),
+            pool,
+        })
+    }
+
+    pub fn header(&self) -> &Arc<TableHeader> {
+        &self.header
+    }
+
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    pub fn name(&self) -> &str {
+        &self.header.name
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.header.generation
+    }
+
+    pub fn len(&self) -> usize {
+        self.header.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.header.len == 0
+    }
+
+    pub fn n_extents(&self) -> usize {
+        self.header.n_extents()
+    }
+
+    /// Is extent `e` refuted for the conjunction `preds`? True only when
+    /// *every* zone block the extent covers is refuted — the scan can then
+    /// skip the extent without faulting a single byte of it.
+    pub fn extent_refuted(&self, e: usize, preds: &[ZonePred]) -> bool {
+        if preds.is_empty() {
+            return false;
+        }
+        let zones = match &self.header.zones {
+            Some(z) => z,
+            None => return false,
+        };
+        let (lo, hi) = self.header.extent_row_range(e);
+        let b0 = lo / pdsm_storage::ZONE_BLOCK_ROWS;
+        let b1 = hi.div_ceil(pdsm_storage::ZONE_BLOCK_ROWS);
+        (b0..b1).all(|b| zones.block_refuted(b, preds))
+    }
+
+    /// Zero-row table carrying this checkpoint's name, schema and layout —
+    /// enough for code that only needs column metadata (zone-predicate
+    /// translation, planner views) without faulting a single byte.
+    pub fn skeleton(&self) -> Table {
+        Table::with_layout(
+            self.header.name.clone(),
+            self.header.schema.clone(),
+            self.header.layout.clone(),
+        )
+        .expect("checkpoint header carries a valid layout")
+    }
+
+    /// Which extents are fully resident right now (every layout group has
+    /// a Ready frame in the pool)? Indexed by extent, length
+    /// [`ColdTable::n_extents`]. Advisory: residency can change as soon as
+    /// the pool lock drops — used only for planner pricing and `explain`.
+    pub fn resident_extents(&self) -> Vec<bool> {
+        let ready = self
+            .pool
+            .ready_groups(&self.header.name, self.header.generation);
+        let ng = self.header.n_groups();
+        (0..self.n_extents())
+            .map(|e| ready.get(&(e as u32)).copied().unwrap_or(0) == ng)
+            .collect()
+    }
+
+    fn frame_key(&self, e: usize, g: usize) -> FrameKey {
+        FrameKey {
+            table: self.header.name.clone(),
+            generation: self.header.generation,
+            extent: e as u32,
+            group: g as u32,
+        }
+    }
+
+    /// Pin every layout group of extent `e`. All groups are pinned (not
+    /// just the scanned columns) because the engines' typed readers assume
+    /// a fully materialized mini table — a partial arena would be UB.
+    pub fn pin_extent(&self, e: usize) -> Result<Vec<PinnedFrame>> {
+        (0..self.header.n_groups())
+            .map(|g| {
+                let key = self.frame_key(e, g);
+                let (off, plen) = self.header.dir[e][g];
+                let header = Arc::clone(&self.header);
+                let file = Arc::clone(&self.file);
+                self.pool
+                    .pin(&key, move |sched| {
+                        let (bytes, ns) = sched.read(&file, off, plen as usize)?;
+                        let data =
+                            persist::decode_extent(&header, e, g, &bytes).map_err(|err| {
+                                io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+                            })?;
+                        Ok((data, ns))
+                    })
+                    .map_err(io_err)
+            })
+            .collect()
+    }
+
+    /// Materialize extent `e` as a self-contained mini [`Table`] plus the
+    /// pins keeping its frames resident. Scans hold the pins for exactly
+    /// the time they spend on the extent.
+    pub fn extent_table(&self, e: usize) -> Result<(Table, Vec<PinnedFrame>)> {
+        let pins = self.pin_extent(e)?;
+        let datas: Vec<Arc<ExtentData>> = pins.iter().map(|p| Arc::clone(p.data())).collect();
+        let t = persist::extent_table(&self.header, e, &datas)?;
+        Ok((t, pins))
+    }
+
+    /// Fault in the whole table and reassemble the resident main store —
+    /// bit-identical to a v2 `from_bytes` load. Every extent still moves
+    /// through the pool (so budgets, stats, and eviction apply), but the
+    /// assembled table itself is owned by the caller.
+    pub fn hydrate(&self) -> Result<Table> {
+        let mut exts = Vec::with_capacity(self.n_extents());
+        for e in 0..self.n_extents() {
+            let pins = self.pin_extent(e)?;
+            exts.push(
+                pins.iter()
+                    .map(|p| Arc::clone(p.data()))
+                    .collect::<Vec<_>>(),
+            );
+            // Pins drop here: the Arc'd payloads stay alive for assembly
+            // even if the pool evicts the frames immediately.
+        }
+        persist::assemble_table(&self.header, &exts)
+    }
+
+    /// Point read of main-store row `id` — faults only the one extent the
+    /// row lives in. Used by the delta layer for cold `get`/`update`.
+    pub fn row(&self, id: usize) -> Result<Row> {
+        if id >= self.header.len {
+            return Err(Error::RowOutOfRange {
+                row: id,
+                len: self.header.len,
+            });
+        }
+        let e = id / self.header.extent_rows;
+        let (lo, _) = self.header.extent_row_range(e);
+        let (mini, _pins) = self.extent_table(e)?;
+        mini.row(id - lo)
+    }
+
+    /// Drop this generation's unpinned frames from the pool (merge retired
+    /// the checkpoint).
+    pub fn retire(&self) {
+        self.pool.retire(&self.header.name, self.header.generation);
+    }
+}
+
+impl std::fmt::Debug for ColdTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColdTable")
+            .field("name", &self.header.name)
+            .field("generation", &self.header.generation)
+            .field("len", &self.header.len)
+            .field("extents", &self.n_extents())
+            .finish()
+    }
+}

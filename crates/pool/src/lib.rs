@@ -1,0 +1,26 @@
+//! # pdsm-pool
+//!
+//! Partition-granular buffer pool over the v3 extent checkpoints written
+//! by `pdsm-store`/`pdsm-txn` — the "larger than memory" layer. The
+//! decomposition is the classical one (frame table + replacer + disk
+//! scheduler): a [`BufferPool`] with a `PDSM_POOL_BYTES` budget hands out
+//! pinned frames holding decoded `(extent, layout group)` payloads, an
+//! LRU-K replacer picks eviction victims among unpinned frames, and a
+//! single scheduler thread drains the fault queue.
+//!
+//! [`ColdTable`] is the integration point: a checkpoint opened header-only
+//! whose extents fault in on first touch. `pdsm-txn` mounts one as the
+//! unhydrated main store of a recovered table; `pdsm-core` streams scans
+//! over it extent-at-a-time (skipping zone-refuted extents without
+//! faulting them) and the planner prices the cold fraction via the disk
+//! tier in `pdsm-cost`.
+
+pub mod cold;
+pub mod lru_k;
+pub mod pool;
+pub mod scheduler;
+
+pub use cold::ColdTable;
+pub use lru_k::LruKReplacer;
+pub use pool::{BufferPool, FrameKey, PinnedFrame, PoolStats};
+pub use scheduler::DiskScheduler;

@@ -1,0 +1,105 @@
+//! The disk-scheduler thread: a single background worker draining a read
+//! queue. Faulting threads enqueue `(file, offset, len)` requests and block
+//! on a per-request reply channel; centralizing the reads keeps cold-scan
+//! I/O sequential even when several pipelines fault concurrently, and gives
+//! one place to measure fault latency.
+
+use std::fs::File;
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+struct Request {
+    file: Arc<File>,
+    offset: u64,
+    len: usize,
+    reply: mpsc::SyncSender<io::Result<Vec<u8>>>,
+}
+
+pub struct DiskScheduler {
+    tx: Option<mpsc::Sender<Request>>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl DiskScheduler {
+    pub fn new() -> Self {
+        let (tx, rx) = mpsc::channel::<Request>();
+        let worker = thread::Builder::new()
+            .name("pdsm-disk-sched".into())
+            .spawn(move || {
+                while let Ok(req) = rx.recv() {
+                    let mut buf = vec![0u8; req.len];
+                    let res = req.file.read_exact_at(&mut buf, req.offset).map(|()| buf);
+                    // Receiver gone = faulting thread died; nothing to do.
+                    let _ = req.reply.send(res);
+                }
+            })
+            .expect("spawn disk scheduler");
+        DiskScheduler {
+            tx: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// Schedule a read and block until it completes. Returns the bytes and
+    /// the wall-clock fault latency (queueing included — that is the
+    /// latency the query actually observed).
+    pub fn read(&self, file: &Arc<File>, offset: u64, len: usize) -> io::Result<(Vec<u8>, u64)> {
+        let started = Instant::now();
+        let (reply, rx) = mpsc::sync_channel(1);
+        self.tx
+            .as_ref()
+            .expect("scheduler running")
+            .send(Request {
+                file: Arc::clone(file),
+                offset,
+                len,
+                reply,
+            })
+            .map_err(|_| io::Error::other("disk scheduler stopped"))?;
+        let bytes = rx
+            .recv()
+            .map_err(|_| io::Error::other("disk scheduler dropped request"))??;
+        Ok((bytes, started.elapsed().as_nanos() as u64))
+    }
+}
+
+impl Default for DiskScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for DiskScheduler {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // closes the channel, worker loop exits
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn reads_land_byte_exact() {
+        let dir = std::env::temp_dir().join(format!("pdsm-sched-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(&(0..=255u8).collect::<Vec<_>>()).unwrap();
+        f.sync_all().unwrap();
+        let f = Arc::new(File::open(&path).unwrap());
+        let s = DiskScheduler::new();
+        let (bytes, _ns) = s.read(&f, 10, 5).unwrap();
+        assert_eq!(bytes, vec![10, 11, 12, 13, 14]);
+        assert!(s.read(&f, 250, 10).is_err()); // past EOF
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

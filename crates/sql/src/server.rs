@@ -216,6 +216,26 @@ fn stats_response(db: &Database) -> Response {
         ("plan_cache_invalidations", s.plan.invalidations as i64),
         ("plan_cache_entries", s.plan.entries as i64),
     ];
+    // Buffer-pool counters ride along when pooling is enabled; an
+    // all-resident database reports none, keeping the fixed prefix above
+    // byte-stable for existing clients.
+    let mut rows = rows;
+    if let Some(p) = db.pool_stats() {
+        rows.extend([
+            ("pool_budget_bytes", p.budget_bytes as i64),
+            ("pool_resident_bytes", p.resident_bytes as i64),
+            ("pool_peak_resident_bytes", p.peak_resident_bytes as i64),
+            ("pool_frames", p.frames as i64),
+            ("pool_pinned_frames", p.pinned_frames as i64),
+            ("pool_hits", p.hits as i64),
+            ("pool_misses", p.misses as i64),
+            ("pool_evictions", p.evictions as i64),
+            ("pool_overcommits", p.overcommits as i64),
+            ("pool_skipped_faults", p.skipped_faults as i64),
+            ("pool_fault_ns_total", p.fault_ns_total as i64),
+            ("pool_fault_ns_max", p.fault_ns_max as i64),
+        ]);
+    }
     Response::Rows {
         columns: vec!["metric".into(), "value".into()],
         rows: rows

@@ -142,6 +142,29 @@ impl ZoneMap {
         self.n_rows
     }
 
+    /// Zone map restricted to the row range `[lo, hi)`, which must start
+    /// on a [`ZONE_BLOCK_ROWS`] boundary. Used by the buffer pool to give
+    /// each checkpoint extent a self-contained map whose block stats are
+    /// bit-identical to the corresponding slice of the full-table map.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> ZoneMap {
+        assert!(lo.is_multiple_of(ZONE_BLOCK_ROWS) && lo <= hi && hi <= self.n_rows);
+        let b0 = lo / ZONE_BLOCK_ROWS;
+        let b1 = hi.div_ceil(ZONE_BLOCK_ROWS);
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| match c {
+                ColZone::Skipped => ColZone::Skipped,
+                ColZone::Int(blocks) => ColZone::Int(blocks[b0..b1].to_vec()),
+                ColZone::Float(blocks) => ColZone::Float(blocks[b0..b1].to_vec()),
+            })
+            .collect();
+        ZoneMap {
+            n_rows: hi - lo,
+            cols,
+        }
+    }
+
     /// Number of zone blocks (`ceil(n_rows / ZONE_BLOCK_ROWS)`).
     pub fn n_blocks(&self) -> usize {
         self.n_rows.div_ceil(ZONE_BLOCK_ROWS)

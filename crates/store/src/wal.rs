@@ -11,6 +11,11 @@
 //!   background flusher coalesces outstanding appends into one fsync
 //!   (group commit). Process crash loses nothing; power loss is bounded
 //!   by one coalesce window. This keeps the µs write path.
+//! * [`FsyncMode::Group`] — group-commit *acknowledgement*: writes
+//!   coalesce into one fsync exactly as in Batch, but each append blocks
+//!   until the group fsync covering it lands. Acknowledged writes survive
+//!   power loss (like Always) at Batch's fsync rate; latency = one
+//!   coalesce window.
 //! * [`FsyncMode::Off`] — never fsync (tests, bulk loads).
 //!
 //! The flusher syncs through a cloned file handle *outside* the append
@@ -24,7 +29,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// When the WAL calls fsync. Parsed from `PDSM_FSYNC`
-/// (`always` | `batch` | `off`); the default is `batch`.
+/// (`always` | `batch` | `group` | `off`); the default is `batch`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FsyncMode {
     /// fsync before every append returns.
@@ -33,16 +38,22 @@ pub enum FsyncMode {
     /// fsync; appends return immediately after the write.
     #[default]
     Batch,
+    /// Group-commit *acknowledgement*: appends coalesce into one fsync
+    /// exactly as in Batch, but each append blocks until the fsync
+    /// covering it has landed — `Always` durability at `Batch` fsync
+    /// rates.
+    Group,
     /// Never fsync.
     Off,
 }
 
 impl FsyncMode {
-    /// Read `PDSM_FSYNC` (`always` | `batch` | `off`), defaulting to
-    /// [`FsyncMode::Batch`].
+    /// Read `PDSM_FSYNC` (`always` | `batch` | `group` | `off`),
+    /// defaulting to [`FsyncMode::Batch`].
     pub fn from_env() -> Self {
         match std::env::var("PDSM_FSYNC").ok().as_deref() {
             Some("always") => FsyncMode::Always,
+            Some("group") => FsyncMode::Group,
             Some("off") => FsyncMode::Off,
             _ => FsyncMode::Batch,
         }
@@ -84,6 +95,10 @@ struct WalInner {
     len: u64,
     /// Appends since the last fsync (what the next group will cover).
     pending: u64,
+    /// File length covered by a completed fsync (Group-mode ack point).
+    synced_len: u64,
+    /// A flusher fsync failed; Group-mode appenders must error, not hang.
+    sync_failed: bool,
     stats: WalStats,
     stop: bool,
 }
@@ -92,6 +107,8 @@ struct WalShared {
     inner: Mutex<WalInner>,
     /// Signalled on append (work for the flusher) and on stop.
     work: Condvar,
+    /// Signalled when `synced_len` advances (Group-mode acks).
+    synced: Condvar,
 }
 
 /// One append-only log file. Cheap to clone-share via `Arc`; dropped, it
@@ -131,12 +148,15 @@ impl Wal {
                 file,
                 len,
                 pending: 0,
+                synced_len: len,
+                sync_failed: false,
                 stats: WalStats::default(),
                 stop: false,
             }),
             work: Condvar::new(),
+            synced: Condvar::new(),
         });
-        let flusher = (mode == FsyncMode::Batch).then(|| {
+        let flusher = matches!(mode, FsyncMode::Batch | FsyncMode::Group).then(|| {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("pdsm-wal-flush".into())
@@ -180,6 +200,26 @@ impl Wal {
                     self.shared.work.notify_one();
                 }
             }
+            FsyncMode::Group => {
+                g.pending += 1;
+                let my_len = g.len;
+                if g.pending == 1 {
+                    self.shared.work.notify_one();
+                }
+                // Ack only once the group fsync covering this record has
+                // landed. Everyone who raced into the same coalesce window
+                // wakes together off a single fsync.
+                while g.synced_len < my_len && !g.sync_failed && !g.stop {
+                    g = self
+                        .shared
+                        .synced
+                        .wait(g)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                if g.synced_len < my_len {
+                    return Err(std::io::Error::other("wal group fsync failed"));
+                }
+            }
             FsyncMode::Off => {}
         }
         Ok(())
@@ -190,6 +230,7 @@ impl Wal {
     pub fn sync(&self) -> std::io::Result<()> {
         let mut g = self.lock();
         let group = g.pending;
+        let up_to = g.len;
         g.pending = 0;
         let file = g.file.try_clone()?;
         drop(g);
@@ -198,6 +239,9 @@ impl Wal {
         g.stats.fsyncs += 1;
         g.stats.appends_synced += group;
         g.stats.max_group = g.stats.max_group.max(group);
+        g.synced_len = g.synced_len.max(up_to);
+        drop(g);
+        self.shared.synced.notify_all();
         Ok(())
     }
 
@@ -224,6 +268,7 @@ impl Drop for Wal {
             g.stop = true;
         }
         self.shared.work.notify_all();
+        self.shared.synced.notify_all();
         if let Some(h) = self.flusher.take() {
             let _ = h.join();
         }
@@ -256,7 +301,7 @@ fn coalesce_window() -> Duration {
 /// cloned handle, off the append lock.
 fn flusher_loop(shared: &WalShared) {
     loop {
-        let (group, file) = {
+        let (group, up_to, file) = {
             let mut g = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             while g.pending == 0 && !g.stop {
                 g = shared.work.wait(g).unwrap_or_else(|e| e.into_inner());
@@ -272,9 +317,10 @@ fn flusher_loop(shared: &WalShared) {
             std::thread::sleep(coalesce_window());
             let mut g = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             let group = g.pending;
+            let up_to = g.len;
             g.pending = 0;
             let file = g.file.try_clone();
-            (group, file)
+            (group, up_to, file)
         };
         let synced = match file {
             Ok(f) => f.sync_data().is_ok(),
@@ -285,8 +331,14 @@ fn flusher_loop(shared: &WalShared) {
             g.stats.fsyncs += 1;
             g.stats.appends_synced += group;
             g.stats.max_group = g.stats.max_group.max(group);
+            g.synced_len = g.synced_len.max(up_to);
+        } else {
+            g.sync_failed = true;
         }
-        if g.stop && g.pending == 0 {
+        let stop = g.stop && g.pending == 0;
+        drop(g);
+        shared.synced.notify_all();
+        if stop {
             return;
         }
     }
@@ -354,6 +406,41 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         let (ops, valid) = decode_stream(&bytes);
         assert_eq!(ops.len(), 2);
+        assert_eq!(valid, bytes.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_mode_acks_only_after_the_covering_fsync() {
+        let dir = tmpdir("groupack");
+        let path = dir.join("wal.log");
+        let wal = std::sync::Arc::new(Wal::create(&path, FsyncMode::Group).unwrap());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let wal = std::sync::Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        let op = WalOp::Delete { row: t * 1000 + i };
+                        wal.append(&op.encode_record()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.appends, 200);
+        // Every append that returned was covered by a completed fsync —
+        // that is the Group contract (vs Batch, where synced lags).
+        assert_eq!(stats.appends_synced, 200);
+        // ... and the acks still coalesced instead of syncing per append.
+        assert!(stats.fsyncs < 200, "fsyncs = {}", stats.fsyncs);
+        assert!(stats.max_group > 1, "no coalescing happened");
+        drop(wal);
+        let bytes = std::fs::read(&path).unwrap();
+        let (ops, valid) = decode_stream(&bytes);
+        assert_eq!(ops.len(), 200);
         assert_eq!(valid, bytes.len());
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -27,6 +27,7 @@
 //! and hand the ops back for replay through the normal DML path.
 
 use crate::table::VersionedTable;
+use pdsm_pool::{BufferPool, ColdTable};
 use pdsm_storage::{persist, Error, Result, Row, Table};
 use pdsm_store::{
     decode_stream, fsync_dir, remove_temp_files, sanitize_name, write_atomic, FsyncMode, Manifest,
@@ -50,6 +51,8 @@ pub struct DurabilityStats {
     pub checkpoints: u64,
     /// WAL records replayed by the most recent recovery.
     pub last_recovery_replay_ops: u64,
+    /// Completed WAL segments rolled over (`PDSM_WAL_SEGMENT_BYTES`).
+    pub wal_segments_rotated: u64,
 }
 
 /// What [`TableDurability::recover`] found on disk: the checkpointed main
@@ -66,6 +69,17 @@ pub struct RecoveredTable {
     pub durability: TableDurability,
 }
 
+/// Cold-path twin of [`RecoveredTable`]: the main store stays on disk as a
+/// header-only [`ColdTable`]; extents fault in through the buffer pool on
+/// first touch. WAL handling is identical.
+pub struct RecoveredColdTable {
+    /// The checkpointed main at the manifest's generation, unhydrated.
+    pub cold: Arc<ColdTable>,
+    /// Whole, checksum-valid WAL records, in append order.
+    pub ops: Vec<WalOp>,
+    pub durability: TableDurability,
+}
+
 /// One table's WAL + checkpoint + manifest glue. Shared as
 /// `Arc<TableDurability>` between the owning `VersionedTable` and the
 /// database-level stats aggregation; all methods take `&self`.
@@ -74,13 +88,37 @@ pub struct TableDurability {
     name: String,
     manifest: Arc<Manifest>,
     fsync: FsyncMode,
-    /// The live WAL (for generation `G` = the manifest entry). Replaced
-    /// at every checkpoint; the mutex also covers the swap.
-    wal: Mutex<Wal>,
-    /// Counters folded in from WALs retired by checkpoints.
+    /// The live WAL segment (for generation `G` = the manifest entry).
+    /// Replaced at every checkpoint and rotation; the mutex also covers
+    /// the swaps.
+    wal: Mutex<LiveWal>,
+    /// Counters folded in from WALs retired by checkpoints/rotations.
     retired: Mutex<WalStats>,
+    /// Roll the live segment when it reaches this many bytes (0 = never).
+    /// Seeded from `PDSM_WAL_SEGMENT_BYTES`.
+    segment_bytes: AtomicU64,
+    /// The generation the live WAL belongs to (names rotated segments).
+    generation: AtomicU64,
     checkpoints: AtomicU64,
+    segments_rotated: AtomicU64,
     last_recovery_replay_ops: AtomicU64,
+    /// The in-flight background deletion pass, if any (old generations
+    /// are scrubbed off the checkpoint path).
+    cleaner: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// The appendable WAL segment plus its index within the generation.
+struct LiveWal {
+    wal: Wal,
+    seg: u32,
+}
+
+/// `PDSM_WAL_SEGMENT_BYTES` (0 / unset = no rotation).
+fn wal_segment_bytes_from_env() -> u64 {
+    std::env::var("PDSM_WAL_SEGMENT_BYTES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 impl std::fmt::Debug for TableDurability {
@@ -105,6 +143,16 @@ fn wal_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("wal.{generation}.log"))
 }
 
+/// Segment `seg` of generation `generation`'s WAL. Segment 0 keeps the
+/// classic `wal.<G>.log` name; rotation appends `wal.<G>.<n>.log`.
+fn wal_seg_path(dir: &Path, generation: u64, seg: u32) -> PathBuf {
+    if seg == 0 {
+        wal_path(dir, generation)
+    } else {
+        dir.join(format!("wal.{generation}.{seg}.log"))
+    }
+}
+
 /// The pre-persisted build blob for merge epoch `epoch` (see
 /// [`TableDurability::pre_persist`]). Contains `.tmp`, so crash leftovers
 /// are scrubbed by [`remove_temp_files`].
@@ -112,16 +160,23 @@ fn pre_persist_path(dir: &Path, epoch: u64) -> PathBuf {
     dir.join(format!("main.tmp.{epoch}.tbl"))
 }
 
-/// Parse `main.<G>.tbl` / `wal.<G>.log` file names back to generations.
+/// Parse `main.<G>.tbl` / `wal.<G>.log` / `wal.<G>.<n>.log` file names
+/// back to generations.
 fn parse_generation(name: &str) -> Option<u64> {
-    let rest = name
+    if let Some(rest) = name
         .strip_prefix("main.")
         .and_then(|r| r.strip_suffix(".tbl"))
-        .or_else(|| {
-            name.strip_prefix("wal.")
-                .and_then(|r| r.strip_suffix(".log"))
-        })?;
-    rest.parse().ok()
+    {
+        return rest.parse().ok();
+    }
+    let mid = name.strip_prefix("wal.")?.strip_suffix(".log")?;
+    match mid.split_once('.') {
+        None => mid.parse().ok(),
+        Some((g, seg)) => {
+            seg.parse::<u32>().ok()?;
+            g.parse().ok()
+        }
+    }
 }
 
 /// Drop every generation-stamped file except generation `keep`, plus any
@@ -155,7 +210,7 @@ impl TableDurability {
     ) -> Result<TableDurability> {
         let dir = data_dir.join(sanitize_name(name));
         std::fs::create_dir_all(&dir).map_err(|e| io_err("create table dir", e))?;
-        let bytes = persist::to_bytes(table, generation);
+        let bytes = persist::to_bytes_extents(table, generation, persist::extent_rows_from_env());
         let dest = main_path(&dir, generation);
         write_atomic(
             &dest,
@@ -170,16 +225,36 @@ impl TableDurability {
             .set(name, generation)
             .map_err(|e| io_err("commit manifest", e))?;
         cleanup(&dir, generation);
-        Ok(TableDurability {
+        Ok(Self::handle(
+            dir, name, manifest, fsync, wal, 0, generation, 0,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle(
+        dir: PathBuf,
+        name: &str,
+        manifest: Arc<Manifest>,
+        fsync: FsyncMode,
+        wal: Wal,
+        seg: u32,
+        generation: u64,
+        replayed: u64,
+    ) -> TableDurability {
+        TableDurability {
             dir,
             name: name.to_string(),
             manifest,
             fsync,
-            wal: Mutex::new(wal),
+            wal: Mutex::new(LiveWal { wal, seg }),
             retired: Mutex::new(WalStats::default()),
+            segment_bytes: AtomicU64::new(wal_segment_bytes_from_env()),
+            generation: AtomicU64::new(generation),
             checkpoints: AtomicU64::new(0),
-            last_recovery_replay_ops: AtomicU64::new(0),
-        })
+            segments_rotated: AtomicU64::new(0),
+            last_recovery_replay_ops: AtomicU64::new(replayed),
+            cleaner: Mutex::new(None),
+        }
     }
 
     /// Load the table's durable state at `generation` (the manifest
@@ -207,59 +282,104 @@ impl TableDurability {
                  blob says {on_disk_gen}"
             )));
         }
-        let wpath = wal_path(&dir, generation);
-        let (ops, wal) = match std::fs::read(&wpath) {
-            Ok(wal_bytes) => {
-                let (ops, valid) = decode_stream(&wal_bytes);
-                // Reopening at `valid` truncates the torn tail away.
-                let wal = Wal::open_append(&wpath, valid as u64, fsync)
-                    .map_err(|e| io_err("reopen wal", e))?;
-                (ops, wal)
-            }
-            // The WAL is written before the manifest flips, so a missing
-            // file should be impossible — but an empty log is the safe
-            // reading, and starting one keeps the invariant for later.
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                let wal = Wal::create(&wpath, fsync).map_err(|e| io_err("create wal", e))?;
-                (Vec::new(), wal)
-            }
-            Err(e) => return Err(io_err("read wal", e)),
-        };
+        let (ops, wal, seg) = recover_wal_segments(&dir, generation, fsync)?;
         cleanup(&dir, generation);
         let replayed = ops.len() as u64;
         Ok(RecoveredTable {
             table,
             ops,
-            durability: TableDurability {
-                dir,
-                name: name.to_string(),
-                manifest,
-                fsync,
-                wal: Mutex::new(wal),
-                retired: Mutex::new(WalStats::default()),
-                checkpoints: AtomicU64::new(0),
-                last_recovery_replay_ops: AtomicU64::new(replayed),
-            },
+            durability: Self::handle(dir, name, manifest, fsync, wal, seg, generation, replayed),
         })
     }
 
-    fn wal_lock(&self) -> MutexGuard<'_, Wal> {
+    /// Like [`TableDurability::recover`], but the main store is *not*
+    /// read: a header-only [`ColdTable`] is mounted over the v3 extent
+    /// checkpoint and row data faults in through `pool` on demand. Fails
+    /// on pre-extent (v2) blobs — callers fall back to the resident path.
+    pub fn recover_cold(
+        data_dir: &Path,
+        name: &str,
+        generation: u64,
+        manifest: Arc<Manifest>,
+        fsync: FsyncMode,
+        pool: Arc<BufferPool>,
+    ) -> Result<RecoveredColdTable> {
+        let dir = data_dir.join(sanitize_name(name));
+        remove_temp_files(&dir);
+        let cold = ColdTable::open(&main_path(&dir, generation), pool)?;
+        if cold.generation() != generation {
+            return Err(Error::Io(format!(
+                "main store generation mismatch for table {name}: manifest says {generation}, \
+                 blob says {}",
+                cold.generation()
+            )));
+        }
+        let (ops, wal, seg) = recover_wal_segments(&dir, generation, fsync)?;
+        cleanup(&dir, generation);
+        let replayed = ops.len() as u64;
+        Ok(RecoveredColdTable {
+            cold: Arc::new(cold),
+            ops,
+            durability: Self::handle(dir, name, manifest, fsync, wal, seg, generation, replayed),
+        })
+    }
+
+    fn wal_lock(&self) -> MutexGuard<'_, LiveWal> {
         self.wal.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Append one committed op to the live WAL. Called from the
     /// `VersionedTable` DML methods while the table write lock is held,
-    /// after the in-memory apply succeeded.
+    /// after the in-memory apply succeeded. Rolls the segment over when it
+    /// reaches `PDSM_WAL_SEGMENT_BYTES`.
     pub fn log(&self, op: &WalOp) -> Result<()> {
-        self.wal_lock()
+        let mut g = self.wal_lock();
+        g.wal
             .append(&op.encode_record())
-            .map_err(|e| io_err("wal append", e))
+            .map_err(|e| io_err("wal append", e))?;
+        let limit = self.segment_bytes.load(Ordering::Relaxed);
+        if limit > 0 && g.wal.len() >= limit {
+            self.rotate_segment(&mut g)?;
+        }
+        Ok(())
+    }
+
+    /// Roll the live WAL to the next numbered segment. The completed
+    /// segment is fsynced first (it is now immutable history), so replay
+    /// order — segment 0, 1, 2, … — can never see a torn middle.
+    fn rotate_segment(&self, g: &mut LiveWal) -> Result<()> {
+        g.wal
+            .sync()
+            .map_err(|e| io_err("sync full wal segment", e))?;
+        let generation = self.generation.load(Ordering::Relaxed);
+        let next = g.seg + 1;
+        let wal = Wal::create(&wal_seg_path(&self.dir, generation, next), self.fsync)
+            .map_err(|e| io_err("create wal segment", e))?;
+        fsync_dir(&self.dir).map_err(|e| io_err("fsync table dir", e))?;
+        let old_stats = g.wal.stats();
+        self.retired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(&old_stats);
+        g.wal = wal;
+        g.seg = next;
+        self.segments_rotated.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Override the rotation threshold (0 disables). Mostly for tests and
+    /// benchmarks; production reads `PDSM_WAL_SEGMENT_BYTES` at open.
+    pub fn set_wal_segment_bytes(&self, bytes: u64) {
+        self.segment_bytes.store(bytes, Ordering::Relaxed);
     }
 
     /// Force the live WAL to disk regardless of fsync mode (clean
     /// shutdown, checkpoint barriers).
     pub fn sync(&self) -> Result<()> {
-        self.wal_lock().sync().map_err(|e| io_err("wal sync", e))
+        self.wal_lock()
+            .wal
+            .sync()
+            .map_err(|e| io_err("wal sync", e))
     }
 
     /// Serialize a freshly built main store to the epoch-stamped temp
@@ -270,7 +390,7 @@ impl TableDurability {
     /// to inline serialization.
     pub fn pre_persist(&self, table: &Table, generation: u64, epoch: u64) -> Result<()> {
         let path = pre_persist_path(&self.dir, epoch);
-        let bytes = persist::to_bytes(table, generation);
+        let bytes = persist::to_bytes_extents(table, generation, persist::extent_rows_from_env());
         let res = (|| -> std::io::Result<()> {
             let mut f = std::fs::File::create(&path)?;
             f.write_all(&bytes)?;
@@ -312,7 +432,8 @@ impl TableDurability {
         if std::fs::rename(&pre, &dest).is_ok() {
             fsync_dir(&self.dir).map_err(|e| io_err("fsync table dir", e))?;
         } else {
-            let bytes = persist::to_bytes(main, generation);
+            let bytes =
+                persist::to_bytes_extents(main, generation, persist::extent_rows_from_env());
             write_atomic(
                 &dest,
                 &self.dir.join(format!("main.{generation}.tbl.tmp")),
@@ -356,17 +477,39 @@ impl TableDurability {
             .map_err(|e| io_err("reopen checkpoint wal", e))?;
         {
             let mut g = self.wal_lock();
-            let old_stats = g.stats();
+            let old_stats = g.wal.stats();
             self.retired
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .merge(&old_stats);
-            *g = new_wal;
+            *g = LiveWal {
+                wal: new_wal,
+                seg: 0,
+            };
         }
-        // (5) previous generations are now unreachable.
-        cleanup(&self.dir, generation);
+        self.generation.store(generation, Ordering::Relaxed);
+        // (5) previous generations are now unreachable: the old main blob
+        // and every fully-checkpointed WAL segment die on a background
+        // thread, off the merge-swap critical path.
+        {
+            let dir = self.dir.clone();
+            let mut cleaner = self.cleaner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(h) = cleaner.take() {
+                let _ = h.join();
+            }
+            *cleaner = Some(std::thread::spawn(move || cleanup(&dir, generation)));
+        }
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Block until the background deletion pass from the last checkpoint
+    /// (if any) has finished. Tests and clean shutdown use this.
+    pub fn wait_cleanup(&self) {
+        let mut cleaner = self.cleaner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(h) = cleaner.take() {
+            let _ = h.join();
+        }
     }
 
     /// Atomically replace the main blob for the *current* generation —
@@ -374,7 +517,7 @@ impl TableDurability {
     /// while the delta (and therefore the live WAL) is empty, so the blob
     /// swap alone keeps disk and memory consistent.
     pub fn persist_main(&self, table: &Table, generation: u64) -> Result<()> {
-        let bytes = persist::to_bytes(table, generation);
+        let bytes = persist::to_bytes_extents(table, generation, persist::extent_rows_from_env());
         write_atomic(
             &main_path(&self.dir, generation),
             &self.dir.join(format!("main.{generation}.tbl.tmp")),
@@ -385,14 +528,15 @@ impl TableDurability {
 
     /// Current counters (live WAL + everything retired by checkpoints).
     pub fn stats(&self) -> DurabilityStats {
-        let wal = self.wal_lock();
+        let g = self.wal_lock();
         let mut merged = *self.retired.lock().unwrap_or_else(|e| e.into_inner());
-        merged.merge(&wal.stats());
+        merged.merge(&g.wal.stats());
         DurabilityStats {
             wal: merged,
-            wal_len: wal.len(),
+            wal_len: g.wal.len(),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             last_recovery_replay_ops: self.last_recovery_replay_ops.load(Ordering::Relaxed),
+            wal_segments_rotated: self.segments_rotated.load(Ordering::Relaxed),
         }
     }
 
@@ -404,6 +548,59 @@ impl TableDurability {
     /// The table's directory inside the data dir.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+}
+
+impl Drop for TableDurability {
+    fn drop(&mut self) {
+        self.wait_cleanup();
+    }
+}
+
+/// Decode generation `generation`'s WAL segments in order (0, 1, 2, …),
+/// concatenating their ops. Replay stops at the first torn record — that
+/// segment is reopened (truncated) as the live WAL, and any later
+/// segments are dropped (rotation fsyncs a segment *before* creating its
+/// successor, so bytes past a tear were never acknowledged).
+fn recover_wal_segments(
+    dir: &Path,
+    generation: u64,
+    fsync: FsyncMode,
+) -> Result<(Vec<WalOp>, Wal, u32)> {
+    let mut ops = Vec::new();
+    let mut seg: u32 = 0;
+    loop {
+        let path = wal_seg_path(dir, generation, seg);
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                let (mut seg_ops, valid) = decode_stream(&bytes);
+                ops.append(&mut seg_ops);
+                let torn = valid < bytes.len();
+                let next = wal_seg_path(dir, generation, seg + 1);
+                if torn || !next.exists() {
+                    let mut k = seg + 1;
+                    loop {
+                        let p = wal_seg_path(dir, generation, k);
+                        if !p.exists() || std::fs::remove_file(&p).is_err() {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    let wal = Wal::open_append(&path, valid as u64, fsync)
+                        .map_err(|e| io_err("reopen wal", e))?;
+                    return Ok((ops, wal, seg));
+                }
+                seg += 1;
+            }
+            // The WAL is written before the manifest flips, so a missing
+            // segment 0 should be impossible — but an empty log is the
+            // safe reading, and starting one keeps the invariant.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && seg == 0 => {
+                let wal = Wal::create(&path, fsync).map_err(|e| io_err("create wal", e))?;
+                return Ok((ops, wal, 0));
+            }
+            Err(e) => return Err(io_err("read wal", e)),
+        }
     }
 }
 
@@ -652,10 +849,162 @@ mod tests {
         t.insert(&[Value::Int32(1), Value::Str("a".into()), Value::Null])
             .unwrap();
         t.merge().unwrap();
+        t.durability().unwrap().wait_cleanup();
         let tdir = dir.join(sanitize_name("t"));
         assert!(main_path(&tdir, 1).exists());
         assert!(!main_path(&tdir, 0).exists(), "gen 0 blob scrubbed");
         assert!(!wal_path(&tdir, 0).exists(), "gen 0 wal scrubbed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_rotation_splits_segments_and_replays_in_order() {
+        let dir = tmpdir("rotate");
+        let (mut t, _manifest) = durable_table(&dir, "t");
+        // Tiny threshold: every few appends roll a new segment.
+        t.durability().unwrap().set_wal_segment_bytes(256);
+        for i in 0..200 {
+            t.insert(&[Value::Int32(i), Value::Str(format!("r{i}")), Value::Null])
+                .unwrap();
+        }
+        t.update(7, 1, &Value::Str("seven".into())).unwrap();
+        t.delete(3).unwrap();
+        let stats = t.durability().unwrap().stats();
+        assert!(
+            stats.wal_segments_rotated >= 2,
+            "rotated: {}",
+            stats.wal_segments_rotated
+        );
+        let tdir = dir.join(sanitize_name("t"));
+        assert!(wal_seg_path(&tdir, 0, 1).exists(), "segment 1 on disk");
+        // Rotation must not lose the retired segments' counters.
+        assert_eq!(stats.wal.appends, 202);
+        let before = all_rows(&t);
+        drop(t);
+        let r = reopen(&dir, "t");
+        assert_eq!(all_rows(&r), before);
+        assert_eq!(
+            r.durability().unwrap().stats().last_recovery_replay_ops,
+            202
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_scrubs_rotated_segments() {
+        let dir = tmpdir("rotscrub");
+        let (mut t, _manifest) = durable_table(&dir, "t");
+        t.durability().unwrap().set_wal_segment_bytes(128);
+        for i in 0..100 {
+            t.insert(&[Value::Int32(i), Value::Str("x".into()), Value::Null])
+                .unwrap();
+        }
+        let tdir = dir.join(sanitize_name("t"));
+        assert!(wal_seg_path(&tdir, 0, 1).exists());
+        t.merge().unwrap();
+        t.durability().unwrap().wait_cleanup();
+        // All generation-0 segments are fully checkpointed — gone.
+        for seg in 0..5 {
+            assert!(
+                !wal_seg_path(&tdir, 0, seg).exists(),
+                "gen-0 segment {seg} survived the checkpoint"
+            );
+        }
+        assert!(wal_path(&tdir, 1).exists(), "fresh gen-1 wal");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_middle_segment_stops_replay_at_the_tear() {
+        let dir = tmpdir("torn-seg");
+        let (mut t, _manifest) = durable_table(&dir, "t");
+        t.durability().unwrap().set_wal_segment_bytes(256);
+        for i in 0..60 {
+            t.insert(&[Value::Int32(i), Value::Str(format!("r{i}")), Value::Null])
+                .unwrap();
+        }
+        let tdir = dir.join(sanitize_name("t"));
+        assert!(wal_seg_path(&tdir, 0, 1).exists());
+        drop(t);
+        // Tear the *first* segment: replay must stop there and drop the
+        // later segments instead of replaying across the gap.
+        let seg0 = wal_seg_path(&tdir, 0, 0);
+        let len = std::fs::metadata(&seg0).unwrap().len();
+        pdsm_store::truncate_at(&seg0, len - 3).unwrap();
+        let r = reopen(&dir, "t");
+        let replayed = r.durability().unwrap().stats().last_recovery_replay_ops;
+        assert!(replayed < 60, "replayed {replayed} past the tear");
+        assert!(
+            !wal_seg_path(&tdir, 0, 1).exists(),
+            "post-tear segment kept"
+        );
+        assert_eq!(all_rows(&r).len(), replayed as usize);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Reopen over a cold main: replay must run without hydration, reads
+    /// must match the resident path byte-for-byte, and a merge must retire
+    /// the superseded generation's frames from the pool.
+    #[test]
+    fn cold_recovery_replays_unhydrated_and_matches_resident() {
+        let dir = tmpdir("cold");
+        let (mut t, _manifest) = durable_table(&dir, "t");
+        for i in 0..40 {
+            t.insert(&[Value::Int32(i), Value::Str(format!("r{i}")), Value::Null])
+                .unwrap();
+        }
+        t.merge().unwrap(); // checkpoint at generation 1
+        t.insert(&[Value::Int32(100), Value::Str("post".into()), Value::Null])
+            .unwrap();
+        t.delete(3).unwrap();
+        t.update(5, 1, &Value::Str("upd".into())).unwrap();
+        let before = all_rows(&t);
+        t.durability().unwrap().wait_cleanup();
+        drop(t);
+
+        let reopen_cold = || {
+            let pool = pdsm_pool::BufferPool::new(16 << 20);
+            let manifest = Arc::new(Manifest::open(dir.join("MANIFEST")).unwrap());
+            let generation = manifest.get("t").unwrap();
+            let rec = TableDurability::recover_cold(
+                &dir,
+                "t",
+                generation,
+                manifest,
+                FsyncMode::Off,
+                Arc::clone(&pool),
+            )
+            .unwrap();
+            let mut t = VersionedTable::from_cold(rec.cold, generation);
+            replay(&mut t, &rec.ops).unwrap();
+            t.set_durability(Arc::new(rec.durability));
+            (t, pool)
+        };
+
+        let (t, pool) = reopen_cold();
+        assert!(
+            t.cold_main().is_some(),
+            "WAL replay must not hydrate the cold main"
+        );
+        let scan = t.cold_scan().expect("cold scan available while unhydrated");
+        assert_eq!(scan.generation, 1);
+        assert_eq!(t.len(), before.len());
+        assert_eq!(t.schema(), &schema());
+        // Full scan hydrates once and matches the resident replay exactly.
+        assert_eq!(all_rows(&t), before);
+        assert!(t.cold_main().is_none(), "scan should have hydrated");
+        assert!(pool.stats().misses > 0, "hydration faults through the pool");
+        drop(t);
+
+        // A merge over a still-cold main retires the old generation's
+        // frames; nothing stays pinned at quiesce.
+        let (mut t, pool) = reopen_cold();
+        t.merge().unwrap();
+        assert_eq!(t.generation(), 2);
+        assert_eq!(all_rows(&t), before);
+        assert_eq!(pool.resident_frames("t", 1), 0, "gen-1 frames retired");
+        assert_eq!(pool.stats().pinned_frames, 0, "pin leak");
+        t.durability().unwrap().wait_cleanup();
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

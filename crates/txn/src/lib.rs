@@ -97,9 +97,9 @@ pub mod shared;
 pub mod table;
 pub mod version;
 
-pub use durability::{DurabilityStats, RecoveredTable, TableDurability};
+pub use durability::{DurabilityStats, RecoveredColdTable, RecoveredTable, TableDurability};
 pub use merge::{BuiltMain, MergeTicket};
 pub use registry::{VersionRegistry, VersionStats};
 pub use shared::SharedTable;
-pub use table::{MergeStats, RowId, VersionedTable, WriteStats};
+pub use table::{ColdScan, MergeStats, RowId, VersionedTable, WriteStats};
 pub use version::{OverlayData, Snapshot};

@@ -7,6 +7,7 @@ use crate::merge::{BuiltMain, MergeTicket};
 use crate::registry::{VersionRegistry, VersionStats};
 use crate::version::{OverlayData, Snapshot};
 use pdsm_exec::{Overlay, TableProvider};
+use pdsm_pool::ColdTable;
 use pdsm_storage::row::Row;
 use pdsm_storage::{ColId, DataType, Error, Layout, Result, Schema, Table, Value};
 use pdsm_store::WalOp;
@@ -69,14 +70,39 @@ struct PendingMerge {
     replay_deletes: Vec<RowId>,
 }
 
+/// Everything a streaming executor needs to scan a still-cold main store
+/// extent-at-a-time without hydrating it: the header-only [`ColdTable`]
+/// plus the frozen delta overlay of the current version. Returned by
+/// [`VersionedTable::cold_scan`] only while the main is unhydrated.
+#[derive(Debug, Clone)]
+pub struct ColdScan {
+    /// The checkpointed main, faulting through the buffer pool.
+    pub cold: Arc<ColdTable>,
+    /// Frozen overlay (tombstones over the cold main + the delta tail), or
+    /// `None` when the delta is empty.
+    pub overlay: Option<Arc<OverlayData>>,
+    /// The version this scan observes.
+    pub generation: u64,
+}
+
 /// A versioned table: immutable partitioned main + append-only row-format
 /// delta with tombstones. See the crate docs for the design.
 ///
 /// All write operations take `&mut self`; concurrent single-writer /
 /// multi-reader use goes through [`crate::SharedTable`].
+///
+/// A table recovered through [`VersionedTable::from_cold`] keeps its main
+/// store on disk: `main` stays unset and reads fault extents through the
+/// buffer pool until something needs the whole table resident
+/// ([`VersionedTable::main_ref`] hydrates it once, lazily).
 #[derive(Debug)]
 pub struct VersionedTable {
-    main: Arc<Table>,
+    /// The resident main store. Unset only for a cold-recovered table that
+    /// has not been hydrated yet; set exactly once thereafter.
+    main: OnceLock<Arc<Table>>,
+    /// The on-disk main this table was recovered over, if any. Retired
+    /// (frames dropped) by the first merge that supersedes it.
+    cold: Option<Arc<ColdTable>>,
     generation: u64,
     /// Tombstone mask over the main store. Empty until the first main-row
     /// delete, then sized `main.len()`.
@@ -111,9 +137,12 @@ impl Clone for VersionedTable {
         // (snapshots of the original keep counting against the original)
         // and no pending merge (the in-flight build belongs to `self`).
         let registry = Arc::new(VersionRegistry::default());
-        registry.publish(self.generation, &self.main);
+        if let Some(m) = self.main.get() {
+            registry.publish(self.generation, m);
+        }
         VersionedTable {
             main: self.main.clone(),
+            cold: self.cold.clone(),
             generation: self.generation,
             dead_main: self.dead_main.clone(),
             dead_main_count: self.dead_main_count,
@@ -133,6 +162,13 @@ impl Clone for VersionedTable {
     }
 }
 
+/// A pre-initialized slot for a main store that is resident from birth.
+fn resident(main: Arc<Table>) -> OnceLock<Arc<Table>> {
+    let slot = OnceLock::new();
+    let _ = slot.set(main);
+    slot
+}
+
 impl VersionedTable {
     /// Wrap an already-built table (e.g. from a workload generator) as the
     /// generation-0 main store with an empty delta.
@@ -141,7 +177,8 @@ impl VersionedTable {
         let registry = Arc::new(VersionRegistry::default());
         registry.publish(0, &main);
         VersionedTable {
-            main,
+            main: resident(main),
+            cold: None,
             generation: 0,
             dead_main: Vec::new(),
             dead_main_count: 0,
@@ -166,8 +203,35 @@ impl VersionedTable {
         let mut t = Self::from_table(table);
         t.generation = generation;
         t.registry = Arc::new(VersionRegistry::default());
-        t.registry.publish(generation, &t.main);
+        t.registry
+            .publish(generation, t.main.get().expect("set by from_table"));
         t
+    }
+
+    /// Wrap a still-on-disk checkpoint as an unhydrated main store at the
+    /// recovered `generation`. Reads fault extents through the cold table's
+    /// buffer pool; the first operation that needs the whole main resident
+    /// hydrates it (bit-identical to a resident recovery). WAL replay runs
+    /// through the normal DML methods and never hydrates: `schema()`,
+    /// `get()` and the tombstone masks all work against the header.
+    pub fn from_cold(cold: Arc<ColdTable>, generation: u64) -> Self {
+        VersionedTable {
+            main: OnceLock::new(),
+            cold: Some(cold),
+            generation,
+            dead_main: Vec::new(),
+            dead_main_count: 0,
+            tail: Vec::new(),
+            tail_alive: Vec::new(),
+            tail_dead_count: 0,
+            n_ops: 0,
+            stats: WriteStats::default(),
+            snap_cache: OnceLock::new(),
+            registry: Arc::new(VersionRegistry::default()),
+            merge_epoch: 0,
+            pending: None,
+            durability: None,
+        }
     }
 
     /// Attach the WAL + checkpoint glue. From here on every committed DML
@@ -192,24 +256,88 @@ impl VersionedTable {
         Ok(Self::from_table(Table::with_layout(name, schema, layout)?))
     }
 
-    /// Table name.
+    /// Table name. Never hydrates: reads the cold header when the main
+    /// store is still on disk.
     pub fn name(&self) -> &str {
-        self.main.name()
+        match self.main.get() {
+            Some(m) => m.name(),
+            None => self.cold.as_ref().expect("unhydrated ⇒ cold").name(),
+        }
     }
 
-    /// The schema.
+    /// The schema. Never hydrates (WAL replay normalizes against it).
     pub fn schema(&self) -> &Schema {
-        self.main.schema()
+        match self.main.get() {
+            Some(m) => m.schema(),
+            None => {
+                &self
+                    .cold
+                    .as_ref()
+                    .expect("unhydrated ⇒ cold")
+                    .header()
+                    .schema
+            }
+        }
+    }
+
+    /// The resident main store, hydrating a cold one on first demand.
+    ///
+    /// Hydration faults every extent through the buffer pool and
+    /// reassembles a table bit-identical to a resident recovery; it happens
+    /// at most once. Panics if the checkpoint payload fails its CRC —
+    /// the header was validated at open, so this is on-disk corruption
+    /// that appeared after recovery.
+    pub fn main_ref(&self) -> &Arc<Table> {
+        self.main.get_or_init(|| {
+            let cold = self.cold.as_ref().expect("unhydrated ⇒ cold");
+            let table = Arc::new(
+                cold.hydrate()
+                    .expect("cold main hydration: checkpoint payload unreadable"),
+            );
+            self.registry.publish(self.generation, &table);
+            table
+        })
+    }
+
+    /// Main-store row count without hydrating a cold main.
+    pub fn main_len(&self) -> usize {
+        match self.main.get() {
+            Some(m) => m.len(),
+            None => self.cold.as_ref().expect("unhydrated ⇒ cold").len(),
+        }
+    }
+
+    /// The unhydrated cold main, if this table still has one. `None` once
+    /// hydration or a merge made the main resident.
+    pub fn cold_main(&self) -> Option<&Arc<ColdTable>> {
+        if self.main.get().is_some() {
+            return None;
+        }
+        self.cold.as_ref()
+    }
+
+    /// A streaming view over the cold main plus the frozen overlay of the
+    /// current version — `Some` only while the main is unhydrated. The
+    /// overlay freeze shares [`VersionedTable::snapshot`]'s per-version
+    /// cache, so taking both costs one freeze.
+    pub fn cold_scan(&self) -> Option<ColdScan> {
+        let cold = self.cold_main()?.clone();
+        Some(ColdScan {
+            cold,
+            overlay: self.frozen_overlay(),
+            generation: self.generation,
+        })
     }
 
     /// The read-optimized main store (excludes pending delta rows).
+    /// Hydrates a cold main.
     pub fn main(&self) -> &Table {
-        &self.main
+        self.main_ref()
     }
 
-    /// Shared handle to the main store.
+    /// Shared handle to the main store. Hydrates a cold main.
     pub fn main_arc(&self) -> Arc<Table> {
-        self.main.clone()
+        self.main_ref().clone()
     }
 
     /// Mutable access to the main store for bulk loading. Only valid while
@@ -224,7 +352,13 @@ impl VersionedTable {
         // A direct main-store edit invalidates any in-flight merge build.
         self.abort_merge();
         self.snap_cache = OnceLock::new();
-        Ok(Arc::make_mut(&mut self.main))
+        self.main_ref();
+        // The edit diverges from the checkpoint: drop the cold mount and
+        // its cached frames so nothing serves stale extents.
+        if let Some(c) = self.cold.take() {
+            c.retire();
+        }
+        Ok(Arc::make_mut(self.main.get_mut().expect("hydrated above")))
     }
 
     /// Re-persist the main store after [`VersionedTable::main_mut`] bulk
@@ -233,7 +367,7 @@ impl VersionedTable {
     /// live WAL is empty too, so the blob is the whole durable state.
     pub fn persist_main(&self) -> Result<()> {
         match &self.durability {
-            Some(d) => d.persist_main(&self.main, self.generation),
+            Some(d) => d.persist_main(self.main_ref(), self.generation),
             None => Ok(()),
         }
     }
@@ -250,7 +384,7 @@ impl VersionedTable {
 
     /// Number of visible rows (main − tombstones + live delta).
     pub fn len(&self) -> usize {
-        self.main.len() - self.dead_main_count + self.tail.len() - self.tail_dead_count
+        self.main_len() - self.dead_main_count + self.tail.len() - self.tail_dead_count
     }
 
     /// True iff no rows are visible.
@@ -283,7 +417,7 @@ impl VersionedTable {
 
     /// The id space upper bound (main rows + delta ordinals).
     fn id_space(&self) -> usize {
-        self.main.len() + self.tail.len()
+        self.main_len() + self.tail.len()
     }
 
     fn bump(&mut self) {
@@ -376,13 +510,11 @@ impl VersionedTable {
 
     /// Is `id` in range and not tombstoned?
     pub fn is_visible(&self, id: RowId) -> bool {
-        if id < self.main.len() {
+        let main_len = self.main_len();
+        if id < main_len {
             self.dead_main.get(id).map(|d| !d).unwrap_or(true)
         } else {
-            self.tail_alive
-                .get(id - self.main.len())
-                .copied()
-                .unwrap_or(false)
+            self.tail_alive.get(id - main_len).copied().unwrap_or(false)
         }
     }
 
@@ -397,10 +529,16 @@ impl VersionedTable {
         if !self.is_visible(id) {
             return Err(Error::RowDeleted { row: id });
         }
-        if id < self.main.len() {
-            self.main.row(id)
+        let main_len = self.main_len();
+        if id < main_len {
+            // A cold main serves the point read from one faulted extent —
+            // WAL replay and stray gets must not hydrate the whole table.
+            match self.main.get() {
+                Some(m) => m.row(id),
+                None => self.cold.as_ref().expect("unhydrated ⇒ cold").row(id),
+            }
         } else {
-            Ok(self.tail[id - self.main.len()].clone())
+            Ok(self.tail[id - main_len].clone())
         }
     }
 
@@ -415,21 +553,22 @@ impl VersionedTable {
         if !self.is_visible(id) {
             return Err(Error::RowDeleted { row: id });
         }
-        if id < self.main.len() {
+        let main_len = self.main_len();
+        if id < main_len {
             if self.dead_main.is_empty() {
-                self.dead_main = vec![false; self.main.len()];
+                self.dead_main = vec![false; main_len];
             }
             self.dead_main[id] = true;
             self.dead_main_count += 1;
         } else {
-            self.tail_alive[id - self.main.len()] = false;
+            self.tail_alive[id - main_len] = false;
             self.tail_dead_count += 1;
         }
         // Tombstones of rows that existed at a pending build's cut must be
         // replayed through the remap at swap time; rows appended after the
         // cut carry their own liveness into the next delta.
         if let Some(p) = self.pending.as_mut() {
-            if id < self.main.len() + p.cut_tail {
+            if id < main_len + p.cut_tail {
                 p.replay_deletes.push(id);
             }
         }
@@ -492,10 +631,12 @@ impl VersionedTable {
     }
 
     /// All visible rows in scan order (main order, then tail append order).
+    /// Hydrates a cold main.
     pub fn rows(&self) -> impl Iterator<Item = Row> + '_ {
-        let main_live = (0..self.main.len())
+        let main = self.main_ref();
+        let main_live = (0..main.len())
             .filter(move |&i| self.dead_main.get(i).map(|d| !d).unwrap_or(true))
-            .map(move |i| self.main.row(i).expect("in-range"));
+            .map(move |i| main.row(i).expect("in-range"));
         let tail_live = self
             .tail
             .iter()
@@ -505,34 +646,41 @@ impl VersionedTable {
         main_live.chain(tail_live)
     }
 
+    /// The frozen overlay of the current version (shared per-version via
+    /// the snapshot cache), or `None` when the delta is empty.
+    fn frozen_overlay(&self) -> Option<Arc<OverlayData>> {
+        if !self.has_delta() {
+            return None;
+        }
+        Some(
+            self.snap_cache
+                .get_or_init(|| {
+                    Arc::new(OverlayData {
+                        dead: self.dead_main.clone(),
+                        tail: self.tail.clone(),
+                        tail_alive: if self.tail_dead_count > 0 {
+                            self.tail_alive.clone()
+                        } else {
+                            Vec::new()
+                        },
+                    })
+                })
+                .clone(),
+        )
+    }
+
     /// Take a consistent snapshot of the current version. O(1) when this
     /// version has already been snapshotted; otherwise the overlay is
-    /// frozen once (O(delta + tombstone mask)) and shared.
+    /// frozen once (O(delta + tombstone mask)) and shared. Hydrates a cold
+    /// main — streaming readers use [`VersionedTable::cold_scan`] instead.
     pub fn snapshot(&self) -> Snapshot {
-        let overlay = if self.has_delta() {
-            Some(
-                self.snap_cache
-                    .get_or_init(|| {
-                        Arc::new(OverlayData {
-                            dead: self.dead_main.clone(),
-                            tail: self.tail.clone(),
-                            tail_alive: if self.tail_dead_count > 0 {
-                                self.tail_alive.clone()
-                            } else {
-                                Vec::new()
-                            },
-                        })
-                    })
-                    .clone(),
-            )
-        } else {
-            None
-        };
+        let overlay = self.frozen_overlay();
+        let main = self.main_ref();
         Snapshot {
-            main: self.main.clone(),
+            main: main.clone(),
             overlay,
             generation: self.generation,
-            _ticket: Some(self.registry.register(self.generation, &self.main)),
+            _ticket: Some(self.registry.register(self.generation, main)),
         }
     }
 
@@ -543,7 +691,7 @@ impl VersionedTable {
     /// in-flight build's `finish_merge` will fail `StaleMergeBuild` and
     /// be discarded by its owner).
     pub fn merge(&mut self) -> Result<MergeStats> {
-        self.merge_with_layout(self.main.layout().clone())
+        self.merge_with_layout(self.main_ref().layout().clone())
     }
 
     /// Fold the delta into a fresh main store under `layout` — the
@@ -603,7 +751,7 @@ impl VersionedTable {
         match &self.pending {
             Some(p)
                 if p.epoch == built.epoch
-                    && built.cut_main_rows == self.main.len()
+                    && built.cut_main_rows == self.main_len()
                     && built.cut_tail == p.cut_tail => {}
             _ => return Err(Error::StaleMergeBuild),
         }
@@ -636,9 +784,15 @@ impl VersionedTable {
             rows_after: built.table.len(),
         };
         let build_epoch = built.epoch;
-        self.main = Arc::new(built.table);
+        let new_main = Arc::new(built.table);
+        self.main = resident(new_main.clone());
+        // The merge supersedes the checkpoint the cold mount was serving:
+        // retire its frames so the pool does not cache a dead generation.
+        if let Some(c) = self.cold.take() {
+            c.retire();
+        }
         self.generation += 1;
-        self.registry.publish(self.generation, &self.main);
+        self.registry.publish(self.generation, &new_main);
         self.dead_main = dead_main;
         self.dead_main_count = dead_main_count;
         self.tail = tail;
@@ -654,7 +808,7 @@ impl VersionedTable {
         // fine) but reports the broken durable state to the caller.
         if let Some(d) = self.durability.clone() {
             d.checkpoint(
-                &self.main,
+                &new_main,
                 self.generation,
                 build_epoch,
                 &self.dead_main,
@@ -722,7 +876,7 @@ impl VersionedTable {
 /// this safe without snapshotting: no write can happen during the borrow.)
 impl TableProvider for VersionedTable {
     fn table(&self, name: &str) -> Option<&Table> {
-        (name == self.name()).then_some(&*self.main)
+        (name == self.name()).then(|| self.main_ref().as_ref())
     }
 
     fn overlay(&self, name: &str) -> Option<Overlay<'_>> {

@@ -1,0 +1,291 @@
+//! Twin-database property test for the buffer pool: a database reopened
+//! through a *tiny* pool (constant eviction, overcommit, zone-skipped
+//! faults) must stay byte-identical to a fully-resident twin under random
+//! DML / merge / query interleavings, for every engine and every layout.
+//! At quiesce the pool must hold no pinned frames (pin-leak check) and
+//! must actually have faulted (the test would be vacuous if the cold path
+//! never ran).
+
+use mrdb::core::BufferPool;
+use mrdb::prelude::*;
+use mrdb::workloads::microbench::{self, N_COLS};
+use mrdb::workloads::mixed::{microbench_mix, MixedOp};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+static EXTENT_ENV: Once = Once::new();
+
+/// Checkpoints in this binary use 1024-row extents (the zone-block
+/// minimum) so a few thousand rows already span several extents. Set
+/// once, before any checkpoint is written, and never changed — the knob
+/// is read at every checkpoint write, so a racing change would make twin
+/// checkpoints disagree.
+fn small_extents() {
+    EXTENT_ENV.call_once(|| std::env::set_var("PDSM_EXTENT_ROWS", "1024"));
+}
+
+fn case_dir(tag: &str) -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("pdsm-pool-props-{}-{n}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn maint_off() -> MaintenanceConfig {
+    MaintenanceConfig {
+        mode: MaintenanceMode::Off,
+        ..MaintenanceConfig::default()
+    }
+}
+
+fn open(dir: &Path, pool: Option<std::sync::Arc<BufferPool>>) -> Database {
+    Database::open_with_pool(
+        DurabilityConfig::new(dir).with_fsync(FsyncMode::Off),
+        maint_off(),
+        pool,
+    )
+    .unwrap()
+}
+
+/// The layouts under test: row, column, and the paper's hybrid grouping.
+fn layout_for(sel: usize) -> Layout {
+    match sel % 3 {
+        0 => Layout::row(N_COLS),
+        1 => Layout::column(N_COLS),
+        _ => microbench::pdsm_layout(),
+    }
+}
+
+/// Queries the streaming executor can run extent-at-a-time: row scans
+/// (full, equality-filtered, clustered range, zone-refuted-everywhere)
+/// and global aggregates with mergeable accumulators.
+fn streamable_plans(n: usize) -> Vec<LogicalPlan> {
+    vec![
+        QueryBuilder::scan("R").build(),
+        QueryBuilder::scan("R")
+            .filter(Expr::col(0).eq(Expr::lit(0)))
+            .build(),
+        // `A` is `-(i+1)` off the match set, so this selects a clustered
+        // suffix of the table — zone maps refute the earlier extents.
+        QueryBuilder::scan("R")
+            .filter(Expr::col(0).lt(Expr::lit(-(n as i32) + 64)))
+            .build(),
+        // `A` never exceeds 0: every extent is refuted, only the delta
+        // tail can answer. Exercises the zero-extent seeding path.
+        QueryBuilder::scan("R")
+            .filter(Expr::col(0).gt(Expr::lit(0)))
+            .build(),
+        QueryBuilder::scan("R")
+            .filter(Expr::col(0).eq(Expr::lit(0)))
+            .aggregate(
+                vec![],
+                vec![
+                    AggExpr::new(AggFunc::Count, Expr::col(1)),
+                    AggExpr::new(AggFunc::Sum, Expr::col(2)),
+                    AggExpr::new(AggFunc::Min, Expr::col(3)),
+                    AggExpr::new(AggFunc::Max, Expr::col(4)),
+                ],
+            )
+            .build(),
+        microbench::query(0.05),
+    ]
+}
+
+/// Shapes the streaming executor refuses (float-reassociating or
+/// partition-crossing): they fall back to whole-table hydration, which
+/// must of course agree too.
+fn hydrating_plans() -> Vec<LogicalPlan> {
+    vec![
+        QueryBuilder::scan("R")
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Avg, Expr::col(1))])
+            .build(),
+        QueryBuilder::scan("R")
+            .filter(Expr::col(0).le(Expr::lit(0)))
+            .aggregate(
+                vec![Expr::col(0)],
+                vec![AggExpr::new(AggFunc::Count, Expr::col(1))],
+            )
+            .build(),
+    ]
+}
+
+/// Grouped aggregates hash their groups, so their output *order* is not
+/// part of the contract (the repo's engine-equivalence tests compare them
+/// through `QueryOutput::normalized` for the same reason). Everything
+/// else must match byte-for-byte, rows in order.
+fn order_insensitive(plan: &LogicalPlan) -> bool {
+    matches!(plan, LogicalPlan::Aggregate { group_by, .. } if !group_by.is_empty())
+}
+
+/// Run `plans` on both twins across every engine (plus the cost-based
+/// planner path) and require byte-identical `QueryResult`s.
+fn assert_twins_agree(pooled: &Database, resident: &Database, plans: &[LogicalPlan]) {
+    for (i, plan) in plans.iter().enumerate() {
+        for engine in EngineKind::all() {
+            let a = pooled.run(plan, engine).unwrap();
+            let b = resident.run(plan, engine).unwrap();
+            prop_assert_eq!(
+                &a.columns,
+                &b.columns,
+                "plan {} header under {:?}",
+                i,
+                engine
+            );
+            if order_insensitive(plan) {
+                prop_assert_eq!(
+                    a.normalized(),
+                    b.normalized(),
+                    "plan {} under {:?}",
+                    i,
+                    engine
+                );
+            } else {
+                prop_assert_eq!(a, b, "plan {} diverged under {:?}", i, engine);
+            }
+        }
+        let a = pooled.execute(plan).unwrap();
+        let b = resident.execute(plan).unwrap();
+        prop_assert_eq!(
+            &a.columns,
+            &b.columns,
+            "plan {} header under the planner",
+            i
+        );
+        if order_insensitive(plan) {
+            prop_assert_eq!(
+                a.normalized(),
+                b.normalized(),
+                "plan {} under the planner",
+                i
+            );
+        } else {
+            prop_assert_eq!(a, b, "plan {} diverged under the planner", i);
+        }
+    }
+}
+
+/// Apply one mixed-workload write through the normal DML path, tracking
+/// the live row-id set exactly as `durability_props` does.
+fn apply_op(db: &Database, live: &mut Vec<usize>, op: &MixedOp) {
+    db.with_table_write("R", |vt| match op {
+        MixedOp::Read { .. } => {}
+        MixedOp::Insert { rows } => {
+            live.extend(vt.insert_batch(rows).unwrap());
+        }
+        MixedOp::Update {
+            row_hint,
+            col,
+            value,
+        } => {
+            if !live.is_empty() {
+                let slot = (*row_hint % live.len() as u64) as usize;
+                live[slot] = vt.update(live[slot], *col, value).unwrap();
+            }
+        }
+        MixedOp::Delete { row_hint } => {
+            if !live.is_empty() {
+                let slot = (*row_hint % live.len() as u64) as usize;
+                vt.delete(live[slot]).unwrap();
+                live.swap_remove(slot);
+            }
+        }
+    })
+    .unwrap()
+}
+
+/// Seed one on-disk twin: identical base data, a deterministic DML
+/// prefix, a merge (so the checkpoint holds real extents), and a
+/// post-checkpoint DML suffix (so recovery has a WAL tail to replay over
+/// the cold table). Returns the live row-id set at close.
+fn seed_twin(dir: &Path, n: usize, layout: Layout, seed: u64, n_ops: usize) -> Vec<usize> {
+    let db = open(dir, None);
+    db.register(microbench::generate(n, 0.05, layout, seed ^ 0xB0B));
+    let workload = microbench_mix(n_ops, 0.0, 0.05, seed);
+    let mut live: Vec<usize> = (0..db.with_table("R", |vt| vt.len()).unwrap()).collect();
+    let split = workload.ops.len() / 2;
+    for op in &workload.ops[..split] {
+        apply_op(&db, &mut live, op);
+    }
+    db.merge("R").unwrap();
+    // Merge compacts tombstones away: every surviving row is live and
+    // renumbered in scan order.
+    live = (0..db.with_table("R", |vt| vt.len()).unwrap()).collect();
+    for op in &workload.ops[split..] {
+        apply_op(&db, &mut live, op);
+    }
+    live
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn pooled_twin_is_byte_identical_to_resident(
+        seed in 0u64..10_000,
+        n in 2500usize..4000,
+        layout_sel in 0usize..3,
+        budget in prop_oneof![Just(8_000usize), Just(24_000usize), Just(100_000usize)],
+        n_ops in 8usize..32,
+    ) {
+        small_extents();
+        let dir_a = case_dir("pooled");
+        let dir_b = case_dir("resident");
+        let layout = layout_for(layout_sel);
+        let live_a = seed_twin(&dir_a, n, layout.clone(), seed, n_ops);
+        let live_b = seed_twin(&dir_b, n, layout, seed, n_ops);
+        prop_assert_eq!(&live_a, &live_b, "seeding must be deterministic");
+
+        // Reopen: one twin through a pool far smaller than the dataset,
+        // the other fully resident.
+        let pool = BufferPool::new(budget);
+        let pooled = open(&dir_a, Some(std::sync::Arc::clone(&pool)));
+        let resident = open(&dir_b, None);
+
+        // Phase 1 — the cold battery. Every streamable plan runs
+        // extent-at-a-time on the pooled twin, faulting and evicting
+        // under the tiny budget.
+        assert_twins_agree(&pooled, &resident, &streamable_plans(n));
+        let stats = pool.stats();
+        prop_assert_eq!(stats.pinned_frames, 0, "pin leak at quiesce");
+        prop_assert!(stats.misses > 0, "cold battery never faulted");
+        prop_assert!(
+            stats.resident_bytes <= stats.peak_resident_bytes,
+            "resident accounting went backwards"
+        );
+
+        // Phase 2 — hydrating shapes (planner fallback), then identical
+        // DML + merge on both twins, then the full battery again.
+        assert_twins_agree(&pooled, &resident, &hydrating_plans());
+        let tail = microbench_mix(n_ops, 0.0, 0.05, seed ^ 0x5EED);
+        let mut live_a = live_a;
+        let mut live_b = live_b;
+        for op in &tail.ops {
+            apply_op(&pooled, &mut live_a, op);
+            apply_op(&resident, &mut live_b, op);
+        }
+        pooled.merge("R").unwrap();
+        resident.merge("R").unwrap();
+        assert_twins_agree(&pooled, &resident, &streamable_plans(n));
+        assert_twins_agree(&pooled, &resident, &hydrating_plans());
+
+        // Phase 3 — close and recover both twins again (cold recovery
+        // now replays the post-merge WAL over pooled extents) and
+        // compare once more.
+        drop(pooled);
+        drop(resident);
+        let pool = BufferPool::new(budget);
+        let pooled = open(&dir_a, Some(std::sync::Arc::clone(&pool)));
+        let resident = open(&dir_b, None);
+        assert_twins_agree(&pooled, &resident, &streamable_plans(n));
+        let stats = pool.stats();
+        prop_assert_eq!(stats.pinned_frames, 0, "pin leak after recovery battery");
+        prop_assert!(stats.misses > 0, "recovered battery never faulted");
+
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+}
